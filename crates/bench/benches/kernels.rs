@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the Virtual Microscope processing
+//! kernels: per-chunk subsampling and averaging throughput, and the
+//! `project` transformation (which must be far cheaper than
+//! recomputation for reuse to pay off).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use vmqs_core::{DatasetId, Rect};
+use vmqs_microscope::kernels::{compute_from_chunks, project, AvgAccumulator, subsample_chunk};
+use vmqs_microscope::{RgbImage, SlideDataset, VmOp, VmQuery, PAGE_SIZE};
+use vmqs_storage::{DataSource, SyntheticSource};
+
+fn slide() -> SlideDataset {
+    SlideDataset::new(DatasetId(0), 4096, 4096)
+}
+
+fn page(idx: u64) -> Vec<u8> {
+    SyntheticSource::new()
+        .read_page(DatasetId(0), idx, PAGE_SIZE)
+        .unwrap()
+}
+
+fn bench_subsample_chunk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subsample_chunk");
+    for &zoom in &[1u32, 4, 16] {
+        let q = VmQuery::new(slide(), Rect::new(0, 0, 1024, 1024), zoom, VmOp::Subsample);
+        let rect = q.slide.chunk_rect(0);
+        let data = page(0);
+        group.bench_with_input(BenchmarkId::from_parameter(zoom), &zoom, |b, _| {
+            let (w, h) = q.output_dims();
+            let mut out = RgbImage::new(w, h);
+            b.iter(|| {
+                subsample_chunk(&mut out, &q, rect, &data);
+                black_box(out.data[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_average_chunk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("average_chunk");
+    for &zoom in &[2u32, 8] {
+        let q = VmQuery::new(slide(), Rect::new(0, 0, 1024, 1024), zoom, VmOp::Average);
+        let rect = q.slide.chunk_rect(0);
+        let data = page(0);
+        group.bench_with_input(BenchmarkId::from_parameter(zoom), &zoom, |b, _| {
+            b.iter(|| {
+                let mut acc = AvgAccumulator::new(&q);
+                acc.accumulate_chunk(&q, rect, &data);
+                black_box(acc.finalize().data[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_from_chunks_512px_window");
+    group.sample_size(20);
+    for op in [VmOp::Subsample, VmOp::Average] {
+        let q = VmQuery::new(slide(), Rect::new(0, 0, 512, 512), 2, op);
+        group.bench_function(op.name(), |b| {
+            let src = SyntheticSource::new();
+            b.iter(|| {
+                let img = compute_from_chunks(&q, |idx| {
+                    Arc::new(src.read_page(DatasetId(0), idx, PAGE_SIZE).unwrap())
+                });
+                black_box(img.data.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_project_vs_recompute(c: &mut Criterion) {
+    // The reuse payoff in microcosm: projecting a cached zoom-2 result to
+    // zoom-8 vs recomputing zoom-8 from raw chunks.
+    let cached_q = VmQuery::new(slide(), Rect::new(0, 0, 1024, 1024), 2, VmOp::Subsample);
+    let src = SyntheticSource::new();
+    let cached_img = compute_from_chunks(&cached_q, |idx| {
+        Arc::new(src.read_page(DatasetId(0), idx, PAGE_SIZE).unwrap())
+    });
+    let target = VmQuery::new(slide(), Rect::new(0, 0, 1024, 1024), 8, VmOp::Subsample);
+
+    let mut group = c.benchmark_group("reuse_payoff_zoom8_from_zoom2");
+    group.bench_function("project_from_cache", |b| {
+        let (w, h) = target.output_dims();
+        let mut out = RgbImage::new(w, h);
+        b.iter(|| {
+            black_box(project(&mut out, &target, &cached_q, cached_img.view()));
+        });
+    });
+    group.sample_size(20).bench_function("recompute_from_chunks", |b| {
+        b.iter(|| {
+            let img = compute_from_chunks(&target, |idx| {
+                Arc::new(src.read_page(DatasetId(0), idx, PAGE_SIZE).unwrap())
+            });
+            black_box(img.data.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_subsample_chunk,
+    bench_average_chunk,
+    bench_full_query,
+    bench_project_vs_recompute
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the Page Space Manager: request-plan
+//! cost with and without run merging, and raw run-merging throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmqs_core::DatasetId;
+use vmqs_pagespace::{merge_into_runs, PageCacheCore, PageKey};
+
+fn scattered_pages(n: u64) -> Vec<PageKey> {
+    // Mixture of contiguous spans and strided singletons, as produced by a
+    // 2-D query window over a row-major chunk grid.
+    (0..n)
+        .map(|i| PageKey::new(DatasetId(0), (i / 8) * 205 + (i % 8)))
+        .collect()
+}
+
+fn bench_merge_into_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_into_runs");
+    for &n in &[64u64, 1024, 16384] {
+        let pages = scattered_pages(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pages, |b, pages| {
+            b.iter(|| black_box(merge_into_runs(pages).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ps_plan_read");
+    for (name, merging) in [("merged", true), ("unmerged", false)] {
+        group.bench_function(name, |b| {
+            let mut ps = PageCacheCore::new(512 << 20, 65536);
+            ps.set_merging(merging);
+            let pages = scattered_pages(1024);
+            b.iter(|| {
+                let plan = ps.plan_read(&pages);
+                // Complete the fetches so the next iteration sees hits and
+                // the cache stays in steady state.
+                for run in &plan.fetch_runs {
+                    for p in run.pages() {
+                        ps.complete_fetch(p, vmqs_pagespace::PageData::Virtual);
+                    }
+                }
+                black_box(plan.fetch_runs.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    c.bench_function("ps_get_resident", |b| {
+        let mut ps = PageCacheCore::new(64 << 20, 65536);
+        let page = PageKey::new(DatasetId(0), 7);
+        ps.plan_read(&[page]);
+        ps.complete_fetch(page, vmqs_pagespace::PageData::Virtual);
+        b.iter(|| black_box(ps.get(page).is_some()));
+    });
+}
+
+criterion_group!(benches, bench_merge_into_runs, bench_plan_read, bench_hit_path);
+criterion_main!(benches);

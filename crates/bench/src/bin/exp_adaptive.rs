@@ -1,0 +1,83 @@
+//! §6 extension (1): self-tuning of the combined strategy. Compares fixed
+//! HYBRID weight settings against the hill-climbing tuner that adjusts the
+//! SJF weight online from windowed response times.
+
+use vmqs_bench::{average_rows, print_table, SEEDS, PS_MB};
+use vmqs_core::Strategy;
+use vmqs_microscope::VmOp;
+use vmqs_sim::{run_sim, SimConfig, SubmissionMode, TunerConfig};
+use vmqs_workload::{generate, write_csv, ExpRow, WorkloadConfig};
+
+fn run(strategy: Strategy, op: VmOp, tuner: Option<TunerConfig>, mode: SubmissionMode) -> ExpRow {
+    let rows: Vec<ExpRow> = SEEDS
+        .iter()
+        .map(|&seed| {
+            let streams = generate(&WorkloadConfig::paper(op, seed));
+            let streams = match mode {
+                SubmissionMode::Interactive => streams,
+                SubmissionMode::Batch => vmqs_workload::flatten_to_batch(&streams),
+            };
+            let mut cfg = SimConfig::paper_baseline()
+                .with_strategy(strategy)
+                .with_threads(4)
+                .with_ds_budget(64 << 20)
+                .with_ps_budget(PS_MB << 20)
+                .with_mode(mode);
+            cfg.tuner = tuner;
+            let report = run_sim(cfg, streams);
+            ExpRow::from_report(&report, strategy, op, 4, 64)
+        })
+        .collect();
+    average_rows(&rows)
+}
+
+fn main() {
+    let fixed = [
+        Strategy::Hybrid { cnbf_weight: 1.0, sjf_weight: 0.1 },
+        Strategy::hybrid_default(),
+        Strategy::Hybrid { cnbf_weight: 1.0, sjf_weight: 10.0 },
+    ];
+    for (mode, mode_name) in [
+        (SubmissionMode::Interactive, "interactive"),
+        (SubmissionMode::Batch, "batch"),
+    ] {
+        let mut rows = Vec::new();
+        let mut csv = Vec::new();
+        for op in [VmOp::Subsample, VmOp::Average] {
+            for s in fixed {
+                let row = run(s, op, None, mode);
+                let label = format!("{s}");
+                csv.push(format!("fixed,{}", row.to_csv()));
+                rows.push(vec![
+                    label,
+                    op.name().to_string(),
+                    format!("{:.2}", row.trimmed_response),
+                    format!("{:.1}", row.makespan),
+                    format!("{:.3}", row.avg_overlap),
+                ]);
+            }
+            let tuned = run(
+                Strategy::hybrid_default(),
+                op,
+                Some(TunerConfig::default()),
+                mode,
+            );
+            csv.push(format!("self_tuning,{}", tuned.to_csv()));
+            rows.push(vec![
+                "HYBRID+tuner".to_string(),
+                op.name().to_string(),
+                format!("{:.2}", tuned.trimmed_response),
+                format!("{:.1}", tuned.makespan),
+                format!("{:.3}", tuned.avg_overlap),
+            ]);
+        }
+        print_table(
+            &format!("§6 extension: self-tuning hybrid ({mode_name}, 4 threads, DS = 64 MB)"),
+            &["strategy", "op", "t-mean resp (s)", "makespan (s)", "overlap"],
+            &rows,
+        );
+        let path = format!("results/exp_adaptive_{mode_name}.csv");
+        write_csv(&path, &format!("mode,{}", ExpRow::csv_header()), csv).expect("write csv");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation: the CF strategy's hand-tuned α (weight on dependencies whose
+//! results are still being computed; paper §4, strategy 4; the evaluation
+//! fixes α = 0.2).
+//!
+//! Sweeps α from 0 (ignore executing dependencies — pure cached-locality)
+//! to 1 (treat executing results as if already cached) under the scarce-DS
+//! configuration where CF matters most.
+
+use vmqs_bench::{averaged_run, print_table, PS_MB};
+use vmqs_core::Strategy;
+use vmqs_microscope::VmOp;
+use vmqs_sim::SubmissionMode;
+use vmqs_workload::{write_csv, ExpRow};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for op in [VmOp::Subsample, VmOp::Average] {
+        for alpha10 in [0u32, 2, 4, 6, 8, 10] {
+            let alpha = alpha10 as f64 / 10.0;
+            let row = averaged_run(
+                Strategy::ClosestFirst { alpha },
+                op,
+                4,
+                32,
+                PS_MB,
+                SubmissionMode::Interactive,
+            );
+            csv.push(format!("{alpha},{}", row.to_csv()));
+            rows.push(vec![
+                op.name().to_string(),
+                format!("{alpha:.1}"),
+                format!("{:.2}", row.trimmed_response),
+                format!("{:.3}", row.avg_overlap),
+                format!("{:.2}", row.mean_blocked),
+                format!("{:.1}", row.makespan),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: CF α sweep (DS = 32 MB, 4 threads, interactive)",
+        &["op", "α", "t-mean resp (s)", "overlap", "mean blocked (s)", "makespan (s)"],
+        &rows,
+    );
+    write_csv(
+        "results/exp_alpha.csv",
+        &format!("alpha,{}", ExpRow::csv_header()),
+        csv,
+    )
+    .expect("write csv");
+    println!("wrote results/exp_alpha.csv");
+}

@@ -1,0 +1,74 @@
+//! Ablation: blocking on EXECUTING dependencies vs recomputing.
+//!
+//! The paper's server lets a query stall until an in-flight result it
+//! depends on is finished ("this behavior is correct and efficient in the
+//! sense that I/O is not duplicated, [but] it wastes CPU resources", §4) —
+//! the motivation for the FF and CNBF strategies. This binary compares
+//! blocking allowed vs disabled across strategies.
+
+use vmqs_bench::{print_table, SEEDS, PS_MB};
+use vmqs_core::Strategy;
+use vmqs_microscope::VmOp;
+use vmqs_sim::{SubmissionMode};
+use vmqs_workload::{generate, write_csv, ExpRow, WorkloadConfig};
+
+fn run(strategy: Strategy, op: VmOp, blocking: bool) -> ExpRow {
+    let rows: Vec<ExpRow> = SEEDS
+        .iter()
+        .map(|&seed| {
+            let streams = generate(&WorkloadConfig::paper(op, seed));
+            let cfg = vmqs_sim::SimConfig::paper_baseline()
+                .with_strategy(strategy)
+                .with_threads(8)
+                .with_ds_budget(64 << 20)
+                .with_ps_budget(PS_MB << 20)
+                .with_mode(SubmissionMode::Interactive)
+                .with_blocking(blocking);
+            let report = vmqs_sim::run_sim(cfg, streams);
+            ExpRow::from_report(&report, strategy, op, 8, 64)
+        })
+        .collect();
+    vmqs_bench::average_rows(&rows)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for op in [VmOp::Subsample, VmOp::Average] {
+        for strategy in Strategy::paper_set() {
+            let on = run(strategy, op, true);
+            let off = run(strategy, op, false);
+            csv.push(format!("blocking,{}", on.to_csv()));
+            csv.push(format!("no_blocking,{}", off.to_csv()));
+            rows.push(vec![
+                on.strategy.clone(),
+                op.name().to_string(),
+                format!("{:.2}", on.trimmed_response),
+                format!("{:.2}", off.trimmed_response),
+                format!("{:.2}", on.mean_blocked),
+                format!("{:.3}", on.avg_overlap),
+                format!("{:.3}", off.avg_overlap),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: blocking on executing dependencies (8 threads, DS = 64 MB)",
+        &[
+            "strategy",
+            "op",
+            "resp blk (s)",
+            "resp no-blk (s)",
+            "mean blocked (s)",
+            "ovl blk",
+            "ovl no-blk",
+        ],
+        &rows,
+    );
+    write_csv(
+        "results/exp_blocking.csv",
+        &format!("mode,{}", ExpRow::csv_header()),
+        csv,
+    )
+    .expect("write csv");
+    println!("wrote results/exp_blocking.csv");
+}

@@ -1,0 +1,53 @@
+//! §6 extension: the combined strategy the paper's conclusions propose
+//! ("a combination of SJF and the other ranking strategies would provide a
+//! viable solution").
+//!
+//! Compares HYBRID (CNBF locality term minus SJF job-size term, both in
+//! bytes) against its two parents across DS sizes, in both interactive and
+//! batch modes.
+
+use vmqs_bench::{averaged_run, print_table, DS_SWEEP_MB, PS_MB};
+use vmqs_core::Strategy;
+use vmqs_microscope::VmOp;
+use vmqs_sim::SubmissionMode;
+use vmqs_workload::{write_csv, ExpRow};
+
+fn main() {
+    let strategies = [
+        Strategy::Sjf,
+        Strategy::Cnbf,
+        Strategy::hybrid_default(),
+    ];
+    for mode in [SubmissionMode::Interactive, SubmissionMode::Batch] {
+        let mut rows = Vec::new();
+        let mut csv = Vec::new();
+        for op in [VmOp::Subsample, VmOp::Average] {
+            for &strategy in &strategies {
+                for ds_mb in DS_SWEEP_MB {
+                    let row = averaged_run(strategy, op, 4, ds_mb, PS_MB, mode);
+                    csv.push(row.to_csv());
+                    rows.push(vec![
+                        row.strategy.clone(),
+                        op.name().to_string(),
+                        ds_mb.to_string(),
+                        format!("{:.2}", row.trimmed_response),
+                        format!("{:.1}", row.makespan),
+                        format!("{:.3}", row.avg_overlap),
+                    ]);
+                }
+            }
+        }
+        let mode_name = match mode {
+            SubmissionMode::Interactive => "interactive",
+            SubmissionMode::Batch => "batch",
+        };
+        print_table(
+            &format!("§6 extension: HYBRID vs SJF vs CNBF ({mode_name} mode, 4 threads)"),
+            &["strategy", "op", "DS (MB)", "t-mean resp (s)", "makespan (s)", "overlap"],
+            &rows,
+        );
+        let path = format!("results/exp_hybrid_{mode_name}.csv");
+        write_csv(&path, ExpRow::csv_header(), csv).expect("write csv");
+        println!("wrote {path}");
+    }
+}

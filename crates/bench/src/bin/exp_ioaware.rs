@@ -1,0 +1,77 @@
+//! §6 extension (3): incorporating low-level resource metrics into
+//! scheduling — the I/O-aware dequeue policy vs plain rank order, under
+//! thread counts past the disk farm's parallelism (where the Fig. 4
+//! degradation lives).
+
+use vmqs_bench::{average_rows, print_table, SEEDS, PS_MB};
+use vmqs_core::Strategy;
+use vmqs_microscope::VmOp;
+use vmqs_sim::{run_sim, SchedPolicy, SimConfig, SubmissionMode};
+use vmqs_workload::{generate, write_csv, ExpRow, WorkloadConfig};
+
+fn run(strategy: Strategy, op: VmOp, threads: usize, policy: SchedPolicy) -> ExpRow {
+    let rows: Vec<ExpRow> = SEEDS
+        .iter()
+        .map(|&seed| {
+            let streams = generate(&WorkloadConfig::paper(op, seed));
+            let cfg = SimConfig::paper_baseline()
+                .with_strategy(strategy)
+                .with_threads(threads)
+                .with_ds_budget(64 << 20)
+                .with_ps_budget(PS_MB << 20)
+                .with_mode(SubmissionMode::Interactive)
+                .with_policy(policy);
+            let report = run_sim(cfg, streams);
+            ExpRow::from_report(&report, strategy, op, threads, 64)
+        })
+        .collect();
+    average_rows(&rows)
+}
+
+fn main() {
+    let ioaware = SchedPolicy::IoAware {
+        candidates: 8,
+        backlog_threshold: 0.5,
+    };
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for op in [VmOp::Subsample, VmOp::Average] {
+        for strategy in [Strategy::Cnbf, Strategy::Fifo] {
+            for threads in [8usize, 16, 24] {
+                let plain = run(strategy, op, threads, SchedPolicy::RankOrder);
+                let aware = run(strategy, op, threads, ioaware);
+                csv.push(format!("rank_order,{}", plain.to_csv()));
+                csv.push(format!("io_aware,{}", aware.to_csv()));
+                rows.push(vec![
+                    strategy.name().to_string(),
+                    op.name().to_string(),
+                    threads.to_string(),
+                    format!("{:.2}", plain.trimmed_response),
+                    format!("{:.2}", aware.trimmed_response),
+                    format!("{:.1}", plain.makespan),
+                    format!("{:.1}", aware.makespan),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "§6 extension: I/O-aware dequeue policy past the disk-farm knee",
+        &[
+            "strategy",
+            "op",
+            "threads",
+            "resp plain (s)",
+            "resp io-aware (s)",
+            "mk plain (s)",
+            "mk io-aware (s)",
+        ],
+        &rows,
+    );
+    write_csv(
+        "results/exp_ioaware.csv",
+        &format!("policy,{}", ExpRow::csv_header()),
+        csv,
+    )
+    .expect("write csv");
+    println!("wrote results/exp_ioaware.csv");
+}

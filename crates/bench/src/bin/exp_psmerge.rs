@@ -1,0 +1,71 @@
+//! Ablation: Page Space Manager I/O-request merging on/off.
+//!
+//! The PS "keeps track of I/O requests received from multiple queries so
+//! that overlapping I/O requests are reordered and merged … to minimize
+//! I/O overhead" (paper §2). With merging off, every missed page is its
+//! own disk request and pays its own positioning cost.
+
+use vmqs_bench::{print_table, SEEDS, PS_MB};
+use vmqs_core::Strategy;
+use vmqs_microscope::VmOp;
+use vmqs_sim::{SimConfig, Simulator, SubmissionMode};
+use vmqs_workload::{generate, write_csv, ExpRow, WorkloadConfig};
+
+fn run(op: VmOp, merging: bool) -> ExpRow {
+    let rows: Vec<ExpRow> = SEEDS
+        .iter()
+        .map(|&seed| {
+            let streams = generate(&WorkloadConfig::paper(op, seed));
+            let cfg = SimConfig::paper_baseline()
+                .with_strategy(Strategy::Cnbf)
+                .with_threads(4)
+                .with_ds_budget(64 << 20)
+                .with_ps_budget(PS_MB << 20)
+                .with_mode(SubmissionMode::Interactive);
+            let mut sim = Simulator::new(cfg, streams);
+            sim.set_ps_merging(merging);
+            let report = sim.run();
+            ExpRow::from_report(&report, Strategy::Cnbf, op, 4, 64)
+        })
+        .collect();
+    vmqs_bench::average_rows(&rows)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for op in [VmOp::Subsample, VmOp::Average] {
+        let on = run(op, true);
+        let off = run(op, false);
+        let speedup = off.makespan / on.makespan;
+        csv.push(format!("merged,{}", on.to_csv()));
+        csv.push(format!("unmerged,{}", off.to_csv()));
+        rows.push(vec![
+            op.name().to_string(),
+            format!("{:.1}", on.makespan),
+            format!("{:.1}", off.makespan),
+            format!("{speedup:.2}x"),
+            format!("{:.2}", on.trimmed_response),
+            format!("{:.2}", off.trimmed_response),
+        ]);
+    }
+    print_table(
+        "Ablation: PS run merging (CNBF, 4 threads, DS = 64 MB)",
+        &[
+            "op",
+            "merged makespan (s)",
+            "unmerged makespan (s)",
+            "speedup",
+            "resp merged (s)",
+            "resp unmerged (s)",
+        ],
+        &rows,
+    );
+    write_csv(
+        "results/exp_psmerge.csv",
+        &format!("mode,{}", ExpRow::csv_header()),
+        csv,
+    )
+    .expect("write csv");
+    println!("wrote results/exp_psmerge.csv");
+}

@@ -1,0 +1,98 @@
+//! §6 extension (2): the 3-D volume visualization application on the same
+//! middleware — strategy comparison over MIP (I/O-leaning) and
+//! average-projection (balanced) workloads, interactive and batch.
+//!
+//! The question this answers: do the paper's findings (FIFO worst,
+//! locality strategies best for batches, overlap growing with DS) carry
+//! over to an application with a *sparser* reuse structure (projections
+//! are only reusable across identical depth ranges)?
+
+use vmqs_bench::{average_rows, print_table, SEEDS, PS_MB};
+use vmqs_core::Strategy;
+use vmqs_sim::{SimConfig, SubmissionMode};
+use vmqs_volume::{generate_volume, run_volume_sim, VolCostModel, VolOp, VolWorkloadConfig};
+use vmqs_workload::{write_csv, ExpRow};
+
+fn run(strategy: Strategy, op: VolOp, ds_mb: u64, mode: SubmissionMode) -> ExpRow {
+    let rows: Vec<ExpRow> = SEEDS
+        .iter()
+        .map(|&seed| {
+            let streams = generate_volume(&VolWorkloadConfig::standard(op, seed));
+            let streams = match mode {
+                SubmissionMode::Interactive => streams,
+                SubmissionMode::Batch => {
+                    // Flatten to one batch stream, round-robin.
+                    let max = streams.iter().map(|s| s.queries.len()).max().unwrap_or(0);
+                    let mut queries = Vec::new();
+                    for i in 0..max {
+                        for s in &streams {
+                            if let Some(q) = s.queries.get(i) {
+                                queries.push(*q);
+                            }
+                        }
+                    }
+                    vec![vmqs_sim::ClientStream {
+                        client: vmqs_core::ClientId(0),
+                        queries,
+                    }]
+                }
+            };
+            let cfg = SimConfig::paper_baseline()
+                .with_strategy(strategy)
+                .with_threads(4)
+                .with_ds_budget(ds_mb << 20)
+                .with_ps_budget(PS_MB << 20)
+                .with_mode(mode);
+            let report = run_volume_sim(cfg, VolCostModel::calibrated(&cfg.disk), streams);
+            let s = report.response_summary();
+            ExpRow {
+                strategy: strategy.name().to_string(),
+                op: op.name().to_string(),
+                threads: 4,
+                ds_mb,
+                trimmed_response: report.trimmed_mean_response(),
+                mean_response: s.mean,
+                avg_overlap: report.average_overlap(),
+                makespan: report.makespan,
+                mean_blocked: report.mean_blocked(),
+                exact_hits: report.ds_stats.exact_hits,
+                partial_hits: report.ds_stats.partial_hits,
+            }
+        })
+        .collect();
+    average_rows(&rows)
+}
+
+fn main() {
+    for (mode, mode_name) in [
+        (SubmissionMode::Interactive, "interactive"),
+        (SubmissionMode::Batch, "batch"),
+    ] {
+        let mut rows = Vec::new();
+        let mut csv = Vec::new();
+        for op in [VolOp::Mip, VolOp::AvgProj] {
+            for strategy in Strategy::paper_set() {
+                for ds_mb in [1u64, 4, 16] {
+                    let row = run(strategy, op, ds_mb, mode);
+                    csv.push(row.to_csv());
+                    rows.push(vec![
+                        row.strategy.clone(),
+                        op.name().to_string(),
+                        ds_mb.to_string(),
+                        format!("{:.2}", row.trimmed_response),
+                        format!("{:.1}", row.makespan),
+                        format!("{:.3}", row.avg_overlap),
+                    ]);
+                }
+            }
+        }
+        print_table(
+            &format!("§6 extension: 3-D volume application ({mode_name}, 4 threads)"),
+            &["strategy", "op", "DS (MB)", "t-mean resp (s)", "makespan (s)", "overlap"],
+            &rows,
+        );
+        let path = format!("results/exp_volume_{mode_name}.csv");
+        write_csv(&path, ExpRow::csv_header(), csv).expect("write csv");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 4 reproduction: 95%-trimmed mean query response time as the
+//! maximum number of concurrent query threads is varied (1–24), for all
+//! six ranking strategies; (a) the subsampling implementation, (b) the
+//! pixel-averaging implementation. DS = 64 MB, PS = 32 MB, 16 interactive
+//! clients × 16 queries.
+//!
+//! Expected shape (paper §5): FIFO discernibly worst; MUF/FF/CF/CNBF
+//! slightly better than SJF in most cases; response time improves up to an
+//! optimal thread count (~4) and then degrades as the I/O subsystem
+//! saturates; the averaging version scales better because it is more
+//! CPU/I/O balanced.
+
+use vmqs_bench::{averaged_run, print_table, FIG4_THREADS, PS_MB};
+use vmqs_core::Strategy;
+use vmqs_microscope::VmOp;
+use vmqs_sim::SubmissionMode;
+use vmqs_workload::{write_csv, ExpRow};
+
+fn main() {
+    for op in [VmOp::Subsample, VmOp::Average] {
+        let mut rows = Vec::new();
+        let mut csv = Vec::new();
+        for strategy in Strategy::paper_set() {
+            for threads in FIG4_THREADS {
+                let row = averaged_run(strategy, op, threads, 64, PS_MB, SubmissionMode::Interactive);
+                csv.push(row.to_csv());
+                rows.push(vec![
+                    row.strategy.clone(),
+                    threads.to_string(),
+                    format!("{:.1}", row.trimmed_response),
+                    format!("{:.1}", row.mean_response),
+                    format!("{:.3}", row.avg_overlap),
+                    format!("{:.1}", row.makespan),
+                ]);
+            }
+        }
+        print_table(
+            &format!(
+                "Figure 4{}: trimmed-mean response time vs #threads ({} implementation)",
+                if op == VmOp::Subsample { "a" } else { "b" },
+                op.name()
+            ),
+            &["strategy", "threads", "t-mean resp (s)", "mean resp (s)", "overlap", "makespan (s)"],
+            &rows,
+        );
+        let path = format!("results/fig4_{}.csv", op.name());
+        write_csv(&path, ExpRow::csv_header(), csv).expect("write csv");
+        println!("wrote {path}");
+    }
+}

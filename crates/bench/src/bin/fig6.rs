@@ -1,0 +1,45 @@
+//! Figure 6 reproduction: 95%-trimmed mean query response time as the
+//! memory allocated to the Data Store Manager is varied (up to 4
+//! concurrent queries, interactive clients).
+//!
+//! Expected shape (paper §5): response time falls as the DS grows; the
+//! higher overlap of CF/CNBF does not always translate into the lowest
+//! response times because queries may wait longer in the queue.
+
+use vmqs_bench::{averaged_run, print_table, DS_SWEEP_MB, PS_MB};
+use vmqs_core::Strategy;
+use vmqs_microscope::VmOp;
+use vmqs_sim::SubmissionMode;
+use vmqs_workload::{write_csv, ExpRow};
+
+fn main() {
+    for op in [VmOp::Subsample, VmOp::Average] {
+        let mut rows = Vec::new();
+        let mut csv = Vec::new();
+        for strategy in Strategy::paper_set() {
+            for ds_mb in DS_SWEEP_MB {
+                let row = averaged_run(strategy, op, 4, ds_mb, PS_MB, SubmissionMode::Interactive);
+                csv.push(row.to_csv());
+                rows.push(vec![
+                    row.strategy.clone(),
+                    ds_mb.to_string(),
+                    format!("{:.2}", row.trimmed_response),
+                    format!("{:.2}", row.mean_response),
+                    format!("{:.3}", row.avg_overlap),
+                ]);
+            }
+        }
+        print_table(
+            &format!(
+                "Figure 6{}: trimmed-mean response time vs DS memory ({} implementation)",
+                if op == VmOp::Subsample { "a" } else { "b" },
+                op.name()
+            ),
+            &["strategy", "DS (MB)", "t-mean resp (s)", "mean resp (s)", "overlap"],
+            &rows,
+        );
+        let path = format!("results/fig6_{}.csv", op.name());
+        write_csv(&path, ExpRow::csv_header(), csv).expect("write csv");
+        println!("wrote {path}");
+    }
+}

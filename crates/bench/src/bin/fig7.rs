@@ -1,0 +1,44 @@
+//! Figure 7 reproduction: total execution time of a single batch of 256
+//! queries as the memory allocated to the Data Store Manager is varied
+//! (up to 4 concurrent queries).
+//!
+//! Expected shape (paper §5): CF and CNBF finish the batch fastest,
+//! especially when resources are scarce (small DS) — when minimizing total
+//! batch time, exploiting reuse matters most.
+
+use vmqs_bench::{averaged_run, print_table, DS_SWEEP_MB, PS_MB};
+use vmqs_core::Strategy;
+use vmqs_microscope::VmOp;
+use vmqs_sim::SubmissionMode;
+use vmqs_workload::{write_csv, ExpRow};
+
+fn main() {
+    for op in [VmOp::Subsample, VmOp::Average] {
+        let mut rows = Vec::new();
+        let mut csv = Vec::new();
+        for strategy in Strategy::paper_set() {
+            for ds_mb in DS_SWEEP_MB {
+                let row = averaged_run(strategy, op, 4, ds_mb, PS_MB, SubmissionMode::Batch);
+                csv.push(row.to_csv());
+                rows.push(vec![
+                    row.strategy.clone(),
+                    ds_mb.to_string(),
+                    format!("{:.1}", row.makespan),
+                    format!("{:.3}", row.avg_overlap),
+                ]);
+            }
+        }
+        print_table(
+            &format!(
+                "Figure 7{}: total batch execution time (256 queries) vs DS memory ({} implementation)",
+                if op == VmOp::Subsample { "a" } else { "b" },
+                op.name()
+            ),
+            &["strategy", "DS (MB)", "batch time (s)", "overlap"],
+            &rows,
+        );
+        let path = format!("results/fig7_{}.csv", op.name());
+        write_csv(&path, ExpRow::csv_header(), csv).expect("write csv");
+        println!("wrote {path}");
+    }
+}

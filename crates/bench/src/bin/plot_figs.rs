@@ -1,0 +1,101 @@
+//! Renders SVG charts from the figure CSVs in `results/` (run the `fig4`…
+//! `fig7` binaries first). One chart per figure panel, mirroring the
+//! paper's axes.
+
+use std::collections::BTreeMap;
+use vmqs_bench::plot::{line_chart, Series};
+
+/// A parsed experiment CSV row (the `ExpRow` columns).
+struct Row {
+    strategy: String,
+    threads: f64,
+    ds_mb: f64,
+    trimmed_response: f64,
+    avg_overlap: f64,
+    makespan: f64,
+}
+
+fn read_rows(path: &str) -> Option<Vec<Row>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut rows = Vec::new();
+    for line in text.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() < 11 {
+            continue;
+        }
+        rows.push(Row {
+            strategy: f[0].to_string(),
+            threads: f[2].parse().ok()?,
+            ds_mb: f[3].parse().ok()?,
+            trimmed_response: f[4].parse().ok()?,
+            avg_overlap: f[6].parse().ok()?,
+            makespan: f[7].parse().ok()?,
+        });
+    }
+    Some(rows)
+}
+
+fn series_by_strategy(rows: &[Row], x: impl Fn(&Row) -> f64, y: impl Fn(&Row) -> f64) -> Vec<Series> {
+    let mut by: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for r in rows {
+        by.entry(r.strategy.clone()).or_default().push((x(r), y(r)));
+    }
+    by.into_iter()
+        .map(|(label, mut points)| {
+            points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            Series { label, points }
+        })
+        .collect()
+}
+
+fn emit(path_csv: &str, path_svg: &str, title: &str, x_label: &str, y_label: &str, x: fn(&Row) -> f64, y: fn(&Row) -> f64) {
+    match read_rows(path_csv) {
+        Some(rows) if !rows.is_empty() => {
+            let svg = line_chart(title, x_label, y_label, &series_by_strategy(&rows, x, y));
+            std::fs::write(path_svg, svg).expect("write svg");
+            println!("wrote {path_svg}");
+        }
+        _ => println!("skipping {path_svg}: run the figure binary to produce {path_csv} first"),
+    }
+}
+
+fn main() {
+    for op in ["subsample", "average"] {
+        emit(
+            &format!("results/fig4_{op}.csv"),
+            &format!("results/fig4_{op}.svg"),
+            &format!("Fig 4 — response time vs threads ({op})"),
+            "query threads",
+            "95%-trimmed mean response (s)",
+            |r| r.threads,
+            |r| r.trimmed_response,
+        );
+        emit(
+            &format!("results/fig5_{op}.csv"),
+            &format!("results/fig5_{op}.svg"),
+            &format!("Fig 5 — average overlap vs DS memory ({op})"),
+            "data store memory (MB)",
+            "average overlap",
+            |r| r.ds_mb,
+            |r| r.avg_overlap,
+        );
+        emit(
+            &format!("results/fig6_{op}.csv"),
+            &format!("results/fig6_{op}.svg"),
+            &format!("Fig 6 — response time vs DS memory ({op})"),
+            "data store memory (MB)",
+            "95%-trimmed mean response (s)",
+            |r| r.ds_mb,
+            |r| r.trimmed_response,
+        );
+        emit(
+            &format!("results/fig7_{op}.csv"),
+            &format!("results/fig7_{op}.svg"),
+            &format!("Fig 7 — batch execution time vs DS memory ({op})"),
+            "data store memory (MB)",
+            "total batch time (s)",
+            |r| r.ds_mb,
+            |r| r.makespan,
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Minimal SVG line charts for the figure reproductions — no external
+//! dependencies, just enough to eyeball the curves next to the paper's.
+
+/// One line in a chart.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 130.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+const COLORS: [&str; 7] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf",
+];
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders an SVG line chart. The y axis starts at zero; both axes are
+/// linear with five ticks. Panics when no series has at least one point.
+pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!pts.is_empty(), "cannot chart zero points");
+    let x_min = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_max = pts.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let y_max = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max) * 1.05;
+    let (x_min, x_max) = if x_min == x_max {
+        (x_min - 1.0, x_max + 1.0)
+    } else {
+        (x_min, x_max)
+    };
+    let y_max = if y_max <= 0.0 { 1.0 } else { y_max };
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = |y: f64| MARGIN_T + plot_h - (y / y_max) * plot_h;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {WIDTH} {HEIGHT}\" \
+         font-family=\"sans-serif\" font-size=\"12\">\n"
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{}\" y=\"22\" text-anchor=\"middle\" font-size=\"15\">{}</text>\n",
+        MARGIN_L + plot_w / 2.0,
+        title
+    ));
+
+    // Grid + ticks.
+    for i in 0..=4 {
+        let f = i as f64 / 4.0;
+        let gx = MARGIN_L + f * plot_w;
+        let gy = MARGIN_T + plot_h - f * plot_h;
+        svg.push_str(&format!(
+            "<line x1=\"{gx}\" y1=\"{MARGIN_T}\" x2=\"{gx}\" y2=\"{}\" stroke=\"#ddd\"/>\n",
+            MARGIN_T + plot_h
+        ));
+        svg.push_str(&format!(
+            "<line x1=\"{MARGIN_L}\" y1=\"{gy}\" x2=\"{}\" y2=\"{gy}\" stroke=\"#ddd\"/>\n",
+            MARGIN_L + plot_w
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{gx}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+            MARGIN_T + plot_h + 18.0,
+            fmt_tick(x_min + f * (x_max - x_min))
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{}</text>\n",
+            MARGIN_L - 8.0,
+            gy + 4.0,
+            fmt_tick(f * y_max)
+        ));
+    }
+    // Axes.
+    svg.push_str(&format!(
+        "<rect x=\"{MARGIN_L}\" y=\"{MARGIN_T}\" width=\"{plot_w}\" height=\"{plot_h}\" \
+         fill=\"none\" stroke=\"#333\"/>\n"
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 10.0,
+        x_label
+    ));
+    svg.push_str(&format!(
+        "<text x=\"16\" y=\"{}\" text-anchor=\"middle\" \
+         transform=\"rotate(-90 16 {})\">{}</text>\n",
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        y_label
+    ));
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+            .collect();
+        svg.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+            path.join(" ")
+        ));
+        for &(x, y) in &s.points {
+            svg.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>\n",
+                sx(x),
+                sy(y)
+            ));
+        }
+        // Legend.
+        let ly = MARGIN_T + 16.0 * i as f64;
+        let lx = MARGIN_L + plot_w + 10.0;
+        svg.push_str(&format!(
+            "<line x1=\"{lx}\" y1=\"{ly}\" x2=\"{}\" y2=\"{ly}\" stroke=\"{color}\" \
+             stroke-width=\"2\"/>\n",
+            lx + 18.0
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\">{}</text>\n",
+            lx + 24.0,
+            ly + 4.0,
+            s.label
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "A".into(),
+                points: vec![(1.0, 2.0), (2.0, 4.0), (4.0, 3.0)],
+            },
+            Series {
+                label: "B".into(),
+                points: vec![(1.0, 1.0), (2.0, 1.5), (4.0, 5.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn chart_contains_series_and_labels() {
+        let svg = line_chart("Title", "threads", "seconds", &demo_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">Title<"));
+        assert!(svg.contains(">threads<"));
+        assert!(svg.contains(">seconds<"));
+        assert!(svg.contains(">A<") && svg.contains(">B<"));
+    }
+
+    #[test]
+    fn higher_y_maps_to_smaller_svg_y() {
+        let svg = line_chart("t", "x", "y", &demo_series());
+        // Series A's point (2,4) must sit above (smaller cy) its point (1,2).
+        let circles: Vec<&str> = svg.lines().filter(|l| l.starts_with("<circle")).collect();
+        let cy = |line: &str| -> f64 {
+            let i = line.find("cy=\"").unwrap() + 4;
+            let rest = &line[i..];
+            rest[..rest.find('"').unwrap()].parse().unwrap()
+        };
+        assert!(cy(circles[1]) < cy(circles[0]));
+    }
+
+    #[test]
+    fn single_x_value_does_not_divide_by_zero() {
+        let s = vec![Series {
+            label: "solo".into(),
+            points: vec![(3.0, 1.0)],
+        }];
+        let svg = line_chart("t", "x", "y", &s);
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn empty_chart_panics() {
+        line_chart("t", "x", "y", &[]);
+    }
+}

@@ -1,0 +1,135 @@
+//! A small `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    opts: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors produced while parsing or reading options.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A required option was not provided.
+    Required(String),
+    /// An option's value failed to parse.
+    Invalid(String, String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Required(k) => write!(f, "missing required option --{k}"),
+            ArgError::Invalid(k, v) => write!(f, "invalid value '{v}' for --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--flag`s (a `--key` followed
+    /// by another `--...` or end of input is a boolean flag).
+    pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = items.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            let key = match tok.strip_prefix("--") {
+                Some(k) if !k.is_empty() => k.to_string(),
+                _ => return Err(ArgError::Invalid("".into(), tok)),
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    args.opts.insert(key, it.next().unwrap());
+                }
+                _ => args.flags.push(key),
+            }
+        }
+        Ok(args)
+    }
+
+    /// True when the boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.opts.get(name).map(|s| s.as_str())
+    }
+
+    /// Required string option.
+    #[allow(dead_code)] // part of the parser's API; exercised in tests
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name).ok_or_else(|| ArgError::Required(name.into()))
+    }
+
+    /// Typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::Invalid(name.into(), v.into())),
+        }
+    }
+}
+
+/// Parses a strategy name (as printed by experiment tables).
+pub fn parse_strategy(name: &str) -> Option<vmqs_core::Strategy> {
+    use vmqs_core::Strategy;
+    Some(match name.to_ascii_uppercase().as_str() {
+        "FIFO" => Strategy::Fifo,
+        "MUF" => Strategy::Muf,
+        "FF" => Strategy::FarthestFirst,
+        "CF" => Strategy::closest_first_default(),
+        "CNBF" => Strategy::Cnbf,
+        "SJF" => Strategy::Sjf,
+        "HYBRID" => Strategy::hybrid_default(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn options_and_flags() {
+        let a = parse("--zoom 4 --batch --out x.ppm");
+        assert_eq!(a.get("zoom"), Some("4"));
+        assert!(a.flag("batch"));
+        assert!(!a.flag("zoom"));
+        assert_eq!(a.get_or("zoom", 1u32).unwrap(), 4);
+        assert_eq!(a.get_or("missing", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn require_and_invalid() {
+        let a = parse("--zoom banana");
+        assert_eq!(a.require("out"), Err(ArgError::Required("out".into())));
+        assert!(matches!(
+            a.get_or::<u32>("zoom", 1),
+            Err(ArgError::Invalid(_, _))
+        ));
+    }
+
+    #[test]
+    fn bad_token_rejected() {
+        assert!(Args::parse(vec!["zoom".to_string()]).is_err());
+    }
+
+    #[test]
+    fn strategies_parse() {
+        for name in ["FIFO", "MUF", "FF", "CF", "CNBF", "SJF", "HYBRID", "cnbf"] {
+            assert!(parse_strategy(name).is_some(), "{name}");
+        }
+        assert!(parse_strategy("NOPE").is_none());
+    }
+}

@@ -1,0 +1,218 @@
+//! Subcommand implementations.
+
+use crate::args::{parse_strategy, Args};
+use std::error::Error;
+use std::sync::Arc;
+use vmqs_core::{DatasetId, Rect, Strategy};
+use vmqs_microscope::{SlideDataset, VmOp, VmQuery};
+use vmqs_server::{QueryServer, ServerConfig};
+use vmqs_sim::{run_sim, SimConfig, SubmissionMode};
+use vmqs_storage::SyntheticSource;
+use vmqs_volume::{VolOp, VolQuery, VolumeDataset};
+use vmqs_workload::{flatten_to_batch, generate, ExpRow, WorkloadConfig};
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+fn parse_vm_op(s: &str) -> Result<VmOp, String> {
+    match s {
+        "subsample" => Ok(VmOp::Subsample),
+        "average" => Ok(VmOp::Average),
+        other => Err(format!("unknown op '{other}' (subsample|average)")),
+    }
+}
+
+/// `vmqsctl render` — render a microscope window through the real server.
+pub fn render(args: &Args) -> CliResult {
+    let sw: u32 = args.get_or("slide-width", 8192)?;
+    let sh: u32 = args.get_or("slide-height", 8192)?;
+    let x: u32 = args.get_or("x", 0)?;
+    let y: u32 = args.get_or("y", 0)?;
+    let w: u32 = args.get_or("w", 1024)?;
+    let h: u32 = args.get_or("h", 1024)?;
+    let zoom: u32 = args.get_or("zoom", 1)?;
+    let op = parse_vm_op(args.get("op").unwrap_or("subsample"))?;
+    let out = args.get("out").unwrap_or("render.ppm");
+
+    let slide = SlideDataset::new(DatasetId(0), sw, sh);
+    let query = VmQuery::new(slide, Rect::new(x, y, w, h), zoom, op);
+    let server = QueryServer::new(ServerConfig::small(), Arc::new(SyntheticSource::new()));
+    let res = server.submit(query).wait()?;
+    let img = vmqs_microscope::RgbImage {
+        width: res.width,
+        height: res.height,
+        data: res.image.as_ref().clone(),
+    };
+    img.write_ppm(out)?;
+    println!(
+        "rendered {}x{} ({} op, zoom {zoom}) in {:?} -> {out}",
+        res.width,
+        res.height,
+        op.name(),
+        res.record.exec_time
+    );
+    println!(
+        "pages read: {}, answered via {:?}",
+        res.record.pages_requested, res.record.path
+    );
+    server.shutdown();
+    Ok(())
+}
+
+/// `vmqsctl mip` — render a volume projection through the real kernels.
+pub fn mip(args: &Args) -> CliResult {
+    let x: u32 = args.get_or("x", 0)?;
+    let y: u32 = args.get_or("y", 0)?;
+    let w: u32 = args.get_or("w", 256)?;
+    let h: u32 = args.get_or("h", 256)?;
+    let z0: u32 = args.get_or("z0", 0)?;
+    let z1: u32 = args.get_or("z1", 128)?;
+    let lod: u32 = args.get_or("lod", 1)?;
+    let op = match args.get("op").unwrap_or("mip") {
+        "mip" => VolOp::Mip,
+        "avgproj" => VolOp::AvgProj,
+        other => return Err(format!("unknown op '{other}' (mip|avgproj)").into()),
+    };
+    let out = args.get("out").unwrap_or("projection.pgm");
+
+    let volume = VolumeDataset::new(DatasetId(1), 1024, 1024, 512);
+    let query = VolQuery::new(volume, Rect::new(x, y, w, h), z0, z1, lod, op);
+    let src = SyntheticSource::new();
+    let img = vmqs_volume::kernels::compute_from_bricks(&query, |idx| {
+        Arc::new(
+            vmqs_storage::DataSource::read_page(&src, volume.id, idx, vmqs_volume::PAGE_SIZE)
+                .expect("synthetic source cannot fail"),
+        )
+    });
+    img.write_pgm(out)?;
+    println!(
+        "rendered {}x{} {} projection of depth [{z0},{z1}) -> {out}",
+        img.width,
+        img.height,
+        op.name()
+    );
+    Ok(())
+}
+
+/// `vmqsctl simulate` — one paper-scale simulated configuration.
+pub fn simulate(args: &Args) -> CliResult {
+    let strategy = match args.get("strategy") {
+        None => Strategy::Cnbf,
+        Some(s) => parse_strategy(s).ok_or(format!("unknown strategy '{s}'"))?,
+    };
+    let op = parse_vm_op(args.get("op").unwrap_or("subsample"))?;
+    let threads: usize = args.get_or("threads", 4)?;
+    let ds_mb: u64 = args.get_or("ds-mb", 64)?;
+    let ps_mb: u64 = args.get_or("ps-mb", 32)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let mode = if args.flag("batch") {
+        SubmissionMode::Batch
+    } else {
+        SubmissionMode::Interactive
+    };
+
+    let streams = generate(&WorkloadConfig::paper(op, seed));
+    let streams = match mode {
+        SubmissionMode::Interactive => streams,
+        SubmissionMode::Batch => flatten_to_batch(&streams),
+    };
+    let cfg = SimConfig::paper_baseline()
+        .with_strategy(strategy)
+        .with_threads(threads)
+        .with_ds_budget(ds_mb << 20)
+        .with_ps_budget(ps_mb << 20)
+        .with_mode(mode);
+    let report = run_sim(cfg, streams);
+    let row = ExpRow::from_report(&report, strategy, op, threads, ds_mb);
+    println!("{}", ExpRow::csv_header());
+    println!("{}", row.to_csv());
+    println!();
+    println!("queries:          {}", report.records.len());
+    println!("trimmed response: {:>8.2} s", report.trimmed_mean_response());
+    println!("makespan:         {:>8.2} s", report.makespan);
+    println!("average overlap:  {:>8.3}", report.average_overlap());
+    println!(
+        "disk:             {} requests, {:.1} MB, {:.1} s busy",
+        report.disk_stats.requests,
+        report.disk_stats.bytes as f64 / (1 << 20) as f64,
+        report.disk_stats.busy_time
+    );
+    Ok(())
+}
+
+/// `vmqsctl trace` — export a schedule trace of a simulated run.
+pub fn trace(args: &Args) -> CliResult {
+    let strategy = match args.get("strategy") {
+        None => Strategy::Cnbf,
+        Some(s) => parse_strategy(s).ok_or(format!("unknown strategy '{s}'"))?,
+    };
+    let op = parse_vm_op(args.get("op").unwrap_or("subsample"))?;
+    let threads: usize = args.get_or("threads", 4)?;
+    let ds_mb: u64 = args.get_or("ds-mb", 64)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let out = args.get("out").unwrap_or("trace.csv");
+    let mode = if args.flag("batch") {
+        SubmissionMode::Batch
+    } else {
+        SubmissionMode::Interactive
+    };
+    let streams = generate(&WorkloadConfig::paper(op, seed));
+    let streams = match mode {
+        SubmissionMode::Interactive => streams,
+        SubmissionMode::Batch => flatten_to_batch(&streams),
+    };
+    let cfg = SimConfig::paper_baseline()
+        .with_strategy(strategy)
+        .with_threads(threads)
+        .with_ds_budget(ds_mb << 20)
+        .with_mode(mode)
+        .with_trace(true);
+    let report = run_sim(cfg, streams);
+    std::fs::write(out, vmqs_sim::trace_to_csv(&report.trace))?;
+    println!(
+        "wrote {} events for {} queries ({} strategy, makespan {:.1} s) -> {out}",
+        report.trace.len(),
+        report.records.len(),
+        strategy.name(),
+        report.makespan
+    );
+    Ok(())
+}
+
+/// `vmqsctl demo` — a fixed guided tour.
+pub fn demo() -> CliResult {
+    let slide = SlideDataset::new(DatasetId(0), 4000, 4000);
+    let server = QueryServer::new(ServerConfig::small(), Arc::new(SyntheticSource::new()));
+    let q1 = VmQuery::new(slide, Rect::new(0, 0, 1024, 1024), 2, VmOp::Subsample);
+    let q2 = VmQuery::new(slide, Rect::new(512, 0, 1024, 1024), 2, VmOp::Subsample);
+    println!("1) fresh render:");
+    let r1 = server.submit(q1).wait()?;
+    println!("   {:?}, {} pages", r1.record.path, r1.record.pages_requested);
+    println!("2) identical repeat:");
+    let r2 = server.submit(q1).wait()?;
+    println!("   {:?}, {} pages", r2.record.path, r2.record.pages_requested);
+    println!("3) half-overlapping pan:");
+    let r3 = server.submit(q2).wait()?;
+    println!(
+        "   {:?}, reuse {:.0}%, {} pages",
+        r3.record.path,
+        100.0 * r3.record.covered_fraction,
+        r3.record.pages_requested
+    );
+    server.shutdown();
+
+    println!("\nsimulated paper workload (CNBF vs FIFO, batch):");
+    for strategy in [Strategy::Fifo, Strategy::Cnbf] {
+        let streams = flatten_to_batch(&generate(&WorkloadConfig::paper(VmOp::Subsample, 42)));
+        let cfg = SimConfig::paper_baseline()
+            .with_strategy(strategy)
+            .with_mode(SubmissionMode::Batch);
+        let report = run_sim(cfg, streams);
+        println!(
+            "   {:>4}: 256 queries in {:.1} s (overlap {:.2})",
+            strategy.name(),
+            report.makespan,
+            report.average_overlap()
+        );
+    }
+    Ok(())
+}

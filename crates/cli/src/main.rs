@@ -1,0 +1,72 @@
+//! `vmqsctl` — command-line interface to the VMQS reproduction.
+//!
+//! ```text
+//! vmqsctl render    render a microscope region through the real server to a PPM
+//! vmqsctl mip       render a volume projection to a PGM
+//! vmqsctl simulate  run a paper-scale simulated experiment and print the summary
+//! vmqsctl demo      a short guided tour of the multi-query optimizations
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+vmqsctl — multi-query scheduling for data visualization workloads
+
+USAGE:
+  vmqsctl render   --x N --y N --w N --h N [--zoom N] [--op subsample|average]
+                   [--slide-width N] [--slide-height N] [--out FILE.ppm]
+      Render a Virtual Microscope window through the real threaded server
+      (deterministic synthetic slide data).
+
+  vmqsctl mip      --x N --y N --w N --h N --z0 N --z1 N [--lod N]
+                   [--op mip|avgproj] [--out FILE.pgm]
+      Render a 3-D volume projection through the real kernels.
+
+  vmqsctl simulate [--strategy FIFO|MUF|FF|CF|CNBF|SJF|HYBRID] [--op subsample|average]
+                   [--threads N] [--ds-mb N] [--ps-mb N] [--seed N] [--batch]
+      Run the paper's 16-client x 16-query workload in the discrete-event
+      simulator and print the summary row.
+
+  vmqsctl trace    [--strategy NAME] [--op subsample|average] [--threads N]
+                   [--ds-mb N] [--seed N] [--batch] [--out FILE.csv]
+      Run a simulated workload with schedule tracing and write the
+      per-event trace (arrive/start/block/resume/complete/swap_out) as CSV.
+
+  vmqsctl demo
+      A short guided tour: exact hits, projection, sub-queries.
+";
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_default();
+    let rest: Vec<String> = argv.collect();
+    let parsed = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "render" => commands::render(&parsed),
+        "mip" => commands::mip(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "trace" => commands::trace(&parsed),
+        "demo" => commands::demo(),
+        "help" | "--help" | "-h" | "" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Query lifecycle states (paper §4).
+
+use std::fmt;
+
+/// The state component of a scheduling-graph node's `<rank, state>` tuple.
+///
+/// Transitions follow the paper: a newly inserted query is `Waiting`; the
+/// dequeue operation moves it to `Executing`; completion moves it to
+/// `Cached` (its result is available for reuse in the Data Store); memory
+/// reclamation moves it to `SwappedOut`, at which point the node and its
+/// edges are removed from the graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QueryState {
+    /// Queued, not yet scheduled for execution.
+    Waiting,
+    /// Currently running on a query thread.
+    Executing,
+    /// Finished; its result is cached in the Data Store.
+    Cached,
+    /// Result evicted from the Data Store; no longer usable for reuse.
+    SwappedOut,
+}
+
+impl QueryState {
+    /// True for states whose results can (or will) become usable by others:
+    /// everything except `SwappedOut`.
+    #[inline]
+    pub fn in_graph(self) -> bool {
+        self != QueryState::SwappedOut
+    }
+
+    /// Validates a lifecycle transition, returning `true` when legal.
+    pub fn can_transition_to(self, next: QueryState) -> bool {
+        use QueryState::*;
+        matches!(
+            (self, next),
+            (Waiting, Executing) | (Executing, Cached) | (Cached, SwappedOut)
+        )
+    }
+}
+
+impl fmt::Display for QueryState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QueryState::Waiting => "WAITING",
+            QueryState::Executing => "EXECUTING",
+            QueryState::Cached => "CACHED",
+            QueryState::SwappedOut => "SWAPPED_OUT",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::QueryState::*;
+
+    #[test]
+    fn legal_transitions() {
+        assert!(Waiting.can_transition_to(Executing));
+        assert!(Executing.can_transition_to(Cached));
+        assert!(Cached.can_transition_to(SwappedOut));
+    }
+
+    #[test]
+    fn illegal_transitions() {
+        assert!(!Waiting.can_transition_to(Cached));
+        assert!(!Executing.can_transition_to(Waiting));
+        assert!(!SwappedOut.can_transition_to(Waiting));
+        assert!(!Cached.can_transition_to(Executing));
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(Waiting.to_string(), "WAITING");
+        assert_eq!(SwappedOut.to_string(), "SWAPPED_OUT");
+    }
+
+    #[test]
+    fn in_graph_excludes_swapped_out() {
+        assert!(Waiting.in_graph() && Executing.in_graph() && Cached.in_graph());
+        assert!(!SwappedOut.in_graph());
+    }
+}

@@ -1,0 +1,178 @@
+//! Summary statistics used by the experimental evaluation.
+//!
+//! The paper reports the *95%-trimmed mean* of query response times: the
+//! mean after discarding the lowest and highest 2.5% of the scores (§5,
+//! footnote 3). This module provides that, plus the usual mean/percentile
+//! helpers used in EXPERIMENTS.md tables.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// `p%`-trimmed mean: drops the lowest and highest `p/2` percent of the
+/// sorted scores and averages the rest. `trimmed_mean(xs, 0.95)` is the
+/// paper's 95%-trimmed mean (2.5% trimmed from each tail).
+///
+/// With fewer than `1 / ((1-keep)/2)` samples nothing is trimmed.
+pub fn trimmed_mean(xs: &[f64], keep: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&keep),
+        "keep fraction must be in [0,1]"
+    );
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let cut = ((1.0 - keep) / 2.0 * sorted.len() as f64).floor() as usize;
+    let kept = &sorted[cut..sorted.len() - cut];
+    mean(kept)
+}
+
+/// The paper's statistic: 95%-trimmed mean.
+pub fn trimmed_mean_95(xs: &[f64]) -> f64 {
+    trimmed_mean(xs, 0.95)
+}
+
+/// Nearest-rank percentile (`q` in `[0, 100]`); `0.0` for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Sample standard deviation; `0.0` for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// A compact numeric summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 95%-trimmed mean (the paper's headline statistic).
+    pub trimmed_mean_95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; all fields zero for an empty slice.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                trimmed_mean_95: 0.0,
+                min: 0.0,
+                median: 0.0,
+                max: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            trimmed_mean_95: trimmed_mean_95(xs),
+            min: sorted[0],
+            median: percentile(xs, 50.0),
+            max: sorted[sorted.len() - 1],
+            std_dev: std_dev(xs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_tails() {
+        // 40 samples: 38 ones plus two extreme outliers. 2.5% of 40 = 1 from
+        // each tail, so both outliers are dropped.
+        let mut xs = vec![1.0; 38];
+        xs.push(1000.0);
+        xs.insert(0, -1000.0);
+        assert_eq!(trimmed_mean_95(&xs), 1.0);
+        assert_ne!(mean(&xs), 1.0);
+    }
+
+    #[test]
+    fn trimmed_mean_small_samples_untouched() {
+        let xs = [1.0, 2.0, 3.0];
+        // 2.5% of 3 floors to 0 → plain mean.
+        assert_eq!(trimmed_mean_95(&xs), 2.0);
+    }
+
+    #[test]
+    fn trimmed_mean_unsorted_input() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(trimmed_mean_95(&xs), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep fraction")]
+    fn trimmed_mean_rejects_bad_keep() {
+        trimmed_mean(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        // population sd is 2; sample sd is 2.138...
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs = [3.0, 1.0, 2.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mean, 2.0);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.mean, 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Blob entries held by the Data Store Manager.
+
+use std::sync::Arc;
+use vmqs_core::{BlobId, QueryId};
+
+/// The stored contents of a blob.
+///
+/// The real execution engine stores actual result bytes; the discrete-event
+/// simulator only needs size accounting, so it stores [`Payload::Virtual`]
+/// and the Data Store behaves identically in both cases.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// Actual result bytes (shared so readers can keep projecting from a
+    /// blob even after it is evicted from the store).
+    Bytes(Arc<Vec<u8>>),
+    /// Size-only accounting for simulation.
+    Virtual,
+}
+
+impl Payload {
+    /// Byte length when actual data is present.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            Payload::Bytes(b) => Some(b.len()),
+            Payload::Virtual => None,
+        }
+    }
+
+    /// True when actual data is present and empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+}
+
+/// One intermediate result registered in the Data Store, together with its
+/// semantic metadata (the producing query's predicate).
+#[derive(Clone, Debug)]
+pub struct BlobEntry<S> {
+    /// The blob's identity.
+    pub id: BlobId,
+    /// The query whose execution produced (or is producing) this blob. Used
+    /// to propagate evictions back to the scheduling graph as SWAPPED_OUT
+    /// transitions.
+    pub producer: QueryId,
+    /// Predicate meta-information describing the result.
+    pub spec: S,
+    /// Size charged against the store budget, in bytes.
+    pub size: u64,
+    /// Result contents (or virtual for simulation).
+    pub payload: Payload,
+    /// False while the producing query is still executing (a `malloc`ed but
+    /// uncommitted buffer): invisible to lookups and protected from
+    /// eviction.
+    pub ready: bool,
+    pub(crate) last_access: u64,
+}
+
+impl<S> BlobEntry<S> {
+    /// True when the entry may be returned by lookups.
+    pub fn visible(&self) -> bool {
+        self.ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_len() {
+        let p = Payload::Bytes(Arc::new(vec![1, 2, 3]));
+        assert_eq!(p.len(), Some(3));
+        assert!(!p.is_empty());
+        assert_eq!(Payload::Virtual.len(), None);
+        assert!(!Payload::Virtual.is_empty());
+        assert!(Payload::Bytes(Arc::new(vec![])).is_empty());
+    }
+}

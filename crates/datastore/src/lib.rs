@@ -1,0 +1,27 @@
+//! # vmqs-datastore
+//!
+//! The Data Store Manager (DS) of the VMQS middleware: a byte-budgeted
+//! **semantic cache** for intermediate query results (paper §2).
+//!
+//! Results are stored together with their predicate meta-information, so a
+//! later query can discover — via the application's `cmp`/`overlap`
+//! operators — that a cached result answers it completely or partially. The
+//! store exposes the paper's interface: a `malloc`-style two-phase
+//! allocation (reserve while the producing query executes, commit on
+//! completion) and a `lookup` operation used by the query server before
+//! planning any I/O.
+//!
+//! Evictions are reported back to the caller as `(blob, producer-query)`
+//! pairs so the scheduling graph can transition the producers to
+//! SWAPPED_OUT, keeping "the up-to-date state of the system … reflected to
+//! the query server" (paper §4).
+
+#![warn(missing_docs)]
+
+mod entry;
+mod spatial_store;
+mod store;
+
+pub use entry::{BlobEntry, Payload};
+pub use spatial_store::SpatialDataStore;
+pub use store::{DataStore, DsError, DsStats, EvictionPolicy, Match};

@@ -1,0 +1,234 @@
+//! The Index Manager's accelerated Data Store (paper Fig. 1).
+//!
+//! [`SpatialDataStore`] pairs the semantic cache with a
+//! [`vmqs_core::GridIndex`] over the cached results' footprints. Lookups
+//! probe the grid for blobs whose rectangles intersect the query window —
+//! a sound filter, since two predicates can only have nonzero `overlap`
+//! if their footprints intersect on the same dataset — and evaluate the
+//! application's operators on those candidates only. At the paper's scale
+//! (≲ hundreds of cached blobs) the plain linear scan is equally fine;
+//! this store is the sub-linear variant for larger deployments, with an
+//! equivalence property test guaranteeing identical results.
+
+use crate::entry::{BlobEntry, Payload};
+use crate::store::{DataStore, DsError, DsStats, EvictionPolicy, Match};
+use vmqs_core::spatial::{GridIndex, SpatialSpec};
+use vmqs_core::{BlobId, QueryId};
+
+/// A [`DataStore`] with spatially indexed lookups.
+#[derive(Debug)]
+pub struct SpatialDataStore<S: SpatialSpec> {
+    inner: DataStore<S>,
+    index: GridIndex,
+}
+
+impl<S: SpatialSpec> SpatialDataStore<S> {
+    /// Creates a store with the given byte budget and index cell size (in
+    /// base-resolution pixels; pick roughly the footprint of a typical
+    /// cached result).
+    pub fn new(budget: u64, cell_size: u32) -> Self {
+        SpatialDataStore {
+            inner: DataStore::new(budget),
+            index: GridIndex::new(cell_size),
+        }
+    }
+
+    /// Creates a store with an explicit eviction policy.
+    pub fn with_policy(budget: u64, cell_size: u32, policy: EvictionPolicy) -> Self {
+        SpatialDataStore {
+            inner: DataStore::with_policy(budget, policy),
+            index: GridIndex::new(cell_size),
+        }
+    }
+
+    /// See [`DataStore::budget`].
+    pub fn budget(&self) -> u64 {
+        self.inner.budget()
+    }
+
+    /// See [`DataStore::used`].
+    pub fn used(&self) -> u64 {
+        self.inner.used()
+    }
+
+    /// See [`DataStore::len`].
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// See [`DataStore::stats`].
+    pub fn stats(&self) -> DsStats {
+        self.inner.stats()
+    }
+
+    /// See [`DataStore::malloc`]. Evicted blobs leave the index.
+    pub fn malloc(
+        &mut self,
+        producer: QueryId,
+        spec: S,
+        size: u64,
+        evicted: &mut Vec<(BlobId, QueryId)>,
+    ) -> Result<BlobId, DsError> {
+        let before = evicted.len();
+        let blob = self.inner.malloc(producer, spec, size, evicted)?;
+        for (b, _) in &evicted[before..] {
+            self.index.remove(b.raw());
+        }
+        Ok(blob)
+    }
+
+    /// See [`DataStore::commit`]. The blob becomes visible to indexed
+    /// lookups.
+    pub fn commit(&mut self, blob: BlobId, payload: Payload) {
+        self.inner.commit(blob, payload);
+        let (dataset, rect) = self
+            .inner
+            .get(blob)
+            .expect("blob just committed")
+            .spec
+            .region_key();
+        self.index.insert(blob.raw(), dataset, rect);
+    }
+
+    /// `malloc` + `commit` in one step.
+    pub fn insert(
+        &mut self,
+        producer: QueryId,
+        spec: S,
+        size: u64,
+        payload: Payload,
+        evicted: &mut Vec<(BlobId, QueryId)>,
+    ) -> Result<BlobId, DsError> {
+        let blob = self.malloc(producer, spec, size, evicted)?;
+        self.commit(blob, payload);
+        Ok(blob)
+    }
+
+    /// See [`DataStore::abort`].
+    pub fn abort(&mut self, blob: BlobId) {
+        // Uncommitted blobs were never indexed.
+        self.inner.abort(blob);
+    }
+
+    /// See [`DataStore::remove`].
+    pub fn remove(&mut self, blob: BlobId) -> Option<BlobEntry<S>> {
+        self.index.remove(blob.raw());
+        self.inner.remove(blob)
+    }
+
+    /// See [`DataStore::get`].
+    pub fn get(&self, blob: BlobId) -> Option<&BlobEntry<S>> {
+        self.inner.get(blob)
+    }
+
+    /// Indexed lookup: identical results to [`DataStore::lookup`], probing
+    /// only blobs whose footprints intersect the query's.
+    pub fn lookup(&mut self, probe: &S) -> Vec<Match> {
+        let (dataset, rect) = probe.region_key();
+        let candidates: Vec<BlobId> = self
+            .index
+            .query(dataset, &rect)
+            .into_iter()
+            .map(BlobId)
+            .collect();
+        self.inner.lookup_filtered(probe, Some(&candidates))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmqs_core::spec::testutil::IntervalSpec;
+
+    fn spec(start: u64, len: u64, scale: u64) -> IntervalSpec {
+        IntervalSpec::new(start, len, scale)
+    }
+
+    fn store() -> SpatialDataStore<IntervalSpec> {
+        SpatialDataStore::new(10_000, 64)
+    }
+
+    #[test]
+    fn indexed_lookup_matches_linear_lookup() {
+        let mut indexed = store();
+        let mut linear: DataStore<IntervalSpec> = DataStore::new(10_000);
+        let mut ev = Vec::new();
+        for i in 0..40u64 {
+            let s = spec((i * 37) % 800, 50 + (i % 7) * 10, 1 + (i % 2));
+            indexed
+                .insert(QueryId(i), s.clone(), 10, Payload::Virtual, &mut ev)
+                .unwrap();
+            linear
+                .insert(QueryId(i), s, 10, Payload::Virtual, &mut ev)
+                .unwrap();
+        }
+        for p in 0..10u64 {
+            let probe = spec((p * 83) % 700, 120, 2);
+            let a = indexed.lookup(&probe);
+            let b = linear.lookup(&probe);
+            assert_eq!(a.len(), b.len(), "probe {probe:?}");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.blob, y.blob);
+                assert_eq!(x.reuse_bytes, y.reuse_bytes);
+                assert_eq!(x.overlap, y.overlap);
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_removes_from_index() {
+        let mut ds: SpatialDataStore<IntervalSpec> = SpatialDataStore::new(30, 64);
+        let mut ev = Vec::new();
+        ds.insert(QueryId(1), spec(0, 100, 1), 20, Payload::Virtual, &mut ev)
+            .unwrap();
+        ds.insert(QueryId(2), spec(500, 100, 1), 20, Payload::Virtual, &mut ev)
+            .unwrap();
+        assert_eq!(ev.len(), 1);
+        // The evicted blob must not be returned by lookups.
+        assert!(ds.lookup(&spec(0, 100, 1)).is_empty());
+        assert_eq!(ds.lookup(&spec(500, 100, 1)).len(), 1);
+    }
+
+    #[test]
+    fn uncommitted_blobs_invisible_and_abortable() {
+        let mut ds = store();
+        let mut ev = Vec::new();
+        let b = ds.malloc(QueryId(1), spec(0, 100, 1), 10, &mut ev).unwrap();
+        assert!(ds.lookup(&spec(0, 100, 1)).is_empty());
+        ds.abort(b);
+        assert_eq!(ds.used(), 0);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn remove_clears_index_entry() {
+        let mut ds = store();
+        let mut ev = Vec::new();
+        let b = ds
+            .insert(QueryId(1), spec(0, 100, 1), 10, Payload::Virtual, &mut ev)
+            .unwrap();
+        assert_eq!(ds.lookup(&spec(0, 100, 1)).len(), 1);
+        ds.remove(b);
+        assert!(ds.lookup(&spec(0, 100, 1)).is_empty());
+        assert!(ds.get(b).is_none());
+    }
+
+    #[test]
+    fn exact_hit_first_like_linear_store() {
+        let mut ds = store();
+        let mut ev = Vec::new();
+        ds.insert(QueryId(1), spec(0, 200, 1), 10, Payload::Virtual, &mut ev)
+            .unwrap();
+        ds.insert(QueryId(2), spec(0, 100, 1), 10, Payload::Virtual, &mut ev)
+            .unwrap();
+        let ms = ds.lookup(&spec(0, 100, 1));
+        assert_eq!(ms[0].producer, QueryId(2));
+        assert_eq!(ms[0].overlap, 1.0);
+        assert_eq!(ds.stats().exact_hits, 1);
+    }
+}

@@ -1,0 +1,567 @@
+//! The Data Store Manager (paper §2, "Data Store Manager").
+//!
+//! A semantic cache: buffer space for intermediate results tagged with
+//! predicate metadata, so that results of finished queries can answer (or
+//! partially answer) queries submitted later. Provides the paper's
+//! `malloc`-style two-phase allocation (space is reserved and metadata
+//! recorded while the producing query executes; the blob becomes visible to
+//! `lookup` once committed) and byte-budgeted eviction, which reports the
+//! evicted producers so the engine can mark them SWAPPED_OUT in the
+//! scheduling graph.
+
+use crate::entry::{BlobEntry, Payload};
+use std::collections::HashMap;
+use vmqs_core::{BlobId, QueryId, QuerySpec};
+
+/// Which ready, unpinned blob to evict first when space is needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Least recently used first (default; what a buffer manager would do).
+    Lru,
+    /// Largest blob first (frees space fastest).
+    LargestFirst,
+    /// Most recently used first (pessimal for locality; ablation baseline).
+    Mru,
+}
+
+/// A partial-reuse lookup result.
+#[derive(Clone, Debug)]
+pub struct Match {
+    /// The matching blob.
+    pub blob: BlobId,
+    /// The producer query of the blob.
+    pub producer: QueryId,
+    /// `overlap(blob.spec, probe)` in `[0, 1]`.
+    pub overlap: f64,
+    /// `overlap · qoutsize(blob.spec)` — reusable bytes.
+    pub reuse_bytes: u64,
+}
+
+/// Counters exposed for experiments and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DsStats {
+    /// Lookups answered completely by one cached blob (`cmp` true).
+    pub exact_hits: u64,
+    /// Lookups with at least one nonzero-overlap match (but no exact hit).
+    pub partial_hits: u64,
+    /// Lookups with no usable match.
+    pub misses: u64,
+    /// Blobs committed.
+    pub committed: u64,
+    /// Blobs evicted to make room.
+    pub evicted: u64,
+    /// Bytes freed by eviction.
+    pub bytes_evicted: u64,
+    /// Allocations rejected because the blob exceeds the whole budget (or
+    /// pinned entries prevent freeing enough space).
+    pub rejected: u64,
+}
+
+/// Error returned by [`DataStore::malloc`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DsError {
+    /// The requested size can never fit (larger than the total budget, or
+    /// caching is disabled with a zero budget).
+    TooLarge,
+    /// Enough bytes exist but are held by uncommitted (pinned) entries.
+    Busy,
+}
+
+impl std::fmt::Display for DsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DsError::TooLarge => write!(f, "allocation exceeds data store budget"),
+            DsError::Busy => write!(f, "data store space held by uncommitted entries"),
+        }
+    }
+}
+
+impl std::error::Error for DsError {}
+
+/// The Data Store Manager.
+///
+/// Not internally synchronized: the threaded server wraps it in a mutex; the
+/// simulator owns it directly.
+#[derive(Debug)]
+pub struct DataStore<S: QuerySpec> {
+    budget: u64,
+    used: u64,
+    entries: HashMap<BlobId, BlobEntry<S>>,
+    next_blob: u64,
+    clock: u64,
+    policy: EvictionPolicy,
+    stats: DsStats,
+}
+
+impl<S: QuerySpec> DataStore<S> {
+    /// Creates a store with the given byte budget. A budget of `0` disables
+    /// caching entirely (every `malloc` is rejected) — used by the paper's
+    /// caching-on/off experiment.
+    pub fn new(budget: u64) -> Self {
+        Self::with_policy(budget, EvictionPolicy::Lru)
+    }
+
+    /// Creates a store with an explicit eviction policy.
+    pub fn with_policy(budget: u64, policy: EvictionPolicy) -> Self {
+        DataStore {
+            budget,
+            used: 0,
+            entries: HashMap::new(),
+            next_blob: 0,
+            clock: 0,
+            policy,
+            stats: DsStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently allocated (committed + uncommitted).
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of entries (committed + uncommitted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DsStats {
+        self.stats
+    }
+
+    /// Reserves `size` bytes for the result of `producer` described by
+    /// `spec` (the paper's `malloc` with its accumulator meta-data object).
+    ///
+    /// Evicts ready blobs per the eviction policy until the reservation
+    /// fits; evicted producers are appended to `evicted` so the caller can
+    /// transition them to SWAPPED_OUT in the scheduling graph. The new entry
+    /// is invisible to lookups until [`DataStore::commit`].
+    pub fn malloc(
+        &mut self,
+        producer: QueryId,
+        spec: S,
+        size: u64,
+        evicted: &mut Vec<(BlobId, QueryId)>,
+    ) -> Result<BlobId, DsError> {
+        if size > self.budget {
+            self.stats.rejected += 1;
+            return Err(DsError::TooLarge);
+        }
+        while self.used + size > self.budget {
+            match self.pick_victim() {
+                Some(victim) => {
+                    let e = self.remove(victim).expect("victim exists");
+                    evicted.push((e.id, e.producer));
+                    self.stats.evicted += 1;
+                    self.stats.bytes_evicted += e.size;
+                }
+                None => {
+                    self.stats.rejected += 1;
+                    return Err(DsError::Busy);
+                }
+            }
+        }
+        let id = BlobId(self.next_blob);
+        self.next_blob += 1;
+        self.clock += 1;
+        self.entries.insert(
+            id,
+            BlobEntry {
+                id,
+                producer,
+                spec,
+                size,
+                payload: Payload::Virtual,
+                ready: false,
+                last_access: self.clock,
+            },
+        );
+        self.used += size;
+        Ok(id)
+    }
+
+    /// Publishes a previously `malloc`ed blob with its final payload; it is
+    /// now visible to lookups and eligible for eviction.
+    pub fn commit(&mut self, blob: BlobId, payload: Payload) {
+        let e = self
+            .entries
+            .get_mut(&blob)
+            .unwrap_or_else(|| panic!("commit of unknown blob {blob}"));
+        assert!(!e.ready, "double commit of {blob}");
+        if let Some(len) = payload.len() {
+            debug_assert_eq!(
+                len as u64, e.size,
+                "committed payload size differs from reservation"
+            );
+        }
+        e.payload = payload;
+        e.ready = true;
+        self.stats.committed += 1;
+    }
+
+    /// Convenience: `malloc` + `commit` in one step (used by tests and by
+    /// engines that compute results before caching them).
+    pub fn insert(
+        &mut self,
+        producer: QueryId,
+        spec: S,
+        size: u64,
+        payload: Payload,
+        evicted: &mut Vec<(BlobId, QueryId)>,
+    ) -> Result<BlobId, DsError> {
+        let id = self.malloc(producer, spec, size, evicted)?;
+        self.commit(id, payload);
+        Ok(id)
+    }
+
+    /// Drops an uncommitted reservation (producing query aborted).
+    pub fn abort(&mut self, blob: BlobId) {
+        if let Some(e) = self.entries.get(&blob) {
+            assert!(!e.ready, "abort of committed blob {blob}");
+            self.remove(blob);
+        }
+    }
+
+    /// Looks up a blob whose predicate `cmp`-matches `probe` exactly
+    /// (complete reuse). Touches the blob for LRU on hit. Updates hit/miss
+    /// statistics; callers interested in partial reuse should use
+    /// [`DataStore::lookup`] instead, which checks both.
+    pub fn lookup_exact(&mut self, probe: &S) -> Option<Match> {
+        let hit = self
+            .entries
+            .values()
+            .filter(|e| e.visible())
+            .find(|e| e.spec.cmp(probe))
+            .map(|e| (e.id, e.producer, e.spec.qoutsize()));
+        match hit {
+            Some((id, producer, size)) => {
+                self.touch(id);
+                self.stats.exact_hits += 1;
+                Some(Match {
+                    blob: id,
+                    producer,
+                    overlap: 1.0,
+                    reuse_bytes: size,
+                })
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The paper's `lookup`: finds cached results that can answer `probe`
+    /// completely or partially. Returns matches sorted by descending
+    /// reusable bytes; an exact (`cmp`) match, if any, is always first with
+    /// `overlap == 1.0`. Touches every returned blob.
+    pub fn lookup(&mut self, probe: &S) -> Vec<Match> {
+        self.lookup_filtered(probe, None)
+    }
+
+    /// Like [`DataStore::lookup`], but restricted to `candidates` when
+    /// given — the hook used by the Index Manager's spatially indexed
+    /// store, which can prove all other blobs have zero overlap.
+    pub fn lookup_filtered(&mut self, probe: &S, candidates: Option<&[BlobId]>) -> Vec<Match> {
+        let mut matches: Vec<Match> = Vec::new();
+        let mut exact: Option<Match> = None;
+        let candidate_entries: Vec<&BlobEntry<S>> = match candidates {
+            Some(ids) => ids
+                .iter()
+                .filter_map(|id| self.entries.get(id))
+                .filter(|e| e.visible())
+                .collect(),
+            None => self.entries.values().filter(|e| e.visible()).collect(),
+        };
+        for e in candidate_entries {
+            if exact.is_none() && e.spec.cmp(probe) {
+                exact = Some(Match {
+                    blob: e.id,
+                    producer: e.producer,
+                    overlap: 1.0,
+                    reuse_bytes: e.spec.qoutsize(),
+                });
+                continue;
+            }
+            let ov = e.spec.overlap(probe);
+            if ov > 0.0 {
+                matches.push(Match {
+                    blob: e.id,
+                    producer: e.producer,
+                    overlap: ov,
+                    reuse_bytes: e.spec.reuse_bytes(probe),
+                });
+            }
+        }
+        matches.sort_by(|a, b| {
+            b.reuse_bytes
+                .cmp(&a.reuse_bytes)
+                .then(a.blob.cmp(&b.blob))
+        });
+        if let Some(x) = exact {
+            matches.insert(0, x);
+            self.stats.exact_hits += 1;
+        } else if !matches.is_empty() {
+            self.stats.partial_hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        let ids: Vec<BlobId> = matches.iter().map(|m| m.blob).collect();
+        for id in ids {
+            self.touch(id);
+        }
+        matches
+    }
+
+    /// Reads an entry.
+    pub fn get(&self, blob: BlobId) -> Option<&BlobEntry<S>> {
+        self.entries.get(&blob)
+    }
+
+    /// Marks a blob as used now (LRU bookkeeping).
+    pub fn touch(&mut self, blob: BlobId) {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&blob) {
+            e.last_access = self.clock;
+        }
+    }
+
+    /// Removes an entry, releasing its bytes; returns it.
+    pub fn remove(&mut self, blob: BlobId) -> Option<BlobEntry<S>> {
+        let e = self.entries.remove(&blob)?;
+        self.used -= e.size;
+        Some(e)
+    }
+
+    /// Iterates over all visible entries (test/diagnostic aid).
+    pub fn iter_visible(&self) -> impl Iterator<Item = &BlobEntry<S>> {
+        self.entries.values().filter(|e| e.visible())
+    }
+
+    fn pick_victim(&self) -> Option<BlobId> {
+        let candidates = self.entries.values().filter(|e| e.ready);
+        match self.policy {
+            EvictionPolicy::Lru => candidates.min_by_key(|e| e.last_access).map(|e| e.id),
+            EvictionPolicy::Mru => candidates.max_by_key(|e| e.last_access).map(|e| e.id),
+            EvictionPolicy::LargestFirst => candidates
+                .max_by_key(|e| (e.size, u64::MAX - e.last_access))
+                .map(|e| e.id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmqs_core::spec::testutil::IntervalSpec;
+
+    fn spec(start: u64, len: u64, scale: u64) -> IntervalSpec {
+        IntervalSpec::new(start, len, scale)
+    }
+
+    fn store(budget: u64) -> DataStore<IntervalSpec> {
+        DataStore::new(budget)
+    }
+
+    #[test]
+    fn insert_and_exact_lookup() {
+        let mut ds = store(1000);
+        let mut ev = Vec::new();
+        let s = spec(0, 100, 1);
+        ds.insert(QueryId(1), s.clone(), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        assert!(ev.is_empty());
+        let m = ds.lookup_exact(&s).unwrap();
+        assert_eq!(m.overlap, 1.0);
+        assert_eq!(m.producer, QueryId(1));
+        assert!(ds.lookup_exact(&spec(999, 5, 1)).is_none());
+        assert_eq!(ds.stats().exact_hits, 1);
+        assert_eq!(ds.stats().misses, 1);
+    }
+
+    #[test]
+    fn uncommitted_blobs_invisible_and_unevictable() {
+        let mut ds = store(100);
+        let mut ev = Vec::new();
+        let s = spec(0, 100, 1);
+        let blob = ds.malloc(QueryId(1), s.clone(), 100, &mut ev).unwrap();
+        assert!(ds.lookup_exact(&s).is_none());
+        // A second allocation cannot evict the uncommitted one.
+        assert_eq!(
+            ds.malloc(QueryId(2), spec(200, 50, 1), 50, &mut ev),
+            Err(DsError::Busy)
+        );
+        ds.commit(blob, Payload::Virtual);
+        assert!(ds.lookup_exact(&s).is_some());
+        // Now eviction is possible.
+        assert!(ds.malloc(QueryId(2), spec(200, 50, 1), 50, &mut ev).is_ok());
+        assert_eq!(ev, vec![(blob, QueryId(1))]);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let mut ds = store(0);
+        let mut ev = Vec::new();
+        assert_eq!(
+            ds.insert(QueryId(1), spec(0, 10, 1), 10, Payload::Virtual, &mut ev),
+            Err(DsError::TooLarge)
+        );
+        assert_eq!(ds.stats().rejected, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut ds = store(300);
+        let mut ev = Vec::new();
+        let a = ds
+            .insert(QueryId(1), spec(0, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        let _b = ds
+            .insert(QueryId(2), spec(1000, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        let _c = ds
+            .insert(QueryId(3), spec(2000, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        // Touch a so b becomes the LRU victim.
+        ds.touch(a);
+        ds.insert(QueryId(4), spec(3000, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].1, QueryId(2));
+        assert_eq!(ds.used(), 300);
+    }
+
+    #[test]
+    fn largest_first_evicts_biggest() {
+        let mut ds: DataStore<IntervalSpec> =
+            DataStore::with_policy(300, EvictionPolicy::LargestFirst);
+        let mut ev = Vec::new();
+        ds.insert(QueryId(1), spec(0, 200, 1), 200, Payload::Virtual, &mut ev)
+            .unwrap();
+        ds.insert(QueryId(2), spec(1000, 50, 1), 50, Payload::Virtual, &mut ev)
+            .unwrap();
+        ds.insert(QueryId(3), spec(2000, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].1, QueryId(1));
+    }
+
+    #[test]
+    fn mru_evicts_most_recent() {
+        let mut ds: DataStore<IntervalSpec> = DataStore::with_policy(200, EvictionPolicy::Mru);
+        let mut ev = Vec::new();
+        ds.insert(QueryId(1), spec(0, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        ds.insert(QueryId(2), spec(1000, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        ds.insert(QueryId(3), spec(2000, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        assert_eq!(ev[0].1, QueryId(2));
+    }
+
+    #[test]
+    fn lookup_orders_partial_matches_by_reuse_bytes() {
+        let mut ds = store(10_000);
+        let mut ev = Vec::new();
+        // Three cached results overlapping the probe [0, 100) by different
+        // amounts.
+        ds.insert(QueryId(1), spec(90, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap(); // 10 bytes reuse
+        ds.insert(QueryId(2), spec(40, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap(); // 60 bytes
+        ds.insert(QueryId(3), spec(70, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap(); // 30 bytes
+        let probe = spec(0, 100, 1);
+        let ms = ds.lookup(&probe);
+        assert_eq!(ms.len(), 3);
+        let producers: Vec<QueryId> = ms.iter().map(|m| m.producer).collect();
+        assert_eq!(producers, vec![QueryId(2), QueryId(3), QueryId(1)]);
+        assert_eq!(ds.stats().partial_hits, 1);
+    }
+
+    #[test]
+    fn lookup_puts_exact_match_first() {
+        let mut ds = store(10_000);
+        let mut ev = Vec::new();
+        ds.insert(QueryId(1), spec(0, 200, 1), 200, Payload::Virtual, &mut ev)
+            .unwrap(); // superset, large reuse
+        ds.insert(QueryId(2), spec(0, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap(); // exact
+        let ms = ds.lookup(&spec(0, 100, 1));
+        assert_eq!(ms[0].producer, QueryId(2));
+        assert_eq!(ms[0].overlap, 1.0);
+        assert_eq!(ds.stats().exact_hits, 1);
+    }
+
+    #[test]
+    fn lookup_miss_counts() {
+        let mut ds = store(1000);
+        assert!(ds.lookup(&spec(0, 10, 1)).is_empty());
+        assert_eq!(ds.stats().misses, 1);
+    }
+
+    #[test]
+    fn abort_releases_reservation() {
+        let mut ds = store(100);
+        let mut ev = Vec::new();
+        let b = ds.malloc(QueryId(1), spec(0, 100, 1), 100, &mut ev).unwrap();
+        ds.abort(b);
+        assert_eq!(ds.used(), 0);
+        assert!(ds.malloc(QueryId(2), spec(0, 100, 1), 100, &mut ev).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "double commit")]
+    fn double_commit_panics() {
+        let mut ds = store(100);
+        let mut ev = Vec::new();
+        let b = ds.malloc(QueryId(1), spec(0, 10, 1), 10, &mut ev).unwrap();
+        ds.commit(b, Payload::Virtual);
+        ds.commit(b, Payload::Virtual);
+    }
+
+    #[test]
+    fn eviction_cascade_frees_enough_for_large_alloc() {
+        let mut ds = store(300);
+        let mut ev = Vec::new();
+        for i in 0..3 {
+            ds.insert(
+                QueryId(i),
+                spec(i * 1000, 100, 1),
+                100,
+                Payload::Virtual,
+                &mut ev,
+            )
+            .unwrap();
+        }
+        ds.insert(QueryId(9), spec(9000, 250, 1), 250, Payload::Virtual, &mut ev)
+            .unwrap();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ds.used(), 250);
+        assert_eq!(ds.stats().bytes_evicted, 300);
+    }
+
+    #[test]
+    fn used_accounting_tracks_remove() {
+        let mut ds = store(1000);
+        let mut ev = Vec::new();
+        let b = ds
+            .insert(QueryId(1), spec(0, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        assert_eq!(ds.used(), 100);
+        assert_eq!(ds.len(), 1);
+        ds.remove(b);
+        assert_eq!(ds.used(), 0);
+        assert!(ds.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Calibrated CPU cost model for the discrete-event simulator.
+//!
+//! The paper reports whole-query CPU:I/O time ratios measured on its SMP:
+//! ≈0.04–0.06 for the subsampling implementation (I/O-intensive) and ≈1:1
+//! for pixel averaging (balanced). Those ratios are *inputs* to the
+//! experiment design — they determine where the thread-scaling knee falls
+//! (Fig. 4) — so the simulator uses a cost model calibrated to them rather
+//! than measuring this machine's unrelated hardware.
+
+use crate::query::VmOp;
+use vmqs_storage::DiskModel;
+
+/// Per-operation CPU costs in seconds per *input* byte scanned, plus the
+/// cost of the `project` transformation per *output* byte produced.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VmCostModel {
+    /// CPU seconds per input byte for subsampling.
+    pub subsample_per_byte: f64,
+    /// CPU seconds per input byte for pixel averaging.
+    pub average_per_byte: f64,
+    /// CPU seconds per reused output byte for `project` (a strided copy or
+    /// small reduction — far cheaper than recomputation from raw chunks).
+    pub project_per_byte: f64,
+    /// Fixed per-query planning overhead in CPU seconds (index lookup,
+    /// graph bookkeeping).
+    pub planning_overhead: f64,
+}
+
+impl VmCostModel {
+    /// Calibrates CPU rates against a disk model so the whole-query
+    /// CPU:I/O ratios match the paper: `ratio ≈ cpu_time / io_time` with
+    /// `io_time ≈ bytes / bandwidth` for large streaming reads.
+    pub fn calibrated(disk: &DiskModel) -> Self {
+        let seconds_per_byte_io = 1.0 / disk.bandwidth;
+        VmCostModel {
+            subsample_per_byte: 0.05 * seconds_per_byte_io,
+            average_per_byte: 1.0 * seconds_per_byte_io,
+            // Projection touches each reused output byte once at roughly
+            // memory-copy speed; vanishingly cheap next to recomputation.
+            project_per_byte: 0.01 * seconds_per_byte_io,
+            planning_overhead: 1e-4,
+        }
+    }
+
+    /// CPU seconds to process `input_bytes` of chunk data with `op`.
+    pub fn compute_time(&self, op: VmOp, input_bytes: u64) -> f64 {
+        let per = match op {
+            VmOp::Subsample => self.subsample_per_byte,
+            VmOp::Average => self.average_per_byte,
+        };
+        per * input_bytes as f64
+    }
+
+    /// CPU seconds to project `reused_output_bytes` from a cached result.
+    pub fn project_time(&self, reused_output_bytes: u64) -> f64 {
+        self.project_per_byte * reused_output_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_paper_ratios() {
+        let disk = DiskModel::circa_2002();
+        let m = VmCostModel::calibrated(&disk);
+        let bytes = 100 * 65536u64;
+        // Ignore seeks for the ratio check (streaming read).
+        let io = bytes as f64 / disk.bandwidth;
+        let cpu_sub = m.compute_time(VmOp::Subsample, bytes);
+        let cpu_avg = m.compute_time(VmOp::Average, bytes);
+        let r_sub = cpu_sub / io;
+        let r_avg = cpu_avg / io;
+        assert!(
+            (0.04..=0.06).contains(&r_sub),
+            "subsample ratio {r_sub} outside the paper's 0.04–0.06"
+        );
+        assert!((0.9..=1.1).contains(&r_avg), "average ratio {r_avg} not ~1:1");
+    }
+
+    #[test]
+    fn projection_much_cheaper_than_recomputation() {
+        let m = VmCostModel::calibrated(&DiskModel::circa_2002());
+        let out_bytes = 3 * 1024 * 1024u64;
+        // Reusing 3 MB of output must be far cheaper than recomputing it
+        // from a 16x larger input scan.
+        assert!(m.project_time(out_bytes) < 0.1 * m.compute_time(VmOp::Subsample, 16 * out_bytes));
+    }
+}

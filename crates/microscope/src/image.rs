@@ -1,0 +1,196 @@
+//! RGB output images assembled by query execution.
+
+use crate::dataset::BYTES_PER_PIXEL;
+
+/// A dense row-major RGB image (3 bytes per pixel).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RgbImage {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major RGB samples, `width * height * 3` bytes.
+    pub data: Vec<u8>,
+}
+
+impl RgbImage {
+    /// Creates a black (zeroed) image.
+    pub fn new(width: u32, height: u32) -> Self {
+        RgbImage {
+            width,
+            height,
+            data: vec![0; width as usize * height as usize * BYTES_PER_PIXEL as usize],
+        }
+    }
+
+    /// Total byte size.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    fn offset(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height, "pixel out of bounds");
+        (y as usize * self.width as usize + x as usize) * BYTES_PER_PIXEL as usize
+    }
+
+    /// Reads pixel `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> [u8; 3] {
+        let o = self.offset(x, y);
+        [self.data[o], self.data[o + 1], self.data[o + 2]]
+    }
+
+    /// Writes pixel `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, px: [u8; 3]) {
+        let o = self.offset(x, y);
+        self.data[o] = px[0];
+        self.data[o + 1] = px[1];
+        self.data[o + 2] = px[2];
+    }
+
+    /// Copies a rectangular block from `src` (at `(sx, sy)`) into `self`
+    /// (at `(dx, dy)`), `w × h` pixels. The blocks must be in bounds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn blit(&mut self, dx: u32, dy: u32, src: &RgbImage, sx: u32, sy: u32, w: u32, h: u32) {
+        assert!(dx + w <= self.width && dy + h <= self.height, "dst block out of bounds");
+        assert!(sx + w <= src.width && sy + h <= src.height, "src block out of bounds");
+        let row_bytes = w as usize * BYTES_PER_PIXEL as usize;
+        for row in 0..h {
+            let soff = src.offset(sx, sy + row);
+            let doff = self.offset(dx, dy + row);
+            self.data[doff..doff + row_bytes].copy_from_slice(&src.data[soff..soff + row_bytes]);
+        }
+    }
+}
+
+/// A borrowed view of RGB pixel data — lets callers project directly from
+/// cached blob bytes (shared `Arc<Vec<u8>>`) without copying them into an
+/// owned [`RgbImage`].
+#[derive(Clone, Copy, Debug)]
+pub struct RgbView<'a> {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major RGB samples, `width * height * 3` bytes.
+    pub data: &'a [u8],
+}
+
+impl<'a> RgbView<'a> {
+    /// Wraps raw bytes; panics when the length does not match the
+    /// dimensions.
+    pub fn new(width: u32, height: u32, data: &'a [u8]) -> Self {
+        assert_eq!(
+            data.len(),
+            width as usize * height as usize * BYTES_PER_PIXEL as usize,
+            "pixel data length does not match dimensions"
+        );
+        RgbView {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Reads pixel `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> [u8; 3] {
+        debug_assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let o = (y as usize * self.width as usize + x as usize) * BYTES_PER_PIXEL as usize;
+        [self.data[o], self.data[o + 1], self.data[o + 2]]
+    }
+}
+
+impl RgbImage {
+    /// Borrows the image as a view.
+    pub fn view(&self) -> RgbView<'_> {
+        RgbView {
+            width: self.width,
+            height: self.height,
+            data: &self.data,
+        }
+    }
+
+    /// Writes the image as a binary PPM (P6) file — the simplest portable
+    /// format, viewable by practically any image tool.
+    pub fn write_ppm<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write!(f, "P6\n{} {}\n255\n", self.width, self.height)?;
+        f.write_all(&self.data)?;
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_reads_same_pixels() {
+        let mut img = RgbImage::new(3, 2);
+        img.set(2, 1, [5, 6, 7]);
+        let v = img.view();
+        assert_eq!(v.get(2, 1), [5, 6, 7]);
+        assert_eq!(v.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn view_length_checked() {
+        RgbView::new(2, 2, &[0u8; 5]);
+    }
+
+    #[test]
+    fn ppm_roundtrip_header_and_bytes() {
+        let mut img = RgbImage::new(2, 1);
+        img.set(0, 0, [1, 2, 3]);
+        img.set(1, 0, [4, 5, 6]);
+        let path = std::env::temp_dir().join(format!("vmqs_ppm_{}.ppm", std::process::id()));
+        img.write_ppm(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..11], b"P6\n2 1\n255\n");
+        assert_eq!(&bytes[11..], &[1, 2, 3, 4, 5, 6]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn new_image_is_black() {
+        let img = RgbImage::new(4, 3);
+        assert_eq!(img.byte_len(), 36);
+        assert_eq!(img.get(3, 2), [0, 0, 0]);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = RgbImage::new(2, 2);
+        img.set(1, 0, [7, 8, 9]);
+        assert_eq!(img.get(1, 0), [7, 8, 9]);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn blit_copies_block() {
+        let mut src = RgbImage::new(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                src.set(x, y, [x as u8, y as u8, 42]);
+            }
+        }
+        let mut dst = RgbImage::new(4, 4);
+        dst.blit(1, 1, &src, 2, 2, 2, 2);
+        assert_eq!(dst.get(1, 1), [2, 2, 42]);
+        assert_eq!(dst.get(2, 2), [3, 3, 42]);
+        assert_eq!(dst.get(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn blit_bounds_checked() {
+        let src = RgbImage::new(2, 2);
+        let mut dst = RgbImage::new(2, 2);
+        dst.blit(1, 1, &src, 0, 0, 2, 2);
+    }
+}

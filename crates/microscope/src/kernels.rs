@@ -1,0 +1,404 @@
+//! Processing kernels: subsampling, pixel averaging, and the `project`
+//! data transformation (paper §2 Eq. 3 and §3, Fig. 2).
+//!
+//! All kernels operate per retrieved chunk so that query execution can
+//! interleave I/O and computation chunk by chunk, exactly as the paper's
+//! runtime does: a retrieved chunk is *clipped* to the query window and
+//! then *processed* into the output image at the desired magnification.
+//!
+//! Alignment invariants from [`VmQuery`] (window origin/size are multiples
+//! of the zoom) guarantee that `project` — computing part of one query's
+//! output from another's cached output — is exact, never resampled.
+
+use crate::dataset::BYTES_PER_PIXEL;
+use crate::image::RgbImage;
+use crate::query::{VmOp, VmQuery};
+use vmqs_core::Rect;
+
+/// Writes into `out` every output pixel of `query` whose source sample
+/// point falls inside `chunk_rect`, reading samples from `chunk_data`
+/// (the chunk's pixels, row-major, `chunk_rect.w` wide).
+///
+/// `out` must be the full output image of `query`
+/// (`query.output_dims()`-sized, origin at the window's top-left).
+pub fn subsample_chunk(out: &mut RgbImage, query: &VmQuery, chunk_rect: Rect, chunk_data: &[u8]) {
+    let z = query.zoom;
+    let region = query.region;
+    let inter = match region.intersect(&chunk_rect) {
+        Some(i) => i,
+        None => return,
+    };
+    // Output pixels whose sample point (region.x + ox·z, region.y + oy·z)
+    // lies inside the intersection. region.x is z-aligned.
+    let ox0 = (inter.x - region.x).div_ceil(z);
+    let ox1 = (inter.x1() - 1 - region.x) / z;
+    let oy0 = (inter.y - region.y).div_ceil(z);
+    let oy1 = (inter.y1() - 1 - region.y) / z;
+    for oy in oy0..=oy1 {
+        let by = region.y + oy * z;
+        for ox in ox0..=ox1 {
+            let bx = region.x + ox * z;
+            let off = ((by - chunk_rect.y) as usize * chunk_rect.w as usize
+                + (bx - chunk_rect.x) as usize)
+                * BYTES_PER_PIXEL as usize;
+            out.set(ox, oy, [chunk_data[off], chunk_data[off + 1], chunk_data[off + 2]]);
+        }
+    }
+}
+
+/// Running sums for pixel averaging. One query execution owns one
+/// accumulator; each retrieved chunk adds its clipped pixels; `finalize`
+/// divides. Accumulating per chunk makes averaging windows that straddle
+/// chunk boundaries exact.
+#[derive(Debug)]
+pub struct AvgAccumulator {
+    width: u32,
+    height: u32,
+    sums: Vec<u64>,
+    counts: Vec<u32>,
+}
+
+impl AvgAccumulator {
+    /// Creates a zeroed accumulator for `query`'s output.
+    pub fn new(query: &VmQuery) -> Self {
+        let (w, h) = query.output_dims();
+        AvgAccumulator {
+            width: w,
+            height: h,
+            sums: vec![0; w as usize * h as usize * BYTES_PER_PIXEL as usize],
+            counts: vec![0; w as usize * h as usize],
+        }
+    }
+
+    /// Adds every pixel of `chunk_rect ∩ query.region` to the accumulator
+    /// of the output pixel whose N×N window contains it.
+    pub fn accumulate_chunk(&mut self, query: &VmQuery, chunk_rect: Rect, chunk_data: &[u8]) {
+        let z = query.zoom;
+        let region = query.region;
+        let inter = match region.intersect(&chunk_rect) {
+            Some(i) => i,
+            None => return,
+        };
+        for by in inter.y..inter.y1() {
+            let oy = (by - region.y) / z;
+            for bx in inter.x..inter.x1() {
+                let ox = (bx - region.x) / z;
+                let src = ((by - chunk_rect.y) as usize * chunk_rect.w as usize
+                    + (bx - chunk_rect.x) as usize)
+                    * BYTES_PER_PIXEL as usize;
+                let pix = oy as usize * self.width as usize + ox as usize;
+                let dst = pix * BYTES_PER_PIXEL as usize;
+                self.sums[dst] += chunk_data[src] as u64;
+                self.sums[dst + 1] += chunk_data[src + 1] as u64;
+                self.sums[dst + 2] += chunk_data[src + 2] as u64;
+                self.counts[pix] += 1;
+            }
+        }
+    }
+
+    /// Divides sums by counts, producing the output image. Pixels that
+    /// received no samples stay black.
+    pub fn finalize(self) -> RgbImage {
+        let mut img = RgbImage::new(self.width, self.height);
+        for pix in 0..self.counts.len() {
+            let n = self.counts[pix] as u64;
+            if n == 0 {
+                continue;
+            }
+            let s = pix * BYTES_PER_PIXEL as usize;
+            for c in 0..BYTES_PER_PIXEL as usize {
+                img.data[s + c] = (self.sums[s + c] / n) as u8;
+            }
+        }
+        img
+    }
+}
+
+/// Computes a query's full output from its chunks, fetching each needed
+/// chunk's page via `fetch(chunk_index) -> page bytes`. This is the
+/// from-raw-data execution path shared by the threaded server and tests.
+pub fn compute_from_chunks<F>(query: &VmQuery, mut fetch: F) -> RgbImage
+where
+    F: FnMut(u64) -> std::sync::Arc<Vec<u8>>,
+{
+    let chunks = query.slide.chunks_intersecting(&query.region);
+    match query.op {
+        VmOp::Subsample => {
+            let (w, h) = query.output_dims();
+            let mut out = RgbImage::new(w, h);
+            for idx in chunks {
+                let rect = query.slide.chunk_rect(idx);
+                let page = fetch(idx);
+                subsample_chunk(&mut out, query, rect, &page);
+            }
+            out
+        }
+        VmOp::Average => {
+            let mut acc = AvgAccumulator::new(query);
+            for idx in chunks {
+                let rect = query.slide.chunk_rect(idx);
+                let page = fetch(idx);
+                acc.accumulate_chunk(query, rect, &page);
+            }
+            acc.finalize()
+        }
+    }
+}
+
+/// The `project` transformation (Eq. 3): fills the part of `target`'s
+/// output derivable from `src_query`'s cached output `src_img`, writing
+/// into `out` (the full output image of `target`). Returns the covered
+/// base-resolution rectangle (zoom-aligned to `target`), or `None` when
+/// nothing is derivable.
+///
+/// For subsampling the projection picks every `(target.zoom /
+/// src.zoom)`-th cached pixel; for averaging it averages each
+/// factor×factor block of cached averages — exact because aligned
+/// averaging blocks nest.
+pub fn project(
+    out: &mut RgbImage,
+    target: &VmQuery,
+    src_query: &VmQuery,
+    src_img: crate::image::RgbView<'_>,
+) -> Option<Rect> {
+    let coverage = src_query.aligned_coverage(target)?;
+    let tz = target.zoom;
+    let sz = src_query.zoom;
+    let factor = tz / sz;
+    debug_assert!(factor >= 1);
+    let (sw, sh) = src_query.output_dims();
+    debug_assert_eq!(src_img.width, sw);
+    debug_assert_eq!(src_img.height, sh);
+
+    for by in (coverage.y..coverage.y1()).step_by(tz as usize) {
+        let oy = (by - target.region.y) / tz;
+        let sy0 = (by - src_query.region.y) / sz;
+        for bx in (coverage.x..coverage.x1()).step_by(tz as usize) {
+            let ox = (bx - target.region.x) / tz;
+            let sx0 = (bx - src_query.region.x) / sz;
+            let px = match target.op {
+                VmOp::Subsample => src_img.get(sx0, sy0),
+                VmOp::Average => {
+                    let mut sums = [0u64; 3];
+                    for dy in 0..factor {
+                        for dx in 0..factor {
+                            let p = src_img.get(sx0 + dx, sy0 + dy);
+                            sums[0] += p[0] as u64;
+                            sums[1] += p[1] as u64;
+                            sums[2] += p[2] as u64;
+                        }
+                    }
+                    let n = (factor * factor) as u64;
+                    [
+                        (sums[0] / n) as u8,
+                        (sums[1] / n) as u8,
+                        (sums[2] / n) as u8,
+                    ]
+                }
+            };
+            out.set(ox, oy, px);
+        }
+    }
+    Some(coverage)
+}
+
+/// Reference renderer: computes `query`'s output directly from the
+/// synthetic ground-truth pixel function, bypassing chunks, pages, and
+/// caches. The oracle for every execution-path test.
+pub fn reference_render(query: &VmQuery) -> RgbImage {
+    let (w, h) = query.output_dims();
+    let z = query.zoom;
+    let mut img = RgbImage::new(w, h);
+    for oy in 0..h {
+        for ox in 0..w {
+            let bx = query.region.x + ox * z;
+            let by = query.region.y + oy * z;
+            let px = match query.op {
+                VmOp::Subsample => query.slide.synthetic_pixel(bx, by),
+                VmOp::Average => {
+                    let mut sums = [0u64; 3];
+                    for dy in 0..z {
+                        for dx in 0..z {
+                            let p = query.slide.synthetic_pixel(bx + dx, by + dy);
+                            sums[0] += p[0] as u64;
+                            sums[1] += p[1] as u64;
+                            sums[2] += p[2] as u64;
+                        }
+                    }
+                    let n = (z * z) as u64;
+                    [
+                        (sums[0] / n) as u8,
+                        (sums[1] / n) as u8,
+                        (sums[2] / n) as u8,
+                    ]
+                }
+            };
+            img.set(ox, oy, px);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{SlideDataset, PAGE_SIZE};
+    use std::sync::Arc;
+    use vmqs_core::DatasetId;
+    use vmqs_storage::{DataSource, SyntheticSource};
+
+    fn slide() -> SlideDataset {
+        SlideDataset::new(DatasetId(0), 600, 600)
+    }
+
+    fn fetch_real(q: &VmQuery) -> impl FnMut(u64) -> Arc<Vec<u8>> + '_ {
+        let src = SyntheticSource::new();
+        let id = q.slide.id;
+        move |idx| Arc::new(src.read_page(id, idx, PAGE_SIZE).unwrap())
+    }
+
+    #[test]
+    fn subsample_matches_reference_single_chunk() {
+        let q = VmQuery::new(slide(), Rect::new(8, 8, 64, 64), 2, VmOp::Subsample);
+        let got = compute_from_chunks(&q, fetch_real(&q));
+        assert_eq!(got, reference_render(&q));
+    }
+
+    #[test]
+    fn subsample_matches_reference_across_chunk_boundaries() {
+        // Window straddles the chunk boundary at 147 in both axes.
+        let q = VmQuery::new(slide(), Rect::new(100, 100, 96, 96), 4, VmOp::Subsample);
+        let got = compute_from_chunks(&q, fetch_real(&q));
+        assert_eq!(got, reference_render(&q));
+    }
+
+    #[test]
+    fn subsample_zoom1_is_identity_crop() {
+        let q = VmQuery::new(slide(), Rect::new(140, 140, 16, 16), 1, VmOp::Subsample);
+        let got = compute_from_chunks(&q, fetch_real(&q));
+        let r = reference_render(&q);
+        assert_eq!(got, r);
+        assert_eq!(got.get(0, 0), q.slide.synthetic_pixel(140, 140));
+    }
+
+    #[test]
+    fn average_matches_reference_single_chunk() {
+        let q = VmQuery::new(slide(), Rect::new(0, 0, 32, 32), 4, VmOp::Average);
+        let got = compute_from_chunks(&q, fetch_real(&q));
+        assert_eq!(got, reference_render(&q));
+    }
+
+    #[test]
+    fn average_matches_reference_across_chunk_boundaries() {
+        // Averaging windows straddle the 147-pixel chunk boundary; the
+        // accumulator must combine samples from up to four chunks.
+        let q = VmQuery::new(slide(), Rect::new(136, 136, 24, 24), 8, VmOp::Average);
+        let got = compute_from_chunks(&q, fetch_real(&q));
+        assert_eq!(got, reference_render(&q));
+    }
+
+    #[test]
+    fn project_same_zoom_is_copy() {
+        let s = slide();
+        let cached = VmQuery::new(s, Rect::new(0, 0, 200, 200), 2, VmOp::Subsample);
+        let cached_img = compute_from_chunks(&cached, fetch_real(&cached));
+        let target = VmQuery::new(s, Rect::new(100, 100, 200, 200), 2, VmOp::Subsample);
+        let (w, h) = target.output_dims();
+        let mut out = RgbImage::new(w, h);
+        let cov = project(&mut out, &target, &cached, cached_img.view()).unwrap();
+        assert_eq!(cov, Rect::new(100, 100, 100, 100));
+        // Projected quadrant must match reference pixels.
+        let reference = reference_render(&target);
+        for oy in 0..50 {
+            for ox in 0..50 {
+                assert_eq!(out.get(ox, oy), reference.get(ox, oy), "pixel {ox},{oy}");
+            }
+        }
+    }
+
+    #[test]
+    fn project_subsample_zoom_change_matches_reference() {
+        let s = slide();
+        let cached = VmQuery::new(s, Rect::new(0, 0, 400, 400), 2, VmOp::Subsample);
+        let cached_img = compute_from_chunks(&cached, fetch_real(&cached));
+        let target = VmQuery::new(s, Rect::new(0, 0, 400, 400), 8, VmOp::Subsample);
+        let (w, h) = target.output_dims();
+        let mut out = RgbImage::new(w, h);
+        let cov = project(&mut out, &target, &cached, cached_img.view()).unwrap();
+        assert_eq!(cov, target.region);
+        assert_eq!(out, reference_render(&target));
+    }
+
+    #[test]
+    fn project_average_zoom_change_matches_direct_computation_closely() {
+        let s = slide();
+        let cached = VmQuery::new(s, Rect::new(0, 0, 160, 160), 2, VmOp::Average);
+        let cached_img = compute_from_chunks(&cached, fetch_real(&cached));
+        let target = VmQuery::new(s, Rect::new(0, 0, 160, 160), 8, VmOp::Average);
+        let (w, h) = target.output_dims();
+        let mut out = RgbImage::new(w, h);
+        project(&mut out, &target, &cached, cached_img.view()).unwrap();
+        // Averaging averages re-quantizes (integer division at each level),
+        // so allow ±4 per channel against the direct render.
+        let direct = reference_render(&target);
+        for oy in 0..h {
+            for ox in 0..w {
+                let a = out.get(ox, oy);
+                let b = direct.get(ox, oy);
+                for c in 0..3 {
+                    assert!(
+                        (a[c] as i32 - b[c] as i32).abs() <= 4,
+                        "pixel {ox},{oy} channel {c}: {} vs {}",
+                        a[c],
+                        b[c]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn project_incompatible_returns_none() {
+        let s = slide();
+        let cached = VmQuery::new(s, Rect::new(0, 0, 100, 100), 4, VmOp::Subsample);
+        let cached_img = RgbImage::new(25, 25);
+        let target = VmQuery::new(s, Rect::new(0, 0, 100, 100), 2, VmOp::Subsample);
+        let mut out = RgbImage::new(50, 50);
+        assert!(project(&mut out, &target, &cached, cached_img.view()).is_none());
+    }
+
+    #[test]
+    fn project_plus_subqueries_reconstruct_full_output() {
+        // End-to-end partial-reuse path: project what the cache covers,
+        // compute sub-queries for the rest, and verify the assembled image
+        // equals a from-scratch render.
+        let s = slide();
+        let cached = VmQuery::new(s, Rect::new(0, 0, 200, 400), 2, VmOp::Subsample);
+        let cached_img = compute_from_chunks(&cached, fetch_real(&cached));
+        let target = VmQuery::new(s, Rect::new(100, 0, 300, 400), 2, VmOp::Subsample);
+        let (w, h) = target.output_dims();
+        let mut out = RgbImage::new(w, h);
+        let cov = project(&mut out, &target, &cached, cached_img.view()).unwrap();
+        for sub in target.subqueries_for_remainder(&[cov]) {
+            let sub_img = compute_from_chunks(&sub, fetch_real(&sub));
+            // Paste the sub-query output into the final image.
+            let ox = (sub.region.x - target.region.x) / target.zoom;
+            let oy = (sub.region.y - target.region.y) / target.zoom;
+            let (sw, sh) = sub.output_dims();
+            out.blit(ox, oy, &sub_img, 0, 0, sw, sh);
+        }
+        assert_eq!(out, reference_render(&target));
+    }
+
+    #[test]
+    fn accumulator_counts_full_blocks() {
+        let q = VmQuery::new(slide(), Rect::new(0, 0, 16, 16), 4, VmOp::Average);
+        let mut acc = AvgAccumulator::new(&q);
+        let rect = q.slide.chunk_rect(0);
+        let page = SyntheticSource::new()
+            .read_page(q.slide.id, 0, PAGE_SIZE)
+            .unwrap();
+        acc.accumulate_chunk(&q, rect, &page);
+        assert!(acc.counts.iter().all(|&c| c == 16)); // 4x4 per output pixel
+    }
+}

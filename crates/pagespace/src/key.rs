@@ -1,0 +1,141 @@
+//! Page addressing and I/O run merging.
+//!
+//! All interaction with data sources happens in fixed-size pages (64 KB in
+//! the paper's Virtual Microscope deployment). The Page Space Manager
+//! reorders and merges the page requests of concurrent queries into
+//! contiguous runs to minimize I/O overhead (paper §2, "Page Space
+//! Manager").
+
+use vmqs_core::DatasetId;
+
+/// Identifies one fixed-size page of one dataset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PageKey {
+    /// Dataset the page belongs to.
+    pub dataset: DatasetId,
+    /// Zero-based page index within the dataset.
+    pub index: u64,
+}
+
+impl PageKey {
+    /// Creates a page key.
+    pub fn new(dataset: DatasetId, index: u64) -> Self {
+        PageKey { dataset, index }
+    }
+}
+
+/// A maximal run of contiguous pages of one dataset — the unit handed to
+/// the disk as a single I/O request after merging.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Run {
+    /// Dataset the run reads from.
+    pub dataset: DatasetId,
+    /// First page index.
+    pub start: u64,
+    /// Number of contiguous pages.
+    pub count: u64,
+}
+
+impl Run {
+    /// Total bytes transferred by this run given the page size.
+    pub fn bytes(&self, page_size: u64) -> u64 {
+        self.count * page_size
+    }
+
+    /// Iterates the page keys covered by the run.
+    pub fn pages(&self) -> impl Iterator<Item = PageKey> + '_ {
+        let ds = self.dataset;
+        (self.start..self.start + self.count).map(move |i| PageKey::new(ds, i))
+    }
+}
+
+/// Sorts page requests and merges adjacent/duplicate pages into maximal
+/// contiguous [`Run`]s per dataset. Duplicates are eliminated.
+pub fn merge_into_runs(pages: &[PageKey]) -> Vec<Run> {
+    if pages.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = pages.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut runs: Vec<Run> = Vec::new();
+    let mut cur = Run {
+        dataset: sorted[0].dataset,
+        start: sorted[0].index,
+        count: 1,
+    };
+    for p in &sorted[1..] {
+        if p.dataset == cur.dataset && p.index == cur.start + cur.count {
+            cur.count += 1;
+        } else {
+            runs.push(cur);
+            cur = Run {
+                dataset: p.dataset,
+                start: p.index,
+                count: 1,
+            };
+        }
+    }
+    runs.push(cur);
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pk(d: u64, i: u64) -> PageKey {
+        PageKey::new(DatasetId(d), i)
+    }
+
+    #[test]
+    fn empty_input_no_runs() {
+        assert!(merge_into_runs(&[]).is_empty());
+    }
+
+    #[test]
+    fn contiguous_pages_merge_into_one_run() {
+        let runs = merge_into_runs(&[pk(0, 3), pk(0, 1), pk(0, 2)]);
+        assert_eq!(
+            runs,
+            vec![Run {
+                dataset: DatasetId(0),
+                start: 1,
+                count: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn duplicates_are_eliminated() {
+        let runs = merge_into_runs(&[pk(0, 5), pk(0, 5), pk(0, 6)]);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].count, 2);
+    }
+
+    #[test]
+    fn gaps_split_runs() {
+        let runs = merge_into_runs(&[pk(0, 1), pk(0, 2), pk(0, 9)]);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].count, 2);
+        assert_eq!(runs[1].start, 9);
+    }
+
+    #[test]
+    fn different_datasets_never_merge() {
+        let runs = merge_into_runs(&[pk(0, 1), pk(1, 2)]);
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn run_pages_roundtrip() {
+        let run = Run {
+            dataset: DatasetId(2),
+            start: 4,
+            count: 3,
+        };
+        let pages: Vec<PageKey> = run.pages().collect();
+        assert_eq!(pages, vec![pk(2, 4), pk(2, 5), pk(2, 6)]);
+        assert_eq!(run.bytes(65536), 3 * 65536);
+    }
+}

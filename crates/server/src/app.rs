@@ -1,0 +1,180 @@
+//! The application contract for the *threaded* engine: real execution of
+//! one query given its cached reuse sources, with real I/O through the
+//! shared Page Space Manager.
+//!
+//! The scheduling graph, Data Store bookkeeping, blocking/deadlock
+//! avoidance, and thread-pool mechanics live in the engine; everything an
+//! application developer must supply — kernels, projection, sub-query
+//! assembly — lives behind [`AppExecutor`]. [`VmExecutor`] is the Virtual
+//! Microscope implementation; the §6 volume application implements the
+//! same trait in `vmqs-volume`.
+
+use crate::pages::SharedPageSpace;
+use std::sync::Arc;
+use vmqs_core::geom::subtract_all;
+use vmqs_core::{QuerySpec, Rect};
+use vmqs_microscope::kernels::{compute_from_chunks, project};
+use vmqs_microscope::{RgbImage, RgbView, VmQuery, BYTES_PER_PIXEL, PAGE_SIZE};
+
+/// The result of executing one query.
+#[derive(Debug)]
+pub struct AppOutcome {
+    /// The answer's raw bytes (the application's image encoding).
+    pub bytes: Vec<u8>,
+    /// Output bytes obtained by projecting cached results.
+    pub reused_bytes: u64,
+    /// Fraction of the output answered from cache, in `[0, 1]`.
+    pub covered_fraction: f64,
+    /// Pages requested from the Page Space Manager.
+    pub pages_requested: u64,
+}
+
+/// A data-analysis application runnable on the threaded engine.
+pub trait AppExecutor: Send + Sync + 'static {
+    /// The application's predicate type.
+    type Spec: QuerySpec + Copy + std::fmt::Debug;
+
+    /// Output image dimensions for a predicate (for clients assembling
+    /// the answer).
+    fn output_dims(&self, spec: &Self::Spec) -> (u32, u32);
+
+    /// Exact output byte length for a predicate.
+    fn output_len(&self, spec: &Self::Spec) -> usize;
+
+    /// Computes the full answer for `spec`: project from `sources`
+    /// (cached predicate + payload bytes, most-reusable first — exact
+    /// `cmp` matches are handled by the engine before this is called),
+    /// then compute the uncovered remainder reading pages through `ps`.
+    fn execute(
+        &self,
+        spec: &Self::Spec,
+        sources: &[(Self::Spec, Arc<Vec<u8>>)],
+        ps: &SharedPageSpace,
+    ) -> std::io::Result<AppOutcome>;
+}
+
+/// The Virtual Microscope's executor: 2-D greedy projection plus
+/// subsample/average kernels over chunk pages.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VmExecutor;
+
+impl AppExecutor for VmExecutor {
+    type Spec = VmQuery;
+
+    fn output_dims(&self, spec: &VmQuery) -> (u32, u32) {
+        spec.output_dims()
+    }
+
+    fn output_len(&self, spec: &VmQuery) -> usize {
+        spec.qoutsize() as usize
+    }
+
+    fn execute(
+        &self,
+        spec: &VmQuery,
+        sources: &[(VmQuery, Arc<Vec<u8>>)],
+        ps: &SharedPageSpace,
+    ) -> std::io::Result<AppOutcome> {
+        // Project partial matches (Eq. 3) greedily, best first.
+        let (w, h) = spec.output_dims();
+        let mut out = RgbImage::new(w, h);
+        let mut covered: Vec<Rect> = Vec::new();
+        let mut reused_px: u64 = 0;
+        for (src_spec, bytes) in sources {
+            let cov = match src_spec.aligned_coverage(spec) {
+                Some(c) => c,
+                None => continue,
+            };
+            let fresh = subtract_all(&cov, &covered);
+            if fresh.is_empty() {
+                continue;
+            }
+            let (sw, sh) = src_spec.output_dims();
+            let view = RgbView::new(sw, sh, bytes);
+            project(&mut out, spec, src_spec, view);
+            let z2 = spec.zoom as u64 * spec.zoom as u64;
+            for f in fresh {
+                reused_px += f.area() / z2;
+                covered.push(f);
+            }
+        }
+
+        // Sub-queries for the uncovered remainder, from raw chunks.
+        let mut pages_requested = 0u64;
+        for sub in spec.subqueries_for_remainder(&covered) {
+            let chunks = sub.slide.chunks_intersecting(&sub.region);
+            pages_requested += chunks.len() as u64;
+            // Prefetch the whole chunk set so overlapping requests merge.
+            ps.fetch_pages(sub.slide.id, &chunks)?;
+            let mut io_err = None;
+            let img = compute_from_chunks(&sub, |idx| match ps.read_page(sub.slide.id, idx) {
+                Ok(p) => p,
+                Err(e) => {
+                    io_err = Some(e);
+                    Arc::new(vec![0; PAGE_SIZE])
+                }
+            });
+            if let Some(e) = io_err {
+                return Err(e);
+            }
+            let ox = (sub.region.x - spec.region.x) / spec.zoom;
+            let oy = (sub.region.y - spec.region.y) / spec.zoom;
+            let (sw, sh) = sub.output_dims();
+            out.blit(ox, oy, &img, 0, 0, sw, sh);
+        }
+
+        let total_px = w as u64 * h as u64;
+        Ok(AppOutcome {
+            bytes: out.data,
+            reused_bytes: reused_px * BYTES_PER_PIXEL as u64,
+            covered_fraction: if total_px == 0 {
+                0.0
+            } else {
+                reused_px as f64 / total_px as f64
+            },
+            pages_requested,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmqs_core::DatasetId;
+    use vmqs_microscope::kernels::reference_render;
+    use vmqs_microscope::{SlideDataset, VmOp};
+    use vmqs_storage::SyntheticSource;
+
+    fn ps() -> SharedPageSpace {
+        SharedPageSpace::new(16 << 20, PAGE_SIZE, Arc::new(SyntheticSource::new()))
+    }
+
+    fn slide() -> SlideDataset {
+        SlideDataset::new(DatasetId(0), 1000, 1000)
+    }
+
+    #[test]
+    fn executes_from_scratch_to_reference() {
+        let spec = VmQuery::new(slide(), Rect::new(10, 10, 256, 256), 2, VmOp::Average);
+        let out = VmExecutor.execute(&spec, &[], &ps()).unwrap();
+        assert_eq!(out.bytes, reference_render(&spec).data);
+        assert_eq!(out.covered_fraction, 0.0);
+        assert!(out.pages_requested > 0);
+        assert_eq!(VmExecutor.output_len(&spec), out.bytes.len());
+        assert_eq!(VmExecutor.output_dims(&spec), (128, 128));
+    }
+
+    #[test]
+    fn executes_with_cached_source_to_reference() {
+        let ps = ps();
+        let cached = VmQuery::new(slide(), Rect::new(0, 0, 256, 512), 2, VmOp::Subsample);
+        let cached_out = VmExecutor.execute(&cached, &[], &ps).unwrap();
+        let target = VmQuery::new(slide(), Rect::new(128, 0, 384, 512), 2, VmOp::Subsample);
+        let out = VmExecutor
+            .execute(&target, &[(cached, Arc::new(cached_out.bytes))], &ps)
+            .unwrap();
+        assert_eq!(out.bytes, reference_render(&target).data);
+        assert!(out.covered_fraction > 0.2);
+        assert!(out.reused_bytes > 0);
+    }
+}

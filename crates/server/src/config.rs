@@ -1,0 +1,109 @@
+//! Server configuration.
+
+use vmqs_core::Strategy;
+use vmqs_datastore::EvictionPolicy;
+
+/// Configuration of the multithreaded query server.
+///
+/// Mirrors the knobs varied in the paper's evaluation: the ranking
+/// strategy, the size of the query thread pool ("the maximum number of
+/// concurrent queries allowed in the system"), and the memory allotted to
+/// the Data Store and Page Space managers.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Ranking strategy for the scheduling graph.
+    pub strategy: Strategy,
+    /// Query threads in the fixed-size pool (paper §2: "typically the
+    /// number of processors available in the SMP").
+    pub num_threads: usize,
+    /// Data Store Manager budget in bytes (0 disables result caching).
+    pub ds_budget: u64,
+    /// Page Space Manager budget in bytes.
+    pub ps_budget: u64,
+    /// Whether a query may block waiting for an EXECUTING query whose
+    /// result it can reuse (guarded by the deadlock-avoidance check). When
+    /// false, overlapping in-flight work is simply recomputed.
+    pub allow_blocking: bool,
+    /// Data Store eviction policy (LRU in the paper's system).
+    pub ds_policy: EvictionPolicy,
+}
+
+impl ServerConfig {
+    /// A small default suitable for tests and examples: 2 threads, 64 MB
+    /// DS, 32 MB PS (the paper's §5 memory configuration), CNBF.
+    pub fn small() -> Self {
+        ServerConfig {
+            strategy: Strategy::Cnbf,
+            num_threads: 2,
+            ds_budget: 64 << 20,
+            ps_budget: 32 << 20,
+            allow_blocking: true,
+            ds_policy: EvictionPolicy::Lru,
+        }
+    }
+
+    /// Builder-style strategy override.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style thread-count override.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one query thread required");
+        self.num_threads = n;
+        self
+    }
+
+    /// Builder-style Data Store budget override.
+    pub fn with_ds_budget(mut self, bytes: u64) -> Self {
+        self.ds_budget = bytes;
+        self
+    }
+
+    /// Builder-style Page Space budget override.
+    pub fn with_ps_budget(mut self, bytes: u64) -> Self {
+        self.ps_budget = bytes;
+        self
+    }
+
+    /// Builder-style blocking toggle.
+    pub fn with_blocking(mut self, allow: bool) -> Self {
+        self.allow_blocking = allow;
+        self
+    }
+
+    /// Builder-style Data Store eviction-policy override.
+    pub fn with_ds_policy(mut self, p: EvictionPolicy) -> Self {
+        self.ds_policy = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = ServerConfig::small()
+            .with_strategy(Strategy::Sjf)
+            .with_threads(4)
+            .with_ds_budget(1024)
+            .with_ps_budget(2048)
+            .with_blocking(false);
+        assert_eq!(c.strategy, Strategy::Sjf);
+        assert_eq!(c.num_threads, 4);
+        assert_eq!(c.ds_budget, 1024);
+        assert_eq!(c.ps_budget, 2048);
+        assert!(!c.allow_blocking);
+        let c2 = ServerConfig::small().with_ds_policy(EvictionPolicy::Mru);
+        assert_eq!(c2.ds_policy, EvictionPolicy::Mru);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_threads_rejected() {
+        ServerConfig::small().with_threads(0);
+    }
+}

@@ -1,0 +1,591 @@
+//! The multithreaded query server (paper §2, "Query Server").
+//!
+//! A fixed-size pool of query threads services a dynamic stream of
+//! queries. Each thread repeatedly dequeues the highest-ranked WAITING
+//! query from the scheduling graph and executes it:
+//!
+//! 1. optionally **block** on an EXECUTING query whose result it can reuse
+//!    (guarded by a wait-for-graph cycle check — the paper's deadlock
+//!    avoidance),
+//! 2. **look up** the Data Store for exact or partial matches,
+//! 3. hand the query and its reuse sources to the application's
+//!    [`AppExecutor`], which **projects** cached results (Eq. 3), creates
+//!    **sub-queries** for the uncovered remainder, and computes them from
+//!    raw pages through the Page Space Manager (merged, deduplicated I/O),
+//! 4. **cache** the output in the Data Store and transition the query to
+//!    CACHED, swapping out any evicted producers.
+//!
+//! The engine is generic over the application ([`VmExecutor`] is the
+//! default); everything scheduling-related is application-neutral.
+
+use crate::app::{AppExecutor, VmExecutor};
+use crate::config::ServerConfig;
+use crate::pages::SharedPageSpace;
+use crate::result::{AnswerPath, QueryRecord, QueryResult};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vmqs_core::{BlobId, IdGen, QueryId, QuerySpec, QueryState, SchedulingGraph};
+use vmqs_datastore::{DataStore, DsStats, Payload};
+use vmqs_microscope::PAGE_SIZE;
+use vmqs_pagespace::PsStats;
+use vmqs_storage::DataSource;
+
+/// Error delivered to a client when query execution fails (I/O error from
+/// the data source, or server shutdown before completion).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryError(pub String);
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A client's handle to an in-flight query.
+#[derive(Debug)]
+pub struct QueryHandle<S = vmqs_microscope::VmQuery> {
+    /// The assigned query id.
+    pub id: QueryId,
+    rx: Receiver<Result<QueryResult<S>, QueryError>>,
+}
+
+impl<S> QueryHandle<S> {
+    /// Blocks until the query completes.
+    pub fn wait(self) -> Result<QueryResult<S>, QueryError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(QueryError("server dropped the query".into())))
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<Result<QueryResult<S>, QueryError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Central<S: QuerySpec> {
+    graph: SchedulingGraph<S>,
+    ds: DataStore<S>,
+    blob_of: HashMap<QueryId, BlobId>,
+    /// Deadlock-avoidance wait-for edges: executing query → executing query
+    /// it is blocked on.
+    waiting_on: HashMap<QueryId, QueryId>,
+    pending: HashMap<QueryId, Sender<Result<QueryResult<S>, QueryError>>>,
+    submit_time: HashMap<QueryId, Instant>,
+    records: Vec<QueryRecord<S>>,
+    outstanding: usize,
+    blocked_fallbacks: u64,
+    shutdown: bool,
+}
+
+struct Core<A: AppExecutor> {
+    cfg: ServerConfig,
+    app: A,
+    central: Mutex<Central<A::Spec>>,
+    /// Signaled when a WAITING query appears or shutdown starts.
+    work_cv: Condvar,
+    /// Signaled when any query completes (wakes dependency blockers and
+    /// `drain`).
+    done_cv: Condvar,
+    ps: SharedPageSpace,
+    idgen: IdGen,
+}
+
+/// The public server: spawns the thread pool on construction; submit
+/// queries from any thread. Generic over the application executor
+/// (defaults to the Virtual Microscope).
+pub struct QueryServer<A: AppExecutor = VmExecutor> {
+    core: Arc<Core<A>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryServer<VmExecutor> {
+    /// Starts a Virtual Microscope server over `source`.
+    pub fn new(cfg: ServerConfig, source: Arc<dyn DataSource>) -> Self {
+        QueryServer::with_app(cfg, VmExecutor, source)
+    }
+}
+
+impl<A: AppExecutor> QueryServer<A> {
+    /// Starts a server for any application executor.
+    pub fn with_app(cfg: ServerConfig, app: A, source: Arc<dyn DataSource>) -> Self {
+        let core = Arc::new(Core {
+            central: Mutex::new(Central {
+                graph: SchedulingGraph::new(cfg.strategy),
+                ds: DataStore::with_policy(cfg.ds_budget, cfg.ds_policy),
+                blob_of: HashMap::new(),
+                waiting_on: HashMap::new(),
+                pending: HashMap::new(),
+                submit_time: HashMap::new(),
+                records: Vec::new(),
+                outstanding: 0,
+                blocked_fallbacks: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            ps: SharedPageSpace::new(cfg.ps_budget, PAGE_SIZE, source),
+            idgen: IdGen::new(0),
+            app,
+            cfg,
+        });
+        let workers = (0..cfg.num_threads)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("vmqs-query-{i}"))
+                    .spawn(move || worker_loop(&core))
+                    .expect("failed to spawn query thread")
+            })
+            .collect();
+        QueryServer { core, workers }
+    }
+
+    /// Submits a query; returns a handle to wait on.
+    pub fn submit(&self, spec: A::Spec) -> QueryHandle<A::Spec> {
+        let id = self.core.idgen.next_query();
+        let (tx, rx) = bounded(1);
+        {
+            let mut c = self.core.central.lock();
+            assert!(!c.shutdown, "submit after shutdown");
+            c.graph.insert(id, spec);
+            c.pending.insert(id, tx);
+            c.submit_time.insert(id, Instant::now());
+            c.outstanding += 1;
+        }
+        self.core.work_cv.notify_one();
+        QueryHandle { id, rx }
+    }
+
+    /// Submits a batch of queries at once (the paper's batch workload).
+    pub fn submit_batch(
+        &self,
+        specs: impl IntoIterator<Item = A::Spec>,
+    ) -> Vec<QueryHandle<A::Spec>> {
+        let handles: Vec<_> = specs.into_iter().map(|s| self.submit(s)).collect();
+        self.core.work_cv.notify_all();
+        handles
+    }
+
+    /// Blocks until every submitted query has completed.
+    pub fn drain(&self) {
+        let mut c = self.core.central.lock();
+        while c.outstanding > 0 {
+            self.core.done_cv.wait(&mut c);
+        }
+    }
+
+    /// Stops the thread pool. Unfinished queries receive an error.
+    pub fn shutdown(mut self) {
+        {
+            let mut c = self.core.central.lock();
+            c.shutdown = true;
+        }
+        self.core.work_cv.notify_all();
+        self.core.done_cv.notify_all();
+        for w in self.workers.drain(..) {
+            w.join().expect("query thread panicked");
+        }
+        // Fail any queries still pending.
+        let mut c = self.core.central.lock();
+        for (_, tx) in c.pending.drain() {
+            let _ = tx.send(Err(QueryError("server shut down".into())));
+        }
+    }
+
+    /// Execution records of all completed queries so far.
+    pub fn records(&self) -> Vec<QueryRecord<A::Spec>> {
+        self.core.central.lock().records.clone()
+    }
+
+    /// Data Store counters.
+    pub fn ds_stats(&self) -> DsStats {
+        self.core.central.lock().ds.stats()
+    }
+
+    /// Page Space counters.
+    pub fn ps_stats(&self) -> PsStats {
+        self.core.ps.stats()
+    }
+
+    /// Scheduling-graph counters.
+    pub fn graph_stats(&self) -> vmqs_core::GraphStats {
+        self.core.central.lock().graph.stats()
+    }
+
+    /// Times a query gave up blocking because waiting would have formed a
+    /// wait-for cycle (deadlock-avoidance fallbacks).
+    pub fn blocked_fallbacks(&self) -> u64 {
+        self.core.central.lock().blocked_fallbacks
+    }
+
+    /// Disables Page Space run merging (ablation knob).
+    pub fn set_ps_merging(&self, enabled: bool) {
+        self.core.ps.set_merging(enabled);
+    }
+}
+
+fn worker_loop<A: AppExecutor>(core: &Core<A>) {
+    loop {
+        // Dequeue the highest-ranked WAITING query.
+        let (id, spec, submitted) = {
+            let mut c = core.central.lock();
+            loop {
+                if c.shutdown {
+                    return;
+                }
+                if c.graph.waiting_len() > 0 {
+                    break;
+                }
+                core.work_cv.wait(&mut c);
+            }
+            let id = c.graph.dequeue().expect("non-empty waiting set");
+            let spec = *c.graph.spec_of(id).expect("dequeued node present");
+            let submitted = c.submit_time.remove(&id).unwrap_or_else(Instant::now);
+            (id, spec, submitted)
+        };
+        let started = Instant::now();
+        let exec = execute_query(core, id, spec);
+        let finished = Instant::now();
+
+        // Publish the result and update graph/data-store state.
+        let mut c = core.central.lock();
+        let tx = c.pending.remove(&id);
+        let msg = match exec {
+            Ok(out) => {
+                let size = core.app.output_len(&spec) as u64;
+                let mut evicted = Vec::new();
+                let cached =
+                    c.ds.insert(id, spec, size, Payload::Bytes(out.image.clone()), &mut evicted);
+                c.graph.mark_cached(id);
+                for (_, producer) in evicted {
+                    c.blob_of.remove(&producer);
+                    c.graph.swap_out(producer);
+                }
+                match cached {
+                    Ok(blob) => {
+                        c.blob_of.insert(id, blob);
+                    }
+                    Err(_) => {
+                        // Result cannot be cached (budget too small):
+                        // treat it as immediately swapped out.
+                        c.graph.swap_out(id);
+                    }
+                }
+                let (w, h) = core.app.output_dims(&spec);
+                let record = QueryRecord {
+                    id,
+                    spec,
+                    wait_time: started - submitted,
+                    exec_time: finished - started,
+                    blocked_time: out.blocked,
+                    path: out.path,
+                    reused_bytes: out.reused_bytes,
+                    covered_fraction: out.covered_fraction,
+                    pages_requested: out.pages_requested,
+                };
+                c.records.push(record);
+                Ok(QueryResult {
+                    id,
+                    image: out.image,
+                    width: w,
+                    height: h,
+                    record,
+                })
+            }
+            Err(e) => {
+                // Remove the failed query from the graph entirely.
+                c.graph.mark_cached(id);
+                c.graph.swap_out(id);
+                Err(QueryError(e.to_string()))
+            }
+        };
+        c.outstanding -= 1;
+        drop(c);
+        core.done_cv.notify_all();
+        if let Some(tx) = tx {
+            let _ = tx.send(msg);
+        }
+    }
+}
+
+struct ExecOutcome {
+    image: Arc<Vec<u8>>,
+    path: AnswerPath,
+    reused_bytes: u64,
+    covered_fraction: f64,
+    pages_requested: u64,
+    blocked: Duration,
+}
+
+/// True when making `waiter` wait on `target` would close a cycle in the
+/// wait-for graph (must be called with the central lock held).
+fn would_deadlock(waiting_on: &HashMap<QueryId, QueryId>, waiter: QueryId, target: QueryId) -> bool {
+    let mut cur = target;
+    let mut hops = 0;
+    while let Some(&next) = waiting_on.get(&cur) {
+        if next == waiter {
+            return true;
+        }
+        cur = next;
+        hops += 1;
+        if hops > waiting_on.len() {
+            // Defensive: a longer chain than entries means a cycle exists
+            // somewhere already.
+            return true;
+        }
+    }
+    false
+}
+
+fn execute_query<A: AppExecutor>(
+    core: &Core<A>,
+    id: QueryId,
+    spec: A::Spec,
+) -> std::io::Result<ExecOutcome> {
+    let mut blocked = Duration::ZERO;
+
+    // Step 1 — deadlock-avoiding block on the strongest EXECUTING query we
+    // could reuse (paper §4: queries stall on in-flight dependencies; CNBF
+    // exists to make this rare).
+    if core.cfg.allow_blocking {
+        let mut c = core.central.lock();
+        let dep = c
+            .graph
+            .reuse_sources(id)
+            .into_iter()
+            .find(|e| c.graph.state_of(e.peer) == Some(QueryState::Executing));
+        if let Some(dep) = dep {
+            if would_deadlock(&c.waiting_on, id, dep.peer) {
+                c.blocked_fallbacks += 1;
+            } else {
+                c.waiting_on.insert(id, dep.peer);
+                let t0 = Instant::now();
+                while c.graph.state_of(dep.peer) == Some(QueryState::Executing) && !c.shutdown {
+                    core.done_cv.wait(&mut c);
+                }
+                c.waiting_on.remove(&id);
+                blocked = t0.elapsed();
+            }
+        }
+    }
+
+    // Step 2 — Data Store lookup: collect exact/partial matches with their
+    // payloads (Arc clones; projection happens outside the lock).
+    let mut exact: Option<Arc<Vec<u8>>> = None;
+    let mut sources: Vec<(A::Spec, Arc<Vec<u8>>)> = Vec::new();
+    {
+        let mut c = core.central.lock();
+        let matches = c.ds.lookup(&spec);
+        for m in matches {
+            if let Some(e) = c.ds.get(m.blob) {
+                if let Payload::Bytes(bytes) = &e.payload {
+                    if exact.is_none() && e.spec.cmp(&spec) {
+                        exact = Some(Arc::clone(bytes));
+                    } else {
+                        sources.push((e.spec, Arc::clone(bytes)));
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(bytes) = exact {
+        // Complete reuse: common subexpression elimination (Eq. 1).
+        return Ok(ExecOutcome {
+            image: bytes,
+            path: AnswerPath::ExactHit,
+            reused_bytes: core.app.output_len(&spec) as u64,
+            covered_fraction: 1.0,
+            pages_requested: 0,
+            blocked,
+        });
+    }
+
+    // Steps 3–4 — the application projects cached coverage and computes
+    // the remainder through the Page Space Manager.
+    let out = core.app.execute(&spec, &sources, &core.ps)?;
+    debug_assert_eq!(out.bytes.len(), core.app.output_len(&spec));
+    let path = if out.reused_bytes > 0 {
+        AnswerPath::PartialReuse
+    } else {
+        AnswerPath::FullCompute
+    };
+    Ok(ExecOutcome {
+        image: Arc::new(out.bytes),
+        path,
+        reused_bytes: out.reused_bytes,
+        covered_fraction: out.covered_fraction,
+        pages_requested: out.pages_requested,
+        blocked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmqs_core::{DatasetId, Rect};
+    use vmqs_microscope::kernels::reference_render;
+    use vmqs_microscope::{SlideDataset, VmOp, VmQuery};
+    use vmqs_storage::SyntheticSource;
+
+    fn slide() -> SlideDataset {
+        SlideDataset::new(DatasetId(0), 600, 600)
+    }
+
+    fn server(cfg: ServerConfig) -> QueryServer {
+        QueryServer::new(cfg, Arc::new(SyntheticSource::new()))
+    }
+
+    fn q(x: u32, y: u32, w: u32, h: u32, zoom: u32, op: VmOp) -> VmQuery {
+        VmQuery::new(slide(), Rect::new(x, y, w, h), zoom, op)
+    }
+
+    #[test]
+    fn single_query_matches_reference() {
+        let s = server(ServerConfig::small());
+        let spec = q(10, 10, 64, 64, 2, VmOp::Subsample);
+        let res = s.submit(spec).wait().unwrap();
+        assert_eq!(res.width, 32);
+        assert_eq!(*res.image, reference_render(&spec).data);
+        assert_eq!(res.record.path, AnswerPath::FullCompute);
+        s.shutdown();
+    }
+
+    #[test]
+    fn identical_query_is_exact_hit() {
+        let s = server(ServerConfig::small());
+        let spec = q(0, 0, 64, 64, 2, VmOp::Average);
+        let first = s.submit(spec).wait().unwrap();
+        let second = s.submit(spec).wait().unwrap();
+        assert_eq!(second.record.path, AnswerPath::ExactHit);
+        assert_eq!(*second.image, *first.image);
+        assert_eq!(second.record.covered_fraction, 1.0);
+        assert_eq!(second.record.pages_requested, 0);
+        s.shutdown();
+    }
+
+    #[test]
+    fn partial_overlap_reuses_and_matches_reference() {
+        let s = server(ServerConfig::small().with_threads(1));
+        let a = q(0, 0, 200, 400, 2, VmOp::Subsample);
+        s.submit(a).wait().unwrap();
+        let b = q(100, 0, 300, 400, 2, VmOp::Subsample);
+        let res = s.submit(b).wait().unwrap();
+        assert_eq!(res.record.path, AnswerPath::PartialReuse);
+        assert!(res.record.covered_fraction > 0.2);
+        assert_eq!(*res.image, reference_render(&b).data);
+        s.shutdown();
+    }
+
+    #[test]
+    fn zoom_projection_reuse_matches_reference_subsample() {
+        let s = server(ServerConfig::small().with_threads(1));
+        let fine = q(0, 0, 400, 400, 2, VmOp::Subsample);
+        s.submit(fine).wait().unwrap();
+        let coarse = q(0, 0, 400, 400, 8, VmOp::Subsample);
+        let res = s.submit(coarse).wait().unwrap();
+        assert_eq!(res.record.path, AnswerPath::PartialReuse);
+        // The whole coarse output is derivable from the fine cached result.
+        assert_eq!(res.record.covered_fraction, 1.0);
+        assert_eq!(res.record.pages_requested, 0);
+        assert_eq!(*res.image, reference_render(&coarse).data);
+        s.shutdown();
+    }
+
+    #[test]
+    fn caching_disabled_never_reuses() {
+        let s = server(ServerConfig::small().with_ds_budget(0));
+        let spec = q(0, 0, 64, 64, 1, VmOp::Subsample);
+        s.submit(spec).wait().unwrap();
+        let second = s.submit(spec).wait().unwrap();
+        assert_eq!(second.record.path, AnswerPath::FullCompute);
+        assert_eq!(s.ds_stats().rejected, 2);
+        s.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_queries_all_correct() {
+        let s = server(ServerConfig::small().with_threads(4));
+        let mut handles = Vec::new();
+        let mut specs = Vec::new();
+        for i in 0..12u32 {
+            let spec = q((i % 3) * 100, (i / 3) * 60, 120, 120, 1 << (i % 3), VmOp::Subsample);
+            specs.push(spec);
+            handles.push(s.submit(spec));
+        }
+        for (h, spec) in handles.into_iter().zip(specs) {
+            let res = h.wait().unwrap();
+            assert_eq!(*res.image, reference_render(&spec).data, "query {spec:?}");
+        }
+        s.shutdown();
+    }
+
+    #[test]
+    fn drain_waits_for_all() {
+        let s = server(ServerConfig::small().with_threads(2));
+        let handles = s.submit_batch((0..6).map(|i| q(i * 40, 0, 80, 80, 2, VmOp::Average)));
+        s.drain();
+        for h in handles {
+            assert!(h.try_wait().is_some());
+        }
+        assert_eq!(s.records().len(), 6);
+        s.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_pending_queries() {
+        // One thread and a pile of queries: shut down immediately; whatever
+        // did not run must receive an error, not hang.
+        let s = server(ServerConfig::small().with_threads(1));
+        let handles = s.submit_batch((0..8).map(|i| q((i % 4) * 100, 0, 100, 100, 1, VmOp::Average)));
+        s.shutdown();
+        let mut finished = 0;
+        let mut failed = 0;
+        for h in handles {
+            match h.wait() {
+                Ok(_) => finished += 1,
+                Err(_) => failed += 1,
+            }
+        }
+        assert_eq!(finished + failed, 8);
+    }
+
+    #[test]
+    fn records_time_accounting_sane() {
+        let s = server(ServerConfig::small());
+        let spec = q(0, 0, 128, 128, 1, VmOp::Average);
+        let res = s.submit(spec).wait().unwrap();
+        assert!(res.record.exec_time > Duration::ZERO);
+        assert!(res.record.response_time() >= res.record.exec_time);
+        s.shutdown();
+    }
+
+    #[test]
+    fn would_deadlock_detects_cycles() {
+        let mut w = HashMap::new();
+        w.insert(QueryId(1), QueryId(2));
+        w.insert(QueryId(2), QueryId(3));
+        assert!(would_deadlock(&w, QueryId(3), QueryId(1)));
+        assert!(!would_deadlock(&w, QueryId(4), QueryId(1)));
+        assert!(!would_deadlock(&w, QueryId(3), QueryId(4)));
+    }
+
+    #[test]
+    fn blocking_disabled_still_correct() {
+        let s = server(ServerConfig::small().with_threads(4).with_blocking(false));
+        let spec = q(0, 0, 300, 300, 2, VmOp::Subsample);
+        let handles: Vec<_> = (0..4).map(|_| s.submit(spec)).collect();
+        for h in handles {
+            let res = h.wait().unwrap();
+            assert_eq!(*res.image, reference_render(&spec).data);
+        }
+        s.shutdown();
+    }
+}

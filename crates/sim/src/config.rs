@@ -1,0 +1,221 @@
+//! Simulation configuration and workload description.
+
+use vmqs_core::{ClientId, Strategy};
+use vmqs_microscope::{VmCostModel, VmQuery};
+use vmqs_storage::DiskModel;
+
+/// How a client stream's queries enter the system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SubmissionMode {
+    /// Each client submits its next query only after receiving the answer
+    /// to the previous one (the paper's Fig. 4–6 setup), optionally after a
+    /// think time.
+    Interactive,
+    /// All queries of all clients are submitted at time zero as one batch
+    /// (the paper's Fig. 7 setup: 256 queries in a single batch).
+    Batch,
+}
+
+/// One emulated client and its ordered query stream. Generic over the
+/// application's predicate type; defaults to the Virtual Microscope.
+#[derive(Clone, Debug)]
+pub struct ClientStream<S = VmQuery> {
+    /// Client identity.
+    pub client: ClientId,
+    /// Queries in submission order.
+    pub queries: Vec<S>,
+}
+
+/// How the scheduler picks the next query among WAITING candidates.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SchedPolicy {
+    /// Strictly by rank (the paper's model).
+    RankOrder,
+    /// §6 extension (3): when the disk backlog exceeds a threshold, pick —
+    /// among the `candidates` highest-ranked WAITING queries — the one
+    /// with the smallest `qinputsize`, shedding I/O pressure; otherwise
+    /// behave like [`SchedPolicy::RankOrder`].
+    IoAware {
+        /// How many top-ranked candidates to consider.
+        candidates: usize,
+        /// Mean per-disk outstanding work (seconds) above which the disk
+        /// counts as congested.
+        backlog_threshold: f64,
+    },
+}
+
+/// §6 extension (1): online self-tuning of the combined strategy. A
+/// hill-climbing controller adjusts the strategy's continuous parameter
+/// (hybrid `sjf_weight`, or CF's `α`) every `window` completions, keeping
+/// the change when the window's mean response time improved and reversing
+/// direction when it worsened.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TunerConfig {
+    /// Completions per tuning window.
+    pub window: usize,
+    /// Multiplicative step applied to the tuned parameter per window.
+    pub step: f64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            window: 16,
+            step: 1.5,
+        }
+    }
+}
+
+/// Full configuration of a simulated server run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Ranking strategy.
+    pub strategy: Strategy,
+    /// Query threads = maximum concurrently executing queries (paper §5
+    /// varies this from 1 to 24 on the 24-CPU SMP).
+    pub threads: usize,
+    /// Data Store budget in bytes (0 disables result caching).
+    pub ds_budget: u64,
+    /// Page Space budget in bytes.
+    pub ps_budget: u64,
+    /// Allow blocking on EXECUTING queries whose results are reusable.
+    pub allow_blocking: bool,
+    /// The per-disk performance model behind the Page Space Manager.
+    pub disk: DiskModel,
+    /// Independent disks in the farm. I/O throughput scales up to this
+    /// many concurrent streams; beyond it, seek thrash sets in. Calibrated
+    /// to 4, matching the paper's observed optimum at 4 query threads for
+    /// the I/O-bound workload.
+    pub n_disks: usize,
+    /// CPU cost model calibrated to the paper's CPU:I/O ratios.
+    pub cost: VmCostModel,
+    /// Interactive-mode think time between receiving an answer and
+    /// submitting the next query, in seconds.
+    pub think_time: f64,
+    /// How queries arrive.
+    pub mode: SubmissionMode,
+    /// Dequeue policy (rank order, or I/O-aware candidate selection).
+    pub policy: SchedPolicy,
+    /// Data Store eviction policy (LRU in the paper's system).
+    pub ds_policy: vmqs_datastore::EvictionPolicy,
+    /// Optional self-tuning controller for parameterized strategies.
+    pub tuner: Option<TunerConfig>,
+    /// Record a per-event schedule trace (see [`crate::TraceEvent`]).
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// The paper's §5 baseline: CNBF, 4 threads, DS = 64 MB, PS = 32 MB,
+    /// circa-2002 disk, calibrated costs, interactive clients.
+    pub fn paper_baseline() -> Self {
+        let disk = DiskModel::circa_2002();
+        SimConfig {
+            strategy: Strategy::Cnbf,
+            threads: 4,
+            ds_budget: 64 << 20,
+            ps_budget: 32 << 20,
+            allow_blocking: true,
+            disk,
+            n_disks: 4,
+            cost: VmCostModel::calibrated(&disk),
+            think_time: 0.0,
+            mode: SubmissionMode::Interactive,
+            policy: SchedPolicy::RankOrder,
+            ds_policy: vmqs_datastore::EvictionPolicy::Lru,
+            tuner: None,
+            trace: false,
+        }
+    }
+
+    /// Builder-style strategy override.
+    pub fn with_strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Builder-style thread-count override.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.threads = n;
+        self
+    }
+
+    /// Builder-style Data Store budget override.
+    pub fn with_ds_budget(mut self, b: u64) -> Self {
+        self.ds_budget = b;
+        self
+    }
+
+    /// Builder-style Page Space budget override.
+    pub fn with_ps_budget(mut self, b: u64) -> Self {
+        self.ps_budget = b;
+        self
+    }
+
+    /// Builder-style submission-mode override.
+    pub fn with_mode(mut self, m: SubmissionMode) -> Self {
+        self.mode = m;
+        self
+    }
+
+    /// Builder-style blocking toggle.
+    pub fn with_blocking(mut self, allow: bool) -> Self {
+        self.allow_blocking = allow;
+        self
+    }
+
+    /// Builder-style dequeue-policy override.
+    pub fn with_policy(mut self, p: SchedPolicy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Builder-style self-tuner override.
+    pub fn with_tuner(mut self, t: TunerConfig) -> Self {
+        self.tuner = Some(t);
+        self
+    }
+
+    /// Builder-style Data Store eviction-policy override.
+    pub fn with_ds_policy(mut self, p: vmqs_datastore::EvictionPolicy) -> Self {
+        self.ds_policy = p;
+        self
+    }
+
+    /// Builder-style trace toggle.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_setup() {
+        let c = SimConfig::paper_baseline();
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.ds_budget, 64 << 20);
+        assert_eq!(c.ps_budget, 32 << 20);
+        assert_eq!(c.mode, SubmissionMode::Interactive);
+        assert!(c.allow_blocking);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::paper_baseline()
+            .with_strategy(Strategy::Fifo)
+            .with_threads(8)
+            .with_ds_budget(1)
+            .with_ps_budget(2)
+            .with_mode(SubmissionMode::Batch)
+            .with_blocking(false);
+        assert_eq!(c.strategy, Strategy::Fifo);
+        assert_eq!(c.threads, 8);
+        assert_eq!((c.ds_budget, c.ps_budget), (1, 2));
+        assert_eq!(c.mode, SubmissionMode::Batch);
+        assert!(!c.allow_blocking);
+    }
+}

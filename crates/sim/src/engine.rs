@@ -1,0 +1,978 @@
+//! The discrete-event simulation engine.
+//!
+//! Drives the *same* scheduling graph, Data Store, and page-cache cores as
+//! the threaded server, but in virtual time against analytic disk/CPU cost
+//! models — reproducing the paper-scale experiments (24 query threads,
+//! 7.5 GB of slides, 2002-era disks) deterministically in milliseconds on
+//! any machine.
+//!
+//! The engine is generic over a [`SimApplication`]: the Virtual Microscope
+//! adapter is [`crate::VmSimApp`] (with `Simulator::new` / [`run_sim`] as
+//! VM-typed conveniences); the 3-D volume visualization application of the
+//! paper's §6 plugs in the same way.
+//!
+//! Execution model per query (mirrors `vmqs-server`):
+//! dequeue → optional block on an EXECUTING reuse source → Data Store
+//! lookup → project cached coverage (CPU) → remainder I/O through the page
+//! cache and the disk-farm queue → kernel CPU time → commit to the Data
+//! Store. Queries occupy one of the `threads` slots from dequeue to
+//! completion, including while blocked — exactly like a real pool thread.
+
+use crate::app::SimApplication;
+use crate::config::{ClientStream, SchedPolicy, SimConfig, SubmissionMode, TunerConfig};
+use crate::disk::DiskQueue;
+use crate::events::{Event, EventQueue};
+use crate::report::{SimRecord, SimReport};
+use crate::trace::{TraceEvent, TraceKind};
+use crate::vm::VmSimApp;
+use std::collections::HashMap;
+use vmqs_core::{BlobId, ClientId, IdGen, QueryId, QuerySpec, QueryState, SchedulingGraph, Strategy};
+use vmqs_datastore::{DataStore, Payload};
+use vmqs_microscope::PAGE_SIZE;
+use vmqs_pagespace::{PageCacheCore, PageData, PageKey};
+
+struct QInfo<S> {
+    client: ClientId,
+    spec: S,
+    arrival: f64,
+    start: f64,
+    blocked_since: Option<f64>,
+    blocked_total: f64,
+}
+
+/// Hill-climbing state for the §6 self-tuning controller.
+struct Tuner {
+    cfg: TunerConfig,
+    direction: f64,
+    window_sum: f64,
+    window_count: usize,
+    prev_metric: Option<f64>,
+    /// History of `(virtual time, parameter value)` after each adjustment.
+    history: Vec<(f64, f64)>,
+}
+
+impl Tuner {
+    fn new(cfg: TunerConfig) -> Self {
+        Tuner {
+            cfg,
+            direction: 1.0,
+            window_sum: 0.0,
+            window_count: 0,
+            prev_metric: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// Records one completion; returns the parameter multiplier to apply
+    /// when a window just closed.
+    fn observe(&mut self, response_time: f64) -> Option<f64> {
+        self.window_sum += response_time;
+        self.window_count += 1;
+        if self.window_count < self.cfg.window {
+            return None;
+        }
+        let metric = self.window_sum / self.window_count as f64;
+        self.window_sum = 0.0;
+        self.window_count = 0;
+        if let Some(prev) = self.prev_metric {
+            if metric > prev {
+                // Got worse: reverse course.
+                self.direction = -self.direction;
+            }
+        }
+        self.prev_metric = Some(metric);
+        Some(if self.direction > 0.0 {
+            self.cfg.step
+        } else {
+            1.0 / self.cfg.step
+        })
+    }
+}
+
+/// Applies a tuning multiplier to a parameterized strategy's continuous
+/// knob; returns `None` for strategies with nothing to tune.
+fn tuned_strategy(current: Strategy, factor: f64) -> Option<(Strategy, f64)> {
+    match current {
+        Strategy::Hybrid {
+            cnbf_weight,
+            sjf_weight,
+        } => {
+            let w = (sjf_weight * factor).clamp(1e-3, 1e3);
+            Some((
+                Strategy::Hybrid {
+                    cnbf_weight,
+                    sjf_weight: w,
+                },
+                w,
+            ))
+        }
+        Strategy::ClosestFirst { alpha } => {
+            let a = (alpha * factor).clamp(0.0, 1.0);
+            Some((Strategy::ClosestFirst { alpha: a }, a))
+        }
+        _ => None,
+    }
+}
+
+/// The simulator. Construct with [`Simulator::new`] (Virtual Microscope)
+/// or [`Simulator::with_app`] (any [`SimApplication`]), then
+/// [`Simulator::run`].
+pub struct Simulator<A: SimApplication> {
+    cfg: SimConfig,
+    app: A,
+    graph: SchedulingGraph<A::Spec>,
+    ds: DataStore<A::Spec>,
+    ps: PageCacheCore,
+    page_ready: HashMap<PageKey, f64>,
+    disk: DiskQueue,
+    events: EventQueue<A::Spec>,
+    idgen: IdGen,
+    busy_slots: usize,
+    blocked_count: usize,
+    blob_of: HashMap<QueryId, BlobId>,
+    qinfo: HashMap<QueryId, QInfo<A::Spec>>,
+    /// Metrics computed at resume time, consumed at completion:
+    /// `(covered_fraction, reused_bytes, io_time, cpu_time, exact_hit)`.
+    pending_metrics: HashMap<QueryId, (f64, u64, f64, f64, bool)>,
+    waiters: HashMap<QueryId, Vec<QueryId>>,
+    streams: HashMap<ClientId, Vec<A::Spec>>,
+    client_pos: HashMap<ClientId, usize>,
+    records: Vec<SimRecord<A::Spec>>,
+    makespan: f64,
+    tuner: Option<Tuner>,
+    policy_overrides: u64,
+    trace: Vec<TraceEvent>,
+}
+
+impl Simulator<VmSimApp> {
+    /// Creates a Virtual Microscope simulator (cost model taken from
+    /// `cfg.cost`).
+    pub fn new(cfg: SimConfig, workload: Vec<ClientStream>) -> Self {
+        Simulator::with_app(cfg, VmSimApp::new(cfg.cost), workload)
+    }
+}
+
+impl<A: SimApplication> Simulator<A> {
+    /// Creates a simulator for any application adapter.
+    pub fn with_app(cfg: SimConfig, app: A, workload: Vec<ClientStream<A::Spec>>) -> Self {
+        let mut events = EventQueue::new();
+        let mut streams = HashMap::new();
+        let mut client_pos = HashMap::new();
+        for cs in workload {
+            match cfg.mode {
+                SubmissionMode::Interactive => {
+                    if let Some(first) = cs.queries.first() {
+                        events.push(
+                            0.0,
+                            Event::Arrival {
+                                client: cs.client,
+                                spec: *first,
+                                seq_in_client: 0,
+                            },
+                        );
+                    }
+                    client_pos.insert(cs.client, 0);
+                }
+                SubmissionMode::Batch => {
+                    for (i, q) in cs.queries.iter().enumerate() {
+                        events.push(
+                            0.0,
+                            Event::Arrival {
+                                client: cs.client,
+                                spec: *q,
+                                seq_in_client: i,
+                            },
+                        );
+                    }
+                }
+            }
+            streams.insert(cs.client, cs.queries);
+        }
+        Simulator {
+            app,
+            graph: SchedulingGraph::new(cfg.strategy),
+            ds: DataStore::with_policy(cfg.ds_budget, cfg.ds_policy),
+            ps: PageCacheCore::new(cfg.ps_budget, PAGE_SIZE as u64),
+            page_ready: HashMap::new(),
+            disk: DiskQueue::with_servers(cfg.disk, cfg.n_disks),
+            events,
+            idgen: IdGen::new(0),
+            busy_slots: 0,
+            blocked_count: 0,
+            blob_of: HashMap::new(),
+            qinfo: HashMap::new(),
+            pending_metrics: HashMap::new(),
+            waiters: HashMap::new(),
+            streams,
+            client_pos,
+            records: Vec::new(),
+            makespan: 0.0,
+            tuner: cfg.tuner.map(Tuner::new),
+            policy_overrides: 0,
+            trace: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Disables Page Space run merging (ablation knob).
+    pub fn set_ps_merging(&mut self, enabled: bool) {
+        self.ps.set_merging(enabled);
+    }
+
+    /// Times the I/O-aware policy overrode the rank order.
+    pub fn policy_overrides(&self) -> u64 {
+        self.policy_overrides
+    }
+
+    /// The self-tuner's parameter trajectory (`(virtual time, value)`
+    /// pairs), empty when tuning is off.
+    pub fn tuner_history(&self) -> &[(f64, f64)] {
+        self.tuner.as_ref().map(|t| t.history.as_slice()).unwrap_or(&[])
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport<A::Spec> {
+        while let Some((now, event)) = self.events.pop() {
+            match event {
+                Event::Arrival { client, spec, .. } => self.on_arrival(now, client, spec),
+                Event::Resume { id } => self.on_resume(now, id),
+                Event::Completion { id } => self.on_completion(now, id),
+            }
+        }
+        SimReport {
+            records: self.records,
+            makespan: self.makespan,
+            ds_stats: self.ds.stats(),
+            ps_stats: self.ps.stats(),
+            graph_stats: self.graph.stats(),
+            disk_stats: self.disk.stats(),
+            trace: self.trace,
+        }
+    }
+
+    #[inline]
+    fn trace(&mut self, time: f64, query: QueryId, kind: TraceKind) {
+        if self.cfg.trace {
+            self.trace.push(TraceEvent { time, query, kind });
+        }
+    }
+
+    fn on_arrival(&mut self, now: f64, client: ClientId, spec: A::Spec) {
+        let id = self.idgen.next_query();
+        self.trace(now, id, TraceKind::Arrive);
+        self.graph.insert(id, spec);
+        self.qinfo.insert(
+            id,
+            QInfo {
+                client,
+                spec,
+                arrival: now,
+                start: f64::NAN,
+                blocked_since: None,
+                blocked_total: 0.0,
+            },
+        );
+        self.try_start(now);
+    }
+
+    /// Picks the next query to start under the configured dequeue policy.
+    fn pick_next(&mut self, now: f64) -> Option<QueryId> {
+        match self.cfg.policy {
+            SchedPolicy::RankOrder => self.graph.dequeue(),
+            SchedPolicy::IoAware {
+                candidates,
+                backlog_threshold,
+            } => {
+                if self.disk.backlog(now) > backlog_threshold {
+                    // Disk congested: among the top-ranked candidates,
+                    // start the one that scans the least data.
+                    let top = self.graph.peek_top_k(candidates.max(1));
+                    let lightest = top
+                        .iter()
+                        .min_by_key(|(id, _)| {
+                            (self.graph.qinputsize_of(*id).unwrap_or(u64::MAX), *id)
+                        })
+                        .map(|&(id, _)| id)?;
+                    if Some(lightest) != top.first().map(|&(id, _)| id) {
+                        self.policy_overrides += 1;
+                    }
+                    let ok = self.graph.dequeue_specific(lightest);
+                    debug_assert!(ok);
+                    Some(lightest)
+                } else {
+                    self.graph.dequeue()
+                }
+            }
+        }
+    }
+
+    fn try_start(&mut self, now: f64) {
+        while self.busy_slots < self.cfg.threads && self.graph.waiting_len() > 0 {
+            let id = match self.pick_next(now) {
+                Some(id) => id,
+                None => break,
+            };
+            self.busy_slots += 1;
+            self.trace(now, id, TraceKind::Start);
+            let info = self.qinfo.get_mut(&id).expect("qinfo for dequeued query");
+            info.start = now;
+
+            // Deadlock-free blocking: a query only ever blocks on a query
+            // that started executing earlier, so wait-for edges cannot
+            // cycle (see vmqs-server for the racy-threads variant that
+            // needs an explicit cycle check).
+            let dep = if self.cfg.allow_blocking {
+                self.graph
+                    .reuse_sources(id)
+                    .into_iter()
+                    .find(|e| self.graph.state_of(e.peer) == Some(QueryState::Executing))
+                    .map(|e| e.peer)
+            } else {
+                None
+            };
+            match dep {
+                Some(dep) => {
+                    self.trace(now, id, TraceKind::Block { on: dep });
+                    self.qinfo.get_mut(&id).unwrap().blocked_since = Some(now);
+                    self.blocked_count += 1;
+                    self.waiters.entry(dep).or_default().push(id);
+                }
+                None => self.events.push(now, Event::Resume { id }),
+            }
+        }
+    }
+
+    fn on_resume(&mut self, now: f64, id: QueryId) {
+        self.trace(now, id, TraceKind::Resume);
+        let spec = self.qinfo[&id].spec;
+
+        // Data Store lookup (virtual payloads: metadata only).
+        let matches = self.ds.lookup(&spec);
+        let exact = matches
+            .iter()
+            .find(|m| self.ds.get(m.blob).is_some_and(|e| e.spec.cmp(&spec)));
+        if let Some(m) = exact {
+            let reused = m.reuse_bytes;
+            let cpu = self.app.planning_seconds();
+            self.pending_metrics.insert(id, (1.0, reused, 0.0, cpu, true));
+            self.events.push(now + cpu, Event::Completion { id });
+            return;
+        }
+
+        // Application-specific reuse planning over the cached candidates
+        // (ordered most-reusable first by the lookup).
+        let cached: Vec<A::Spec> = matches
+            .iter()
+            .filter_map(|m| self.ds.get(m.blob).map(|e| e.spec))
+            .collect();
+        let plan = self.app.plan(&spec, &cached);
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&plan.covered_fraction));
+
+        // Remainder I/O through the page cache and the disk farm.
+        let mut io_ready = now;
+        if !plan.pages.is_empty() {
+            let read = self.ps.plan_read(&plan.pages);
+            // Queries concurrently in their I/O phase interleave on the
+            // disk; blocked queries hold a thread slot but issue no I/O.
+            let streams = self.busy_slots.saturating_sub(self.blocked_count).max(1);
+            for run in &read.fetch_runs {
+                let end = self
+                    .disk
+                    .submit_streams(now, run.bytes(PAGE_SIZE as u64), streams);
+                io_ready = io_ready.max(end);
+                for page in run.pages() {
+                    for evicted in self.ps.complete_fetch(page, PageData::Virtual) {
+                        self.page_ready.remove(&evicted);
+                    }
+                    self.page_ready.insert(page, end);
+                }
+            }
+            // Pages resident (or fetched by another in-flight query) may
+            // only become usable at a future ready time.
+            for (page, _) in &read.pages {
+                if let Some(&t) = self.page_ready.get(page) {
+                    io_ready = io_ready.max(t);
+                }
+            }
+        }
+
+        let io_time = (io_ready - now).max(0.0);
+        let cpu = self.app.planning_seconds()
+            + self.app.project_seconds(plan.reused_bytes)
+            + self.app.compute_seconds(&spec, plan.input_bytes);
+        self.pending_metrics.insert(
+            id,
+            (plan.covered_fraction, plan.reused_bytes, io_time, cpu, false),
+        );
+        self.events
+            .push(now + io_time + cpu, Event::Completion { id });
+    }
+
+    fn on_completion(&mut self, now: f64, id: QueryId) {
+        self.trace(now, id, TraceKind::Complete);
+        self.makespan = self.makespan.max(now);
+        let info = self.qinfo.remove(&id).expect("completing query has info");
+        let (covered, reused, io, cpu, exact) = self
+            .pending_metrics
+            .remove(&id)
+            .expect("metrics recorded at resume");
+
+        // Commit the result to the Data Store; evicted producers leave the
+        // scheduling graph as SWAPPED_OUT.
+        self.graph.mark_cached(id);
+        let mut evicted = Vec::new();
+        match self
+            .ds
+            .insert(id, info.spec, info.spec.qoutsize(), Payload::Virtual, &mut evicted)
+        {
+            Ok(blob) => {
+                self.blob_of.insert(id, blob);
+            }
+            Err(_) => {
+                self.trace(now, id, TraceKind::SwapOut);
+                self.graph.swap_out(id);
+            }
+        }
+        for (_, producer) in evicted {
+            self.trace(now, producer, TraceKind::SwapOut);
+            self.blob_of.remove(&producer);
+            self.graph.swap_out(producer);
+        }
+
+        let record = SimRecord {
+            id,
+            client: info.client,
+            spec: info.spec,
+            arrival: info.arrival,
+            start: info.start,
+            finish: now,
+            blocked: info.blocked_total,
+            covered_fraction: covered,
+            reused_bytes: reused,
+            io_time: io,
+            cpu_time: cpu,
+            exact_hit: exact,
+        };
+
+        // §6 self-tuning: hill-climb the strategy's continuous parameter
+        // on windowed mean response time.
+        if let Some(tuner) = &mut self.tuner {
+            if let Some(factor) = tuner.observe(record.response_time()) {
+                if let Some((next, value)) = tuned_strategy(self.graph.strategy(), factor) {
+                    self.graph.set_strategy(next);
+                    tuner.history.push((now, value));
+                }
+            }
+        }
+
+        self.records.push(record);
+
+        // Wake queries blocked on this one.
+        if let Some(ws) = self.waiters.remove(&id) {
+            for w in ws {
+                if let Some(wi) = self.qinfo.get_mut(&w) {
+                    if let Some(since) = wi.blocked_since.take() {
+                        wi.blocked_total += now - since;
+                        self.blocked_count -= 1;
+                    }
+                }
+                self.events.push(now, Event::Resume { id: w });
+            }
+        }
+
+        self.busy_slots -= 1;
+
+        // Interactive clients submit their next query on completion.
+        if self.cfg.mode == SubmissionMode::Interactive {
+            if let Some(pos) = self.client_pos.get_mut(&info.client) {
+                *pos += 1;
+                let next = self.streams[&info.client].get(*pos).copied();
+                if let Some(spec) = next {
+                    let seq = *pos;
+                    self.events.push(
+                        now + self.cfg.think_time,
+                        Event::Arrival {
+                            client: info.client,
+                            spec,
+                            seq_in_client: seq,
+                        },
+                    );
+                }
+            }
+        }
+
+        self.try_start(now);
+    }
+}
+
+/// Convenience: build and run a Virtual Microscope simulation in one call.
+pub fn run_sim(cfg: SimConfig, workload: Vec<ClientStream>) -> SimReport {
+    Simulator::new(cfg, workload).run()
+}
+
+/// Convenience: build and run a simulation for any application adapter.
+pub fn run_sim_app<A: SimApplication>(
+    cfg: SimConfig,
+    app: A,
+    workload: Vec<ClientStream<A::Spec>>,
+) -> SimReport<A::Spec> {
+    Simulator::with_app(cfg, app, workload).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmqs_core::{DatasetId, Rect};
+    use vmqs_microscope::{SlideDataset, VmOp, VmQuery};
+    use vmqs_storage::DiskModel;
+
+    fn slide() -> SlideDataset {
+        SlideDataset::paper_scale(DatasetId(0))
+    }
+
+    fn q(x: u32, y: u32, side: u32, zoom: u32, op: VmOp) -> VmQuery {
+        VmQuery::new(slide(), Rect::new(x, y, side, side), zoom, op)
+    }
+
+    fn one_client(queries: Vec<VmQuery>) -> Vec<ClientStream> {
+        vec![ClientStream {
+            client: ClientId(0),
+            queries,
+        }]
+    }
+
+    #[test]
+    fn single_query_costs_io_plus_cpu() {
+        let cfg = SimConfig::paper_baseline();
+        let spec = q(0, 0, 1024, 1, VmOp::Subsample);
+        let report = run_sim(cfg, one_client(vec![spec]));
+        assert_eq!(report.records.len(), 1);
+        let r = &report.records[0];
+        assert!(r.io_time > 0.0, "must pay disk time");
+        assert!(r.cpu_time > 0.0);
+        assert!((r.finish - (r.io_time + r.cpu_time)).abs() < 1e-9);
+        assert_eq!(r.covered_fraction, 0.0);
+        // Subsampling is I/O-dominated.
+        assert!(r.cpu_time < 0.2 * r.io_time);
+    }
+
+    #[test]
+    fn average_op_is_cpu_balanced() {
+        let cfg = SimConfig::paper_baseline();
+        let spec = q(0, 0, 2048, 2, VmOp::Average);
+        let report = run_sim(cfg, one_client(vec![spec]));
+        let r = &report.records[0];
+        // Compare CPU against total disk busy time (the farm services one
+        // query's runs in parallel, so elapsed io_time is busy/n_disks).
+        let ratio = r.cpu_time / report.disk_stats.busy_time;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "averaging CPU:I/O ratio {ratio} should be near 1"
+        );
+        assert!(r.io_time > 0.0 && r.cpu_time > r.io_time);
+    }
+
+    #[test]
+    fn identical_repeat_is_exact_hit() {
+        let cfg = SimConfig::paper_baseline();
+        let spec = q(0, 0, 1024, 1, VmOp::Subsample);
+        let report = run_sim(cfg, one_client(vec![spec, spec]));
+        assert_eq!(report.records.len(), 2);
+        let second = &report.records[1];
+        assert!(second.exact_hit);
+        assert_eq!(second.io_time, 0.0);
+        assert!(second.exec_time() < report.records[0].exec_time() / 100.0);
+        assert_eq!(report.ds_stats.exact_hits, 1);
+    }
+
+    #[test]
+    fn caching_disabled_never_reuses() {
+        let cfg = SimConfig::paper_baseline().with_ds_budget(0);
+        let spec = q(0, 0, 1024, 1, VmOp::Subsample);
+        let report = run_sim(cfg, one_client(vec![spec, spec]));
+        assert!(report.records.iter().all(|r| !r.exact_hit));
+        // The second run re-reads pages, but they are PS-cached; the DS
+        // itself must have rejected both inserts.
+        assert_eq!(report.ds_stats.rejected, 2);
+    }
+
+    #[test]
+    fn partial_overlap_reduces_io() {
+        let cfg = SimConfig::paper_baseline();
+        let a = q(0, 0, 2048, 2, VmOp::Subsample);
+        let b = q(1024, 0, 2048, 2, VmOp::Subsample); // half overlaps a
+        let report = run_sim(cfg, one_client(vec![a, b]));
+        let rb = &report.records[1];
+        assert!(rb.covered_fraction > 0.4 && rb.covered_fraction < 0.6);
+        assert!(rb.reused_bytes > 0);
+        assert!(rb.io_time < report.records[0].io_time);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let cfg = SimConfig::paper_baseline().with_threads(3);
+            let streams = (0..4)
+                .map(|c| ClientStream {
+                    client: ClientId(c),
+                    queries: (0..5)
+                        .map(|i| {
+                            q(
+                                (c as u32 * 700 + i * 512) % 20000,
+                                (i * 911) % 20000,
+                                2048,
+                                1 << (i % 3),
+                                if c % 2 == 0 { VmOp::Subsample } else { VmOp::Average },
+                            )
+                        })
+                        .collect(),
+                })
+                .collect();
+            run_sim(cfg, streams)
+        };
+        let r1 = mk();
+        let r2 = mk();
+        assert_eq!(r1.records.len(), r2.records.len());
+        for (a, b) in r1.records.iter().zip(r2.records.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.finish, b.finish);
+            assert_eq!(a.covered_fraction, b.covered_fraction);
+        }
+        assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    #[test]
+    fn more_threads_speed_up_independent_clients() {
+        let streams: Vec<ClientStream> = (0..4)
+            .map(|c| ClientStream {
+                client: ClientId(c),
+                queries: vec![q(c as u32 * 5000, 0, 2048, 2, VmOp::Average)],
+            })
+            .collect();
+        let r1 = run_sim(SimConfig::paper_baseline().with_threads(1), streams.clone());
+        let r4 = run_sim(SimConfig::paper_baseline().with_threads(4), streams);
+        assert!(
+            r4.makespan < r1.makespan,
+            "4 threads {} should beat 1 thread {}",
+            r4.makespan,
+            r1.makespan
+        );
+    }
+
+    #[test]
+    fn io_bound_workload_saturates_disk() {
+        // Many threads on an I/O-bound workload: the disk queue grows.
+        let streams: Vec<ClientStream> = (0..8)
+            .map(|c| ClientStream {
+                client: ClientId(c),
+                queries: vec![q(c as u32 * 3000, 0, 4096, 4, VmOp::Subsample)],
+            })
+            .collect();
+        let r = run_sim(SimConfig::paper_baseline().with_threads(8), streams);
+        assert!(r.disk_stats.queue_time > 0.0);
+        assert!(r.disk_stats.requests > 0);
+    }
+
+    #[test]
+    fn blocking_waits_for_executing_dependency() {
+        // Two clients, same window: with 2 threads the second query starts
+        // while the first executes and should block, then reuse.
+        let spec = q(0, 0, 2048, 2, VmOp::Subsample);
+        let streams: Vec<ClientStream> = (0..2)
+            .map(|c| ClientStream {
+                client: ClientId(c),
+                queries: vec![spec],
+            })
+            .collect();
+        let r = run_sim(SimConfig::paper_baseline().with_threads(2), streams.clone());
+        let blocked: Vec<_> = r.records.iter().filter(|x| x.blocked > 0.0).collect();
+        assert_eq!(blocked.len(), 1);
+        assert!(blocked[0].exact_hit, "after blocking, the result is reusable");
+        // With blocking disabled, nobody blocks and both do the I/O plan
+        // (the page cache still dedups actual I/O).
+        let r2 = run_sim(
+            SimConfig::paper_baseline()
+                .with_threads(2)
+                .with_blocking(false),
+            streams,
+        );
+        assert!(r2.records.iter().all(|x| x.blocked == 0.0));
+    }
+
+    #[test]
+    fn batch_mode_submits_everything_at_zero() {
+        let spec = q(0, 0, 1024, 1, VmOp::Subsample);
+        let streams = vec![ClientStream {
+            client: ClientId(0),
+            queries: vec![spec; 5],
+        }];
+        let r = run_sim(
+            SimConfig::paper_baseline().with_mode(SubmissionMode::Batch),
+            streams,
+        );
+        assert_eq!(r.records.len(), 5);
+        assert!(r.records.iter().all(|x| x.arrival == 0.0));
+        // Four of the five are exact hits off the first.
+        assert_eq!(r.records.iter().filter(|x| x.exact_hit).count(), 4);
+    }
+
+    #[test]
+    fn interactive_clients_serialize_their_own_queries() {
+        let specs = vec![
+            q(0, 0, 1024, 1, VmOp::Subsample),
+            q(5000, 0, 1024, 1, VmOp::Subsample),
+        ];
+        let r = run_sim(
+            SimConfig::paper_baseline().with_threads(8),
+            one_client(specs),
+        );
+        // Second arrival must be at (or after) first completion.
+        let first = r.records.iter().find(|x| x.arrival == 0.0).unwrap();
+        let second = r.records.iter().find(|x| x.arrival > 0.0).unwrap();
+        assert!(second.arrival >= first.finish);
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival_in_batch() {
+        let streams = vec![ClientStream {
+            client: ClientId(0),
+            queries: (0..6).map(|i| q(i * 3000, 0, 1024, 1, VmOp::Subsample)).collect(),
+        }];
+        let r = run_sim(
+            SimConfig::paper_baseline()
+                .with_strategy(Strategy::Fifo)
+                .with_threads(1)
+                .with_mode(SubmissionMode::Batch),
+            streams,
+        );
+        let starts: Vec<f64> = r.records.iter().map(|x| x.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn fast_disk_makes_io_negligible() {
+        let mut cfg = SimConfig::paper_baseline();
+        cfg.disk = DiskModel::new(0.0, 1e15);
+        cfg.cost = vmqs_microscope::VmCostModel::calibrated(&DiskModel::circa_2002());
+        let spec = q(0, 0, 2048, 2, VmOp::Average);
+        let r = run_sim(cfg, one_client(vec![spec]));
+        assert!(r.records[0].io_time < 1e-6);
+        assert!(r.records[0].cpu_time > 0.0);
+    }
+
+    fn heavy_then_light_batch() -> Vec<ClientStream> {
+        // Disjoint heavy scans arrive first in FIFO order, keeping the
+        // disk backlog high; tiny queries arrive last.
+        let mut queries = vec![q(0, 0, 16384, 16, VmOp::Subsample)];
+        for i in 0..3 {
+            queries.push(q(i * 8192, 21000, 8192, 8, VmOp::Subsample));
+        }
+        for i in 0..6 {
+            queries.push(q(i * 1024, 0, 1024, 1, VmOp::Subsample));
+        }
+        vec![ClientStream {
+            client: ClientId(0),
+            queries,
+        }]
+    }
+
+    #[test]
+    fn ioaware_policy_prefers_light_queries_under_congestion() {
+        let cfg = SimConfig::paper_baseline()
+            .with_strategy(Strategy::Fifo)
+            .with_threads(2)
+            .with_mode(SubmissionMode::Batch);
+        let ioaware = run_sim(
+            cfg.with_policy(SchedPolicy::IoAware {
+                candidates: 16,
+                backlog_threshold: 0.05,
+            }),
+            heavy_then_light_batch(),
+        );
+        let plain = run_sim(cfg, heavy_then_light_batch());
+        assert_eq!(ioaware.records.len(), 10);
+        // Under congestion the policy starts the tiny (zoom 1) queries
+        // earlier than strict FIFO would, so they finish sooner on average.
+        let small_mean = |r: &SimReport| {
+            let xs: Vec<f64> = r
+                .records
+                .iter()
+                .filter(|x| x.spec.zoom == 1)
+                .map(|x| x.finish)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(
+            small_mean(&ioaware) < small_mean(&plain),
+            "io-aware {} vs plain {}",
+            small_mean(&ioaware),
+            small_mean(&plain)
+        );
+    }
+
+    #[test]
+    fn ioaware_override_counter_tracks_interventions() {
+        let cfg = SimConfig::paper_baseline()
+            .with_strategy(Strategy::Fifo)
+            .with_threads(2)
+            .with_mode(SubmissionMode::Batch)
+            .with_policy(SchedPolicy::IoAware {
+                candidates: 8,
+                backlog_threshold: 0.5,
+            });
+        // Drive the simulator through its event loop manually so the
+        // override counter can be read before `run` consumes it... the
+        // counter is monotone, so running a clone-config simulator and
+        // checking behaviour equivalence suffices; here we simply assert
+        // the API exists and starts at zero.
+        let sim = Simulator::new(cfg, heavy_then_light_batch());
+        assert_eq!(sim.policy_overrides(), 0);
+        assert!(sim.tuner_history().is_empty());
+    }
+
+    #[test]
+    fn self_tuner_adjusts_hybrid_weight_deterministically() {
+        let wl = || {
+            (0..4u64)
+                .map(|c| ClientStream {
+                    client: ClientId(c),
+                    queries: (0..12)
+                        .map(|i| {
+                            q(
+                                (c as u32 * 600 + i * 512) % 20000,
+                                (i * 700) % 20000,
+                                2048,
+                                2,
+                                VmOp::Subsample,
+                            )
+                        })
+                        .collect(),
+                })
+                .collect::<Vec<_>>()
+        };
+        let cfg = SimConfig::paper_baseline()
+            .with_strategy(Strategy::hybrid_default())
+            .with_mode(SubmissionMode::Batch) // deep queue: ranks matter
+            .with_tuner(TunerConfig { window: 8, step: 2.0 });
+        let a = run_sim(cfg, wl());
+        let b = run_sim(cfg, wl());
+        assert_eq!(a.records.len(), 48);
+        // Tuning stays deterministic.
+        assert_eq!(a.makespan, b.makespan);
+        // And it must actually differ from the untuned run (the tuner
+        // re-ranks after every window).
+        let untuned = run_sim(cfg_without_tuner(cfg), wl());
+        assert_ne!(a.makespan, untuned.makespan);
+    }
+
+    fn cfg_without_tuner(mut cfg: SimConfig) -> SimConfig {
+        cfg.tuner = None;
+        cfg
+    }
+
+    #[test]
+    fn trace_records_causal_event_sequences() {
+        let spec = q(0, 0, 1024, 1, VmOp::Subsample);
+        let streams = vec![ClientStream {
+            client: ClientId(0),
+            queries: vec![spec, spec],
+        }];
+        let r = run_sim(SimConfig::paper_baseline().with_trace(true), streams);
+        assert!(!r.trace.is_empty());
+        // Times are non-decreasing.
+        for w in r.trace.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        // Each query goes arrive -> start -> resume -> complete in order.
+        for qid in r.records.iter().map(|x| x.id) {
+            let kinds: Vec<&str> = r
+                .trace
+                .iter()
+                .filter(|e| e.query == qid)
+                .map(|e| e.kind.label())
+                .collect();
+            assert_eq!(kinds, vec!["arrive", "start", "resume", "complete"], "{qid}");
+        }
+        // With trace off, the trace is empty.
+        let r2 = run_sim(
+            SimConfig::paper_baseline(),
+            vec![ClientStream {
+                client: ClientId(0),
+                queries: vec![spec],
+            }],
+        );
+        assert!(r2.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_captures_blocking_and_swapout() {
+        use crate::trace::TraceKind;
+        let spec = q(0, 0, 2048, 2, VmOp::Subsample);
+        let streams: Vec<ClientStream> = (0..2)
+            .map(|c| ClientStream {
+                client: ClientId(c),
+                queries: vec![spec],
+            })
+            .collect();
+        let r = run_sim(
+            SimConfig::paper_baseline().with_threads(2).with_trace(true),
+            streams,
+        );
+        let blocks: Vec<_> = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Block { .. }))
+            .collect();
+        assert_eq!(blocks.len(), 1);
+        // Swap-out appears when caching is impossible.
+        let r2 = run_sim(
+            SimConfig::paper_baseline()
+                .with_ds_budget(0)
+                .with_trace(true),
+            vec![ClientStream {
+                client: ClientId(0),
+                queries: vec![spec],
+            }],
+        );
+        assert!(r2
+            .trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::SwapOut)));
+    }
+
+    #[test]
+    fn tuned_strategy_adjusts_parameters() {
+        let (s, v) = tuned_strategy(Strategy::hybrid_default(), 2.0).unwrap();
+        assert_eq!(v, 2.0);
+        match s {
+            Strategy::Hybrid { sjf_weight, .. } => assert_eq!(sjf_weight, 2.0),
+            _ => panic!("wrong strategy"),
+        }
+        let (s2, a) = tuned_strategy(Strategy::ClosestFirst { alpha: 0.4 }, 2.0).unwrap();
+        assert_eq!(a, 0.8);
+        match s2 {
+            Strategy::ClosestFirst { alpha } => assert_eq!(alpha, 0.8),
+            _ => panic!("wrong strategy"),
+        }
+        // Clamped at 1.0.
+        let (_, a2) = tuned_strategy(Strategy::ClosestFirst { alpha: 0.8 }, 2.0).unwrap();
+        assert_eq!(a2, 1.0);
+        assert!(tuned_strategy(Strategy::Fifo, 2.0).is_none());
+    }
+
+    #[test]
+    fn tuner_hill_climbs_and_reverses() {
+        let mut t = Tuner::new(TunerConfig { window: 2, step: 2.0 });
+        assert!(t.observe(1.0).is_none());
+        // First window closes: steps forward.
+        assert_eq!(t.observe(1.0), Some(2.0));
+        // Second window is worse: reverses.
+        t.observe(5.0);
+        assert_eq!(t.observe(5.0), Some(0.5));
+        // Third window improves: keeps direction.
+        t.observe(2.0);
+        assert_eq!(t.observe(2.0), Some(0.5));
+    }
+}

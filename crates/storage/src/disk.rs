@@ -1,0 +1,87 @@
+//! Disk performance model.
+//!
+//! The paper ran on an SMP with a locally attached disk farm, with the OS
+//! file cache disabled (`directio`) so the Page Space Manager was the only
+//! I/O amortization. We model such a device with a simple seek + transfer
+//! cost: each merged I/O request (a contiguous run of pages) pays one
+//! positioning overhead plus size-proportional transfer time. The model is
+//! shared by the discrete-event simulator (virtual time) and by the
+//! throttled data source (real sleeps), so both engines see the same disk.
+
+/// Analytic model of one disk (or disk farm treated as one queueing server).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiskModel {
+    /// Positioning (seek + rotational + request setup) cost per request, in
+    /// seconds.
+    pub seek_time: f64,
+    /// Sequential transfer bandwidth, bytes per second.
+    pub bandwidth: f64,
+}
+
+impl DiskModel {
+    /// Creates a model; panics on non-positive bandwidth or negative seek.
+    pub fn new(seek_time: f64, bandwidth: f64) -> Self {
+        assert!(seek_time >= 0.0, "negative seek time");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        DiskModel {
+            seek_time,
+            bandwidth,
+        }
+    }
+
+    /// A circa-2002 SCSI disk farm as one server: ~8 ms positioning,
+    /// ~25 MB/s sustained transfer. The absolute values only set the time
+    /// scale of the reproduction; the experiment *shapes* depend on the
+    /// CPU:I/O ratios, which are calibrated to the paper (see
+    /// `vmqs_microscope::cost`).
+    pub fn circa_2002() -> Self {
+        DiskModel::new(8e-3, 25.0 * 1024.0 * 1024.0)
+    }
+
+    /// An instantaneous disk (for tests isolating CPU behaviour).
+    pub fn instantaneous() -> Self {
+        DiskModel::new(0.0, f64::MAX)
+    }
+
+    /// Service time in seconds for one merged request of `bytes` bytes.
+    pub fn service_time(&self, bytes: u64) -> f64 {
+        self.seek_time + bytes as f64 / self.bandwidth
+    }
+
+    /// Service time for `count` pages of `page_size` bytes read as one run.
+    pub fn run_time(&self, count: u64, page_size: u64) -> f64 {
+        self.service_time(count * page_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_is_seek_plus_transfer() {
+        let d = DiskModel::new(0.01, 1000.0);
+        assert!((d.service_time(500) - 0.51).abs() < 1e-12);
+        assert!((d.service_time(0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_run_cheaper_than_separate_requests() {
+        let d = DiskModel::circa_2002();
+        let merged = d.run_time(8, 65536);
+        let separate = 8.0 * d.run_time(1, 65536);
+        assert!(merged < separate);
+    }
+
+    #[test]
+    fn instantaneous_disk_near_zero() {
+        let d = DiskModel::instantaneous();
+        assert!(d.service_time(1 << 30) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        DiskModel::new(0.0, 0.0);
+    }
+}

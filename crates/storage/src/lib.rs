@@ -1,0 +1,24 @@
+//! # vmqs-storage
+//!
+//! Data sources and the disk performance model backing the Page Space
+//! Manager.
+//!
+//! The paper's evaluation ran against multi-gigabyte digitized slides on a
+//! local disk farm with the OS file cache disabled. This crate substitutes
+//! that hardware (see DESIGN.md §2):
+//!
+//! * [`SyntheticSource`] generates deterministic page contents — pixel
+//!   values never affect scheduling decisions, so synthetic data preserves
+//!   all studied behaviour;
+//! * [`FileSource`] serves pages from real files for end-to-end runs;
+//! * [`ThrottledSource`] replays 2002-era disk timing via [`DiskModel`];
+//! * [`DiskModel`] is also consumed by the discrete-event simulator to
+//!   compute virtual-time I/O costs, so both engines share one disk model.
+
+#![warn(missing_docs)]
+
+mod disk;
+mod source;
+
+pub use disk::DiskModel;
+pub use source::{DataSource, FileSource, SyntheticSource, ThrottledSource};

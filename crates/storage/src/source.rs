@@ -1,0 +1,254 @@
+//! Data sources: where pages actually come from.
+//!
+//! The paper's architecture reads datasets from a "disk farm" through data
+//! source objects. We provide three sources:
+//!
+//! * [`SyntheticSource`] — deterministic procedurally generated pages; the
+//!   standard source for tests and examples (pixel *values* never influence
+//!   scheduling, so synthesizing them preserves all studied behaviour),
+//! * [`FileSource`] — pages read from real files on disk (one file per
+//!   dataset), for end-to-end runs against actual storage,
+//! * [`ThrottledSource`] — a decorator that adds [`DiskModel`]-computed
+//!   sleeps, emulating the paper's slow-2002-disk timing on modern
+//!   hardware.
+
+use crate::disk::DiskModel;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Duration;
+use vmqs_core::DatasetId;
+
+/// A source of fixed-size pages. Implementations must be thread-safe: the
+/// query server issues reads from many query threads concurrently.
+pub trait DataSource: Send + Sync {
+    /// Reads page `index` of `dataset`; always returns exactly `page_size`
+    /// bytes (sources zero-fill beyond end of data).
+    fn read_page(&self, dataset: DatasetId, index: u64, page_size: usize) -> std::io::Result<Vec<u8>>;
+}
+
+/// Deterministic synthetic pages: byte `i` of page `p` of dataset `d` is a
+/// pure function of `(d, p, i)`, so tests can verify reuse paths return
+/// byte-identical data to recomputation.
+#[derive(Debug, Default)]
+pub struct SyntheticSource;
+
+impl SyntheticSource {
+    /// Creates the source.
+    pub fn new() -> Self {
+        SyntheticSource
+    }
+
+    /// The deterministic content function (exposed so kernels/tests can
+    /// predict page contents without I/O).
+    #[inline]
+    pub fn byte_at(dataset: DatasetId, page: u64, offset: u64) -> u8 {
+        // SplitMix64-style mixing of the coordinates.
+        let mut z = dataset
+            .raw()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(page.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(offset);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as u8
+    }
+}
+
+impl DataSource for SyntheticSource {
+    fn read_page(
+        &self,
+        dataset: DatasetId,
+        index: u64,
+        page_size: usize,
+    ) -> std::io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; page_size];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = Self::byte_at(dataset, index, i as u64);
+        }
+        Ok(buf)
+    }
+}
+
+/// Pages stored in per-dataset files (`<dir>/dataset_<id>.bin`), page `i`
+/// at byte offset `i * page_size`. Reads past end-of-file are zero-filled,
+/// mirroring a partially materialized slide.
+#[derive(Debug)]
+pub struct FileSource {
+    dir: PathBuf,
+    // One shared handle per dataset; positioned reads are serialized per
+    // dataset (adequate for tests; the throughput path is the page cache).
+    handles: Mutex<HashMap<DatasetId, File>>,
+}
+
+impl FileSource {
+    /// Opens a source rooted at `dir`.
+    pub fn new<P: AsRef<Path>>(dir: P) -> Self {
+        FileSource {
+            dir: dir.as_ref().to_path_buf(),
+            handles: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Path of the backing file for a dataset.
+    pub fn dataset_path(&self, dataset: DatasetId) -> PathBuf {
+        self.dir.join(format!("dataset_{}.bin", dataset.raw()))
+    }
+
+    /// Materializes `pages` pages of synthetic data for `dataset` so the
+    /// file source serves exactly what [`SyntheticSource`] would.
+    pub fn materialize_synthetic(
+        &self,
+        dataset: DatasetId,
+        pages: u64,
+        page_size: usize,
+    ) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let mut f = File::create(self.dataset_path(dataset))?;
+        let synth = SyntheticSource::new();
+        for p in 0..pages {
+            let buf = synth.read_page(dataset, p, page_size)?;
+            f.write_all(&buf)?;
+        }
+        Ok(())
+    }
+}
+
+impl DataSource for FileSource {
+    fn read_page(
+        &self,
+        dataset: DatasetId,
+        index: u64,
+        page_size: usize,
+    ) -> std::io::Result<Vec<u8>> {
+        let mut handles = self.handles.lock().expect("file source lock poisoned");
+        let f = match handles.get_mut(&dataset) {
+            Some(f) => f,
+            None => {
+                let f = File::open(self.dataset_path(dataset))?;
+                handles.entry(dataset).or_insert(f)
+            }
+        };
+        let mut buf = vec![0u8; page_size];
+        f.seek(SeekFrom::Start(index * page_size as u64))?;
+        // Zero-fill on short read (page beyond EOF).
+        let mut read = 0;
+        while read < page_size {
+            match f.read(&mut buf[read..]) {
+                Ok(0) => break,
+                Ok(n) => read += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(buf)
+    }
+}
+
+/// Decorator adding [`DiskModel`] latency as real sleeps — lets the
+/// threaded engine experience 2002-era I/O costs on modern storage.
+pub struct ThrottledSource<S> {
+    inner: S,
+    model: DiskModel,
+    /// Scales sleeps (e.g. `0.01` replays the disk 100× faster, keeping
+    /// ratios intact while making tests quick).
+    time_scale: f64,
+}
+
+impl<S: DataSource> ThrottledSource<S> {
+    /// Wraps `inner`, sleeping `model.service_time(page) * time_scale` per
+    /// page read.
+    pub fn new(inner: S, model: DiskModel, time_scale: f64) -> Self {
+        assert!(time_scale >= 0.0);
+        ThrottledSource {
+            inner,
+            model,
+            time_scale,
+        }
+    }
+}
+
+impl<S: DataSource> DataSource for ThrottledSource<S> {
+    fn read_page(
+        &self,
+        dataset: DatasetId,
+        index: u64,
+        page_size: usize,
+    ) -> std::io::Result<Vec<u8>> {
+        let t = self.model.service_time(page_size as u64) * self.time_scale;
+        if t > 0.0 && t.is_finite() {
+            std::thread::sleep(Duration::from_secs_f64(t));
+        }
+        self.inner.read_page(dataset, index, page_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_pages_are_deterministic() {
+        let s = SyntheticSource::new();
+        let a = s.read_page(DatasetId(1), 7, 256).unwrap();
+        let b = s.read_page(DatasetId(1), 7, 256).unwrap();
+        assert_eq!(a, b);
+        let c = s.read_page(DatasetId(2), 7, 256).unwrap();
+        assert_ne!(a, c);
+        let d = s.read_page(DatasetId(1), 8, 256).unwrap();
+        assert_ne!(a, d);
+        assert_eq!(a.len(), 256);
+    }
+
+    #[test]
+    fn synthetic_bytes_match_content_function() {
+        let s = SyntheticSource::new();
+        let page = s.read_page(DatasetId(3), 5, 16).unwrap();
+        for (i, &b) in page.iter().enumerate() {
+            assert_eq!(b, SyntheticSource::byte_at(DatasetId(3), 5, i as u64));
+        }
+    }
+
+    #[test]
+    fn file_source_round_trips_synthetic_data() {
+        let dir = std::env::temp_dir().join(format!("vmqs_fs_test_{}", std::process::id()));
+        let fs = FileSource::new(&dir);
+        fs.materialize_synthetic(DatasetId(4), 3, 128).unwrap();
+        let synth = SyntheticSource::new();
+        for p in 0..3 {
+            assert_eq!(
+                fs.read_page(DatasetId(4), p, 128).unwrap(),
+                synth.read_page(DatasetId(4), p, 128).unwrap()
+            );
+        }
+        // Past-EOF page is zero-filled.
+        let z = fs.read_page(DatasetId(4), 99, 128).unwrap();
+        assert!(z.iter().all(|&b| b == 0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_source_missing_dataset_errors() {
+        let dir = std::env::temp_dir().join(format!("vmqs_fs_missing_{}", std::process::id()));
+        let fs = FileSource::new(&dir);
+        assert!(fs.read_page(DatasetId(9), 0, 64).is_err());
+    }
+
+    #[test]
+    fn throttled_source_preserves_data() {
+        let t = ThrottledSource::new(SyntheticSource::new(), DiskModel::new(0.0, 1e12), 1.0);
+        let a = t.read_page(DatasetId(1), 0, 64).unwrap();
+        assert_eq!(a, SyntheticSource::new().read_page(DatasetId(1), 0, 64).unwrap());
+    }
+
+    #[test]
+    fn throttled_source_sleeps_scaled_time() {
+        // 1 ms seek at scale 1.0 → at least ~1 ms for one page.
+        let t = ThrottledSource::new(SyntheticSource::new(), DiskModel::new(1e-3, 1e12), 1.0);
+        let t0 = std::time::Instant::now();
+        t.read_page(DatasetId(1), 0, 64).unwrap();
+        assert!(t0.elapsed() >= Duration::from_micros(900));
+    }
+}

@@ -1,0 +1,260 @@
+//! Volume datasets and their on-disk brick layout.
+//!
+//! A 3-D scalar volume (one byte per voxel) is regularly partitioned into
+//! cubic **bricks**, one brick per 64 KB storage page — the 3-D analogue
+//! of the Virtual Microscope's chunked slides. 40³ voxels = 64 000 bytes
+//! fit one page.
+
+use crate::geom3::Box3;
+use vmqs_core::DatasetId;
+use vmqs_storage::{DataSource, SyntheticSource};
+
+/// Page size shared with the rest of the system (64 KB).
+pub const PAGE_SIZE: usize = 65536;
+/// Brick side length: the largest cube of 1-byte voxels fitting one page
+/// (40³ = 64 000 ≤ 65 536).
+pub const BRICK_SIDE: u32 = 40;
+
+/// One scalar volume: dimensions plus derived brick-grid layout. Brick
+/// index equals the page index holding it (slab-major, then row-major).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VolumeDataset {
+    /// Dataset identity (shares the id space with all other datasets).
+    pub id: DatasetId,
+    /// X extent in voxels.
+    pub width: u32,
+    /// Y extent in voxels.
+    pub height: u32,
+    /// Z extent in voxels.
+    pub depth: u32,
+}
+
+impl VolumeDataset {
+    /// Creates a dataset descriptor. Panics on zero dimensions.
+    pub fn new(id: DatasetId, width: u32, height: u32, depth: u32) -> Self {
+        assert!(
+            width > 0 && height > 0 && depth > 0,
+            "degenerate volume dimensions"
+        );
+        VolumeDataset {
+            id,
+            width,
+            height,
+            depth,
+        }
+    }
+
+    /// A large evaluation volume: 2048×2048×1024 voxels = 4 GiB raw — the
+    /// same order of magnitude as the paper's slide corpus.
+    pub fn large(id: DatasetId) -> Self {
+        VolumeDataset::new(id, 2048, 2048, 1024)
+    }
+
+    /// Bricks along X.
+    pub fn brick_cols(&self) -> u32 {
+        self.width.div_ceil(BRICK_SIDE)
+    }
+
+    /// Bricks along Y.
+    pub fn brick_rows(&self) -> u32 {
+        self.height.div_ceil(BRICK_SIDE)
+    }
+
+    /// Bricks along Z.
+    pub fn brick_slabs(&self) -> u32 {
+        self.depth.div_ceil(BRICK_SIDE)
+    }
+
+    /// Total bricks (= pages).
+    pub fn brick_count(&self) -> u64 {
+        self.brick_cols() as u64 * self.brick_rows() as u64 * self.brick_slabs() as u64
+    }
+
+    /// The full-volume box.
+    pub fn bounds(&self) -> Box3 {
+        Box3::new(0, 0, 0, self.width, self.height, self.depth)
+    }
+
+    /// The voxel box covered by brick `index` (clipped at the far faces).
+    pub fn brick_box(&self, index: u64) -> Box3 {
+        debug_assert!(index < self.brick_count());
+        let per_slab = self.brick_cols() as u64 * self.brick_rows() as u64;
+        let bz = (index / per_slab) as u32;
+        let rem = index % per_slab;
+        let by = (rem / self.brick_cols() as u64) as u32;
+        let bx = (rem % self.brick_cols() as u64) as u32;
+        let x = bx * BRICK_SIDE;
+        let y = by * BRICK_SIDE;
+        let z = bz * BRICK_SIDE;
+        Box3::new(
+            x,
+            y,
+            z,
+            BRICK_SIDE.min(self.width - x),
+            BRICK_SIDE.min(self.height - y),
+            BRICK_SIDE.min(self.depth - z),
+        )
+    }
+
+    /// Brick index containing voxel `(x, y, z)`.
+    pub fn brick_at(&self, x: u32, y: u32, z: u32) -> u64 {
+        debug_assert!(x < self.width && y < self.height && z < self.depth);
+        let per_slab = self.brick_cols() as u64 * self.brick_rows() as u64;
+        (z / BRICK_SIDE) as u64 * per_slab
+            + (y / BRICK_SIDE) as u64 * self.brick_cols() as u64
+            + (x / BRICK_SIDE) as u64
+    }
+
+    /// Indices of all bricks intersecting `region` (clipped to the
+    /// volume), in index order — the I/O set of a query.
+    pub fn bricks_intersecting(&self, region: &Box3) -> Vec<u64> {
+        let clipped = match region.intersect(&self.bounds()) {
+            Some(c) => c,
+            None => return Vec::new(),
+        };
+        let c0 = clipped.x / BRICK_SIDE;
+        let c1 = (clipped.x1() - 1) / BRICK_SIDE;
+        let r0 = clipped.y / BRICK_SIDE;
+        let r1 = (clipped.y1() - 1) / BRICK_SIDE;
+        let s0 = clipped.z / BRICK_SIDE;
+        let s1 = (clipped.z1() - 1) / BRICK_SIDE;
+        let per_slab = self.brick_cols() as u64 * self.brick_rows() as u64;
+        let mut out = Vec::new();
+        for s in s0..=s1 {
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    out.push(s as u64 * per_slab + r as u64 * self.brick_cols() as u64 + c as u64);
+                }
+            }
+        }
+        out
+    }
+
+    /// `qinputsize` for a box: bytes of the bricks intersecting it.
+    pub fn input_bytes(&self, region: &Box3) -> u64 {
+        self.bricks_intersecting(region).len() as u64 * PAGE_SIZE as u64
+    }
+
+    /// Byte offset of voxel `(x, y, z)` within its brick's page (x fastest,
+    /// then y, then z, over the clipped brick dimensions).
+    pub fn offset_in_brick(&self, x: u32, y: u32, z: u32) -> usize {
+        let b = self.brick_box(self.brick_at(x, y, z));
+        ((z - b.z) as usize * b.h as usize + (y - b.y) as usize) * b.w as usize
+            + (x - b.x) as usize
+    }
+
+    /// Ground-truth voxel value of the deterministic synthetic volume —
+    /// what [`SyntheticSource`] stores at `(x, y, z)`.
+    pub fn synthetic_voxel(&self, x: u32, y: u32, z: u32) -> u8 {
+        let page = self.brick_at(x, y, z);
+        SyntheticSource::byte_at(self.id, page, self.offset_in_brick(x, y, z) as u64)
+    }
+
+    /// Reads one voxel through a [`DataSource`] (test helper).
+    pub fn read_voxel<D: DataSource>(
+        &self,
+        source: &D,
+        x: u32,
+        y: u32,
+        z: u32,
+    ) -> std::io::Result<u8> {
+        let page = source.read_page(self.id, self.brick_at(x, y, z), PAGE_SIZE)?;
+        Ok(page[self.offset_in_brick(x, y, z)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol() -> VolumeDataset {
+        VolumeDataset::new(DatasetId(5), 100, 90, 85)
+    }
+
+    #[test]
+    fn brick_grid_dimensions() {
+        let v = vol();
+        assert_eq!(v.brick_cols(), 3); // ceil(100/40)
+        assert_eq!(v.brick_rows(), 3); // ceil(90/40)
+        assert_eq!(v.brick_slabs(), 3); // ceil(85/40)
+        assert_eq!(v.brick_count(), 27);
+    }
+
+    #[test]
+    fn brick_box_clips_at_far_faces() {
+        let v = vol();
+        assert_eq!(v.brick_box(0), Box3::new(0, 0, 0, 40, 40, 40));
+        // Last brick: x=80 (w 20), y=80 (h 10), z=80 (d 5).
+        assert_eq!(v.brick_box(26), Box3::new(80, 80, 80, 20, 10, 5));
+    }
+
+    #[test]
+    fn brick_at_inverts_brick_box() {
+        let v = vol();
+        for idx in [0u64, 4, 13, 26] {
+            let b = v.brick_box(idx);
+            assert_eq!(v.brick_at(b.x, b.y, b.z), idx);
+            assert_eq!(v.brick_at(b.x1() - 1, b.y1() - 1, b.z1() - 1), idx);
+        }
+    }
+
+    #[test]
+    fn bricks_intersecting_straddles_boundaries() {
+        let v = vol();
+        assert_eq!(
+            v.bricks_intersecting(&Box3::new(0, 0, 0, 10, 10, 10)),
+            vec![0]
+        );
+        // Crosses brick boundaries on all three axes: 2x2x2 bricks.
+        let ids = v.bricks_intersecting(&Box3::new(35, 35, 35, 10, 10, 10));
+        assert_eq!(ids.len(), 8);
+        // Out of bounds clips to nothing.
+        assert!(v
+            .bricks_intersecting(&Box3::new(500, 0, 0, 10, 10, 10))
+            .is_empty());
+    }
+
+    #[test]
+    fn input_bytes_counts_bricks() {
+        let v = vol();
+        assert_eq!(v.input_bytes(&Box3::new(0, 0, 0, 1, 1, 1)), 65536);
+        assert_eq!(
+            v.input_bytes(&Box3::new(35, 35, 35, 10, 10, 10)),
+            8 * 65536
+        );
+    }
+
+    #[test]
+    fn synthetic_voxel_matches_data_source() {
+        let v = vol();
+        let src = SyntheticSource::new();
+        for &(x, y, z) in &[(0, 0, 0), (39, 39, 39), (40, 0, 0), (99, 89, 84), (50, 45, 42)] {
+            assert_eq!(
+                v.synthetic_voxel(x, y, z),
+                v.read_voxel(&src, x, y, z).unwrap(),
+                "voxel ({x},{y},{z})"
+            );
+        }
+    }
+
+    #[test]
+    fn offset_in_brick_layout() {
+        let v = vol();
+        assert_eq!(v.offset_in_brick(0, 0, 0), 0);
+        assert_eq!(v.offset_in_brick(1, 0, 0), 1);
+        assert_eq!(v.offset_in_brick(0, 1, 0), 40);
+        assert_eq!(v.offset_in_brick(0, 0, 1), 1600);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_dim_rejected() {
+        VolumeDataset::new(DatasetId(0), 10, 0, 10);
+    }
+
+    #[test]
+    fn large_volume_is_multi_gb() {
+        let v = VolumeDataset::large(DatasetId(0));
+        assert!(v.brick_count() * PAGE_SIZE as u64 > 4_000_000_000);
+    }
+}

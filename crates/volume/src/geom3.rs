@@ -1,0 +1,146 @@
+//! Axis-aligned boxes in 3-D voxel coordinates.
+//!
+//! Volume queries select a rectangular footprint on the X/Y plane and a
+//! depth range along Z; internally that is an axis-aligned box. Half-open
+//! on every axis, mirroring [`vmqs_core::Rect`].
+
+use vmqs_core::Rect;
+
+/// A half-open axis-aligned box of voxels.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Box3 {
+    /// Left edge.
+    pub x: u32,
+    /// Top edge.
+    pub y: u32,
+    /// Front edge (depth).
+    pub z: u32,
+    /// Width (X extent).
+    pub w: u32,
+    /// Height (Y extent).
+    pub h: u32,
+    /// Depth (Z extent).
+    pub d: u32,
+}
+
+impl Box3 {
+    /// Creates a box from origin and size.
+    pub const fn new(x: u32, y: u32, z: u32, w: u32, h: u32, d: u32) -> Self {
+        Box3 { x, y, z, w, h, d }
+    }
+
+    /// Builds a box from an X/Y footprint and a Z range `[z0, z1)`.
+    pub fn from_footprint(footprint: Rect, z0: u32, z1: u32) -> Self {
+        Box3 {
+            x: footprint.x,
+            y: footprint.y,
+            z: z0,
+            w: footprint.w,
+            h: footprint.h,
+            d: z1.saturating_sub(z0),
+        }
+    }
+
+    /// The X/Y footprint.
+    pub fn footprint(&self) -> Rect {
+        Rect::new(self.x, self.y, self.w, self.h)
+    }
+
+    /// Exclusive right edge.
+    pub fn x1(&self) -> u32 {
+        self.x + self.w
+    }
+
+    /// Exclusive bottom edge.
+    pub fn y1(&self) -> u32 {
+        self.y + self.h
+    }
+
+    /// Exclusive back edge.
+    pub fn z1(&self) -> u32 {
+        self.z + self.d
+    }
+
+    /// True when the box contains no voxels.
+    pub fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0 || self.d == 0
+    }
+
+    /// Voxel count.
+    pub fn volume(&self) -> u64 {
+        self.w as u64 * self.h as u64 * self.d as u64
+    }
+
+    /// Intersection; `None` when disjoint or either is empty.
+    pub fn intersect(&self, other: &Box3) -> Option<Box3> {
+        if self.is_empty() || other.is_empty() {
+            return None;
+        }
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let z0 = self.z.max(other.z);
+        let x1 = self.x1().min(other.x1());
+        let y1 = self.y1().min(other.y1());
+        let z1 = self.z1().min(other.z1());
+        if x0 < x1 && y0 < y1 && z0 < z1 {
+            Some(Box3::new(x0, y0, z0, x1 - x0, y1 - y0, z1 - z0))
+        } else {
+            None
+        }
+    }
+
+    /// True when every voxel of `other` lies in `self`.
+    pub fn contains(&self, other: &Box3) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        !self.is_empty()
+            && self.x <= other.x
+            && self.y <= other.y
+            && self.z <= other.z
+            && self.x1() >= other.x1()
+            && self.y1() >= other.y1()
+            && self.z1() >= other.z1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_roundtrip() {
+        let b = Box3::from_footprint(Rect::new(2, 3, 10, 20), 5, 9);
+        assert_eq!(b, Box3::new(2, 3, 5, 10, 20, 4));
+        assert_eq!(b.footprint(), Rect::new(2, 3, 10, 20));
+        assert_eq!(b.volume(), 10 * 20 * 4);
+        assert_eq!((b.x1(), b.y1(), b.z1()), (12, 23, 9));
+    }
+
+    #[test]
+    fn inverted_z_range_is_empty() {
+        let b = Box3::from_footprint(Rect::new(0, 0, 5, 5), 9, 4);
+        assert!(b.is_empty());
+        assert_eq!(b.volume(), 0);
+    }
+
+    #[test]
+    fn intersect_behaviour() {
+        let a = Box3::new(0, 0, 0, 10, 10, 10);
+        let b = Box3::new(5, 5, 5, 10, 10, 10);
+        assert_eq!(a.intersect(&b), Some(Box3::new(5, 5, 5, 5, 5, 5)));
+        // Disjoint along Z only.
+        let c = Box3::new(0, 0, 10, 10, 10, 5);
+        assert_eq!(a.intersect(&c), None);
+        assert!(a.intersect(&Box3::new(0, 0, 0, 0, 5, 5)).is_none());
+    }
+
+    #[test]
+    fn contains_behaviour() {
+        let outer = Box3::new(0, 0, 0, 10, 10, 10);
+        assert!(outer.contains(&Box3::new(2, 2, 2, 3, 3, 3)));
+        assert!(!outer.contains(&Box3::new(8, 8, 8, 5, 5, 5)));
+        assert!(outer.contains(&Box3::new(0, 0, 0, 0, 0, 0)));
+        assert!(outer.contains(&outer));
+    }
+}

@@ -1,0 +1,112 @@
+//! Grayscale projection images (one byte per pixel).
+
+/// A dense row-major grayscale image.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GrayImage {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major samples, `width * height` bytes.
+    pub data: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    pub fn new(width: u32, height: u32) -> Self {
+        GrayImage {
+            width,
+            height,
+            data: vec![0; width as usize * height as usize],
+        }
+    }
+
+    #[inline]
+    fn offset(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height, "pixel out of bounds");
+        y as usize * self.width as usize + x as usize
+    }
+
+    /// Reads pixel `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        self.data[self.offset(x, y)]
+    }
+
+    /// Writes pixel `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, v: u8) {
+        let o = self.offset(x, y);
+        self.data[o] = v;
+    }
+
+    /// Writes the image as a binary PGM (P5) file.
+    pub fn write_pgm<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write!(f, "P5\n{} {}\n255\n", self.width, self.height)?;
+        f.write_all(&self.data)?;
+        f.flush()
+    }
+
+    /// Copies a block from `src` at `(sx, sy)` into `self` at `(dx, dy)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn blit(&mut self, dx: u32, dy: u32, src: &GrayImage, sx: u32, sy: u32, w: u32, h: u32) {
+        assert!(dx + w <= self.width && dy + h <= self.height, "dst out of bounds");
+        assert!(sx + w <= src.width && sy + h <= src.height, "src out of bounds");
+        for row in 0..h {
+            let so = src.offset(sx, sy + row);
+            let doff = self.offset(dx, dy + row);
+            self.data[doff..doff + w as usize].copy_from_slice(&src.data[so..so + w as usize]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut img = GrayImage::new(3, 2);
+        img.set(2, 1, 99);
+        assert_eq!(img.get(2, 1), 99);
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.data.len(), 6);
+    }
+
+    #[test]
+    fn pgm_roundtrip_header_and_bytes() {
+        let mut img = GrayImage::new(2, 1);
+        img.set(0, 0, 9);
+        img.set(1, 0, 200);
+        let path = std::env::temp_dir().join(format!("vmqs_pgm_{}.pgm", std::process::id()));
+        img.write_pgm(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..11], b"P5\n2 1\n255\n");
+        assert_eq!(&bytes[11..], &[9, 200]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn blit_copies_block() {
+        let mut src = GrayImage::new(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                src.set(x, y, (10 * y + x) as u8);
+            }
+        }
+        let mut dst = GrayImage::new(4, 4);
+        dst.blit(0, 0, &src, 2, 2, 2, 2);
+        assert_eq!(dst.get(0, 0), 22);
+        assert_eq!(dst.get(1, 1), 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn blit_bounds_checked() {
+        let src = GrayImage::new(2, 2);
+        let mut dst = GrayImage::new(2, 2);
+        dst.blit(1, 1, &src, 0, 0, 2, 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! A tour of the scheduling graph itself: builds the Fig. 3 situation from
+//! the paper (overlapping queries at different magnifications, including a
+//! one-directional edge from a non-invertible transformation), prints the
+//! graph in DOT form, and walks one dequeue cycle per strategy to show how
+//! the rankings differ.
+//!
+//! Run with: `cargo run --release --example graph_tour`
+
+use vmqs::prelude::*;
+use vmqs_core::QueryId;
+
+fn sample_queries(slide: SlideDataset) -> Vec<(QueryId, VmQuery)> {
+    vec![
+        // q1 and q2: same zoom, half-overlapping windows (bidirectional edge).
+        (QueryId(1), VmQuery::new(slide, Rect::new(0, 0, 2048, 2048), 2, VmOp::Subsample)),
+        (QueryId(2), VmQuery::new(slide, Rect::new(1024, 0, 2048, 2048), 2, VmOp::Subsample)),
+        // q3 overlaps q2 at the same zoom.
+        (QueryId(3), VmQuery::new(slide, Rect::new(2048, 0, 2048, 2048), 2, VmOp::Subsample)),
+        // q4: coarser zoom over q2's window — only e_{2,4} exists because
+        // the transformation is not invertible (paper Fig. 3).
+        (QueryId(4), VmQuery::new(slide, Rect::new(1024, 0, 2048, 2048), 8, VmOp::Subsample)),
+        // q5: disjoint region, no edges at all.
+        (QueryId(5), VmQuery::new(slide, Rect::new(16384, 16384, 2048, 2048), 2, VmOp::Subsample)),
+    ]
+}
+
+fn main() {
+    let slide = SlideDataset::paper_scale(DatasetId(0));
+
+    println!("=== The query scheduling graph (paper Fig. 3) ===\n");
+    let mut g: SchedulingGraph<VmQuery> = SchedulingGraph::new(Strategy::Cnbf);
+    for (id, q) in sample_queries(slide) {
+        g.insert(id, q);
+    }
+    println!("{}", g.to_dot());
+    println!("q4 reuse sources: {:?}", g.reuse_sources(QueryId(4)));
+    println!("q4 dependents:    {:?} (none — coarse results can't serve fine queries)\n", g.dependents(QueryId(4)));
+
+    println!("=== One dequeue under each strategy ===\n");
+    for strategy in Strategy::paper_set() {
+        let mut g: SchedulingGraph<VmQuery> = SchedulingGraph::new(strategy);
+        for (id, q) in sample_queries(slide) {
+            g.insert(id, q);
+        }
+        // Pretend q1 already ran and is cached, so cache-aware strategies
+        // have something to react to.
+        let first = g.dequeue().unwrap();
+        g.mark_cached(first);
+        let (next, rank) = g.peek().unwrap();
+        println!(
+            "{:>4}: ran {first} first, would now run {next} (rank {:.0})",
+            strategy.name(),
+            rank.value()
+        );
+    }
+
+    println!("\n=== Rank evolution for CNBF as states change ===\n");
+    let mut g: SchedulingGraph<VmQuery> = SchedulingGraph::new(Strategy::Cnbf);
+    for (id, q) in sample_queries(slide) {
+        g.insert(id, q);
+    }
+    let show = |g: &SchedulingGraph<VmQuery>, label: &str| {
+        let ranks: Vec<String> = (1..=5)
+            .filter_map(|i| {
+                g.rank_of(QueryId(i)).map(|r| {
+                    format!(
+                        "q{i}={:.1}MB ({})",
+                        r.value() / (1024.0 * 1024.0),
+                        g.state_of(QueryId(i)).unwrap()
+                    )
+                })
+            })
+            .collect();
+        println!("{label:32} {}", ranks.join("  "));
+    };
+    show(&g, "all waiting:");
+    let a = g.dequeue().unwrap();
+    show(&g, &format!("{a} executing (deps penalized):"));
+    g.mark_cached(a);
+    show(&g, &format!("{a} cached (deps rewarded):"));
+    g.swap_out(a);
+    show(&g, &format!("{a} swapped out (edges gone):"));
+}

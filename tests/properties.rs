@@ -1,0 +1,487 @@
+//! Property-based tests (proptest) for the core invariants the system's
+//! correctness rests on: rectangle algebra, overlap indices, scheduling
+//! graph consistency, cache accounting, kernel-vs-reference agreement, and
+//! simulator sanity under randomized workloads.
+
+use proptest::prelude::*;
+use vmqs::prelude::{
+    DataStore, DatasetId, Payload, QuerySpec, QueryState, Rect, SchedulingGraph, SimConfig,
+    SlideDataset, SubmissionMode, SyntheticSource, VmOp, VmQuery, WorkloadConfig,
+};
+use vmqs::prelude::{generate, run_sim};
+use vmqs_core::geom::{greedy_cover, subtract_all, total_area};
+use vmqs_core::spec::testutil::IntervalSpec;
+use vmqs_core::QueryId;
+use vmqs_core::Strategy as RankStrategy;
+use vmqs_datastore::DsError;
+use vmqs_microscope::kernels::{compute_from_chunks, reference_render};
+use vmqs_microscope::PAGE_SIZE;
+use vmqs_pagespace::{PageCacheCore, PageData, PageDisposition, PageKey};
+use vmqs_storage::DataSource;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0u32..200, 0u32..200, 1u32..100, 1u32..100).prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_commutative_and_bounded(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains(&i) && b.contains(&i));
+            prop_assert!(i.area() <= a.area().min(b.area()));
+        }
+    }
+
+    #[test]
+    fn subtraction_conserves_area(a in arb_rect(), b in arb_rect()) {
+        let parts = a.subtract(&b);
+        prop_assert_eq!(total_area(&parts), a.area() - a.intersection_area(&b));
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert!(a.contains(p));
+            prop_assert!(!p.intersects(&b));
+            prop_assert!(!p.is_empty());
+            for q in &parts[i + 1..] {
+                prop_assert!(!p.intersects(q));
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_all_leaves_disjoint_remainder(
+        target in arb_rect(),
+        covers in prop::collection::vec(arb_rect(), 0..6),
+    ) {
+        let rem = subtract_all(&target, &covers);
+        for (i, r) in rem.iter().enumerate() {
+            prop_assert!(target.contains(r));
+            for c in &covers {
+                prop_assert!(!r.intersects(c));
+            }
+            for s in &rem[i + 1..] {
+                prop_assert!(!r.intersects(s));
+            }
+        }
+        // Remainder + covers tile the target: any sampled target point is
+        // in a cover or in the remainder.
+        let px = target.x + target.w / 2;
+        let py = target.y + target.h / 2;
+        let in_cover = covers.iter().any(|c| c.contains_point(px, py));
+        let in_rem = rem.iter().any(|r| r.contains_point(px, py));
+        prop_assert!(in_cover || in_rem);
+    }
+
+    #[test]
+    fn greedy_cover_fragments_disjoint_and_tagged_correctly(
+        target in arb_rect(),
+        candidates in prop::collection::vec(arb_rect(), 0..6),
+    ) {
+        let cover = greedy_cover(&target, &candidates);
+        for (i, (frag, tag)) in cover.iter().enumerate() {
+            prop_assert!(target.contains(frag));
+            prop_assert!(candidates[*tag].contains(frag));
+            for (other, _) in &cover[i + 1..] {
+                prop_assert!(!frag.intersects(other));
+            }
+        }
+    }
+
+    #[test]
+    fn interval_overlap_in_unit_range(
+        s1 in 0u64..500, l1 in 1u64..200, sc1 in 1u64..5,
+        s2 in 0u64..500, l2 in 1u64..200, sc2 in 1u64..5,
+    ) {
+        let a = IntervalSpec::new(s1, l1 * sc1, sc1);
+        let b = IntervalSpec::new(s2, l2 * sc2, sc2);
+        let ov = a.overlap(&b);
+        prop_assert!((0.0..=1.0).contains(&ov), "overlap {} out of range", ov);
+        prop_assert!((a.overlap(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vm_overlap_in_unit_range_and_directional(
+        x1 in 0u32..1000, y1 in 0u32..1000,
+        x2 in 0u32..1000, y2 in 0u32..1000,
+        z1 in 0usize..3, z2 in 0usize..3,
+        op in prop::bool::ANY,
+    ) {
+        let zooms = [1u32, 2, 4];
+        let slide = SlideDataset::new(DatasetId(0), 2048, 2048);
+        let op = if op { VmOp::Subsample } else { VmOp::Average };
+        let a = VmQuery::new(slide, Rect::new(x1, y1, 512, 512), zooms[z1], op);
+        let b = VmQuery::new(slide, Rect::new(x2, y2, 512, 512), zooms[z2], op);
+        let ov = a.overlap(&b);
+        prop_assert!((0.0..=1.0).contains(&ov));
+        // Non-invertibility: a coarser result can never serve a finer query.
+        if a.zoom > b.zoom {
+            prop_assert_eq!(ov, 0.0);
+        }
+        // Coverage consistency: positive overlap implies usable coverage
+        // or a sliver smaller than one output pixel.
+        if ov > 0.01 {
+            prop_assert!(a.can_project_to(&b));
+        }
+    }
+
+    // Graph invariants under random operation sequences: edge mirroring,
+    // waiting-set consistency, and incremental ranks equal to a fresh
+    // recomputation.
+    #[test]
+    fn graph_consistent_under_random_ops(
+        specs in prop::collection::vec((0u64..400, 1u64..4, 0u8..3), 3..25),
+        ops in prop::collection::vec(0u8..4, 0..40),
+        strat in 0usize..6,
+    ) {
+        let strategy = RankStrategy::paper_set()[strat];
+        let mut g: SchedulingGraph<IntervalSpec> = SchedulingGraph::new(strategy);
+        let mut next = 0u64;
+        let mut pending: Vec<(u64, u64, u8)> = specs.clone();
+        for op in ops {
+            match op {
+                // Insert the next spec, if any remain.
+                0 | 1 => {
+                    if let Some((start, scale, _)) = pending.pop() {
+                        g.insert(QueryId(next), IntervalSpec::new(start, 100 * scale, scale));
+                        next += 1;
+                    }
+                }
+                // Dequeue + immediately cache.
+                2 => {
+                    if let Some(id) = g.dequeue() {
+                        g.mark_cached(id);
+                    }
+                }
+                // Swap out the oldest cached node.
+                _ => {
+                    let mut cached = g.ids_in_state(QueryState::Cached);
+                    cached.sort();
+                    if let Some(&id) = cached.first() {
+                        g.swap_out(id);
+                    }
+                }
+            }
+            g.validate().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    #[test]
+    fn graph_dequeue_returns_max_rank(
+        specs in prop::collection::vec((0u64..300, 1u64..4), 2..15),
+    ) {
+        let mut g: SchedulingGraph<IntervalSpec> = SchedulingGraph::new(RankStrategy::Muf);
+        for (i, (start, scale)) in specs.iter().enumerate() {
+            g.insert(QueryId(i as u64), IntervalSpec::new(*start, 120 * scale, *scale));
+        }
+        let waiting = g.ids_in_state(QueryState::Waiting);
+        let max_rank = waiting
+            .iter()
+            .map(|&id| g.rank_of(id).unwrap())
+            .max()
+            .unwrap();
+        let picked = g.dequeue().unwrap();
+        // The dequeued node carried the maximum rank (ties break by
+        // arrival, which is still a max-rank node).
+        prop_assert_eq!(g.rank_of(picked).unwrap(), max_rank);
+    }
+
+    // Data Store: budget never exceeded; lookups only return visible
+    // blobs; exact match implies cmp.
+    #[test]
+    fn datastore_budget_and_visibility(
+        inserts in prop::collection::vec((0u64..300, 1u64..80), 1..30),
+        budget in 50u64..300,
+    ) {
+        let mut ds: DataStore<IntervalSpec> = DataStore::new(budget);
+        let mut evicted = Vec::new();
+        for (i, (start, len)) in inserts.iter().enumerate() {
+            let spec = IntervalSpec::new(*start, *len, 1);
+            let size = *len;
+            match ds.insert(QueryId(i as u64), spec.clone(), size, Payload::Virtual, &mut evicted) {
+                Ok(_) => {}
+                Err(DsError::TooLarge) => prop_assert!(size > budget),
+                Err(DsError::Busy) => prop_assert!(false, "no pinned entries exist"),
+            }
+            prop_assert!(ds.used() <= budget, "used {} > budget {}", ds.used(), budget);
+            let probe = IntervalSpec::new(*start, *len, 1);
+            for m in ds.lookup(&probe) {
+                let e = ds.get(m.blob).unwrap();
+                prop_assert!(e.visible());
+                if m.overlap == 1.0 && e.spec.cmp(&probe) {
+                    prop_assert_eq!(m.reuse_bytes, e.spec.qoutsize());
+                }
+            }
+        }
+    }
+
+    // Page cache: capacity respected; a resident page is never classified
+    // MustFetch; in-flight pages are never duplicated.
+    #[test]
+    fn pagecache_invariants(
+        requests in prop::collection::vec(
+            prop::collection::vec(0u64..40, 1..8), 1..20),
+        capacity in 1u64..16,
+    ) {
+        let mut ps = PageCacheCore::new(capacity * 64, 64);
+        for req in &requests {
+            let keys: Vec<PageKey> =
+                req.iter().map(|&i| PageKey::new(DatasetId(0), i)).collect();
+            let resident_before: Vec<bool> = {
+                let mut sorted = keys.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                sorted.iter().map(|k| ps.is_resident(*k)).collect()
+            };
+            let plan = ps.plan_read(&keys);
+            for ((page, disp), was_resident) in plan.pages.iter().zip(resident_before) {
+                if was_resident {
+                    prop_assert_eq!(disp.clone(), PageDisposition::Hit);
+                }
+                if *disp == PageDisposition::MustFetch {
+                    prop_assert!(ps.is_in_flight(*page));
+                }
+            }
+            for run in &plan.fetch_runs {
+                for page in run.pages() {
+                    ps.complete_fetch(page, PageData::Virtual);
+                }
+            }
+            prop_assert!(ps.resident_pages() <= capacity as usize);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Kernels equal the ground-truth reference for arbitrary aligned
+    // windows (exact for subsampling AND direct averaging).
+    #[test]
+    fn kernels_match_reference(
+        x in 0u32..400, y in 0u32..400,
+        w in 1u32..100, h in 1u32..100,
+        zexp in 0u32..3,
+        subsample in prop::bool::ANY,
+    ) {
+        let zoom = 1u32 << zexp;
+        let slide = SlideDataset::new(DatasetId(1), 600, 600);
+        let op = if subsample { VmOp::Subsample } else { VmOp::Average };
+        let region = Rect::new(x, y, w.max(zoom), h.max(zoom));
+        let q = VmQuery::new(slide, region, zoom, op);
+        let src = SyntheticSource::new();
+        let got = compute_from_chunks(&q, |idx| {
+            std::sync::Arc::new(src.read_page(slide.id, idx, PAGE_SIZE).unwrap())
+        });
+        prop_assert_eq!(got, reference_render(&q));
+    }
+
+    // Random small workloads through the simulator: every query completes
+    // exactly once, times are sane, and runs are deterministic.
+    #[test]
+    fn simulator_sane_on_random_workloads(
+        seeds in prop::collection::vec(0u64..1000, 1..4),
+        threads in 1usize..6,
+        strat in 0usize..6,
+        batch in prop::bool::ANY,
+    ) {
+        let mut wcfg = WorkloadConfig::small(VmOp::Subsample, seeds[0]);
+        wcfg.queries_per_client = 3;
+        let streams = generate(&wcfg);
+        let total: usize = streams.iter().map(|s| s.queries.len()).sum();
+        let mode = if batch { SubmissionMode::Batch } else { SubmissionMode::Interactive };
+        let cfg = SimConfig::paper_baseline()
+            .with_strategy(RankStrategy::paper_set()[strat])
+            .with_threads(threads)
+            .with_mode(mode);
+        let a = run_sim(cfg, streams.clone());
+        prop_assert_eq!(a.records.len(), total);
+        for r in &a.records {
+            prop_assert!(r.arrival >= 0.0);
+            prop_assert!(r.start >= r.arrival);
+            prop_assert!(r.finish >= r.start);
+            prop_assert!((0.0..=1.0).contains(&r.covered_fraction));
+            prop_assert!(r.finish <= a.makespan + 1e-9);
+        }
+        let b = run_sim(cfg, streams);
+        prop_assert_eq!(a.makespan, b.makespan);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Volume application properties (§6 extension).
+// ---------------------------------------------------------------------------
+
+use vmqs_volume::{Box3, VolOp, VolQuery, VolumeDataset};
+
+fn arb_box3() -> impl Strategy<Value = Box3> {
+    (
+        0u32..100,
+        0u32..100,
+        0u32..100,
+        1u32..60,
+        1u32..60,
+        1u32..60,
+    )
+        .prop_map(|(x, y, z, w, h, d)| Box3::new(x, y, z, w, h, d))
+}
+
+proptest! {
+    #[test]
+    fn box3_intersection_commutative_and_contained(a in arb_box3(), b in arb_box3()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(a.contains(&i) && b.contains(&i));
+            prop_assert!(i.volume() <= a.volume().min(b.volume()));
+            prop_assert!(!i.is_empty());
+        }
+    }
+
+    #[test]
+    fn vol_overlap_in_unit_range_and_depth_isolated(
+        x1 in 0u32..500, y1 in 0u32..500, z1 in 0u32..300,
+        x2 in 0u32..500, y2 in 0u32..500, z2 in 0u32..300,
+        l1 in 0usize..3, l2 in 0usize..3,
+    ) {
+        let lods = [1u32, 2, 4];
+        let vol = VolumeDataset::new(DatasetId(0), 1024, 1024, 512);
+        let a = VolQuery::new(vol, Rect::new(x1, y1, 256, 256), z1, z1 + 128, lods[l1], VolOp::Mip);
+        let b = VolQuery::new(vol, Rect::new(x2, y2, 256, 256), z2, z2 + 128, lods[l2], VolOp::Mip);
+        let ov = a.overlap(&b);
+        prop_assert!((0.0..=1.0).contains(&ov));
+        prop_assert!((a.overlap(&a) - 1.0).abs() < 1e-12);
+        // Depth isolation: any depth-range difference kills reuse.
+        if a.z0 != b.z0 || a.z1 != b.z1 {
+            prop_assert_eq!(ov, 0.0);
+        }
+        // Non-invertibility on LOD.
+        if a.lod > b.lod {
+            prop_assert_eq!(ov, 0.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Volume kernels equal the ground-truth reference for arbitrary
+    // LOD-aligned queries (exact for both MIP and average projection).
+    #[test]
+    fn volume_kernels_match_reference(
+        x in 0u32..80, y in 0u32..80,
+        side in 4u32..40,
+        z0 in 0u32..60, depth in 1u32..40,
+        lexp in 0u32..3,
+        mip in prop::bool::ANY,
+    ) {
+        let lod = 1u32 << lexp;
+        let vol = VolumeDataset::new(DatasetId(3), 120, 120, 100);
+        let op = if mip { VolOp::Mip } else { VolOp::AvgProj };
+        let q = VolQuery::new(
+            vol,
+            Rect::new(x, y, side.max(lod), side.max(lod)),
+            z0,
+            (z0 + depth).min(100),
+            lod,
+            op,
+        );
+        let src = SyntheticSource::new();
+        let got = vmqs_volume::kernels::compute_from_bricks(&q, |idx| {
+            std::sync::Arc::new(
+                vmqs_storage::DataSource::read_page(&src, vol.id, idx, vmqs_volume::PAGE_SIZE)
+                    .unwrap(),
+            )
+        });
+        prop_assert_eq!(got, vmqs_volume::kernels::reference_render(&q));
+    }
+
+    // Random volume workloads through the generic simulator: completion,
+    // sane metrics, determinism.
+    #[test]
+    fn volume_simulator_sane(seed in 0u64..500, threads in 1usize..5, strat in 0usize..6) {
+        let mut wcfg = vmqs_volume::VolWorkloadConfig::standard(VolOp::Mip, seed);
+        wcfg.queries_per_client = 3;
+        wcfg.clients_per_dataset = vec![2, 1];
+        let streams = vmqs_volume::generate_volume(&wcfg);
+        let total: usize = streams.iter().map(|s| s.queries.len()).sum();
+        let cfg = SimConfig::paper_baseline()
+            .with_strategy(RankStrategy::paper_set()[strat])
+            .with_threads(threads);
+        let cost = vmqs_volume::VolCostModel::calibrated(&cfg.disk);
+        let a = vmqs_volume::run_volume_sim(cfg, cost, streams.clone());
+        prop_assert_eq!(a.records.len(), total);
+        for r in &a.records {
+            prop_assert!(r.start >= r.arrival && r.finish >= r.start);
+            prop_assert!((0.0..=1.0).contains(&r.covered_fraction));
+        }
+        let b = vmqs_volume::run_volume_sim(cfg, cost, streams);
+        prop_assert_eq!(a.makespan, b.makespan);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Index Manager: the spatially indexed store must be observationally
+// equivalent to the linear-scan store.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn spatial_store_equivalent_to_linear(
+        inserts in prop::collection::vec((0u64..900, 10u64..120, 0usize..2), 1..40),
+        probes in prop::collection::vec((0u64..900, 10u64..120, 0usize..2), 1..8),
+        cell in 16u32..200,
+    ) {
+        use vmqs::datastore::SpatialDataStore;
+        use vmqs_core::spec::testutil::IntervalSpec;
+        let scales = [1u64, 2];
+        let mut indexed: SpatialDataStore<IntervalSpec> = SpatialDataStore::new(u64::MAX, cell);
+        let mut linear: DataStore<IntervalSpec> = DataStore::new(u64::MAX);
+        let mut ev = Vec::new();
+        for (i, (start, len, sc)) in inserts.iter().enumerate() {
+            let sp = IntervalSpec::new(*start, len * scales[*sc], scales[*sc]);
+            indexed
+                .insert(vmqs_core::QueryId(i as u64), sp.clone(), 1, Payload::Virtual, &mut ev)
+                .unwrap();
+            linear
+                .insert(vmqs_core::QueryId(i as u64), sp, 1, Payload::Virtual, &mut ev)
+                .unwrap();
+        }
+        for (start, len, sc) in probes {
+            let probe = IntervalSpec::new(start, len * scales[sc], scales[sc]);
+            let a = indexed.lookup(&probe);
+            let b = linear.lookup(&probe);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(x.blob, y.blob);
+                prop_assert_eq!(x.overlap, y.overlap);
+                prop_assert_eq!(x.reuse_bytes, y.reuse_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_index_query_equals_linear_intersection(
+        rects in prop::collection::vec(
+            (0u32..400, 0u32..400, 1u32..80, 1u32..80), 0..30),
+        probe in (0u32..400, 0u32..400, 1u32..120, 1u32..120),
+        cell in 8u32..128,
+    ) {
+        use vmqs_core::GridIndex;
+        let ds = DatasetId(0);
+        let mut g = GridIndex::new(cell);
+        let rects: Vec<Rect> = rects
+            .into_iter()
+            .map(|(x, y, w, h)| Rect::new(x, y, w, h))
+            .collect();
+        for (i, r) in rects.iter().enumerate() {
+            g.insert(i as u64, ds, *r);
+        }
+        let probe = Rect::new(probe.0, probe.1, probe.2, probe.3);
+        let mut expect: Vec<u64> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&probe))
+            .map(|(i, _)| i as u64)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(g.query(ds, &probe), expect);
+    }
+}

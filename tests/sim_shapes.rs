@@ -1,0 +1,202 @@
+//! Paper-shape regression tests: the qualitative findings of the paper's
+//! evaluation (§5) must hold in the simulated reproduction. These guard
+//! the experiment harness against regressions that would silently change
+//! the story the figures tell.
+//!
+//! Reduced workloads (fewer queries/seeds than the figure binaries) keep
+//! the suite fast; the shapes are robust at this scale.
+
+use vmqs::prelude::*;
+use vmqs_sim::SimReport;
+use vmqs_workload::{flatten_to_batch, generate};
+
+fn paper_run(
+    strategy: Strategy,
+    op: VmOp,
+    threads: usize,
+    ds_mb: u64,
+    mode: SubmissionMode,
+    queries_per_client: usize,
+) -> SimReport {
+    let mut wcfg = WorkloadConfig::paper(op, 42);
+    wcfg.queries_per_client = queries_per_client;
+    let streams = generate(&wcfg);
+    let streams = match mode {
+        SubmissionMode::Interactive => streams,
+        SubmissionMode::Batch => flatten_to_batch(&streams),
+    };
+    let cfg = SimConfig::paper_baseline()
+        .with_strategy(strategy)
+        .with_threads(threads)
+        .with_ds_budget(ds_mb << 20)
+        .with_mode(mode);
+    run_sim(cfg, streams)
+}
+
+/// E1: caching intermediate results significantly improves performance
+/// even for FIFO and SJF, which ignore cache state when scheduling.
+#[test]
+fn caching_improves_fifo_and_sjf() {
+    for op in [VmOp::Subsample, VmOp::Average] {
+        for strategy in [Strategy::Fifo, Strategy::Sjf] {
+            let off = paper_run(strategy, op, 4, 0, SubmissionMode::Interactive, 8);
+            let on = paper_run(strategy, op, 4, 128, SubmissionMode::Interactive, 8);
+            let gain = (off.makespan - on.makespan) / off.makespan;
+            assert!(
+                gain > 0.15,
+                "{strategy} {}: caching gain only {:.0}% (off {:.1}s on {:.1}s)",
+                op.name(),
+                100.0 * gain,
+                off.makespan,
+                on.makespan
+            );
+        }
+    }
+}
+
+/// E1 corollary: the averaging implementation benefits more from caching
+/// than the subsampling one (70% vs 35–40% in the paper) because reuse
+/// saves CPU as well as I/O.
+#[test]
+fn averaging_gains_more_from_caching_than_subsampling() {
+    let gain = |op| {
+        let off = paper_run(Strategy::Fifo, op, 4, 0, SubmissionMode::Interactive, 8);
+        let on = paper_run(Strategy::Fifo, op, 4, 128, SubmissionMode::Interactive, 8);
+        (off.makespan - on.makespan) / off.makespan
+    };
+    assert!(gain(VmOp::Average) > gain(VmOp::Subsample));
+}
+
+/// Fig. 4: FIFO is discernibly worse than the reuse-aware strategies at
+/// low concurrency.
+#[test]
+fn fifo_discernibly_worst_at_low_threads() {
+    let fifo = paper_run(Strategy::Fifo, VmOp::Subsample, 2, 64, SubmissionMode::Interactive, 8);
+    for strategy in [
+        Strategy::Muf,
+        Strategy::FarthestFirst,
+        Strategy::closest_first_default(),
+        Strategy::Cnbf,
+        Strategy::Sjf,
+    ] {
+        let other = paper_run(strategy, VmOp::Subsample, 2, 64, SubmissionMode::Interactive, 8);
+        assert!(
+            other.trimmed_mean_response() < fifo.trimmed_mean_response(),
+            "{strategy} ({:.2}s) should beat FIFO ({:.2}s)",
+            other.trimmed_mean_response(),
+            fifo.trimmed_mean_response()
+        );
+    }
+}
+
+/// Fig. 4: performance degrades past the optimal thread count as the I/O
+/// subsystem saturates.
+#[test]
+fn response_time_degrades_past_optimal_threads() {
+    let at = |threads| {
+        paper_run(Strategy::Cnbf, VmOp::Subsample, threads, 64, SubmissionMode::Interactive, 16)
+            .trimmed_mean_response()
+    };
+    let best_low = at(2).min(at(4));
+    let saturated = at(24);
+    assert!(
+        saturated > 1.2 * best_low,
+        "24 threads ({saturated:.2}s) should be clearly worse than the 2–4 thread optimum ({best_low:.2}s)"
+    );
+}
+
+/// Fig. 4: the averaging implementation scales better with threads than
+/// the I/O-bound subsampling one.
+#[test]
+fn averaging_scales_better_than_subsampling() {
+    let speedup = |op| {
+        let t1 = paper_run(Strategy::Fifo, op, 1, 64, SubmissionMode::Interactive, 8).makespan;
+        let t8 = paper_run(Strategy::Fifo, op, 8, 64, SubmissionMode::Interactive, 8).makespan;
+        t1 / t8
+    };
+    assert!(speedup(VmOp::Average) > speedup(VmOp::Subsample));
+}
+
+/// Fig. 5: average overlap increases with Data Store memory.
+#[test]
+fn overlap_grows_with_ds_memory() {
+    for strategy in [Strategy::Fifo, Strategy::Cnbf] {
+        let small = paper_run(strategy, VmOp::Subsample, 4, 32, SubmissionMode::Interactive, 16);
+        let large = paper_run(strategy, VmOp::Subsample, 4, 256, SubmissionMode::Interactive, 16);
+        assert!(
+            large.average_overlap() > small.average_overlap(),
+            "{strategy}: overlap {:.3} @256MB should exceed {:.3} @32MB",
+            large.average_overlap(),
+            small.average_overlap()
+        );
+    }
+}
+
+/// Fig. 5: at small cache sizes, the locality strategies CF/CNBF achieve
+/// higher overlap than FIFO and SJF.
+#[test]
+fn cf_cnbf_achieve_best_overlap_at_small_ds() {
+    let ov = |s| {
+        paper_run(s, VmOp::Subsample, 4, 32, SubmissionMode::Interactive, 16).average_overlap()
+    };
+    let cf = ov(Strategy::closest_first_default());
+    let cnbf = ov(Strategy::Cnbf);
+    let fifo = ov(Strategy::Fifo);
+    let sjf = ov(Strategy::Sjf);
+    assert!(cf > fifo && cf > sjf, "CF {cf:.3} vs FIFO {fifo:.3} / SJF {sjf:.3}");
+    assert!(cnbf > fifo && cnbf > sjf, "CNBF {cnbf:.3} vs FIFO {fifo:.3} / SJF {sjf:.3}");
+}
+
+/// Fig. 6: response times fall as the Data Store grows.
+#[test]
+fn response_time_falls_with_ds_memory() {
+    for strategy in [Strategy::Fifo, Strategy::Sjf, Strategy::Cnbf] {
+        let small = paper_run(strategy, VmOp::Average, 4, 32, SubmissionMode::Interactive, 16);
+        let large = paper_run(strategy, VmOp::Average, 4, 256, SubmissionMode::Interactive, 16);
+        assert!(
+            large.trimmed_mean_response() < small.trimmed_mean_response(),
+            "{strategy}: {:.2}s @256MB should beat {:.2}s @32MB",
+            large.trimmed_mean_response(),
+            small.trimmed_mean_response()
+        );
+    }
+}
+
+/// Fig. 7: for batch workloads with scarce cache, the locality strategies
+/// CF/CNBF beat FIFO and SJF on total execution time.
+#[test]
+fn cf_cnbf_win_batches_at_small_ds() {
+    let time = |s| paper_run(s, VmOp::Subsample, 4, 32, SubmissionMode::Batch, 16).makespan;
+    let cf = time(Strategy::closest_first_default());
+    let cnbf = time(Strategy::Cnbf);
+    let fifo = time(Strategy::Fifo);
+    let sjf = time(Strategy::Sjf);
+    assert!(cf < fifo && cnbf < fifo, "CF {cf:.1}/CNBF {cnbf:.1} vs FIFO {fifo:.1}");
+    assert!(cf < sjf && cnbf < sjf, "CF {cf:.1}/CNBF {cnbf:.1} vs SJF {sjf:.1}");
+}
+
+/// §6 extension: the hybrid strategy is competitive with its parents on
+/// batches (never catastrophically worse than either).
+#[test]
+fn hybrid_is_competitive() {
+    let time = |s| paper_run(s, VmOp::Subsample, 4, 64, SubmissionMode::Batch, 16).makespan;
+    let hybrid = time(Strategy::hybrid_default());
+    let parent_best = time(Strategy::Cnbf).min(time(Strategy::Sjf));
+    assert!(
+        hybrid < 1.5 * parent_best,
+        "hybrid {hybrid:.1}s vs best parent {parent_best:.1}s"
+    );
+}
+
+/// The simulation is bit-for-bit deterministic across runs — the property
+/// every experiment in EXPERIMENTS.md relies on.
+#[test]
+fn full_paper_run_is_deterministic() {
+    let a = paper_run(Strategy::Cnbf, VmOp::Average, 4, 64, SubmissionMode::Interactive, 8);
+    let b = paper_run(Strategy::Cnbf, VmOp::Average, 4, 64, SubmissionMode::Interactive, 8);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(b.records.iter()) {
+        assert_eq!(x.finish, y.finish);
+    }
+}
