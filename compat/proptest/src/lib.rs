@@ -1,0 +1,447 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the slice of the proptest API its property tests use:
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros,
+//! a [`strategy::Strategy`] trait with `prop_map`, integer-range and
+//! tuple strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! [`test_runner::ProptestConfig`], and [`test_runner::TestCaseError`].
+//!
+//! Differences from upstream that matter to authors of new tests:
+//! cases are generated from a seed derived from the test name (fully
+//! deterministic across runs), and failing inputs are reported but not
+//! shrunk.
+
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree and no
+    /// shrinking: a strategy simply draws a value from an RNG.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+    }
+
+    /// Strategy adapter returned by [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length falls in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Strategies for `bool`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Strategy yielding `true` and `false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical instance of [`Any`].
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test execution: configuration, error plumbing, and the case loop.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case demonstrated a genuine failure.
+        Fail(String),
+        /// The case was rejected (e.g. by a precondition) — not a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from any stringy reason.
+        pub fn fail<S: Into<String>>(reason: S) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Builds a rejection from any stringy reason.
+        pub fn reject<S: Into<String>>(reason: S) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    /// The RNG handed to strategies while generating a case.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Creates a deterministic generator from a 64-bit seed.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    fn name_seed(name: &str) -> u64 {
+        // FNV-1a: stable across runs and platforms, so every test has a
+        // reproducible stream independent of sibling tests.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `f` once per configured case with a per-case deterministic
+    /// RNG, panicking (with the case number and seed) on the first
+    /// failure. Backing for the [`crate::proptest!`] macro.
+    pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = name_seed(name);
+        for case in 0..config.cases {
+            let seed = base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            match f(&mut rng) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(reason)) => panic!(
+                    "proptest `{name}` failed at case {case}/{} (seed {seed:#018x}): {reason}",
+                    config.cases
+                ),
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias matching upstream's `prop::` paths.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]` followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items. Each body
+/// runs once per generated case inside a closure returning
+/// `Result<(), TestCaseError>`, so `?` and the `prop_assert*` macros
+/// work as in upstream proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run_proptest(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                let __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+#[allow(clippy::overly_complex_bool_expr)] // tautology exercises prop_assert
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0u32..10, pair in (0u64..5, 1i64..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 5 && (1..4).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_and_map(
+            v in prop::collection::vec((0u32..100).prop_map(|n| n * 2), 1..8),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!((1..8).contains(&v.len()));
+            for n in &v {
+                prop_assert_eq!(n % 2, 0);
+                prop_assert!(*n < 200);
+            }
+            prop_assert!(flag || !flag);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn question_mark_and_config(x in 1u32..100) {
+            let checked: Result<u32, String> = Ok(x);
+            let y = checked.map_err(TestCaseError::fail)?;
+            prop_assert_eq!(x, y, "round-trip broke for {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        let config = ProptestConfig::with_cases(16);
+        crate::test_runner::run_proptest(&config, "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn same_test_name_gives_same_stream() {
+        use crate::strategy::Strategy;
+        let mut first = Vec::new();
+        let config = ProptestConfig::with_cases(5);
+        crate::test_runner::run_proptest(&config, "stream", |rng| {
+            first.push((0u64..1_000_000).sample(rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::test_runner::run_proptest(&config, "stream", |rng| {
+            second.push((0u64..1_000_000).sample(rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 5);
+    }
+}

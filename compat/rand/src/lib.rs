@@ -1,0 +1,247 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the slice of the rand API used by the workload generators:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], integer
+//! [`Rng::gen_range`] over `Range`/`RangeInclusive`, and
+//! [`Rng::gen_bool`].
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — a
+//! different stream from upstream rand's ChaCha12, which is fine for
+//! this repo: seeds only need to be stable across runs of *this*
+//! workspace, not bit-compatible with crates.io rand.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit generation.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of reproducible generators from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range`. Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        // Threshold comparison on the top 53 bits keeps the test exact
+        // for every representable p in [0, 1).
+        let threshold = (p * (1u64 << 53) as f64) as u64;
+        (self.next_u64() >> 11) < threshold
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range from which [`Rng::gen_range`] can sample a `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self`.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Maps a uniform `u64` into `[0, span)` by widening multiply.
+///
+/// Bias is at most `span / 2^64`, far below anything observable at the
+/// spans this workspace samples (all under `2^40`).
+fn uniform_below(rng: &mut impl RngCore, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_unsigned_sample {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                match (end - start).checked_add(1) {
+                    Some(span) => start + uniform_below(rng, span as u64) as $t,
+                    // Full-width range: every value is fair game.
+                    None => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned_sample!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_sample {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                match (end.wrapping_sub(start) as u64).checked_add(1) {
+                    Some(span) => start.wrapping_add(uniform_below(rng, span) as $t),
+                    None => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed_sample!(i32, i64);
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seedable generator: xoshiro256++
+    /// seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Common imports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2_000 {
+            let v = rng.gen_range(10..20u32);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0..3usize);
+            assert!(w < 3);
+            let s = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn signed_inclusive_hits_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..4_000 {
+            match rng.gen_range(-2..=2i64) {
+                -2 => lo = true,
+                2 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_balance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn distribution_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8_000 {
+            buckets[rng.gen_range(0..8usize)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((700..1_300).contains(&b), "bucket {i} = {b}");
+        }
+    }
+}

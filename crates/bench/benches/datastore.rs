@@ -3,9 +3,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use vmqs_core::QueryId;
+use vmqs_core::{DatasetId, Rect};
 use vmqs_datastore::{DataStore, Payload};
 use vmqs_microscope::{SlideDataset, VmOp, VmQuery};
-use vmqs_core::{DatasetId, Rect};
 
 fn filled_store(n: u64) -> DataStore<VmQuery> {
     let slide = SlideDataset::paper_scale(DatasetId(0));
@@ -17,8 +17,14 @@ fn filled_store(n: u64) -> DataStore<VmQuery> {
         let x = ((i * 997) % 27000) as u32;
         let y = ((i * 641) % 27000) as u32;
         let spec = VmQuery::new(slide, Rect::new(x, y, 2048, 2048), 2, VmOp::Subsample);
-        ds.insert(QueryId(i), spec, spec_outsize(&spec), Payload::Virtual, &mut ev)
-            .unwrap();
+        ds.insert(
+            QueryId(i),
+            spec,
+            spec_outsize(&spec),
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
     }
     ds
 }
@@ -33,7 +39,7 @@ fn bench_lookup(c: &mut Criterion) {
     let probe = VmQuery::new(slide, Rect::new(512, 512, 4096, 4096), 4, VmOp::Subsample);
     let mut group = c.benchmark_group("ds_lookup");
     for &n in &[16u64, 64, 256] {
-        let mut ds = filled_store(n);
+        let ds = filled_store(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(ds.lookup(&probe).len()));
         });
@@ -66,7 +72,7 @@ fn bench_indexed_vs_linear_lookup(c: &mut Criterion) {
     let probe = VmQuery::new(slide, Rect::new(512, 512, 4096, 4096), 4, VmOp::Subsample);
     let mut group = c.benchmark_group("ds_lookup_indexed_vs_linear");
     for &n in &[256u64, 4096] {
-        let mut linear = filled_store(n);
+        let linear = filled_store(n);
         group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
             b.iter(|| black_box(linear.lookup(&probe).len()));
         });

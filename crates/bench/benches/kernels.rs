@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 use vmqs_core::{DatasetId, Rect};
-use vmqs_microscope::kernels::{compute_from_chunks, project, AvgAccumulator, subsample_chunk};
+use vmqs_microscope::kernels::{compute_from_chunks, project, subsample_chunk, AvgAccumulator};
 use vmqs_microscope::{RgbImage, SlideDataset, VmOp, VmQuery, PAGE_SIZE};
 use vmqs_storage::{DataSource, SyntheticSource};
 
@@ -91,14 +91,16 @@ fn bench_project_vs_recompute(c: &mut Criterion) {
             black_box(project(&mut out, &target, &cached_q, cached_img.view()));
         });
     });
-    group.sample_size(20).bench_function("recompute_from_chunks", |b| {
-        b.iter(|| {
-            let img = compute_from_chunks(&target, |idx| {
-                Arc::new(src.read_page(DatasetId(0), idx, PAGE_SIZE).unwrap())
+    group
+        .sample_size(20)
+        .bench_function("recompute_from_chunks", |b| {
+            b.iter(|| {
+                let img = compute_from_chunks(&target, |idx| {
+                    Arc::new(src.read_page(DatasetId(0), idx, PAGE_SIZE).unwrap())
+                });
+                black_box(img.data.len())
             });
-            black_box(img.data.len())
         });
-    });
     group.finish();
 }
 

@@ -57,5 +57,10 @@ fn bench_hit_path(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_merge_into_runs, bench_plan_read, bench_hit_path);
+criterion_group!(
+    benches,
+    bench_merge_into_runs,
+    bench_plan_read,
+    bench_hit_path
+);
 criterion_main!(benches);

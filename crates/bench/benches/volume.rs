@@ -45,10 +45,12 @@ fn bench_lod_project_vs_recompute(c: &mut Criterion) {
         let mut out = GrayImage::new(w, h);
         b.iter(|| black_box(project(&mut out, &target, &cached, &cached_img)));
     });
-    group.sample_size(10).bench_function("recompute_from_bricks", |b| {
-        let mut fetch = fetcher();
-        b.iter(|| black_box(compute_from_bricks(&target, &mut fetch).data[0]));
-    });
+    group
+        .sample_size(10)
+        .bench_function("recompute_from_bricks", |b| {
+            let mut fetch = fetcher();
+            b.iter(|| black_box(compute_from_bricks(&target, &mut fetch).data[0]));
+        });
     group.finish();
 }
 

@@ -1,0 +1,241 @@
+//! End-to-end throughput benchmark for the *real threaded engine*.
+//!
+//! Runs a seeded Virtual Microscope workload (16 interactive clients x 16
+//! queries, and the same 256 queries as one batch) for both VM ops at
+//! 1/2/4/8 workers, and writes `BENCH_e2e.json` with queries/sec, p50/p95
+//! response times, and the Data Store hit ratio per configuration. This is
+//! the repo's perf-trajectory artifact: run it before and after an engine
+//! change to quantify the end-to-end effect.
+//!
+//! Usage:
+//!   cargo run -p vmqs-bench --release --bin bench_e2e
+//!   cargo run -p vmqs-bench --release --bin bench_e2e -- --quick
+//!   cargo run -p vmqs-bench --release --bin bench_e2e -- \
+//!       --seed 42 --workers 1,2,4,8 --out BENCH_e2e.json
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use vmqs_core::Strategy;
+use vmqs_microscope::VmOp;
+use vmqs_server::{QueryServer, ServerConfig};
+use vmqs_storage::SyntheticSource;
+use vmqs_workload::{
+    flatten_to_batch, generate, run_server_batch, run_server_interactive, WorkloadConfig,
+};
+
+struct BenchParams {
+    seed: u64,
+    workers: Vec<usize>,
+    out_path: String,
+    quick: bool,
+}
+
+fn parse_args() -> BenchParams {
+    let mut p = BenchParams {
+        seed: 42,
+        workers: vec![1, 2, 4, 8],
+        out_path: "BENCH_e2e.json".to_string(),
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => p.quick = true,
+            "--seed" => {
+                p.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--workers" => {
+                let list = args.next().expect("--workers needs a comma list");
+                p.workers = list
+                    .split(',')
+                    .map(|w| w.parse().expect("worker count"))
+                    .collect();
+            }
+            "--out" => p.out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_e2e [--quick] [--seed N] [--workers 1,2,4,8] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if p.quick {
+        p.workers = vec![1, 4];
+    }
+    p
+}
+
+/// The benchmark workload: the paper's 16-client x 16-query interactive
+/// shape (8/6/2 clients over three datasets, zooms 1/2/4/8), scaled to
+/// an output side that keeps a full sweep in CI-friendly time.
+fn bench_workload(op: VmOp, seed: u64, quick: bool) -> WorkloadConfig {
+    let mut cfg = WorkloadConfig::paper(op, seed);
+    if quick {
+        cfg.output_side = 64;
+        cfg.queries_per_client = 4;
+    } else {
+        cfg.output_side = 256;
+    }
+    cfg
+}
+
+fn bench_server(workers: usize) -> QueryServer {
+    // Budgets scaled to the 256px output (~192 KiB/image): the DS holds a
+    // useful fraction of the workload but still evicts, like the paper's
+    // 64 MB budget against 3 MB images.
+    let cfg = ServerConfig::small()
+        .with_strategy(Strategy::Cnbf)
+        .with_threads(workers)
+        .with_ds_budget(16 << 20)
+        .with_ps_budget(8 << 20);
+    QueryServer::new(cfg, Arc::new(SyntheticSource::new()))
+}
+
+struct RunResult {
+    mode: &'static str,
+    op: &'static str,
+    workers: usize,
+    queries: usize,
+    wall_s: f64,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    mean_ms: f64,
+    ds_hit_ratio: f64,
+    exact_hits: u64,
+    partial_hits: u64,
+    misses: u64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn run_once(mode: &'static str, op: VmOp, workers: usize, seed: u64, quick: bool) -> RunResult {
+    let streams = generate(&bench_workload(op, seed, quick));
+    let total: usize = streams.iter().map(|s| s.queries.len()).sum();
+    let server = bench_server(workers);
+
+    let start = Instant::now();
+    let records = match mode {
+        "interactive" => run_server_interactive(&server, streams),
+        _ => {
+            let batch = flatten_to_batch(&streams)
+                .into_iter()
+                .flat_map(|s| s.queries)
+                .collect();
+            run_server_batch(&server, batch)
+        }
+    };
+    let wall = start.elapsed().as_secs_f64();
+
+    assert_eq!(records.len(), total, "every query must complete");
+    let ds = server.ds_stats();
+    server.shutdown();
+
+    let mut resp_ms: Vec<f64> = records
+        .iter()
+        .map(|r| r.response_time().as_secs_f64() * 1e3)
+        .collect();
+    resp_ms.sort_by(|a, b| a.total_cmp(b));
+    let mean_ms = resp_ms.iter().sum::<f64>() / resp_ms.len() as f64;
+    let lookups = ds.exact_hits + ds.partial_hits + ds.misses;
+    RunResult {
+        mode,
+        op: op.name(),
+        workers,
+        queries: total,
+        wall_s: wall,
+        qps: total as f64 / wall,
+        p50_ms: percentile(&resp_ms, 0.50),
+        p95_ms: percentile(&resp_ms, 0.95),
+        mean_ms,
+        ds_hit_ratio: if lookups == 0 {
+            0.0
+        } else {
+            (ds.exact_hits + ds.partial_hits) as f64 / lookups as f64
+        },
+        exact_hits: ds.exact_hits,
+        partial_hits: ds.partial_hits,
+        misses: ds.misses,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, params: &BenchParams, results: &[RunResult]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"benchmark\": \"bench_e2e\",")?;
+    writeln!(f, "  \"seed\": {},", params.seed)?;
+    writeln!(f, "  \"quick\": {},", params.quick)?;
+    writeln!(f, "  \"results\": [")?;
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"mode\": \"{}\", \"op\": \"{}\", \"workers\": {}, \"queries\": {}, \
+             \"wall_s\": {:.4}, \"queries_per_sec\": {:.3}, \"p50_response_ms\": {:.3}, \
+             \"p95_response_ms\": {:.3}, \"mean_response_ms\": {:.3}, \"ds_hit_ratio\": {:.4}, \
+             \"exact_hits\": {}, \"partial_hits\": {}, \"misses\": {}}}{}",
+            json_escape(r.mode),
+            json_escape(r.op),
+            r.workers,
+            r.queries,
+            r.wall_s,
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.mean_ms,
+            r.ds_hit_ratio,
+            r.exact_hits,
+            r.partial_hits,
+            r.misses,
+            comma
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    let params = parse_args();
+    let mut results = Vec::new();
+    println!(
+        "{:<12} {:>9} {:>8} {:>9} {:>10} {:>9} {:>9} {:>8}",
+        "mode", "op", "workers", "wall_s", "q/s", "p50_ms", "p95_ms", "hit%"
+    );
+    for mode in ["interactive", "batch"] {
+        for op in [VmOp::Subsample, VmOp::Average] {
+            for &workers in &params.workers {
+                let r = run_once(mode, op, workers, params.seed, params.quick);
+                println!(
+                    "{:<12} {:>9} {:>8} {:>9.3} {:>10.2} {:>9.2} {:>9.2} {:>7.1}%",
+                    r.mode,
+                    r.op,
+                    r.workers,
+                    r.wall_s,
+                    r.qps,
+                    r.p50_ms,
+                    r.p95_ms,
+                    r.ds_hit_ratio * 100.0
+                );
+                results.push(r);
+            }
+        }
+    }
+    write_json(&params.out_path, &params, &results).expect("write BENCH_e2e.json");
+    println!("wrote {}", params.out_path);
+}

@@ -2,7 +2,7 @@
 //! HYBRID weight settings against the hill-climbing tuner that adjusts the
 //! SJF weight online from windowed response times.
 
-use vmqs_bench::{average_rows, print_table, SEEDS, PS_MB};
+use vmqs_bench::{average_rows, print_table, PS_MB, SEEDS};
 use vmqs_core::Strategy;
 use vmqs_microscope::VmOp;
 use vmqs_sim::{run_sim, SimConfig, SubmissionMode, TunerConfig};
@@ -33,9 +33,15 @@ fn run(strategy: Strategy, op: VmOp, tuner: Option<TunerConfig>, mode: Submissio
 
 fn main() {
     let fixed = [
-        Strategy::Hybrid { cnbf_weight: 1.0, sjf_weight: 0.1 },
+        Strategy::Hybrid {
+            cnbf_weight: 1.0,
+            sjf_weight: 0.1,
+        },
         Strategy::hybrid_default(),
-        Strategy::Hybrid { cnbf_weight: 1.0, sjf_weight: 10.0 },
+        Strategy::Hybrid {
+            cnbf_weight: 1.0,
+            sjf_weight: 10.0,
+        },
     ];
     for (mode, mode_name) in [
         (SubmissionMode::Interactive, "interactive"),
@@ -73,7 +79,13 @@ fn main() {
         }
         print_table(
             &format!("§6 extension: self-tuning hybrid ({mode_name}, 4 threads, DS = 64 MB)"),
-            &["strategy", "op", "t-mean resp (s)", "makespan (s)", "overlap"],
+            &[
+                "strategy",
+                "op",
+                "t-mean resp (s)",
+                "makespan (s)",
+                "overlap",
+            ],
             &rows,
         );
         let path = format!("results/exp_adaptive_{mode_name}.csv");

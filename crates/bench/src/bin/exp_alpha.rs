@@ -39,7 +39,14 @@ fn main() {
     }
     print_table(
         "Ablation: CF α sweep (DS = 32 MB, 4 threads, interactive)",
-        &["op", "α", "t-mean resp (s)", "overlap", "mean blocked (s)", "makespan (s)"],
+        &[
+            "op",
+            "α",
+            "t-mean resp (s)",
+            "overlap",
+            "mean blocked (s)",
+            "makespan (s)",
+        ],
         &rows,
     );
     write_csv(

@@ -6,10 +6,10 @@
 //! the motivation for the FF and CNBF strategies. This binary compares
 //! blocking allowed vs disabled across strategies.
 
-use vmqs_bench::{print_table, SEEDS, PS_MB};
+use vmqs_bench::{print_table, PS_MB, SEEDS};
 use vmqs_core::Strategy;
 use vmqs_microscope::VmOp;
-use vmqs_sim::{SubmissionMode};
+use vmqs_sim::SubmissionMode;
 use vmqs_workload::{generate, write_csv, ExpRow, WorkloadConfig};
 
 fn run(strategy: Strategy, op: VmOp, blocking: bool) -> ExpRow {

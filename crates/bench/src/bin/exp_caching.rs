@@ -39,7 +39,15 @@ fn main() {
     }
     print_table(
         "E1: effect of result caching on FIFO and SJF (vs DS = 0)",
-        &["strategy", "op", "DS (MB)", "no-cache (s)", "cached (s)", "improvement", "overlap"],
+        &[
+            "strategy",
+            "op",
+            "DS (MB)",
+            "no-cache (s)",
+            "cached (s)",
+            "improvement",
+            "overlap",
+        ],
         &rows,
     );
     write_csv("results/exp_caching.csv", ExpRow::csv_header(), csv).expect("write csv");

@@ -2,7 +2,7 @@
 //! under the scarce-cache configuration where eviction decisions matter
 //! most.
 
-use vmqs_bench::{average_rows, print_table, SEEDS, PS_MB};
+use vmqs_bench::{average_rows, print_table, PS_MB, SEEDS};
 use vmqs_core::Strategy;
 use vmqs_datastore::EvictionPolicy;
 use vmqs_microscope::VmOp;
@@ -51,7 +51,14 @@ fn main() {
     }
     print_table(
         "Ablation: DS eviction policy (CNBF, DS = 32 MB, 4 threads)",
-        &["policy", "op", "t-mean resp (s)", "makespan (s)", "overlap", "exact hits"],
+        &[
+            "policy",
+            "op",
+            "t-mean resp (s)",
+            "makespan (s)",
+            "overlap",
+            "exact hits",
+        ],
         &rows,
     );
     write_csv(

@@ -13,11 +13,7 @@ use vmqs_sim::SubmissionMode;
 use vmqs_workload::{write_csv, ExpRow};
 
 fn main() {
-    let strategies = [
-        Strategy::Sjf,
-        Strategy::Cnbf,
-        Strategy::hybrid_default(),
-    ];
+    let strategies = [Strategy::Sjf, Strategy::Cnbf, Strategy::hybrid_default()];
     for mode in [SubmissionMode::Interactive, SubmissionMode::Batch] {
         let mut rows = Vec::new();
         let mut csv = Vec::new();
@@ -43,7 +39,14 @@ fn main() {
         };
         print_table(
             &format!("§6 extension: HYBRID vs SJF vs CNBF ({mode_name} mode, 4 threads)"),
-            &["strategy", "op", "DS (MB)", "t-mean resp (s)", "makespan (s)", "overlap"],
+            &[
+                "strategy",
+                "op",
+                "DS (MB)",
+                "t-mean resp (s)",
+                "makespan (s)",
+                "overlap",
+            ],
             &rows,
         );
         let path = format!("results/exp_hybrid_{mode_name}.csv");

@@ -3,7 +3,7 @@
 //! thread counts past the disk farm's parallelism (where the Fig. 4
 //! degradation lives).
 
-use vmqs_bench::{average_rows, print_table, SEEDS, PS_MB};
+use vmqs_bench::{average_rows, print_table, PS_MB, SEEDS};
 use vmqs_core::Strategy;
 use vmqs_microscope::VmOp;
 use vmqs_sim::{run_sim, SchedPolicy, SimConfig, SubmissionMode};

@@ -5,7 +5,7 @@
 //! I/O overhead" (paper §2). With merging off, every missed page is its
 //! own disk request and pays its own positioning cost.
 
-use vmqs_bench::{print_table, SEEDS, PS_MB};
+use vmqs_bench::{print_table, PS_MB, SEEDS};
 use vmqs_core::Strategy;
 use vmqs_microscope::VmOp;
 use vmqs_sim::{SimConfig, Simulator, SubmissionMode};

@@ -7,7 +7,7 @@
 //! over to an application with a *sparser* reuse structure (projections
 //! are only reusable across identical depth ranges)?
 
-use vmqs_bench::{average_rows, print_table, SEEDS, PS_MB};
+use vmqs_bench::{average_rows, print_table, PS_MB, SEEDS};
 use vmqs_core::Strategy;
 use vmqs_sim::{SimConfig, SubmissionMode};
 use vmqs_volume::{generate_volume, run_volume_sim, VolCostModel, VolOp, VolWorkloadConfig};
@@ -88,7 +88,14 @@ fn main() {
         }
         print_table(
             &format!("§6 extension: 3-D volume application ({mode_name}, 4 threads)"),
-            &["strategy", "op", "DS (MB)", "t-mean resp (s)", "makespan (s)", "overlap"],
+            &[
+                "strategy",
+                "op",
+                "DS (MB)",
+                "t-mean resp (s)",
+                "makespan (s)",
+                "overlap",
+            ],
             &rows,
         );
         let path = format!("results/exp_volume_{mode_name}.csv");

@@ -22,7 +22,14 @@ fn main() {
         let mut csv = Vec::new();
         for strategy in Strategy::paper_set() {
             for threads in FIG4_THREADS {
-                let row = averaged_run(strategy, op, threads, 64, PS_MB, SubmissionMode::Interactive);
+                let row = averaged_run(
+                    strategy,
+                    op,
+                    threads,
+                    64,
+                    PS_MB,
+                    SubmissionMode::Interactive,
+                );
                 csv.push(row.to_csv());
                 rows.push(vec![
                     row.strategy.clone(),
@@ -40,7 +47,14 @@ fn main() {
                 if op == VmOp::Subsample { "a" } else { "b" },
                 op.name()
             ),
-            &["strategy", "threads", "t-mean resp (s)", "mean resp (s)", "overlap", "makespan (s)"],
+            &[
+                "strategy",
+                "threads",
+                "t-mean resp (s)",
+                "mean resp (s)",
+                "overlap",
+                "makespan (s)",
+            ],
             &rows,
         );
         let path = format!("results/fig4_{}.csv", op.name());

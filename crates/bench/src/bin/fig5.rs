@@ -34,7 +34,13 @@ fn main() {
                 if op == VmOp::Subsample { "a" } else { "b" },
                 op.name()
             ),
-            &["strategy", "DS (MB)", "avg overlap", "exact hits", "partial hits"],
+            &[
+                "strategy",
+                "DS (MB)",
+                "avg overlap",
+                "exact hits",
+                "partial hits",
+            ],
             &rows,
         );
         let path = format!("results/fig5_{}.csv", op.name());

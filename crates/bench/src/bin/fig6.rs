@@ -35,7 +35,13 @@ fn main() {
                 if op == VmOp::Subsample { "a" } else { "b" },
                 op.name()
             ),
-            &["strategy", "DS (MB)", "t-mean resp (s)", "mean resp (s)", "overlap"],
+            &[
+                "strategy",
+                "DS (MB)",
+                "t-mean resp (s)",
+                "mean resp (s)",
+                "overlap",
+            ],
             &rows,
         );
         let path = format!("results/fig6_{}.csv", op.name());

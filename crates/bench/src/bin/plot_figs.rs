@@ -35,7 +35,11 @@ fn read_rows(path: &str) -> Option<Vec<Row>> {
     Some(rows)
 }
 
-fn series_by_strategy(rows: &[Row], x: impl Fn(&Row) -> f64, y: impl Fn(&Row) -> f64) -> Vec<Series> {
+fn series_by_strategy(
+    rows: &[Row],
+    x: impl Fn(&Row) -> f64,
+    y: impl Fn(&Row) -> f64,
+) -> Vec<Series> {
     let mut by: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
     for r in rows {
         by.entry(r.strategy.clone()).or_default().push((x(r), y(r)));
@@ -48,7 +52,15 @@ fn series_by_strategy(rows: &[Row], x: impl Fn(&Row) -> f64, y: impl Fn(&Row) ->
         .collect()
 }
 
-fn emit(path_csv: &str, path_svg: &str, title: &str, x_label: &str, y_label: &str, x: fn(&Row) -> f64, y: fn(&Row) -> f64) {
+fn emit(
+    path_csv: &str,
+    path_svg: &str,
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    x: fn(&Row) -> f64,
+    y: fn(&Row) -> f64,
+) {
     match read_rows(path_csv) {
         Some(rows) if !rows.is_empty() => {
             let svg = line_chart(title, x_label, y_label, &series_by_strategy(&rows, x, y));

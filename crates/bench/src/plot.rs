@@ -35,7 +35,10 @@ fn fmt_tick(v: f64) -> String {
 /// Renders an SVG line chart. The y axis starts at zero; both axes are
 /// linear with five ticks. Panics when no series has at least one point.
 pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
-    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!pts.is_empty(), "cannot chart zero points");
     let x_min = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
     let x_max = pts.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);

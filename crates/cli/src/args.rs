@@ -63,7 +63,8 @@ impl Args {
     /// Required string option.
     #[allow(dead_code)] // part of the parser's API; exercised in tests
     pub fn require(&self, name: &str) -> Result<&str, ArgError> {
-        self.get(name).ok_or_else(|| ArgError::Required(name.into()))
+        self.get(name)
+            .ok_or_else(|| ArgError::Required(name.into()))
     }
 
     /// Typed option with a default.

@@ -40,7 +40,7 @@ pub fn render(args: &Args) -> CliResult {
     let img = vmqs_microscope::RgbImage {
         width: res.width,
         height: res.height,
-        data: res.image.as_ref().clone(),
+        data: res.image.to_vec(),
     };
     img.write_ppm(out)?;
     println!(
@@ -127,7 +127,10 @@ pub fn simulate(args: &Args) -> CliResult {
     println!("{}", row.to_csv());
     println!();
     println!("queries:          {}", report.records.len());
-    println!("trimmed response: {:>8.2} s", report.trimmed_mean_response());
+    println!(
+        "trimmed response: {:>8.2} s",
+        report.trimmed_mean_response()
+    );
     println!("makespan:         {:>8.2} s", report.makespan);
     println!("average overlap:  {:>8.3}", report.average_overlap());
     println!(
@@ -186,10 +189,16 @@ pub fn demo() -> CliResult {
     let q2 = VmQuery::new(slide, Rect::new(512, 0, 1024, 1024), 2, VmOp::Subsample);
     println!("1) fresh render:");
     let r1 = server.submit(q1).wait()?;
-    println!("   {:?}, {} pages", r1.record.path, r1.record.pages_requested);
+    println!(
+        "   {:?}, {} pages",
+        r1.record.path, r1.record.pages_requested
+    );
     println!("2) identical repeat:");
     let r2 = server.submit(q1).wait()?;
-    println!("   {:?}, {} pages", r2.record.path, r2.record.pages_requested);
+    println!(
+        "   {:?}, {} pages",
+        r2.record.path, r2.record.pages_requested
+    );
     println!("3) half-overlapping pan:");
     let r3 = server.submit(q2).wait()?;
     println!(

@@ -38,13 +38,17 @@ fn render_writes_valid_ppm() {
     let path = tmp("render.ppm");
     let out = vmqsctl()
         .args([
-            "render", "--x", "64", "--y", "64", "--w", "256", "--h", "256", "--zoom", "2",
-            "--op", "average", "--out",
+            "render", "--x", "64", "--y", "64", "--w", "256", "--h", "256", "--zoom", "2", "--op",
+            "average", "--out",
         ])
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let bytes = std::fs::read(&path).unwrap();
     assert!(bytes.starts_with(b"P6\n128 128\n255\n"));
     assert_eq!(bytes.len(), 15 + 128 * 128 * 3);
@@ -55,11 +59,17 @@ fn render_writes_valid_ppm() {
 fn mip_writes_valid_pgm() {
     let path = tmp("proj.pgm");
     let out = vmqsctl()
-        .args(["mip", "--w", "64", "--h", "64", "--z0", "0", "--z1", "32", "--lod", "2", "--out"])
+        .args([
+            "mip", "--w", "64", "--h", "64", "--z0", "0", "--z1", "32", "--lod", "2", "--out",
+        ])
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let bytes = std::fs::read(&path).unwrap();
     assert!(bytes.starts_with(b"P5\n32 32\n255\n"));
     std::fs::remove_file(&path).ok();
@@ -69,12 +79,26 @@ fn mip_writes_valid_pgm() {
 fn simulate_prints_csv_summary() {
     let out = vmqsctl()
         .args([
-            "simulate", "--strategy", "SJF", "--op", "average", "--threads", "2", "--ds-mb",
-            "32", "--seed", "7", "--batch",
+            "simulate",
+            "--strategy",
+            "SJF",
+            "--op",
+            "average",
+            "--threads",
+            "2",
+            "--ds-mb",
+            "32",
+            "--seed",
+            "7",
+            "--batch",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("strategy,op,threads,ds_mb"));
     assert!(text.contains("SJF,average,2,32"));
@@ -83,14 +107,20 @@ fn simulate_prints_csv_summary() {
 
 #[test]
 fn simulate_rejects_bad_strategy() {
-    let out = vmqsctl().args(["simulate", "--strategy", "BOGUS"]).output().unwrap();
+    let out = vmqsctl()
+        .args(["simulate", "--strategy", "BOGUS"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
 }
 
 #[test]
 fn render_rejects_bad_zoom() {
-    let out = vmqsctl().args(["render", "--zoom", "banana"]).output().unwrap();
+    let out = vmqsctl()
+        .args(["render", "--zoom", "banana"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("invalid value"));
 }
@@ -99,11 +129,24 @@ fn render_rejects_bad_zoom() {
 fn trace_writes_event_csv() {
     let path = tmp("trace.csv");
     let out = vmqsctl()
-        .args(["trace", "--strategy", "CNBF", "--threads", "2", "--seed", "5", "--out"])
+        .args([
+            "trace",
+            "--strategy",
+            "CNBF",
+            "--threads",
+            "2",
+            "--seed",
+            "5",
+            "--out",
+        ])
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&path).unwrap();
     assert!(text.starts_with("time_s,query,event,detail\n"));
     // 256 queries: at least arrive+start+resume+complete each.

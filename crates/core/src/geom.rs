@@ -81,10 +81,7 @@ impl Rect {
         if self.is_empty() {
             return false;
         }
-        self.x <= other.x
-            && self.y <= other.y
-            && self.x1() >= other.x1()
-            && self.y1() >= other.y1()
+        self.x <= other.x && self.y <= other.y && self.x1() >= other.x1() && self.y1() >= other.y1()
     }
 
     /// True when the pixel `(px, py)` is inside the rectangle.

@@ -477,7 +477,8 @@ impl<S: QuerySpec> SchedulingGraph<S> {
         let new_rank = self.compute_rank(id);
         self.stats.reranks += 1;
         if new_rank != old_rank {
-            self.waiting.remove(&WaitKey(old_rank, Reverse(arrival), id));
+            self.waiting
+                .remove(&WaitKey(old_rank, Reverse(arrival), id));
             self.waiting.insert(WaitKey(new_rank, Reverse(arrival), id));
             self.nodes.get_mut(&id).unwrap().rank = new_rank;
         }
@@ -641,8 +642,8 @@ mod tests {
         g.insert(q(1), IntervalSpec::new(0, 100, 1));
         g.insert(q(2), IntervalSpec::new(0, 100, 1)); // depends on q1 (and vice versa)
         g.insert(q(3), IntervalSpec::new(9000, 100, 1)); // independent
-        // q3 has no incoming edges from waiting/executing nodes → rank 0;
-        // q1/q2 have negative ranks.
+                                                         // q3 has no incoming edges from waiting/executing nodes → rank 0;
+                                                         // q1/q2 have negative ranks.
         assert_eq!(g.dequeue(), Some(q(3)));
         g.validate().unwrap();
     }

@@ -47,10 +47,7 @@ pub trait QuerySpec: Clone + Send + Sync + 'static {
     /// qoutsize(self)` (paper §4).
     fn reuse_bytes(&self, other: &Self) -> u64 {
         let ov = self.overlap(other);
-        debug_assert!(
-            (0.0..=1.0).contains(&ov),
-            "overlap out of range: {ov}"
-        );
+        debug_assert!((0.0..=1.0).contains(&ov), "overlap out of range: {ov}");
         (ov * self.qoutsize() as f64).round() as u64
     }
 }

@@ -1,5 +1,6 @@
 //! Blob entries held by the Data Store Manager.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vmqs_core::{BlobId, QueryId};
 
@@ -11,8 +12,9 @@ use vmqs_core::{BlobId, QueryId};
 #[derive(Clone, Debug)]
 pub enum Payload {
     /// Actual result bytes (shared so readers can keep projecting from a
-    /// blob even after it is evicted from the store).
-    Bytes(Arc<Vec<u8>>),
+    /// blob even after it is evicted from the store, and so handing a copy
+    /// to a caller is a refcount bump, not a byte copy).
+    Bytes(Arc<[u8]>),
     /// Size-only accounting for simulation.
     Virtual,
 }
@@ -34,7 +36,7 @@ impl Payload {
 
 /// One intermediate result registered in the Data Store, together with its
 /// semantic metadata (the producing query's predicate).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct BlobEntry<S> {
     /// The blob's identity.
     pub id: BlobId,
@@ -52,7 +54,23 @@ pub struct BlobEntry<S> {
     /// uncommitted buffer): invisible to lookups and protected from
     /// eviction.
     pub ready: bool,
-    pub(crate) last_access: u64,
+    /// LRU stamp; atomic so lookups can touch entries through `&self`
+    /// (concurrent readers under the store's read lock).
+    pub(crate) last_access: AtomicU64,
+}
+
+impl<S: Clone> Clone for BlobEntry<S> {
+    fn clone(&self) -> Self {
+        BlobEntry {
+            id: self.id,
+            producer: self.producer,
+            spec: self.spec.clone(),
+            size: self.size,
+            payload: self.payload.clone(),
+            ready: self.ready,
+            last_access: AtomicU64::new(self.last_access.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl<S> BlobEntry<S> {
@@ -68,11 +86,11 @@ mod tests {
 
     #[test]
     fn payload_len() {
-        let p = Payload::Bytes(Arc::new(vec![1, 2, 3]));
+        let p = Payload::Bytes(vec![1, 2, 3].into());
         assert_eq!(p.len(), Some(3));
         assert!(!p.is_empty());
         assert_eq!(Payload::Virtual.len(), None);
         assert!(!Payload::Virtual.is_empty());
-        assert!(Payload::Bytes(Arc::new(vec![])).is_empty());
+        assert!(Payload::Bytes(Vec::new().into()).is_empty());
     }
 }

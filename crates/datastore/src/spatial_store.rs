@@ -127,8 +127,10 @@ impl<S: SpatialSpec> SpatialDataStore<S> {
     }
 
     /// Indexed lookup: identical results to [`DataStore::lookup`], probing
-    /// only blobs whose footprints intersect the query's.
-    pub fn lookup(&mut self, probe: &S) -> Vec<Match> {
+    /// only blobs whose footprints intersect the query's. Takes `&self`
+    /// (like the linear store's lookup) so the threaded engine can serve
+    /// concurrent lookups under a shared read lock.
+    pub fn lookup(&self, probe: &S) -> Vec<Match> {
         let (dataset, rect) = probe.region_key();
         let candidates: Vec<BlobId> = self
             .index

@@ -11,6 +11,7 @@
 
 use crate::entry::{BlobEntry, Payload};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use vmqs_core::{BlobId, QueryId, QuerySpec};
 
 /// Which ready, unpinned blob to evict first when space is needed.
@@ -78,19 +79,52 @@ impl std::fmt::Display for DsError {
 
 impl std::error::Error for DsError {}
 
+/// Hit/miss and eviction counters kept in atomics so the read-side API
+/// (`lookup*`, `touch`, `stats`) works through `&self`: the threaded
+/// server holds only a read lock on the store for the per-query lookup
+/// hot path. All counters use relaxed ordering — they are statistics,
+/// not synchronization.
+#[derive(Debug, Default)]
+struct StatCells {
+    exact_hits: AtomicU64,
+    partial_hits: AtomicU64,
+    misses: AtomicU64,
+    committed: AtomicU64,
+    evicted: AtomicU64,
+    bytes_evicted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> DsStats {
+        DsStats {
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            partial_hits: self.partial_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            bytes_evicted: self.bytes_evicted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The Data Store Manager.
 ///
-/// Not internally synchronized: the threaded server wraps it in a mutex; the
-/// simulator owns it directly.
+/// Structural mutation (`malloc`/`commit`/`insert`/`remove`) requires
+/// `&mut self`; the read side (`lookup*`, `touch`, `stats`) takes `&self`
+/// with LRU stamps and counters in atomics, so the threaded server can
+/// serve many concurrent lookups under a shared read lock and take the
+/// write lock only to admit or evict.
 #[derive(Debug)]
 pub struct DataStore<S: QuerySpec> {
     budget: u64,
     used: u64,
     entries: HashMap<BlobId, BlobEntry<S>>,
     next_blob: u64,
-    clock: u64,
+    clock: AtomicU64,
     policy: EvictionPolicy,
-    stats: DsStats,
+    stats: StatCells,
 }
 
 impl<S: QuerySpec> DataStore<S> {
@@ -108,9 +142,9 @@ impl<S: QuerySpec> DataStore<S> {
             used: 0,
             entries: HashMap::new(),
             next_blob: 0,
-            clock: 0,
+            clock: AtomicU64::new(0),
             policy,
-            stats: DsStats::default(),
+            stats: StatCells::default(),
         }
     }
 
@@ -136,7 +170,7 @@ impl<S: QuerySpec> DataStore<S> {
 
     /// Counter snapshot.
     pub fn stats(&self) -> DsStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Reserves `size` bytes for the result of `producer` described by
@@ -154,7 +188,7 @@ impl<S: QuerySpec> DataStore<S> {
         evicted: &mut Vec<(BlobId, QueryId)>,
     ) -> Result<BlobId, DsError> {
         if size > self.budget {
-            self.stats.rejected += 1;
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(DsError::TooLarge);
         }
         while self.used + size > self.budget {
@@ -162,18 +196,20 @@ impl<S: QuerySpec> DataStore<S> {
                 Some(victim) => {
                     let e = self.remove(victim).expect("victim exists");
                     evicted.push((e.id, e.producer));
-                    self.stats.evicted += 1;
-                    self.stats.bytes_evicted += e.size;
+                    self.stats.evicted.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .bytes_evicted
+                        .fetch_add(e.size, Ordering::Relaxed);
                 }
                 None => {
-                    self.stats.rejected += 1;
+                    self.stats.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(DsError::Busy);
                 }
             }
         }
         let id = BlobId(self.next_blob);
         self.next_blob += 1;
-        self.clock += 1;
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         self.entries.insert(
             id,
             BlobEntry {
@@ -183,7 +219,7 @@ impl<S: QuerySpec> DataStore<S> {
                 size,
                 payload: Payload::Virtual,
                 ready: false,
-                last_access: self.clock,
+                last_access: AtomicU64::new(now),
             },
         );
         self.used += size;
@@ -206,7 +242,7 @@ impl<S: QuerySpec> DataStore<S> {
         }
         e.payload = payload;
         e.ready = true;
-        self.stats.committed += 1;
+        self.stats.committed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Convenience: `malloc` + `commit` in one step (used by tests and by
@@ -236,7 +272,7 @@ impl<S: QuerySpec> DataStore<S> {
     /// (complete reuse). Touches the blob for LRU on hit. Updates hit/miss
     /// statistics; callers interested in partial reuse should use
     /// [`DataStore::lookup`] instead, which checks both.
-    pub fn lookup_exact(&mut self, probe: &S) -> Option<Match> {
+    pub fn lookup_exact(&self, probe: &S) -> Option<Match> {
         let hit = self
             .entries
             .values()
@@ -246,7 +282,7 @@ impl<S: QuerySpec> DataStore<S> {
         match hit {
             Some((id, producer, size)) => {
                 self.touch(id);
-                self.stats.exact_hits += 1;
+                self.stats.exact_hits.fetch_add(1, Ordering::Relaxed);
                 Some(Match {
                     blob: id,
                     producer,
@@ -255,7 +291,7 @@ impl<S: QuerySpec> DataStore<S> {
                 })
             }
             None => {
-                self.stats.misses += 1;
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -265,14 +301,14 @@ impl<S: QuerySpec> DataStore<S> {
     /// completely or partially. Returns matches sorted by descending
     /// reusable bytes; an exact (`cmp`) match, if any, is always first with
     /// `overlap == 1.0`. Touches every returned blob.
-    pub fn lookup(&mut self, probe: &S) -> Vec<Match> {
+    pub fn lookup(&self, probe: &S) -> Vec<Match> {
         self.lookup_filtered(probe, None)
     }
 
     /// Like [`DataStore::lookup`], but restricted to `candidates` when
     /// given — the hook used by the Index Manager's spatially indexed
     /// store, which can prove all other blobs have zero overlap.
-    pub fn lookup_filtered(&mut self, probe: &S, candidates: Option<&[BlobId]>) -> Vec<Match> {
+    pub fn lookup_filtered(&self, probe: &S, candidates: Option<&[BlobId]>) -> Vec<Match> {
         let mut matches: Vec<Match> = Vec::new();
         let mut exact: Option<Match> = None;
         let candidate_entries: Vec<&BlobEntry<S>> = match candidates {
@@ -303,22 +339,17 @@ impl<S: QuerySpec> DataStore<S> {
                 });
             }
         }
-        matches.sort_by(|a, b| {
-            b.reuse_bytes
-                .cmp(&a.reuse_bytes)
-                .then(a.blob.cmp(&b.blob))
-        });
+        matches.sort_by(|a, b| b.reuse_bytes.cmp(&a.reuse_bytes).then(a.blob.cmp(&b.blob)));
         if let Some(x) = exact {
             matches.insert(0, x);
-            self.stats.exact_hits += 1;
+            self.stats.exact_hits.fetch_add(1, Ordering::Relaxed);
         } else if !matches.is_empty() {
-            self.stats.partial_hits += 1;
+            self.stats.partial_hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.stats.misses += 1;
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
         }
-        let ids: Vec<BlobId> = matches.iter().map(|m| m.blob).collect();
-        for id in ids {
-            self.touch(id);
+        for m in &matches {
+            self.touch(m.blob);
         }
         matches
     }
@@ -329,10 +360,10 @@ impl<S: QuerySpec> DataStore<S> {
     }
 
     /// Marks a blob as used now (LRU bookkeeping).
-    pub fn touch(&mut self, blob: BlobId) {
-        self.clock += 1;
-        if let Some(e) = self.entries.get_mut(&blob) {
-            e.last_access = self.clock;
+    pub fn touch(&self, blob: BlobId) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(e) = self.entries.get(&blob) {
+            e.last_access.store(now, Ordering::Relaxed);
         }
     }
 
@@ -350,11 +381,12 @@ impl<S: QuerySpec> DataStore<S> {
 
     fn pick_victim(&self) -> Option<BlobId> {
         let candidates = self.entries.values().filter(|e| e.ready);
+        let stamp = |e: &BlobEntry<S>| e.last_access.load(Ordering::Relaxed);
         match self.policy {
-            EvictionPolicy::Lru => candidates.min_by_key(|e| e.last_access).map(|e| e.id),
-            EvictionPolicy::Mru => candidates.max_by_key(|e| e.last_access).map(|e| e.id),
+            EvictionPolicy::Lru => candidates.min_by_key(|e| stamp(e)).map(|e| e.id),
+            EvictionPolicy::Mru => candidates.max_by_key(|e| stamp(e)).map(|e| e.id),
             EvictionPolicy::LargestFirst => candidates
-                .max_by_key(|e| (e.size, u64::MAX - e.last_access))
+                .max_by_key(|e| (e.size, u64::MAX - stamp(e)))
                 .map(|e| e.id),
         }
     }
@@ -427,15 +459,33 @@ mod tests {
             .insert(QueryId(1), spec(0, 100, 1), 100, Payload::Virtual, &mut ev)
             .unwrap();
         let _b = ds
-            .insert(QueryId(2), spec(1000, 100, 1), 100, Payload::Virtual, &mut ev)
+            .insert(
+                QueryId(2),
+                spec(1000, 100, 1),
+                100,
+                Payload::Virtual,
+                &mut ev,
+            )
             .unwrap();
         let _c = ds
-            .insert(QueryId(3), spec(2000, 100, 1), 100, Payload::Virtual, &mut ev)
+            .insert(
+                QueryId(3),
+                spec(2000, 100, 1),
+                100,
+                Payload::Virtual,
+                &mut ev,
+            )
             .unwrap();
         // Touch a so b becomes the LRU victim.
         ds.touch(a);
-        ds.insert(QueryId(4), spec(3000, 100, 1), 100, Payload::Virtual, &mut ev)
-            .unwrap();
+        ds.insert(
+            QueryId(4),
+            spec(3000, 100, 1),
+            100,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].1, QueryId(2));
         assert_eq!(ds.used(), 300);
@@ -450,8 +500,14 @@ mod tests {
             .unwrap();
         ds.insert(QueryId(2), spec(1000, 50, 1), 50, Payload::Virtual, &mut ev)
             .unwrap();
-        ds.insert(QueryId(3), spec(2000, 100, 1), 100, Payload::Virtual, &mut ev)
-            .unwrap();
+        ds.insert(
+            QueryId(3),
+            spec(2000, 100, 1),
+            100,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
         assert_eq!(ev.len(), 1);
         assert_eq!(ev[0].1, QueryId(1));
     }
@@ -462,10 +518,22 @@ mod tests {
         let mut ev = Vec::new();
         ds.insert(QueryId(1), spec(0, 100, 1), 100, Payload::Virtual, &mut ev)
             .unwrap();
-        ds.insert(QueryId(2), spec(1000, 100, 1), 100, Payload::Virtual, &mut ev)
-            .unwrap();
-        ds.insert(QueryId(3), spec(2000, 100, 1), 100, Payload::Virtual, &mut ev)
-            .unwrap();
+        ds.insert(
+            QueryId(2),
+            spec(1000, 100, 1),
+            100,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        ds.insert(
+            QueryId(3),
+            spec(2000, 100, 1),
+            100,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
         assert_eq!(ev[0].1, QueryId(2));
     }
 
@@ -505,7 +573,7 @@ mod tests {
 
     #[test]
     fn lookup_miss_counts() {
-        let mut ds = store(1000);
+        let ds = store(1000);
         assert!(ds.lookup(&spec(0, 10, 1)).is_empty());
         assert_eq!(ds.stats().misses, 1);
     }
@@ -514,7 +582,9 @@ mod tests {
     fn abort_releases_reservation() {
         let mut ds = store(100);
         let mut ev = Vec::new();
-        let b = ds.malloc(QueryId(1), spec(0, 100, 1), 100, &mut ev).unwrap();
+        let b = ds
+            .malloc(QueryId(1), spec(0, 100, 1), 100, &mut ev)
+            .unwrap();
         ds.abort(b);
         assert_eq!(ds.used(), 0);
         assert!(ds.malloc(QueryId(2), spec(0, 100, 1), 100, &mut ev).is_ok());
@@ -544,8 +614,14 @@ mod tests {
             )
             .unwrap();
         }
-        ds.insert(QueryId(9), spec(9000, 250, 1), 250, Payload::Virtual, &mut ev)
-            .unwrap();
+        ds.insert(
+            QueryId(9),
+            spec(9000, 250, 1),
+            250,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
         assert_eq!(ev.len(), 3);
         assert_eq!(ds.used(), 250);
         assert_eq!(ds.stats().bytes_evicted, 300);

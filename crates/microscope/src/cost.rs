@@ -76,7 +76,10 @@ mod tests {
             (0.04..=0.06).contains(&r_sub),
             "subsample ratio {r_sub} outside the paper's 0.04–0.06"
         );
-        assert!((0.9..=1.1).contains(&r_avg), "average ratio {r_avg} not ~1:1");
+        assert!(
+            (0.9..=1.1).contains(&r_avg),
+            "average ratio {r_avg} not ~1:1"
+        );
     }
 
     #[test]

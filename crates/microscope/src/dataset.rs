@@ -148,7 +148,12 @@ impl SlideDataset {
 
     /// Reads one pixel through a [`DataSource`] (test/diagnostic helper —
     /// real execution goes through the Page Space Manager).
-    pub fn read_pixel<D: DataSource>(&self, source: &D, x: u32, y: u32) -> std::io::Result<[u8; 3]> {
+    pub fn read_pixel<D: DataSource>(
+        &self,
+        source: &D,
+        x: u32,
+        y: u32,
+    ) -> std::io::Result<[u8; 3]> {
         let page = source.read_page(self.id, self.chunk_at(x, y), PAGE_SIZE)?;
         let off = self.offset_in_chunk(x, y);
         Ok([page[off], page[off + 1], page[off + 2]])
@@ -226,7 +231,9 @@ mod tests {
     #[test]
     fn chunks_intersecting_out_of_bounds_clips() {
         let s = slide();
-        assert!(s.chunks_intersecting(&Rect::new(2000, 2000, 10, 10)).is_empty());
+        assert!(s
+            .chunks_intersecting(&Rect::new(2000, 2000, 10, 10))
+            .is_empty());
         // Region overhanging the right edge only touches last-column chunks.
         let ids = s.chunks_intersecting(&Rect::new(950, 0, 500, 10));
         assert_eq!(ids, vec![6]);

@@ -54,8 +54,14 @@ impl RgbImage {
     /// (at `(dx, dy)`), `w × h` pixels. The blocks must be in bounds.
     #[allow(clippy::too_many_arguments)]
     pub fn blit(&mut self, dx: u32, dy: u32, src: &RgbImage, sx: u32, sy: u32, w: u32, h: u32) {
-        assert!(dx + w <= self.width && dy + h <= self.height, "dst block out of bounds");
-        assert!(sx + w <= src.width && sy + h <= src.height, "src block out of bounds");
+        assert!(
+            dx + w <= self.width && dy + h <= self.height,
+            "dst block out of bounds"
+        );
+        assert!(
+            sx + w <= src.width && sy + h <= src.height,
+            "src block out of bounds"
+        );
         let row_bytes = w as usize * BYTES_PER_PIXEL as usize;
         for row in 0..h {
             let soff = src.offset(sx, sy + row);

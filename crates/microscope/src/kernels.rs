@@ -13,7 +13,55 @@
 use crate::dataset::BYTES_PER_PIXEL;
 use crate::image::RgbImage;
 use crate::query::{VmOp, VmQuery};
+use std::sync::Arc;
 use vmqs_core::Rect;
+
+/// Minimum output rows per band before row-banded parallelism pays for a
+/// scoped-thread spawn.
+const MIN_BAND_ROWS: u32 = 32;
+
+/// Worker threads available for row-banded kernels: the machine's
+/// available parallelism, capped (bands get too thin beyond the cap).
+pub fn kernel_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Number of row bands to split `rows` into for `threads` workers; 1 means
+/// run serially.
+fn band_count(rows: u32, threads: usize) -> u32 {
+    if threads <= 1 || rows < 2 * MIN_BAND_ROWS {
+        return 1;
+    }
+    (threads as u32).min(rows / MIN_BAND_ROWS)
+}
+
+/// True when [`compute_from_pages`] would actually split `rows` output
+/// rows across bands (callers can skip materializing the page set when a
+/// serial pass will run anyway).
+pub fn will_band(rows: u32, threads: usize) -> bool {
+    band_count(rows, threads) > 1
+}
+
+/// The band of `query` covering output rows `[oy0, oy1)`: a sub-query with
+/// the same x-extent and zoom. Built directly (fields, not `VmQuery::new`)
+/// because the derived region is already zoom-aligned and in bounds.
+fn row_band_query(query: &VmQuery, oy0: u32, oy1: u32) -> VmQuery {
+    let z = query.zoom;
+    VmQuery {
+        slide: query.slide,
+        region: Rect::new(
+            query.region.x,
+            query.region.y + oy0 * z,
+            query.region.w,
+            (oy1 - oy0) * z,
+        ),
+        zoom: z,
+        op: query.op,
+    }
+}
 
 /// Writes into `out` every output pixel of `query` whose source sample
 /// point falls inside `chunk_rect`, reading samples from `chunk_data`
@@ -34,14 +82,19 @@ pub fn subsample_chunk(out: &mut RgbImage, query: &VmQuery, chunk_rect: Rect, ch
     let ox1 = (inter.x1() - 1 - region.x) / z;
     let oy0 = (inter.y - region.y).div_ceil(z);
     let oy1 = (inter.y1() - 1 - region.y) / z;
+    let bpp = BYTES_PER_PIXEL as usize;
+    let cw = chunk_rect.w as usize;
+    let ow = out.width as usize;
+    let src_step = z as usize * bpp;
     for oy in oy0..=oy1 {
         let by = region.y + oy * z;
-        for ox in ox0..=ox1 {
-            let bx = region.x + ox * z;
-            let off = ((by - chunk_rect.y) as usize * chunk_rect.w as usize
-                + (bx - chunk_rect.x) as usize)
-                * BYTES_PER_PIXEL as usize;
-            out.set(ox, oy, [chunk_data[off], chunk_data[off + 1], chunk_data[off + 2]]);
+        let bx = region.x + ox0 * z;
+        let mut src = ((by - chunk_rect.y) as usize * cw + (bx - chunk_rect.x) as usize) * bpp;
+        let mut dst = (oy as usize * ow + ox0 as usize) * bpp;
+        for _ in ox0..=ox1 {
+            out.data[dst..dst + 3].copy_from_slice(&chunk_data[src..src + 3]);
+            src += src_step;
+            dst += bpp;
         }
     }
 }
@@ -72,6 +125,11 @@ impl AvgAccumulator {
 
     /// Adds every pixel of `chunk_rect ∩ query.region` to the accumulator
     /// of the output pixel whose N×N window contains it.
+    ///
+    /// Iterates per output pixel over its (clipped) N×N sample block,
+    /// reading each block row as one contiguous byte run — no per-sample
+    /// division, and the compiler can keep the three channel sums in
+    /// registers across a run.
     pub fn accumulate_chunk(&mut self, query: &VmQuery, chunk_rect: Rect, chunk_data: &[u8]) {
         let z = query.zoom;
         let region = query.region;
@@ -79,19 +137,37 @@ impl AvgAccumulator {
             Some(i) => i,
             None => return,
         };
-        for by in inter.y..inter.y1() {
-            let oy = (by - region.y) / z;
-            for bx in inter.x..inter.x1() {
-                let ox = (bx - region.x) / z;
-                let src = ((by - chunk_rect.y) as usize * chunk_rect.w as usize
-                    + (bx - chunk_rect.x) as usize)
-                    * BYTES_PER_PIXEL as usize;
-                let pix = oy as usize * self.width as usize + ox as usize;
-                let dst = pix * BYTES_PER_PIXEL as usize;
-                self.sums[dst] += chunk_data[src] as u64;
-                self.sums[dst + 1] += chunk_data[src + 1] as u64;
-                self.sums[dst + 2] += chunk_data[src + 2] as u64;
-                self.counts[pix] += 1;
+        let oy0 = (inter.y - region.y) / z;
+        let oy1 = (inter.y1() - 1 - region.y) / z;
+        let ox0 = (inter.x - region.x) / z;
+        let ox1 = (inter.x1() - 1 - region.x) / z;
+        let bpp = BYTES_PER_PIXEL as usize;
+        let cw = chunk_rect.w as usize;
+        for oy in oy0..=oy1 {
+            // The block's sample rows, clipped to the intersection.
+            let by_lo = inter.y.max(region.y + oy * z);
+            let by_hi = inter.y1().min(region.y + (oy + 1) * z);
+            let pix_row = oy as usize * self.width as usize;
+            for ox in ox0..=ox1 {
+                let bx_lo = inter.x.max(region.x + ox * z);
+                let bx_hi = inter.x1().min(region.x + (ox + 1) * z);
+                let npx = (bx_hi - bx_lo) as usize;
+                let mut s = [0u64; 3];
+                for by in by_lo..by_hi {
+                    let off =
+                        ((by - chunk_rect.y) as usize * cw + (bx_lo - chunk_rect.x) as usize) * bpp;
+                    for p in chunk_data[off..off + npx * bpp].chunks_exact(bpp) {
+                        s[0] += p[0] as u64;
+                        s[1] += p[1] as u64;
+                        s[2] += p[2] as u64;
+                    }
+                }
+                let pix = pix_row + ox as usize;
+                let dst = pix * bpp;
+                self.sums[dst] += s[0];
+                self.sums[dst + 1] += s[1];
+                self.sums[dst + 2] += s[2];
+                self.counts[pix] += (by_hi - by_lo) * (bx_hi - bx_lo);
             }
         }
     }
@@ -143,6 +219,68 @@ where
             acc.finalize()
         }
     }
+}
+
+/// Renders output rows `[oy0, oy1)` of `query` from prefetched chunk
+/// pages, returning the band as its own image.
+fn compute_rows(query: &VmQuery, pages: &[(Rect, Arc<Vec<u8>>)], oy0: u32, oy1: u32) -> RgbImage {
+    let sub = row_band_query(query, oy0, oy1);
+    match query.op {
+        VmOp::Subsample => {
+            let (bw, bh) = sub.output_dims();
+            let mut img = RgbImage::new(bw, bh);
+            for (rect, data) in pages {
+                subsample_chunk(&mut img, &sub, *rect, data);
+            }
+            img
+        }
+        VmOp::Average => {
+            let mut acc = AvgAccumulator::new(&sub);
+            for (rect, data) in pages {
+                acc.accumulate_chunk(&sub, *rect, data);
+            }
+            acc.finalize()
+        }
+    }
+}
+
+/// Computes a query's full output from prefetched chunk pages, row-banding
+/// the output across up to `threads` scoped workers. Each band is a
+/// disjoint `&mut` slice of the output, so no locking is involved, and
+/// each output pixel's full sample set lives in exactly one band — the
+/// result is byte-identical to [`compute_from_chunks`].
+///
+/// Falls back to a single serial pass when `threads <= 1` or the output is
+/// too short to band.
+pub fn compute_from_pages(
+    query: &VmQuery,
+    pages: &[(Rect, Arc<Vec<u8>>)],
+    threads: usize,
+) -> RgbImage {
+    let (w, h) = query.output_dims();
+    let bands = band_count(h, threads);
+    if bands <= 1 {
+        // The single band *is* the full output — no copy.
+        return compute_rows(query, pages, 0, h);
+    }
+    let mut out = RgbImage::new(w, h);
+    let rows_per = h.div_ceil(bands);
+    let row_bytes = w as usize * BYTES_PER_PIXEL as usize;
+    std::thread::scope(|s| {
+        for (i, band) in out
+            .data
+            .chunks_mut(rows_per as usize * row_bytes)
+            .enumerate()
+        {
+            let oy0 = i as u32 * rows_per;
+            let oy1 = (oy0 + rows_per).min(h);
+            s.spawn(move || {
+                let img = compute_rows(query, pages, oy0, oy1);
+                band.copy_from_slice(&img.data);
+            });
+        }
+    });
+    out
 }
 
 /// The `project` transformation (Eq. 3): fills the part of `target`'s
@@ -199,6 +337,55 @@ pub fn project(
             out.set(ox, oy, px);
         }
     }
+    Some(coverage)
+}
+
+/// [`project`], row-banded across up to `threads` scoped workers. Each
+/// band projects its rows of the coverage into a scratch image and copies
+/// only the covered columns back into its disjoint `&mut` slice of `out`,
+/// so pixels outside this source's coverage (possibly written by earlier
+/// sources) are preserved. Byte-identical to the serial `project`.
+pub fn project_banded(
+    out: &mut RgbImage,
+    target: &VmQuery,
+    src_query: &VmQuery,
+    src_img: crate::image::RgbView<'_>,
+    threads: usize,
+) -> Option<Rect> {
+    let coverage = src_query.aligned_coverage(target)?;
+    let tz = target.zoom;
+    let oy0c = (coverage.y - target.region.y) / tz;
+    let oy1c = (coverage.y1() - target.region.y) / tz; // exclusive
+    let bands = band_count(oy1c - oy0c, threads);
+    if bands <= 1 {
+        return project(out, target, src_query, src_img);
+    }
+    let bpp = BYTES_PER_PIXEL as usize;
+    let row_bytes = out.width as usize * bpp;
+    let x0 = ((coverage.x - target.region.x) / tz) as usize * bpp;
+    let x1 = x0 + (coverage.w / tz) as usize * bpp;
+    let rows_per = (oy1c - oy0c).div_ceil(bands);
+    let covered_rows = &mut out.data[oy0c as usize * row_bytes..oy1c as usize * row_bytes];
+    std::thread::scope(|s| {
+        for (i, band) in covered_rows
+            .chunks_mut(rows_per as usize * row_bytes)
+            .enumerate()
+        {
+            let boy0 = oy0c + i as u32 * rows_per;
+            let boy1 = (boy0 + rows_per).min(oy1c);
+            s.spawn(move || {
+                let sub = row_band_query(target, boy0, boy1);
+                let (bw, bh) = sub.output_dims();
+                let mut scratch = RgbImage::new(bw, bh);
+                if project(&mut scratch, &sub, src_query, src_img).is_some() {
+                    for r in 0..bh as usize {
+                        band[r * row_bytes + x0..r * row_bytes + x1]
+                            .copy_from_slice(&scratch.data[r * row_bytes + x0..r * row_bytes + x1]);
+                    }
+                }
+            });
+        }
+    });
     Some(coverage)
 }
 
@@ -388,6 +575,74 @@ mod tests {
             out.blit(ox, oy, &sub_img, 0, 0, sw, sh);
         }
         assert_eq!(out, reference_render(&target));
+    }
+
+    fn pages_for(q: &VmQuery) -> Vec<(Rect, Arc<Vec<u8>>)> {
+        let src = SyntheticSource::new();
+        q.slide
+            .chunks_intersecting(&q.region)
+            .into_iter()
+            .map(|idx| {
+                (
+                    q.slide.chunk_rect(idx),
+                    Arc::new(src.read_page(q.slide.id, idx, PAGE_SIZE).unwrap()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn banded_compute_matches_serial_byte_for_byte() {
+        // Output heights chosen to exercise uneven band splits and chunk
+        // boundaries; both ops; verified against the serial path.
+        for (rect, zoom, op) in [
+            (Rect::new(0, 0, 400, 280), 2, VmOp::Subsample),
+            (Rect::new(100, 100, 480, 400), 4, VmOp::Average),
+            (Rect::new(8, 16, 160, 520), 1, VmOp::Subsample),
+            (Rect::new(0, 0, 256, 264), 2, VmOp::Average),
+        ] {
+            let q = VmQuery::new(slide(), rect, zoom, op);
+            let pages = pages_for(&q);
+            let serial = compute_from_pages(&q, &pages, 1);
+            assert_eq!(serial, compute_from_chunks(&q, fetch_real(&q)), "{q:?}");
+            for threads in [2, 3, 4, 7] {
+                let par = compute_from_pages(&q, &pages, threads);
+                assert_eq!(par, serial, "threads {threads} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn banded_compute_small_output_falls_back_to_serial() {
+        let q = VmQuery::new(slide(), Rect::new(0, 0, 64, 48), 2, VmOp::Average);
+        let pages = pages_for(&q);
+        assert_eq!(compute_from_pages(&q, &pages, 8), reference_render(&q));
+    }
+
+    #[test]
+    fn banded_project_matches_serial_and_preserves_outside_pixels() {
+        let s = slide();
+        for op in [VmOp::Subsample, VmOp::Average] {
+            let cached = VmQuery::new(s, Rect::new(0, 0, 400, 400), 2, op);
+            let cached_img = compute_from_chunks(&cached, fetch_real(&cached));
+            // Coverage is a strict sub-rectangle of the target output.
+            let target = VmQuery::new(s, Rect::new(200, 100, 400, 480), 4, op);
+            let (w, h) = target.output_dims();
+            // Pre-fill with a sentinel so clobbering outside coverage shows.
+            let mut serial = RgbImage::new(w, h);
+            serial.data.fill(0xAB);
+            let mut banded = serial.clone();
+            let cov_a = project(&mut serial, &target, &cached, cached_img.view());
+            let cov_b = project_banded(&mut banded, &target, &cached, cached_img.view(), 4);
+            assert_eq!(cov_a, cov_b, "op {op:?}");
+            assert!(cov_a.is_some());
+            assert_eq!(banded, serial, "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_threads_is_positive() {
+        assert!(kernel_threads() >= 1);
     }
 
     #[test]

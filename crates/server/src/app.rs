@@ -12,8 +12,10 @@
 use crate::pages::SharedPageSpace;
 use std::sync::Arc;
 use vmqs_core::geom::subtract_all;
-use vmqs_core::{QuerySpec, Rect};
-use vmqs_microscope::kernels::{compute_from_chunks, project};
+use vmqs_core::{QuerySpec, Rect, SpatialSpec};
+use vmqs_microscope::kernels::{
+    compute_from_chunks, compute_from_pages, kernel_threads, project_banded, will_band,
+};
 use vmqs_microscope::{RgbImage, RgbView, VmQuery, BYTES_PER_PIXEL, PAGE_SIZE};
 
 /// The result of executing one query.
@@ -31,8 +33,9 @@ pub struct AppOutcome {
 
 /// A data-analysis application runnable on the threaded engine.
 pub trait AppExecutor: Send + Sync + 'static {
-    /// The application's predicate type.
-    type Spec: QuerySpec + Copy + std::fmt::Debug;
+    /// The application's predicate type. [`SpatialSpec`] so the engine's
+    /// Data Store can serve lookups through its grid index.
+    type Spec: SpatialSpec + Copy + std::fmt::Debug;
 
     /// Output image dimensions for a predicate (for clients assembling
     /// the answer).
@@ -48,7 +51,7 @@ pub trait AppExecutor: Send + Sync + 'static {
     fn execute(
         &self,
         spec: &Self::Spec,
-        sources: &[(Self::Spec, Arc<Vec<u8>>)],
+        sources: &[(Self::Spec, Arc<[u8]>)],
         ps: &SharedPageSpace,
     ) -> std::io::Result<AppOutcome>;
 }
@@ -72,9 +75,10 @@ impl AppExecutor for VmExecutor {
     fn execute(
         &self,
         spec: &VmQuery,
-        sources: &[(VmQuery, Arc<Vec<u8>>)],
+        sources: &[(VmQuery, Arc<[u8]>)],
         ps: &SharedPageSpace,
     ) -> std::io::Result<AppOutcome> {
+        let threads = kernel_threads();
         // Project partial matches (Eq. 3) greedily, best first.
         let (w, h) = spec.output_dims();
         let mut out = RgbImage::new(w, h);
@@ -85,13 +89,15 @@ impl AppExecutor for VmExecutor {
                 Some(c) => c,
                 None => continue,
             };
+            // Skip sources whose coverage is already fully projected from
+            // earlier (higher-ranked) sources.
             let fresh = subtract_all(&cov, &covered);
             if fresh.is_empty() {
                 continue;
             }
             let (sw, sh) = src_spec.output_dims();
             let view = RgbView::new(sw, sh, bytes);
-            project(&mut out, spec, src_spec, view);
+            project_banded(&mut out, spec, src_spec, view, threads);
             let z2 = spec.zoom as u64 * spec.zoom as u64;
             for f in fresh {
                 reused_px += f.area() / z2;
@@ -106,17 +112,34 @@ impl AppExecutor for VmExecutor {
             pages_requested += chunks.len() as u64;
             // Prefetch the whole chunk set so overlapping requests merge.
             ps.fetch_pages(sub.slide.id, &chunks)?;
-            let mut io_err = None;
-            let img = compute_from_chunks(&sub, |idx| match ps.read_page(sub.slide.id, idx) {
-                Ok(p) => p,
-                Err(e) => {
-                    io_err = Some(e);
-                    Arc::new(vec![0; PAGE_SIZE])
+            let (_, sub_h) = sub.output_dims();
+            let img = if will_band(sub_h, threads) {
+                // Banded render: materialize the immutable page set first
+                // so the worker bands never touch the Page Space.
+                let mut pages = Vec::with_capacity(chunks.len());
+                for idx in &chunks {
+                    pages.push((
+                        sub.slide.chunk_rect(*idx),
+                        ps.read_page(sub.slide.id, *idx)?,
+                    ));
                 }
-            });
-            if let Some(e) = io_err {
-                return Err(e);
-            }
+                compute_from_pages(&sub, &pages, threads)
+            } else {
+                // Serial render: read each page right before the kernel
+                // consumes it, keeping it hot in cache.
+                let mut io_err = None;
+                let img = compute_from_chunks(&sub, |idx| match ps.read_page(sub.slide.id, idx) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        io_err = Some(e);
+                        Arc::new(vec![0; PAGE_SIZE])
+                    }
+                });
+                if let Some(e) = io_err {
+                    return Err(e);
+                }
+                img
+            };
             let ox = (sub.region.x - spec.region.x) / spec.zoom;
             let oy = (sub.region.y - spec.region.y) / spec.zoom;
             let (sw, sh) = sub.output_dims();
@@ -142,7 +165,7 @@ mod tests {
     use super::*;
     use vmqs_core::DatasetId;
     use vmqs_microscope::kernels::reference_render;
-    use vmqs_microscope::{SlideDataset, VmOp};
+    use vmqs_microscope::{SlideDataset, VmOp, PAGE_SIZE};
     use vmqs_storage::SyntheticSource;
 
     fn ps() -> SharedPageSpace {
@@ -171,7 +194,7 @@ mod tests {
         let cached_out = VmExecutor.execute(&cached, &[], &ps).unwrap();
         let target = VmQuery::new(slide(), Rect::new(128, 0, 384, 512), 2, VmOp::Subsample);
         let out = VmExecutor
-            .execute(&target, &[(cached, Arc::new(cached_out.bytes))], &ps)
+            .execute(&target, &[(cached, cached_out.bytes.into())], &ps)
             .unwrap();
         assert_eq!(out.bytes, reference_render(&target).data);
         assert!(out.covered_fraction > 0.2);

@@ -26,6 +26,9 @@ pub struct ServerConfig {
     pub allow_blocking: bool,
     /// Data Store eviction policy (LRU in the paper's system).
     pub ds_policy: EvictionPolicy,
+    /// Cell side (base-resolution pixels) of the Data Store's grid index.
+    /// Pick roughly the footprint of a typical cached result.
+    pub index_cell: u32,
 }
 
 impl ServerConfig {
@@ -39,6 +42,7 @@ impl ServerConfig {
             ps_budget: 32 << 20,
             allow_blocking: true,
             ds_policy: EvictionPolicy::Lru,
+            index_cell: 512,
         }
     }
 
@@ -76,6 +80,13 @@ impl ServerConfig {
     /// Builder-style Data Store eviction-policy override.
     pub fn with_ds_policy(mut self, p: EvictionPolicy) -> Self {
         self.ds_policy = p;
+        self
+    }
+
+    /// Builder-style grid-index cell-size override.
+    pub fn with_index_cell(mut self, cell: u32) -> Self {
+        assert!(cell > 0, "index cell must be positive");
+        self.index_cell = cell;
         self
     }
 }

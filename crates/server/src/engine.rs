@@ -15,21 +15,41 @@
 //! 4. **cache** the output in the Data Store and transition the query to
 //!    CACHED, swapping out any evicted producers.
 //!
+//! ## Locking
+//!
+//! Engine state is decomposed into three independently locked components
+//! so that the scheduler, the result cache, and metrics never contend
+//! with each other:
+//!
+//! * `sched: Mutex<SchedState>` — scheduling graph, wait-for edges,
+//!   pending reply channels, and the `outstanding` counter. Both condition
+//!   variables (`work_cv`, `done_cv`) are associated with this mutex.
+//! * `store: RwLock<SpatialDataStore>` — the semantic cache. Lookups are
+//!   read-side (`&self`, LRU stamps and counters are atomics), so
+//!   concurrent queries probe the cache in parallel under the read lock;
+//!   only insert/evict takes the write lock.
+//! * `metrics: Mutex<Vec<QueryRecord>>` — completed-query records.
+//!
+//! **Lock hierarchy rule:** a thread holds at most *one* of the three
+//! component locks at any time. Payload bytes are materialized into
+//! `Arc<[u8]>` outside all critical sections; every section is pointer
+//! and counter bookkeeping only.
+//!
 //! The engine is generic over the application ([`VmExecutor`] is the
 //! default); everything scheduling-related is application-neutral.
 
 use crate::app::{AppExecutor, VmExecutor};
 use crate::config::ServerConfig;
 use crate::pages::SharedPageSpace;
-use crate::result::{AnswerPath, QueryRecord, QueryResult};
+use crate::result::{AnswerPath, QueryRecord, QueryResult, ServerSummary};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use vmqs_core::{BlobId, IdGen, QueryId, QuerySpec, QueryState, SchedulingGraph};
-use vmqs_datastore::{DataStore, DsStats, Payload};
+use vmqs_core::{BlobId, IdGen, QueryId, QuerySpec, QueryState, SchedulingGraph, SpatialSpec};
+use vmqs_datastore::{DsStats, Payload, SpatialDataStore};
 use vmqs_microscope::PAGE_SIZE;
 use vmqs_pagespace::PsStats;
 use vmqs_storage::DataSource;
@@ -69,16 +89,16 @@ impl<S> QueryHandle<S> {
     }
 }
 
-struct Central<S: QuerySpec> {
+/// Scheduler component: everything the dequeue/blocking/completion
+/// transitions touch. Guarded by `Core::sched`.
+struct SchedState<S: SpatialSpec> {
     graph: SchedulingGraph<S>,
-    ds: DataStore<S>,
     blob_of: HashMap<QueryId, BlobId>,
     /// Deadlock-avoidance wait-for edges: executing query → executing query
     /// it is blocked on.
     waiting_on: HashMap<QueryId, QueryId>,
     pending: HashMap<QueryId, Sender<Result<QueryResult<S>, QueryError>>>,
     submit_time: HashMap<QueryId, Instant>,
-    records: Vec<QueryRecord<S>>,
     outstanding: usize,
     blocked_fallbacks: u64,
     shutdown: bool,
@@ -87,11 +107,18 @@ struct Central<S: QuerySpec> {
 struct Core<A: AppExecutor> {
     cfg: ServerConfig,
     app: A,
-    central: Mutex<Central<A::Spec>>,
-    /// Signaled when a WAITING query appears or shutdown starts.
+    /// Scheduling state. Never held together with `store` or `metrics`.
+    sched: Mutex<SchedState<A::Spec>>,
+    /// The semantic cache, under a reader-writer lock: lookups (the common
+    /// case) share the read side; insert/evict takes the write side.
+    store: RwLock<SpatialDataStore<A::Spec>>,
+    /// Completed-query records, off the hot path.
+    metrics: Mutex<Vec<QueryRecord<A::Spec>>>,
+    /// Signaled when a WAITING query appears or shutdown starts
+    /// (associated with `sched`).
     work_cv: Condvar,
-    /// Signaled when any query completes (wakes dependency blockers and
-    /// `drain`).
+    /// Signaled when any query completes — wakes dependency blockers and
+    /// `drain` (associated with `sched`).
     done_cv: Condvar,
     ps: SharedPageSpace,
     idgen: IdGen,
@@ -116,18 +143,22 @@ impl<A: AppExecutor> QueryServer<A> {
     /// Starts a server for any application executor.
     pub fn with_app(cfg: ServerConfig, app: A, source: Arc<dyn DataSource>) -> Self {
         let core = Arc::new(Core {
-            central: Mutex::new(Central {
+            sched: Mutex::new(SchedState {
                 graph: SchedulingGraph::new(cfg.strategy),
-                ds: DataStore::with_policy(cfg.ds_budget, cfg.ds_policy),
                 blob_of: HashMap::new(),
                 waiting_on: HashMap::new(),
                 pending: HashMap::new(),
                 submit_time: HashMap::new(),
-                records: Vec::new(),
                 outstanding: 0,
                 blocked_fallbacks: 0,
                 shutdown: false,
             }),
+            store: RwLock::new(SpatialDataStore::with_policy(
+                cfg.ds_budget,
+                cfg.index_cell,
+                cfg.ds_policy,
+            )),
+            metrics: Mutex::new(Vec::new()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             ps: SharedPageSpace::new(cfg.ps_budget, PAGE_SIZE, source),
@@ -152,12 +183,12 @@ impl<A: AppExecutor> QueryServer<A> {
         let id = self.core.idgen.next_query();
         let (tx, rx) = bounded(1);
         {
-            let mut c = self.core.central.lock();
-            assert!(!c.shutdown, "submit after shutdown");
-            c.graph.insert(id, spec);
-            c.pending.insert(id, tx);
-            c.submit_time.insert(id, Instant::now());
-            c.outstanding += 1;
+            let mut s = self.core.sched.lock();
+            assert!(!s.shutdown, "submit after shutdown");
+            s.graph.insert(id, spec);
+            s.pending.insert(id, tx);
+            s.submit_time.insert(id, Instant::now());
+            s.outstanding += 1;
         }
         self.core.work_cv.notify_one();
         QueryHandle { id, rx }
@@ -173,19 +204,20 @@ impl<A: AppExecutor> QueryServer<A> {
         handles
     }
 
-    /// Blocks until every submitted query has completed.
+    /// Blocks until every submitted query has completed. When this
+    /// returns, every handle's result has already been delivered.
     pub fn drain(&self) {
-        let mut c = self.core.central.lock();
-        while c.outstanding > 0 {
-            self.core.done_cv.wait(&mut c);
+        let mut s = self.core.sched.lock();
+        while s.outstanding > 0 {
+            self.core.done_cv.wait(&mut s);
         }
     }
 
     /// Stops the thread pool. Unfinished queries receive an error.
     pub fn shutdown(mut self) {
         {
-            let mut c = self.core.central.lock();
-            c.shutdown = true;
+            let mut s = self.core.sched.lock();
+            s.shutdown = true;
         }
         self.core.work_cv.notify_all();
         self.core.done_cv.notify_all();
@@ -193,20 +225,53 @@ impl<A: AppExecutor> QueryServer<A> {
             w.join().expect("query thread panicked");
         }
         // Fail any queries still pending.
-        let mut c = self.core.central.lock();
-        for (_, tx) in c.pending.drain() {
+        let mut s = self.core.sched.lock();
+        for (_, tx) in s.pending.drain() {
             let _ = tx.send(Err(QueryError("server shut down".into())));
         }
     }
 
-    /// Execution records of all completed queries so far.
+    /// Execution records of all completed queries so far. This copies the
+    /// records out (records are small `Copy` structs with no payloads) —
+    /// use [`QueryServer::summary`] for cheap periodic metrics polling.
     pub fn records(&self) -> Vec<QueryRecord<A::Spec>> {
-        self.core.central.lock().records.clone()
+        self.core.metrics.lock().clone()
+    }
+
+    /// Aggregate metrics over completed queries, computed without copying
+    /// the per-query records.
+    pub fn summary(&self) -> ServerSummary {
+        let (mut resp, mut out) = {
+            let m = self.core.metrics.lock();
+            let mut out = ServerSummary {
+                completed: m.len(),
+                ..ServerSummary::default()
+            };
+            let mut resp: Vec<Duration> = Vec::with_capacity(m.len());
+            for r in m.iter() {
+                match r.path {
+                    AnswerPath::ExactHit => out.exact_hits += 1,
+                    AnswerPath::PartialReuse => out.partial_reuse += 1,
+                    AnswerPath::FullCompute => out.full_compute += 1,
+                }
+                out.reused_bytes += r.reused_bytes;
+                resp.push(r.response_time());
+            }
+            (resp, out)
+        };
+        if !resp.is_empty() {
+            resp.sort_unstable();
+            let total: Duration = resp.iter().sum();
+            out.mean_response = total / resp.len() as u32;
+            out.p50_response = resp[(resp.len() - 1) / 2];
+            out.p95_response = resp[((resp.len() - 1) as f64 * 0.95).round() as usize];
+        }
+        out
     }
 
     /// Data Store counters.
     pub fn ds_stats(&self) -> DsStats {
-        self.core.central.lock().ds.stats()
+        self.core.store.read().stats()
     }
 
     /// Page Space counters.
@@ -216,13 +281,13 @@ impl<A: AppExecutor> QueryServer<A> {
 
     /// Scheduling-graph counters.
     pub fn graph_stats(&self) -> vmqs_core::GraphStats {
-        self.core.central.lock().graph.stats()
+        self.core.sched.lock().graph.stats()
     }
 
     /// Times a query gave up blocking because waiting would have formed a
     /// wait-for cycle (deadlock-avoidance fallbacks).
     pub fn blocked_fallbacks(&self) -> u64 {
-        self.core.central.lock().blocked_fallbacks
+        self.core.sched.lock().blocked_fallbacks
     }
 
     /// Disables Page Space run merging (ablation knob).
@@ -235,47 +300,55 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
     loop {
         // Dequeue the highest-ranked WAITING query.
         let (id, spec, submitted) = {
-            let mut c = core.central.lock();
+            let mut s = core.sched.lock();
             loop {
-                if c.shutdown {
+                if s.shutdown {
                     return;
                 }
-                if c.graph.waiting_len() > 0 {
+                if s.graph.waiting_len() > 0 {
                     break;
                 }
-                core.work_cv.wait(&mut c);
+                core.work_cv.wait(&mut s);
             }
-            let id = c.graph.dequeue().expect("non-empty waiting set");
-            let spec = *c.graph.spec_of(id).expect("dequeued node present");
-            let submitted = c.submit_time.remove(&id).unwrap_or_else(Instant::now);
+            let id = s.graph.dequeue().expect("non-empty waiting set");
+            let spec = *s.graph.spec_of(id).expect("dequeued node present");
+            let submitted = s.submit_time.remove(&id).unwrap_or_else(Instant::now);
             (id, spec, submitted)
         };
         let started = Instant::now();
         let exec = execute_query(core, id, spec);
         let finished = Instant::now();
 
-        // Publish the result and update graph/data-store state.
-        let mut c = core.central.lock();
-        let tx = c.pending.remove(&id);
+        // Publish the result. Each state component is locked on its own,
+        // in sequence; the result bytes were materialized as `Arc<[u8]>`
+        // outside any lock, so critical sections stay pointer-sized.
         let msg = match exec {
             Ok(out) => {
                 let size = core.app.output_len(&spec) as u64;
                 let mut evicted = Vec::new();
-                let cached =
-                    c.ds.insert(id, spec, size, Payload::Bytes(out.image.clone()), &mut evicted);
-                c.graph.mark_cached(id);
-                for (_, producer) in evicted {
-                    c.blob_of.remove(&producer);
-                    c.graph.swap_out(producer);
-                }
-                match cached {
-                    Ok(blob) => {
-                        c.blob_of.insert(id, blob);
+                let cached = core.store.write().insert(
+                    id,
+                    spec,
+                    size,
+                    Payload::Bytes(Arc::clone(&out.image)),
+                    &mut evicted,
+                );
+                {
+                    let mut s = core.sched.lock();
+                    s.graph.mark_cached(id);
+                    for (_, producer) in evicted {
+                        s.blob_of.remove(&producer);
+                        s.graph.swap_out(producer);
                     }
-                    Err(_) => {
-                        // Result cannot be cached (budget too small):
-                        // treat it as immediately swapped out.
-                        c.graph.swap_out(id);
+                    match cached {
+                        Ok(blob) => {
+                            s.blob_of.insert(id, blob);
+                        }
+                        Err(_) => {
+                            // Result cannot be cached (budget too small):
+                            // treat it as immediately swapped out.
+                            s.graph.swap_out(id);
+                        }
                     }
                 }
                 let (w, h) = core.app.output_dims(&spec);
@@ -290,7 +363,7 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                     covered_fraction: out.covered_fraction,
                     pages_requested: out.pages_requested,
                 };
-                c.records.push(record);
+                core.metrics.lock().push(record);
                 Ok(QueryResult {
                     id,
                     image: out.image,
@@ -301,22 +374,26 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
             }
             Err(e) => {
                 // Remove the failed query from the graph entirely.
-                c.graph.mark_cached(id);
-                c.graph.swap_out(id);
+                let mut s = core.sched.lock();
+                s.graph.mark_cached(id);
+                s.graph.swap_out(id);
+                drop(s);
                 Err(QueryError(e.to_string()))
             }
         };
-        c.outstanding -= 1;
-        drop(c);
-        core.done_cv.notify_all();
+        // Deliver the answer *before* decrementing `outstanding`, so that
+        // `drain` returning implies every handle is already fulfilled.
+        let tx = core.sched.lock().pending.remove(&id);
         if let Some(tx) = tx {
             let _ = tx.send(msg);
         }
+        core.sched.lock().outstanding -= 1;
+        core.done_cv.notify_all();
     }
 }
 
 struct ExecOutcome {
-    image: Arc<Vec<u8>>,
+    image: Arc<[u8]>,
     path: AnswerPath,
     reused_bytes: u64,
     covered_fraction: f64,
@@ -325,8 +402,12 @@ struct ExecOutcome {
 }
 
 /// True when making `waiter` wait on `target` would close a cycle in the
-/// wait-for graph (must be called with the central lock held).
-fn would_deadlock(waiting_on: &HashMap<QueryId, QueryId>, waiter: QueryId, target: QueryId) -> bool {
+/// wait-for graph (must be called with the scheduler lock held).
+fn would_deadlock(
+    waiting_on: &HashMap<QueryId, QueryId>,
+    waiter: QueryId,
+    target: QueryId,
+) -> bool {
     let mut cur = target;
     let mut hops = 0;
     while let Some(&next) = waiting_on.get(&cur) {
@@ -353,38 +434,39 @@ fn execute_query<A: AppExecutor>(
 
     // Step 1 — deadlock-avoiding block on the strongest EXECUTING query we
     // could reuse (paper §4: queries stall on in-flight dependencies; CNBF
-    // exists to make this rare).
+    // exists to make this rare). Scheduler lock only.
     if core.cfg.allow_blocking {
-        let mut c = core.central.lock();
-        let dep = c
+        let mut s = core.sched.lock();
+        let dep = s
             .graph
             .reuse_sources(id)
             .into_iter()
-            .find(|e| c.graph.state_of(e.peer) == Some(QueryState::Executing));
+            .find(|e| s.graph.state_of(e.peer) == Some(QueryState::Executing));
         if let Some(dep) = dep {
-            if would_deadlock(&c.waiting_on, id, dep.peer) {
-                c.blocked_fallbacks += 1;
+            if would_deadlock(&s.waiting_on, id, dep.peer) {
+                s.blocked_fallbacks += 1;
             } else {
-                c.waiting_on.insert(id, dep.peer);
+                s.waiting_on.insert(id, dep.peer);
                 let t0 = Instant::now();
-                while c.graph.state_of(dep.peer) == Some(QueryState::Executing) && !c.shutdown {
-                    core.done_cv.wait(&mut c);
+                while s.graph.state_of(dep.peer) == Some(QueryState::Executing) && !s.shutdown {
+                    core.done_cv.wait(&mut s);
                 }
-                c.waiting_on.remove(&id);
+                s.waiting_on.remove(&id);
                 blocked = t0.elapsed();
             }
         }
     }
 
-    // Step 2 — Data Store lookup: collect exact/partial matches with their
-    // payloads (Arc clones; projection happens outside the lock).
-    let mut exact: Option<Arc<Vec<u8>>> = None;
-    let mut sources: Vec<(A::Spec, Arc<Vec<u8>>)> = Vec::new();
+    // Step 2 — indexed Data Store lookup under the shared read lock:
+    // collect exact/partial matches with their payloads (Arc clones;
+    // projection happens outside the lock, concurrently with other
+    // readers' lookups).
+    let mut exact: Option<Arc<[u8]>> = None;
+    let mut sources: Vec<(A::Spec, Arc<[u8]>)> = Vec::new();
     {
-        let mut c = core.central.lock();
-        let matches = c.ds.lookup(&spec);
-        for m in matches {
-            if let Some(e) = c.ds.get(m.blob) {
+        let ds = core.store.read();
+        for m in ds.lookup(&spec) {
+            if let Some(e) = ds.get(m.blob) {
                 if let Payload::Bytes(bytes) = &e.payload {
                     if exact.is_none() && e.spec.cmp(&spec) {
                         exact = Some(Arc::clone(bytes));
@@ -409,7 +491,7 @@ fn execute_query<A: AppExecutor>(
     }
 
     // Steps 3–4 — the application projects cached coverage and computes
-    // the remainder through the Page Space Manager.
+    // the remainder through the Page Space Manager. No locks held.
     let out = core.app.execute(&spec, &sources, &core.ps)?;
     debug_assert_eq!(out.bytes.len(), core.app.output_len(&spec));
     let path = if out.reused_bytes > 0 {
@@ -417,8 +499,10 @@ fn execute_query<A: AppExecutor>(
     } else {
         AnswerPath::FullCompute
     };
+    let image: Arc<[u8]> = out.bytes.into();
     Ok(ExecOutcome {
-        image: Arc::new(out.bytes),
+        // The only full-size copy of the result, made outside every lock.
+        image,
         path,
         reused_bytes: out.reused_bytes,
         covered_fraction: out.covered_fraction,
@@ -516,7 +600,14 @@ mod tests {
         let mut handles = Vec::new();
         let mut specs = Vec::new();
         for i in 0..12u32 {
-            let spec = q((i % 3) * 100, (i / 3) * 60, 120, 120, 1 << (i % 3), VmOp::Subsample);
+            let spec = q(
+                (i % 3) * 100,
+                (i / 3) * 60,
+                120,
+                120,
+                1 << (i % 3),
+                VmOp::Subsample,
+            );
             specs.push(spec);
             handles.push(s.submit(spec));
         }
@@ -540,11 +631,32 @@ mod tests {
     }
 
     #[test]
+    fn summary_aggregates_without_copying_records() {
+        let s = server(ServerConfig::small().with_threads(2));
+        let spec = q(0, 0, 64, 64, 2, VmOp::Subsample);
+        s.submit(spec).wait().unwrap();
+        s.submit(spec).wait().unwrap();
+        let other = q(200, 200, 64, 64, 2, VmOp::Subsample);
+        s.submit(other).wait().unwrap();
+        let sum = s.summary();
+        assert_eq!(sum.completed, 3);
+        assert_eq!(sum.exact_hits, 1);
+        assert_eq!(
+            sum.exact_hits + sum.partial_reuse + sum.full_compute,
+            sum.completed
+        );
+        assert!(sum.mean_response > Duration::ZERO);
+        assert!(sum.p95_response >= sum.p50_response);
+        s.shutdown();
+    }
+
+    #[test]
     fn shutdown_fails_pending_queries() {
         // One thread and a pile of queries: shut down immediately; whatever
         // did not run must receive an error, not hang.
         let s = server(ServerConfig::small().with_threads(1));
-        let handles = s.submit_batch((0..8).map(|i| q((i % 4) * 100, 0, 100, 100, 1, VmOp::Average)));
+        let handles =
+            s.submit_batch((0..8).map(|i| q((i % 4) * 100, 0, 100, 100, 1, VmOp::Average)));
         s.shutdown();
         let mut finished = 0;
         let mut failed = 0;

@@ -24,4 +24,4 @@ pub use app::{AppExecutor, AppOutcome, VmExecutor};
 pub use config::ServerConfig;
 pub use engine::{QueryError, QueryHandle, QueryServer};
 pub use pages::SharedPageSpace;
-pub use result::{AnswerPath, QueryRecord, QueryResult};
+pub use result::{AnswerPath, QueryRecord, QueryResult, ServerSummary};

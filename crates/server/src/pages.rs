@@ -146,7 +146,9 @@ mod tests {
     fn read_page_returns_source_bytes() {
         let ps = SharedPageSpace::new(1 << 20, 256, Arc::new(SyntheticSource::new()));
         let a = ps.read_page(DatasetId(1), 3).unwrap();
-        let b = SyntheticSource::new().read_page(DatasetId(1), 3, 256).unwrap();
+        let b = SyntheticSource::new()
+            .read_page(DatasetId(1), 3, 256)
+            .unwrap();
         assert_eq!(*a, b);
     }
 
@@ -205,7 +207,9 @@ mod tests {
         for round in 0..3 {
             for i in 0..10u64 {
                 let got = ps.read_page(DatasetId(0), i).unwrap();
-                let want = SyntheticSource::new().read_page(DatasetId(0), i, 256).unwrap();
+                let want = SyntheticSource::new()
+                    .read_page(DatasetId(0), i, 256)
+                    .unwrap();
                 assert_eq!(*got, want, "round {round} page {i}");
             }
         }

@@ -13,8 +13,10 @@ pub struct QueryResult<S = VmQuery> {
     pub id: QueryId,
     /// Output image bytes (the application's encoding — row-major RGB for
     /// the microscope, grayscale for the volume app), shared with the Data
-    /// Store's cached copy when one exists.
-    pub image: Arc<Vec<u8>>,
+    /// Store's cached copy when one exists. `Arc<[u8]>` so handing the
+    /// answer to the client and to the cache is a refcount bump, never a
+    /// byte copy inside a critical section.
+    pub image: Arc<[u8]>,
     /// Output width in pixels.
     pub width: u32,
     /// Output height in pixels.
@@ -64,6 +66,29 @@ impl<S> QueryRecord<S> {
     pub fn response_time(&self) -> Duration {
         self.wait_time + self.exec_time
     }
+}
+
+/// Aggregate metrics over all completed queries, computed in place from
+/// the server's records — the cheap way to poll progress or throughput
+/// without copying per-query records out of the metrics lock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerSummary {
+    /// Queries completed so far.
+    pub completed: usize,
+    /// Of which: answered entirely from an exact cached match.
+    pub exact_hits: usize,
+    /// Of which: partially projected from cached results.
+    pub partial_reuse: usize,
+    /// Of which: computed entirely from raw pages.
+    pub full_compute: usize,
+    /// Total output bytes obtained by projecting cached results.
+    pub reused_bytes: u64,
+    /// Mean response time (wait + execution).
+    pub mean_response: Duration,
+    /// Median response time.
+    pub p50_response: Duration,
+    /// 95th-percentile response time.
+    pub p95_response: Duration,
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //! [`crate::VmSimApp`]; the 3-D volume visualization application of the
 //! paper's §6 future work implements the same trait in `vmqs-volume`.
 
-use vmqs_core::QuerySpec;
+use vmqs_core::SpatialSpec;
 use vmqs_pagespace::PageKey;
 
 /// Result of planning one query's execution against the cache.
@@ -30,7 +30,7 @@ pub struct ReusePlan {
 /// A data-analysis application, as seen by the discrete-event simulator.
 pub trait SimApplication: Send + Sync + 'static {
     /// The application's predicate type.
-    type Spec: QuerySpec + Copy + std::fmt::Debug;
+    type Spec: SpatialSpec + Copy + std::fmt::Debug;
 
     /// Plans `target` against `cached` results (most-reusable first, as
     /// returned by the Data Store lookup): greedy coverage, remainder page

@@ -102,6 +102,9 @@ pub struct SimConfig {
     pub tuner: Option<TunerConfig>,
     /// Record a per-event schedule trace (see [`crate::TraceEvent`]).
     pub trace: bool,
+    /// Cell side (base-resolution pixels) of the Data Store's grid index.
+    /// Pick roughly the footprint of a typical cached result.
+    pub index_cell: u32,
 }
 
 impl SimConfig {
@@ -124,6 +127,7 @@ impl SimConfig {
             ds_policy: vmqs_datastore::EvictionPolicy::Lru,
             tuner: None,
             trace: false,
+            index_cell: 4096,
         }
     }
 
@@ -185,6 +189,13 @@ impl SimConfig {
     /// Builder-style trace toggle.
     pub fn with_trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Builder-style grid-index cell-size override.
+    pub fn with_index_cell(mut self, cell: u32) -> Self {
+        assert!(cell > 0, "index cell must be positive");
+        self.index_cell = cell;
         self
     }
 }

@@ -104,10 +104,7 @@ impl DiskQueue {
 
     /// Time at which some disk becomes idle.
     pub fn free_at(&self) -> f64 {
-        self.free_at
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
+        self.free_at.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
     /// Counter snapshot.

@@ -26,8 +26,10 @@ use crate::report::{SimRecord, SimReport};
 use crate::trace::{TraceEvent, TraceKind};
 use crate::vm::VmSimApp;
 use std::collections::HashMap;
-use vmqs_core::{BlobId, ClientId, IdGen, QueryId, QuerySpec, QueryState, SchedulingGraph, Strategy};
-use vmqs_datastore::{DataStore, Payload};
+use vmqs_core::{
+    BlobId, ClientId, IdGen, QueryId, QuerySpec, QueryState, SchedulingGraph, Strategy,
+};
+use vmqs_datastore::{Payload, SpatialDataStore};
 use vmqs_microscope::PAGE_SIZE;
 use vmqs_pagespace::{PageCacheCore, PageData, PageKey};
 
@@ -121,7 +123,7 @@ pub struct Simulator<A: SimApplication> {
     cfg: SimConfig,
     app: A,
     graph: SchedulingGraph<A::Spec>,
-    ds: DataStore<A::Spec>,
+    ds: SpatialDataStore<A::Spec>,
     ps: PageCacheCore,
     page_ready: HashMap<PageKey, f64>,
     disk: DiskQueue,
@@ -191,7 +193,7 @@ impl<A: SimApplication> Simulator<A> {
         Simulator {
             app,
             graph: SchedulingGraph::new(cfg.strategy),
-            ds: DataStore::with_policy(cfg.ds_budget, cfg.ds_policy),
+            ds: SpatialDataStore::with_policy(cfg.ds_budget, cfg.index_cell, cfg.ds_policy),
             ps: PageCacheCore::new(cfg.ps_budget, PAGE_SIZE as u64),
             page_ready: HashMap::new(),
             disk: DiskQueue::with_servers(cfg.disk, cfg.n_disks),
@@ -227,7 +229,10 @@ impl<A: SimApplication> Simulator<A> {
     /// The self-tuner's parameter trajectory (`(virtual time, value)`
     /// pairs), empty when tuning is off.
     pub fn tuner_history(&self) -> &[(f64, f64)] {
-        self.tuner.as_ref().map(|t| t.history.as_slice()).unwrap_or(&[])
+        self.tuner
+            .as_ref()
+            .map(|t| t.history.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -354,7 +359,8 @@ impl<A: SimApplication> Simulator<A> {
         if let Some(m) = exact {
             let reused = m.reuse_bytes;
             let cpu = self.app.planning_seconds();
-            self.pending_metrics.insert(id, (1.0, reused, 0.0, cpu, true));
+            self.pending_metrics
+                .insert(id, (1.0, reused, 0.0, cpu, true));
             self.events.push(now + cpu, Event::Completion { id });
             return;
         }
@@ -402,7 +408,13 @@ impl<A: SimApplication> Simulator<A> {
             + self.app.compute_seconds(&spec, plan.input_bytes);
         self.pending_metrics.insert(
             id,
-            (plan.covered_fraction, plan.reused_bytes, io_time, cpu, false),
+            (
+                plan.covered_fraction,
+                plan.reused_bytes,
+                io_time,
+                cpu,
+                false,
+            ),
         );
         self.events
             .push(now + io_time + cpu, Event::Completion { id });
@@ -421,10 +433,13 @@ impl<A: SimApplication> Simulator<A> {
         // scheduling graph as SWAPPED_OUT.
         self.graph.mark_cached(id);
         let mut evicted = Vec::new();
-        match self
-            .ds
-            .insert(id, info.spec, info.spec.qoutsize(), Payload::Virtual, &mut evicted)
-        {
+        match self.ds.insert(
+            id,
+            info.spec,
+            info.spec.qoutsize(),
+            Payload::Virtual,
+            &mut evicted,
+        ) {
             Ok(blob) => {
                 self.blob_of.insert(id, blob);
             }
@@ -622,7 +637,11 @@ mod tests {
                                 (i * 911) % 20000,
                                 2048,
                                 1 << (i % 3),
-                                if c % 2 == 0 { VmOp::Subsample } else { VmOp::Average },
+                                if c % 2 == 0 {
+                                    VmOp::Subsample
+                                } else {
+                                    VmOp::Average
+                                },
                             )
                         })
                         .collect(),
@@ -687,7 +706,10 @@ mod tests {
         let r = run_sim(SimConfig::paper_baseline().with_threads(2), streams.clone());
         let blocked: Vec<_> = r.records.iter().filter(|x| x.blocked > 0.0).collect();
         assert_eq!(blocked.len(), 1);
-        assert!(blocked[0].exact_hit, "after blocking, the result is reusable");
+        assert!(
+            blocked[0].exact_hit,
+            "after blocking, the result is reusable"
+        );
         // With blocking disabled, nobody blocks and both do the I/O plan
         // (the page cache still dedups actual I/O).
         let r2 = run_sim(
@@ -736,7 +758,9 @@ mod tests {
     fn fifo_orders_by_arrival_in_batch() {
         let streams = vec![ClientStream {
             client: ClientId(0),
-            queries: (0..6).map(|i| q(i * 3000, 0, 1024, 1, VmOp::Subsample)).collect(),
+            queries: (0..6)
+                .map(|i| q(i * 3000, 0, 1024, 1, VmOp::Subsample))
+                .collect(),
         }];
         let r = run_sim(
             SimConfig::paper_baseline()
@@ -855,7 +879,10 @@ mod tests {
         let cfg = SimConfig::paper_baseline()
             .with_strategy(Strategy::hybrid_default())
             .with_mode(SubmissionMode::Batch) // deep queue: ranks matter
-            .with_tuner(TunerConfig { window: 8, step: 2.0 });
+            .with_tuner(TunerConfig {
+                window: 8,
+                step: 2.0,
+            });
         let a = run_sim(cfg, wl());
         let b = run_sim(cfg, wl());
         assert_eq!(a.records.len(), 48);
@@ -893,7 +920,11 @@ mod tests {
                 .filter(|e| e.query == qid)
                 .map(|e| e.kind.label())
                 .collect();
-            assert_eq!(kinds, vec!["arrive", "start", "resume", "complete"], "{qid}");
+            assert_eq!(
+                kinds,
+                vec!["arrive", "start", "resume", "complete"],
+                "{qid}"
+            );
         }
         // With trace off, the trace is empty.
         let r2 = run_sim(
@@ -964,7 +995,10 @@ mod tests {
 
     #[test]
     fn tuner_hill_climbs_and_reverses() {
-        let mut t = Tuner::new(TunerConfig { window: 2, step: 2.0 });
+        let mut t = Tuner::new(TunerConfig {
+            window: 2,
+            step: 2.0,
+        });
         assert!(t.observe(1.0).is_none());
         // First window closes: steps forward.
         assert_eq!(t.observe(1.0), Some(2.0));

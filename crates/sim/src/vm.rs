@@ -128,7 +128,11 @@ mod tests {
         let c1 = VmQuery::new(slide(), Rect::new(0, 0, 4096, 2048), 4, VmOp::Subsample);
         let c2 = VmQuery::new(slide(), Rect::new(0, 0, 4096, 3072), 4, VmOp::Subsample);
         let plan = app().plan(&q, &[c2, c1]);
-        assert!(plan.covered_fraction <= 0.76, "covered {}", plan.covered_fraction);
+        assert!(
+            plan.covered_fraction <= 0.76,
+            "covered {}",
+            plan.covered_fraction
+        );
     }
 
     #[test]

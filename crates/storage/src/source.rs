@@ -26,7 +26,12 @@ use vmqs_core::DatasetId;
 pub trait DataSource: Send + Sync {
     /// Reads page `index` of `dataset`; always returns exactly `page_size`
     /// bytes (sources zero-fill beyond end of data).
-    fn read_page(&self, dataset: DatasetId, index: u64, page_size: usize) -> std::io::Result<Vec<u8>>;
+    fn read_page(
+        &self,
+        dataset: DatasetId,
+        index: u64,
+        page_size: usize,
+    ) -> std::io::Result<Vec<u8>>;
 }
 
 /// Deterministic synthetic pages: byte `i` of page `p` of dataset `d` is a
@@ -46,15 +51,77 @@ impl SyntheticSource {
     #[inline]
     pub fn byte_at(dataset: DatasetId, page: u64, offset: u64) -> u8 {
         // SplitMix64-style mixing of the coordinates.
-        let mut z = dataset
-            .raw()
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(page.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-            .wrapping_add(offset);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        (z ^ (z >> 31)) as u8
+        mix(page_base(dataset, page).wrapping_add(offset)) as u8
     }
+}
+
+/// Per-page loop-invariant part of the content function: within a page,
+/// byte `i` is `mix(page_base + i)`.
+#[inline(always)]
+fn page_base(dataset: DatasetId, page: u64) -> u64 {
+    dataset
+        .raw()
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(page.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+}
+
+/// SplitMix64 finalizer.
+#[inline(always)]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fills `buf[i] = mix(base + i) as u8` with scalar code.
+fn fill_page_scalar(base: u64, buf: &mut [u8]) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = mix(base.wrapping_add(i as u64)) as u8;
+    }
+}
+
+/// Same fill, compiled with AVX-512 enabled: AVX-512DQ's native 64-bit
+/// lane multiply lets the compiler vectorize the SplitMix64 finalizer
+/// (~3× on page generation, which dominates cold-read cost). The loop
+/// body is identical to [`fill_page_scalar`], so output is byte-identical.
+///
+/// # Safety
+/// Callers must ensure the CPU supports avx512f/dq/bw/vl (checked at the
+/// dispatch site with `is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512bw,avx512vl")]
+unsafe fn fill_page_avx512(base: u64, buf: &mut [u8]) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = mix(base.wrapping_add(i as u64)) as u8;
+    }
+}
+
+/// Dispatches to the fastest available page fill for this CPU.
+fn fill_page(base: u64, buf: &mut [u8]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        static AVX512: AtomicU8 = AtomicU8::new(0); // 0 = unknown, 1 = yes, 2 = no
+        let state = AVX512.load(Ordering::Relaxed);
+        let have = match state {
+            1 => true,
+            2 => false,
+            _ => {
+                let have = is_x86_feature_detected!("avx512f")
+                    && is_x86_feature_detected!("avx512dq")
+                    && is_x86_feature_detected!("avx512bw")
+                    && is_x86_feature_detected!("avx512vl");
+                AVX512.store(if have { 1 } else { 2 }, Ordering::Relaxed);
+                have
+            }
+        };
+        if have {
+            // SAFETY: feature support verified above.
+            unsafe { fill_page_avx512(base, buf) };
+            return;
+        }
+    }
+    fill_page_scalar(base, buf);
 }
 
 impl DataSource for SyntheticSource {
@@ -65,9 +132,7 @@ impl DataSource for SyntheticSource {
         page_size: usize,
     ) -> std::io::Result<Vec<u8>> {
         let mut buf = vec![0u8; page_size];
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = Self::byte_at(dataset, index, i as u64);
-        }
+        fill_page(page_base(dataset, index), &mut buf);
         Ok(buf)
     }
 }
@@ -212,6 +277,22 @@ mod tests {
     }
 
     #[test]
+    fn vectorized_fill_matches_byte_at_on_full_pages() {
+        // Exercises whichever fill path `read_page` dispatches to on this
+        // CPU (AVX-512 where available, scalar otherwise) against the
+        // canonical per-byte definition, across sizes spanning all vector
+        // remainder shapes.
+        let s = SyntheticSource::new();
+        for &size in &[1usize, 7, 63, 64, 65, 1000, 65536] {
+            let page = s.read_page(DatasetId(11), 42, size).unwrap();
+            assert_eq!(page.len(), size);
+            for (i, &b) in page.iter().enumerate() {
+                assert_eq!(b, SyntheticSource::byte_at(DatasetId(11), 42, i as u64));
+            }
+        }
+    }
+
+    #[test]
     fn file_source_round_trips_synthetic_data() {
         let dir = std::env::temp_dir().join(format!("vmqs_fs_test_{}", std::process::id()));
         let fs = FileSource::new(&dir);
@@ -240,7 +321,12 @@ mod tests {
     fn throttled_source_preserves_data() {
         let t = ThrottledSource::new(SyntheticSource::new(), DiskModel::new(0.0, 1e12), 1.0);
         let a = t.read_page(DatasetId(1), 0, 64).unwrap();
-        assert_eq!(a, SyntheticSource::new().read_page(DatasetId(1), 0, 64).unwrap());
+        assert_eq!(
+            a,
+            SyntheticSource::new()
+                .read_page(DatasetId(1), 0, 64)
+                .unwrap()
+        );
     }
 
     #[test]

@@ -139,8 +139,7 @@ impl VolumeDataset {
     /// then y, then z, over the clipped brick dimensions).
     pub fn offset_in_brick(&self, x: u32, y: u32, z: u32) -> usize {
         let b = self.brick_box(self.brick_at(x, y, z));
-        ((z - b.z) as usize * b.h as usize + (y - b.y) as usize) * b.w as usize
-            + (x - b.x) as usize
+        ((z - b.z) as usize * b.h as usize + (y - b.y) as usize) * b.w as usize + (x - b.x) as usize
     }
 
     /// Ground-truth voxel value of the deterministic synthetic volume —
@@ -218,17 +217,20 @@ mod tests {
     fn input_bytes_counts_bricks() {
         let v = vol();
         assert_eq!(v.input_bytes(&Box3::new(0, 0, 0, 1, 1, 1)), 65536);
-        assert_eq!(
-            v.input_bytes(&Box3::new(35, 35, 35, 10, 10, 10)),
-            8 * 65536
-        );
+        assert_eq!(v.input_bytes(&Box3::new(35, 35, 35, 10, 10, 10)), 8 * 65536);
     }
 
     #[test]
     fn synthetic_voxel_matches_data_source() {
         let v = vol();
         let src = SyntheticSource::new();
-        for &(x, y, z) in &[(0, 0, 0), (39, 39, 39), (40, 0, 0), (99, 89, 84), (50, 45, 42)] {
+        for &(x, y, z) in &[
+            (0, 0, 0),
+            (39, 39, 39),
+            (40, 0, 0),
+            (99, 89, 84),
+            (50, 45, 42),
+        ] {
             assert_eq!(
                 v.synthetic_voxel(x, y, z),
                 v.read_voxel(&src, x, y, z).unwrap(),

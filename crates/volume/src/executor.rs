@@ -28,7 +28,7 @@ impl AppExecutor for VolExecutor {
     fn execute(
         &self,
         spec: &VolQuery,
-        sources: &[(VolQuery, Arc<Vec<u8>>)],
+        sources: &[(VolQuery, Arc<[u8]>)],
         ps: &SharedPageSpace,
     ) -> std::io::Result<AppOutcome> {
         let (w, h) = spec.output_dims();
@@ -50,7 +50,7 @@ impl AppExecutor for VolExecutor {
             let src_img = GrayImage {
                 width: sw,
                 height: sh,
-                data: bytes.as_ref().clone(),
+                data: bytes.to_vec(),
             };
             project(&mut out, spec, src_spec, &src_img);
             let l2 = spec.lod as u64 * spec.lod as u64;
@@ -176,7 +176,17 @@ mod tests {
     fn concurrent_volume_batch_all_correct() {
         let s = server();
         let specs: Vec<VolQuery> = (0..8)
-            .map(|i| q((i % 4) * 40, (i / 4) * 60, 80, 0, 40 + (i % 2) * 20, 2, VolOp::Mip))
+            .map(|i| {
+                q(
+                    (i % 4) * 40,
+                    (i / 4) * 60,
+                    80,
+                    0,
+                    40 + (i % 2) * 20,
+                    2,
+                    VolOp::Mip,
+                )
+            })
             .collect();
         let handles = s.submit_batch(specs.clone());
         for (h, spec) in handles.into_iter().zip(specs) {

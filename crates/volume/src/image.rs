@@ -52,8 +52,14 @@ impl GrayImage {
     /// Copies a block from `src` at `(sx, sy)` into `self` at `(dx, dy)`.
     #[allow(clippy::too_many_arguments)]
     pub fn blit(&mut self, dx: u32, dy: u32, src: &GrayImage, sx: u32, sy: u32, w: u32, h: u32) {
-        assert!(dx + w <= self.width && dy + h <= self.height, "dst out of bounds");
-        assert!(sx + w <= src.width && sy + h <= src.height, "src out of bounds");
+        assert!(
+            dx + w <= self.width && dy + h <= self.height,
+            "dst out of bounds"
+        );
+        assert!(
+            sx + w <= src.width && sy + h <= src.height,
+            "src out of bounds"
+        );
         for row in 0..h {
             let so = src.offset(sx, sy + row);
             let doff = self.offset(dx, dy + row);

@@ -44,12 +44,7 @@ impl ProjAccumulator {
     /// Folds in the voxels of one brick: every sample column of `query`
     /// passing through `brick ∩ query.input_box()` contributes its voxels
     /// in that depth interval.
-    pub fn accumulate_brick(
-        &mut self,
-        query: &VolQuery,
-        brick: crate::geom3::Box3,
-        data: &[u8],
-    ) {
+    pub fn accumulate_brick(&mut self, query: &VolQuery, brick: crate::geom3::Box3, data: &[u8]) {
         let inter = match query.input_box().intersect(&brick) {
             Some(i) => i,
             None => return,
@@ -68,8 +63,7 @@ impl ProjAccumulator {
                 let bx = fp.x + ox * l;
                 let pix = (oy * self.width + ox) as usize;
                 for z in inter.z..inter.z1() {
-                    let off = ((z - brick.z) as usize * brick.h as usize
-                        + (by - brick.y) as usize)
+                    let off = ((z - brick.z) as usize * brick.h as usize + (by - brick.y) as usize)
                         * brick.w as usize
                         + (bx - brick.x) as usize;
                     let v = data[off];
@@ -196,20 +190,29 @@ mod tests {
     #[test]
     fn mip_matches_reference_single_brick() {
         let query = q(0, 0, 32, 0, 32, 2, VolOp::Mip);
-        assert_eq!(compute_from_bricks(&query, fetch(&query)), reference_render(&query));
+        assert_eq!(
+            compute_from_bricks(&query, fetch(&query)),
+            reference_render(&query)
+        );
     }
 
     #[test]
     fn mip_matches_reference_across_brick_boundaries() {
         // Straddles brick boundaries on all three axes.
         let query = q(30, 30, 24, 30, 60, 2, VolOp::Mip);
-        assert_eq!(compute_from_bricks(&query, fetch(&query)), reference_render(&query));
+        assert_eq!(
+            compute_from_bricks(&query, fetch(&query)),
+            reference_render(&query)
+        );
     }
 
     #[test]
     fn avgproj_matches_reference_across_brick_boundaries() {
         let query = q(30, 30, 24, 20, 70, 4, VolOp::AvgProj);
-        assert_eq!(compute_from_bricks(&query, fetch(&query)), reference_render(&query));
+        assert_eq!(
+            compute_from_bricks(&query, fetch(&query)),
+            reference_render(&query)
+        );
     }
 
     #[test]

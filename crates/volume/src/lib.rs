@@ -34,8 +34,8 @@ mod query;
 mod workload;
 
 pub use app::{VolCostModel, VolSimApp};
-pub use executor::VolExecutor;
 pub use dataset::{VolumeDataset, BRICK_SIDE, PAGE_SIZE};
+pub use executor::VolExecutor;
 pub use geom3::Box3;
 pub use image::GrayImage;
 pub use query::{VolOp, VolQuery};

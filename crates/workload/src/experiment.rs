@@ -154,7 +154,10 @@ pub fn small_server(strategy: Strategy, threads: usize) -> QueryServer {
         .with_threads(threads)
         .with_ds_budget(8 << 20)
         .with_ps_budget(4 << 20);
-    QueryServer::new(cfg, std::sync::Arc::new(vmqs_storage::SyntheticSource::new()))
+    QueryServer::new(
+        cfg,
+        std::sync::Arc::new(vmqs_storage::SyntheticSource::new()),
+    )
 }
 
 /// Writes rows to a CSV file (creating parent directories), returning the

@@ -116,12 +116,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Vec<ClientStream> {
         .iter()
         .map(|d| {
             (0..cfg.hotspots_per_dataset)
-                .map(|_| {
-                    (
-                        rng.gen_range(0..d.width),
-                        rng.gen_range(0..d.height),
-                    )
-                })
+                .map(|_| (rng.gen_range(0..d.width), rng.gen_range(0..d.height)))
                 .collect()
         })
         .collect();

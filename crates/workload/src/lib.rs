@@ -18,7 +18,6 @@ mod experiment;
 mod generator;
 
 pub use experiment::{
-    run_paper_experiment, run_server_batch, run_server_interactive, small_server, write_csv,
-    ExpRow,
+    run_paper_experiment, run_server_batch, run_server_interactive, small_server, write_csv, ExpRow,
 };
 pub use generator::{flatten_to_batch, generate, WorkloadConfig};

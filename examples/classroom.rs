@@ -30,8 +30,8 @@ fn main() {
                 .iter()
                 .map(|r| r.response_time().as_secs_f64() * 1e3)
                 .collect();
-            let reuse: f64 = records.iter().map(|r| r.covered_fraction).sum::<f64>()
-                / records.len() as f64;
+            let reuse: f64 =
+                records.iter().map(|r| r.covered_fraction).sum::<f64>() / records.len() as f64;
             let ds = server.ds_stats();
             let ps = server.ps_stats();
             println!(

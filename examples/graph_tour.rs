@@ -12,15 +12,35 @@ use vmqs_core::QueryId;
 fn sample_queries(slide: SlideDataset) -> Vec<(QueryId, VmQuery)> {
     vec![
         // q1 and q2: same zoom, half-overlapping windows (bidirectional edge).
-        (QueryId(1), VmQuery::new(slide, Rect::new(0, 0, 2048, 2048), 2, VmOp::Subsample)),
-        (QueryId(2), VmQuery::new(slide, Rect::new(1024, 0, 2048, 2048), 2, VmOp::Subsample)),
+        (
+            QueryId(1),
+            VmQuery::new(slide, Rect::new(0, 0, 2048, 2048), 2, VmOp::Subsample),
+        ),
+        (
+            QueryId(2),
+            VmQuery::new(slide, Rect::new(1024, 0, 2048, 2048), 2, VmOp::Subsample),
+        ),
         // q3 overlaps q2 at the same zoom.
-        (QueryId(3), VmQuery::new(slide, Rect::new(2048, 0, 2048, 2048), 2, VmOp::Subsample)),
+        (
+            QueryId(3),
+            VmQuery::new(slide, Rect::new(2048, 0, 2048, 2048), 2, VmOp::Subsample),
+        ),
         // q4: coarser zoom over q2's window — only e_{2,4} exists because
         // the transformation is not invertible (paper Fig. 3).
-        (QueryId(4), VmQuery::new(slide, Rect::new(1024, 0, 2048, 2048), 8, VmOp::Subsample)),
+        (
+            QueryId(4),
+            VmQuery::new(slide, Rect::new(1024, 0, 2048, 2048), 8, VmOp::Subsample),
+        ),
         // q5: disjoint region, no edges at all.
-        (QueryId(5), VmQuery::new(slide, Rect::new(16384, 16384, 2048, 2048), 2, VmOp::Subsample)),
+        (
+            QueryId(5),
+            VmQuery::new(
+                slide,
+                Rect::new(16384, 16384, 2048, 2048),
+                2,
+                VmOp::Subsample,
+            ),
+        ),
     ]
 }
 
@@ -34,7 +54,10 @@ fn main() {
     }
     println!("{}", g.to_dot());
     println!("q4 reuse sources: {:?}", g.reuse_sources(QueryId(4)));
-    println!("q4 dependents:    {:?} (none — coarse results can't serve fine queries)\n", g.dependents(QueryId(4)));
+    println!(
+        "q4 dependents:    {:?} (none — coarse results can't serve fine queries)\n",
+        g.dependents(QueryId(4))
+    );
 
     println!("=== One dequeue under each strategy ===\n");
     for strategy in Strategy::paper_set() {

@@ -12,11 +12,16 @@ fn main() {
     // synthetic data — no files needed.
     let slide = SlideDataset::new(DatasetId(0), 4000, 4000);
     let server = QueryServer::new(
-        ServerConfig::small().with_strategy(Strategy::Cnbf).with_threads(2),
+        ServerConfig::small()
+            .with_strategy(Strategy::Cnbf)
+            .with_threads(2),
         Arc::new(SyntheticSource::new()),
     );
 
-    println!("Virtual Microscope quickstart — slide {}x{}", slide.width, slide.height);
+    println!(
+        "Virtual Microscope quickstart — slide {}x{}",
+        slide.width, slide.height
+    );
     println!("{:-<72}", "");
 
     // 1. A fresh query: computed entirely from raw chunks.

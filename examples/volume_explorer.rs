@@ -24,7 +24,10 @@ fn main() {
     let query = VolQuery::new(small, Rect::new(20, 20, 160, 160), 40, 120, 2, VolOp::Mip);
     let src = SyntheticSource::new();
     let img = compute_from_bricks(&query, |idx| {
-        Arc::new(src.read_page(small.id, idx, vmqs_volume::PAGE_SIZE).unwrap())
+        Arc::new(
+            src.read_page(small.id, idx, vmqs_volume::PAGE_SIZE)
+                .unwrap(),
+        )
     });
     assert_eq!(img, reference_render(&query));
     println!(

@@ -44,7 +44,9 @@ fn every_strategy_produces_correct_images() {
     ];
     for strategy in Strategy::paper_set() {
         let server = QueryServer::new(
-            ServerConfig::small().with_strategy(strategy).with_threads(2),
+            ServerConfig::small()
+                .with_strategy(strategy)
+                .with_threads(2),
             Arc::new(SyntheticSource::new()),
         );
         let handles: Vec<_> = queries.iter().map(|q| server.submit(*q)).collect();
@@ -109,7 +111,10 @@ fn missing_file_surfaces_as_query_error() {
     let server = QueryServer::new(ServerConfig::small(), Arc::new(FileSource::new(&dir)));
     let q = VmQuery::new(slide, Rect::new(0, 0, 100, 100), 1, VmOp::Subsample);
     let err = server.submit(q).wait().unwrap_err();
-    assert!(err.0.contains("No such file") || err.0.contains("not found"), "{err}");
+    assert!(
+        err.0.contains("No such file") || err.0.contains("not found"),
+        "{err}"
+    );
     // The server must stay usable after a failed query.
     let slide_ok = SlideDataset::new(DatasetId(9), 800, 600);
     let _ = slide_ok;
@@ -141,7 +146,9 @@ fn batch_workload_all_strategies_complete() {
     let queries: Vec<VmQuery> = streams.iter().flat_map(|s| s.queries.clone()).collect();
     for strategy in Strategy::paper_set() {
         let server = QueryServer::new(
-            ServerConfig::small().with_strategy(strategy).with_threads(2),
+            ServerConfig::small()
+                .with_strategy(strategy)
+                .with_threads(2),
             Arc::new(SyntheticSource::new()),
         );
         let records = run_server_batch(&server, queries.clone());

@@ -4,11 +4,11 @@
 //! simulator sanity under randomized workloads.
 
 use proptest::prelude::*;
+use vmqs::prelude::{generate, run_sim};
 use vmqs::prelude::{
     DataStore, DatasetId, Payload, QuerySpec, QueryState, Rect, SchedulingGraph, SimConfig,
     SlideDataset, SubmissionMode, SyntheticSource, VmOp, VmQuery, WorkloadConfig,
 };
-use vmqs::prelude::{generate, run_sim};
 use vmqs_core::geom::{greedy_cover, subtract_all, total_area};
 use vmqs_core::spec::testutil::IntervalSpec;
 use vmqs_core::QueryId;

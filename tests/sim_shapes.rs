@@ -71,7 +71,14 @@ fn averaging_gains_more_from_caching_than_subsampling() {
 /// low concurrency.
 #[test]
 fn fifo_discernibly_worst_at_low_threads() {
-    let fifo = paper_run(Strategy::Fifo, VmOp::Subsample, 2, 64, SubmissionMode::Interactive, 8);
+    let fifo = paper_run(
+        Strategy::Fifo,
+        VmOp::Subsample,
+        2,
+        64,
+        SubmissionMode::Interactive,
+        8,
+    );
     for strategy in [
         Strategy::Muf,
         Strategy::FarthestFirst,
@@ -79,7 +86,14 @@ fn fifo_discernibly_worst_at_low_threads() {
         Strategy::Cnbf,
         Strategy::Sjf,
     ] {
-        let other = paper_run(strategy, VmOp::Subsample, 2, 64, SubmissionMode::Interactive, 8);
+        let other = paper_run(
+            strategy,
+            VmOp::Subsample,
+            2,
+            64,
+            SubmissionMode::Interactive,
+            8,
+        );
         assert!(
             other.trimmed_mean_response() < fifo.trimmed_mean_response(),
             "{strategy} ({:.2}s) should beat FIFO ({:.2}s)",
@@ -94,8 +108,15 @@ fn fifo_discernibly_worst_at_low_threads() {
 #[test]
 fn response_time_degrades_past_optimal_threads() {
     let at = |threads| {
-        paper_run(Strategy::Cnbf, VmOp::Subsample, threads, 64, SubmissionMode::Interactive, 16)
-            .trimmed_mean_response()
+        paper_run(
+            Strategy::Cnbf,
+            VmOp::Subsample,
+            threads,
+            64,
+            SubmissionMode::Interactive,
+            16,
+        )
+        .trimmed_mean_response()
     };
     let best_low = at(2).min(at(4));
     let saturated = at(24);
@@ -121,8 +142,22 @@ fn averaging_scales_better_than_subsampling() {
 #[test]
 fn overlap_grows_with_ds_memory() {
     for strategy in [Strategy::Fifo, Strategy::Cnbf] {
-        let small = paper_run(strategy, VmOp::Subsample, 4, 32, SubmissionMode::Interactive, 16);
-        let large = paper_run(strategy, VmOp::Subsample, 4, 256, SubmissionMode::Interactive, 16);
+        let small = paper_run(
+            strategy,
+            VmOp::Subsample,
+            4,
+            32,
+            SubmissionMode::Interactive,
+            16,
+        );
+        let large = paper_run(
+            strategy,
+            VmOp::Subsample,
+            4,
+            256,
+            SubmissionMode::Interactive,
+            16,
+        );
         assert!(
             large.average_overlap() > small.average_overlap(),
             "{strategy}: overlap {:.3} @256MB should exceed {:.3} @32MB",
@@ -136,23 +171,42 @@ fn overlap_grows_with_ds_memory() {
 /// higher overlap than FIFO and SJF.
 #[test]
 fn cf_cnbf_achieve_best_overlap_at_small_ds() {
-    let ov = |s| {
-        paper_run(s, VmOp::Subsample, 4, 32, SubmissionMode::Interactive, 16).average_overlap()
-    };
+    let ov =
+        |s| paper_run(s, VmOp::Subsample, 4, 32, SubmissionMode::Interactive, 16).average_overlap();
     let cf = ov(Strategy::closest_first_default());
     let cnbf = ov(Strategy::Cnbf);
     let fifo = ov(Strategy::Fifo);
     let sjf = ov(Strategy::Sjf);
-    assert!(cf > fifo && cf > sjf, "CF {cf:.3} vs FIFO {fifo:.3} / SJF {sjf:.3}");
-    assert!(cnbf > fifo && cnbf > sjf, "CNBF {cnbf:.3} vs FIFO {fifo:.3} / SJF {sjf:.3}");
+    assert!(
+        cf > fifo && cf > sjf,
+        "CF {cf:.3} vs FIFO {fifo:.3} / SJF {sjf:.3}"
+    );
+    assert!(
+        cnbf > fifo && cnbf > sjf,
+        "CNBF {cnbf:.3} vs FIFO {fifo:.3} / SJF {sjf:.3}"
+    );
 }
 
 /// Fig. 6: response times fall as the Data Store grows.
 #[test]
 fn response_time_falls_with_ds_memory() {
     for strategy in [Strategy::Fifo, Strategy::Sjf, Strategy::Cnbf] {
-        let small = paper_run(strategy, VmOp::Average, 4, 32, SubmissionMode::Interactive, 16);
-        let large = paper_run(strategy, VmOp::Average, 4, 256, SubmissionMode::Interactive, 16);
+        let small = paper_run(
+            strategy,
+            VmOp::Average,
+            4,
+            32,
+            SubmissionMode::Interactive,
+            16,
+        );
+        let large = paper_run(
+            strategy,
+            VmOp::Average,
+            4,
+            256,
+            SubmissionMode::Interactive,
+            16,
+        );
         assert!(
             large.trimmed_mean_response() < small.trimmed_mean_response(),
             "{strategy}: {:.2}s @256MB should beat {:.2}s @32MB",
@@ -171,8 +225,14 @@ fn cf_cnbf_win_batches_at_small_ds() {
     let cnbf = time(Strategy::Cnbf);
     let fifo = time(Strategy::Fifo);
     let sjf = time(Strategy::Sjf);
-    assert!(cf < fifo && cnbf < fifo, "CF {cf:.1}/CNBF {cnbf:.1} vs FIFO {fifo:.1}");
-    assert!(cf < sjf && cnbf < sjf, "CF {cf:.1}/CNBF {cnbf:.1} vs SJF {sjf:.1}");
+    assert!(
+        cf < fifo && cnbf < fifo,
+        "CF {cf:.1}/CNBF {cnbf:.1} vs FIFO {fifo:.1}"
+    );
+    assert!(
+        cf < sjf && cnbf < sjf,
+        "CF {cf:.1}/CNBF {cnbf:.1} vs SJF {sjf:.1}"
+    );
 }
 
 /// §6 extension: the hybrid strategy is competitive with its parents on
@@ -192,8 +252,22 @@ fn hybrid_is_competitive() {
 /// every experiment in EXPERIMENTS.md relies on.
 #[test]
 fn full_paper_run_is_deterministic() {
-    let a = paper_run(Strategy::Cnbf, VmOp::Average, 4, 64, SubmissionMode::Interactive, 8);
-    let b = paper_run(Strategy::Cnbf, VmOp::Average, 4, 64, SubmissionMode::Interactive, 8);
+    let a = paper_run(
+        Strategy::Cnbf,
+        VmOp::Average,
+        4,
+        64,
+        SubmissionMode::Interactive,
+        8,
+    );
+    let b = paper_run(
+        Strategy::Cnbf,
+        VmOp::Average,
+        4,
+        64,
+        SubmissionMode::Interactive,
+        8,
+    );
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.records.len(), b.records.len());
     for (x, y) in a.records.iter().zip(b.records.iter()) {

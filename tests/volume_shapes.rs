@@ -6,8 +6,9 @@
 
 use vmqs::prelude::*;
 use vmqs_sim::SimReport;
-use vmqs_volume::{generate_volume, run_volume_sim, VolCostModel, VolOp, VolQuery,
-    VolWorkloadConfig};
+use vmqs_volume::{
+    generate_volume, run_volume_sim, VolCostModel, VolOp, VolQuery, VolWorkloadConfig,
+};
 
 fn run(
     strategy: Strategy,
@@ -23,7 +24,11 @@ fn run(
             let queries: Vec<VolQuery> = {
                 let max = streams.iter().map(|s| s.queries.len()).max().unwrap_or(0);
                 (0..max)
-                    .flat_map(|i| streams.iter().filter_map(move |s| s.queries.get(i).copied()))
+                    .flat_map(|i| {
+                        streams
+                            .iter()
+                            .filter_map(move |s| s.queries.get(i).copied())
+                    })
                     .collect()
             };
             vec![ClientStream {
@@ -59,8 +64,20 @@ fn caching_helps_volume_queries() {
 #[test]
 fn overlap_grows_with_ds_memory_at_volume_scale() {
     // Volume outputs are 64 KB, so the interesting DS range is ~0.5–16 MB.
-    let tiny = run(Strategy::Cnbf, VolOp::Mip, 5, SubmissionMode::Interactive, 42);
-    let ample = run(Strategy::Cnbf, VolOp::Mip, 160, SubmissionMode::Interactive, 42);
+    let tiny = run(
+        Strategy::Cnbf,
+        VolOp::Mip,
+        5,
+        SubmissionMode::Interactive,
+        42,
+    );
+    let ample = run(
+        Strategy::Cnbf,
+        VolOp::Mip,
+        160,
+        SubmissionMode::Interactive,
+        42,
+    );
     assert!(
         ample.average_overlap() > tiny.average_overlap(),
         "ample {:.3} vs tiny {:.3}",
@@ -71,8 +88,20 @@ fn overlap_grows_with_ds_memory_at_volume_scale() {
 
 #[test]
 fn reuse_aware_strategies_beat_fifo_on_volume_batches() {
-    let fifo = run(Strategy::Fifo, VolOp::AvgProj, 20, SubmissionMode::Batch, 42);
-    let cnbf = run(Strategy::Cnbf, VolOp::AvgProj, 20, SubmissionMode::Batch, 42);
+    let fifo = run(
+        Strategy::Fifo,
+        VolOp::AvgProj,
+        20,
+        SubmissionMode::Batch,
+        42,
+    );
+    let cnbf = run(
+        Strategy::Cnbf,
+        VolOp::AvgProj,
+        20,
+        SubmissionMode::Batch,
+        42,
+    );
     let sjf = run(Strategy::Sjf, VolOp::AvgProj, 20, SubmissionMode::Batch, 42);
     // CNBF or SJF must beat FIFO on mean response in the contended batch.
     let fifo_resp = fifo.trimmed_mean_response();
@@ -137,8 +166,20 @@ fn depth_range_isolation_limits_reuse() {
 
 #[test]
 fn volume_runs_deterministic() {
-    let a = run(Strategy::closest_first_default(), VolOp::Mip, 40, SubmissionMode::Batch, 7);
-    let b = run(Strategy::closest_first_default(), VolOp::Mip, 40, SubmissionMode::Batch, 7);
+    let a = run(
+        Strategy::closest_first_default(),
+        VolOp::Mip,
+        40,
+        SubmissionMode::Batch,
+        7,
+    );
+    let b = run(
+        Strategy::closest_first_default(),
+        VolOp::Mip,
+        40,
+        SubmissionMode::Batch,
+        7,
+    );
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(a.records.len(), b.records.len());
     for (x, y) in a.records.iter().zip(b.records.iter()) {
