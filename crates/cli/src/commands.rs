@@ -7,7 +7,7 @@ use vmqs_core::{DatasetId, Rect, Strategy};
 use vmqs_microscope::{SlideDataset, VmOp, VmQuery};
 use vmqs_server::{QueryServer, ServerConfig};
 use vmqs_sim::{run_sim, SimConfig, SubmissionMode};
-use vmqs_storage::SyntheticSource;
+use vmqs_storage::{DataSource, FaultConfig, FaultInjectingSource, SyntheticSource};
 use vmqs_volume::{VolOp, VolQuery, VolumeDataset};
 use vmqs_workload::{flatten_to_batch, generate, ExpRow, WorkloadConfig};
 
@@ -21,6 +21,17 @@ fn parse_vm_op(s: &str) -> Result<VmOp, String> {
     }
 }
 
+/// Parses the shared fault-injection options (`--fault-rate`,
+/// `--fault-seed`) into a [`FaultConfig`].
+fn parse_faults(args: &Args) -> Result<FaultConfig, Box<dyn Error>> {
+    let rate: f64 = args.get_or("fault-rate", 0.0)?;
+    let seed: u64 = args.get_or("fault-seed", 42)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--fault-rate must lie in [0, 1], got {rate}").into());
+    }
+    Ok(FaultConfig::transient(rate, seed))
+}
+
 /// `vmqsctl render` — render a microscope window through the real server.
 pub fn render(args: &Args) -> CliResult {
     let sw: u32 = args.get_or("slide-width", 8192)?;
@@ -32,11 +43,30 @@ pub fn render(args: &Args) -> CliResult {
     let zoom: u32 = args.get_or("zoom", 1)?;
     let op = parse_vm_op(args.get("op").unwrap_or("subsample"))?;
     let out = args.get("out").unwrap_or("render.ppm");
+    let fault = parse_faults(args)?;
+    // Negative sentinel = no timeout; `--query-timeout-ms 0` is a valid
+    // (immediately expiring) deadline.
+    let timeout_ms: i64 = args.get_or("query-timeout-ms", -1)?;
 
     let slide = SlideDataset::new(DatasetId(0), sw, sh);
     let query = VmQuery::new(slide, Rect::new(x, y, w, h), zoom, op);
-    let server = QueryServer::new(ServerConfig::small(), Arc::new(SyntheticSource::new()));
-    let res = server.submit(query).wait()?;
+    let source: Arc<dyn DataSource> = if fault.is_noop() {
+        Arc::new(SyntheticSource::new())
+    } else {
+        Arc::new(FaultInjectingSource::new(SyntheticSource::new(), fault))
+    };
+    let mut cfg = ServerConfig::small().with_retry_seed(fault.seed);
+    if timeout_ms >= 0 {
+        cfg = cfg.with_query_timeout(Some(std::time::Duration::from_millis(timeout_ms as u64)));
+    }
+    let server = QueryServer::new(cfg, source);
+    let res = match server.submit(query).wait() {
+        Ok(res) => res,
+        Err(e) => {
+            server.shutdown();
+            return Err(e.into());
+        }
+    };
     let img = vmqs_microscope::RgbImage {
         width: res.width,
         height: res.height,
@@ -54,6 +84,13 @@ pub fn render(args: &Args) -> CliResult {
         "pages read: {}, answered via {:?}",
         res.record.pages_requested, res.record.path
     );
+    if !fault.is_noop() {
+        let sum = server.summary();
+        println!(
+            "io faults: {}, retries: {}, failed reads: {}",
+            sum.io_faults, sum.io_retries, sum.failed_reads
+        );
+    }
     server.shutdown();
     Ok(())
 }
@@ -109,6 +146,7 @@ pub fn simulate(args: &Args) -> CliResult {
     } else {
         SubmissionMode::Interactive
     };
+    let fault = parse_faults(args)?;
 
     let streams = generate(&WorkloadConfig::paper(op, seed));
     let streams = match mode {
@@ -120,7 +158,8 @@ pub fn simulate(args: &Args) -> CliResult {
         .with_threads(threads)
         .with_ds_budget(ds_mb << 20)
         .with_ps_budget(ps_mb << 20)
-        .with_mode(mode);
+        .with_mode(mode)
+        .with_faults(fault);
     let report = run_sim(cfg, streams);
     let row = ExpRow::from_report(&report, strategy, op, threads, ds_mb);
     println!("{}", ExpRow::csv_header());
@@ -139,6 +178,12 @@ pub fn simulate(args: &Args) -> CliResult {
         report.disk_stats.bytes as f64 / (1 << 20) as f64,
         report.disk_stats.busy_time
     );
+    if !fault.is_noop() {
+        println!(
+            "io faults:        {} injected, {} retries charged",
+            report.io_faults, report.io_retries
+        );
+    }
     Ok(())
 }
 

@@ -18,8 +18,11 @@ vmqsctl — multi-query scheduling for data visualization workloads
 USAGE:
   vmqsctl render   --x N --y N --w N --h N [--zoom N] [--op subsample|average]
                    [--slide-width N] [--slide-height N] [--out FILE.ppm]
+                   [--fault-rate F] [--fault-seed N] [--query-timeout-ms N]
       Render a Virtual Microscope window through the real threaded server
-      (deterministic synthetic slide data).
+      (deterministic synthetic slide data). --fault-rate injects seeded
+      transient read faults (retried with bounded backoff);
+      --query-timeout-ms cancels the query at its deadline.
 
   vmqsctl mip      --x N --y N --w N --h N --z0 N --z1 N [--lod N]
                    [--op mip|avgproj] [--out FILE.pgm]
@@ -27,8 +30,10 @@ USAGE:
 
   vmqsctl simulate [--strategy FIFO|MUF|FF|CF|CNBF|SJF|HYBRID] [--op subsample|average]
                    [--threads N] [--ds-mb N] [--ps-mb N] [--seed N] [--batch]
+                   [--fault-rate F] [--fault-seed N]
       Run the paper's 16-client x 16-query workload in the discrete-event
-      simulator and print the summary row.
+      simulator and print the summary row. --fault-rate charges seeded
+      transient faults their retry latency in virtual time.
 
   vmqsctl trace    [--strategy NAME] [--op subsample|average] [--threads N]
                    [--ds-mb N] [--seed N] [--batch] [--out FILE.csv]

@@ -155,3 +155,99 @@ fn trace_writes_event_csv() {
     assert!(text.contains(",complete,"));
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn render_with_fault_injection_recovers_and_reports() {
+    let path = tmp("faulty.ppm");
+    let out = vmqsctl()
+        .args([
+            "render",
+            "--w",
+            "256",
+            "--h",
+            "256",
+            "--fault-rate",
+            "0.2",
+            "--fault-seed",
+            "7",
+            "--out",
+        ])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("io faults:"),
+        "fault counters missing:\n{text}"
+    );
+    let bytes = std::fs::read(&path).unwrap();
+    assert!(bytes.starts_with(b"P6\n256 256\n255\n"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn render_zero_timeout_fails_with_timeout_error() {
+    let path = tmp("timeout.ppm");
+    let out = vmqsctl()
+        .args([
+            "render",
+            "--w",
+            "128",
+            "--h",
+            "128",
+            "--query-timeout-ms",
+            "0",
+            "--out",
+        ])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "zero deadline must fail the render");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("timed out"), "stderr:\n{err}");
+    assert!(!path.exists(), "no output file may be written on timeout");
+}
+
+#[test]
+fn render_rejects_out_of_range_fault_rate() {
+    let out = vmqsctl()
+        .args(["render", "--fault-rate", "1.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--fault-rate"));
+}
+
+#[test]
+fn simulate_with_faults_charges_retries() {
+    let out = vmqsctl()
+        .args([
+            "simulate",
+            "--threads",
+            "2",
+            "--seed",
+            "7",
+            "--batch",
+            "--fault-rate",
+            "0.2",
+            "--fault-seed",
+            "9",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("io faults:") && text.contains("retries charged"),
+        "fault summary missing:\n{text}"
+    );
+}

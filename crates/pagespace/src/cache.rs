@@ -92,6 +92,13 @@ pub struct PsStats {
     pub runs_issued: u64,
     /// Total pages covered by issued runs.
     pub pages_fetched: u64,
+    /// I/O faults observed on page reads (transient + permanent).
+    pub read_faults: u64,
+    /// Page-read retries performed after transient faults.
+    pub read_retries: u64,
+    /// Page reads that ultimately failed (permanent fault, retries
+    /// exhausted, or deadline hit mid-read).
+    pub failed_reads: u64,
 }
 
 /// Fixed-budget page cache with in-flight tracking and run merging.
@@ -146,6 +153,21 @@ impl PageCacheCore {
     /// Counter snapshot.
     pub fn stats(&self) -> PsStats {
         self.stats
+    }
+
+    /// Records an I/O fault observed by the fetching front-end.
+    pub fn note_read_fault(&mut self) {
+        self.stats.read_faults += 1;
+    }
+
+    /// Records a retry of a transiently failed page read.
+    pub fn note_read_retry(&mut self) {
+        self.stats.read_retries += 1;
+    }
+
+    /// Records a page read that failed for good (surfaced to the query).
+    pub fn note_failed_read(&mut self) {
+        self.stats.failed_reads += 1;
     }
 
     /// True when the page is resident.

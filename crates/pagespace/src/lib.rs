@@ -17,6 +17,8 @@
 
 mod cache;
 mod key;
+mod retry;
 
 pub use cache::{PageCacheCore, PageData, PageDisposition, PsStats, ReadPlan};
 pub use key::{merge_into_runs, PageKey, Run};
+pub use retry::RetryPolicy;

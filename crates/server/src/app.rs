@@ -9,7 +9,7 @@
 //! Microscope implementation; the §6 volume application implements the
 //! same trait in `vmqs-volume`.
 
-use crate::pages::SharedPageSpace;
+use crate::pages::PageSpaceSession;
 use std::sync::Arc;
 use vmqs_core::geom::subtract_all;
 use vmqs_core::{QuerySpec, Rect, SpatialSpec};
@@ -48,11 +48,16 @@ pub trait AppExecutor: Send + Sync + 'static {
     /// (cached predicate + payload bytes, most-reusable first — exact
     /// `cmp` matches are handled by the engine before this is called),
     /// then compute the uncovered remainder reading pages through `ps`.
+    ///
+    /// `ps` is a deadline-scoped Page Space view: reads fail with a
+    /// timeout error once the query's deadline passes, so implementations
+    /// need only propagate `Err` to cancel cooperatively. Long compute
+    /// stages may additionally call [`PageSpaceSession::check_deadline`].
     fn execute(
         &self,
         spec: &Self::Spec,
         sources: &[(Self::Spec, Arc<[u8]>)],
-        ps: &SharedPageSpace,
+        ps: &PageSpaceSession<'_>,
     ) -> std::io::Result<AppOutcome>;
 }
 
@@ -76,7 +81,7 @@ impl AppExecutor for VmExecutor {
         &self,
         spec: &VmQuery,
         sources: &[(VmQuery, Arc<[u8]>)],
-        ps: &SharedPageSpace,
+        ps: &PageSpaceSession<'_>,
     ) -> std::io::Result<AppOutcome> {
         let threads = kernel_threads();
         // Project partial matches (Eq. 3) greedily, best first.
@@ -168,6 +173,8 @@ mod tests {
     use vmqs_microscope::{SlideDataset, VmOp, PAGE_SIZE};
     use vmqs_storage::SyntheticSource;
 
+    use crate::pages::SharedPageSpace;
+
     fn ps() -> SharedPageSpace {
         SharedPageSpace::new(16 << 20, PAGE_SIZE, Arc::new(SyntheticSource::new()))
     }
@@ -179,7 +186,8 @@ mod tests {
     #[test]
     fn executes_from_scratch_to_reference() {
         let spec = VmQuery::new(slide(), Rect::new(10, 10, 256, 256), 2, VmOp::Average);
-        let out = VmExecutor.execute(&spec, &[], &ps()).unwrap();
+        let ps = ps();
+        let out = VmExecutor.execute(&spec, &[], &ps.session(None)).unwrap();
         assert_eq!(out.bytes, reference_render(&spec).data);
         assert_eq!(out.covered_fraction, 0.0);
         assert!(out.pages_requested > 0);
@@ -190,11 +198,12 @@ mod tests {
     #[test]
     fn executes_with_cached_source_to_reference() {
         let ps = ps();
+        let session = ps.session(None);
         let cached = VmQuery::new(slide(), Rect::new(0, 0, 256, 512), 2, VmOp::Subsample);
-        let cached_out = VmExecutor.execute(&cached, &[], &ps).unwrap();
+        let cached_out = VmExecutor.execute(&cached, &[], &session).unwrap();
         let target = VmQuery::new(slide(), Rect::new(128, 0, 384, 512), 2, VmOp::Subsample);
         let out = VmExecutor
-            .execute(&target, &[(cached, cached_out.bytes.into())], &ps)
+            .execute(&target, &[(cached, cached_out.bytes.into())], &session)
             .unwrap();
         assert_eq!(out.bytes, reference_render(&target).data);
         assert!(out.covered_fraction > 0.2);

@@ -1,7 +1,9 @@
 //! Server configuration.
 
+use std::time::Duration;
 use vmqs_core::Strategy;
 use vmqs_datastore::EvictionPolicy;
+use vmqs_pagespace::RetryPolicy;
 
 /// Configuration of the multithreaded query server.
 ///
@@ -29,6 +31,14 @@ pub struct ServerConfig {
     /// Cell side (base-resolution pixels) of the Data Store's grid index.
     /// Pick roughly the footprint of a typical cached result.
     pub index_cell: u32,
+    /// Retry policy for transient page-read faults (DESIGN.md §8).
+    pub retry: RetryPolicy,
+    /// Seed for the deterministic retry-backoff jitter.
+    pub retry_seed: u64,
+    /// Per-query deadline measured from submission; `None` disables
+    /// timeouts. An expired query is cancelled cooperatively and resolves
+    /// its handle with a timeout error.
+    pub query_timeout: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -43,6 +53,9 @@ impl ServerConfig {
             allow_blocking: true,
             ds_policy: EvictionPolicy::Lru,
             index_cell: 512,
+            retry: RetryPolicy::default_io(),
+            retry_seed: 0,
+            query_timeout: None,
         }
     }
 
@@ -89,6 +102,24 @@ impl ServerConfig {
         self.index_cell = cell;
         self
     }
+
+    /// Builder-style retry-policy override.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder-style retry-jitter-seed override.
+    pub fn with_retry_seed(mut self, seed: u64) -> Self {
+        self.retry_seed = seed;
+        self
+    }
+
+    /// Builder-style per-query timeout override (`None` disables).
+    pub fn with_query_timeout(mut self, t: Option<Duration>) -> Self {
+        self.query_timeout = t;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +141,13 @@ mod tests {
         assert!(!c.allow_blocking);
         let c2 = ServerConfig::small().with_ds_policy(EvictionPolicy::Mru);
         assert_eq!(c2.ds_policy, EvictionPolicy::Mru);
+        let c3 = ServerConfig::small()
+            .with_retry(RetryPolicy::none())
+            .with_retry_seed(9)
+            .with_query_timeout(Some(Duration::from_millis(250)));
+        assert_eq!(c3.retry, RetryPolicy::none());
+        assert_eq!(c3.retry_seed, 9);
+        assert_eq!(c3.query_timeout, Some(Duration::from_millis(250)));
     }
 
     #[test]

@@ -40,11 +40,13 @@
 
 use crate::app::{AppExecutor, VmExecutor};
 use crate::config::ServerConfig;
+use crate::error::{deadline_error, ServerError};
 use crate::pages::SharedPageSpace;
 use crate::result::{AnswerPath, QueryRecord, QueryResult, ServerSummary};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -54,37 +56,22 @@ use vmqs_microscope::PAGE_SIZE;
 use vmqs_pagespace::PsStats;
 use vmqs_storage::DataSource;
 
-/// Error delivered to a client when query execution fails (I/O error from
-/// the data source, or server shutdown before completion).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct QueryError(pub String);
-
-impl std::fmt::Display for QueryError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "query failed: {}", self.0)
-    }
-}
-
-impl std::error::Error for QueryError {}
-
 /// A client's handle to an in-flight query.
 #[derive(Debug)]
 pub struct QueryHandle<S = vmqs_microscope::VmQuery> {
     /// The assigned query id.
     pub id: QueryId,
-    rx: Receiver<Result<QueryResult<S>, QueryError>>,
+    rx: Receiver<Result<QueryResult<S>, ServerError>>,
 }
 
 impl<S> QueryHandle<S> {
     /// Blocks until the query completes.
-    pub fn wait(self) -> Result<QueryResult<S>, QueryError> {
-        self.rx
-            .recv()
-            .unwrap_or_else(|_| Err(QueryError("server dropped the query".into())))
+    pub fn wait(self) -> Result<QueryResult<S>, ServerError> {
+        self.rx.recv().unwrap_or(Err(ServerError::Shutdown))
     }
 
     /// Non-blocking poll.
-    pub fn try_wait(&self) -> Option<Result<QueryResult<S>, QueryError>> {
+    pub fn try_wait(&self) -> Option<Result<QueryResult<S>, ServerError>> {
         self.rx.try_recv().ok()
     }
 }
@@ -97,7 +84,7 @@ struct SchedState<S: SpatialSpec> {
     /// Deadlock-avoidance wait-for edges: executing query → executing query
     /// it is blocked on.
     waiting_on: HashMap<QueryId, QueryId>,
-    pending: HashMap<QueryId, Sender<Result<QueryResult<S>, QueryError>>>,
+    pending: HashMap<QueryId, Sender<Result<QueryResult<S>, ServerError>>>,
     submit_time: HashMap<QueryId, Instant>,
     outstanding: usize,
     blocked_fallbacks: u64,
@@ -122,6 +109,10 @@ struct Core<A: AppExecutor> {
     done_cv: Condvar,
     ps: SharedPageSpace,
     idgen: IdGen,
+    /// Queries that failed with an I/O error (timeouts counted separately).
+    failed: AtomicU64,
+    /// Queries cancelled at their deadline.
+    timed_out: AtomicU64,
 }
 
 /// The public server: spawns the thread pool on construction; submit
@@ -161,8 +152,16 @@ impl<A: AppExecutor> QueryServer<A> {
             metrics: Mutex::new(Vec::new()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            ps: SharedPageSpace::new(cfg.ps_budget, PAGE_SIZE, source),
+            ps: SharedPageSpace::with_retry(
+                cfg.ps_budget,
+                PAGE_SIZE,
+                source,
+                cfg.retry,
+                cfg.retry_seed,
+            ),
             idgen: IdGen::new(0),
+            failed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
             app,
             cfg,
         });
@@ -213,7 +212,8 @@ impl<A: AppExecutor> QueryServer<A> {
         }
     }
 
-    /// Stops the thread pool. Unfinished queries receive an error.
+    /// Stops the thread pool. Unfinished queries receive
+    /// [`ServerError::Shutdown`].
     pub fn shutdown(mut self) {
         {
             let mut s = self.core.sched.lock();
@@ -221,14 +221,21 @@ impl<A: AppExecutor> QueryServer<A> {
         }
         self.core.work_cv.notify_all();
         self.core.done_cv.notify_all();
+        let mut panicked = 0usize;
         for w in self.workers.drain(..) {
-            w.join().expect("query thread panicked");
+            if w.join().is_err() {
+                panicked += 1;
+            }
         }
-        // Fail any queries still pending.
-        let mut s = self.core.sched.lock();
-        for (_, tx) in s.pending.drain() {
-            let _ = tx.send(Err(QueryError("server shut down".into())));
+        // Fail any queries still pending — even if a worker panicked, no
+        // client is left hanging on its handle.
+        {
+            let mut s = self.core.sched.lock();
+            for (_, tx) in s.pending.drain() {
+                let _ = tx.send(Err(ServerError::Shutdown));
+            }
         }
+        assert_eq!(panicked, 0, "{panicked} query thread(s) panicked");
     }
 
     /// Execution records of all completed queries so far. This copies the
@@ -266,6 +273,12 @@ impl<A: AppExecutor> QueryServer<A> {
             out.p50_response = resp[(resp.len() - 1) / 2];
             out.p95_response = resp[((resp.len() - 1) as f64 * 0.95).round() as usize];
         }
+        out.failed = self.core.failed.load(Ordering::Relaxed) as usize;
+        out.timed_out = self.core.timed_out.load(Ordering::Relaxed) as usize;
+        let ps = self.core.ps.stats();
+        out.io_faults = ps.read_faults;
+        out.io_retries = ps.read_retries;
+        out.failed_reads = ps.failed_reads;
         out
     }
 
@@ -294,6 +307,20 @@ impl<A: AppExecutor> QueryServer<A> {
     pub fn set_ps_merging(&self, enabled: bool) {
         self.core.ps.set_merging(enabled);
     }
+
+    /// Validates the scheduling graph's internal invariants (state/index
+    /// consistency, edge symmetry). Panics with the violation description
+    /// — a test/debug aid for asserting that error paths leave no residue.
+    pub fn check_invariants(&self) {
+        let s = self.core.sched.lock();
+        if let Err(e) = s.graph.validate() {
+            panic!("scheduling-graph invariant violated: {e}");
+        }
+        assert!(
+            s.waiting_on.is_empty() || s.outstanding > 0,
+            "wait-for edges with no outstanding queries"
+        );
+    }
 }
 
 fn worker_loop<A: AppExecutor>(core: &Core<A>) {
@@ -310,13 +337,42 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                 }
                 core.work_cv.wait(&mut s);
             }
-            let id = s.graph.dequeue().expect("non-empty waiting set");
-            let spec = *s.graph.spec_of(id).expect("dequeued node present");
+            let id = match s.graph.dequeue() {
+                Some(id) => id,
+                // Lost a race for the last WAITING entry; go back to sleep.
+                None => continue,
+            };
+            let spec = match s.graph.spec_of(id) {
+                Some(spec) => *spec,
+                None => {
+                    // A dequeued node always has a spec; if the graph is
+                    // inconsistent, fail this query rather than the pool.
+                    s.graph.mark_cached(id);
+                    s.graph.swap_out(id);
+                    s.submit_time.remove(&id);
+                    let tx = s.pending.remove(&id);
+                    s.outstanding -= 1;
+                    drop(s);
+                    core.failed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tx) = tx {
+                        let _ = tx.send(Err(ServerError::Io {
+                            kind: std::io::ErrorKind::Other,
+                            transient: false,
+                            message: "internal: dequeued query has no spec".into(),
+                        }));
+                    }
+                    core.done_cv.notify_all();
+                    continue;
+                }
+            };
             let submitted = s.submit_time.remove(&id).unwrap_or_else(Instant::now);
             (id, spec, submitted)
         };
+        // The deadline covers the whole client-visible response time:
+        // it starts at submission, so queue wait counts against it.
+        let deadline = core.cfg.query_timeout.map(|t| submitted + t);
         let started = Instant::now();
-        let exec = execute_query(core, id, spec);
+        let exec = execute_query(core, id, spec, deadline);
         let finished = Instant::now();
 
         // Publish the result. Each state component is locked on its own,
@@ -373,12 +429,24 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                 })
             }
             Err(e) => {
-                // Remove the failed query from the graph entirely.
+                // Evict the failed query from the graph entirely — CACHED
+                // then SWAPPED_OUT, the same terminal path a successful
+                // uncacheable query takes — and clear any wait-for edge it
+                // still owns, so peers see no residue: no DS entry, no
+                // blob mapping, no dangling edges.
+                let err = ServerError::from_io(&e, core.cfg.query_timeout);
+                if err.is_timeout() {
+                    core.timed_out.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    core.failed.fetch_add(1, Ordering::Relaxed);
+                }
                 let mut s = core.sched.lock();
                 s.graph.mark_cached(id);
                 s.graph.swap_out(id);
+                s.waiting_on.remove(&id);
+                debug_assert!(!s.blob_of.contains_key(&id));
                 drop(s);
-                Err(QueryError(e.to_string()))
+                Err(err)
             }
         };
         // Deliver the answer *before* decrementing `outstanding`, so that
@@ -429,8 +497,15 @@ fn execute_query<A: AppExecutor>(
     core: &Core<A>,
     id: QueryId,
     spec: A::Spec,
+    deadline: Option<Instant>,
 ) -> std::io::Result<ExecOutcome> {
     let mut blocked = Duration::ZERO;
+
+    // A query that spent its whole budget queued is cancelled before any
+    // work happens on its behalf.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        return Err(deadline_error());
+    }
 
     // Step 1 — deadlock-avoiding block on the strongest EXECUTING query we
     // could reuse (paper §4: queries stall on in-flight dependencies; CNBF
@@ -449,7 +524,19 @@ fn execute_query<A: AppExecutor>(
                 s.waiting_on.insert(id, dep.peer);
                 let t0 = Instant::now();
                 while s.graph.state_of(dep.peer) == Some(QueryState::Executing) && !s.shutdown {
-                    core.done_cv.wait(&mut s);
+                    match deadline {
+                        None => core.done_cv.wait(&mut s),
+                        Some(d) => {
+                            if Instant::now() >= d {
+                                // Deadline expired while blocked on the
+                                // dependency: withdraw the wait-for edge
+                                // and cancel.
+                                s.waiting_on.remove(&id);
+                                return Err(deadline_error());
+                            }
+                            core.done_cv.wait_until(&mut s, d);
+                        }
+                    }
                 }
                 s.waiting_on.remove(&id);
                 blocked = t0.elapsed();
@@ -491,8 +578,11 @@ fn execute_query<A: AppExecutor>(
     }
 
     // Steps 3–4 — the application projects cached coverage and computes
-    // the remainder through the Page Space Manager. No locks held.
-    let out = core.app.execute(&spec, &sources, &core.ps)?;
+    // the remainder through a deadline-scoped Page Space session. No
+    // locks held.
+    let out = core
+        .app
+        .execute(&spec, &sources, &core.ps.session(deadline))?;
     debug_assert_eq!(out.bytes.len(), core.app.output_len(&spec));
     let path = if out.reused_bytes > 0 {
         AnswerPath::PartialReuse

@@ -1,0 +1,190 @@
+//! Typed errors delivered to clients when a query cannot be answered.
+//!
+//! Error taxonomy (see DESIGN.md §8, "Failure model"):
+//!
+//! * [`ServerError::Io`] — a page read failed for good: a permanent fault,
+//!   or a transient fault that survived the bounded retry schedule. The
+//!   `transient` flag preserves the classification so clients can decide
+//!   whether re-submitting the query is worthwhile.
+//! * [`ServerError::Timeout`] — the query exceeded its configured
+//!   deadline (submission → completion) and was cancelled cooperatively.
+//! * [`ServerError::Shutdown`] — the server stopped before the query ran.
+//!
+//! A failed query always resolves its [`crate::QueryHandle`] with `Err`,
+//! decrements the outstanding count, and leaves no residue in the
+//! scheduling graph or the Data Store — peers are undisturbed.
+
+use std::io;
+use std::time::Duration;
+
+/// Why a query failed. Delivered through [`crate::QueryHandle::wait`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// Page I/O failed after exhausting the retry policy (or immediately,
+    /// for non-retryable faults).
+    Io {
+        /// The underlying [`io::ErrorKind`].
+        kind: io::ErrorKind,
+        /// Whether the final error was transient (retryable in principle —
+        /// a fresh submission may succeed) or permanent.
+        transient: bool,
+        /// Human-readable detail from the data source.
+        message: String,
+    },
+    /// The query missed its deadline and was cancelled.
+    Timeout {
+        /// The configured per-query time limit.
+        limit: Duration,
+    },
+    /// The server shut down before the query completed.
+    Shutdown,
+}
+
+impl ServerError {
+    /// True for deadline cancellations.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, ServerError::Timeout { .. })
+    }
+
+    /// True when re-submitting the query might succeed (transient I/O,
+    /// timeout); false for permanent faults and shutdown.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServerError::Io { transient, .. } => *transient,
+            ServerError::Timeout { .. } => true,
+            ServerError::Shutdown => false,
+        }
+    }
+
+    /// Classifies an [`io::Error`] bubbled up from the page-space layer:
+    /// deadline markers become [`ServerError::Timeout`], everything else
+    /// becomes [`ServerError::Io`] with its transience preserved.
+    pub fn from_io(e: &io::Error, timeout_limit: Option<Duration>) -> Self {
+        if is_deadline(e) {
+            return ServerError::Timeout {
+                limit: timeout_limit.unwrap_or_default(),
+            };
+        }
+        ServerError::Io {
+            kind: e.kind(),
+            transient: vmqs_storage::is_transient(e),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io {
+                kind,
+                transient,
+                message,
+            } => write!(
+                f,
+                "query failed: {} I/O error ({kind:?}): {message}",
+                if *transient { "transient" } else { "permanent" }
+            ),
+            ServerError::Timeout { limit } => {
+                write!(f, "query timed out after its {limit:?} deadline")
+            }
+            ServerError::Shutdown => write!(f, "query failed: server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Marker payload distinguishing deadline cancellations from genuine
+/// device timeouts inside `io::Result` plumbing.
+#[derive(Debug)]
+pub(crate) struct DeadlineExceeded;
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query deadline exceeded")
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+/// Builds the `io::Error` the page-space layer returns when a query's
+/// deadline passes mid-read. Carries [`DeadlineExceeded`] so
+/// [`ServerError::from_io`] can tell it apart from a device `TimedOut`.
+pub(crate) fn deadline_error() -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, DeadlineExceeded)
+}
+
+/// True when `e` is a deadline marker produced by [`deadline_error`].
+pub(crate) fn is_deadline(e: &io::Error) -> bool {
+    e.get_ref()
+        .is_some_and(|inner| inner.is::<DeadlineExceeded>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_marker_roundtrips() {
+        let e = deadline_error();
+        assert!(is_deadline(&e));
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+        // A plain device timeout is NOT a deadline marker.
+        let device = io::Error::new(io::ErrorKind::TimedOut, "drive timeout");
+        assert!(!is_deadline(&device));
+    }
+
+    #[test]
+    fn from_io_classifies() {
+        let t = ServerError::from_io(&io::Error::new(io::ErrorKind::Interrupted, "flaky"), None);
+        assert_eq!(
+            t,
+            ServerError::Io {
+                kind: io::ErrorKind::Interrupted,
+                transient: true,
+                message: "flaky".into()
+            }
+        );
+        assert!(t.is_retryable());
+
+        let p = ServerError::from_io(
+            &io::Error::new(io::ErrorKind::InvalidData, "bad sector"),
+            None,
+        );
+        assert!(matches!(
+            p,
+            ServerError::Io {
+                transient: false,
+                ..
+            }
+        ));
+        assert!(!p.is_retryable());
+
+        let d = ServerError::from_io(&deadline_error(), Some(Duration::from_millis(5)));
+        assert_eq!(
+            d,
+            ServerError::Timeout {
+                limit: Duration::from_millis(5)
+            }
+        );
+        assert!(d.is_timeout() && d.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServerError::Io {
+            kind: io::ErrorKind::InvalidData,
+            transient: false,
+            message: "bad sector".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("permanent") && s.contains("bad sector"));
+        assert!(ServerError::Shutdown.to_string().contains("shut down"));
+        assert!(ServerError::Timeout {
+            limit: Duration::from_secs(1)
+        }
+        .to_string()
+        .contains("timed out"));
+    }
+}

@@ -17,11 +17,13 @@
 mod app;
 mod config;
 mod engine;
+mod error;
 mod pages;
 mod result;
 
 pub use app::{AppExecutor, AppOutcome, VmExecutor};
 pub use config::ServerConfig;
-pub use engine::{QueryError, QueryHandle, QueryServer};
-pub use pages::SharedPageSpace;
+pub use engine::{QueryHandle, QueryServer};
+pub use error::ServerError;
+pub use pages::{PageSpaceSession, SharedPageSpace};
 pub use result::{AnswerPath, QueryRecord, QueryResult, ServerSummary};

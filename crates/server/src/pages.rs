@@ -5,12 +5,24 @@
 //! queries needing the same page block on the in-flight fetch instead of
 //! issuing duplicates, and a batch prefetch path reads merged runs so the
 //! I/O-request merging of the paper is exercised for real.
+//!
+//! ## Failure model
+//!
+//! Reads can fail: transient faults are retried under the configured
+//! [`RetryPolicy`] (bounded exponential backoff, deterministic jitter),
+//! permanent faults surface immediately, and every wait is bounded by the
+//! caller's deadline when one is set (see [`PageSpaceSession`]). On any
+//! failure the front-end releases **all** in-flight claims this caller
+//! still holds — a failed fetch never strands peers waiting on pages the
+//! failed query had claimed.
 
+use crate::error::{deadline_error, is_deadline};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use vmqs_core::DatasetId;
-use vmqs_pagespace::{PageCacheCore, PageData, PageDisposition, PageKey, PsStats};
-use vmqs_storage::DataSource;
+use vmqs_pagespace::{PageCacheCore, PageData, PageDisposition, PageKey, PsStats, RetryPolicy};
+use vmqs_storage::{is_transient, DataSource};
 
 /// Shared Page Space Manager.
 pub struct SharedPageSpace {
@@ -18,16 +30,38 @@ pub struct SharedPageSpace {
     resident_cv: Condvar,
     source: Arc<dyn DataSource>,
     page_size: usize,
+    retry: RetryPolicy,
+    retry_seed: u64,
 }
 
 impl SharedPageSpace {
-    /// Creates a page space of `budget_bytes` over `source`.
+    /// Creates a page space of `budget_bytes` over `source` with the
+    /// default I/O retry policy.
     pub fn new(budget_bytes: u64, page_size: usize, source: Arc<dyn DataSource>) -> Self {
+        SharedPageSpace::with_retry(
+            budget_bytes,
+            page_size,
+            source,
+            RetryPolicy::default_io(),
+            0,
+        )
+    }
+
+    /// Creates a page space with an explicit retry policy and jitter seed.
+    pub fn with_retry(
+        budget_bytes: u64,
+        page_size: usize,
+        source: Arc<dyn DataSource>,
+        retry: RetryPolicy,
+        retry_seed: u64,
+    ) -> Self {
         SharedPageSpace {
             core: Mutex::new(PageCacheCore::new(budget_bytes, page_size as u64)),
             resident_cv: Condvar::new(),
             source,
             page_size,
+            retry,
+            retry_seed,
         }
     }
 
@@ -36,35 +70,131 @@ impl SharedPageSpace {
         self.core.lock().stats()
     }
 
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// Enables/disables run merging (ablation knob).
     pub fn set_merging(&self, enabled: bool) {
         self.core.lock().set_merging(enabled);
     }
 
+    /// Opens a deadline-scoped view for one query's reads. All fetches and
+    /// waits through the session fail with a deadline error once
+    /// `deadline` passes; `None` never times out.
+    pub fn session(&self, deadline: Option<Instant>) -> PageSpaceSession<'_> {
+        PageSpaceSession { ps: self, deadline }
+    }
+
     /// Fetches a batch of chunks (pages) of one dataset, blocking until all
     /// are resident or fetched by this caller; duplicate in-flight pages
     /// are awaited rather than re-read. Reads happen outside the lock, run
-    /// by run.
+    /// by run. Equivalent to a session with no deadline.
     pub fn fetch_pages(&self, dataset: DatasetId, indices: &[u64]) -> std::io::Result<()> {
+        self.fetch_pages_until(dataset, indices, None)
+    }
+
+    /// Reads one page, fetching it if necessary. The common path after
+    /// [`SharedPageSpace::fetch_pages`] prefetched a query's chunk set.
+    pub fn read_page(&self, dataset: DatasetId, index: u64) -> std::io::Result<Arc<Vec<u8>>> {
+        self.read_page_until(dataset, index, None)
+    }
+
+    /// One page read against the backing source, retrying transient
+    /// faults under the policy. Fault/retry accounting lands in
+    /// [`PsStats`]; no locks are held across reads or backoff sleeps.
+    fn read_with_retry(
+        &self,
+        page: PageKey,
+        deadline: Option<Instant>,
+    ) -> std::io::Result<Vec<u8>> {
+        let mut attempt: u32 = 0;
+        loop {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                self.core.lock().note_failed_read();
+                return Err(deadline_error());
+            }
+            match self
+                .source
+                .read_page(page.dataset, page.index, self.page_size)
+            {
+                Ok(bytes) => return Ok(bytes),
+                Err(e) => {
+                    self.core.lock().note_read_fault();
+                    if !is_transient(&e) || is_deadline(&e) || attempt >= self.retry.max_retries {
+                        self.core.lock().note_failed_read();
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.core.lock().note_read_retry();
+                    // Jitter stream decorrelates by page so concurrent
+                    // retriers don't thundering-herd the device, while
+                    // staying deterministic per (seed, page, attempt).
+                    let seed = self
+                        .retry_seed
+                        .wrapping_add(page.index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        ^ page.dataset.raw();
+                    let mut delay = self.retry.backoff_delay(attempt, seed);
+                    if let Some(d) = deadline {
+                        // Never sleep past the deadline; the loop head
+                        // converts an expired deadline into a typed error.
+                        delay = delay.min(d.saturating_duration_since(Instant::now()));
+                    }
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases every in-flight claim in `claimed` that this caller has
+    /// not completed, and wakes waiters so they can take over or fail.
+    fn release_claims(&self, claimed: &[PageKey]) {
+        if claimed.is_empty() {
+            return;
+        }
+        let mut core = self.core.lock();
+        for &p in claimed {
+            core.abort_fetch(p);
+        }
+        drop(core);
+        self.resident_cv.notify_all();
+    }
+
+    /// Deadline-aware batch fetch; see [`SharedPageSpace::fetch_pages`].
+    fn fetch_pages_until(
+        &self,
+        dataset: DatasetId,
+        indices: &[u64],
+        deadline: Option<Instant>,
+    ) -> std::io::Result<()> {
         let keys: Vec<PageKey> = indices.iter().map(|&i| PageKey::new(dataset, i)).collect();
         let plan = self.core.lock().plan_read(&keys);
+
+        // Every MustFetch page is now claimed (in-flight) by this caller;
+        // on any failure all still-unfetched claims must be released.
+        let mut outstanding: Vec<PageKey> = plan
+            .pages
+            .iter()
+            .filter(|(_, d)| *d == PageDisposition::MustFetch)
+            .map(|(k, _)| *k)
+            .collect();
 
         // Read this caller's merged runs outside the lock.
         for run in &plan.fetch_runs {
             for page in run.pages() {
-                match self
-                    .source
-                    .read_page(page.dataset, page.index, self.page_size)
-                {
+                match self.read_with_retry(page, deadline) {
                     Ok(bytes) => {
+                        outstanding.retain(|&p| p != page);
                         let mut core = self.core.lock();
                         core.complete_fetch(page, PageData::Bytes(Arc::new(bytes)));
                         drop(core);
                         self.resident_cv.notify_all();
                     }
                     Err(e) => {
-                        self.core.lock().abort_fetch(page);
-                        self.resident_cv.notify_all();
+                        self.release_claims(&outstanding);
                         return Err(e);
                     }
                 }
@@ -88,25 +218,39 @@ impl SharedPageSpace {
                     // The other fetch was aborted (or the page was fetched
                     // and already evicted); take over the fetch ourselves.
                     drop(core);
-                    self.fetch_pages(dataset, &[page.index])?;
+                    self.fetch_pages_until(dataset, &[page.index], deadline)?;
                     core = self.core.lock();
                     break;
                 }
-                self.resident_cv.wait(&mut core);
+                match deadline {
+                    None => self.resident_cv.wait(&mut core),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            core.note_failed_read();
+                            return Err(deadline_error());
+                        }
+                        self.resident_cv.wait_for(&mut core, d - now);
+                    }
+                }
             }
         }
         Ok(())
     }
 
-    /// Reads one page, fetching it if necessary. The common path after
-    /// [`SharedPageSpace::fetch_pages`] prefetched a query's chunk set.
-    pub fn read_page(&self, dataset: DatasetId, index: u64) -> std::io::Result<Arc<Vec<u8>>> {
+    /// Deadline-aware single-page read; see [`SharedPageSpace::read_page`].
+    fn read_page_until(
+        &self,
+        dataset: DatasetId,
+        index: u64,
+        deadline: Option<Instant>,
+    ) -> std::io::Result<Arc<Vec<u8>>> {
         let key = PageKey::new(dataset, index);
         loop {
             if let Some(PageData::Bytes(b)) = self.core.lock().get(key) {
                 return Ok(b);
             }
-            self.fetch_pages(dataset, &[index])?;
+            self.fetch_pages_until(dataset, &[index], deadline)?;
             // Under extreme cache pressure the page may already have been
             // evicted again; retry (capacity is at least one page, and this
             // caller immediately re-reads, so progress is guaranteed in
@@ -116,11 +260,52 @@ impl SharedPageSpace {
     }
 }
 
+/// A deadline-scoped view of the Page Space for one query's execution.
+/// Application executors read through this instead of the raw
+/// [`SharedPageSpace`], so every I/O wait — source reads, backoff sleeps,
+/// waits on peers' in-flight fetches — observes the query's deadline.
+pub struct PageSpaceSession<'a> {
+    ps: &'a SharedPageSpace,
+    deadline: Option<Instant>,
+}
+
+impl PageSpaceSession<'_> {
+    /// The absolute deadline, when one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time left before the deadline (`None` = unbounded).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Fails with a deadline error once the deadline has passed; cheap
+    /// enough for applications to call between compute stages.
+    pub fn check_deadline(&self) -> std::io::Result<()> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(deadline_error()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Batch fetch; see [`SharedPageSpace::fetch_pages`].
+    pub fn fetch_pages(&self, dataset: DatasetId, indices: &[u64]) -> std::io::Result<()> {
+        self.ps.fetch_pages_until(dataset, indices, self.deadline)
+    }
+
+    /// Single-page read; see [`SharedPageSpace::read_page`].
+    pub fn read_page(&self, dataset: DatasetId, index: u64) -> std::io::Result<Arc<Vec<u8>>> {
+        self.ps.read_page_until(dataset, index, self.deadline)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use vmqs_storage::SyntheticSource;
+    use vmqs_storage::{FaultConfig, FaultInjectingSource, SyntheticSource};
 
     /// Counts reads per page to verify duplicate elimination.
     struct CountingSource {
@@ -214,5 +399,124 @@ mod tests {
             }
         }
         assert!(ps.stats().evictions > 0);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        // 60% transient rate with 8 retries: every page clears eventually,
+        // and data is byte-identical to the clean source.
+        let faulty =
+            FaultInjectingSource::new(SyntheticSource::new(), FaultConfig::transient(0.6, 42));
+        let policy = RetryPolicy {
+            max_retries: 16,
+            base_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(100),
+            jitter: 0.25,
+        };
+        let ps = SharedPageSpace::with_retry(1 << 20, 256, Arc::new(faulty), policy, 1);
+        for i in 0..20u64 {
+            let got = ps.read_page(DatasetId(3), i).unwrap();
+            let want = SyntheticSource::new()
+                .read_page(DatasetId(3), i, 256)
+                .unwrap();
+            assert_eq!(*got, want, "page {i}");
+        }
+        let s = ps.stats();
+        assert!(s.read_faults > 0, "60% rate must inject something");
+        assert_eq!(s.read_retries, s.read_faults, "every fault was retried");
+        assert_eq!(s.failed_reads, 0);
+    }
+
+    #[test]
+    fn permanent_faults_fail_without_retry() {
+        let faulty = FaultInjectingSource::new(
+            SyntheticSource::new(),
+            FaultConfig {
+                permanent_rate: 1.0,
+                ..FaultConfig::none()
+            },
+        );
+        let ps = SharedPageSpace::new(1 << 20, 256, Arc::new(faulty));
+        let e = ps.read_page(DatasetId(0), 0).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        let s = ps.stats();
+        assert_eq!(s.read_retries, 0, "permanent faults must not be retried");
+        assert_eq!(s.failed_reads, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transient_error() {
+        let faulty =
+            FaultInjectingSource::new(SyntheticSource::new(), FaultConfig::transient(1.0, 7));
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_micros(1),
+            max_delay: Duration::from_micros(4),
+            jitter: 0.0,
+        };
+        let ps = SharedPageSpace::with_retry(1 << 20, 256, Arc::new(faulty), policy, 0);
+        let e = ps.read_page(DatasetId(0), 5).unwrap_err();
+        assert!(is_transient(&e));
+        let s = ps.stats();
+        assert_eq!(s.read_retries, 3);
+        assert_eq!(s.read_faults, 4, "initial attempt + 3 retries");
+        assert_eq!(s.failed_reads, 1);
+    }
+
+    #[test]
+    fn failed_fetch_releases_all_claims() {
+        // Page 0 permanently poisoned (rate 1.0 poisons everything); a
+        // batch fetch of pages 0..6 must fail AND leave no page in-flight,
+        // so a later caller on a different source path can claim them.
+        let faulty = FaultInjectingSource::new(
+            SyntheticSource::new(),
+            FaultConfig {
+                permanent_rate: 1.0,
+                ..FaultConfig::none()
+            },
+        );
+        let ps = SharedPageSpace::new(1 << 20, 256, Arc::new(faulty));
+        assert!(ps.fetch_pages(DatasetId(0), &[0, 1, 2, 3, 4, 5]).is_err());
+        // All claims released: a retrying caller re-plans every page as
+        // MustFetch (misses grow by 6), none as InFlightElsewhere.
+        let before = ps.stats();
+        assert!(ps.fetch_pages(DatasetId(0), &[0, 1, 2, 3, 4, 5]).is_err());
+        let after = ps.stats();
+        assert_eq!(after.misses - before.misses, 6);
+        assert_eq!(after.dedup_waits, before.dedup_waits);
+    }
+
+    #[test]
+    fn session_deadline_cancels_reads() {
+        let ps = SharedPageSpace::new(1 << 20, 256, Arc::new(SyntheticSource::new()));
+        let session = ps.session(Some(Instant::now() - Duration::from_millis(1)));
+        let e = session.read_page(DatasetId(0), 0).unwrap_err();
+        assert!(crate::error::is_deadline(&e));
+        assert!(session.check_deadline().is_err());
+        assert_eq!(session.remaining(), Some(Duration::ZERO));
+        // An unbounded session still works.
+        let free = ps.session(None);
+        assert!(free.check_deadline().is_ok());
+        assert!(free.read_page(DatasetId(0), 0).is_ok());
+    }
+
+    #[test]
+    fn deadline_bounds_retry_backoff() {
+        // Permanent 100% transient faults + huge backoff: the deadline must
+        // cut the retry loop short rather than sleeping the full schedule.
+        let faulty =
+            FaultInjectingSource::new(SyntheticSource::new(), FaultConfig::transient(1.0, 1));
+        let policy = RetryPolicy {
+            max_retries: 1000,
+            base_delay: Duration::from_secs(1),
+            max_delay: Duration::from_secs(1),
+            jitter: 0.0,
+        };
+        let ps = SharedPageSpace::with_retry(1 << 20, 256, Arc::new(faulty), policy, 0);
+        let session = ps.session(Some(Instant::now() + Duration::from_millis(20)));
+        let t0 = Instant::now();
+        let e = session.read_page(DatasetId(0), 0).unwrap_err();
+        assert!(t0.elapsed() < Duration::from_millis(500));
+        assert!(crate::error::is_deadline(&e));
     }
 }

@@ -89,6 +89,18 @@ pub struct ServerSummary {
     pub p50_response: Duration,
     /// 95th-percentile response time.
     pub p95_response: Duration,
+    /// Queries that failed with an error other than a timeout (these are
+    /// *not* in `completed`).
+    pub failed: usize,
+    /// Queries cancelled at their per-query deadline.
+    pub timed_out: usize,
+    /// Page-read faults observed (transient + permanent), before retry.
+    pub io_faults: u64,
+    /// Page-read retries performed under the retry policy.
+    pub io_retries: u64,
+    /// Page reads that failed for good (retries exhausted, permanent
+    /// fault, or deadline hit mid-read).
+    pub failed_reads: u64,
 }
 
 #[cfg(test)]

@@ -2,7 +2,8 @@
 
 use vmqs_core::{ClientId, Strategy};
 use vmqs_microscope::{VmCostModel, VmQuery};
-use vmqs_storage::DiskModel;
+use vmqs_pagespace::RetryPolicy;
+use vmqs_storage::{DiskModel, FaultConfig};
 
 /// How a client stream's queries enter the system.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -105,6 +106,15 @@ pub struct SimConfig {
     /// Cell side (base-resolution pixels) of the Data Store's grid index.
     /// Pick roughly the footprint of a typical cached result.
     pub index_cell: u32,
+    /// Transient-fault injection for the virtual disks. The simulator
+    /// charges each faulted page the retry latency the threaded engine
+    /// would pay (re-read service time + backoff) and counts faults and
+    /// retries in the report. Only `transient_rate` and `seed` are
+    /// honoured — the virtual replay has no failure delivery path, so
+    /// permanent faults and latency spikes are server-engine-only.
+    pub fault: FaultConfig,
+    /// Retry policy bounding the charged retries per page.
+    pub retry: RetryPolicy,
 }
 
 impl SimConfig {
@@ -128,6 +138,8 @@ impl SimConfig {
             tuner: None,
             trace: false,
             index_cell: 4096,
+            fault: FaultConfig::none(),
+            retry: RetryPolicy::default_io(),
         }
     }
 
@@ -196,6 +208,18 @@ impl SimConfig {
     pub fn with_index_cell(mut self, cell: u32) -> Self {
         assert!(cell > 0, "index cell must be positive");
         self.index_cell = cell;
+        self
+    }
+
+    /// Builder-style fault-injection override.
+    pub fn with_faults(mut self, f: FaultConfig) -> Self {
+        self.fault = f;
+        self
+    }
+
+    /// Builder-style retry-policy override.
+    pub fn with_retry(mut self, r: RetryPolicy) -> Self {
+        self.retry = r;
         self
     }
 }

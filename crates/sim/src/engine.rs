@@ -144,6 +144,8 @@ pub struct Simulator<A: SimApplication> {
     tuner: Option<Tuner>,
     policy_overrides: u64,
     trace: Vec<TraceEvent>,
+    io_faults: u64,
+    io_retries: u64,
 }
 
 impl Simulator<VmSimApp> {
@@ -212,6 +214,8 @@ impl<A: SimApplication> Simulator<A> {
             tuner: cfg.tuner.map(Tuner::new),
             policy_overrides: 0,
             trace: Vec::new(),
+            io_faults: 0,
+            io_retries: 0,
             cfg,
         }
     }
@@ -252,6 +256,8 @@ impl<A: SimApplication> Simulator<A> {
             graph_stats: self.graph.stats(),
             disk_stats: self.disk.stats(),
             trace: self.trace,
+            io_faults: self.io_faults,
+            io_retries: self.io_retries,
         }
     }
 
@@ -387,10 +393,36 @@ impl<A: SimApplication> Simulator<A> {
                     .submit_streams(now, run.bytes(PAGE_SIZE as u64), streams);
                 io_ready = io_ready.max(end);
                 for page in run.pages() {
+                    // Transient-fault model: charge each faulted page the
+                    // retry latency the threaded engine would pay — one
+                    // re-read service time plus the base backoff per
+                    // retry. Streaks are capped at the retry budget; the
+                    // final attempt is treated as successful (the virtual
+                    // replay has no failure delivery path — see DESIGN.md
+                    // §8).
+                    let mut ready = end;
+                    if !self.cfg.fault.is_noop() {
+                        let streak = self.cfg.fault.transient_streak(
+                            page.dataset,
+                            page.index,
+                            self.cfg.retry.max_retries,
+                        );
+                        if streak > 0 {
+                            self.io_faults += streak as u64;
+                            self.io_retries += streak as u64;
+                            let mut extra =
+                                streak as f64 * self.cfg.disk.service_time(PAGE_SIZE as u64);
+                            for a in 1..=streak {
+                                extra += self.cfg.retry.base_backoff(a).as_secs_f64();
+                            }
+                            ready += extra;
+                            io_ready = io_ready.max(ready);
+                        }
+                    }
                     for evicted in self.ps.complete_fetch(page, PageData::Virtual) {
                         self.page_ready.remove(&evicted);
                     }
-                    self.page_ready.insert(page, end);
+                    self.page_ready.insert(page, ready);
                 }
             }
             // Pages resident (or fetched by another in-flight query) may
@@ -991,6 +1023,36 @@ mod tests {
         let (_, a2) = tuned_strategy(Strategy::ClosestFirst { alpha: 0.8 }, 2.0).unwrap();
         assert_eq!(a2, 1.0);
         assert!(tuned_strategy(Strategy::Fifo, 2.0).is_none());
+    }
+
+    #[test]
+    fn fault_injection_slows_queries_deterministically() {
+        use vmqs_storage::FaultConfig;
+        let spec = q(0, 0, 4096, 2, VmOp::Subsample);
+        let clean = run_sim(SimConfig::paper_baseline(), one_client(vec![spec]));
+        let faulty_cfg = SimConfig::paper_baseline().with_faults(FaultConfig::transient(0.2, 99));
+        let faulty = run_sim(faulty_cfg, one_client(vec![spec]));
+        let again = run_sim(faulty_cfg, one_client(vec![spec]));
+        // Counters move and the workload pays for the retries.
+        assert!(faulty.io_faults > 0, "20% rate over a big scan must fault");
+        assert_eq!(faulty.io_faults, faulty.io_retries);
+        assert_eq!(clean.io_faults, 0);
+        assert!(faulty.makespan > clean.makespan);
+        // Deterministic per seed; a different seed redraws.
+        assert_eq!(faulty.makespan, again.makespan);
+        assert_eq!(faulty.io_faults, again.io_faults);
+        let other_seed = run_sim(
+            SimConfig::paper_baseline().with_faults(FaultConfig::transient(0.2, 100)),
+            one_client(vec![spec]),
+        );
+        assert_ne!(faulty.io_faults, other_seed.io_faults);
+        // A zero-retry policy charges faults but no retry latency.
+        let no_retry = run_sim(
+            faulty_cfg.with_retry(vmqs_pagespace::RetryPolicy::none()),
+            one_client(vec![spec]),
+        );
+        assert_eq!(no_retry.io_retries, 0);
+        assert_eq!(no_retry.makespan, clean.makespan);
     }
 
     #[test]

@@ -71,6 +71,11 @@ pub struct SimReport<S = VmQuery> {
     pub disk_stats: DiskStats,
     /// Schedule trace (empty unless `SimConfig::trace` was set).
     pub trace: Vec<crate::trace::TraceEvent>,
+    /// Transient page-read faults injected by the fault model.
+    pub io_faults: u64,
+    /// Retries charged for those faults (capped per page at the retry
+    /// budget).
+    pub io_retries: u64,
 }
 
 impl<S> SimReport<S> {
@@ -154,6 +159,8 @@ mod tests {
             graph_stats: GraphStats::default(),
             disk_stats: DiskStats::default(),
             trace: Vec::new(),
+            io_faults: 0,
+            io_retries: 0,
         };
         assert_eq!(report.response_times(), vec![2.0, 5.0]);
         assert!((report.average_overlap() - 0.4).abs() < 1e-12);

@@ -12,13 +12,17 @@
 //!   all studied behaviour;
 //! * [`FileSource`] serves pages from real files for end-to-end runs;
 //! * [`ThrottledSource`] replays 2002-era disk timing via [`DiskModel`];
+//! * [`FaultInjectingSource`] injects seeded, deterministic I/O failures
+//!   (transient, permanent, latency spikes) for robustness testing;
 //! * [`DiskModel`] is also consumed by the discrete-event simulator to
 //!   compute virtual-time I/O costs, so both engines share one disk model.
 
 #![warn(missing_docs)]
 
 mod disk;
+mod fault;
 mod source;
 
 pub use disk::DiskModel;
+pub use fault::{is_transient, FaultConfig, FaultInjectingSource, FaultStats};
 pub use source::{DataSource, FileSource, SyntheticSource, ThrottledSource};

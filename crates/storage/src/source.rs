@@ -188,7 +188,12 @@ impl DataSource for FileSource {
         index: u64,
         page_size: usize,
     ) -> std::io::Result<Vec<u8>> {
-        let mut handles = self.handles.lock().expect("file source lock poisoned");
+        // Poison recovery: the map only caches open handles, so state is
+        // valid even if a peer panicked mid-insert; never take readers down.
+        let mut handles = match self.handles.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
         let f = match handles.get_mut(&dataset) {
             Some(f) => f,
             None => {

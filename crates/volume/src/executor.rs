@@ -8,7 +8,7 @@ use crate::query::VolQuery;
 use std::sync::Arc;
 use vmqs_core::geom::subtract_all;
 use vmqs_core::{QuerySpec, Rect};
-use vmqs_server::{AppExecutor, AppOutcome, SharedPageSpace};
+use vmqs_server::{AppExecutor, AppOutcome, PageSpaceSession};
 
 /// Volume application executor for [`vmqs_server::QueryServer`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -29,7 +29,7 @@ impl AppExecutor for VolExecutor {
         &self,
         spec: &VolQuery,
         sources: &[(VolQuery, Arc<[u8]>)],
-        ps: &SharedPageSpace,
+        ps: &PageSpaceSession<'_>,
     ) -> std::io::Result<AppOutcome> {
         let (w, h) = spec.output_dims();
         let mut out = GrayImage::new(w, h);

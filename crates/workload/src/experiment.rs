@@ -139,11 +139,44 @@ pub fn run_server_batch(
     server: &QueryServer,
     queries: Vec<vmqs_microscope::VmQuery>,
 ) -> Vec<QueryRecord> {
-    let handles = server.submit_batch(queries);
-    for h in handles {
-        let _ = h.wait();
+    run_server_batch_counting(server, queries).0
+}
+
+/// Per-query outcome counts of a batch run on the threaded engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Queries that delivered an answer.
+    pub ok: usize,
+    /// Queries that failed with an I/O or shutdown error.
+    pub failed: usize,
+    /// Queries cancelled at their deadline.
+    pub timed_out: usize,
+}
+
+impl BatchOutcome {
+    /// All queries accounted for.
+    pub fn total(&self) -> usize {
+        self.ok + self.failed + self.timed_out
     }
-    server.records()
+}
+
+/// Runs a batch on the real threaded engine, counting per-query outcomes
+/// instead of discarding failures — the harness for fault-injection and
+/// timeout experiments.
+pub fn run_server_batch_counting(
+    server: &QueryServer,
+    queries: Vec<vmqs_microscope::VmQuery>,
+) -> (Vec<QueryRecord>, BatchOutcome) {
+    let handles = server.submit_batch(queries);
+    let mut out = BatchOutcome::default();
+    for h in handles {
+        match h.wait() {
+            Ok(_) => out.ok += 1,
+            Err(e) if e.is_timeout() => out.timed_out += 1,
+            Err(_) => out.failed += 1,
+        }
+    }
+    (server.records(), out)
 }
 
 /// Convenience constructor for a laptop-scale threaded server matched to
@@ -286,8 +319,32 @@ mod tests {
         let streams = generate(&cfg);
         let queries: Vec<_> = streams.iter().flat_map(|s| s.queries.clone()).collect();
         let server = small_server(Strategy::Sjf, 2);
-        let records = run_server_batch(&server, queries.clone());
+        let (records, outcome) = run_server_batch_counting(&server, queries.clone());
         assert_eq!(records.len(), queries.len());
+        assert_eq!(outcome.ok, queries.len());
+        assert_eq!(outcome.total(), queries.len());
+        server.shutdown();
+    }
+
+    #[test]
+    fn counting_runner_separates_timeouts() {
+        let cfg = WorkloadConfig::small(VmOp::Subsample, 11);
+        let queries: Vec<_> = generate(&cfg)
+            .iter()
+            .flat_map(|s| s.queries.clone())
+            .take(6)
+            .collect();
+        let server = QueryServer::new(
+            ServerConfig::small().with_query_timeout(Some(std::time::Duration::ZERO)),
+            std::sync::Arc::new(vmqs_storage::SyntheticSource::new()),
+        );
+        let (_, outcome) = run_server_batch_counting(&server, queries.clone());
+        assert_eq!(
+            outcome.timed_out,
+            queries.len(),
+            "zero deadline cancels all"
+        );
+        assert_eq!(outcome.ok + outcome.failed, 0);
         server.shutdown();
     }
 }

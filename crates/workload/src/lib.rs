@@ -18,6 +18,7 @@ mod experiment;
 mod generator;
 
 pub use experiment::{
-    run_paper_experiment, run_server_batch, run_server_interactive, small_server, write_csv, ExpRow,
+    run_paper_experiment, run_server_batch, run_server_batch_counting, run_server_interactive,
+    small_server, write_csv, BatchOutcome, ExpRow,
 };
 pub use generator::{flatten_to_batch, generate, WorkloadConfig};

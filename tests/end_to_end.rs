@@ -111,9 +111,14 @@ fn missing_file_surfaces_as_query_error() {
     let server = QueryServer::new(ServerConfig::small(), Arc::new(FileSource::new(&dir)));
     let q = VmQuery::new(slide, Rect::new(0, 0, 100, 100), 1, VmOp::Subsample);
     let err = server.submit(q).wait().unwrap_err();
+    let msg = err.to_string();
     assert!(
-        err.0.contains("No such file") || err.0.contains("not found"),
+        msg.contains("No such file") || msg.contains("not found"),
         "{err}"
+    );
+    assert!(
+        !err.is_timeout() && !err.is_retryable(),
+        "a missing file is a permanent error, got {err}"
     );
     // The server must stay usable after a failed query.
     let slide_ok = SlideDataset::new(DatasetId(9), 800, 600);

@@ -485,3 +485,55 @@ proptest! {
         prop_assert_eq!(g.query(ds, &probe), expect);
     }
 }
+
+proptest! {
+    /// The retry backoff schedule (DESIGN.md §8) under arbitrary
+    /// policies: the base schedule is monotone nondecreasing and capped,
+    /// and the jittered delay is deterministic per seed and confined to
+    /// `[base, base × (1 + jitter)]`.
+    #[test]
+    fn retry_backoff_is_bounded_monotone_and_deterministic(
+        max_retries in 0u32..12,
+        base_us in 1u64..5_000,
+        cap_mult in 1u32..64,
+        jitter_pct in 0u32..101,
+        seed in 0u64..u64::MAX,
+    ) {
+        use std::time::Duration;
+        use vmqs_pagespace::RetryPolicy;
+        let base = Duration::from_micros(base_us);
+        let p = RetryPolicy {
+            max_retries,
+            base_delay: base,
+            max_delay: base * cap_mult,
+            jitter: jitter_pct as f64 / 100.0,
+        };
+        let mut prev = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for attempt in 1..=max_retries.max(1) {
+            let b = p.base_backoff(attempt);
+            prop_assert!(b >= prev, "base schedule must be monotone");
+            prop_assert!(b <= p.max_delay, "base schedule must respect the cap");
+            prev = b;
+            let d = p.backoff_delay(attempt, seed);
+            prop_assert_eq!(
+                d,
+                p.backoff_delay(attempt, seed),
+                "delay must be deterministic per (seed, attempt)"
+            );
+            prop_assert!(d >= b, "jitter only stretches, never shrinks");
+            // +1 ns absorbs mul_f64 rounding at the window's upper edge.
+            prop_assert!(
+                d <= b.mul_f64(1.0 + p.jitter) + Duration::from_nanos(1),
+                "jitter must stay within its window"
+            );
+            if attempt <= max_retries {
+                total += d;
+            }
+        }
+        prop_assert!(
+            total <= p.worst_case_backoff() + Duration::from_nanos(max_retries as u64),
+            "exhausting all retries must cost at most the documented worst case"
+        );
+    }
+}
