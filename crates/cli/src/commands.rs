@@ -47,6 +47,8 @@ pub fn render(args: &Args) -> CliResult {
     // Negative sentinel = no timeout; `--query-timeout-ms 0` is a valid
     // (immediately expiring) deadline.
     let timeout_ms: i64 = args.get_or("query-timeout-ms", -1)?;
+    let trace_out = args.get("trace-out");
+    let metrics_out = args.get("metrics-out");
 
     let slide = SlideDataset::new(DatasetId(0), sw, sh);
     let query = VmQuery::new(slide, Rect::new(x, y, w, h), zoom, op);
@@ -55,7 +57,9 @@ pub fn render(args: &Args) -> CliResult {
     } else {
         Arc::new(FaultInjectingSource::new(SyntheticSource::new(), fault))
     };
-    let mut cfg = ServerConfig::small().with_retry_seed(fault.seed);
+    let mut cfg = ServerConfig::small()
+        .with_retry_seed(fault.seed)
+        .with_observability(trace_out.is_some());
     if timeout_ms >= 0 {
         cfg = cfg.with_query_timeout(Some(std::time::Duration::from_millis(timeout_ms as u64)));
     }
@@ -90,6 +94,15 @@ pub fn render(args: &Args) -> CliResult {
             "io faults: {}, retries: {}, failed reads: {}",
             sum.io_faults, sum.io_retries, sum.failed_reads
         );
+    }
+    if let Some(path) = trace_out {
+        let events = server.events();
+        std::fs::write(path, vmqs_obs::events_to_json(&events))?;
+        println!("wrote {} events -> {path}", events.len());
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, server.metrics().to_prometheus())?;
+        println!("wrote metrics -> {path}");
     }
     server.shutdown();
     Ok(())
@@ -147,6 +160,8 @@ pub fn simulate(args: &Args) -> CliResult {
         SubmissionMode::Interactive
     };
     let fault = parse_faults(args)?;
+    let trace_out = args.get("trace-out");
+    let metrics_out = args.get("metrics-out");
 
     let streams = generate(&WorkloadConfig::paper(op, seed));
     let streams = match mode {
@@ -159,7 +174,8 @@ pub fn simulate(args: &Args) -> CliResult {
         .with_ds_budget(ds_mb << 20)
         .with_ps_budget(ps_mb << 20)
         .with_mode(mode)
-        .with_faults(fault);
+        .with_faults(fault)
+        .with_observe(trace_out.is_some());
     let report = run_sim(cfg, streams);
     let row = ExpRow::from_report(&report, strategy, op, threads, ds_mb);
     println!("{}", ExpRow::csv_header());
@@ -183,6 +199,14 @@ pub fn simulate(args: &Args) -> CliResult {
             "io faults:        {} injected, {} retries charged",
             report.io_faults, report.io_retries
         );
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, vmqs_obs::events_to_json(&report.events))?;
+        println!("wrote {} events -> {path}", report.events.len());
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, report.metrics.to_prometheus())?;
+        println!("wrote metrics -> {path}");
     }
     Ok(())
 }

@@ -23,6 +23,10 @@ pub fn trimmed_mean(xs: &[f64], keep: f64) -> f64 {
         (0.0..=1.0).contains(&keep),
         "keep fraction must be in [0,1]"
     );
+    assert!(
+        xs.iter().all(|x| !x.is_nan()),
+        "trimmed_mean: NaN sample rejected"
+    );
     if xs.is_empty() {
         return 0.0;
     }
@@ -40,6 +44,10 @@ pub fn trimmed_mean_95(xs: &[f64]) -> f64 {
 
 /// Nearest-rank percentile (`q` in `[0, 100]`); `0.0` for an empty slice.
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(
+        xs.iter().all(|x| !x.is_nan()),
+        "percentile: NaN sample rejected"
+    );
     if xs.is_empty() {
         return 0.0;
     }
@@ -144,6 +152,33 @@ mod tests {
     #[should_panic(expected = "keep fraction")]
     fn trimmed_mean_rejects_bad_keep() {
         trimmed_mean(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn trimmed_mean_empty_and_single() {
+        assert_eq!(trimmed_mean(&[], 0.95), 0.0);
+        assert_eq!(trimmed_mean(&[7.5], 0.95), 7.5);
+        // keep = 0 would trim everything; a singleton still floors to 0 cut.
+        assert_eq!(trimmed_mean(&[7.5], 0.0), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample rejected")]
+    fn trimmed_mean_rejects_nan() {
+        trimmed_mean(&[1.0, f64::NAN, 3.0], 0.95);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42.0], 0.0), 42.0);
+        assert_eq!(percentile(&[42.0], 50.0), 42.0);
+        assert_eq!(percentile(&[42.0], 100.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample rejected")]
+    fn percentile_rejects_nan() {
+        percentile(&[f64::NAN], 50.0);
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! Typed scheduler events and the append-only event log.
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use vmqs_core::QueryId;
+
+/// What happened to a query. One variant per schema point shared by the
+/// threaded server and the simulator (DESIGN.md §9).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum EventKind {
+    /// The query entered the scheduling graph.
+    Submitted,
+    /// The query was dequeued for execution; `score` is its frozen rank
+    /// under `strategy` at dequeue time.
+    Ranked {
+        /// Ranking strategy in force at dequeue.
+        strategy: &'static str,
+        /// The rank value the dequeue decision was based on.
+        score: f64,
+    },
+    /// A Data Store lookup matched a cached result.
+    LookupHit {
+        /// The query that produced the matched result (reuse edge source).
+        source: QueryId,
+        /// Overlap fraction between the two predicates, in `[0, 1]`.
+        overlap: f64,
+        /// True when the match satisfies the query exactly.
+        exact: bool,
+    },
+    /// The application spawned sub-queries for the uncovered remainder
+    /// (threaded engine only; the simulator's cost model does not
+    /// decompose remainders).
+    SubquerySpawned {
+        /// Number of sub-queries created.
+        count: u64,
+    },
+    /// A page was obtained for this query.
+    PageRead {
+        /// True when the page was served from the Page Space (or an
+        /// in-flight peer fetch) without new device I/O by this query.
+        cached: bool,
+        /// True when at least one transient fault was retried to get it.
+        retried: bool,
+    },
+    /// The query's cached result was evicted from the Data Store.
+    Evicted,
+    /// Terminal: the query completed successfully.
+    Completed,
+    /// Terminal: the query failed with an I/O error.
+    Failed,
+    /// Terminal: the query was cancelled at its deadline.
+    TimedOut,
+}
+
+impl EventKind {
+    /// Stable lower-snake label used in exports and assertions.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Submitted => "submitted",
+            EventKind::Ranked { .. } => "ranked",
+            EventKind::LookupHit { .. } => "lookup_hit",
+            EventKind::SubquerySpawned { .. } => "subquery_spawned",
+            EventKind::PageRead { .. } => "page_read",
+            EventKind::Evicted => "evicted",
+            EventKind::Completed => "completed",
+            EventKind::Failed => "failed",
+            EventKind::TimedOut => "timed_out",
+        }
+    }
+
+    /// True for the three terminal lifecycle events.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Completed | EventKind::Failed | EventKind::TimedOut
+        )
+    }
+}
+
+/// One logged event: a global sequence number (total order across the
+/// run), a timestamp in seconds (real time since the log's origin for the
+/// server, virtual time for the simulator), the query, and the kind.
+#[derive(Clone, Copy, Debug)]
+pub struct EventRecord {
+    /// Global emission order.
+    pub seq: u64,
+    /// Seconds since the engine's time origin (monotone per query).
+    pub time: f64,
+    /// The query this event belongs to.
+    pub query: QueryId,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+const SHARDS: usize = 8;
+
+/// An append-only log of [`EventRecord`]s. Writers take a global atomic
+/// sequence number and push into one of a small set of sharded vectors, so
+/// concurrent query threads rarely contend on the same mutex; a disabled
+/// log reduces `log()` to a single branch.
+#[derive(Debug)]
+pub struct EventLog {
+    enabled: bool,
+    origin: Instant,
+    seq: AtomicU64,
+    shards: Vec<Mutex<Vec<EventRecord>>>,
+}
+
+impl EventLog {
+    /// Creates a log; `enabled = false` makes every `log` call a no-op.
+    pub fn new(enabled: bool) -> Self {
+        EventLog {
+            enabled,
+            origin: Instant::now(),
+            seq: AtomicU64::new(0),
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Seconds elapsed since the log was created (the server's clock).
+    pub fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Records an event stamped with the current real time.
+    pub fn log(&self, query: QueryId, kind: EventKind) {
+        if self.enabled {
+            self.log_at(self.now(), query, kind);
+        }
+    }
+
+    /// Records an event with an explicit timestamp (the simulator's
+    /// virtual clock).
+    pub fn log_at(&self, time: f64, query: QueryId, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.shards[seq as usize % SHARDS].lock().push(EventRecord {
+            seq,
+            time,
+            query,
+            kind,
+        });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies all events out, ordered by global sequence number.
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        let mut all: Vec<EventRecord> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.extend(shard.lock().iter().copied());
+        }
+        all.sort_unstable_by_key(|e| e.seq);
+        all
+    }
+
+    /// All events of one query, in sequence order.
+    pub fn events_for(&self, query: QueryId) -> Vec<EventRecord> {
+        let mut v: Vec<EventRecord> = self
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.query == query)
+            .collect();
+        v.sort_unstable_by_key(|e| e.seq);
+        v
+    }
+}
+
+/// Serializes events as a JSON array of objects, one per event, with the
+/// kind's payload fields inlined (`strategy`/`score`, `source`/`overlap`/
+/// `exact`, `count`, `cached`/`retried`).
+pub fn events_to_json(events: &[EventRecord]) -> String {
+    let mut out = String::with_capacity(events.len() * 80 + 16);
+    out.push_str("[\n");
+    for (i, e) in events.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"seq\": {}, \"time_s\": {:.9}, \"query\": {}, \"event\": \"{}\"",
+            e.seq,
+            e.time,
+            e.query.raw(),
+            e.kind.label()
+        );
+        match e.kind {
+            EventKind::Ranked { strategy, score } => {
+                let _ = write!(out, ", \"strategy\": \"{strategy}\", \"score\": {score}");
+            }
+            EventKind::LookupHit {
+                source,
+                overlap,
+                exact,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"source\": {}, \"overlap\": {overlap}, \"exact\": {exact}",
+                    source.raw()
+                );
+            }
+            EventKind::SubquerySpawned { count } => {
+                let _ = write!(out, ", \"count\": {count}");
+            }
+            EventKind::PageRead { cached, retried } => {
+                let _ = write!(out, ", \"cached\": {cached}, \"retried\": {retried}");
+            }
+            _ => {}
+        }
+        out.push('}');
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = EventLog::new(false);
+        log.log(QueryId(1), EventKind::Submitted);
+        log.log_at(3.0, QueryId(1), EventKind::Completed);
+        assert!(log.is_empty());
+        assert!(!log.enabled());
+    }
+
+    #[test]
+    fn snapshot_orders_by_sequence() {
+        let log = EventLog::new(true);
+        for i in 0..40u64 {
+            log.log_at(i as f64, QueryId(i % 4), EventKind::Submitted);
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 40);
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert_eq!(log.events_for(QueryId(2)).len(), 10);
+    }
+
+    #[test]
+    fn concurrent_writers_keep_unique_seqs() {
+        let log = std::sync::Arc::new(EventLog::new(true));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        log.log(QueryId(t), EventKind::Completed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 400);
+        let mut seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 400, "sequence numbers must be unique");
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(EventKind::Completed.is_terminal());
+        assert!(EventKind::Failed.is_terminal());
+        assert!(EventKind::TimedOut.is_terminal());
+        assert!(!EventKind::Submitted.is_terminal());
+        assert!(!EventKind::Evicted.is_terminal());
+    }
+
+    #[test]
+    fn json_export_inlines_payload_fields() {
+        let log = EventLog::new(true);
+        log.log_at(0.0, QueryId(0), EventKind::Submitted);
+        log.log_at(
+            0.5,
+            QueryId(0),
+            EventKind::Ranked {
+                strategy: "CNBF",
+                score: 2.5,
+            },
+        );
+        log.log_at(
+            1.0,
+            QueryId(0),
+            EventKind::LookupHit {
+                source: QueryId(9),
+                overlap: 0.25,
+                exact: false,
+            },
+        );
+        log.log_at(1.5, QueryId(0), EventKind::Completed);
+        let json = events_to_json(&log.snapshot());
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"event\": \"ranked\""));
+        assert!(json.contains("\"strategy\": \"CNBF\""));
+        assert!(json.contains("\"source\": 9"));
+        assert!(json.contains("\"overlap\": 0.25"));
+        // Structurally balanced: one object per event, no trailing comma.
+        assert_eq!(json.matches('{').count(), 4);
+        assert_eq!(json.matches('}').count(), 4);
+        assert!(!json.contains(",\n]"));
+    }
+}

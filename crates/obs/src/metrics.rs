@@ -1,0 +1,453 @@
+//! Counters, histograms, gauges, and the registry with JSON/Prometheus
+//! exposition.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Exponential-ish bucket upper bounds (seconds) spanning 1 µs to 5 min —
+/// wide enough for both the real engine and paper-scale virtual time.
+const BOUNDS: [f64; 20] = [
+    1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0, 300.0,
+];
+
+/// A fixed-bucket histogram with atomic buckets, count, and sum; safe to
+/// observe from many threads and snapshot mid-run.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>, // one per bound + overflow
+    count: AtomicU64,
+    sum_bits: AtomicU64, // f64 sum, CAS-updated via to_bits
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram over the default second-scale buckets.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..=BOUNDS.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one sample (negative samples clamp to zero).
+    pub fn observe(&self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        let idx = BOUNDS.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Snapshot of buckets/count/sum, consistent enough for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: BOUNDS.to_vec(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (exclusive of the `+Inf` overflow bucket).
+    pub bounds: Vec<f64>,
+    /// Per-bucket sample counts; `buckets.len() == bounds.len() + 1`, the
+    /// last being the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution quantile (`q` in `[0, 1]`): the upper bound of
+    /// the bucket containing the `q`-th sample; `f64::INFINITY` for the
+    /// overflow bucket, `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// Pre-resolved handles for the per-query lifecycle metrics both engines
+/// maintain, so hot paths skip the registry's name map.
+#[derive(Clone, Debug)]
+pub struct QueryMetrics {
+    /// `vmqs_queries_submitted_total`
+    pub submitted: Arc<Counter>,
+    /// `vmqs_queries_completed_total`
+    pub completed: Arc<Counter>,
+    /// `vmqs_queries_failed_total`
+    pub failed: Arc<Counter>,
+    /// `vmqs_queries_timed_out_total`
+    pub timed_out: Arc<Counter>,
+    /// `vmqs_ds_exact_hits_total`
+    pub ds_exact_hits: Arc<Counter>,
+    /// `vmqs_ds_partial_hits_total`
+    pub ds_partial_hits: Arc<Counter>,
+    /// `vmqs_ds_misses_total`
+    pub ds_misses: Arc<Counter>,
+    /// `vmqs_ds_evictions_total`
+    pub ds_evictions: Arc<Counter>,
+    /// `vmqs_queue_wait_seconds`
+    pub queue_wait: Arc<Histogram>,
+    /// `vmqs_service_time_seconds`
+    pub service_time: Arc<Histogram>,
+}
+
+impl QueryMetrics {
+    /// Resolves (registering on first use) the standard query metrics.
+    pub fn resolve(reg: &MetricsRegistry) -> Self {
+        QueryMetrics {
+            submitted: reg.counter("vmqs_queries_submitted_total"),
+            completed: reg.counter("vmqs_queries_completed_total"),
+            failed: reg.counter("vmqs_queries_failed_total"),
+            timed_out: reg.counter("vmqs_queries_timed_out_total"),
+            ds_exact_hits: reg.counter("vmqs_ds_exact_hits_total"),
+            ds_partial_hits: reg.counter("vmqs_ds_partial_hits_total"),
+            ds_misses: reg.counter("vmqs_ds_misses_total"),
+            ds_evictions: reg.counter("vmqs_ds_evictions_total"),
+            queue_wait: reg.histogram("vmqs_queue_wait_seconds"),
+            service_time: reg.histogram("vmqs_service_time_seconds"),
+        }
+    }
+}
+
+/// Pre-resolved handles for Page Space metrics.
+#[derive(Clone, Debug)]
+pub struct PageMetrics {
+    /// `vmqs_ps_page_reads_total` — pages requested through read plans.
+    pub page_reads: Arc<Counter>,
+    /// `vmqs_ps_page_hits_total` — of those, served without new device I/O.
+    pub page_hits: Arc<Counter>,
+    /// `vmqs_ps_read_retries_total`
+    pub read_retries: Arc<Counter>,
+    /// `vmqs_ps_read_faults_total`
+    pub read_faults: Arc<Counter>,
+    /// `vmqs_ps_runs_issued_total`
+    pub runs_issued: Arc<Counter>,
+    /// `vmqs_ps_pages_fetched_total`
+    pub pages_fetched: Arc<Counter>,
+}
+
+impl PageMetrics {
+    /// Resolves (registering on first use) the standard Page Space metrics.
+    pub fn resolve(reg: &MetricsRegistry) -> Self {
+        PageMetrics {
+            page_reads: reg.counter("vmqs_ps_page_reads_total"),
+            page_hits: reg.counter("vmqs_ps_page_hits_total"),
+            read_retries: reg.counter("vmqs_ps_read_retries_total"),
+            read_faults: reg.counter("vmqs_ps_read_faults_total"),
+            runs_issued: reg.counter("vmqs_ps_runs_issued_total"),
+            pages_fetched: reg.counter("vmqs_ps_pages_fetched_total"),
+        }
+    }
+}
+
+/// A named registry of counters, histograms, and gauges. Handles are
+/// `Arc`s resolved once (see [`QueryMetrics`]/[`PageMetrics`]); the name
+/// maps are only locked at resolve and snapshot time.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns (registering if new) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Returns (registering if new) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Sets the gauge named `name` (registering if new).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauges.lock().insert(name.to_string(), value);
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self.gauges.lock().clone(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], exportable as JSON or
+/// Prometheus text exposition.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// JSON object: counters and gauges flat, histograms with bucket
+    /// arrays plus `count`/`sum`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{k}\": {v}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{k}\": {v}");
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{k}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                h.count,
+                h.sum,
+                h.mean(),
+                finite_or_max(h.quantile(0.50)),
+                finite_or_max(h.quantile(0.95)),
+                finite_or_max(h.quantile(0.99)),
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Prometheus text exposition format (`# TYPE` lines, `_bucket{le=}`
+    /// series with a `+Inf` bucket, `_sum`, `_count`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {k} counter\n{k} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {k} gauge\n{k} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {k} histogram");
+            let mut cum = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                cum += n;
+                match h.bounds.get(i) {
+                    Some(b) => {
+                        let _ = writeln!(out, "{k}_bucket{{le=\"{b}\"}} {cum}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{k}_bucket{{le=\"+Inf\"}} {cum}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{k}_sum {}", h.sum);
+            let _ = writeln!(out, "{k}_count {}", h.count);
+        }
+        out
+    }
+}
+
+fn finite_or_max(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("vmqs_test_total");
+        c.inc();
+        c.add(4);
+        // Resolving again returns the same underlying counter.
+        assert_eq!(reg.counter("vmqs_test_total").get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(0.002); // ≤ 2.5e-3 bucket
+        }
+        for _ in 0..10 {
+            h.observe(2.0); // ≤ 2.5 bucket
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert!((s.sum - (90.0 * 0.002 + 20.0)).abs() < 1e-9);
+        assert_eq!(s.quantile(0.5), 2.5e-3);
+        assert_eq!(s.quantile(0.99), 2.5);
+        // Overflow bucket lands on +Inf.
+        h.observe(1e9);
+        assert!(h.snapshot().quantile(1.0).is_infinite());
+        // Negative and non-finite samples clamp instead of corrupting.
+        h.observe(-3.0);
+        h.observe(f64::NAN);
+        assert_eq!(h.snapshot().count, 103);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("vmqs_queries_submitted_total").add(7);
+        reg.set_gauge("vmqs_ds_hit_ratio", 0.5);
+        reg.histogram("vmqs_queue_wait_seconds").observe(0.01);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE vmqs_queries_submitted_total counter"));
+        assert!(text.contains("vmqs_queries_submitted_total 7"));
+        assert!(text.contains("# TYPE vmqs_ds_hit_ratio gauge"));
+        assert!(text.contains("vmqs_ds_hit_ratio 0.5"));
+        assert!(text.contains("# TYPE vmqs_queue_wait_seconds histogram"));
+        assert!(text.contains("vmqs_queue_wait_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("vmqs_queue_wait_seconds_count 1"));
+        // Buckets are cumulative: the +Inf bucket equals the count.
+        let inf_line = text
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .unwrap()
+            .to_string();
+        assert!(inf_line.ends_with(" 1"));
+    }
+
+    #[test]
+    fn json_snapshot_parses_structurally() {
+        let reg = MetricsRegistry::new();
+        reg.counter("vmqs_a_total").inc();
+        reg.set_gauge("vmqs_g", 1.25);
+        reg.histogram("vmqs_h_seconds").observe(0.2);
+        let json = reg.snapshot().to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"vmqs_a_total\": 1"));
+        assert!(json.contains("\"vmqs_g\": 1.25"));
+        assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn resolved_handle_structs_share_registry() {
+        let reg = MetricsRegistry::new();
+        let qm = QueryMetrics::resolve(&reg);
+        qm.submitted.add(3);
+        let pm = PageMetrics::resolve(&reg);
+        pm.page_reads.add(2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["vmqs_queries_submitted_total"], 3);
+        assert_eq!(snap.counters["vmqs_ps_page_reads_total"], 2);
+    }
+}

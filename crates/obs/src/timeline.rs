@@ -1,0 +1,182 @@
+//! Per-query lifecycle timelines reconstructed from the event log, plus
+//! the extraction helpers the conformance harness compares.
+
+use crate::event::{EventKind, EventRecord};
+use std::collections::BTreeMap;
+use vmqs_core::QueryId;
+
+/// How a query's lifecycle ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Terminal {
+    /// Completed successfully.
+    Completed,
+    /// Failed with an I/O error.
+    Failed,
+    /// Cancelled at its deadline.
+    TimedOut,
+}
+
+/// One query's reconstructed lifecycle.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryTimeline {
+    /// The query.
+    pub query: QueryId,
+    /// Submission time, if a `Submitted` event was logged.
+    pub submitted: Option<f64>,
+    /// Dequeue `(time, score)`, if a `Ranked` event was logged.
+    pub ranked: Option<(f64, f64)>,
+    /// Terminal event and its time, if one was logged.
+    pub terminal: Option<(Terminal, f64)>,
+    /// Data Store matches observed by this query's lookup.
+    pub lookup_hits: u64,
+    /// Pages obtained for this query.
+    pub pages_read: u64,
+}
+
+impl QueryTimeline {
+    /// Submission → terminal latency in seconds (any terminal kind).
+    pub fn latency(&self) -> Option<f64> {
+        match (self.submitted, self.terminal) {
+            (Some(s), Some((_, t))) => Some(t - s),
+            _ => None,
+        }
+    }
+}
+
+/// Reconstructs one timeline per query, ordered by query id. Later events
+/// of a kind win for `ranked`/`terminal` (engines emit each at most once).
+pub fn timelines(events: &[EventRecord]) -> Vec<QueryTimeline> {
+    let mut map: BTreeMap<QueryId, QueryTimeline> = BTreeMap::new();
+    for e in events {
+        let t = map.entry(e.query).or_insert(QueryTimeline {
+            query: e.query,
+            submitted: None,
+            ranked: None,
+            terminal: None,
+            lookup_hits: 0,
+            pages_read: 0,
+        });
+        match e.kind {
+            EventKind::Submitted => t.submitted = Some(e.time),
+            EventKind::Ranked { score, .. } => t.ranked = Some((e.time, score)),
+            EventKind::LookupHit { .. } => t.lookup_hits += 1,
+            EventKind::PageRead { .. } => t.pages_read += 1,
+            EventKind::Completed => t.terminal = Some((Terminal::Completed, e.time)),
+            EventKind::Failed => t.terminal = Some((Terminal::Failed, e.time)),
+            EventKind::TimedOut => t.terminal = Some((Terminal::TimedOut, e.time)),
+            EventKind::SubquerySpawned { .. } | EventKind::Evicted => {}
+        }
+    }
+    map.into_values().collect()
+}
+
+/// Submission → completion latencies (seconds) of successfully completed
+/// queries, in query-id order.
+pub fn latencies(events: &[EventRecord]) -> Vec<f64> {
+    timelines(events)
+        .iter()
+        .filter(|t| matches!(t.terminal, Some((Terminal::Completed, _))))
+        .filter_map(|t| t.latency())
+        .collect()
+}
+
+/// The `(query, score)` sequence of `Ranked` events in emission order —
+/// the scheduler's dispatch decisions, which the conformance harness pins
+/// across engines.
+pub fn ranked_sequence(events: &[EventRecord]) -> Vec<(QueryId, f64)> {
+    events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Ranked { score, .. } => Some((e.query, score)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The Data Store reuse edges `(consumer, source, exact)` in emission
+/// order, one per `LookupHit`.
+pub fn reuse_edges(events: &[EventRecord]) -> Vec<(QueryId, QueryId, bool)> {
+    events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::LookupHit { source, exact, .. } => Some((e.query, source, exact)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventLog;
+
+    fn sample_log() -> Vec<EventRecord> {
+        let log = EventLog::new(true);
+        log.log_at(0.0, QueryId(0), EventKind::Submitted);
+        log.log_at(0.0, QueryId(1), EventKind::Submitted);
+        log.log_at(
+            0.1,
+            QueryId(0),
+            EventKind::Ranked {
+                strategy: "FIFO",
+                score: 5.0,
+            },
+        );
+        log.log_at(0.9, QueryId(0), EventKind::Completed);
+        log.log_at(
+            1.0,
+            QueryId(1),
+            EventKind::Ranked {
+                strategy: "FIFO",
+                score: 4.0,
+            },
+        );
+        log.log_at(
+            1.1,
+            QueryId(1),
+            EventKind::LookupHit {
+                source: QueryId(0),
+                overlap: 0.5,
+                exact: false,
+            },
+        );
+        log.log_at(
+            1.2,
+            QueryId(1),
+            EventKind::PageRead {
+                cached: false,
+                retried: false,
+            },
+        );
+        log.log_at(2.0, QueryId(1), EventKind::Failed);
+        log.snapshot()
+    }
+
+    #[test]
+    fn timelines_reconstruct_lifecycles() {
+        let ts = timelines(&sample_log());
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].query, QueryId(0));
+        assert_eq!(ts[0].terminal, Some((Terminal::Completed, 0.9)));
+        assert_eq!(ts[0].latency(), Some(0.9));
+        assert_eq!(ts[1].terminal, Some((Terminal::Failed, 2.0)));
+        assert_eq!(ts[1].lookup_hits, 1);
+        assert_eq!(ts[1].pages_read, 1);
+    }
+
+    #[test]
+    fn latencies_cover_only_completions() {
+        let lat = latencies(&sample_log());
+        assert_eq!(lat, vec![0.9]);
+    }
+
+    #[test]
+    fn ranked_sequence_and_reuse_edges_extract_in_order() {
+        let ev = sample_log();
+        assert_eq!(
+            ranked_sequence(&ev),
+            vec![(QueryId(0), 5.0), (QueryId(1), 4.0)]
+        );
+        assert_eq!(reuse_edges(&ev), vec![(QueryId(1), QueryId(0), false)]);
+    }
+}

@@ -29,6 +29,8 @@ pub struct AppOutcome {
     pub covered_fraction: f64,
     /// Pages requested from the Page Space Manager.
     pub pages_requested: u64,
+    /// Sub-queries spawned to compute the uncovered remainder.
+    pub subqueries: u64,
 }
 
 /// A data-analysis application runnable on the threaded engine.
@@ -112,7 +114,9 @@ impl AppExecutor for VmExecutor {
 
         // Sub-queries for the uncovered remainder, from raw chunks.
         let mut pages_requested = 0u64;
+        let mut subqueries = 0u64;
         for sub in spec.subqueries_for_remainder(&covered) {
+            subqueries += 1;
             let chunks = sub.slide.chunks_intersecting(&sub.region);
             pages_requested += chunks.len() as u64;
             // Prefetch the whole chunk set so overlapping requests merge.
@@ -161,6 +165,7 @@ impl AppExecutor for VmExecutor {
                 reused_px as f64 / total_px as f64
             },
             pages_requested,
+            subqueries,
         })
     }
 }

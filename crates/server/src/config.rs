@@ -39,6 +39,15 @@ pub struct ServerConfig {
     /// timeouts. An expired query is cancelled cooperatively and resolves
     /// its handle with a timeout error.
     pub query_timeout: Option<Duration>,
+    /// Record typed scheduler events in the observability log (DESIGN.md
+    /// §9). Metrics counters are always on; this gates only the event log.
+    pub observe: bool,
+    /// Start the worker pool paused: workers sleep until
+    /// [`crate::QueryServer::resume_workers`] is called, so a whole batch
+    /// can be submitted before any dequeue happens — the deterministic
+    /// setup the scheduler-conformance harness replays against the
+    /// simulator.
+    pub start_paused: bool,
 }
 
 impl ServerConfig {
@@ -56,6 +65,8 @@ impl ServerConfig {
             retry: RetryPolicy::default_io(),
             retry_seed: 0,
             query_timeout: None,
+            observe: false,
+            start_paused: false,
         }
     }
 
@@ -120,6 +131,18 @@ impl ServerConfig {
         self.query_timeout = t;
         self
     }
+
+    /// Builder-style event-log toggle.
+    pub fn with_observability(mut self, on: bool) -> Self {
+        self.observe = on;
+        self
+    }
+
+    /// Builder-style paused-start toggle.
+    pub fn with_start_paused(mut self, paused: bool) -> Self {
+        self.start_paused = paused;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +171,12 @@ mod tests {
         assert_eq!(c3.retry, RetryPolicy::none());
         assert_eq!(c3.retry_seed, 9);
         assert_eq!(c3.query_timeout, Some(Duration::from_millis(250)));
+        let c4 = ServerConfig::small()
+            .with_observability(true)
+            .with_start_paused(true);
+        assert!(c4.observe && c4.start_paused);
+        assert!(!ServerConfig::small().observe);
+        assert!(!ServerConfig::small().start_paused);
     }
 
     #[test]

@@ -53,6 +53,7 @@ use std::time::{Duration, Instant};
 use vmqs_core::{BlobId, IdGen, QueryId, QuerySpec, QueryState, SchedulingGraph, SpatialSpec};
 use vmqs_datastore::{DsStats, Payload, SpatialDataStore};
 use vmqs_microscope::PAGE_SIZE;
+use vmqs_obs::{EventKind, EventRecord, MetricsSnapshot, Obs, QueryMetrics};
 use vmqs_pagespace::PsStats;
 use vmqs_storage::DataSource;
 
@@ -89,6 +90,10 @@ struct SchedState<S: SpatialSpec> {
     outstanding: usize,
     blocked_fallbacks: u64,
     shutdown: bool,
+    /// When set, workers sleep instead of dequeuing (see
+    /// [`ServerConfig::start_paused`] and
+    /// [`QueryServer::resume_workers`]).
+    paused: bool,
 }
 
 struct Core<A: AppExecutor> {
@@ -113,6 +118,12 @@ struct Core<A: AppExecutor> {
     failed: AtomicU64,
     /// Queries cancelled at their deadline.
     timed_out: AtomicU64,
+    /// Event log + metrics registry (DESIGN.md §9). Counters are always
+    /// live; the event log records only when `cfg.observe` is set.
+    obs: Arc<Obs>,
+    /// Pre-resolved query-lifecycle metric handles (no registry lock on
+    /// the hot path).
+    qmet: QueryMetrics,
 }
 
 /// The public server: spawns the thread pool on construction; submit
@@ -133,6 +144,8 @@ impl QueryServer<VmExecutor> {
 impl<A: AppExecutor> QueryServer<A> {
     /// Starts a server for any application executor.
     pub fn with_app(cfg: ServerConfig, app: A, source: Arc<dyn DataSource>) -> Self {
+        let obs = Arc::new(Obs::new(cfg.observe));
+        let qmet = QueryMetrics::resolve(&obs.metrics);
         let core = Arc::new(Core {
             sched: Mutex::new(SchedState {
                 graph: SchedulingGraph::new(cfg.strategy),
@@ -143,6 +156,7 @@ impl<A: AppExecutor> QueryServer<A> {
                 outstanding: 0,
                 blocked_fallbacks: 0,
                 shutdown: false,
+                paused: cfg.start_paused,
             }),
             store: RwLock::new(SpatialDataStore::with_policy(
                 cfg.ds_budget,
@@ -152,16 +166,19 @@ impl<A: AppExecutor> QueryServer<A> {
             metrics: Mutex::new(Vec::new()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            ps: SharedPageSpace::with_retry(
+            ps: SharedPageSpace::with_retry_obs(
                 cfg.ps_budget,
                 PAGE_SIZE,
                 source,
                 cfg.retry,
                 cfg.retry_seed,
+                Some(Arc::clone(&obs)),
             ),
             idgen: IdGen::new(0),
             failed: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
+            obs,
+            qmet,
             app,
             cfg,
         });
@@ -189,6 +206,8 @@ impl<A: AppExecutor> QueryServer<A> {
             s.submit_time.insert(id, Instant::now());
             s.outstanding += 1;
         }
+        self.core.obs.log.log(id, EventKind::Submitted);
+        self.core.qmet.submitted.inc();
         self.core.work_cv.notify_one();
         QueryHandle { id, rx }
     }
@@ -303,6 +322,48 @@ impl<A: AppExecutor> QueryServer<A> {
         self.core.sched.lock().blocked_fallbacks
     }
 
+    /// Releases a pool started with
+    /// [`ServerConfig::with_start_paused`]: workers begin dequeuing.
+    /// Idempotent; a no-op on a pool that was never paused.
+    pub fn resume_workers(&self) {
+        self.core.sched.lock().paused = false;
+        self.core.work_cv.notify_all();
+    }
+
+    /// Snapshot of the event log so far, in emission order. Empty unless
+    /// the server was built with [`ServerConfig::with_observability`].
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.core.obs.log.snapshot()
+    }
+
+    /// Snapshot of the metrics registry, with the derived cache-efficiency
+    /// gauges (`vmqs_ds_hit_ratio`, `vmqs_ps_merge_ratio`) refreshed from
+    /// the live Data Store / Page Space counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let ds = self.ds_stats();
+        let lookups = ds.exact_hits + ds.partial_hits + ds.misses;
+        let hit_ratio = if lookups == 0 {
+            0.0
+        } else {
+            (ds.exact_hits + ds.partial_hits) as f64 / lookups as f64
+        };
+        self.core
+            .obs
+            .metrics
+            .set_gauge("vmqs_ds_hit_ratio", hit_ratio);
+        let ps = self.core.ps.stats();
+        let merge_ratio = if ps.pages_fetched == 0 {
+            0.0
+        } else {
+            1.0 - ps.runs_issued as f64 / ps.pages_fetched as f64
+        };
+        self.core
+            .obs
+            .metrics
+            .set_gauge("vmqs_ps_merge_ratio", merge_ratio);
+        self.core.obs.metrics.snapshot()
+    }
+
     /// Disables Page Space run merging (ablation knob).
     pub fn set_ps_merging(&self, enabled: bool) {
         self.core.ps.set_merging(enabled);
@@ -326,13 +387,13 @@ impl<A: AppExecutor> QueryServer<A> {
 fn worker_loop<A: AppExecutor>(core: &Core<A>) {
     loop {
         // Dequeue the highest-ranked WAITING query.
-        let (id, spec, submitted) = {
+        let (id, spec, submitted, score) = {
             let mut s = core.sched.lock();
             loop {
                 if s.shutdown {
                     return;
                 }
-                if s.graph.waiting_len() > 0 {
+                if !s.paused && s.graph.waiting_len() > 0 {
                     break;
                 }
                 core.work_cv.wait(&mut s);
@@ -342,6 +403,8 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                 // Lost a race for the last WAITING entry; go back to sleep.
                 None => continue,
             };
+            // The rank the scheduler chose the query by, frozen at dequeue.
+            let score = s.graph.rank_of(id).map_or(0.0, |r| r.value());
             let spec = match s.graph.spec_of(id) {
                 Some(spec) => *spec,
                 None => {
@@ -354,6 +417,8 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                     s.outstanding -= 1;
                     drop(s);
                     core.failed.fetch_add(1, Ordering::Relaxed);
+                    core.qmet.failed.inc();
+                    core.obs.log.log(id, EventKind::Failed);
                     if let Some(tx) = tx {
                         let _ = tx.send(Err(ServerError::Io {
                             kind: std::io::ErrorKind::Other,
@@ -366,12 +431,22 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                 }
             };
             let submitted = s.submit_time.remove(&id).unwrap_or_else(Instant::now);
-            (id, spec, submitted)
+            (id, spec, submitted, score)
         };
+        core.obs.log.log(
+            id,
+            EventKind::Ranked {
+                strategy: core.cfg.strategy.name(),
+                score,
+            },
+        );
         // The deadline covers the whole client-visible response time:
         // it starts at submission, so queue wait counts against it.
         let deadline = core.cfg.query_timeout.map(|t| submitted + t);
         let started = Instant::now();
+        core.qmet
+            .queue_wait
+            .observe((started - submitted).as_secs_f64());
         let exec = execute_query(core, id, spec, deadline);
         let finished = Instant::now();
 
@@ -392,9 +467,9 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                 {
                     let mut s = core.sched.lock();
                     s.graph.mark_cached(id);
-                    for (_, producer) in evicted {
-                        s.blob_of.remove(&producer);
-                        s.graph.swap_out(producer);
+                    for (_, producer) in &evicted {
+                        s.blob_of.remove(producer);
+                        s.graph.swap_out(*producer);
                     }
                     match cached {
                         Ok(blob) => {
@@ -407,6 +482,20 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                         }
                     }
                 }
+                for (_, producer) in evicted {
+                    core.obs.log.log(producer, EventKind::Evicted);
+                    core.qmet.ds_evictions.inc();
+                }
+                match out.path {
+                    AnswerPath::ExactHit => core.qmet.ds_exact_hits.inc(),
+                    AnswerPath::PartialReuse => core.qmet.ds_partial_hits.inc(),
+                    AnswerPath::FullCompute => core.qmet.ds_misses.inc(),
+                }
+                core.qmet.completed.inc();
+                core.qmet
+                    .service_time
+                    .observe((finished - started).as_secs_f64());
+                core.obs.log.log(id, EventKind::Completed);
                 let (w, h) = core.app.output_dims(&spec);
                 let record = QueryRecord {
                     id,
@@ -437,8 +526,12 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                 let err = ServerError::from_io(&e, core.cfg.query_timeout);
                 if err.is_timeout() {
                     core.timed_out.fetch_add(1, Ordering::Relaxed);
+                    core.qmet.timed_out.inc();
+                    core.obs.log.log(id, EventKind::TimedOut);
                 } else {
                     core.failed.fetch_add(1, Ordering::Relaxed);
+                    core.qmet.failed.inc();
+                    core.obs.log.log(id, EventKind::Failed);
                 }
                 let mut s = core.sched.lock();
                 s.graph.mark_cached(id);
@@ -552,10 +645,22 @@ fn execute_query<A: AppExecutor>(
     let mut sources: Vec<(A::Spec, Arc<[u8]>)> = Vec::new();
     {
         let ds = core.store.read();
+        let log_on = core.obs.log.enabled();
         for m in ds.lookup(&spec) {
             if let Some(e) = ds.get(m.blob) {
                 if let Payload::Bytes(bytes) = &e.payload {
-                    if exact.is_none() && e.spec.cmp(&spec) {
+                    let is_exact = exact.is_none() && e.spec.cmp(&spec);
+                    if log_on {
+                        core.obs.log.log(
+                            id,
+                            EventKind::LookupHit {
+                                source: m.producer,
+                                overlap: m.overlap,
+                                exact: is_exact,
+                            },
+                        );
+                    }
+                    if is_exact {
                         exact = Some(Arc::clone(bytes));
                     } else {
                         sources.push((e.spec, Arc::clone(bytes)));
@@ -582,8 +687,16 @@ fn execute_query<A: AppExecutor>(
     // locks held.
     let out = core
         .app
-        .execute(&spec, &sources, &core.ps.session(deadline))?;
+        .execute(&spec, &sources, &core.ps.session_for(id, deadline))?;
     debug_assert_eq!(out.bytes.len(), core.app.output_len(&spec));
+    if out.subqueries > 0 {
+        core.obs.log.log(
+            id,
+            EventKind::SubquerySpawned {
+                count: out.subqueries,
+            },
+        );
+    }
     let path = if out.reused_bytes > 0 {
         AnswerPath::PartialReuse
     } else {

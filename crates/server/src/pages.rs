@@ -20,7 +20,8 @@ use crate::error::{deadline_error, is_deadline};
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use vmqs_core::DatasetId;
+use vmqs_core::{DatasetId, QueryId};
+use vmqs_obs::{EventKind, Obs, PageMetrics};
 use vmqs_pagespace::{PageCacheCore, PageData, PageDisposition, PageKey, PsStats, RetryPolicy};
 use vmqs_storage::{is_transient, DataSource};
 
@@ -32,6 +33,10 @@ pub struct SharedPageSpace {
     page_size: usize,
     retry: RetryPolicy,
     retry_seed: u64,
+    /// Observability sink: `PageRead` events go to `obs.log`, I/O counters
+    /// to the pre-resolved `pmet` handles. Both unset for standalone use.
+    obs: Option<Arc<Obs>>,
+    pmet: Option<PageMetrics>,
 }
 
 impl SharedPageSpace {
@@ -55,6 +60,21 @@ impl SharedPageSpace {
         retry: RetryPolicy,
         retry_seed: u64,
     ) -> Self {
+        SharedPageSpace::with_retry_obs(budget_bytes, page_size, source, retry, retry_seed, None)
+    }
+
+    /// Like [`SharedPageSpace::with_retry`], additionally wiring an
+    /// observability handle that receives `PageRead` events and I/O
+    /// counters.
+    pub fn with_retry_obs(
+        budget_bytes: u64,
+        page_size: usize,
+        source: Arc<dyn DataSource>,
+        retry: RetryPolicy,
+        retry_seed: u64,
+        obs: Option<Arc<Obs>>,
+    ) -> Self {
+        let pmet = obs.as_ref().map(|o| PageMetrics::resolve(&o.metrics));
         SharedPageSpace {
             core: Mutex::new(PageCacheCore::new(budget_bytes, page_size as u64)),
             resident_cv: Condvar::new(),
@@ -62,6 +82,8 @@ impl SharedPageSpace {
             page_size,
             retry,
             retry_seed,
+            obs,
+            pmet,
         }
     }
 
@@ -84,7 +106,21 @@ impl SharedPageSpace {
     /// waits through the session fail with a deadline error once
     /// `deadline` passes; `None` never times out.
     pub fn session(&self, deadline: Option<Instant>) -> PageSpaceSession<'_> {
-        PageSpaceSession { ps: self, deadline }
+        PageSpaceSession {
+            ps: self,
+            deadline,
+            query: None,
+        }
+    }
+
+    /// Like [`SharedPageSpace::session`], attributing the session's reads
+    /// to `query` so `PageRead` events carry the owning query's id.
+    pub fn session_for(&self, query: QueryId, deadline: Option<Instant>) -> PageSpaceSession<'_> {
+        PageSpaceSession {
+            ps: self,
+            deadline,
+            query: Some(query),
+        }
     }
 
     /// Fetches a batch of chunks (pages) of one dataset, blocking until all
@@ -92,23 +128,31 @@ impl SharedPageSpace {
     /// are awaited rather than re-read. Reads happen outside the lock, run
     /// by run. Equivalent to a session with no deadline.
     pub fn fetch_pages(&self, dataset: DatasetId, indices: &[u64]) -> std::io::Result<()> {
-        self.fetch_pages_until(dataset, indices, None)
+        self.fetch_pages_until(dataset, indices, None, None)
     }
 
     /// Reads one page, fetching it if necessary. The common path after
     /// [`SharedPageSpace::fetch_pages`] prefetched a query's chunk set.
     pub fn read_page(&self, dataset: DatasetId, index: u64) -> std::io::Result<Arc<Vec<u8>>> {
-        self.read_page_until(dataset, index, None)
+        self.read_page_until(dataset, index, None, None)
+    }
+
+    /// Emits a `PageRead` event for `query` when the event log is on.
+    fn note_page_read(&self, query: Option<QueryId>, cached: bool, retried: bool) {
+        if let (Some(obs), Some(q)) = (&self.obs, query) {
+            obs.log.log(q, EventKind::PageRead { cached, retried });
+        }
     }
 
     /// One page read against the backing source, retrying transient
-    /// faults under the policy. Fault/retry accounting lands in
+    /// faults under the policy; returns the bytes plus the number of
+    /// retries that were needed. Fault/retry accounting lands in
     /// [`PsStats`]; no locks are held across reads or backoff sleeps.
     fn read_with_retry(
         &self,
         page: PageKey,
         deadline: Option<Instant>,
-    ) -> std::io::Result<Vec<u8>> {
+    ) -> std::io::Result<(Vec<u8>, u32)> {
         let mut attempt: u32 = 0;
         loop {
             if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -119,15 +163,21 @@ impl SharedPageSpace {
                 .source
                 .read_page(page.dataset, page.index, self.page_size)
             {
-                Ok(bytes) => return Ok(bytes),
+                Ok(bytes) => return Ok((bytes, attempt)),
                 Err(e) => {
                     self.core.lock().note_read_fault();
+                    if let Some(pm) = &self.pmet {
+                        pm.read_faults.inc();
+                    }
                     if !is_transient(&e) || is_deadline(&e) || attempt >= self.retry.max_retries {
                         self.core.lock().note_failed_read();
                         return Err(e);
                     }
                     attempt += 1;
                     self.core.lock().note_read_retry();
+                    if let Some(pm) = &self.pmet {
+                        pm.read_retries.inc();
+                    }
                     // Jitter stream decorrelates by page so concurrent
                     // retriers don't thundering-herd the device, while
                     // staying deterministic per (seed, page, attempt).
@@ -169,9 +219,36 @@ impl SharedPageSpace {
         dataset: DatasetId,
         indices: &[u64],
         deadline: Option<Instant>,
+        query: Option<QueryId>,
     ) -> std::io::Result<()> {
         let keys: Vec<PageKey> = indices.iter().map(|&i| PageKey::new(dataset, i)).collect();
         let plan = self.core.lock().plan_read(&keys);
+
+        if let Some(pm) = &self.pmet {
+            pm.page_reads.add(plan.pages.len() as u64);
+            let hits = plan
+                .pages
+                .iter()
+                .filter(|(_, d)| *d != PageDisposition::MustFetch)
+                .count();
+            pm.page_hits.add(hits as u64);
+            pm.runs_issued.add(plan.fetch_runs.len() as u64);
+            let fetched: usize = plan.fetch_runs.iter().map(|r| r.pages().count()).sum();
+            pm.pages_fetched.add(fetched as u64);
+        }
+        if self.obs.as_ref().is_some_and(|o| o.log.enabled()) {
+            // Already-resident and peer-in-flight pages are satisfied from
+            // the cache from this query's perspective; MustFetch pages get
+            // their event after the read so `retried` is known.
+            let cached = plan
+                .pages
+                .iter()
+                .filter(|(_, d)| *d != PageDisposition::MustFetch)
+                .count();
+            for _ in 0..cached {
+                self.note_page_read(query, true, false);
+            }
+        }
 
         // Every MustFetch page is now claimed (in-flight) by this caller;
         // on any failure all still-unfetched claims must be released.
@@ -186,7 +263,8 @@ impl SharedPageSpace {
         for run in &plan.fetch_runs {
             for page in run.pages() {
                 match self.read_with_retry(page, deadline) {
-                    Ok(bytes) => {
+                    Ok((bytes, attempts)) => {
+                        self.note_page_read(query, false, attempts > 0);
                         outstanding.retain(|&p| p != page);
                         let mut core = self.core.lock();
                         core.complete_fetch(page, PageData::Bytes(Arc::new(bytes)));
@@ -218,7 +296,7 @@ impl SharedPageSpace {
                     // The other fetch was aborted (or the page was fetched
                     // and already evicted); take over the fetch ourselves.
                     drop(core);
-                    self.fetch_pages_until(dataset, &[page.index], deadline)?;
+                    self.fetch_pages_until(dataset, &[page.index], deadline, query)?;
                     core = self.core.lock();
                     break;
                 }
@@ -244,13 +322,14 @@ impl SharedPageSpace {
         dataset: DatasetId,
         index: u64,
         deadline: Option<Instant>,
+        query: Option<QueryId>,
     ) -> std::io::Result<Arc<Vec<u8>>> {
         let key = PageKey::new(dataset, index);
         loop {
             if let Some(PageData::Bytes(b)) = self.core.lock().get(key) {
                 return Ok(b);
             }
-            self.fetch_pages_until(dataset, &[index], deadline)?;
+            self.fetch_pages_until(dataset, &[index], deadline, query)?;
             // Under extreme cache pressure the page may already have been
             // evicted again; retry (capacity is at least one page, and this
             // caller immediately re-reads, so progress is guaranteed in
@@ -267,6 +346,7 @@ impl SharedPageSpace {
 pub struct PageSpaceSession<'a> {
     ps: &'a SharedPageSpace,
     deadline: Option<Instant>,
+    query: Option<QueryId>,
 }
 
 impl PageSpaceSession<'_> {
@@ -292,12 +372,14 @@ impl PageSpaceSession<'_> {
 
     /// Batch fetch; see [`SharedPageSpace::fetch_pages`].
     pub fn fetch_pages(&self, dataset: DatasetId, indices: &[u64]) -> std::io::Result<()> {
-        self.ps.fetch_pages_until(dataset, indices, self.deadline)
+        self.ps
+            .fetch_pages_until(dataset, indices, self.deadline, self.query)
     }
 
     /// Single-page read; see [`SharedPageSpace::read_page`].
     pub fn read_page(&self, dataset: DatasetId, index: u64) -> std::io::Result<Arc<Vec<u8>>> {
-        self.ps.read_page_until(dataset, index, self.deadline)
+        self.ps
+            .read_page_until(dataset, index, self.deadline, self.query)
     }
 }
 

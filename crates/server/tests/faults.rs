@@ -61,9 +61,13 @@ fn run_sweep(rate: f64, threads: usize, seed: u64) -> (usize, usize) {
         .with_ds_budget(2 << 20)
         .with_retry(RetryPolicy::default_io())
         .with_retry_seed(seed);
-    let source =
-        FaultInjectingSource::new(SyntheticSource::new(), FaultConfig::transient(rate, seed));
-    let server = QueryServer::new(cfg, Arc::new(source));
+    // Keep a typed handle to the injector so its own draw counters can be
+    // cross-checked against the server's accounting after the run.
+    let source = Arc::new(FaultInjectingSource::new(
+        SyntheticSource::new(),
+        FaultConfig::transient(rate, seed),
+    ));
+    let server = QueryServer::new(cfg, source.clone());
 
     let handles = server.submit_batch(specs.iter().copied());
     let (mut ok, mut failed) = (0, 0);
@@ -109,6 +113,32 @@ fn run_sweep(rate: f64, threads: usize, seed: u64) -> (usize, usize) {
             "rate {rate} must trigger the retry path"
         );
     }
+
+    // The server's fault counters must agree with the injector's own draw
+    // log: every injected error is exactly one observed read fault, no
+    // more, no less.
+    let inj = source.stats();
+    assert_eq!(
+        sum.io_faults,
+        inj.transient + inj.permanent,
+        "rate {rate}: server fault count must match the injector's draws"
+    );
+    assert!(
+        sum.io_retries <= sum.io_faults,
+        "retries can never exceed observed faults"
+    );
+
+    // And the metrics registry must mirror the same counters.
+    let metrics = server.metrics();
+    assert_eq!(
+        metrics.counters["vmqs_ps_read_faults_total"], sum.io_faults,
+        "metrics registry must mirror io_faults"
+    );
+    assert_eq!(
+        metrics.counters["vmqs_ps_read_retries_total"], sum.io_retries,
+        "metrics registry must mirror io_retries"
+    );
+
     // shutdown() panics if any worker thread panicked during the run.
     server.shutdown();
     (ok, failed)

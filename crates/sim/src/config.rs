@@ -115,6 +115,15 @@ pub struct SimConfig {
     pub fault: FaultConfig,
     /// Retry policy bounding the charged retries per page.
     pub retry: RetryPolicy,
+    /// Record typed scheduler events in the observability log (DESIGN.md
+    /// §9), stamped with virtual time. Metrics counters are always on;
+    /// this gates only the event log.
+    pub observe: bool,
+    /// Defer dequeuing while further same-time arrivals are pending, so a
+    /// batch submitted at one instant is fully inserted into the
+    /// scheduling graph before the first dequeue — mirroring the threaded
+    /// engine's paused start. Used by the scheduler-conformance harness.
+    pub gate_batch_start: bool,
 }
 
 impl SimConfig {
@@ -140,6 +149,8 @@ impl SimConfig {
             index_cell: 4096,
             fault: FaultConfig::none(),
             retry: RetryPolicy::default_io(),
+            observe: false,
+            gate_batch_start: false,
         }
     }
 
@@ -222,6 +233,18 @@ impl SimConfig {
         self.retry = r;
         self
     }
+
+    /// Builder-style event-log toggle.
+    pub fn with_observe(mut self, on: bool) -> Self {
+        self.observe = on;
+        self
+    }
+
+    /// Builder-style batch-start-gate toggle.
+    pub fn with_batch_gate(mut self, on: bool) -> Self {
+        self.gate_batch_start = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -252,5 +275,11 @@ mod tests {
         assert_eq!((c.ds_budget, c.ps_budget), (1, 2));
         assert_eq!(c.mode, SubmissionMode::Batch);
         assert!(!c.allow_blocking);
+        let c2 = SimConfig::paper_baseline()
+            .with_observe(true)
+            .with_batch_gate(true);
+        assert!(c2.observe && c2.gate_batch_start);
+        assert!(!SimConfig::paper_baseline().observe);
+        assert!(!SimConfig::paper_baseline().gate_batch_start);
     }
 }

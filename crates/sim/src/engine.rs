@@ -31,7 +31,8 @@ use vmqs_core::{
 };
 use vmqs_datastore::{Payload, SpatialDataStore};
 use vmqs_microscope::PAGE_SIZE;
-use vmqs_pagespace::{PageCacheCore, PageData, PageKey};
+use vmqs_obs::{EventKind, Obs, PageMetrics, QueryMetrics};
+use vmqs_pagespace::{PageCacheCore, PageData, PageDisposition, PageKey};
 
 struct QInfo<S> {
     client: ClientId,
@@ -146,6 +147,12 @@ pub struct Simulator<A: SimApplication> {
     trace: Vec<TraceEvent>,
     io_faults: u64,
     io_retries: u64,
+    /// Event log + metrics registry; events stamped with *virtual* time
+    /// via `log_at`, using the same schema as the threaded engine so the
+    /// conformance harness can compare the two (DESIGN.md §9).
+    obs: Obs,
+    qmet: QueryMetrics,
+    pmet: PageMetrics,
 }
 
 impl Simulator<VmSimApp> {
@@ -192,6 +199,9 @@ impl<A: SimApplication> Simulator<A> {
             }
             streams.insert(cs.client, cs.queries);
         }
+        let obs = Obs::new(cfg.observe);
+        let qmet = QueryMetrics::resolve(&obs.metrics);
+        let pmet = PageMetrics::resolve(&obs.metrics);
         Simulator {
             app,
             graph: SchedulingGraph::new(cfg.strategy),
@@ -216,6 +226,9 @@ impl<A: SimApplication> Simulator<A> {
             trace: Vec::new(),
             io_faults: 0,
             io_retries: 0,
+            obs,
+            qmet,
+            pmet,
             cfg,
         }
     }
@@ -243,21 +256,53 @@ impl<A: SimApplication> Simulator<A> {
     pub fn run(mut self) -> SimReport<A::Spec> {
         while let Some((now, event)) = self.events.pop() {
             match event {
-                Event::Arrival { client, spec, .. } => self.on_arrival(now, client, spec),
+                Event::Arrival { client, spec, .. } => {
+                    // Batch-start gate: while more arrivals are pending at
+                    // this same instant, only insert — the first dequeue
+                    // happens once the whole batch is in the graph, just
+                    // like a paused threaded pool being resumed.
+                    let defer = self.cfg.gate_batch_start
+                        && matches!(
+                            self.events.peek(),
+                            Some((t, Event::Arrival { .. })) if t == now
+                        );
+                    self.on_arrival(now, client, spec, defer)
+                }
                 Event::Resume { id } => self.on_resume(now, id),
                 Event::Completion { id } => self.on_completion(now, id),
             }
         }
+        let ds_stats = self.ds.stats();
+        let lookups = ds_stats.exact_hits + ds_stats.partial_hits + ds_stats.misses;
+        self.obs.metrics.set_gauge(
+            "vmqs_ds_hit_ratio",
+            if lookups == 0 {
+                0.0
+            } else {
+                (ds_stats.exact_hits + ds_stats.partial_hits) as f64 / lookups as f64
+            },
+        );
+        let ps_stats = self.ps.stats();
+        self.obs.metrics.set_gauge(
+            "vmqs_ps_merge_ratio",
+            if ps_stats.pages_fetched == 0 {
+                0.0
+            } else {
+                1.0 - ps_stats.runs_issued as f64 / ps_stats.pages_fetched as f64
+            },
+        );
         SimReport {
             records: self.records,
             makespan: self.makespan,
-            ds_stats: self.ds.stats(),
-            ps_stats: self.ps.stats(),
+            ds_stats,
+            ps_stats,
             graph_stats: self.graph.stats(),
             disk_stats: self.disk.stats(),
             trace: self.trace,
             io_faults: self.io_faults,
             io_retries: self.io_retries,
+            events: self.obs.log.snapshot(),
+            metrics: self.obs.metrics.snapshot(),
         }
     }
 
@@ -268,10 +313,12 @@ impl<A: SimApplication> Simulator<A> {
         }
     }
 
-    fn on_arrival(&mut self, now: f64, client: ClientId, spec: A::Spec) {
+    fn on_arrival(&mut self, now: f64, client: ClientId, spec: A::Spec, defer_start: bool) {
         let id = self.idgen.next_query();
         self.trace(now, id, TraceKind::Arrive);
         self.graph.insert(id, spec);
+        self.obs.log.log_at(now, id, EventKind::Submitted);
+        self.qmet.submitted.inc();
         self.qinfo.insert(
             id,
             QInfo {
@@ -283,7 +330,9 @@ impl<A: SimApplication> Simulator<A> {
                 blocked_total: 0.0,
             },
         );
-        self.try_start(now);
+        if !defer_start {
+            self.try_start(now);
+        }
     }
 
     /// Picks the next query to start under the configured dequeue policy.
@@ -325,8 +374,20 @@ impl<A: SimApplication> Simulator<A> {
             };
             self.busy_slots += 1;
             self.trace(now, id, TraceKind::Start);
+            // The rank the scheduler chose the query by, frozen at dequeue
+            // — same emission point as the threaded engine's worker loop.
+            let score = self.graph.rank_of(id).map_or(0.0, |r| r.value());
+            self.obs.log.log_at(
+                now,
+                id,
+                EventKind::Ranked {
+                    strategy: self.cfg.strategy.name(),
+                    score,
+                },
+            );
             let info = self.qinfo.get_mut(&id).expect("qinfo for dequeued query");
             info.start = now;
+            self.qmet.queue_wait.observe(now - info.arrival);
 
             // Deadlock-free blocking: a query only ever blocks on a query
             // that started executing earlier, so wait-for edges cannot
@@ -359,12 +420,33 @@ impl<A: SimApplication> Simulator<A> {
 
         // Data Store lookup (virtual payloads: metadata only).
         let matches = self.ds.lookup(&spec);
+        if self.obs.log.enabled() {
+            // Same loop shape as the threaded engine's lookup: first
+            // `cmp`-equal match is the exact source, the rest are partial.
+            let mut exact_taken = false;
+            for m in &matches {
+                if let Some(e) = self.ds.get(m.blob) {
+                    let is_exact = !exact_taken && e.spec.cmp(&spec);
+                    exact_taken |= is_exact;
+                    self.obs.log.log_at(
+                        now,
+                        id,
+                        EventKind::LookupHit {
+                            source: m.producer,
+                            overlap: m.overlap,
+                            exact: is_exact,
+                        },
+                    );
+                }
+            }
+        }
         let exact = matches
             .iter()
             .find(|m| self.ds.get(m.blob).is_some_and(|e| e.spec.cmp(&spec)));
         if let Some(m) = exact {
             let reused = m.reuse_bytes;
             let cpu = self.app.planning_seconds();
+            self.qmet.ds_exact_hits.inc();
             self.pending_metrics
                 .insert(id, (1.0, reused, 0.0, cpu, true));
             self.events.push(now + cpu, Event::Completion { id });
@@ -384,6 +466,28 @@ impl<A: SimApplication> Simulator<A> {
         let mut io_ready = now;
         if !plan.pages.is_empty() {
             let read = self.ps.plan_read(&plan.pages);
+            self.pmet.page_reads.add(read.pages.len() as u64);
+            let cached_pages = read
+                .pages
+                .iter()
+                .filter(|(_, d)| *d != PageDisposition::MustFetch)
+                .count();
+            self.pmet.page_hits.add(cached_pages as u64);
+            self.pmet.runs_issued.add(read.fetch_runs.len() as u64);
+            let fetched: usize = read.fetch_runs.iter().map(|r| r.pages().count()).sum();
+            self.pmet.pages_fetched.add(fetched as u64);
+            if self.obs.log.enabled() {
+                for _ in 0..cached_pages {
+                    self.obs.log.log_at(
+                        now,
+                        id,
+                        EventKind::PageRead {
+                            cached: true,
+                            retried: false,
+                        },
+                    );
+                }
+            }
             // Queries concurrently in their I/O phase interleave on the
             // disk; blocked queries hold a thread slot but issue no I/O.
             let streams = self.busy_slots.saturating_sub(self.blocked_count).max(1);
@@ -401,6 +505,7 @@ impl<A: SimApplication> Simulator<A> {
                     // replay has no failure delivery path — see DESIGN.md
                     // §8).
                     let mut ready = end;
+                    let mut retried = false;
                     if !self.cfg.fault.is_noop() {
                         let streak = self.cfg.fault.transient_streak(
                             page.dataset,
@@ -408,8 +513,11 @@ impl<A: SimApplication> Simulator<A> {
                             self.cfg.retry.max_retries,
                         );
                         if streak > 0 {
+                            retried = true;
                             self.io_faults += streak as u64;
                             self.io_retries += streak as u64;
+                            self.pmet.read_faults.add(streak as u64);
+                            self.pmet.read_retries.add(streak as u64);
                             let mut extra =
                                 streak as f64 * self.cfg.disk.service_time(PAGE_SIZE as u64);
                             for a in 1..=streak {
@@ -419,6 +527,14 @@ impl<A: SimApplication> Simulator<A> {
                             io_ready = io_ready.max(ready);
                         }
                     }
+                    self.obs.log.log_at(
+                        now,
+                        id,
+                        EventKind::PageRead {
+                            cached: false,
+                            retried,
+                        },
+                    );
                     for evicted in self.ps.complete_fetch(page, PageData::Virtual) {
                         self.page_ready.remove(&evicted);
                     }
@@ -438,6 +554,11 @@ impl<A: SimApplication> Simulator<A> {
         let cpu = self.app.planning_seconds()
             + self.app.project_seconds(plan.reused_bytes)
             + self.app.compute_seconds(&spec, plan.input_bytes);
+        if plan.reused_bytes > 0 {
+            self.qmet.ds_partial_hits.inc();
+        } else {
+            self.qmet.ds_misses.inc();
+        }
         self.pending_metrics.insert(
             id,
             (
@@ -484,7 +605,12 @@ impl<A: SimApplication> Simulator<A> {
             self.trace(now, producer, TraceKind::SwapOut);
             self.blob_of.remove(&producer);
             self.graph.swap_out(producer);
+            self.obs.log.log_at(now, producer, EventKind::Evicted);
+            self.qmet.ds_evictions.inc();
         }
+        self.qmet.completed.inc();
+        self.qmet.service_time.observe(now - info.start);
+        self.obs.log.log_at(now, id, EventKind::Completed);
 
         let record = SimRecord {
             id,

@@ -98,6 +98,11 @@ impl<S> EventQueue<S> {
         self.heap.pop().map(|s| (s.time, s.event))
     }
 
+    /// Peeks at the earliest pending event without removing it.
+    pub fn peek(&self) -> Option<(f64, &Event<S>)> {
+        self.heap.peek().map(|s| (s.time, &s.event))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

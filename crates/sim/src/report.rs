@@ -76,6 +76,11 @@ pub struct SimReport<S = VmQuery> {
     /// Retries charged for those faults (capped per page at the retry
     /// budget).
     pub io_retries: u64,
+    /// Typed scheduler events stamped with virtual time, in emission
+    /// order (empty unless `SimConfig::observe` was set).
+    pub events: Vec<vmqs_obs::EventRecord>,
+    /// Metrics-registry snapshot taken at the end of the run.
+    pub metrics: vmqs_obs::MetricsSnapshot,
 }
 
 impl<S> SimReport<S> {
@@ -161,6 +166,8 @@ mod tests {
             trace: Vec::new(),
             io_faults: 0,
             io_retries: 0,
+            events: Vec::new(),
+            metrics: vmqs_obs::MetricsSnapshot::default(),
         };
         assert_eq!(report.response_times(), vec![2.0, 5.0]);
         assert!((report.average_overlap() - 0.4).abs() < 1e-12);

@@ -62,7 +62,9 @@ impl AppExecutor for VolExecutor {
 
         // Compute uncovered footprint remainders from raw bricks.
         let mut pages_requested = 0u64;
+        let mut subqueries = 0u64;
         for sub in spec.subqueries_for_remainder(&covered) {
+            subqueries += 1;
             let bricks = sub.volume.bricks_intersecting(&sub.input_box());
             pages_requested += bricks.len() as u64;
             ps.fetch_pages(sub.volume.id, &bricks)?;
@@ -93,6 +95,7 @@ impl AppExecutor for VolExecutor {
                 reused_px as f64 / total_px as f64
             },
             pages_requested,
+            subqueries,
         })
     }
 }

@@ -21,6 +21,7 @@
 //! | [`datastore`] | semantic cache for intermediate results |
 //! | [`pagespace`] | page cache, I/O merging & deduplication |
 //! | [`storage`] | data sources and disk models |
+//! | [`obs`] | event log, metrics registry, lifecycle timelines |
 //! | [`microscope`] | the Virtual Microscope application |
 //! | [`server`] | real multithreaded execution engine |
 //! | [`sim`] | paper-scale discrete-event simulator |
@@ -51,6 +52,7 @@
 pub use vmqs_core as core;
 pub use vmqs_datastore as datastore;
 pub use vmqs_microscope as microscope;
+pub use vmqs_obs as obs;
 pub use vmqs_pagespace as pagespace;
 pub use vmqs_server as server;
 pub use vmqs_sim as sim;
@@ -65,6 +67,7 @@ pub mod prelude {
     };
     pub use vmqs_datastore::{DataStore, Payload};
     pub use vmqs_microscope::{RgbImage, SlideDataset, VmCostModel, VmOp, VmQuery};
+    pub use vmqs_obs::{EventKind, EventRecord, Obs};
     pub use vmqs_server::{QueryServer, ServerConfig};
     pub use vmqs_sim::{run_sim, ClientStream, SimConfig, SubmissionMode};
     pub use vmqs_storage::{DataSource, DiskModel, FileSource, SyntheticSource};

@@ -304,6 +304,74 @@ proptest! {
         let b = run_sim(cfg, streams);
         prop_assert_eq!(a.makespan, b.makespan);
     }
+
+    // Observability event-log invariants (DESIGN.md §9) over randomized
+    // simulated runs: every Submitted query gets exactly one terminal
+    // event and exactly one Ranked, per-query timestamps never go
+    // backwards in sequence order, and every LookupHit overlap lies in
+    // [0, 1].
+    #[test]
+    fn event_log_invariants_on_random_workloads(
+        seed in 0u64..1000,
+        threads in 1usize..6,
+        strat in 0usize..6,
+        batch in prop::bool::ANY,
+    ) {
+        use std::collections::HashMap;
+        use vmqs_obs::EventKind;
+
+        let mut wcfg = WorkloadConfig::small(VmOp::Subsample, seed);
+        wcfg.queries_per_client = 3;
+        let streams = generate(&wcfg);
+        let total: usize = streams.iter().map(|s| s.queries.len()).sum();
+        let mode = if batch { SubmissionMode::Batch } else { SubmissionMode::Interactive };
+        let cfg = SimConfig::paper_baseline()
+            .with_strategy(RankStrategy::paper_set()[strat])
+            .with_threads(threads)
+            .with_mode(mode)
+            .with_observe(true);
+        let report = run_sim(cfg, streams);
+
+        let mut submitted: HashMap<QueryId, u64> = HashMap::new();
+        let mut terminals: HashMap<QueryId, u64> = HashMap::new();
+        let mut ranked: HashMap<QueryId, u64> = HashMap::new();
+        let mut last_time: HashMap<QueryId, f64> = HashMap::new();
+        for e in &report.events {
+            let prev = last_time.insert(e.query, e.time).unwrap_or(0.0);
+            prop_assert!(
+                e.time >= prev,
+                "{} time went backwards: {} -> {}", e.query, prev, e.time
+            );
+            match e.kind {
+                EventKind::Submitted => *submitted.entry(e.query).or_default() += 1,
+                EventKind::Ranked { .. } => *ranked.entry(e.query).or_default() += 1,
+                EventKind::LookupHit { overlap, .. } => {
+                    prop_assert!(
+                        (0.0..=1.0).contains(&overlap),
+                        "{} overlap {} out of range", e.query, overlap
+                    );
+                }
+                k if k.is_terminal() => *terminals.entry(e.query).or_default() += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(submitted.len(), total, "every query must be Submitted");
+        for (q, n) in &submitted {
+            prop_assert_eq!(*n, 1, "{} submitted more than once", q);
+            prop_assert_eq!(
+                terminals.get(q).copied(), Some(1),
+                "{} needs exactly one terminal event", q
+            );
+            prop_assert_eq!(
+                ranked.get(q).copied(), Some(1),
+                "{} must be ranked exactly once", q
+            );
+        }
+        // The timeline reconstruction agrees: one latency per completion.
+        let lat = vmqs_obs::timeline::latencies(&report.events);
+        prop_assert_eq!(lat.len(), report.records.len());
+        prop_assert!(lat.iter().all(|&l| l >= 0.0));
+    }
 }
 
 // ---------------------------------------------------------------------------
