@@ -17,9 +17,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use vmqs_core::Strategy;
+use vmqs_core::{OverloadConfig, Strategy};
 use vmqs_microscope::VmOp;
-use vmqs_server::{QueryServer, ServerConfig};
+use vmqs_server::{QueryServer, ServerConfig, ServerError};
 use vmqs_storage::SyntheticSource;
 use vmqs_workload::{
     flatten_to_batch, generate, run_server_batch, run_server_interactive, WorkloadConfig,
@@ -178,11 +178,103 @@ fn run_once(mode: &'static str, op: VmOp, workers: usize, seed: u64, quick: bool
     }
 }
 
+/// One row of the overload section: the batch workload offered as a
+/// burst at `load_factor` x the admission bound, through the full
+/// degrade/shed ladder (DESIGN.md §10).
+struct OverloadResult {
+    load_factor: usize,
+    workers: usize,
+    offered: usize,
+    admitted: u64,
+    shed: u64,
+    rejected: u64,
+    degraded: u64,
+    shed_rate: f64,
+    degraded_fraction: f64,
+    wall_s: f64,
+    p95_admitted_ms: f64,
+}
+
+/// Offers the whole batch against paused workers so the admission
+/// ladder sees the burst at `load_factor` x `max_pending`, then resumes
+/// and measures the survivors. p95 is over *admitted-and-completed*
+/// queries only — rejected/shed queries get an immediate typed answer,
+/// not a latency.
+fn run_overload_once(load_factor: usize, workers: usize, seed: u64, quick: bool) -> OverloadResult {
+    let streams = generate(&bench_workload(VmOp::Average, seed, quick));
+    let specs: Vec<_> = flatten_to_batch(&streams)
+        .into_iter()
+        .flat_map(|s| s.queries)
+        .collect();
+    let offered = specs.len();
+    let max_pending = offered / load_factor;
+    let ov = OverloadConfig::default()
+        .with_max_pending(max_pending)
+        .with_degrade_threshold(0.5)
+        .with_shed_threshold(0.9);
+    let cfg = ServerConfig::small()
+        .with_strategy(Strategy::Cnbf)
+        .with_threads(workers)
+        .with_ds_budget(16 << 20)
+        .with_ps_budget(8 << 20)
+        .with_observability(true)
+        .with_start_paused(true)
+        .with_overload(ov);
+    let server = QueryServer::new(cfg, Arc::new(SyntheticSource::new()));
+
+    let start = Instant::now();
+    let handles = server.submit_batch(specs);
+    server.resume_workers();
+    let (mut admitted, mut shed, mut rejected) = (0u64, 0u64, 0u64);
+    for h in handles {
+        match h.wait() {
+            Ok(_) => admitted += 1,
+            Err(ServerError::Shed { .. }) => shed += 1,
+            Err(ServerError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("unexpected outcome under overload: {e}"),
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let metrics = server.metrics();
+    let events = server.events();
+    server.shutdown();
+
+    let degraded = metrics
+        .counters
+        .get("vmqs_queries_degraded_total")
+        .copied()
+        .unwrap_or(0);
+    let mut resp_ms: Vec<f64> = vmqs_obs::timeline::latencies(&events)
+        .into_iter()
+        .map(|s| s * 1e3)
+        .collect();
+    assert_eq!(resp_ms.len() as u64, admitted, "one latency per completion");
+    resp_ms.sort_by(|a, b| a.total_cmp(b));
+    OverloadResult {
+        load_factor,
+        workers,
+        offered,
+        admitted,
+        shed,
+        rejected,
+        degraded,
+        shed_rate: shed as f64 / offered as f64,
+        degraded_fraction: degraded as f64 / offered as f64,
+        wall_s: wall,
+        p95_admitted_ms: percentile(&resp_ms, 0.95),
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_json(path: &str, params: &BenchParams, results: &[RunResult]) -> std::io::Result<()> {
+fn write_json(
+    path: &str,
+    params: &BenchParams,
+    results: &[RunResult],
+    overload: &[OverloadResult],
+) -> std::io::Result<()> {
     use std::io::Write;
     let mut f = std::fs::File::create(path)?;
     writeln!(f, "{{")?;
@@ -213,6 +305,30 @@ fn write_json(path: &str, params: &BenchParams, results: &[RunResult]) -> std::i
             r.exact_hits,
             r.partial_hits,
             r.misses,
+            comma
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"overload_results\": [")?;
+    for (i, r) in overload.iter().enumerate() {
+        let comma = if i + 1 < overload.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"load_factor\": {}, \"workers\": {}, \"offered\": {}, \
+             \"admitted\": {}, \"shed\": {}, \"rejected\": {}, \"degraded\": {}, \
+             \"shed_rate\": {:.4}, \"degraded_fraction\": {:.4}, \
+             \"wall_s\": {:.4}, \"p95_admitted_response_ms\": {:.3}}}{}",
+            r.load_factor,
+            r.workers,
+            r.offered,
+            r.admitted,
+            r.shed,
+            r.rejected,
+            r.degraded,
+            r.shed_rate,
+            r.degraded_fraction,
+            r.wall_s,
+            r.p95_admitted_ms,
             comma
         )?;
     }
@@ -248,6 +364,30 @@ fn main() {
             }
         }
     }
-    write_json(&params.out_path, &params, &results).expect("write BENCH_e2e.json");
+    // Overload section: the same batch offered as a burst at 2x and 4x
+    // the admission bound, through the degrade/shed ladder.
+    let mut overload = Vec::new();
+    println!(
+        "{:<12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "overload", "factor", "workers", "shed%", "degr%", "rej", "wall_s", "p95_ms"
+    );
+    for load_factor in [2usize, 4] {
+        for &workers in &params.workers {
+            let r = run_overload_once(load_factor, workers, params.seed, params.quick);
+            println!(
+                "{:<12} {:>8}x {:>8} {:>8.1}% {:>8.1}% {:>9} {:>9.3} {:>10.2}",
+                "burst",
+                r.load_factor,
+                r.workers,
+                r.shed_rate * 100.0,
+                r.degraded_fraction * 100.0,
+                r.rejected,
+                r.wall_s,
+                r.p95_admitted_ms
+            );
+            overload.push(r);
+        }
+    }
+    write_json(&params.out_path, &params, &results, &overload).expect("write BENCH_e2e.json");
     println!("wrote {}", params.out_path);
 }

@@ -3,7 +3,7 @@
 use crate::args::{parse_strategy, Args};
 use std::error::Error;
 use std::sync::Arc;
-use vmqs_core::{DatasetId, Rect, Strategy};
+use vmqs_core::{DatasetId, OverloadConfig, Rect, Strategy};
 use vmqs_microscope::{SlideDataset, VmOp, VmQuery};
 use vmqs_server::{QueryServer, ServerConfig};
 use vmqs_sim::{run_sim, SimConfig, SubmissionMode};
@@ -32,6 +32,37 @@ fn parse_faults(args: &Args) -> Result<FaultConfig, Box<dyn Error>> {
     Ok(FaultConfig::transient(rate, seed))
 }
 
+/// Parses the shared overload-management options (`--max-pending`,
+/// `--client-rate`, `--degrade-threshold`, `--shed-threshold`) into an
+/// [`OverloadConfig`]. All default off.
+fn parse_overload(args: &Args) -> Result<OverloadConfig, Box<dyn Error>> {
+    let max_pending: usize = args.get_or("max-pending", 0)?;
+    let client_rate: f64 = args.get_or("client-rate", 0.0)?;
+    let degrade: f64 = args.get_or("degrade-threshold", f64::INFINITY)?;
+    let shed: f64 = args.get_or("shed-threshold", f64::INFINITY)?;
+    if client_rate < 0.0 {
+        return Err(format!("--client-rate must be non-negative, got {client_rate}").into());
+    }
+    for (name, v) in [("degrade-threshold", degrade), ("shed-threshold", shed)] {
+        if v < 0.0 || v.is_nan() {
+            return Err(format!("--{name} must be a non-negative pressure level, got {v}").into());
+        }
+    }
+    if (degrade <= 1.0 || shed <= 1.0) && max_pending == 0 {
+        return Err(
+            "--degrade-threshold/--shed-threshold need --max-pending (pressure is \
+             measured against the admission bound)"
+                .into(),
+        );
+    }
+    Ok(OverloadConfig {
+        max_pending,
+        client_rate,
+        degrade_threshold: degrade,
+        shed_threshold: shed,
+    })
+}
+
 /// `vmqsctl render` — render a microscope window through the real server.
 pub fn render(args: &Args) -> CliResult {
     let sw: u32 = args.get_or("slide-width", 8192)?;
@@ -44,6 +75,7 @@ pub fn render(args: &Args) -> CliResult {
     let op = parse_vm_op(args.get("op").unwrap_or("subsample"))?;
     let out = args.get("out").unwrap_or("render.ppm");
     let fault = parse_faults(args)?;
+    let overload = parse_overload(args)?;
     // Negative sentinel = no timeout; `--query-timeout-ms 0` is a valid
     // (immediately expiring) deadline.
     let timeout_ms: i64 = args.get_or("query-timeout-ms", -1)?;
@@ -59,7 +91,8 @@ pub fn render(args: &Args) -> CliResult {
     };
     let mut cfg = ServerConfig::small()
         .with_retry_seed(fault.seed)
-        .with_observability(trace_out.is_some());
+        .with_observability(trace_out.is_some())
+        .with_overload(overload);
     if timeout_ms >= 0 {
         cfg = cfg.with_query_timeout(Some(std::time::Duration::from_millis(timeout_ms as u64)));
     }
@@ -93,6 +126,13 @@ pub fn render(args: &Args) -> CliResult {
         println!(
             "io faults: {}, retries: {}, failed reads: {}",
             sum.io_faults, sum.io_retries, sum.failed_reads
+        );
+    }
+    if overload.enabled() {
+        let sum = server.summary();
+        println!(
+            "overload: {} rejected, {} shed, {} degraded",
+            sum.rejected, sum.shed, sum.degraded
         );
     }
     if let Some(path) = trace_out {
@@ -160,6 +200,7 @@ pub fn simulate(args: &Args) -> CliResult {
         SubmissionMode::Interactive
     };
     let fault = parse_faults(args)?;
+    let overload = parse_overload(args)?;
     let trace_out = args.get("trace-out");
     let metrics_out = args.get("metrics-out");
 
@@ -175,7 +216,8 @@ pub fn simulate(args: &Args) -> CliResult {
         .with_ps_budget(ps_mb << 20)
         .with_mode(mode)
         .with_faults(fault)
-        .with_observe(trace_out.is_some());
+        .with_observe(trace_out.is_some())
+        .with_overload(overload);
     let report = run_sim(cfg, streams);
     let row = ExpRow::from_report(&report, strategy, op, threads, ds_mb);
     println!("{}", ExpRow::csv_header());
@@ -198,6 +240,12 @@ pub fn simulate(args: &Args) -> CliResult {
         println!(
             "io faults:        {} injected, {} retries charged",
             report.io_faults, report.io_retries
+        );
+    }
+    if overload.enabled() {
+        println!(
+            "overload:         {} rejected, {} shed, {} degraded",
+            report.rejected, report.shed, report.degraded
         );
     }
     if let Some(path) = trace_out {

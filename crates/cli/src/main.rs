@@ -19,13 +19,20 @@ USAGE:
   vmqsctl render   --x N --y N --w N --h N [--zoom N] [--op subsample|average]
                    [--slide-width N] [--slide-height N] [--out FILE.ppm]
                    [--fault-rate F] [--fault-seed N] [--query-timeout-ms N]
+                   [--max-pending N] [--client-rate QPS]
+                   [--degrade-threshold F] [--shed-threshold F]
                    [--trace-out FILE.json] [--metrics-out FILE.prom]
       Render a Virtual Microscope window through the real threaded server
       (deterministic synthetic slide data). --fault-rate injects seeded
       transient read faults (retried with bounded backoff);
       --query-timeout-ms cancels the query at its deadline. --trace-out
       writes the typed scheduler-event log as JSON; --metrics-out writes
-      the metrics registry in Prometheus text format.
+      the metrics registry in Prometheus text format. --max-pending bounds
+      the admission queue (excess submissions are rejected with a
+      retry-after hint); --client-rate caps each client's sustained
+      queries/second; --degrade-threshold and --shed-threshold set the
+      pressure levels (0..1, against the --max-pending bound) at which
+      queries are downgraded to their cheaper plan or shed.
 
   vmqsctl mip      --x N --y N --w N --h N --z0 N --z1 N [--lod N]
                    [--op mip|avgproj] [--out FILE.pgm]
@@ -34,12 +41,15 @@ USAGE:
   vmqsctl simulate [--strategy FIFO|MUF|FF|CF|CNBF|SJF|HYBRID] [--op subsample|average]
                    [--threads N] [--ds-mb N] [--ps-mb N] [--seed N] [--batch]
                    [--fault-rate F] [--fault-seed N]
+                   [--max-pending N] [--client-rate QPS]
+                   [--degrade-threshold F] [--shed-threshold F]
                    [--trace-out FILE.json] [--metrics-out FILE.prom]
       Run the paper's 16-client x 16-query workload in the discrete-event
       simulator and print the summary row. --fault-rate charges seeded
-      transient faults their retry latency in virtual time. --trace-out /
-      --metrics-out export the same event-log JSON and Prometheus metrics
-      as `render`, stamped with virtual time.
+      transient faults their retry latency in virtual time. The overload
+      knobs run the same admission ladder as `render`, in virtual time.
+      --trace-out / --metrics-out export the same event-log JSON and
+      Prometheus metrics as `render`, stamped with virtual time.
 
   vmqsctl trace    [--strategy NAME] [--op subsample|average] [--threads N]
                    [--ds-mb N] [--seed N] [--batch] [--out FILE.csv]

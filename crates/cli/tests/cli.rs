@@ -224,6 +224,84 @@ fn render_rejects_out_of_range_fault_rate() {
 }
 
 #[test]
+fn simulate_with_overload_sheds_and_reports() {
+    let out = vmqsctl()
+        .args([
+            "simulate",
+            "--threads",
+            "2",
+            "--seed",
+            "7",
+            "--batch",
+            "--max-pending",
+            "16",
+            "--degrade-threshold",
+            "0.5",
+            "--shed-threshold",
+            "0.9",
+            "--op",
+            "average",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("overload:"),
+        "overload summary missing:\n{text}"
+    );
+    // 256 queries against a 16-deep queue must trip the shedder.
+    let line = text.lines().find(|l| l.contains("overload:")).unwrap();
+    assert!(!line.contains(" 0 shed"), "expected shedding: {line}");
+}
+
+#[test]
+fn overload_thresholds_require_max_pending() {
+    let out = vmqsctl()
+        .args(["simulate", "--shed-threshold", "0.9"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-pending"));
+}
+
+#[test]
+fn render_with_rate_limit_of_one_query_succeeds() {
+    // A single render fits any burst; the flag must parse and the summary
+    // line must appear.
+    let path = tmp("rate.ppm");
+    let out = vmqsctl()
+        .args([
+            "render",
+            "--w",
+            "128",
+            "--h",
+            "128",
+            "--client-rate",
+            "1.0",
+            "--out",
+        ])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("overload: 0 rejected, 0 shed, 0 degraded"),
+        "overload summary missing:\n{text}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn simulate_with_faults_charges_retries() {
     let out = vmqsctl()
         .args([

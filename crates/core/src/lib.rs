@@ -26,6 +26,7 @@
 pub mod geom;
 pub mod graph;
 pub mod ids;
+pub mod overload;
 pub mod rank;
 pub mod spatial;
 pub mod spec;
@@ -36,6 +37,9 @@ pub mod strategy;
 pub use geom::Rect;
 pub use graph::{Edge, GraphStats, SchedulingGraph};
 pub use ids::{BlobId, ClientId, DatasetId, IdGen, QueryId};
+pub use overload::{
+    retry_after_estimate, shed_victim, OverloadConfig, PressureSignals, TokenBucket,
+};
 pub use rank::Rank;
 pub use spatial::{GridIndex, SpatialSpec};
 pub use spec::QuerySpec;

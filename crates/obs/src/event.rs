@@ -46,12 +46,26 @@ pub enum EventKind {
     },
     /// The query's cached result was evicted from the Data Store.
     Evicted,
+    /// The query was downgraded to its cheaper plan at admission
+    /// (Virtual Microscope: `Average` → `Subsample`) because pressure
+    /// reached the degrade threshold.
+    Degraded,
     /// Terminal: the query completed successfully.
     Completed,
     /// Terminal: the query failed with an I/O error.
     Failed,
     /// Terminal: the query was cancelled at its deadline.
     TimedOut,
+    /// Terminal: admission refused the query (bounded queue full, or the
+    /// client exceeded its token-bucket rate).
+    Rejected {
+        /// True when the per-client rate limiter rejected it; false when
+        /// the admission queue was full.
+        rate_limited: bool,
+    },
+    /// Terminal: the query was admitted but evicted from the waiting
+    /// queue by the load shedder (largest `qinputsize` first).
+    Shed,
 }
 
 impl EventKind {
@@ -64,17 +78,25 @@ impl EventKind {
             EventKind::SubquerySpawned { .. } => "subquery_spawned",
             EventKind::PageRead { .. } => "page_read",
             EventKind::Evicted => "evicted",
+            EventKind::Degraded => "degraded",
             EventKind::Completed => "completed",
             EventKind::Failed => "failed",
             EventKind::TimedOut => "timed_out",
+            EventKind::Rejected { .. } => "rejected",
+            EventKind::Shed => "shed",
         }
     }
 
-    /// True for the three terminal lifecycle events.
+    /// True for the terminal lifecycle events: a query ends in exactly
+    /// one of Completed, Failed, TimedOut, Rejected, or Shed.
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            EventKind::Completed | EventKind::Failed | EventKind::TimedOut
+            EventKind::Completed
+                | EventKind::Failed
+                | EventKind::TimedOut
+                | EventKind::Rejected { .. }
+                | EventKind::Shed
         )
     }
 }
@@ -219,6 +241,9 @@ pub fn events_to_json(events: &[EventRecord]) -> String {
             EventKind::PageRead { cached, retried } => {
                 let _ = write!(out, ", \"cached\": {cached}, \"retried\": {retried}");
             }
+            EventKind::Rejected { rate_limited } => {
+                let _ = write!(out, ", \"rate_limited\": {rate_limited}");
+            }
             _ => {}
         }
         out.push('}');
@@ -286,8 +311,25 @@ mod tests {
         assert!(EventKind::Completed.is_terminal());
         assert!(EventKind::Failed.is_terminal());
         assert!(EventKind::TimedOut.is_terminal());
+        assert!(EventKind::Rejected { rate_limited: true }.is_terminal());
+        assert!(EventKind::Shed.is_terminal());
         assert!(!EventKind::Submitted.is_terminal());
         assert!(!EventKind::Evicted.is_terminal());
+        assert!(!EventKind::Degraded.is_terminal());
+    }
+
+    #[test]
+    fn overload_events_export_with_payloads() {
+        let log = EventLog::new(true);
+        log.log_at(0.0, QueryId(7), EventKind::Submitted);
+        log.log_at(0.0, QueryId(7), EventKind::Degraded);
+        log.log_at(0.1, QueryId(8), EventKind::Rejected { rate_limited: true });
+        log.log_at(0.2, QueryId(7), EventKind::Shed);
+        let json = events_to_json(&log.snapshot());
+        assert!(json.contains("\"event\": \"degraded\""));
+        assert!(json.contains("\"event\": \"rejected\""));
+        assert!(json.contains("\"rate_limited\": true"));
+        assert!(json.contains("\"event\": \"shed\""));
     }
 
     #[test]

@@ -151,6 +151,15 @@ pub struct QueryMetrics {
     pub failed: Arc<Counter>,
     /// `vmqs_queries_timed_out_total`
     pub timed_out: Arc<Counter>,
+    /// `vmqs_queries_rejected_total` — refused at admission (queue full
+    /// or rate limited).
+    pub rejected: Arc<Counter>,
+    /// `vmqs_queries_shed_total` — admitted but evicted by the load
+    /// shedder.
+    pub shed: Arc<Counter>,
+    /// `vmqs_queries_degraded_total` — downgraded to the cheaper plan at
+    /// admission.
+    pub degraded: Arc<Counter>,
     /// `vmqs_ds_exact_hits_total`
     pub ds_exact_hits: Arc<Counter>,
     /// `vmqs_ds_partial_hits_total`
@@ -173,6 +182,9 @@ impl QueryMetrics {
             completed: reg.counter("vmqs_queries_completed_total"),
             failed: reg.counter("vmqs_queries_failed_total"),
             timed_out: reg.counter("vmqs_queries_timed_out_total"),
+            rejected: reg.counter("vmqs_queries_rejected_total"),
+            shed: reg.counter("vmqs_queries_shed_total"),
+            degraded: reg.counter("vmqs_queries_degraded_total"),
             ds_exact_hits: reg.counter("vmqs_ds_exact_hits_total"),
             ds_partial_hits: reg.counter("vmqs_ds_partial_hits_total"),
             ds_misses: reg.counter("vmqs_ds_misses_total"),

@@ -14,6 +14,10 @@ pub enum Terminal {
     Failed,
     /// Cancelled at its deadline.
     TimedOut,
+    /// Refused at admission (queue full or rate limited).
+    Rejected,
+    /// Admitted but evicted by the load shedder.
+    Shed,
 }
 
 /// One query's reconstructed lifecycle.
@@ -31,6 +35,8 @@ pub struct QueryTimeline {
     pub lookup_hits: u64,
     /// Pages obtained for this query.
     pub pages_read: u64,
+    /// True when admission downgraded the query to its cheaper plan.
+    pub degraded: bool,
 }
 
 impl QueryTimeline {
@@ -55,15 +61,19 @@ pub fn timelines(events: &[EventRecord]) -> Vec<QueryTimeline> {
             terminal: None,
             lookup_hits: 0,
             pages_read: 0,
+            degraded: false,
         });
         match e.kind {
             EventKind::Submitted => t.submitted = Some(e.time),
             EventKind::Ranked { score, .. } => t.ranked = Some((e.time, score)),
             EventKind::LookupHit { .. } => t.lookup_hits += 1,
             EventKind::PageRead { .. } => t.pages_read += 1,
+            EventKind::Degraded => t.degraded = true,
             EventKind::Completed => t.terminal = Some((Terminal::Completed, e.time)),
             EventKind::Failed => t.terminal = Some((Terminal::Failed, e.time)),
             EventKind::TimedOut => t.terminal = Some((Terminal::TimedOut, e.time)),
+            EventKind::Rejected { .. } => t.terminal = Some((Terminal::Rejected, e.time)),
+            EventKind::Shed => t.terminal = Some((Terminal::Shed, e.time)),
             EventKind::SubquerySpawned { .. } | EventKind::Evicted => {}
         }
     }
@@ -88,6 +98,23 @@ pub fn ranked_sequence(events: &[EventRecord]) -> Vec<(QueryId, f64)> {
         .iter()
         .filter_map(|e| match e.kind {
             EventKind::Ranked { score, .. } => Some((e.query, score)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The overload policy's decision trace in emission order: one entry per
+/// `Degraded`, `Rejected`, or `Shed` event, labeled with the stable event
+/// label (`"degraded"` / `"rejected"` / `"shed"`). The conformance
+/// harness pins this sequence across engines — identical admission,
+/// degradation, and shed decisions at 1 worker.
+pub fn admission_sequence(events: &[EventRecord]) -> Vec<(QueryId, &'static str)> {
+    events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Degraded | EventKind::Rejected { .. } | EventKind::Shed => {
+                Some((e.query, e.kind.label()))
+            }
             _ => None,
         })
         .collect()
@@ -178,5 +205,36 @@ mod tests {
             vec![(QueryId(0), 5.0), (QueryId(1), 4.0)]
         );
         assert_eq!(reuse_edges(&ev), vec![(QueryId(1), QueryId(0), false)]);
+    }
+
+    #[test]
+    fn admission_sequence_and_overload_terminals() {
+        let log = EventLog::new(true);
+        log.log_at(0.0, QueryId(0), EventKind::Submitted);
+        log.log_at(0.0, QueryId(0), EventKind::Degraded);
+        log.log_at(0.1, QueryId(1), EventKind::Submitted);
+        log.log_at(
+            0.1,
+            QueryId(1),
+            EventKind::Rejected {
+                rate_limited: false,
+            },
+        );
+        log.log_at(0.2, QueryId(0), EventKind::Shed);
+        let ev = log.snapshot();
+        assert_eq!(
+            admission_sequence(&ev),
+            vec![
+                (QueryId(0), "degraded"),
+                (QueryId(1), "rejected"),
+                (QueryId(0), "shed"),
+            ]
+        );
+        let ts = timelines(&ev);
+        assert!(ts[0].degraded);
+        assert_eq!(ts[0].terminal.map(|(k, _)| k), Some(Terminal::Shed));
+        assert_eq!(ts[1].terminal.map(|(k, _)| k), Some(Terminal::Rejected));
+        // Rejected/shed queries never complete: no latency contribution.
+        assert!(latencies(&ev).is_empty());
     }
 }

@@ -61,6 +61,14 @@ pub trait AppExecutor: Send + Sync + 'static {
         sources: &[(Self::Spec, Arc<[u8]>)],
         ps: &PageSpaceSession<'_>,
     ) -> std::io::Result<AppOutcome>;
+
+    /// The cheaper plan for `spec`, if the application has one — the
+    /// quality knob the overload policy turns under pressure (DESIGN.md
+    /// §10). `None` (the default) means the query either has no cheaper
+    /// form or is already at its cheapest.
+    fn degrade(&self, _spec: &Self::Spec) -> Option<Self::Spec> {
+        None
+    }
 }
 
 /// The Virtual Microscope's executor: 2-D greedy projection plus
@@ -77,6 +85,19 @@ impl AppExecutor for VmExecutor {
 
     fn output_len(&self, spec: &VmQuery) -> usize {
         spec.qoutsize() as usize
+    }
+
+    /// `Average` degrades to `Subsample` over the same region — the
+    /// paper's explicit quality/cost pair (Subsample reads one pixel per
+    /// output pixel; Average reads the full zoom² window).
+    fn degrade(&self, spec: &VmQuery) -> Option<VmQuery> {
+        match spec.op {
+            vmqs_microscope::VmOp::Average => Some(VmQuery {
+                op: vmqs_microscope::VmOp::Subsample,
+                ..*spec
+            }),
+            vmqs_microscope::VmOp::Subsample => None,
+        }
     }
 
     fn execute(
@@ -213,5 +234,22 @@ mod tests {
         assert_eq!(out.bytes, reference_render(&target).data);
         assert!(out.covered_fraction > 0.2);
         assert!(out.reused_bytes > 0);
+    }
+
+    #[test]
+    fn degrade_swaps_average_for_subsample_once() {
+        let avg = VmQuery::new(slide(), Rect::new(10, 10, 256, 256), 4, VmOp::Average);
+        let d = VmExecutor
+            .degrade(&avg)
+            .expect("average has a cheaper plan");
+        assert_eq!(d.op, VmOp::Subsample);
+        assert_eq!(
+            (d.slide, d.region, d.zoom),
+            (avg.slide, avg.region, avg.zoom)
+        );
+        assert!(
+            VmExecutor.degrade(&d).is_none(),
+            "subsample is already the cheapest plan"
+        );
     }
 }

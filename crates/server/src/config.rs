@@ -1,7 +1,7 @@
 //! Server configuration.
 
 use std::time::Duration;
-use vmqs_core::Strategy;
+use vmqs_core::{OverloadConfig, Strategy};
 use vmqs_datastore::EvictionPolicy;
 use vmqs_pagespace::RetryPolicy;
 
@@ -48,6 +48,9 @@ pub struct ServerConfig {
     /// setup the scheduler-conformance harness replays against the
     /// simulator.
     pub start_paused: bool,
+    /// Overload management: bounded admission, per-client rate limiting,
+    /// degradation, and shedding (DESIGN.md §10). Disabled by default.
+    pub overload: OverloadConfig,
 }
 
 impl ServerConfig {
@@ -67,6 +70,7 @@ impl ServerConfig {
             query_timeout: None,
             observe: false,
             start_paused: false,
+            overload: OverloadConfig::default(),
         }
     }
 
@@ -143,6 +147,39 @@ impl ServerConfig {
         self.start_paused = paused;
         self
     }
+
+    /// Builder-style overload-config override.
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// Builder-style admission bound (`0` = unbounded).
+    pub fn with_max_pending(mut self, n: usize) -> Self {
+        self.overload.max_pending = n;
+        self
+    }
+
+    /// Builder-style per-client rate limit in queries/second (`0.0` = off).
+    pub fn with_client_rate(mut self, qps: f64) -> Self {
+        assert!(qps >= 0.0, "client rate must be non-negative");
+        self.overload.client_rate = qps;
+        self
+    }
+
+    /// Builder-style degrade threshold (pressure in `[0, 1]`; `> 1`
+    /// disables).
+    pub fn with_degrade_threshold(mut self, t: f64) -> Self {
+        self.overload.degrade_threshold = t;
+        self
+    }
+
+    /// Builder-style shed threshold (pressure in `[0, 1]`; `> 1`
+    /// disables).
+    pub fn with_shed_threshold(mut self, t: f64) -> Self {
+        self.overload.shed_threshold = t;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +220,22 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_threads_rejected() {
         ServerConfig::small().with_threads(0);
+    }
+
+    #[test]
+    fn overload_builders_compose_and_default_off() {
+        assert!(!ServerConfig::small().overload.enabled());
+        let c = ServerConfig::small()
+            .with_max_pending(16)
+            .with_client_rate(2.5)
+            .with_degrade_threshold(0.5)
+            .with_shed_threshold(0.9);
+        assert!(c.overload.enabled());
+        assert_eq!(c.overload.max_pending, 16);
+        assert_eq!(c.overload.client_rate, 2.5);
+        assert_eq!(c.overload.degrade_threshold, 0.5);
+        assert_eq!(c.overload.shed_threshold, 0.9);
+        let via_struct = ServerConfig::small().with_overload(c.overload);
+        assert_eq!(via_struct.overload, c.overload);
     }
 }

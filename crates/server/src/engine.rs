@@ -45,17 +45,29 @@ use crate::pages::SharedPageSpace;
 use crate::result::{AnswerPath, QueryRecord, QueryResult, ServerSummary};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use vmqs_core::{BlobId, IdGen, QueryId, QuerySpec, QueryState, SchedulingGraph, SpatialSpec};
+use vmqs_core::{
+    retry_after_estimate, shed_victim, BlobId, ClientId, IdGen, PressureSignals, QueryId,
+    QuerySpec, QueryState, SchedulingGraph, SpatialSpec, TokenBucket,
+};
 use vmqs_datastore::{DsStats, Payload, SpatialDataStore};
 use vmqs_microscope::PAGE_SIZE;
 use vmqs_obs::{EventKind, EventRecord, MetricsSnapshot, Obs, QueryMetrics};
 use vmqs_pagespace::PsStats;
 use vmqs_storage::DataSource;
+
+/// A shed victim staged for delivery outside the scheduler lock: the
+/// query, its (possibly already-taken) response channel, and the
+/// pressure level that triggered the decision.
+type ShedVictim<S> = (
+    QueryId,
+    Option<Sender<Result<QueryResult<S>, ServerError>>>,
+    f64,
+);
 
 /// A client's handle to an in-flight query.
 #[derive(Debug)]
@@ -89,6 +101,12 @@ struct SchedState<S: SpatialSpec> {
     submit_time: HashMap<QueryId, Instant>,
     outstanding: usize,
     blocked_fallbacks: u64,
+    /// Per-client admission token buckets (only populated when
+    /// [`vmqs_core::OverloadConfig::client_rate`] is set).
+    buckets: HashMap<ClientId, TokenBucket>,
+    /// Queries downgraded to their cheaper plan at admission; consumed at
+    /// dequeue to stamp `degraded` on the record.
+    degraded: HashSet<QueryId>,
     shutdown: bool,
     /// When set, workers sleep instead of dequeuing (see
     /// [`ServerConfig::start_paused`] and
@@ -118,6 +136,12 @@ struct Core<A: AppExecutor> {
     failed: AtomicU64,
     /// Queries cancelled at their deadline.
     timed_out: AtomicU64,
+    /// Queries refused at admission (queue full or rate limited).
+    rejected: AtomicU64,
+    /// Queries admitted but evicted by the load shedder.
+    shed: AtomicU64,
+    /// Queries downgraded to their cheaper plan at admission.
+    degraded: AtomicU64,
     /// Event log + metrics registry (DESIGN.md §9). Counters are always
     /// live; the event log records only when `cfg.observe` is set.
     obs: Arc<Obs>,
@@ -155,6 +179,8 @@ impl<A: AppExecutor> QueryServer<A> {
                 submit_time: HashMap::new(),
                 outstanding: 0,
                 blocked_fallbacks: 0,
+                buckets: HashMap::new(),
+                degraded: HashSet::new(),
                 shutdown: false,
                 paused: cfg.start_paused,
             }),
@@ -177,6 +203,9 @@ impl<A: AppExecutor> QueryServer<A> {
             idgen: IdGen::new(0),
             failed: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
             obs,
             qmet,
             app,
@@ -194,20 +223,190 @@ impl<A: AppExecutor> QueryServer<A> {
         QueryServer { core, workers }
     }
 
-    /// Submits a query; returns a handle to wait on.
+    /// Submits a query on behalf of the default client (`ClientId(0)`);
+    /// returns a handle to wait on.
     pub fn submit(&self, spec: A::Spec) -> QueryHandle<A::Spec> {
+        self.submit_from(ClientId(0), spec)
+    }
+
+    /// Submits a query on behalf of `client`; returns a handle to wait
+    /// on. The client id keys the per-client token-bucket rate limiter
+    /// when [`vmqs_core::OverloadConfig::client_rate`] is set.
+    ///
+    /// With overload management enabled the admission ladder runs here,
+    /// at submit time (DESIGN.md §10): rate limit → bounded queue →
+    /// degrade → shed. A refused query still gets a handle — it resolves
+    /// immediately with [`ServerError::Overloaded`] (rejection) or
+    /// [`ServerError::Shed`] (shed later, possibly by another submission)
+    /// — so callers never block on admission and never hang.
+    pub fn submit_from(&self, client: ClientId, spec: A::Spec) -> QueryHandle<A::Spec> {
         let id = self.core.idgen.next_query();
         let (tx, rx) = bounded(1);
-        {
+        let ov = self.core.cfg.overload;
+        if !ov.enabled() {
+            // Fast path: no pressure-signal gathering, identical to the
+            // pre-overload submit.
+            {
+                let mut s = self.core.sched.lock();
+                assert!(!s.shutdown, "submit after shutdown");
+                s.graph.insert(id, spec);
+                s.pending.insert(id, tx);
+                s.submit_time.insert(id, Instant::now());
+                s.outstanding += 1;
+            }
+            self.core.obs.log.log(id, EventKind::Submitted);
+            self.core.qmet.submitted.inc();
+            self.core.work_cv.notify_one();
+            return QueryHandle { id, rx };
+        }
+
+        // Secondary pressure inputs come from the store and page-space
+        // components, gathered *before* the scheduler lock (lock
+        // hierarchy: one component lock at a time).
+        let (ds_occupancy, ps_miss_ratio, retry_ratio) = self.core.pressure_secondary();
+        let now_s = self.core.obs.log.now();
+        let signals = |depth: usize| PressureSignals {
+            queue_depth: depth,
+            max_pending: ov.max_pending,
+            ds_occupancy,
+            ps_miss_ratio,
+            retry_ratio,
+        };
+
+        enum Decision {
+            Admitted {
+                degraded: bool,
+            },
+            Rejected {
+                rate_limited: bool,
+                retry_after: Duration,
+            },
+        }
+        let mut tx_slot = Some(tx);
+        let mut shed_out: Vec<ShedVictim<A::Spec>> = Vec::new();
+        let mut observed_level;
+        let decision = {
             let mut s = self.core.sched.lock();
             assert!(!s.shutdown, "submit after shutdown");
-            s.graph.insert(id, spec);
-            s.pending.insert(id, tx);
-            s.submit_time.insert(id, Instant::now());
-            s.outstanding += 1;
-        }
-        self.core.obs.log.log(id, EventKind::Submitted);
+            let depth = s.graph.waiting_len();
+            observed_level = signals(depth).level();
+            let over_rate = ov.client_rate > 0.0 && {
+                let bucket = s
+                    .buckets
+                    .entry(client)
+                    .or_insert_with(|| TokenBucket::new(ov.client_rate));
+                !bucket.try_take(now_s)
+            };
+            if over_rate {
+                let wait = s.buckets[&client].time_to_token(now_s).max(1e-3);
+                Decision::Rejected {
+                    rate_limited: true,
+                    retry_after: Duration::from_secs_f64(wait),
+                }
+            } else if ov.max_pending > 0 && depth >= ov.max_pending {
+                // Histogram reads are atomic — no lock below `sched` here.
+                let mean_service = self.core.qmet.service_time.snapshot().mean();
+                Decision::Rejected {
+                    rate_limited: false,
+                    retry_after: Duration::from_secs_f64(retry_after_estimate(
+                        depth,
+                        self.core.cfg.num_threads,
+                        mean_service,
+                    )),
+                }
+            } else {
+                let mut level = signals(depth + 1).level();
+                let mut spec = spec;
+                let mut degraded = false;
+                if level >= ov.degrade_threshold {
+                    if let Some(cheaper) = self.core.app.degrade(&spec) {
+                        spec = cheaper;
+                        degraded = true;
+                    }
+                }
+                s.graph.insert(id, spec);
+                s.pending.insert(id, tx_slot.take().expect("tx taken once"));
+                s.submit_time.insert(id, Instant::now());
+                s.outstanding += 1;
+                if degraded {
+                    s.degraded.insert(id);
+                }
+                // Shed the largest-`qinputsize` WAITING queries (newest
+                // first on ties — the IoAware/SJF rationale) until
+                // pressure drops below the threshold. The victim may be
+                // the query just admitted. Each victim takes the same
+                // WAITING → CACHED → SWAPPED_OUT exit as a failed query,
+                // so the graph keeps its invariants and peers see no
+                // residue.
+                while level >= ov.shed_threshold && s.graph.waiting_len() > 0 {
+                    let victim =
+                        shed_victim(s.graph.ids_in_state(QueryState::Waiting).into_iter().map(
+                            |q| {
+                                (
+                                    q,
+                                    s.graph.qinputsize_of(q).unwrap_or(0),
+                                    s.graph.arrival_of(q).unwrap_or(0),
+                                )
+                            },
+                        ));
+                    let Some(vid) = victim else { break };
+                    s.graph.dequeue_specific(vid);
+                    s.graph.mark_cached(vid);
+                    s.graph.swap_out(vid);
+                    s.submit_time.remove(&vid);
+                    s.degraded.remove(&vid);
+                    let vtx = s.pending.remove(&vid);
+                    s.outstanding -= 1;
+                    shed_out.push((vid, vtx, level));
+                    level = signals(s.graph.waiting_len()).level();
+                }
+                observed_level = level;
+                Decision::Admitted { degraded }
+            }
+        };
+
+        // Events, counters, and deliveries — all outside the scheduler
+        // lock, in the canonical order the simulator mirrors:
+        // Submitted, [Degraded | Rejected], then Shed for each victim.
         self.core.qmet.submitted.inc();
+        self.core.obs.log.log(id, EventKind::Submitted);
+        self.core
+            .obs
+            .metrics
+            .set_gauge("vmqs_pressure", observed_level);
+        match decision {
+            Decision::Admitted { degraded } => {
+                if degraded {
+                    self.core.degraded.fetch_add(1, Ordering::Relaxed);
+                    self.core.qmet.degraded.inc();
+                    self.core.obs.log.log(id, EventKind::Degraded);
+                }
+            }
+            Decision::Rejected {
+                rate_limited,
+                retry_after,
+            } => {
+                self.core.rejected.fetch_add(1, Ordering::Relaxed);
+                self.core.qmet.rejected.inc();
+                self.core
+                    .obs
+                    .log
+                    .log(id, EventKind::Rejected { rate_limited });
+                let tx = tx_slot.take().expect("rejected query kept its sender");
+                let _ = tx.send(Err(ServerError::Overloaded { retry_after }));
+            }
+        }
+        for (vid, vtx, level) in shed_out {
+            self.core.shed.fetch_add(1, Ordering::Relaxed);
+            self.core.qmet.shed.inc();
+            self.core.obs.log.log(vid, EventKind::Shed);
+            if let Some(vtx) = vtx {
+                let _ = vtx.send(Err(ServerError::Shed { pressure: level }));
+            }
+            // Shedding retires outstanding queries: wake `drain` and any
+            // dependency blockers.
+            self.core.done_cv.notify_all();
+        }
         self.core.work_cv.notify_one();
         QueryHandle { id, rx }
     }
@@ -294,6 +493,9 @@ impl<A: AppExecutor> QueryServer<A> {
         }
         out.failed = self.core.failed.load(Ordering::Relaxed) as usize;
         out.timed_out = self.core.timed_out.load(Ordering::Relaxed) as usize;
+        out.rejected = self.core.rejected.load(Ordering::Relaxed) as usize;
+        out.shed = self.core.shed.load(Ordering::Relaxed) as usize;
+        out.degraded = self.core.degraded.load(Ordering::Relaxed) as usize;
         let ps = self.core.ps.stats();
         out.io_faults = ps.read_faults;
         out.io_retries = ps.read_retries;
@@ -384,10 +586,42 @@ impl<A: AppExecutor> QueryServer<A> {
     }
 }
 
+impl<A: AppExecutor> Core<A> {
+    /// The pressure monitor's secondary inputs: Data Store occupancy and
+    /// Page Space miss/retry ratios, each in `[0, 1]`. Takes the store
+    /// read lock only — callers must gather these *before* taking the
+    /// scheduler lock (one component lock at a time).
+    fn pressure_secondary(&self) -> (f64, f64, f64) {
+        let (used, budget) = {
+            let ds = self.store.read();
+            (ds.used(), ds.budget())
+        };
+        let ds_occupancy = if budget == 0 {
+            0.0
+        } else {
+            used as f64 / budget as f64
+        };
+        let ps = self.ps.stats();
+        let lookups = ps.hits + ps.misses;
+        let ps_miss_ratio = if lookups == 0 {
+            0.0
+        } else {
+            ps.misses as f64 / lookups as f64
+        };
+        let reads = ps.pages_fetched + ps.read_retries;
+        let retry_ratio = if reads == 0 {
+            0.0
+        } else {
+            ps.read_retries as f64 / reads as f64
+        };
+        (ds_occupancy, ps_miss_ratio, retry_ratio)
+    }
+}
+
 fn worker_loop<A: AppExecutor>(core: &Core<A>) {
     loop {
         // Dequeue the highest-ranked WAITING query.
-        let (id, spec, submitted, score) = {
+        let (id, spec, submitted, score, was_degraded) = {
             let mut s = core.sched.lock();
             loop {
                 if s.shutdown {
@@ -413,6 +647,7 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                     s.graph.mark_cached(id);
                     s.graph.swap_out(id);
                     s.submit_time.remove(&id);
+                    s.degraded.remove(&id);
                     let tx = s.pending.remove(&id);
                     s.outstanding -= 1;
                     drop(s);
@@ -431,7 +666,8 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                 }
             };
             let submitted = s.submit_time.remove(&id).unwrap_or_else(Instant::now);
-            (id, spec, submitted, score)
+            let was_degraded = s.degraded.remove(&id);
+            (id, spec, submitted, score, was_degraded)
         };
         core.obs.log.log(
             id,
@@ -507,6 +743,7 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                     reused_bytes: out.reused_bytes,
                     covered_fraction: out.covered_fraction,
                     pages_requested: out.pages_requested,
+                    degraded: was_degraded,
                 };
                 core.metrics.lock().push(record);
                 Ok(QueryResult {
@@ -901,6 +1138,223 @@ mod tests {
             let res = h.wait().unwrap();
             assert_eq!(*res.image, reference_render(&spec).data);
         }
+        s.shutdown();
+    }
+
+    #[test]
+    fn bounded_admission_rejects_when_queue_full() {
+        // Paused workers: the queue only grows, so admission decisions
+        // are deterministic.
+        let s = server(
+            ServerConfig::small()
+                .with_threads(1)
+                .with_start_paused(true)
+                .with_observability(true)
+                .with_max_pending(2),
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|i| s.submit(q(i * 50, 0, 64, 64, 2, VmOp::Subsample)))
+            .collect();
+        // The rejected handles resolve immediately, before any worker runs.
+        for h in &handles[2..] {
+            match h.try_wait() {
+                Some(Err(ServerError::Overloaded { retry_after })) => {
+                    assert!(retry_after > Duration::ZERO);
+                }
+                other => panic!("expected immediate Overloaded, got {other:?}"),
+            }
+        }
+        s.resume_workers();
+        s.drain();
+        let mut ok = 0;
+        for h in handles.into_iter().take(2) {
+            assert!(h.wait().is_ok());
+            ok += 1;
+        }
+        let sum = s.summary();
+        assert_eq!((ok, sum.completed, sum.rejected), (2, 2, 2));
+        let rejected_events = s
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Rejected {
+                        rate_limited: false
+                    }
+                )
+            })
+            .count();
+        assert_eq!(rejected_events, 2);
+        s.check_invariants();
+        s.shutdown();
+    }
+
+    #[test]
+    fn shedding_evicts_largest_waiting_and_keeps_invariants() {
+        // max_pending 4, shed at 0.75: the third admission pushes the
+        // queue fraction to 0.75 and the shedder evicts the largest
+        // waiting query (the 300x300 one) until pressure drops.
+        let s = server(
+            ServerConfig::small()
+                .with_threads(1)
+                .with_start_paused(true)
+                .with_observability(true)
+                .with_max_pending(4)
+                .with_shed_threshold(0.75),
+        );
+        let small_a = s.submit(q(0, 0, 64, 64, 1, VmOp::Subsample));
+        let big = s.submit(q(0, 0, 300, 300, 1, VmOp::Subsample));
+        let small_b = s.submit(q(100, 0, 64, 64, 1, VmOp::Subsample));
+        s.check_invariants();
+        match big.try_wait() {
+            Some(Err(ServerError::Shed { pressure })) => {
+                assert!((0.0..=1.0).contains(&pressure));
+            }
+            other => panic!("largest waiting query should be shed, got {other:?}"),
+        }
+        s.resume_workers();
+        s.drain();
+        assert!(small_a.wait().is_ok());
+        assert!(small_b.wait().is_ok());
+        let sum = s.summary();
+        assert_eq!((sum.completed, sum.shed, sum.rejected), (2, 1, 0));
+        assert_eq!(
+            s.events()
+                .iter()
+                .filter(|e| e.kind == EventKind::Shed)
+                .count(),
+            1
+        );
+        s.check_invariants();
+        s.shutdown();
+    }
+
+    #[test]
+    fn degradation_downgrades_average_under_pressure() {
+        // Degrade from the second admission on (2/8 = 0.25); verify the
+        // degraded queries ran as Subsample and produced Subsample bytes.
+        let s = server(
+            ServerConfig::small()
+                .with_threads(1)
+                .with_start_paused(true)
+                .with_observability(true)
+                .with_max_pending(8)
+                .with_degrade_threshold(0.25),
+        );
+        let handles: Vec<_> = (0..3)
+            .map(|i| s.submit(q(i * 80, 0, 128, 128, 2, VmOp::Average)))
+            .collect();
+        s.resume_workers();
+        s.drain();
+        let results: Vec<_> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        assert!(
+            !results[0].record.degraded,
+            "first admission is unpressured"
+        );
+        assert_eq!(results[0].record.spec.op, VmOp::Average);
+        for r in &results[1..] {
+            assert!(r.record.degraded);
+            assert_eq!(r.record.spec.op, VmOp::Subsample);
+            assert_eq!(*r.image, reference_render(&r.record.spec).data);
+        }
+        let sum = s.summary();
+        assert_eq!((sum.completed, sum.degraded), (3, 2));
+        assert_eq!(
+            s.events()
+                .iter()
+                .filter(|e| e.kind == EventKind::Degraded)
+                .count(),
+            2
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn rate_limiter_is_per_client() {
+        // Burst of 1 at 0.1 q/s: the first query per client is admitted,
+        // immediate follow-ups are rejected as rate-limited; a different
+        // client has its own bucket.
+        let s = server(
+            ServerConfig::small()
+                .with_threads(1)
+                .with_start_paused(true)
+                .with_observability(true)
+                .with_client_rate(0.1),
+        );
+        let a1 = s.submit_from(ClientId(7), q(0, 0, 64, 64, 2, VmOp::Subsample));
+        let a2 = s.submit_from(ClientId(7), q(64, 0, 64, 64, 2, VmOp::Subsample));
+        let b1 = s.submit_from(ClientId(8), q(0, 64, 64, 64, 2, VmOp::Subsample));
+        assert!(matches!(
+            a2.try_wait(),
+            Some(Err(ServerError::Overloaded { .. }))
+        ));
+        s.resume_workers();
+        s.drain();
+        assert!(a1.wait().is_ok());
+        assert!(b1.wait().is_ok());
+        let sum = s.summary();
+        assert_eq!((sum.completed, sum.rejected), (2, 1));
+        assert_eq!(
+            s.events()
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Rejected { rate_limited: true }))
+                .count(),
+            1
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_nonempty_admission_queue_resolves_every_handle() {
+        // stop() with queries still waiting (workers paused, never
+        // resumed) must reject or drain every pending query — no wedged
+        // QueryHandle. Mixes admitted and rejected queries.
+        let s = server(
+            ServerConfig::small()
+                .with_threads(2)
+                .with_start_paused(true)
+                .with_max_pending(4),
+        );
+        let handles: Vec<_> = (0..6)
+            .map(|i| s.submit(q((i % 3) * 100, 0, 80, 80, 2, VmOp::Subsample)))
+            .collect();
+        s.shutdown();
+        let mut shut = 0;
+        let mut overloaded = 0;
+        for h in handles {
+            match h.wait() {
+                Err(ServerError::Shutdown) => shut += 1,
+                Err(ServerError::Overloaded { .. }) => overloaded += 1,
+                other => panic!("expected Shutdown or Overloaded, got {other:?}"),
+            }
+        }
+        assert_eq!((shut, overloaded), (4, 2));
+    }
+
+    #[test]
+    fn deadline_is_anchored_at_submit_so_queue_wait_counts() {
+        // Documented semantics (crates/server/src/pages.rs): the deadline
+        // budget starts at submission, so a query that spends it all in
+        // the admission queue is cancelled without doing any I/O.
+        let s = server(
+            ServerConfig::small()
+                .with_threads(1)
+                .with_start_paused(true)
+                .with_query_timeout(Some(Duration::from_millis(40))),
+        );
+        let h = s.submit(q(0, 0, 256, 256, 1, VmOp::Average));
+        std::thread::sleep(Duration::from_millis(80));
+        s.resume_workers();
+        match h.wait() {
+            Err(ServerError::Timeout { limit }) => {
+                assert_eq!(limit, Duration::from_millis(40));
+            }
+            other => panic!("queue wait must consume the deadline, got {other:?}"),
+        }
+        let sum = s.summary();
+        assert_eq!((sum.timed_out, sum.completed), (1, 0));
+        s.check_invariants();
         s.shutdown();
     }
 }

@@ -9,6 +9,11 @@
 //! * [`ServerError::Timeout`] — the query exceeded its configured
 //!   deadline (submission → completion) and was cancelled cooperatively.
 //! * [`ServerError::Shutdown`] — the server stopped before the query ran.
+//! * [`ServerError::Overloaded`] — admission control refused the query
+//!   (bounded queue full, or the client exceeded its token-bucket rate);
+//!   `retry_after` hints when re-submitting is likely to succeed.
+//! * [`ServerError::Shed`] — the query was admitted but evicted from the
+//!   waiting queue by the load shedder (DESIGN.md §10).
 //!
 //! A failed query always resolves its [`crate::QueryHandle`] with `Err`,
 //! decrements the outstanding count, and leaves no residue in the
@@ -18,7 +23,7 @@ use std::io;
 use std::time::Duration;
 
 /// Why a query failed. Delivered through [`crate::QueryHandle::wait`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ServerError {
     /// Page I/O failed after exhausting the retry policy (or immediately,
     /// for non-retryable faults).
@@ -38,6 +43,20 @@ pub enum ServerError {
     },
     /// The server shut down before the query completed.
     Shutdown,
+    /// Admission control refused the query: the bounded admission queue
+    /// was full, or the per-client token bucket was empty.
+    Overloaded {
+        /// A coarse estimate of when re-submitting is likely to be
+        /// admitted (queue-drain time, or the token-bucket refill time).
+        retry_after: Duration,
+    },
+    /// The query was admitted but shed from the waiting queue when
+    /// pressure crossed the shed threshold; `pressure` is the level (in
+    /// `[0, 1]`) that triggered the decision.
+    Shed {
+        /// Pressure level at the moment of shedding.
+        pressure: f64,
+    },
 }
 
 impl ServerError {
@@ -47,13 +66,24 @@ impl ServerError {
     }
 
     /// True when re-submitting the query might succeed (transient I/O,
-    /// timeout); false for permanent faults and shutdown.
+    /// timeout, overload); false for permanent faults and shutdown.
     pub fn is_retryable(&self) -> bool {
         match self {
             ServerError::Io { transient, .. } => *transient,
             ServerError::Timeout { .. } => true,
             ServerError::Shutdown => false,
+            ServerError::Overloaded { .. } => true,
+            ServerError::Shed { .. } => true,
         }
+    }
+
+    /// True for overload-control outcomes: rejected at admission or shed
+    /// from the waiting queue.
+    pub fn is_overload(&self) -> bool {
+        matches!(
+            self,
+            ServerError::Overloaded { .. } | ServerError::Shed { .. }
+        )
     }
 
     /// Classifies an [`io::Error`] bubbled up from the page-space layer:
@@ -89,6 +119,15 @@ impl std::fmt::Display for ServerError {
                 write!(f, "query timed out after its {limit:?} deadline")
             }
             ServerError::Shutdown => write!(f, "query failed: server shut down"),
+            ServerError::Overloaded { retry_after } => {
+                write!(
+                    f,
+                    "query rejected: server overloaded (retry after {retry_after:?})"
+                )
+            }
+            ServerError::Shed { pressure } => {
+                write!(f, "query shed under overload (pressure {pressure:.2})")
+            }
         }
     }
 }
@@ -186,5 +225,26 @@ mod tests {
         }
         .to_string()
         .contains("timed out"));
+    }
+
+    #[test]
+    fn overload_variants_classify_and_display() {
+        let r = ServerError::Overloaded {
+            retry_after: Duration::from_millis(50),
+        };
+        assert!(r.is_overload() && r.is_retryable() && !r.is_timeout());
+        assert!(r.to_string().contains("overloaded"));
+        assert!(r.to_string().contains("retry after"));
+
+        let s = ServerError::Shed { pressure: 0.95 };
+        assert!(s.is_overload() && s.is_retryable());
+        assert!(s.to_string().contains("shed"));
+        assert!(s.to_string().contains("0.95"));
+
+        assert!(!ServerError::Shutdown.is_overload());
+        assert!(!ServerError::Timeout {
+            limit: Duration::ZERO
+        }
+        .is_overload());
     }
 }

@@ -27,3 +27,7 @@ pub use engine::{QueryHandle, QueryServer};
 pub use error::ServerError;
 pub use pages::{PageSpaceSession, SharedPageSpace};
 pub use result::{AnswerPath, QueryRecord, QueryResult, ServerSummary};
+// The overload knobs live in vmqs-core (shared with the simulator);
+// re-exported here so server users configure admission without a direct
+// core dependency.
+pub use vmqs_core::OverloadConfig;

@@ -15,6 +15,22 @@
 //! failure the front-end releases **all** in-flight claims this caller
 //! still holds — a failed fetch never strands peers waiting on pages the
 //! failed query had claimed.
+//!
+//! ## Deadline semantics: queue wait consumes the budget
+//!
+//! A query's deadline is anchored at **submission**, not at dequeue
+//! ([`crate::ServerConfig::query_timeout`]), so time spent in the
+//! admission queue deliberately consumes the I/O budget a
+//! [`PageSpaceSession`] enforces. This is the client-facing reading of a
+//! timeout — "answer me within T" — and it is what makes the deadline an
+//! overload backstop: under a long queue, stale queries cancel at dequeue
+//! (before any page I/O) instead of occupying a worker to produce an
+//! answer nobody is waiting for. The engine re-checks the deadline first
+//! thing after dequeue, so a fully queue-spent budget costs zero reads.
+//! Callers who want a pure execution budget should bound admission
+//! instead (`max_pending`, DESIGN.md §10), which keeps queue waits — and
+//! therefore the consumed budget — short. Covered by the engine test
+//! `deadline_is_anchored_at_submit_so_queue_wait_counts`.
 
 use crate::error::{deadline_error, is_deadline};
 use parking_lot::{Condvar, Mutex};

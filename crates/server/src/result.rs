@@ -59,6 +59,10 @@ pub struct QueryRecord<S = VmQuery> {
     pub covered_fraction: f64,
     /// Pages this query asked the Page Space Manager for.
     pub pages_requested: u64,
+    /// True when admission downgraded the query to its cheaper plan
+    /// (Virtual Microscope: `Average` → `Subsample`) under pressure;
+    /// `spec` is the degraded predicate that actually ran.
+    pub degraded: bool,
 }
 
 impl<S> QueryRecord<S> {
@@ -101,6 +105,12 @@ pub struct ServerSummary {
     /// Page reads that failed for good (retries exhausted, permanent
     /// fault, or deadline hit mid-read).
     pub failed_reads: u64,
+    /// Queries refused at admission (queue full or rate limited).
+    pub rejected: usize,
+    /// Queries admitted but evicted by the load shedder.
+    pub shed: usize,
+    /// Completed queries that ran at degraded quality.
+    pub degraded: usize,
 }
 
 #[cfg(test)]
@@ -127,6 +137,7 @@ mod tests {
             reused_bytes: 0,
             covered_fraction: 0.0,
             pages_requested: 1,
+            degraded: false,
         };
         assert_eq!(r.response_time(), Duration::from_millis(100));
     }

@@ -49,4 +49,13 @@ pub trait SimApplication: Send + Sync + 'static {
     fn planning_seconds(&self) -> f64 {
         1e-4
     }
+
+    /// A strictly cheaper variant of `spec` that still answers the
+    /// query window, or `None` when no cheaper plan exists. Used by the
+    /// overload manager's graceful-degradation step; must match the
+    /// threaded engine's `AppExecutor::degrade` for the same application
+    /// so both engines make identical decisions.
+    fn degrade(&self, _spec: &Self::Spec) -> Option<Self::Spec> {
+        None
+    }
 }

@@ -1,6 +1,6 @@
 //! Simulation configuration and workload description.
 
-use vmqs_core::{ClientId, Strategy};
+use vmqs_core::{ClientId, OverloadConfig, Strategy};
 use vmqs_microscope::{VmCostModel, VmQuery};
 use vmqs_pagespace::RetryPolicy;
 use vmqs_storage::{DiskModel, FaultConfig};
@@ -124,6 +124,12 @@ pub struct SimConfig {
     /// scheduling graph before the first dequeue — mirroring the threaded
     /// engine's paused start. Used by the scheduler-conformance harness.
     pub gate_batch_start: bool,
+    /// Overload-management knobs (bounded admission, per-client rate
+    /// limiting, degradation, shedding). The simulator runs the *same*
+    /// admission ladder as the threaded server, in virtual time, so the
+    /// conformance harness can pin admission decisions across engines
+    /// (DESIGN.md §10). Disabled by default.
+    pub overload: OverloadConfig,
 }
 
 impl SimConfig {
@@ -151,6 +157,7 @@ impl SimConfig {
             retry: RetryPolicy::default_io(),
             observe: false,
             gate_batch_start: false,
+            overload: OverloadConfig::default(),
         }
     }
 
@@ -245,6 +252,12 @@ impl SimConfig {
         self.gate_batch_start = on;
         self
     }
+
+    /// Builder-style overload-management override.
+    pub fn with_overload(mut self, ov: OverloadConfig) -> Self {
+        self.overload = ov;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -281,5 +294,14 @@ mod tests {
         assert!(c2.observe && c2.gate_batch_start);
         assert!(!SimConfig::paper_baseline().observe);
         assert!(!SimConfig::paper_baseline().gate_batch_start);
+    }
+
+    #[test]
+    fn overload_defaults_off_and_builder_composes() {
+        assert!(!SimConfig::paper_baseline().overload.enabled());
+        let c = SimConfig::paper_baseline()
+            .with_overload(OverloadConfig::default().with_max_pending(8));
+        assert!(c.overload.enabled());
+        assert_eq!(c.overload.max_pending, 8);
     }
 }

@@ -25,9 +25,10 @@ use crate::events::{Event, EventQueue};
 use crate::report::{SimRecord, SimReport};
 use crate::trace::{TraceEvent, TraceKind};
 use crate::vm::VmSimApp;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use vmqs_core::{
-    BlobId, ClientId, IdGen, QueryId, QuerySpec, QueryState, SchedulingGraph, Strategy,
+    shed_victim, BlobId, ClientId, IdGen, PressureSignals, QueryId, QuerySpec, QueryState,
+    SchedulingGraph, Strategy, TokenBucket,
 };
 use vmqs_datastore::{Payload, SpatialDataStore};
 use vmqs_microscope::PAGE_SIZE;
@@ -147,6 +148,16 @@ pub struct Simulator<A: SimApplication> {
     trace: Vec<TraceEvent>,
     io_faults: u64,
     io_retries: u64,
+    /// Per-client token buckets for the admission rate limiter, refilled
+    /// in virtual time (the threaded engine refills the same bucket code
+    /// in real time).
+    buckets: HashMap<ClientId, TokenBucket>,
+    /// Queries downgraded at admission; consumed into the record at
+    /// completion.
+    degraded_ids: HashSet<QueryId>,
+    rejected: u64,
+    shed: u64,
+    degraded: u64,
     /// Event log + metrics registry; events stamped with *virtual* time
     /// via `log_at`, using the same schema as the threaded engine so the
     /// conformance harness can compare the two (DESIGN.md §9).
@@ -226,6 +237,11 @@ impl<A: SimApplication> Simulator<A> {
             trace: Vec::new(),
             io_faults: 0,
             io_retries: 0,
+            buckets: HashMap::new(),
+            degraded_ids: HashSet::new(),
+            rejected: 0,
+            shed: 0,
+            degraded: 0,
             obs,
             qmet,
             pmet,
@@ -303,6 +319,9 @@ impl<A: SimApplication> Simulator<A> {
             io_retries: self.io_retries,
             events: self.obs.log.snapshot(),
             metrics: self.obs.metrics.snapshot(),
+            rejected: self.rejected,
+            shed: self.shed,
+            degraded: self.degraded,
         }
     }
 
@@ -314,11 +333,134 @@ impl<A: SimApplication> Simulator<A> {
     }
 
     fn on_arrival(&mut self, now: f64, client: ClientId, spec: A::Spec, defer_start: bool) {
+        // The id is assigned before the admission decision, exactly like
+        // the threaded engine — a rejected query still consumes an id, so
+        // id sequences stay comparable across engines.
         let id = self.idgen.next_query();
         self.trace(now, id, TraceKind::Arrive);
-        self.graph.insert(id, spec);
-        self.obs.log.log_at(now, id, EventKind::Submitted);
+        let ov = self.cfg.overload;
+        if !ov.enabled() {
+            // Fast path: identical to the pre-overload arrival.
+            self.graph.insert(id, spec);
+            self.obs.log.log_at(now, id, EventKind::Submitted);
+            self.qmet.submitted.inc();
+            self.insert_qinfo(id, client, spec, now);
+            if !defer_start {
+                self.try_start(now);
+            }
+            return;
+        }
+
+        // The same admission ladder as `QueryServer::submit_from`, run in
+        // virtual time: rate limit → bounded queue → degrade → shed, with
+        // events emitted in the canonical order (Submitted, [Degraded |
+        // Rejected], then Shed per victim) so the conformance harness can
+        // pin the decision trace across engines.
+        let (ds_occupancy, ps_miss_ratio, retry_ratio) = self.pressure_secondary();
+        let signals = |depth: usize| PressureSignals {
+            queue_depth: depth,
+            max_pending: ov.max_pending,
+            ds_occupancy,
+            ps_miss_ratio,
+            retry_ratio,
+        };
+        enum Decision {
+            Admitted { degraded: bool },
+            Rejected { rate_limited: bool },
+        }
+        let depth = self.graph.waiting_len();
+        let mut observed_level = signals(depth).level();
+        let mut shed_out: Vec<(QueryId, ClientId, f64)> = Vec::new();
+        let over_rate = ov.client_rate > 0.0
+            && !self
+                .buckets
+                .entry(client)
+                .or_insert_with(|| TokenBucket::new(ov.client_rate))
+                .try_take(now);
+        let decision = if over_rate {
+            Decision::Rejected { rate_limited: true }
+        } else if ov.max_pending > 0 && depth >= ov.max_pending {
+            Decision::Rejected {
+                rate_limited: false,
+            }
+        } else {
+            let mut level = signals(depth + 1).level();
+            let mut spec = spec;
+            let mut degraded = false;
+            if level >= ov.degrade_threshold {
+                if let Some(cheaper) = self.app.degrade(&spec) {
+                    spec = cheaper;
+                    degraded = true;
+                }
+            }
+            self.graph.insert(id, spec);
+            self.insert_qinfo(id, client, spec, now);
+            if degraded {
+                self.degraded_ids.insert(id);
+            }
+            // Shed the largest-`qinputsize` WAITING queries (newest first
+            // on ties) until pressure drops below the threshold; the
+            // victim may be the query just admitted.
+            while level >= ov.shed_threshold && self.graph.waiting_len() > 0 {
+                let victim = shed_victim(
+                    self.graph
+                        .ids_in_state(QueryState::Waiting)
+                        .into_iter()
+                        .map(|q| {
+                            (
+                                q,
+                                self.graph.qinputsize_of(q).unwrap_or(0),
+                                self.graph.arrival_of(q).unwrap_or(0),
+                            )
+                        }),
+                );
+                let Some(vid) = victim else { break };
+                self.graph.dequeue_specific(vid);
+                self.graph.mark_cached(vid);
+                self.graph.swap_out(vid);
+                self.degraded_ids.remove(&vid);
+                let vinfo = self.qinfo.remove(&vid).expect("shed victim has info");
+                shed_out.push((vid, vinfo.client, level));
+                level = signals(self.graph.waiting_len()).level();
+            }
+            observed_level = level;
+            Decision::Admitted { degraded }
+        };
+
         self.qmet.submitted.inc();
+        self.obs.log.log_at(now, id, EventKind::Submitted);
+        self.obs.metrics.set_gauge("vmqs_pressure", observed_level);
+        match decision {
+            Decision::Admitted { degraded } => {
+                if degraded {
+                    self.degraded += 1;
+                    self.qmet.degraded.inc();
+                    self.obs.log.log_at(now, id, EventKind::Degraded);
+                }
+            }
+            Decision::Rejected { rate_limited } => {
+                self.rejected += 1;
+                self.qmet.rejected.inc();
+                self.obs
+                    .log
+                    .log_at(now, id, EventKind::Rejected { rate_limited });
+                // The refusal is the client's answer: an interactive
+                // client moves on to its next query.
+                self.advance_client(now, client);
+            }
+        }
+        for (vid, vclient, _level) in shed_out {
+            self.shed += 1;
+            self.qmet.shed.inc();
+            self.obs.log.log_at(now, vid, EventKind::Shed);
+            self.advance_client(now, vclient);
+        }
+        if !defer_start {
+            self.try_start(now);
+        }
+    }
+
+    fn insert_qinfo(&mut self, id: QueryId, client: ClientId, spec: A::Spec, now: f64) {
         self.qinfo.insert(
             id,
             QInfo {
@@ -330,8 +472,54 @@ impl<A: SimApplication> Simulator<A> {
                 blocked_total: 0.0,
             },
         );
-        if !defer_start {
-            self.try_start(now);
+    }
+
+    /// The pressure monitor's secondary inputs — Data Store occupancy and
+    /// Page Space miss/retry ratios — computed the same way as the
+    /// threaded engine's `Core::pressure_secondary`.
+    fn pressure_secondary(&self) -> (f64, f64, f64) {
+        let budget = self.ds.budget();
+        let ds_occupancy = if budget == 0 {
+            0.0
+        } else {
+            self.ds.used() as f64 / budget as f64
+        };
+        let ps = self.ps.stats();
+        let lookups = ps.hits + ps.misses;
+        let ps_miss_ratio = if lookups == 0 {
+            0.0
+        } else {
+            ps.misses as f64 / lookups as f64
+        };
+        let reads = ps.pages_fetched + ps.read_retries;
+        let retry_ratio = if reads == 0 {
+            0.0
+        } else {
+            ps.read_retries as f64 / reads as f64
+        };
+        (ds_occupancy, ps_miss_ratio, retry_ratio)
+    }
+
+    /// Interactive clients submit their next query once the previous one
+    /// is answered — by completion, rejection, or shedding.
+    fn advance_client(&mut self, now: f64, client: ClientId) {
+        if self.cfg.mode != SubmissionMode::Interactive {
+            return;
+        }
+        if let Some(pos) = self.client_pos.get_mut(&client) {
+            *pos += 1;
+            let next = self.streams[&client].get(*pos).copied();
+            if let Some(spec) = next {
+                let seq = *pos;
+                self.events.push(
+                    now + self.cfg.think_time,
+                    Event::Arrival {
+                        client,
+                        spec,
+                        seq_in_client: seq,
+                    },
+                );
+            }
         }
     }
 
@@ -625,6 +813,7 @@ impl<A: SimApplication> Simulator<A> {
             io_time: io,
             cpu_time: cpu,
             exact_hit: exact,
+            degraded: self.degraded_ids.remove(&id),
         };
 
         // §6 self-tuning: hill-climb the strategy's continuous parameter
@@ -656,23 +845,7 @@ impl<A: SimApplication> Simulator<A> {
         self.busy_slots -= 1;
 
         // Interactive clients submit their next query on completion.
-        if self.cfg.mode == SubmissionMode::Interactive {
-            if let Some(pos) = self.client_pos.get_mut(&info.client) {
-                *pos += 1;
-                let next = self.streams[&info.client].get(*pos).copied();
-                if let Some(spec) = next {
-                    let seq = *pos;
-                    self.events.push(
-                        now + self.cfg.think_time,
-                        Event::Arrival {
-                            client: info.client,
-                            spec,
-                            seq_in_client: seq,
-                        },
-                    );
-                }
-            }
-        }
+        self.advance_client(now, info.client);
 
         self.try_start(now);
     }
@@ -1179,6 +1352,227 @@ mod tests {
         );
         assert_eq!(no_retry.io_retries, 0);
         assert_eq!(no_retry.makespan, clean.makespan);
+    }
+
+    #[test]
+    fn bounded_admission_rejects_excess_batch_arrivals() {
+        use vmqs_core::OverloadConfig;
+        // Gate the batch so all five arrivals insert before any dequeue —
+        // the same shape as the threaded engine's paused-pool test.
+        let spec = q(0, 0, 1024, 1, VmOp::Subsample);
+        let streams = vec![ClientStream {
+            client: ClientId(0),
+            queries: vec![spec; 5],
+        }];
+        let r = run_sim(
+            SimConfig::paper_baseline()
+                .with_mode(SubmissionMode::Batch)
+                .with_batch_gate(true)
+                .with_observe(true)
+                .with_overload(OverloadConfig::default().with_max_pending(2)),
+            streams,
+        );
+        // Two admitted, three rejected at the full queue.
+        assert_eq!(r.records.len(), 2);
+        assert_eq!(r.rejected, 3);
+        assert_eq!(r.shed, 0);
+        let rejects = r
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Rejected {
+                        rate_limited: false
+                    }
+                )
+            })
+            .count();
+        assert_eq!(rejects, 3);
+        // Every arrival got a Submitted event — rejected ones too.
+        let submitted = r
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Submitted))
+            .count();
+        assert_eq!(submitted, 5);
+    }
+
+    #[test]
+    fn shedding_evicts_largest_waiting_query() {
+        use vmqs_core::OverloadConfig;
+        // max_pending 4, shed at 0.75: two small queries keep pressure at
+        // 0.5; the third arrival pushes it to 0.75 and the shed loop
+        // evicts the largest-input query (the 16384px scan).
+        let small = q(0, 0, 1024, 1, VmOp::Subsample);
+        let big = q(0, 4096, 16384, 16, VmOp::Subsample);
+        let streams = vec![ClientStream {
+            client: ClientId(0),
+            queries: vec![small, big, q(4096, 0, 1024, 1, VmOp::Subsample)],
+        }];
+        let r = run_sim(
+            SimConfig::paper_baseline()
+                .with_threads(1)
+                .with_mode(SubmissionMode::Batch)
+                .with_batch_gate(true)
+                .with_observe(true)
+                .with_overload(
+                    OverloadConfig::default()
+                        .with_max_pending(4)
+                        .with_shed_threshold(0.75),
+                ),
+            streams,
+        );
+        assert_eq!(r.shed, 1);
+        assert_eq!(r.rejected, 0);
+        assert_eq!(r.records.len(), 2);
+        // The big scan never ran: every completed record is a small query.
+        assert!(r.records.iter().all(|x| x.spec.zoom == 1));
+        let shed_ev: Vec<_> = r
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Shed))
+            .collect();
+        assert_eq!(shed_ev.len(), 1);
+        assert_eq!(shed_ev[0].query, QueryId(1));
+    }
+
+    #[test]
+    fn degradation_downgrades_average_to_subsample() {
+        use vmqs_core::OverloadConfig;
+        // Degrade at 0.25 with max_pending 8: the first Average admits at
+        // level 1/8, the second and third at 2/8 and 3/8 — both degraded.
+        let avg = q(0, 0, 2048, 2, VmOp::Average);
+        let streams = vec![ClientStream {
+            client: ClientId(0),
+            queries: vec![
+                avg,
+                q(4096, 0, 2048, 2, VmOp::Average),
+                q(8192, 0, 2048, 2, VmOp::Average),
+            ],
+        }];
+        let r = run_sim(
+            SimConfig::paper_baseline()
+                .with_threads(1)
+                .with_mode(SubmissionMode::Batch)
+                .with_batch_gate(true)
+                .with_observe(true)
+                .with_overload(
+                    OverloadConfig::default()
+                        .with_max_pending(8)
+                        .with_degrade_threshold(0.25),
+                ),
+            streams,
+        );
+        assert_eq!(r.degraded, 2);
+        assert_eq!(r.records.len(), 3);
+        let degraded: Vec<_> = r.records.iter().filter(|x| x.degraded).collect();
+        assert_eq!(degraded.len(), 2);
+        // The record's spec is the degraded predicate that actually ran.
+        assert!(degraded.iter().all(|x| x.spec.op == VmOp::Subsample));
+        assert!(r
+            .records
+            .iter()
+            .filter(|x| !x.degraded)
+            .all(|x| x.spec.op == VmOp::Average));
+        // Degraded queries are an order of magnitude cheaper on CPU.
+        let full = r.records.iter().find(|x| !x.degraded).unwrap();
+        assert!(degraded.iter().all(|x| x.cpu_time < full.cpu_time / 5.0));
+    }
+
+    #[test]
+    fn rate_limited_interactive_client_still_terminates() {
+        use vmqs_core::OverloadConfig;
+        // Burst 1, negligible refill: the first query takes the only
+        // token; the next two are rejected at submission — and the stream
+        // still advances to termination (the refusal is the answer).
+        let streams = vec![ClientStream {
+            client: ClientId(0),
+            queries: vec![
+                q(0, 0, 1024, 1, VmOp::Subsample),
+                q(4096, 0, 1024, 1, VmOp::Subsample),
+                q(8192, 0, 1024, 1, VmOp::Subsample),
+            ],
+        }];
+        let r = run_sim(
+            SimConfig::paper_baseline()
+                .with_observe(true)
+                .with_overload(OverloadConfig::default().with_client_rate(1e-9)),
+            streams,
+        );
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.rejected, 2);
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Rejected { rate_limited: true })));
+    }
+
+    #[test]
+    fn overload_runs_are_deterministic() {
+        use vmqs_core::OverloadConfig;
+        let mk = || {
+            let streams: Vec<ClientStream> = (0..6)
+                .map(|c| ClientStream {
+                    client: ClientId(c),
+                    queries: (0..4)
+                        .map(|i| {
+                            q(
+                                (c as u32 * 900 + i * 512) % 20000,
+                                (i * 911) % 20000,
+                                if (c + i as u64).is_multiple_of(3) {
+                                    8192
+                                } else {
+                                    1024
+                                },
+                                1 << (i % 3),
+                                if c % 2 == 0 {
+                                    VmOp::Average
+                                } else {
+                                    VmOp::Subsample
+                                },
+                            )
+                        })
+                        .collect(),
+                })
+                .collect();
+            run_sim(
+                SimConfig::paper_baseline()
+                    .with_threads(2)
+                    .with_mode(SubmissionMode::Batch)
+                    .with_batch_gate(true)
+                    .with_observe(true)
+                    .with_overload(
+                        OverloadConfig::default()
+                            .with_max_pending(6)
+                            .with_degrade_threshold(0.5)
+                            .with_shed_threshold(0.85),
+                    ),
+                streams,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.degraded, b.degraded);
+        assert_eq!(a.makespan, b.makespan);
+        let seq = |r: &SimReport| vmqs_obs::timeline::admission_sequence(&r.events);
+        assert_eq!(seq(&a), seq(&b));
+        // The workload actually exercised the ladder. The shed loop keeps
+        // the queue below `max_pending`, so outright rejection never
+        // triggers here — shedding pre-empts it by design.
+        assert!(a.shed > 0, "expected shedding under 4x pressure");
+        assert!(a.degraded > 0, "expected degraded admissions");
+        // Conservation: every arrival is accounted for exactly once.
+        assert_eq!(
+            a.records.len() as u64 + a.rejected + a.shed,
+            a.metrics
+                .counters
+                .get("vmqs_queries_submitted_total")
+                .copied()
+                .unwrap_or(0)
+        );
     }
 
     #[test]

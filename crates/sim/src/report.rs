@@ -35,6 +35,9 @@ pub struct SimRecord<S = VmQuery> {
     pub cpu_time: f64,
     /// True when answered entirely by one exact cached match.
     pub exact_hit: bool,
+    /// True when admission downgraded the query to its cheaper plan
+    /// (`spec` is the *degraded* predicate that actually executed).
+    pub degraded: bool,
 }
 
 impl<S> SimRecord<S> {
@@ -81,6 +84,13 @@ pub struct SimReport<S = VmQuery> {
     pub events: Vec<vmqs_obs::EventRecord>,
     /// Metrics-registry snapshot taken at the end of the run.
     pub metrics: vmqs_obs::MetricsSnapshot,
+    /// Queries refused at admission (queue full or rate limited); they
+    /// never execute and leave no [`SimRecord`].
+    pub rejected: u64,
+    /// Admitted queries evicted by the load shedder before starting.
+    pub shed: u64,
+    /// Queries downgraded to their cheaper plan at admission.
+    pub degraded: u64,
 }
 
 impl<S> SimReport<S> {
@@ -143,6 +153,7 @@ mod tests {
             io_time: 0.0,
             cpu_time: 0.0,
             exact_hit: false,
+            degraded: false,
         }
     }
 
@@ -168,6 +179,9 @@ mod tests {
             io_retries: 0,
             events: Vec::new(),
             metrics: vmqs_obs::MetricsSnapshot::default(),
+            rejected: 0,
+            shed: 0,
+            degraded: 0,
         };
         assert_eq!(report.response_times(), vec![2.0, 5.0]);
         assert!((report.average_overlap() - 0.4).abs() < 1e-12);

@@ -3,7 +3,7 @@
 use crate::app::{ReusePlan, SimApplication};
 use vmqs_core::geom::subtract_all;
 use vmqs_core::Rect;
-use vmqs_microscope::{VmCostModel, VmQuery, BYTES_PER_PIXEL, PAGE_SIZE};
+use vmqs_microscope::{VmCostModel, VmOp, VmQuery, BYTES_PER_PIXEL, PAGE_SIZE};
 use vmqs_pagespace::PageKey;
 
 /// Virtual Microscope simulation adapter: 2-D greedy coverage from cached
@@ -73,6 +73,19 @@ impl SimApplication for VmSimApp {
 
     fn planning_seconds(&self) -> f64 {
         self.cost.planning_overhead
+    }
+
+    fn degrade(&self, spec: &VmQuery) -> Option<VmQuery> {
+        // Same quality ladder as the threaded engine's `VmExecutor`:
+        // averaging falls back to subsampling (~18x cheaper CPU per the
+        // calibrated model); subsampling is already the floor.
+        match spec.op {
+            VmOp::Average => Some(VmQuery {
+                op: VmOp::Subsample,
+                ..*spec
+            }),
+            VmOp::Subsample => None,
+        }
     }
 }
 

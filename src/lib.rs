@@ -63,12 +63,13 @@ pub use vmqs_workload as workload;
 /// The most common imports, in one place.
 pub mod prelude {
     pub use vmqs_core::{
-        ClientId, DatasetId, QueryId, QuerySpec, QueryState, Rect, SchedulingGraph, Strategy,
+        ClientId, DatasetId, OverloadConfig, QueryId, QuerySpec, QueryState, Rect, SchedulingGraph,
+        Strategy,
     };
     pub use vmqs_datastore::{DataStore, Payload};
     pub use vmqs_microscope::{RgbImage, SlideDataset, VmCostModel, VmOp, VmQuery};
     pub use vmqs_obs::{EventKind, EventRecord, Obs};
-    pub use vmqs_server::{QueryServer, ServerConfig};
+    pub use vmqs_server::{QueryServer, ServerConfig, ServerError};
     pub use vmqs_sim::{run_sim, ClientStream, SimConfig, SubmissionMode};
     pub use vmqs_storage::{DataSource, DiskModel, FileSource, SyntheticSource};
     pub use vmqs_workload::{generate, WorkloadConfig};

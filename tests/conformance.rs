@@ -16,11 +16,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use vmqs_core::{ClientId, DatasetId, QueryId, Rect, Strategy};
+use vmqs_core::{ClientId, DatasetId, OverloadConfig, QueryId, Rect, Strategy};
 use vmqs_microscope::{SlideDataset, VmOp, VmQuery};
-use vmqs_obs::timeline::{ranked_sequence, reuse_edges, timelines};
+use vmqs_obs::timeline::{admission_sequence, ranked_sequence, reuse_edges, timelines, Terminal};
 use vmqs_obs::{events_to_json, EventKind, EventRecord};
-use vmqs_server::{QueryServer, ServerConfig};
+use vmqs_server::{QueryServer, ServerConfig, ServerError};
 use vmqs_sim::{run_sim, ClientStream, SimConfig, SubmissionMode};
 use vmqs_storage::SyntheticSource;
 
@@ -234,6 +234,164 @@ fn conformance_workload_exercises_reuse_and_eviction() {
     let tls = timelines(&events);
     assert_eq!(tls.len(), QUERIES);
     assert!(tls.iter().all(|t| t.latency().is_some()));
+}
+
+/// Overload configurations whose admission/degrade/shed decisions the two
+/// engines must replay identically. Rate limiting is excluded: its token
+/// bucket refills in wall-clock time on the server and virtual time in
+/// the simulator, so only the pressure-driven mechanisms are golden.
+fn overload_configs() -> Vec<(&'static str, OverloadConfig)> {
+    vec![
+        (
+            "shed+degrade",
+            OverloadConfig::default()
+                .with_max_pending(8)
+                .with_degrade_threshold(0.5)
+                .with_shed_threshold(0.9),
+        ),
+        ("reject-only", OverloadConfig::default().with_max_pending(8)),
+    ]
+}
+
+/// Server-side overload run: paused pool, one worker, the whole batch
+/// submitted through the admission ladder, then resumed. Returns the
+/// event log plus the handle outcomes `(completed, overloaded, shed)` —
+/// every handle must resolve with a typed result, never hang.
+fn run_server_overload(ov: OverloadConfig) -> (Vec<EventRecord>, (usize, usize, usize)) {
+    let cfg = ServerConfig::small()
+        .with_strategy(Strategy::Cnbf)
+        .with_threads(1)
+        .with_ds_budget(DS_BUDGET)
+        .with_ps_budget(PS_BUDGET)
+        .with_index_cell(INDEX_CELL)
+        .with_observability(true)
+        .with_start_paused(true)
+        .with_overload(ov);
+    let server = QueryServer::new(cfg, Arc::new(SyntheticSource::new()));
+    let handles = server.submit_batch(workload());
+    server.resume_workers();
+    let (mut done, mut overloaded, mut shed) = (0, 0, 0);
+    for h in handles {
+        match h.wait() {
+            Ok(_) => done += 1,
+            Err(ServerError::Overloaded { .. }) => overloaded += 1,
+            Err(ServerError::Shed { .. }) => shed += 1,
+            Err(e) => panic!("unexpected error under overload: {e}"),
+        }
+    }
+    server.drain();
+    let events = server.events();
+    server.shutdown();
+    (events, (done, overloaded, shed))
+}
+
+/// Simulator-side overload run with the identical config, gated batch.
+fn run_simulator_overload(ov: OverloadConfig) -> (Vec<EventRecord>, (usize, usize, usize)) {
+    let cfg = SimConfig::paper_baseline()
+        .with_strategy(Strategy::Cnbf)
+        .with_threads(1)
+        .with_ds_budget(DS_BUDGET)
+        .with_ps_budget(PS_BUDGET)
+        .with_index_cell(INDEX_CELL)
+        .with_mode(SubmissionMode::Batch)
+        .with_observe(true)
+        .with_batch_gate(true)
+        .with_overload(ov);
+    let streams = vec![ClientStream {
+        client: ClientId(0),
+        queries: workload(),
+    }];
+    let report = run_sim(cfg, streams);
+    let outcomes = (
+        report.records.len(),
+        report.rejected as usize,
+        report.shed as usize,
+    );
+    (report.events, outcomes)
+}
+
+/// Event-log invariants under overload: every query Submitted exactly
+/// once with exactly one terminal; rejected and shed queries are *never*
+/// Ranked (they never reach a worker); completed queries are Ranked
+/// exactly once.
+fn assert_overload_invariants(events: &[EventRecord], ctx: &str) {
+    let tls = timelines(events);
+    assert_eq!(tls.len(), QUERIES, "{ctx}: every query appears");
+    for t in &tls {
+        assert!(t.submitted.is_some(), "{ctx}: {} submitted", t.query);
+        let (terminal, _) = t
+            .terminal
+            .unwrap_or_else(|| panic!("{ctx}: {} must have a terminal event", t.query));
+        match terminal {
+            Terminal::Rejected | Terminal::Shed => {
+                assert!(
+                    t.ranked.is_none(),
+                    "{ctx}: {} refused at admission must never be ranked",
+                    t.query
+                );
+            }
+            Terminal::Completed => {
+                assert!(
+                    t.ranked.is_some(),
+                    "{ctx}: {} completed without being ranked",
+                    t.query
+                );
+            }
+            other => panic!("{ctx}: {} unexpected terminal {other:?}", t.query),
+        }
+    }
+}
+
+#[test]
+fn overload_decisions_match_across_engines() {
+    for (name, ov) in overload_configs() {
+        let (sim_events, sim_outcomes) = run_simulator_overload(ov);
+        let (server_events, server_outcomes) = run_server_overload(ov);
+        assert_overload_invariants(&sim_events, &format!("sim/{name}"));
+        assert_overload_invariants(&server_events, &format!("server/{name}"));
+
+        // The golden comparison: identical admission / degradation / shed
+        // decisions, and identical dispatch order for the survivors.
+        let sim_adm = admission_sequence(&sim_events);
+        let server_adm = admission_sequence(&server_events);
+        if sim_adm != server_adm {
+            let dir = dump_traces(Strategy::Cnbf, &sim_events, &server_events);
+            panic!(
+                "{name}: admission sequences diverged \
+                 (sim {:?}... vs server {:?}...); traces in {dir}/",
+                &sim_adm[..sim_adm.len().min(6)],
+                &server_adm[..server_adm.len().min(6)],
+            );
+        }
+        assert!(
+            !sim_adm.is_empty(),
+            "{name}: overload config must actually trigger decisions"
+        );
+        assert_eq!(
+            ranked_sequence(&sim_events),
+            ranked_sequence(&server_events),
+            "{name}: surviving dispatch order must match"
+        );
+        // Handle-level conservation matches the event log on both sides.
+        assert_eq!(sim_outcomes, server_outcomes, "{name}: outcome counts");
+        let (done, overloaded, shed) = server_outcomes;
+        assert_eq!(done + overloaded + shed, QUERIES, "{name}: conservation");
+    }
+}
+
+#[test]
+fn overload_conformance_workload_exercises_all_mechanisms() {
+    // The golden comparison above is only meaningful if the configs drive
+    // the interesting paths on this workload.
+    let (_, (_, rejected, _)) = run_simulator_overload(overload_configs()[1].1);
+    assert!(rejected > 0, "reject-only config must reject");
+    let (events, (_, _, shed)) = run_simulator_overload(overload_configs()[0].1);
+    assert!(shed > 0, "shed config must shed");
+    let degraded = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Degraded))
+        .count();
+    assert!(degraded > 0, "degrade threshold must trigger on Averages");
 }
 
 #[test]

@@ -374,6 +374,107 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Query conservation under overload (DESIGN.md §10): every submitted
+    // query resolves to exactly one typed outcome —
+    //   submitted == completed + failed + timed_out + shed + rejected
+    // — at the handle level, AND the metrics registry agrees with the
+    // handles. Random workloads through the *real* threaded server with
+    // random admission bounds and thresholds.
+    #[test]
+    fn overload_conserves_queries_on_random_workloads(
+        seed in 0u64..1000,
+        threads in 1usize..4,
+        max_pending in 1usize..12,
+        // Percent thresholds; values below the floor mean "disabled".
+        degrade in 0u32..100,
+        shed in 0u32..100,
+        queries in 6usize..20,
+    ) {
+        use std::sync::Arc;
+        use vmqs::prelude::{OverloadConfig, QueryServer, ServerConfig, ServerError};
+
+        let slide = SlideDataset::new(DatasetId(0), 800, 800);
+        let specs: Vec<VmQuery> = (0..queries)
+            .map(|i| {
+                let r = (seed ^ i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let op = if (r >> 7) & 1 == 0 { VmOp::Subsample } else { VmOp::Average };
+                let side = 80 + ((r >> 16) % 3) as u32 * 40;
+                let x = ((r >> 32) as u32) % (800 - side);
+                let y = ((r >> 44) as u32) % (800 - side);
+                VmQuery::new(slide, Rect::new(x, y, side, side), 1 << ((r >> 24) % 2), op)
+            })
+            .collect();
+
+        let ov = OverloadConfig {
+            max_pending,
+            client_rate: 0.0,
+            degrade_threshold: if degrade < 25 {
+                f64::INFINITY
+            } else {
+                degrade as f64 / 100.0
+            },
+            shed_threshold: if shed < 50 {
+                f64::INFINITY
+            } else {
+                shed as f64 / 100.0
+            },
+        };
+        let cfg = ServerConfig::small()
+            .with_threads(threads)
+            .with_start_paused(true)
+            .with_overload(ov);
+        let server = QueryServer::new(cfg, Arc::new(SyntheticSource::new()));
+        let handles = server.submit_batch(specs);
+        server.resume_workers();
+
+        let (mut completed, mut failed, mut timed_out, mut shed_n, mut rejected) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for h in handles {
+            match h.wait() {
+                Ok(_) => completed += 1,
+                Err(ServerError::Overloaded { retry_after }) => {
+                    prop_assert!(retry_after > std::time::Duration::ZERO);
+                    rejected += 1;
+                }
+                Err(ServerError::Shed { pressure }) => {
+                    prop_assert!((0.0..=1.0).contains(&pressure));
+                    shed_n += 1;
+                }
+                Err(ServerError::Timeout { .. }) => timed_out += 1,
+                Err(_) => failed += 1,
+            }
+        }
+        server.drain();
+        let metrics = server.metrics();
+        let summary = server.summary();
+        server.shutdown();
+
+        // Handle-level conservation.
+        prop_assert_eq!(
+            completed + failed + timed_out + shed_n + rejected,
+            queries as u64,
+            "every query must resolve exactly once"
+        );
+        // The metrics registry tells the same story as the handles.
+        let counter = |name: &str| metrics.counters.get(name).copied().unwrap_or(0);
+        prop_assert_eq!(counter("vmqs_queries_submitted_total"), queries as u64);
+        prop_assert_eq!(counter("vmqs_queries_completed_total"), completed);
+        prop_assert_eq!(counter("vmqs_queries_failed_total"), failed);
+        prop_assert_eq!(counter("vmqs_queries_timed_out_total"), timed_out);
+        prop_assert_eq!(counter("vmqs_queries_rejected_total"), rejected);
+        prop_assert_eq!(counter("vmqs_queries_shed_total"), shed_n);
+        // And so does the server summary.
+        prop_assert_eq!(summary.rejected as u64, rejected);
+        prop_assert_eq!(summary.shed as u64, shed_n);
+        prop_assert_eq!(summary.completed as u64, completed);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Volume application properties (§6 extension).
 // ---------------------------------------------------------------------------
