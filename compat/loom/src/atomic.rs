@@ -1,0 +1,366 @@
+//! Model-checked atomics with a vector-clock weak-memory model.
+//!
+//! Inside `loom::model`, every atomic keeps its full store history. A
+//! load does not simply return the latest value: it may observe any
+//! store that is not yet ruled out by coherence (a thread never reads
+//! older than what it already read) or by happens-before (a store that
+//! hb-precedes the load supersedes everything before it in modification
+//! order). Which admissible store is returned is a *scheduling decision*
+//! explored exhaustively by the runtime — so an assertion that only
+//! holds when a `Release`/`Acquire` edge exists will fail on some
+//! interleaving once that edge is weakened to `Relaxed`.
+//!
+//! Outside a model the types are thin passthroughs over `std` atomics.
+
+use crate::rt::{self, VClock, MAX_THREADS};
+use std::sync::atomic::Ordering;
+use std::sync::Mutex as StdMutex;
+
+/// One entry in an atomic's modification order.
+struct StoreRec {
+    value: u64,
+    /// The writer's vector clock at the moment of the store; used for
+    /// the coherence/visibility cut.
+    when: VClock,
+    /// For `Release` (and stronger) stores: the clock a matching
+    /// `Acquire` load joins into its own. RMWs inherit the head of the
+    /// release sequence they extend.
+    rel: Option<VClock>,
+}
+
+/// Per-model state of one atomic, rebuilt lazily each iteration.
+struct ModelCell {
+    /// Execution uid this state belongs to; stale cells are reset.
+    uid: u64,
+    stores: Vec<StoreRec>,
+    /// Index of the newest store each thread has observed (coherence).
+    last_seen: [usize; MAX_THREADS],
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $native:ty, $val:ty, $to:expr, $from:expr) => {
+        /// Model-checked counterpart of the std atomic of the same name.
+        #[derive(Default)]
+        pub struct $name {
+            native: $native,
+            model: StdMutex<Option<ModelCell>>,
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.native.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+
+        impl $name {
+            /// Creates an atomic with an initial value.
+            pub const fn new(v: $val) -> Self {
+                Self {
+                    native: <$native>::new(v),
+                    model: StdMutex::new(None),
+                }
+            }
+
+            /// Mutable access without synchronization.
+            pub fn get_mut(&mut self) -> &mut $val {
+                // Model state (if any) is stale after unsynchronized
+                // mutation; drop it so the next op re-seeds from native.
+                *self.model.get_mut().unwrap() = None;
+                self.native.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $val {
+                self.native.into_inner()
+            }
+
+            fn with_cell<R>(
+                &self,
+                f: impl FnOnce(&mut ModelCell, &std::sync::Arc<rt::Execution>, usize) -> R,
+            ) -> Option<R> {
+                let (exec, tid) = rt::current()?;
+                exec.sched_point(tid);
+                let mut slot = self.model.lock().unwrap();
+                let stale = slot.as_ref().map(|c| c.uid != exec.uid).unwrap_or(true);
+                if stale {
+                    *slot = Some(ModelCell {
+                        uid: exec.uid,
+                        stores: vec![StoreRec {
+                            value: ($to)(self.native.load(Ordering::Relaxed)),
+                            when: VClock::default(),
+                            rel: None,
+                        }],
+                        last_seen: [0; MAX_THREADS],
+                    });
+                }
+                Some(f(slot.as_mut().unwrap(), &exec, tid))
+            }
+
+            /// Index of the oldest store this thread may still observe.
+            fn visible_floor(cell: &ModelCell, clock: &VClock, tid: usize) -> usize {
+                let mut floor = cell.last_seen[tid];
+                for (j, s) in cell.stores.iter().enumerate().skip(floor + 1) {
+                    // A store that happened-before the load supersedes
+                    // all earlier stores in modification order.
+                    if s.when.le(clock) {
+                        floor = j;
+                    }
+                }
+                floor
+            }
+
+            /// Loads a value; a relaxed load may observe stale stores.
+            pub fn load(&self, order: Ordering) -> $val {
+                self.with_cell(|cell, exec, tid| {
+                    let idx = if order == Ordering::SeqCst {
+                        // Approximation: SeqCst loads read the latest
+                        // store (sound for the single-total-order part).
+                        cell.stores.len() - 1
+                    } else {
+                        let clock = exec.clock_of(tid);
+                        let floor = Self::visible_floor(cell, &clock, tid);
+                        let n = cell.stores.len() - floor;
+                        floor + if n > 1 { exec.decide(n) } else { 0 }
+                    };
+                    if is_acquire(order) {
+                        if let Some(rel) = &cell.stores[idx].rel {
+                            exec.join_clock(tid, rel);
+                        }
+                    }
+                    cell.last_seen[tid] = idx;
+                    ($from)(cell.stores[idx].value)
+                })
+                .unwrap_or_else(|| self.native.load(order))
+            }
+
+            /// Stores a value.
+            pub fn store(&self, v: $val, order: Ordering) {
+                let modeled = self.with_cell(|cell, exec, tid| {
+                    let when = exec.clock_of(tid);
+                    let rel = is_release(order).then(|| when.clone());
+                    cell.stores.push(StoreRec {
+                        value: ($to)(v),
+                        when,
+                        rel,
+                    });
+                    cell.last_seen[tid] = cell.stores.len() - 1;
+                    self.native.store(v, Ordering::Relaxed);
+                });
+                if modeled.is_none() {
+                    self.native.store(v, order);
+                }
+            }
+
+            /// Read-modify-write core: RMWs always read the latest store
+            /// and extend its release sequence.
+            fn rmw(&self, order: Ordering, f: impl Fn(u64) -> u64) -> Option<$val> {
+                self.with_cell(|cell, exec, tid| {
+                    let idx = cell.stores.len() - 1;
+                    let old = cell.stores[idx].value;
+                    if is_acquire(order) {
+                        if let Some(rel) = &cell.stores[idx].rel {
+                            exec.join_clock(tid, rel);
+                        }
+                    }
+                    let when = exec.clock_of(tid);
+                    let rel = if is_release(order) {
+                        Some(when.clone())
+                    } else {
+                        // An RMW continues the release sequence headed by
+                        // the store it replaces.
+                        cell.stores[idx].rel.clone()
+                    };
+                    let new = f(old);
+                    cell.stores.push(StoreRec {
+                        value: new,
+                        when,
+                        rel,
+                    });
+                    cell.last_seen[tid] = cell.stores.len() - 1;
+                    self.native.store(($from)(new), Ordering::Relaxed);
+                    ($from)(old)
+                })
+            }
+
+            /// Atomically replaces the value, returning the previous one.
+            pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                self.rmw(order, |_| ($to)(v))
+                    .unwrap_or_else(|| self.native.swap(v, order))
+            }
+
+            /// Stores `new` if the current value equals `current`.
+            pub fn compare_exchange(
+                &self,
+                current: $val,
+                new: $val,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$val, $val> {
+                let modeled = self.with_cell(|cell, exec, tid| {
+                    let idx = cell.stores.len() - 1;
+                    let old = cell.stores[idx].value;
+                    if old != ($to)(current) {
+                        if is_acquire(failure) {
+                            if let Some(rel) = &cell.stores[idx].rel {
+                                exec.join_clock(tid, rel);
+                            }
+                        }
+                        cell.last_seen[tid] = idx;
+                        return Err(($from)(old));
+                    }
+                    if is_acquire(success) {
+                        if let Some(rel) = &cell.stores[idx].rel {
+                            exec.join_clock(tid, rel);
+                        }
+                    }
+                    let when = exec.clock_of(tid);
+                    let rel = if is_release(success) {
+                        Some(when.clone())
+                    } else {
+                        cell.stores[idx].rel.clone()
+                    };
+                    cell.stores.push(StoreRec {
+                        value: ($to)(new),
+                        when,
+                        rel,
+                    });
+                    cell.last_seen[tid] = cell.stores.len() - 1;
+                    self.native.store(new, Ordering::Relaxed);
+                    Ok(($from)(($to)(current)))
+                });
+                match modeled {
+                    Some(r) => r,
+                    None => self.native.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// Weak compare-exchange; the model never fails spuriously.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $val,
+                new: $val,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$val, $val> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+model_atomic!(
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64,
+    |v: u64| v,
+    |v: u64| v
+);
+model_atomic!(
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32,
+    |v: u32| v as u64,
+    |v: u64| v as u32
+);
+model_atomic!(
+    AtomicU8,
+    std::sync::atomic::AtomicU8,
+    u8,
+    |v: u8| v as u64,
+    |v: u64| v as u8
+);
+model_atomic!(
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize,
+    |v: usize| v as u64,
+    |v: u64| v as usize
+);
+model_atomic!(
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool,
+    |v: bool| v as u64,
+    |v: u64| v != 0
+);
+
+macro_rules! int_rmw {
+    ($name:ident, $val:ty) => {
+        impl $name {
+            /// Atomically adds, returning the previous value.
+            pub fn fetch_add(&self, v: $val, order: Ordering) -> $val {
+                self.rmw(order, |old| (old as $val).wrapping_add(v) as u64)
+                    .unwrap_or_else(|| self.native.fetch_add(v, order))
+            }
+
+            /// Atomically subtracts, returning the previous value.
+            pub fn fetch_sub(&self, v: $val, order: Ordering) -> $val {
+                self.rmw(order, |old| (old as $val).wrapping_sub(v) as u64)
+                    .unwrap_or_else(|| self.native.fetch_sub(v, order))
+            }
+
+            /// Atomic bitwise OR, returning the previous value.
+            pub fn fetch_or(&self, v: $val, order: Ordering) -> $val {
+                self.rmw(order, |old| ((old as $val) | v) as u64)
+                    .unwrap_or_else(|| self.native.fetch_or(v, order))
+            }
+
+            /// Atomic bitwise AND, returning the previous value.
+            pub fn fetch_and(&self, v: $val, order: Ordering) -> $val {
+                self.rmw(order, |old| ((old as $val) & v) as u64)
+                    .unwrap_or_else(|| self.native.fetch_and(v, order))
+            }
+
+            /// Atomic maximum, returning the previous value.
+            pub fn fetch_max(&self, v: $val, order: Ordering) -> $val {
+                self.rmw(order, |old| (old as $val).max(v) as u64)
+                    .unwrap_or_else(|| self.native.fetch_max(v, order))
+            }
+
+            /// Atomic minimum, returning the previous value.
+            pub fn fetch_min(&self, v: $val, order: Ordering) -> $val {
+                self.rmw(order, |old| (old as $val).min(v) as u64)
+                    .unwrap_or_else(|| self.native.fetch_min(v, order))
+            }
+        }
+    };
+}
+
+int_rmw!(AtomicU64, u64);
+int_rmw!(AtomicU32, u32);
+int_rmw!(AtomicU8, u8);
+int_rmw!(AtomicUsize, usize);
+
+impl AtomicBool {
+    /// Atomic bitwise OR, returning the previous value.
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        self.rmw(order, |old| ((old != 0) | v) as u64)
+            .unwrap_or_else(|| self.native.fetch_or(v, order))
+    }
+
+    /// Atomic bitwise AND, returning the previous value.
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        self.rmw(order, |old| ((old != 0) & v) as u64)
+            .unwrap_or_else(|| self.native.fetch_and(v, order))
+    }
+}
+
+/// An atomic fence. Modeled as a scheduling point only (the vector-clock
+/// model tracks release/acquire edges on the operations themselves).
+pub fn fence(order: Ordering) {
+    if let Some((exec, tid)) = rt::current() {
+        exec.sched_point(tid);
+    } else {
+        std::sync::atomic::fence(order);
+    }
+}

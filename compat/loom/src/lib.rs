@@ -1,0 +1,282 @@
+//! Offline stand-in for the `loom` concurrency model checker.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the slice of the loom API that `vmqs-core::sync` re-exports:
+//! `loom::model`, `loom::thread`, `loom::sync::{Arc, Mutex, Condvar,
+//! RwLock}` and `loom::sync::atomic`. Unlike a plain shim, this is a
+//! real (small) model checker:
+//!
+//! * [`model`] explores thread interleavings of its closure by
+//!   depth-first search over scheduling decisions, with CHESS-style
+//!   preemption bounding (`LOOM_MAX_PREEMPTIONS`, default 2).
+//! * Atomics keep their store history and model weak memory with vector
+//!   clocks: a `Relaxed` load may observe any coherence-admissible stale
+//!   store, so weakening a required `Release`/`Acquire` pair to
+//!   `Relaxed` makes some explored interleaving fail.
+//! * Deadlocks — including lost condvar wakeups — are detected and
+//!   reported with the failing schedule path.
+//!
+//! Outside [`model`], every primitive passes through to `std`, so code
+//! built with `--cfg loom` still behaves normally in regular tests.
+//!
+//! Differences from real loom (acceptable for this workspace's models):
+//! `SeqCst` is approximated as read-latest (no global S order), fences
+//! are scheduling points only, spurious condvar wakeups are not
+//! generated, and timed waits only "time out" when the model would
+//! otherwise deadlock.
+
+#![warn(missing_docs)]
+
+mod atomic;
+pub mod rt;
+pub mod sync;
+pub mod thread;
+
+pub mod hint {
+    //! Spin-loop hint (a scheduling point inside a model).
+
+    /// Equivalent of [`std::hint::spin_loop`].
+    pub fn spin_loop() {
+        crate::thread::yield_now();
+    }
+}
+
+use std::sync::Mutex as StdMutex;
+
+/// Serializes model runs: OS-thread bookkeeping and the deterministic
+/// replay machinery assume one active model per process.
+static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+
+/// Default preemption bound (scheduling points where a *runnable*
+/// thread is switched away from). 2 catches almost all real ordering
+/// bugs (CHESS) while keeping exploration fast.
+const DEFAULT_MAX_PREEMPTIONS: u32 = 2;
+
+/// Runs `f` under the model checker, exploring interleavings until the
+/// bounded schedule tree is exhausted. Panics with the failing schedule
+/// path on the first assertion failure, deadlock, or lost wakeup.
+///
+/// Environment knobs: `LOOM_MAX_PREEMPTIONS` (bound, default 2) and
+/// `LOOM_LOG` (print iteration count on success).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let _serial = MODEL_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let bound = std::env::var("LOOM_MAX_PREEMPTIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_MAX_PREEMPTIONS);
+    rt::explore(bound, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn fails(f: impl Fn() + Send + Sync + 'static) -> String {
+        let err = catch_unwind(AssertUnwindSafe(|| super::model(f)))
+            .expect_err("model unexpectedly passed");
+        if let Some(s) = err.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic".into()
+        }
+    }
+
+    #[test]
+    fn message_passing_release_acquire_passes() {
+        super::model(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = crate::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn message_passing_relaxed_flag_fails() {
+        // Same litmus with the flag store weakened to Relaxed: some
+        // interleaving observes flag=true but stale data=0.
+        let msg = fails(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = crate::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join().unwrap();
+        });
+        assert!(msg.contains("loom model failed"), "got: {msg}");
+    }
+
+    #[test]
+    fn message_passing_relaxed_load_fails() {
+        let msg = fails(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicBool::new(false));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = crate::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Relaxed) {
+                assert_eq!(data.load(Ordering::Relaxed), 42);
+            }
+            t.join().unwrap();
+        });
+        assert!(msg.contains("loom model failed"), "got: {msg}");
+    }
+
+    #[test]
+    fn rmw_sees_latest_and_never_loses_updates() {
+        super::model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = crate::thread::spawn(move || {
+                n2.fetch_add(1, Ordering::Relaxed);
+            });
+            n.fetch_add(1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::Relaxed), 2);
+        });
+    }
+
+    #[test]
+    fn load_store_increment_loses_updates() {
+        // Non-atomic read-modify-write (load; add; store) must lose an
+        // update on some interleaving.
+        let msg = fails(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = crate::thread::spawn(move || {
+                let v = n2.load(Ordering::SeqCst);
+                n2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = n.load(Ordering::SeqCst);
+            n.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+        assert!(msg.contains("loom model failed"), "got: {msg}");
+    }
+
+    #[test]
+    fn mutex_counter_is_exact() {
+        super::model(|| {
+            let n = Arc::new(Mutex::new(0u64));
+            let n2 = Arc::clone(&n);
+            let t = crate::thread::spawn(move || {
+                *n2.lock() += 1;
+            });
+            *n.lock() += 1;
+            t.join().unwrap();
+            assert_eq!(*n.lock(), 2);
+        });
+    }
+
+    #[test]
+    fn condvar_handshake_passes() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = crate::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                *m.lock() = true;
+                cv.notify_one();
+            });
+            {
+                let (m, cv) = &*pair;
+                let mut done = m.lock();
+                while !*done {
+                    cv.wait(&mut done);
+                }
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn condvar_missing_notify_is_lost_wakeup() {
+        // The flag is set but nobody notifies: the waiter can sleep
+        // forever — reported as a deadlock.
+        let msg = fails(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = crate::thread::spawn(move || {
+                let (m, _cv) = &*p2;
+                *m.lock() = true;
+            });
+            {
+                let (m, cv) = &*pair;
+                let mut done = m.lock();
+                while !*done {
+                    cv.wait(&mut done);
+                }
+            }
+            t.join().unwrap();
+        });
+        assert!(msg.contains("deadlock"), "got: {msg}");
+    }
+
+    #[test]
+    fn timed_wait_escapes_deadlock_as_timeout() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let (m, cv) = &*pair;
+            let mut done = m.lock();
+            while !*done {
+                let res = cv.wait_for(&mut done, std::time::Duration::from_millis(1));
+                if res.timed_out() {
+                    break;
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn abba_lock_order_deadlocks() {
+        let msg = fails(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = crate::thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop(_ga);
+            drop(_gb);
+            t.join().unwrap();
+        });
+        assert!(msg.contains("deadlock"), "got: {msg}");
+    }
+
+    #[test]
+    fn passthrough_outside_model() {
+        // No active model: primitives behave like std.
+        let n = AtomicU64::new(1);
+        assert_eq!(n.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(n.load(Ordering::Acquire), 3);
+        let m = Mutex::new(5);
+        assert_eq!(*m.lock(), 5);
+        let t = crate::thread::spawn(|| 7u32);
+        assert_eq!(t.join().unwrap(), 7);
+    }
+}

@@ -1,0 +1,669 @@
+//! The model-checking runtime: a bounded-exhaustive scheduler that
+//! explores thread interleavings via depth-first search over scheduling
+//! decisions, with preemption bounding (the CHESS technique) to keep the
+//! state space tractable.
+//!
+//! Every synchronization operation (atomic access, mutex lock/unlock,
+//! condvar wait/notify, spawn/join) is a *scheduling point*: the runtime
+//! decides which thread executes next, records the decision on a path,
+//! and on subsequent iterations revisits unexplored alternatives until
+//! the whole (bounded) tree has been walked. Exactly one model thread
+//! runs at a time, so the model body needs no real synchronization —
+//! std primitives underneath only carry data.
+//!
+//! Weak-memory effects are modeled with vector clocks (see
+//! [`crate::sync::atomic`]): relaxed loads may observe stale values from
+//! an atomic's store history, which is what makes weakening an
+//! `Acquire`/`Release` pair to `Relaxed` an observable — and therefore
+//! checkable — bug.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Maximum threads per model (thread 0 is the model closure itself).
+pub const MAX_THREADS: usize = 8;
+
+/// Hard cap on iterations so a state-space explosion fails loudly
+/// instead of hanging CI.
+const MAX_ITERATIONS: u64 = 500_000;
+
+/// Hard cap on scheduling points in a single execution (runaway-loop
+/// backstop: a correct model finishes in far fewer).
+const MAX_OPS_PER_EXEC: u64 = 100_000;
+
+thread_local! {
+    static CURRENT: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// Per-OS-thread handle into the active execution.
+#[derive(Clone)]
+struct ThreadCtx {
+    exec: Arc<Execution>,
+    tid: usize,
+}
+
+/// A vector clock over model threads.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VClock(pub [u64; MAX_THREADS]);
+
+impl VClock {
+    /// Pointwise maximum (join) of two clocks.
+    pub fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            self.0[i] = self.0[i].max(other.0[i]);
+        }
+    }
+
+    /// True when `self` ≤ `other` pointwise (self happens-before-or-equal
+    /// other's knowledge).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+}
+
+/// Why a thread cannot currently run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Blocked {
+    /// Waiting to acquire the mutex with this runtime id.
+    Mutex(usize),
+    /// Waiting on the condvar with this runtime id; `timed` waits are
+    /// woken (as timeouts) instead of deadlocking the model.
+    Condvar { cv: usize, timed: bool },
+    /// Waiting to acquire an rwlock (runtime id, write?).
+    RwLock { lock: usize, write: bool },
+    /// Waiting for the thread with this model tid to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Run {
+    Unused,
+    Runnable,
+    Blocked(Blocked),
+    Finished,
+}
+
+struct ThreadSlot {
+    state: Run,
+    /// Park flag + its condvar: a model thread runs only while granted.
+    granted: bool,
+    /// Set when a timed condvar wait was ended by its modeled timeout
+    /// (rather than a notification); consumed by `condvar_wait`.
+    timeout_fired: bool,
+}
+
+/// One decision on the exploration path.
+struct Branch {
+    /// Index into `options` taken on the current iteration.
+    chosen: usize,
+    /// Candidate count at this point (candidates themselves are
+    /// reproduced deterministically on replay).
+    options: usize,
+}
+
+struct ExecState {
+    threads: Vec<ThreadSlot>,
+    current: usize,
+    /// DFS path: decisions are replayed up to `cursor`, then extended.
+    path: Vec<Branch>,
+    cursor: usize,
+    /// Per-thread vector clocks.
+    pub clocks: Vec<VClock>,
+    preemptions: u32,
+    ops: u64,
+    /// First failure observed this iteration (assertion, deadlock, ...).
+    failure: Option<String>,
+    /// Registered condvar wait queues, keyed by runtime id.
+    cv_waiters: Vec<VecDeque<usize>>,
+    next_obj: usize,
+}
+
+/// One model execution tree, shared by every thread of the model.
+pub struct Execution {
+    state: StdMutex<ExecState>,
+    /// One park condvar per model thread slot.
+    parks: Vec<StdCondvar>,
+    aborting: AtomicBool,
+    /// Globally unique id; lazily-initialized per-object model state
+    /// (atomics, mutexes) uses it to detect stale state from a previous
+    /// iteration or a previous model.
+    pub(crate) uid: u64,
+    max_preemptions: u32,
+}
+
+/// Unwind payload used to tear down sibling threads after a failure;
+/// swallowed by the per-thread catch_unwind.
+pub struct AbortToken;
+
+/// Source of globally unique execution ids.
+static NEXT_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl Execution {
+    fn new(max_preemptions: u32) -> Arc<Self> {
+        Arc::new(Execution {
+            state: StdMutex::new(ExecState {
+                threads: (0..MAX_THREADS)
+                    .map(|i| ThreadSlot {
+                        state: if i == 0 { Run::Runnable } else { Run::Unused },
+                        granted: i == 0,
+                        timeout_fired: false,
+                    })
+                    .collect(),
+                current: 0,
+                path: Vec::new(),
+                cursor: 0,
+                clocks: vec![VClock::default(); MAX_THREADS],
+                preemptions: 0,
+                ops: 0,
+                failure: None,
+                cv_waiters: Vec::new(),
+                next_obj: 0,
+            }),
+            parks: (0..MAX_THREADS).map(|_| StdCondvar::new()).collect(),
+            aborting: AtomicBool::new(false),
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            max_preemptions,
+        })
+    }
+
+    /// Carries the DFS path into the next iteration's fresh execution.
+    fn with_path(self: &Arc<Self>) -> Arc<Self> {
+        let next = Execution::new(self.max_preemptions);
+        {
+            let old = self.state.lock().unwrap();
+            let mut st = next.state.lock().unwrap();
+            st.path = old
+                .path
+                .iter()
+                .map(|b| Branch {
+                    chosen: b.chosen,
+                    options: b.options,
+                })
+                .collect();
+        }
+        next
+    }
+
+    /// Advances the DFS path to the next unexplored branch. Returns
+    /// `false` when the tree is exhausted.
+    fn backtrack(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        // Drop decisions never replayed this iteration (shorter run).
+        let cursor = st.cursor;
+        st.path.truncate(cursor);
+        while let Some(last) = st.path.last_mut() {
+            if last.chosen + 1 < last.options {
+                last.chosen += 1;
+                return true;
+            }
+            st.path.pop();
+        }
+        false
+    }
+
+    fn fail(&self, st: &mut ExecState, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        self.aborting.store(true, Ordering::SeqCst);
+        // Wake every parked thread so it can unwind.
+        for t in st.threads.iter_mut() {
+            t.granted = true;
+        }
+        for cv in &self.parks {
+            cv.notify_all();
+        }
+    }
+
+    /// Records a generic branch decision with `options` alternatives and
+    /// returns the chosen index. `options` must be ≥ 1 and reproduce
+    /// deterministically on replay.
+    pub fn decide(&self, options: usize) -> usize {
+        let mut st = self.state.lock().unwrap();
+        self.decide_locked(&mut st, options)
+    }
+
+    fn decide_locked(&self, st: &mut ExecState, options: usize) -> usize {
+        debug_assert!(options >= 1);
+        if st.cursor < st.path.len() {
+            let b = &st.path[st.cursor];
+            debug_assert_eq!(
+                b.options, options,
+                "non-deterministic model: replay diverged (loom models must \
+                 make the same choices given the same schedule)"
+            );
+            let chosen = b.chosen;
+            st.cursor += 1;
+            chosen
+        } else {
+            st.path.push(Branch { chosen: 0, options });
+            st.cursor += 1;
+            0
+        }
+    }
+
+    /// The scheduling point: decides which runnable thread executes
+    /// next and parks the caller until it is granted again. Called by
+    /// the current thread before every synchronization operation.
+    pub fn sched_point(&self, tid: usize) {
+        self.check_abort();
+        let mut st = self.state.lock().unwrap();
+        st.ops += 1;
+        if st.ops > MAX_OPS_PER_EXEC {
+            self.fail(
+                &mut st,
+                "model exceeded the per-execution operation cap (livelock?)".into(),
+            );
+            drop(st);
+            self.check_abort();
+            return;
+        }
+        // Tick the acting thread's clock component.
+        st.clocks[tid].0[tid] += 1;
+
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        debug_assert!(runnable.contains(&tid), "current thread must be runnable");
+        // Preemption bounding: continuing the current thread is free;
+        // switching away from a runnable thread costs one preemption.
+        let candidates: Vec<usize> = if st.preemptions >= self.max_preemptions {
+            vec![tid]
+        } else {
+            // Current thread first so choice 0 = "keep running".
+            let mut c = vec![tid];
+            c.extend(runnable.iter().copied().filter(|&t| t != tid));
+            c
+        };
+        let chosen = candidates[self.decide_locked(&mut st, candidates.len())];
+        if chosen != tid {
+            st.preemptions += 1;
+            self.switch_locked(st, tid, chosen, true);
+        }
+    }
+
+    /// Hands control to `next`; if `park` the calling thread waits until
+    /// re-granted. Consumes the state guard.
+    fn switch_locked(
+        &self,
+        mut st: std::sync::MutexGuard<'_, ExecState>,
+        from: usize,
+        next: usize,
+        park: bool,
+    ) {
+        st.current = next;
+        st.threads[from].granted = false;
+        st.threads[next].granted = true;
+        self.parks[next].notify_all();
+        if park {
+            while !st.threads[from].granted {
+                st = self.parks[from].wait(st).unwrap();
+            }
+        }
+        drop(st);
+        self.check_abort();
+    }
+
+    /// Blocks the current thread on `reason` and hands control to some
+    /// runnable thread (a branch point when several exist). Returns when
+    /// the thread is runnable again.
+    fn block_current(&self, tid: usize, reason: Blocked) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[tid].state = Run::Blocked(reason);
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        let next = if runnable.is_empty() {
+            match self.wake_timed_waiter(&mut st) {
+                Some(t) => t,
+                None => {
+                    let held: Vec<String> = st
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, t)| match t.state {
+                            Run::Blocked(b) => Some(format!("thread {i} blocked on {b:?}")),
+                            _ => None,
+                        })
+                        .collect();
+                    self.fail(&mut st, format!("deadlock: {}", held.join("; ")));
+                    drop(st);
+                    self.check_abort();
+                    return;
+                }
+            }
+        } else if runnable.len() == 1 {
+            runnable[0]
+        } else {
+            // Blocking hand-offs don't count as preemptions (the current
+            // thread cannot continue), but the target is still a choice.
+            runnable[self.decide_locked(&mut st, runnable.len())]
+        };
+        self.switch_locked(st, tid, next, true);
+    }
+
+    /// Wakes the longest-waiting timed condvar waiter, modeling its
+    /// timeout firing; `None` when there is none.
+    fn wake_timed_waiter(&self, st: &mut ExecState) -> Option<usize> {
+        let timed: Option<usize> = st
+            .threads
+            .iter()
+            .position(|t| matches!(t.state, Run::Blocked(Blocked::Condvar { timed: true, .. })));
+        let t = timed?;
+        if let Run::Blocked(Blocked::Condvar { cv, .. }) = st.threads[t].state {
+            if let Some(q) = st.cv_waiters.get_mut(cv) {
+                q.retain(|&w| w != t);
+            }
+        }
+        st.threads[t].state = Run::Runnable;
+        st.threads[t].timeout_fired = true;
+        Some(t)
+    }
+
+    fn check_abort(&self) {
+        if self.aborting.load(Ordering::SeqCst) {
+            std::panic::panic_any(AbortToken);
+        }
+    }
+
+    /// True once a failure has been recorded and threads are tearing
+    /// down. Guard drops consult this to avoid panicking inside a drop
+    /// that runs during unwinding.
+    pub fn is_aborting(&self) -> bool {
+        self.aborting.load(Ordering::SeqCst)
+    }
+
+    /// Records a model failure from user code (e.g. a panic hook).
+    pub fn report_failure(&self, msg: String) {
+        let mut st = self.state.lock().unwrap();
+        self.fail(&mut st, msg);
+    }
+
+    /// Allocates a runtime id for a model-managed object (mutex, condvar,
+    /// rwlock).
+    pub fn new_object(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        let id = st.next_obj;
+        st.next_obj += 1;
+        st.cv_waiters.push(VecDeque::new());
+        id
+    }
+
+    // ---- thread management -------------------------------------------
+
+    /// Registers a new model thread; the child's clock starts as a copy
+    /// of the parent's (spawn is a release/acquire edge).
+    pub fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.state.lock().unwrap();
+        let tid = st
+            .threads
+            .iter()
+            .position(|t| t.state == Run::Unused)
+            .unwrap_or_else(|| panic!("model exceeds {MAX_THREADS} threads"));
+        st.threads[tid].state = Run::Runnable;
+        st.threads[tid].granted = false;
+        let parent_clock = st.clocks[parent].clone();
+        st.clocks[tid] = parent_clock;
+        tid
+    }
+
+    /// Parks a freshly spawned thread until the scheduler grants it.
+    pub fn wait_for_grant(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        while !st.threads[tid].granted {
+            st = self.parks[tid].wait(st).unwrap();
+        }
+        drop(st);
+        self.check_abort();
+    }
+
+    /// Marks `tid` finished, joins its clock into waiters, and hands
+    /// control onward. Does not park (the thread is done).
+    pub fn finish_thread(&self, tid: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[tid].state = Run::Finished;
+        // Wake joiners.
+        for i in 0..st.threads.len() {
+            if st.threads[i].state == Run::Blocked(Blocked::Join(tid)) {
+                st.threads[i].state = Run::Runnable;
+                let fclock = st.clocks[tid].clone();
+                st.clocks[i].join(&fclock);
+            }
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            let any_blocked = st
+                .threads
+                .iter()
+                .any(|t| matches!(t.state, Run::Blocked(_)));
+            if any_blocked {
+                match self.wake_timed_waiter(&mut st) {
+                    Some(t) => self.switch_locked(st, tid, t, false),
+                    None => {
+                        self.fail(&mut st, "deadlock: threads still blocked at exit".into());
+                    }
+                }
+            }
+            // All finished: iteration over.
+        } else {
+            let next = runnable[0];
+            self.switch_locked(st, tid, next, false);
+        }
+    }
+
+    /// Blocks until model thread `target` finishes; joins its clock.
+    pub fn join_thread(&self, tid: usize, target: usize) {
+        loop {
+            self.sched_point(tid);
+            let mut st = self.state.lock().unwrap();
+            if st.threads[target].state == Run::Finished {
+                let fclock = st.clocks[target].clone();
+                st.clocks[tid].join(&fclock);
+                return;
+            }
+            drop(st);
+            self.block_current(tid, Blocked::Join(target));
+        }
+    }
+
+    // ---- mutex / condvar / rwlock hooks ------------------------------
+    // The actual lock state lives in the caller (sync module); the
+    // runtime only provides block/wake and clock plumbing.
+
+    /// Blocks until the closure (called with the state lock held) admits
+    /// the thread. `reason` describes the wait for deadlock reports.
+    pub fn acquire_when<F>(&self, tid: usize, reason_obj: usize, write: bool, mut try_admit: F)
+    where
+        F: FnMut() -> bool,
+    {
+        loop {
+            self.sched_point(tid);
+            if try_admit() {
+                return;
+            }
+            self.block_current(
+                tid,
+                Blocked::RwLock {
+                    lock: reason_obj,
+                    write,
+                },
+            );
+        }
+    }
+
+    /// Marks every thread blocked on lock object `obj` runnable (they
+    /// re-contend at their next admission check).
+    pub fn wake_lock_waiters(&self, obj: usize) {
+        let mut st = self.state.lock().unwrap();
+        for t in st.threads.iter_mut() {
+            match t.state {
+                Run::Blocked(Blocked::Mutex(o)) if o == obj => t.state = Run::Runnable,
+                Run::Blocked(Blocked::RwLock { lock, .. }) if lock == obj => {
+                    t.state = Run::Runnable
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Blocks the current thread waiting to acquire mutex object `obj`.
+    pub fn block_on_mutex(&self, tid: usize, obj: usize) {
+        self.block_current(tid, Blocked::Mutex(obj));
+    }
+
+    /// Parks the current thread on condvar `cv` (mutex already released
+    /// by the caller). Returns when notified or — for `timed` waits —
+    /// when the model would otherwise deadlock; the return value is true
+    /// when the wait ended by timeout.
+    pub fn condvar_wait(&self, tid: usize, cv: usize, timed: bool) -> bool {
+        {
+            let mut st = self.state.lock().unwrap();
+            st.cv_waiters[cv].push_back(tid);
+        }
+        self.block_current(tid, Blocked::Condvar { cv, timed });
+        let mut st = self.state.lock().unwrap();
+        std::mem::take(&mut st.threads[tid].timeout_fired)
+    }
+
+    /// Wakes up to `n` waiters of condvar `cv` in FIFO order.
+    pub fn condvar_notify(&self, cv: usize, n: usize) {
+        let mut st = self.state.lock().unwrap();
+        for _ in 0..n {
+            let Some(w) = st.cv_waiters[cv].pop_front() else {
+                break;
+            };
+            if matches!(st.threads[w].state, Run::Blocked(Blocked::Condvar { .. })) {
+                st.threads[w].state = Run::Runnable;
+            }
+        }
+    }
+
+    // ---- clock access ------------------------------------------------
+
+    /// Snapshot of thread `tid`'s vector clock.
+    pub fn clock_of(&self, tid: usize) -> VClock {
+        self.state.lock().unwrap().clocks[tid].clone()
+    }
+
+    /// Joins `other` into thread `tid`'s clock.
+    pub fn join_clock(&self, tid: usize, other: &VClock) {
+        self.state.lock().unwrap().clocks[tid].join(other);
+    }
+
+    fn take_failure(&self) -> Option<String> {
+        self.state.lock().unwrap().failure.take()
+    }
+}
+
+/// Returns the active execution context of this OS thread, if any.
+pub fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|ctx| (ctx.exec.clone(), ctx.tid)))
+}
+
+/// True when called from inside a `loom::model` thread.
+pub fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Installs the execution context on a spawned model thread.
+pub fn set_current(exec: Arc<Execution>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(ThreadCtx { exec, tid }));
+}
+
+/// Clears the context (end of a model thread's body).
+pub fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Model-checking entry point: explores interleavings of `f` until the
+/// (preemption-bounded) schedule tree is exhausted or a failure is found.
+pub fn explore<F>(max_preemptions: u32, f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let f = Arc::new(f);
+    let mut exec = Execution::new(max_preemptions);
+    let log = std::env::var("LOOM_LOG").is_ok();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        if iterations > MAX_ITERATIONS {
+            panic!("loom: model not exhausted after {MAX_ITERATIONS} iterations");
+        }
+        let body = Arc::clone(&f);
+        let iter_exec = Arc::clone(&exec);
+        // Thread 0 runs on its own OS thread so a failing iteration can
+        // be torn down without poisoning the caller's thread state.
+        let handle = std::thread::Builder::new()
+            .name("loom-model-0".into())
+            .spawn(move || {
+                set_current(Arc::clone(&iter_exec), 0);
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| body()));
+                if let Err(payload) = result {
+                    if !payload.is::<AbortToken>() {
+                        let msg = panic_message(&payload);
+                        let mut st = iter_exec.state.lock().unwrap();
+                        iter_exec.fail(&mut st, msg);
+                    }
+                }
+                // Drive any still-live sibling threads to completion (or
+                // detect that they are deadlocked). May unwind with an
+                // AbortToken during failure teardown.
+                let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    iter_exec.finish_thread(0);
+                }));
+                clear_current();
+            })
+            .expect("spawn loom model thread");
+        let _ = handle.join();
+        crate::thread::join_all_model_threads();
+
+        if let Some(failure) = exec.take_failure() {
+            let path: Vec<usize> = exec
+                .state
+                .lock()
+                .unwrap()
+                .path
+                .iter()
+                .map(|b| b.chosen)
+                .collect();
+            panic!(
+                "loom model failed at iteration {iterations}: {failure}\n  schedule path: {path:?}"
+            );
+        }
+        if !exec.backtrack() {
+            if log {
+                eprintln!("loom: model passed, {iterations} iterations explored");
+            }
+            return;
+        }
+        exec = exec.with_path();
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}

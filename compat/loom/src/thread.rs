@@ -1,0 +1,118 @@
+//! Model-aware `thread::spawn` / `JoinHandle`.
+//!
+//! Inside `loom::model`, spawned closures run on real OS threads but are
+//! scheduled cooperatively by the runtime (exactly one runs at a time);
+//! spawn and join are happens-before edges in the vector-clock model.
+//! Outside a model this is plain `std::thread`.
+
+use crate::rt::{self, AbortToken};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// OS handles of model threads from the current iteration; drained by
+/// the explorer after each iteration. Model runs are serialized by the
+/// global model lock, so this registry is never shared across models.
+static OS_HANDLES: StdMutex<Vec<std::thread::JoinHandle<()>>> = StdMutex::new(Vec::new());
+
+/// Joins every OS thread spawned by the just-finished iteration.
+pub(crate) fn join_all_model_threads() {
+    let handles = std::mem::take(&mut *OS_HANDLES.lock().unwrap());
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+/// Handle to a spawned thread (model-scheduled inside `loom::model`).
+pub struct JoinHandle<T> {
+    /// Model path: result slot + model tid.
+    model: Option<(Arc<StdMutex<Option<T>>>, usize)>,
+    /// Passthrough path: the real handle.
+    native: Option<std::thread::JoinHandle<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match (self.model, self.native) {
+            (Some((slot, target)), _) => {
+                let (exec, tid) = rt::current().expect("model JoinHandle joined outside its model");
+                exec.join_thread(tid, target);
+                match slot.lock().unwrap().take() {
+                    Some(v) => Ok(v),
+                    // The child panicked; the model already recorded the
+                    // failure and every thread is tearing down.
+                    None => std::panic::panic_any(AbortToken),
+                }
+            }
+            (None, Some(h)) => h.join(),
+            (None, None) => unreachable!("JoinHandle has neither model nor native side"),
+        }
+    }
+}
+
+/// Spawns a thread; inside `loom::model` it joins the cooperative
+/// schedule instead of running freely.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((exec, tid)) = rt::current() {
+        let child = exec.register_thread(tid);
+        let slot = Arc::new(StdMutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        let exec2 = Arc::clone(&exec);
+        let os = std::thread::Builder::new()
+            .name(format!("loom-model-{child}"))
+            .spawn(move || {
+                rt::set_current(Arc::clone(&exec2), child);
+                exec2.wait_for_grant(child);
+                match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => {
+                        *slot2.lock().unwrap() = Some(v);
+                    }
+                    Err(payload) => {
+                        if !payload.is::<AbortToken>() {
+                            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                                (*s).to_string()
+                            } else if let Some(s) = payload.downcast_ref::<String>() {
+                                s.clone()
+                            } else {
+                                "model thread panicked".to_string()
+                            };
+                            exec2.report_failure(msg);
+                        }
+                    }
+                }
+                // finish_thread may itself unwind with an AbortToken
+                // when the model is tearing down after a failure.
+                let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    exec2.finish_thread(child);
+                }));
+                rt::clear_current();
+            })
+            .expect("spawn loom model thread");
+        OS_HANDLES.lock().unwrap().push(os);
+        // Spawning is itself a scheduling point: the child may run first.
+        exec.sched_point(tid);
+        JoinHandle {
+            model: Some((slot, child)),
+            native: None,
+        }
+    } else {
+        JoinHandle {
+            model: None,
+            native: Some(std::thread::spawn(f)),
+        }
+    }
+}
+
+/// Yields to the model scheduler (a plain scheduling point); outside a
+/// model, yields the OS thread.
+pub fn yield_now() {
+    if let Some((exec, tid)) = rt::current() {
+        exec.sched_point(tid);
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -125,6 +125,9 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         deadline: Instant,
     ) -> WaitTimeoutResult {
+        // lint:allow(wall-clock): vendored stand-in for the external
+        // parking_lot crate; implements the timeout primitive itself.
+        #[allow(clippy::disallowed_methods)]
         let now = Instant::now();
         let timeout = deadline.saturating_duration_since(now);
         self.wait_for(guard, timeout)

@@ -15,7 +15,6 @@
 //!       --seed 42 --workers 1,2,4,8 --out BENCH_e2e.json
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use vmqs_core::{OverloadConfig, Strategy};
 use vmqs_microscope::VmOp;
@@ -127,7 +126,7 @@ fn run_once(mode: &'static str, op: VmOp, workers: usize, seed: u64, quick: bool
     let total: usize = streams.iter().map(|s| s.queries.len()).sum();
     let server = bench_server(workers);
 
-    let start = Instant::now();
+    let start = vmqs_core::clock::now();
     let records = match mode {
         "interactive" => run_server_interactive(&server, streams),
         _ => {
@@ -222,7 +221,7 @@ fn run_overload_once(load_factor: usize, workers: usize, seed: u64, quick: bool)
         .with_overload(ov);
     let server = QueryServer::new(cfg, Arc::new(SyntheticSource::new()));
 
-    let start = Instant::now();
+    let start = vmqs_core::clock::now();
     let handles = server.submit_batch(specs);
     server.resume_workers();
     let (mut admitted, mut shed, mut rejected) = (0u64, 0u64, 0u64);

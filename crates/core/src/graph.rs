@@ -141,7 +141,15 @@ impl<S: QuerySpec> SchedulingGraph<S> {
         let mut new_in: Vec<Edge> = Vec::new();
         let mut new_out: Vec<Edge> = Vec::new();
         let mut touched: Vec<QueryId> = Vec::new();
-        for (&peer_id, peer) in &self.nodes {
+        // Deterministic peer order: the edge lists built here fix the
+        // float-summation order inside `Strategy::rank`, so iterating the
+        // node map directly would leak HashMap order into ranks (caught
+        // by `xtask lint` rule nondet-iter).
+        // lint:sorted: iterated via the sorted id vector below
+        let mut peer_ids: Vec<QueryId> = self.nodes.keys().copied().collect();
+        peer_ids.sort_unstable();
+        for peer_id in peer_ids {
+            let peer = &self.nodes[&peer_id];
             self.stats.overlap_evals += 2;
             let w_peer_to_new = peer.spec.reuse_bytes(&spec) as f64;
             let w_new_to_peer = spec.reuse_bytes(&peer.spec) as f64;
@@ -371,7 +379,9 @@ impl<S: QuerySpec> SchedulingGraph<S> {
     /// index. Exists for the incremental-vs-full re-ranking ablation and as
     /// a test oracle; `O(V + E)` per call.
     pub fn recompute_all_ranks(&mut self) {
-        let ids: Vec<QueryId> = self.nodes.keys().copied().collect();
+        // lint:sorted: sorted below so the oracle is order-deterministic
+        let mut ids: Vec<QueryId> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
         self.waiting.clear();
         for id in ids {
             let rank = self.compute_rank(id);
@@ -387,6 +397,7 @@ impl<S: QuerySpec> SchedulingGraph<S> {
     /// Renders the graph in Graphviz DOT format (debugging aid).
     pub fn to_dot(&self) -> String {
         let mut s = String::from("digraph scheduling {\n");
+        // lint:sorted: sorted on the next line before rendering
         let mut ids: Vec<&QueryId> = self.nodes.keys().collect();
         ids.sort();
         for id in &ids {
@@ -415,6 +426,8 @@ impl<S: QuerySpec> SchedulingGraph<S> {
     /// Internal consistency check (test/debug aid): edge mirroring, WAITING
     /// index membership, and rank agreement with a from-scratch computation.
     pub fn validate(&self) -> Result<(), String> {
+        // lint:sorted: order-independent consistency check (the first
+        // reported error may vary, but pass/fail cannot)
         for (&id, n) in &self.nodes {
             for e in &n.out_edges {
                 let peer = self

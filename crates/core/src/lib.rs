@@ -21,8 +21,10 @@
 //! discrete-event simulator in `vmqs-sim`) drive this graph; applications
 //! (the Virtual Microscope in `vmqs-microscope`) plug in a `QuerySpec`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod geom;
 pub mod graph;
 pub mod ids;
@@ -33,12 +35,14 @@ pub mod spec;
 pub mod state;
 pub mod stats;
 pub mod strategy;
+pub mod sync;
 
 pub use geom::Rect;
 pub use graph::{Edge, GraphStats, SchedulingGraph};
 pub use ids::{BlobId, ClientId, DatasetId, IdGen, QueryId};
 pub use overload::{
-    retry_after_estimate, shed_victim, OverloadConfig, PressureSignals, TokenBucket,
+    retry_after_estimate, shed_victim, OverloadConfig, PressureSignals, SharedTokenBucket,
+    TokenBucket,
 };
 pub use rank::Rank;
 pub use spatial::{GridIndex, SpatialSpec};

@@ -1,0 +1,56 @@
+//! Synchronization facade for every concurrency-critical primitive in
+//! the workspace.
+//!
+//! Code that participates in a loom model — the Data Store entry state
+//! machine, the Page Space in-flight claim dedup, the metrics registry
+//! counters, the overload token bucket, and the engine's lock/condvar
+//! fabric — must import its primitives from here instead of `std::sync`
+//! or `parking_lot` directly:
+//!
+//! * In a normal build this re-exports `std::sync::Arc`,
+//!   `std::sync::atomic`, and the vendored parking_lot `Mutex` /
+//!   `Condvar` / `RwLock` — zero-cost, identical to what the code used
+//!   before.
+//! * Under `RUSTFLAGS="--cfg loom"` it re-exports the vendored loom
+//!   model checker's primitives instead. Outside `loom::model` those
+//!   pass through to std, so the whole regular test suite still runs;
+//!   inside a model every operation becomes a scheduling point and the
+//!   `tests/loom.rs` models explore interleavings exhaustively.
+//!
+//! The two families expose the same (parking_lot-style, non-poisoning)
+//! API, so switching is purely a matter of which `--cfg` is active.
+
+#[cfg(loom)]
+pub use loom::sync::{
+    Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(not(loom))]
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(not(loom))]
+pub use std::sync::Arc;
+
+/// Atomic types and orderings (loom-modeled under `--cfg loom`).
+pub mod atomic {
+    #[cfg(loom)]
+    pub use loom::sync::atomic::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}
+
+/// Thread spawn/join routed through the model scheduler under loom.
+pub mod thread {
+    #[cfg(loom)]
+    pub use loom::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(not(loom))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}

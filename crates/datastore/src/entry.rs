@@ -1,7 +1,7 @@
 //! Blob entries held by the Data Store Manager.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use vmqs_core::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use vmqs_core::{BlobId, QueryId};
 
 /// The stored contents of a blob.
@@ -34,6 +34,163 @@ impl Payload {
     }
 }
 
+/// Lifecycle phase of a blob entry (paper §2's accumulator meta-data
+/// object states).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// `malloc`ed, producer still writing: invisible to lookups and
+    /// protected from eviction.
+    Accumulating = 0,
+    /// Committed: visible to lookups, eligible for eviction.
+    Full = 1,
+    /// Evicted: the entry must never be read again.
+    SwappedOut = 2,
+}
+
+/// Atomic state machine guarding a blob entry's lifecycle
+/// (ACCUMULATING → FULL → SWAPPED_OUT) plus a reader pin count.
+///
+/// The orderings are load-bearing and checked by the loom models in
+/// `tests/loom.rs`:
+///
+/// * [`EntryState::publish`] stores FULL with `Release` so the
+///   producer's payload writes happen-before any reader that observes
+///   visibility via an `Acquire` load (model `ds_entry_publish`).
+/// * [`EntryState::pin`] / [`EntryState::try_swap_out`] run the
+///   store-buffering protocol — reader: *increment pins, then check
+///   state*; evictor: *mark SWAPPED_OUT, then check pins* — with
+///   `SeqCst` on both cross-checks. Weakening either check to `Relaxed`
+///   lets both sides see stale values, and a pinned entry gets freed
+///   under a reader (model `ds_entry_no_read_after_swapout`).
+#[derive(Debug)]
+pub struct EntryState {
+    phase: AtomicU8,
+    /// Readers currently projecting from the entry's payload.
+    pins: AtomicU32,
+}
+
+impl EntryState {
+    /// Creates the state machine in ACCUMULATING.
+    pub fn new() -> Self {
+        EntryState {
+            phase: AtomicU8::new(Phase::Accumulating as u8),
+            pins: AtomicU32::new(0),
+        }
+    }
+
+    fn decode(v: u8) -> Phase {
+        match v {
+            0 => Phase::Accumulating,
+            1 => Phase::Full,
+            _ => Phase::SwappedOut,
+        }
+    }
+
+    /// Current phase (Acquire: pairs with the Release in `publish`, so a
+    /// caller that observes FULL also observes the committed payload).
+    pub fn phase(&self) -> Phase {
+        Self::decode(self.phase.load(Ordering::Acquire))
+    }
+
+    /// ACCUMULATING → FULL. Returns false when the entry was not
+    /// accumulating (double commit or already evicted). Release: the
+    /// producer's payload writes become visible with the transition.
+    pub fn publish(&self) -> bool {
+        self.phase
+            .compare_exchange(
+                Phase::Accumulating as u8,
+                Phase::Full as u8,
+                Ordering::Release,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// True when the entry may be returned by lookups.
+    pub fn is_visible(&self) -> bool {
+        self.phase() == Phase::Full
+    }
+
+    /// Acquires a read pin. Returns false when the entry is not FULL —
+    /// in particular, after SWAPPED_OUT; a true return guarantees the
+    /// payload stays valid until the matching [`EntryState::unpin`].
+    ///
+    /// Pin-then-check: the increment must be visible to the evictor's
+    /// pin check before this thread's state check can miss an eviction,
+    /// which is exactly the store-buffering pattern — both the RMW and
+    /// the state load are SeqCst.
+    pub fn pin(&self) -> bool {
+        self.pins.fetch_add(1, Ordering::SeqCst);
+        if self.phase.load(Ordering::SeqCst) == Phase::Full as u8 {
+            true
+        } else {
+            self.pins.fetch_sub(1, Ordering::Release);
+            false
+        }
+    }
+
+    /// Releases a read pin.
+    pub fn unpin(&self) {
+        self.pins.fetch_sub(1, Ordering::Release);
+    }
+
+    /// FULL → SWAPPED_OUT, permitted only when no reader holds a pin.
+    /// Returns true when the caller may free/reuse the payload: the
+    /// entry is marked SWAPPED_OUT *first*, then the pin count is
+    /// checked (SeqCst on both, mirroring [`EntryState::pin`]) — any
+    /// reader that slipped in either bumped pins before our check (we
+    /// refuse) or will see SWAPPED_OUT and back off.
+    pub fn try_swap_out(&self) -> bool {
+        if self
+            .phase
+            .compare_exchange(
+                Phase::Full as u8,
+                Phase::SwappedOut as u8,
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return false;
+        }
+        if self.pins.load(Ordering::SeqCst) == 0 {
+            true
+        } else {
+            // A reader pinned between our CAS and the check: back out.
+            self.phase.store(Phase::Full as u8, Ordering::Release);
+            false
+        }
+    }
+
+    /// Unconditional transition to SWAPPED_OUT (caller holds exclusive
+    /// structural access, e.g. the store's write lock).
+    pub fn force_swap_out(&self) {
+        self.phase.store(Phase::SwappedOut as u8, Ordering::Release);
+    }
+
+    /// Current pin count (diagnostics).
+    pub fn pin_count(&self) -> u32 {
+        self.pins.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for EntryState {
+    fn default() -> Self {
+        EntryState::new()
+    }
+}
+
+impl Clone for EntryState {
+    fn clone(&self) -> Self {
+        // A clone is a fresh, unpinned snapshot of the phase.
+        EntryState {
+            phase: AtomicU8::new(self.phase.load(Ordering::Acquire)),
+            pins: AtomicU32::new(0),
+        }
+    }
+}
+
 /// One intermediate result registered in the Data Store, together with its
 /// semantic metadata (the producing query's predicate).
 #[derive(Debug)]
@@ -50,10 +207,9 @@ pub struct BlobEntry<S> {
     pub size: u64,
     /// Result contents (or virtual for simulation).
     pub payload: Payload,
-    /// False while the producing query is still executing (a `malloc`ed but
-    /// uncommitted buffer): invisible to lookups and protected from
-    /// eviction.
-    pub ready: bool,
+    /// Lifecycle state machine: entries are invisible to lookups and
+    /// protected from eviction until published.
+    pub state: EntryState,
     /// LRU stamp; atomic so lookups can touch entries through `&self`
     /// (concurrent readers under the store's read lock).
     pub(crate) last_access: AtomicU64,
@@ -67,7 +223,7 @@ impl<S: Clone> Clone for BlobEntry<S> {
             spec: self.spec.clone(),
             size: self.size,
             payload: self.payload.clone(),
-            ready: self.ready,
+            state: self.state.clone(),
             last_access: AtomicU64::new(self.last_access.load(Ordering::Relaxed)),
         }
     }
@@ -76,7 +232,7 @@ impl<S: Clone> Clone for BlobEntry<S> {
 impl<S> BlobEntry<S> {
     /// True when the entry may be returned by lookups.
     pub fn visible(&self) -> bool {
-        self.ready
+        self.state.is_visible()
     }
 }
 
@@ -92,5 +248,43 @@ mod tests {
         assert_eq!(Payload::Virtual.len(), None);
         assert!(!Payload::Virtual.is_empty());
         assert!(Payload::Bytes(Vec::new().into()).is_empty());
+    }
+
+    #[test]
+    fn entry_state_lifecycle() {
+        let st = EntryState::new();
+        assert_eq!(st.phase(), Phase::Accumulating);
+        assert!(!st.is_visible());
+        assert!(!st.pin(), "accumulating entries cannot be pinned");
+        assert!(st.publish());
+        assert!(!st.publish(), "double publish refused");
+        assert_eq!(st.phase(), Phase::Full);
+        assert!(st.pin());
+        assert!(!st.try_swap_out(), "pinned entries cannot be evicted");
+        assert_eq!(st.phase(), Phase::Full);
+        st.unpin();
+        assert!(st.try_swap_out());
+        assert_eq!(st.phase(), Phase::SwappedOut);
+        assert!(!st.pin(), "swapped-out entries cannot be pinned");
+        assert!(!st.try_swap_out(), "double swap-out refused");
+    }
+
+    #[test]
+    fn force_swap_out_from_any_phase() {
+        let st = EntryState::new();
+        st.force_swap_out();
+        assert_eq!(st.phase(), Phase::SwappedOut);
+        assert!(!st.publish(), "cannot publish after swap-out");
+    }
+
+    #[test]
+    fn clone_resets_pins() {
+        let st = EntryState::new();
+        assert!(st.publish());
+        assert!(st.pin());
+        let c = st.clone();
+        assert_eq!(c.phase(), Phase::Full);
+        assert_eq!(c.pin_count(), 0);
+        st.unpin();
     }
 }

@@ -16,12 +16,13 @@
 //! SWAPPED_OUT, keeping "the up-to-date state of the system … reflected to
 //! the query server" (paper §4).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod entry;
 mod spatial_store;
 mod store;
 
-pub use entry::{BlobEntry, Payload};
+pub use entry::{BlobEntry, EntryState, Payload, Phase};
 pub use spatial_store::SpatialDataStore;
 pub use store::{DataStore, DsError, DsStats, EvictionPolicy, Match};

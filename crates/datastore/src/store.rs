@@ -9,9 +9,9 @@
 //! evicted producers so the engine can mark them SWAPPED_OUT in the
 //! scheduling graph.
 
-use crate::entry::{BlobEntry, Payload};
+use crate::entry::{BlobEntry, EntryState, Payload};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use vmqs_core::sync::atomic::{AtomicU64, Ordering};
 use vmqs_core::{BlobId, QueryId, QuerySpec};
 
 /// Which ready, unpinned blob to evict first when space is needed.
@@ -195,6 +195,10 @@ impl<S: QuerySpec> DataStore<S> {
             match self.pick_victim() {
                 Some(victim) => {
                     let e = self.remove(victim).expect("victim exists");
+                    // The entry is out of the map; mark it so any clone
+                    // or late reader holding a pin attempt sees
+                    // SWAPPED_OUT instead of a stale FULL.
+                    e.state.force_swap_out();
                     evicted.push((e.id, e.producer));
                     self.stats.evicted.fetch_add(1, Ordering::Relaxed);
                     self.stats
@@ -218,7 +222,7 @@ impl<S: QuerySpec> DataStore<S> {
                 spec,
                 size,
                 payload: Payload::Virtual,
-                ready: false,
+                state: EntryState::new(),
                 last_access: AtomicU64::new(now),
             },
         );
@@ -233,7 +237,6 @@ impl<S: QuerySpec> DataStore<S> {
             .entries
             .get_mut(&blob)
             .unwrap_or_else(|| panic!("commit of unknown blob {blob}"));
-        assert!(!e.ready, "double commit of {blob}");
         if let Some(len) = payload.len() {
             debug_assert_eq!(
                 len as u64, e.size,
@@ -241,7 +244,7 @@ impl<S: QuerySpec> DataStore<S> {
             );
         }
         e.payload = payload;
-        e.ready = true;
+        assert!(e.state.publish(), "double commit of {blob}");
         self.stats.committed.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -263,7 +266,7 @@ impl<S: QuerySpec> DataStore<S> {
     /// Drops an uncommitted reservation (producing query aborted).
     pub fn abort(&mut self, blob: BlobId) {
         if let Some(e) = self.entries.get(&blob) {
-            assert!(!e.ready, "abort of committed blob {blob}");
+            assert!(!e.state.is_visible(), "abort of committed blob {blob}");
             self.remove(blob);
         }
     }
@@ -380,7 +383,7 @@ impl<S: QuerySpec> DataStore<S> {
     }
 
     fn pick_victim(&self) -> Option<BlobId> {
-        let candidates = self.entries.values().filter(|e| e.ready);
+        let candidates = self.entries.values().filter(|e| e.visible());
         let stamp = |e: &BlobEntry<S>| e.last_access.load(Ordering::Relaxed);
         match self.policy {
             EvictionPolicy::Lru => candidates.min_by_key(|e| stamp(e)).map(|e| e.id),

@@ -1,9 +1,9 @@
 //! Typed scheduler events and the append-only event log.
 
-use parking_lot::Mutex;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use vmqs_core::sync::atomic::{AtomicU64, Ordering};
+use vmqs_core::sync::Mutex;
 use vmqs_core::QueryId;
 
 /// What happened to a query. One variant per schema point shared by the
@@ -135,7 +135,7 @@ impl EventLog {
     pub fn new(enabled: bool) -> Self {
         EventLog {
             enabled,
-            origin: Instant::now(),
+            origin: vmqs_core::clock::now(),
             seq: AtomicU64::new(0),
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
         }

@@ -1,11 +1,10 @@
 //! Counters, histograms, gauges, and the registry with JSON/Prometheus
 //! exposition.
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use vmqs_core::sync::atomic::{AtomicU64, Ordering};
+use vmqs_core::sync::{Arc, Mutex};
 
 /// A monotonically increasing atomic counter.
 #[derive(Debug, Default)]
@@ -65,7 +64,13 @@ impl Histogram {
         let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
         let idx = BOUNDS.partition_point(|&b| b < v);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        // Release publishes the bucket increment above: a snapshot that
+        // observes this sample in `count` (Acquire) also observes its
+        // bucket, keeping `sum(buckets) >= count` — the invariant
+        // `quantile` depends on. Checked by the `histogram_snapshot`
+        // loom model; Relaxed here loses samples from buckets and
+        // `quantile` spuriously reports +Inf.
+        self.count.fetch_add(1, Ordering::Release);
         let mut cur = self.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
@@ -81,8 +86,16 @@ impl Histogram {
         }
     }
 
-    /// Snapshot of buckets/count/sum, consistent enough for reporting.
+    /// Snapshot of buckets/count/sum. Concurrent `observe`s may or may
+    /// not be included, but every sample included in `count` is present
+    /// in `buckets` (so bucket sums are never behind the count).
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // Count FIRST (Acquire, pairing with observe's Release), then
+        // buckets: samples appended between the two reads can only
+        // surplus the buckets, never deficit them. Reading buckets
+        // before count reintroduces the deficit race this ordering
+        // exists to prevent.
+        let count = self.count.load(Ordering::Acquire);
         HistogramSnapshot {
             bounds: BOUNDS.to_vec(),
             buckets: self
@@ -90,7 +103,7 @@ impl Histogram {
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
         }
     }

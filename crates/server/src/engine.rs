@@ -44,12 +44,13 @@ use crate::error::{deadline_error, ServerError};
 use crate::pages::SharedPageSpace;
 use crate::result::{AnswerPath, QueryRecord, QueryResult, ServerSummary};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex, RwLock};
+
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use vmqs_core::clock;
+use vmqs_core::sync::atomic::{AtomicU64, Ordering};
+use vmqs_core::sync::{Arc, Condvar, Mutex, RwLock};
 use vmqs_core::{
     retry_after_estimate, shed_victim, BlobId, ClientId, IdGen, PressureSignals, QueryId,
     QuerySpec, QueryState, SchedulingGraph, SpatialSpec, TokenBucket,
@@ -211,15 +212,23 @@ impl<A: AppExecutor> QueryServer<A> {
             app,
             cfg,
         });
-        let workers = (0..cfg.num_threads)
-            .map(|i| {
+        // Worker spawns can fail under OS thread exhaustion; the pool
+        // degrades to however many threads the OS granted rather than
+        // panicking. Zero workers would strand every accepted query, so
+        // that case (and only that case) is a hard startup failure.
+        let workers: Vec<_> = (0..cfg.num_threads)
+            .filter_map(|i| {
                 let core = Arc::clone(&core);
                 std::thread::Builder::new()
                     .name(format!("vmqs-query-{i}"))
                     .spawn(move || worker_loop(&core))
-                    .expect("failed to spawn query thread")
+                    .ok()
             })
             .collect();
+        assert!(
+            !workers.is_empty(),
+            "could not spawn any query worker thread"
+        );
         QueryServer { core, workers }
     }
 
@@ -251,7 +260,7 @@ impl<A: AppExecutor> QueryServer<A> {
                 assert!(!s.shutdown, "submit after shutdown");
                 s.graph.insert(id, spec);
                 s.pending.insert(id, tx);
-                s.submit_time.insert(id, Instant::now());
+                s.submit_time.insert(id, clock::now());
                 s.outstanding += 1;
             }
             self.core.obs.log.log(id, EventKind::Submitted);
@@ -273,16 +282,21 @@ impl<A: AppExecutor> QueryServer<A> {
             retry_ratio,
         };
 
-        enum Decision {
+        // The response sender travels *inside* the decision: an admitted
+        // query's sender is parked in `pending` under the lock, a
+        // rejected query's sender rides out in `Rejected` so the refusal
+        // can be delivered outside the lock. No slot, no take(), no
+        // "taken once" invariant to uphold at runtime.
+        enum Decision<S> {
             Admitted {
                 degraded: bool,
             },
             Rejected {
                 rate_limited: bool,
                 retry_after: Duration,
+                tx: Sender<Result<QueryResult<S>, ServerError>>,
             },
         }
-        let mut tx_slot = Some(tx);
         let mut shed_out: Vec<ShedVictim<A::Spec>> = Vec::new();
         let mut observed_level;
         let decision = {
@@ -302,6 +316,7 @@ impl<A: AppExecutor> QueryServer<A> {
                 Decision::Rejected {
                     rate_limited: true,
                     retry_after: Duration::from_secs_f64(wait),
+                    tx,
                 }
             } else if ov.max_pending > 0 && depth >= ov.max_pending {
                 // Histogram reads are atomic — no lock below `sched` here.
@@ -313,6 +328,7 @@ impl<A: AppExecutor> QueryServer<A> {
                         self.core.cfg.num_threads,
                         mean_service,
                     )),
+                    tx,
                 }
             } else {
                 let mut level = signals(depth + 1).level();
@@ -325,8 +341,8 @@ impl<A: AppExecutor> QueryServer<A> {
                     }
                 }
                 s.graph.insert(id, spec);
-                s.pending.insert(id, tx_slot.take().expect("tx taken once"));
-                s.submit_time.insert(id, Instant::now());
+                s.pending.insert(id, tx);
+                s.submit_time.insert(id, clock::now());
                 s.outstanding += 1;
                 if degraded {
                     s.degraded.insert(id);
@@ -385,6 +401,7 @@ impl<A: AppExecutor> QueryServer<A> {
             Decision::Rejected {
                 rate_limited,
                 retry_after,
+                tx,
             } => {
                 self.core.rejected.fetch_add(1, Ordering::Relaxed);
                 self.core.qmet.rejected.inc();
@@ -392,7 +409,6 @@ impl<A: AppExecutor> QueryServer<A> {
                     .obs
                     .log
                     .log(id, EventKind::Rejected { rate_limited });
-                let tx = tx_slot.take().expect("rejected query kept its sender");
                 let _ = tx.send(Err(ServerError::Overloaded { retry_after }));
             }
         }
@@ -665,7 +681,7 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
                     continue;
                 }
             };
-            let submitted = s.submit_time.remove(&id).unwrap_or_else(Instant::now);
+            let submitted = s.submit_time.remove(&id).unwrap_or_else(clock::now);
             let was_degraded = s.degraded.remove(&id);
             (id, spec, submitted, score, was_degraded)
         };
@@ -679,12 +695,12 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>) {
         // The deadline covers the whole client-visible response time:
         // it starts at submission, so queue wait counts against it.
         let deadline = core.cfg.query_timeout.map(|t| submitted + t);
-        let started = Instant::now();
+        let started = clock::now();
         core.qmet
             .queue_wait
             .observe((started - submitted).as_secs_f64());
         let exec = execute_query(core, id, spec, deadline);
-        let finished = Instant::now();
+        let finished = clock::now();
 
         // Publish the result. Each state component is locked on its own,
         // in sequence; the result bytes were materialized as `Arc<[u8]>`
@@ -833,7 +849,7 @@ fn execute_query<A: AppExecutor>(
 
     // A query that spent its whole budget queued is cancelled before any
     // work happens on its behalf.
-    if deadline.is_some_and(|d| Instant::now() >= d) {
+    if deadline.is_some_and(|d| clock::now() >= d) {
         return Err(deadline_error());
     }
 
@@ -852,12 +868,12 @@ fn execute_query<A: AppExecutor>(
                 s.blocked_fallbacks += 1;
             } else {
                 s.waiting_on.insert(id, dep.peer);
-                let t0 = Instant::now();
+                let t0 = clock::now();
                 while s.graph.state_of(dep.peer) == Some(QueryState::Executing) && !s.shutdown {
                     match deadline {
                         None => core.done_cv.wait(&mut s),
                         Some(d) => {
-                            if Instant::now() >= d {
+                            if clock::now() >= d {
                                 // Deadline expired while blocked on the
                                 // dependency: withdraw the wait-for edge
                                 // and cancel.

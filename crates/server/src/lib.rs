@@ -12,6 +12,7 @@
 //! same scheduling graph, data store, and page cache cores in virtual
 //! time.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod app;

@@ -33,9 +33,9 @@
 //! `deadline_is_anchored_at_submit_so_queue_wait_counts`.
 
 use crate::error::{deadline_error, is_deadline};
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
+use vmqs_core::clock;
+use vmqs_core::sync::{Arc, Condvar, Mutex};
 use vmqs_core::{DatasetId, QueryId};
 use vmqs_obs::{EventKind, Obs, PageMetrics};
 use vmqs_pagespace::{PageCacheCore, PageData, PageDisposition, PageKey, PsStats, RetryPolicy};
@@ -171,7 +171,7 @@ impl SharedPageSpace {
     ) -> std::io::Result<(Vec<u8>, u32)> {
         let mut attempt: u32 = 0;
         loop {
-            if deadline.is_some_and(|d| Instant::now() >= d) {
+            if deadline.is_some_and(|d| clock::now() >= d) {
                 self.core.lock().note_failed_read();
                 return Err(deadline_error());
             }
@@ -205,7 +205,7 @@ impl SharedPageSpace {
                     if let Some(d) = deadline {
                         // Never sleep past the deadline; the loop head
                         // converts an expired deadline into a typed error.
-                        delay = delay.min(d.saturating_duration_since(Instant::now()));
+                        delay = delay.min(d.saturating_duration_since(clock::now()));
                     }
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
@@ -319,7 +319,7 @@ impl SharedPageSpace {
                 match deadline {
                     None => self.resident_cv.wait(&mut core),
                     Some(d) => {
-                        let now = Instant::now();
+                        let now = clock::now();
                         if now >= d {
                             core.note_failed_read();
                             return Err(deadline_error());
@@ -374,14 +374,14 @@ impl PageSpaceSession<'_> {
     /// Time left before the deadline (`None` = unbounded).
     pub fn remaining(&self) -> Option<Duration> {
         self.deadline
-            .map(|d| d.saturating_duration_since(Instant::now()))
+            .map(|d| d.saturating_duration_since(clock::now()))
     }
 
     /// Fails with a deadline error once the deadline has passed; cheap
     /// enough for applications to call between compute stages.
     pub fn check_deadline(&self) -> std::io::Result<()> {
         match self.deadline {
-            Some(d) if Instant::now() >= d => Err(deadline_error()),
+            Some(d) if clock::now() >= d => Err(deadline_error()),
             _ => Ok(()),
         }
     }
@@ -587,7 +587,7 @@ mod tests {
     #[test]
     fn session_deadline_cancels_reads() {
         let ps = SharedPageSpace::new(1 << 20, 256, Arc::new(SyntheticSource::new()));
-        let session = ps.session(Some(Instant::now() - Duration::from_millis(1)));
+        let session = ps.session(Some(clock::now() - Duration::from_millis(1)));
         let e = session.read_page(DatasetId(0), 0).unwrap_err();
         assert!(crate::error::is_deadline(&e));
         assert!(session.check_deadline().is_err());
@@ -611,8 +611,8 @@ mod tests {
             jitter: 0.0,
         };
         let ps = SharedPageSpace::with_retry(1 << 20, 256, Arc::new(faulty), policy, 0);
-        let session = ps.session(Some(Instant::now() + Duration::from_millis(20)));
-        let t0 = Instant::now();
+        let session = ps.session(Some(clock::now() + Duration::from_millis(20)));
+        let t0 = clock::now();
         let e = session.read_page(DatasetId(0), 0).unwrap_err();
         assert!(t0.elapsed() < Duration::from_millis(500));
         assert!(crate::error::is_deadline(&e));

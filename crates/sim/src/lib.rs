@@ -28,6 +28,7 @@
 //! assert!(report.records[1].exact_hit); // second query reuses the first
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod app;

@@ -355,7 +355,7 @@ mod tests {
     fn latency_spikes_delay_reads() {
         let cfg = FaultConfig::none().with_spikes(1.0, Duration::from_millis(5));
         let s = faulty(cfg);
-        let t0 = std::time::Instant::now();
+        let t0 = vmqs_core::clock::now();
         s.read_page(DatasetId(0), 0, 32).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(4));
         assert_eq!(s.stats().spikes, 1);

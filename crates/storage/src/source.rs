@@ -338,7 +338,7 @@ mod tests {
     fn throttled_source_sleeps_scaled_time() {
         // 1 ms seek at scale 1.0 → at least ~1 ms for one page.
         let t = ThrottledSource::new(SyntheticSource::new(), DiskModel::new(1e-3, 1e12), 1.0);
-        let t0 = std::time::Instant::now();
+        let t0 = vmqs_core::clock::now();
         t.read_page(DatasetId(1), 0, 64).unwrap();
         assert!(t0.elapsed() >= Duration::from_micros(900));
     }

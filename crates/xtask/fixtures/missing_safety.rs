@@ -1,0 +1,20 @@
+// Seeded violation for the `safety-comment` rule. One finding
+// expected: the undocumented unsafe block; the documented fn and
+// documented call site stay quiet.
+
+/// Reads a byte.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn documented(buf: &[u8]) -> u8 {
+    // SAFETY: buf is non-empty, checked by the caller.
+    unsafe { read_byte(buf.as_ptr()) }
+}
+
+pub fn undocumented(buf: &[u8]) -> u8 {
+    unsafe { read_byte(buf.as_ptr()) }
+}

@@ -1,0 +1,35 @@
+// Seeded violations for the `nondet-iter` rule (only fires when the
+// file is on the deterministic-surface list). Two findings expected:
+// the keys() iteration and the for-loop; the justified drain and the
+// BTreeMap stay quiet.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Ranked {
+    scores: HashMap<u64, f64>,
+    ordered: BTreeMap<u64, f64>,
+}
+
+impl Ranked {
+    pub fn bad_keys(&self) -> Vec<u64> {
+        self.scores.keys().copied().collect()
+    }
+
+    pub fn bad_loop(&self) -> f64 {
+        let mut total = 0.0;
+        for (_, v) in &self.scores {
+            total += v;
+        }
+        total
+    }
+
+    pub fn justified(&mut self) -> Vec<(u64, f64)> {
+        // lint:sorted: drained pairs are sorted before they escape
+        let mut pairs: Vec<_> = self.scores.drain().collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs
+    }
+
+    pub fn deterministic(&self) -> Vec<u64> {
+        self.ordered.keys().copied().collect()
+    }
+}

@@ -1,0 +1,24 @@
+// Seeded violations for the `hot-unwrap` rule (only fires when the
+// file is on the hot-path list). Two findings expected: the unwrap and
+// the expect; the justified site and the test module stay quiet.
+
+pub fn bad_unwrap(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u64>) -> u64 {
+    v.expect("value must be present")
+}
+
+pub fn justified(v: Option<u64>) -> u64 {
+    // lint:allow(unwrap): fixture demonstrating the escape hatch
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+// Seeded violations for the `wall-clock` rule. Not compiled — scanned
+// by the xtask unit tests, which expect exactly two
+// findings and none from the marked or test-module sites.
+use std::time::{Instant, SystemTime};
+
+pub fn bad_monotonic() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_calendar() -> SystemTime {
+    SystemTime::now()
+}
+
+// lint:allow(wall-clock): fixture demonstrating the escape hatch
+pub fn allowed() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_a_test_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,462 @@
+//! Workspace task runner.
+//!
+//! ```text
+//! cargo xtask lint [workspace-root]
+//! ```
+//!
+//! `lint` runs the determinism and safety lints that clippy cannot
+//! express, using a hand-rolled line scanner (no external parser — the
+//! build image is offline). Four rules:
+//!
+//! * **wall-clock** — `Instant::now()` / `SystemTime::now()` are
+//!   forbidden everywhere except the `vmqs_core::clock` origin.
+//!   Mirrors `clippy.toml`'s `disallowed-methods` so the rule also
+//!   holds on builds that don't run clippy. Escape hatch:
+//!   `// lint:allow(wall-clock): <why>` within three lines above.
+//! * **nondet-iter** — on deterministic surfaces (ranking and
+//!   conformance-trace modules), iterating a `HashMap`/`HashSet`
+//!   declared in the same file is forbidden: iteration order would
+//!   leak host randomness into ranked output and golden traces. Use a
+//!   `BTreeMap`, sort before emitting, or justify with
+//!   `// lint:sorted: <why order cannot escape>`.
+//! * **hot-unwrap** — `.unwrap()` / `.expect(` are forbidden on the
+//!   server worker and submit paths (outside `#[cfg(test)]`): a panic
+//!   there poisons no lock (parking_lot) and strands every queued
+//!   query. Convert to a typed `ServerError` or justify with
+//!   `// lint:allow(unwrap): <why unreachable>`.
+//! * **safety-comment** — every `unsafe` block/fn/impl needs a
+//!   `SAFETY:` (or rustdoc `# Safety`) comment within five lines
+//!   above, and every non-`unsafe`-using crate must carry
+//!   `#![forbid(unsafe_code)]` in its `lib.rs`.
+//!
+//! Exit status is non-zero when any rule fires; each violation prints
+//! as `path:line: [rule] message`. The seeded-violation fixtures under
+//! `crates/xtask/fixtures/` are scanned only by the unit tests, which
+//! assert that every rule both fires on its fixture and stays quiet on
+//! the clean one.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files on the deterministic surface: ranking decisions and
+/// conformance-trace output. Iteration order here is observable in
+/// golden traces, so rule `nondet-iter` applies.
+const SURFACE_FILES: &[&str] = &[
+    "crates/core/src/rank.rs",
+    "crates/core/src/graph.rs",
+    "crates/core/src/strategy.rs",
+    "crates/obs/src/event.rs",
+    "crates/obs/src/metrics.rs",
+    "crates/obs/src/timeline.rs",
+];
+
+/// Files on the server hot path: the worker loop and the submit path.
+/// Rule `hot-unwrap` applies.
+const HOT_PATH_FILES: &[&str] = &["crates/server/src/engine.rs", "crates/server/src/pages.rs"];
+
+/// The sanctioned wall-clock origin — exempt from rule `wall-clock`.
+const CLOCK_ORIGIN: &str = "crates/core/src/clock.rs";
+
+/// Crates allowed to contain `unsafe` (and therefore exempt from the
+/// `#![forbid(unsafe_code)]` requirement): only the storage layer's
+/// AVX-512 page fill.
+const UNSAFE_CRATES: &[&str] = &["crates/storage"];
+
+#[derive(Debug, PartialEq)]
+struct Violation {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Per-file lint configuration, derived from the workspace-relative
+/// path (and constructed directly by the fixture tests).
+#[derive(Clone, Copy, Default)]
+struct FileCtx<'a> {
+    rel: &'a str,
+    surface: bool,
+    hot_path: bool,
+    clock_origin: bool,
+}
+
+impl<'a> FileCtx<'a> {
+    fn for_path(rel: &'a str) -> Self {
+        FileCtx {
+            rel,
+            surface: SURFACE_FILES.contains(&rel),
+            hot_path: HOT_PATH_FILES.contains(&rel),
+            clock_origin: rel == CLOCK_ORIGIN,
+        }
+    }
+}
+
+/// True when `lines[idx]` or any of the `window` lines above it
+/// contains `marker`.
+fn marked(lines: &[&str], idx: usize, marker: &str, window: usize) -> bool {
+    let lo = idx.saturating_sub(window);
+    lines[lo..=idx].iter().any(|l| l.contains(marker))
+}
+
+/// Strips `//` comments so commented-out code never trips a rule.
+/// (Line-based: does not attempt string-literal awareness, which the
+/// codebase's style makes a non-issue.)
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(p) => &line[..p],
+        None => line,
+    }
+}
+
+fn lint_file(ctx: FileCtx<'_>, content: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = content.lines().collect();
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<Violation>, idx: usize, rule: &'static str, message: String| {
+        out.push(Violation {
+            file: ctx.rel.to_string(),
+            line: idx + 1,
+            rule,
+            message,
+        });
+    };
+
+    // Everything after `#[cfg(test)]` is test code: hot-path panics
+    // there are fine, as is reading the real clock to time a test.
+    let test_start = lines
+        .iter()
+        .position(|l| l.trim() == "#[cfg(test)]")
+        .unwrap_or(lines.len());
+
+    // ---- wall-clock ---------------------------------------------------
+    if !ctx.clock_origin {
+        for (i, line) in lines.iter().enumerate().take(test_start) {
+            let code = code_of(line);
+            if (code.contains("Instant::now()") || code.contains("SystemTime::now()"))
+                && !marked(&lines, i, "lint:allow(wall-clock)", 3)
+            {
+                push(
+                    &mut out,
+                    i,
+                    "wall-clock",
+                    "raw clock read; route through vmqs_core::clock (see clippy.toml)".into(),
+                );
+            }
+        }
+    }
+
+    // ---- nondet-iter --------------------------------------------------
+    if ctx.surface {
+        // Pass 1: names declared with a HashMap/HashSet type anywhere in
+        // the file (fields and annotated locals).
+        let mut hash_names: Vec<String> = Vec::new();
+        for line in &lines {
+            let code = code_of(line);
+            let mut rest = code;
+            while let Some(p) = rest.find("Hash") {
+                let after = &rest[p..];
+                if after.starts_with("HashMap<") || after.starts_with("HashSet<") {
+                    // Walk back over `name:` / `name :` before the type.
+                    let before = rest[..p].trim_end();
+                    if let Some(b) = before.strip_suffix(':') {
+                        let name: String = b
+                            .trim_end()
+                            .chars()
+                            .rev()
+                            .take_while(|c| c.is_alphanumeric() || *c == '_')
+                            .collect::<Vec<_>>()
+                            .into_iter()
+                            .rev()
+                            .collect();
+                        if !name.is_empty() && !hash_names.contains(&name) {
+                            hash_names.push(name);
+                        }
+                    }
+                }
+                rest = &rest[p + 4..];
+            }
+        }
+        // Pass 2: iteration over any such name.
+        const ITER_CALLS: &[&str] = &[".iter()", ".keys()", ".values()", ".into_iter()", ".drain("];
+        for (i, line) in lines.iter().enumerate().take(test_start) {
+            let code = code_of(line);
+            for name in &hash_names {
+                // Method-style iteration (`x.keys()`, `self.x.drain(..)`)
+                // or a for-loop whose iterated expression names `x`.
+                let method = ITER_CALLS
+                    .iter()
+                    .any(|c| code.contains(&format!("{name}{c}")));
+                let for_loop = code.contains("for ")
+                    && code
+                        .find(" in ")
+                        .is_some_and(|p| code[p + 4..].contains(name.as_str()));
+                let iterated = method || for_loop;
+                if iterated && !marked(&lines, i, "lint:sorted", 3) {
+                    push(
+                        &mut out,
+                        i,
+                        "nondet-iter",
+                        format!(
+                            "iterating hash-ordered `{name}` on a deterministic surface; \
+                             use BTreeMap/BTreeSet, sort first, or justify with `// lint:sorted:`"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- hot-unwrap ---------------------------------------------------
+    if ctx.hot_path {
+        for (i, line) in lines.iter().enumerate().take(test_start) {
+            let code = code_of(line);
+            if (code.contains(".unwrap()") || code.contains(".expect("))
+                && !marked(&lines, i, "lint:allow(unwrap)", 3)
+            {
+                push(
+                    &mut out,
+                    i,
+                    "hot-unwrap",
+                    "panic on the worker/submit path; return a typed ServerError \
+                     or justify with `// lint:allow(unwrap):`"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    // ---- safety-comment -----------------------------------------------
+    for (i, line) in lines.iter().enumerate() {
+        let code = code_of(line).trim_start();
+        let starts_unsafe = code.contains("unsafe fn ")
+            || code.contains("unsafe impl ")
+            || code.contains("unsafe {");
+        if starts_unsafe && !marked(&lines, i, "SAFETY:", 2) && !marked(&lines, i, "# Safety", 6) {
+            push(
+                &mut out,
+                i,
+                "safety-comment",
+                "`unsafe` without a `// SAFETY:` comment within 5 lines".into(),
+            );
+        }
+    }
+
+    out
+}
+
+/// Checks that a crate's `lib.rs` forbids unsafe code (unless the crate
+/// is on the `UNSAFE_CRATES` allowlist).
+fn lint_forbid(rel_lib: &str, content: &str) -> Vec<Violation> {
+    let crate_dir = rel_lib.trim_end_matches("/src/lib.rs");
+    if UNSAFE_CRATES.contains(&crate_dir) {
+        return Vec::new();
+    }
+    if content.contains("#![forbid(unsafe_code)]") {
+        return Vec::new();
+    }
+    vec![Violation {
+        file: rel_lib.to_string(),
+        line: 1,
+        rule: "forbid-unsafe",
+        message: "crate does not need unsafe: add `#![forbid(unsafe_code)]`".into(),
+    }]
+}
+
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Vendored external shims and the lint fixtures are out of
+            // scope (fixtures are scanned by the unit tests instead).
+            if name == "target" || name == "fixtures" || name == ".git" {
+                continue;
+            }
+            rust_files_under(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn run_lint(root: &Path) -> Result<usize, String> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests"] {
+        rust_files_under(&root.join(top), &mut files);
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "no Rust sources under {} — wrong workspace root?",
+            root.display()
+        ));
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The linter's own sources carry every rule pattern as a string
+        // literal; scanning them is pure false positives.
+        if rel.starts_with("crates/xtask/") {
+            continue;
+        }
+        let content =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        violations.extend(lint_file(FileCtx::for_path(&rel), &content));
+        if rel.starts_with("crates/") && rel.ends_with("/src/lib.rs") {
+            violations.extend(lint_forbid(&rel, &content));
+        }
+    }
+
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    Ok(violations.len())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."));
+            match run_lint(&root) {
+                Ok(0) => {
+                    eprintln!("xtask lint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(n) => {
+                    eprintln!("xtask lint: {n} violation(s)");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [workspace-root]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str) -> String {
+        let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name);
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+    }
+
+    fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn wall_clock_fixture_fires() {
+        let v = lint_file(FileCtx::default(), &fixture("wall_clock.rs"));
+        assert_eq!(rules_of(&v), ["wall-clock", "wall-clock"]);
+        // The marked site and the test-module site stay quiet.
+        assert!(v.iter().all(|x| x.line < 20), "{v:?}");
+    }
+
+    #[test]
+    fn nondet_iter_fixture_fires() {
+        let ctx = FileCtx {
+            surface: true,
+            ..FileCtx::default()
+        };
+        let v = lint_file(ctx, &fixture("nondet_iter.rs"));
+        assert_eq!(rules_of(&v), ["nondet-iter", "nondet-iter"]);
+        // ...but not on a non-surface file.
+        assert!(lint_file(FileCtx::default(), &fixture("nondet_iter.rs")).is_empty());
+    }
+
+    #[test]
+    fn hot_unwrap_fixture_fires() {
+        let ctx = FileCtx {
+            hot_path: true,
+            ..FileCtx::default()
+        };
+        let v = lint_file(ctx, &fixture("unwrap_hot.rs"));
+        assert_eq!(rules_of(&v), ["hot-unwrap", "hot-unwrap"]);
+        assert!(lint_file(FileCtx::default(), &fixture("unwrap_hot.rs")).is_empty());
+    }
+
+    #[test]
+    fn missing_safety_fixture_fires() {
+        let v = lint_file(FileCtx::default(), &fixture("missing_safety.rs"));
+        assert_eq!(rules_of(&v), ["safety-comment"]);
+    }
+
+    #[test]
+    fn clean_fixture_is_clean() {
+        let ctx = FileCtx {
+            surface: true,
+            hot_path: true,
+            ..FileCtx::default()
+        };
+        let v = lint_file(ctx, &fixture("clean.rs"));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn forbid_rule() {
+        assert_eq!(
+            rules_of(&lint_forbid("crates/demo/src/lib.rs", "pub fn f() {}")),
+            ["forbid-unsafe"]
+        );
+        assert!(lint_forbid(
+            "crates/demo/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}"
+        )
+        .is_empty());
+        // Allowlisted unsafe crate.
+        assert!(lint_forbid("crates/storage/src/lib.rs", "pub fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn clock_origin_exempt() {
+        let ctx = FileCtx {
+            clock_origin: true,
+            ..FileCtx::default()
+        };
+        assert!(lint_file(ctx, "pub fn now() { Instant::now(); }").is_empty());
+    }
+
+    /// The real workspace must be clean — the same invocation CI runs.
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        assert_eq!(run_lint(root).unwrap(), 0);
+    }
+}

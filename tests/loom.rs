@@ -1,0 +1,332 @@
+//! Loom models for the concurrency-critical primitives behind
+//! `vmqs_core::sync`.
+//!
+//! Compiled and run only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test --release --test loom
+//! ```
+//!
+//! Each model exhaustively explores thread interleavings (including
+//! coherence-admissible stale reads of relaxed atomics) within the
+//! preemption bound and fails on any schedule that violates its
+//! assertion. The orderings these models pin down are documented at the
+//! primitive (`EntryState`, `Histogram::observe`, the Page Space claim
+//! protocol); weakening any of them makes the matching model fail — see
+//! `docs/loom-counterexamples.md` for the recorded counterexamples.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::thread;
+use vmqs_core::{DatasetId, SharedTokenBucket};
+use vmqs_datastore::EntryState;
+use vmqs_obs::{Counter, Histogram};
+use vmqs_pagespace::{PageCacheCore, PageData, PageDisposition, PageKey};
+
+fn key() -> PageKey {
+    PageKey::new(DatasetId(1), 0)
+}
+
+/// Publish protocol: a reader that observes FULL (Acquire) must also
+/// observe the payload bytes the producer wrote before the Release
+/// publish. Weakening `EntryState::publish` to `Relaxed` lets the
+/// reader see FULL with a stale (zero) payload.
+#[test]
+fn ds_entry_publish() {
+    loom::model(|| {
+        let st = Arc::new(EntryState::new());
+        let payload = Arc::new(AtomicU64::new(0));
+
+        let producer = {
+            let (st, payload) = (st.clone(), payload.clone());
+            thread::spawn(move || {
+                payload.store(42, Ordering::Relaxed);
+                assert!(st.publish());
+            })
+        };
+        let reader = {
+            let (st, payload) = (st.clone(), payload.clone());
+            thread::spawn(move || {
+                if st.is_visible() {
+                    assert_eq!(
+                        payload.load(Ordering::Relaxed),
+                        42,
+                        "observed FULL but not the committed payload"
+                    );
+                }
+            })
+        };
+        producer.join().unwrap();
+        reader.join().unwrap();
+        assert!(st.is_visible());
+    });
+}
+
+/// Store-buffering protocol between `pin` and `try_swap_out`: an entry
+/// must never be reclaimed while a reader holds a pin, and a pinned
+/// reader must see the committed payload. The ghost `in_use` counter
+/// (SeqCst RMWs only, so it is never stale) records the true overlap;
+/// weakening either SeqCst cross-check to `Relaxed` lets the evictor
+/// reclaim under an active reader.
+#[test]
+fn ds_entry_no_read_after_swapout() {
+    loom::model(|| {
+        let st = Arc::new(EntryState::new());
+        let payload = Arc::new(AtomicU64::new(0));
+        let in_use = Arc::new(AtomicU64::new(0));
+
+        let producer = {
+            let (st, payload) = (st.clone(), payload.clone());
+            thread::spawn(move || {
+                payload.store(42, Ordering::Relaxed);
+                assert!(st.publish());
+            })
+        };
+        let evictor = {
+            let (st, in_use) = (st.clone(), in_use.clone());
+            thread::spawn(move || {
+                if st.try_swap_out() {
+                    // We own the payload now: no reader may be pinned.
+                    assert_eq!(
+                        in_use.fetch_add(0, Ordering::SeqCst),
+                        0,
+                        "entry reclaimed while a reader held a pin"
+                    );
+                }
+            })
+        };
+        let reader = {
+            let (st, payload, in_use) = (st.clone(), payload.clone(), in_use.clone());
+            thread::spawn(move || {
+                if st.pin() {
+                    in_use.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(payload.load(Ordering::Relaxed), 42);
+                    in_use.fetch_sub(1, Ordering::SeqCst);
+                    st.unpin();
+                }
+            })
+        };
+        producer.join().unwrap();
+        evictor.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+/// Duplicate elimination: however three requesters for the same page
+/// interleave, exactly one receives `MustFetch`; everyone else hits the
+/// cache or waits on the in-flight claim.
+#[test]
+fn claim_dedup_single_fetch() {
+    loom::model(|| {
+        let core = Arc::new(Mutex::new(PageCacheCore::new(4096, 1024)));
+        let fetches = Arc::new(AtomicUsize::new(0));
+
+        let worker = |core: Arc<Mutex<PageCacheCore>>, fetches: Arc<AtomicUsize>| {
+            move || {
+                let disp = {
+                    let mut g = core.lock();
+                    g.plan_read(&[key()]).pages[0].1.clone()
+                };
+                if disp == PageDisposition::MustFetch {
+                    fetches.fetch_add(1, Ordering::SeqCst);
+                    core.lock().complete_fetch(key(), PageData::Virtual);
+                }
+            }
+        };
+        let t1 = thread::spawn(worker(core.clone(), fetches.clone()));
+        let t2 = thread::spawn(worker(core.clone(), fetches.clone()));
+        worker(core.clone(), fetches.clone())();
+        t1.join().unwrap();
+        t2.join().unwrap();
+
+        assert_eq!(
+            fetches.load(Ordering::SeqCst),
+            1,
+            "duplicate elimination must admit exactly one fetcher"
+        );
+        assert!(core.lock().is_resident(key()));
+    });
+}
+
+/// Claim hand-off: the first fetcher fails, releases its claim
+/// (`abort_fetch`) and must notify waiters before exiting; the waiter
+/// then takes the claim over and completes the fetch. Dropping the
+/// notify after the abort strands the waiter forever — the model
+/// reports it as a deadlock (lost wakeup).
+#[test]
+fn claim_release_wakes_waiter() {
+    loom::model(|| {
+        let core = Arc::new(Mutex::new(PageCacheCore::new(4096, 1024)));
+        let cv = Arc::new(Condvar::new());
+        let fail_once = Arc::new(AtomicBool::new(true));
+
+        let reader =
+            |core: Arc<Mutex<PageCacheCore>>, cv: Arc<Condvar>, fail_once: Arc<AtomicBool>| {
+                move || {
+                    let mut guard = core.lock();
+                    loop {
+                        let disp = guard.plan_read(&[key()]).pages[0].1.clone();
+                        match disp {
+                            PageDisposition::Hit => break,
+                            PageDisposition::InFlightElsewhere => cv.wait(&mut guard),
+                            PageDisposition::MustFetch => {
+                                // Simulated I/O happens outside the lock.
+                                drop(guard);
+                                let failed = fail_once.swap(false, Ordering::SeqCst);
+                                guard = core.lock();
+                                if failed {
+                                    // Release the claim and give up; waiters
+                                    // must be woken so one can take over.
+                                    guard.abort_fetch(key());
+                                    cv.notify_all();
+                                    break;
+                                }
+                                guard.complete_fetch(key(), PageData::Virtual);
+                                cv.notify_all();
+                                break;
+                            }
+                        }
+                    }
+                }
+            };
+        let t1 = thread::spawn(reader(core.clone(), cv.clone(), fail_once.clone()));
+        let t2 = thread::spawn(reader(core.clone(), cv.clone(), fail_once.clone()));
+        t1.join().unwrap();
+        t2.join().unwrap();
+
+        let g = core.lock();
+        // The claim was released exactly once and re-taken exactly once:
+        // the survivor's fetch is resident and no stale claim remains.
+        assert!(
+            g.is_resident(key()),
+            "second reader must take over the claim"
+        );
+        assert!(!g.is_in_flight(key()), "claim leaked after abort/complete");
+    });
+}
+
+/// Snapshot consistency: every sample a snapshot counts is present in
+/// its buckets (`sum(buckets) >= count`), the invariant `quantile`
+/// needs to never report +Inf spuriously. Holds because `observe`
+/// increments the bucket before the `Release` count increment and
+/// `snapshot` reads the count (Acquire) before the buckets.
+#[test]
+fn histogram_snapshot() {
+    loom::model(|| {
+        let h = Arc::new(Histogram::new());
+
+        let t1 = {
+            let h = h.clone();
+            thread::spawn(move || h.observe(0.5))
+        };
+        let t2 = {
+            let h = h.clone();
+            thread::spawn(move || h.observe(0.5))
+        };
+
+        // Concurrent snapshot: may see 0, 1 or 2 samples, but never a
+        // count ahead of the buckets.
+        let s = h.snapshot();
+        let bucket_sum: u64 = s.buckets.iter().sum();
+        assert!(
+            bucket_sum >= s.count,
+            "snapshot count {} ahead of bucket sum {}",
+            s.count,
+            bucket_sum
+        );
+
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 2);
+    });
+}
+
+/// Counter reads are coherent: per-thread reads of one counter never go
+/// backwards, never exceed the true total, and joins make all
+/// increments visible.
+#[test]
+fn counter_snapshot_bound() {
+    loom::model(|| {
+        let c = Arc::new(Counter::default());
+
+        let t1 = {
+            let c = c.clone();
+            thread::spawn(move || c.inc())
+        };
+        let t2 = {
+            let c = c.clone();
+            thread::spawn(move || c.inc())
+        };
+
+        let a = c.get();
+        let b = c.get();
+        assert!(b >= a, "counter read went backwards: {a} then {b}");
+        assert!(b <= 2, "counter exceeds true total");
+
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(c.get(), 2, "join must make all increments visible");
+    });
+}
+
+/// Admission cap: three concurrent clients racing a burst-2 token
+/// bucket admit exactly two, in every interleaving. Holds because
+/// refill-and-take is a single critical section in
+/// `SharedTokenBucket::try_take`.
+#[test]
+fn token_bucket_admission_cap() {
+    loom::model(|| {
+        let bucket = Arc::new(SharedTokenBucket::new(2.0));
+        let admitted = Arc::new(AtomicUsize::new(0));
+
+        let client = |bucket: Arc<SharedTokenBucket>, admitted: Arc<AtomicUsize>| {
+            move || {
+                if bucket.try_take(0.0) {
+                    admitted.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        };
+        let t1 = thread::spawn(client(bucket.clone(), admitted.clone()));
+        let t2 = thread::spawn(client(bucket.clone(), admitted.clone()));
+        client(bucket.clone(), admitted.clone())();
+        t1.join().unwrap();
+        t2.join().unwrap();
+
+        assert_eq!(
+            admitted.load(Ordering::SeqCst),
+            2,
+            "burst-2 bucket must admit exactly 2 of 3 racing clients"
+        );
+    });
+}
+
+/// The engine's work-queue handshake (mutex + condvar, notify after
+/// push): the consumer always receives the item. Removing the notify is
+/// a lost wakeup, which the model reports as a deadlock.
+#[test]
+fn work_queue_no_lost_wakeup() {
+    loom::model(|| {
+        let q = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let cv = Arc::new(Condvar::new());
+
+        let consumer = {
+            let (q, cv) = (q.clone(), cv.clone());
+            thread::spawn(move || {
+                let mut g = q.lock();
+                while g.is_empty() {
+                    cv.wait(&mut g);
+                }
+                g.pop().unwrap()
+            })
+        };
+        {
+            let mut g = q.lock();
+            g.push(7);
+            cv.notify_one();
+        }
+        assert_eq!(consumer.join().unwrap(), 7);
+    });
+}
