@@ -8,6 +8,16 @@
 //! the repo's perf-trajectory artifact: run it before and after an engine
 //! change to quantify the end-to-end effect.
 //!
+//! Two extra sections stress the scheduler rather than the kernels:
+//!
+//! - `contention_results`: tiny disjoint queries replayed after a warmup
+//!   pass so ~100% of lookups are Data Store exact hits. Per-query compute
+//!   is near zero, so throughput is bounded by scheduler and lock overhead
+//!   — the configuration where pre-sharding the engine *lost* ground as
+//!   workers were added (DESIGN.md §12).
+//! - `overload_results`: the batch offered as a burst through the
+//!   degrade/shed ladder, once per load factor at the largest worker count.
+//!
 //! Usage:
 //!   cargo run -p vmqs-bench --release --bin bench_e2e
 //!   cargo run -p vmqs-bench --release --bin bench_e2e -- --quick
@@ -16,9 +26,10 @@
 
 use std::sync::Arc;
 
-use vmqs_core::{OverloadConfig, Strategy};
-use vmqs_microscope::VmOp;
+use vmqs_core::{ClientId, DatasetId, OverloadConfig, Rect, Strategy};
+use vmqs_microscope::{SlideDataset, VmOp, VmQuery};
 use vmqs_server::{QueryServer, ServerConfig, ServerError};
+use vmqs_sim::ClientStream;
 use vmqs_storage::SyntheticSource;
 use vmqs_workload::{
     flatten_to_batch, generate, run_server_batch, run_server_interactive, WorkloadConfig,
@@ -111,6 +122,15 @@ struct RunResult {
     exact_hits: u64,
     partial_hits: u64,
     misses: u64,
+    /// Per-query answer paths (exactly one per completed query), from the
+    /// server summary — unlike the raw Data Store counters these are not
+    /// inflated by post-wait re-probes.
+    path_exact: usize,
+    path_partial: usize,
+    path_full: usize,
+    /// Post-wait Data Store re-probes and how many found an exact match.
+    relookups: u64,
+    relookup_hits: u64,
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -141,6 +161,8 @@ fn run_once(mode: &'static str, op: VmOp, workers: usize, seed: u64, quick: bool
 
     assert_eq!(records.len(), total, "every query must complete");
     let ds = server.ds_stats();
+    let summary = server.summary();
+    let (relookups, relookup_hits) = server.relookup_stats();
     let events = server.events();
     server.shutdown();
 
@@ -174,6 +196,11 @@ fn run_once(mode: &'static str, op: VmOp, workers: usize, seed: u64, quick: bool
         exact_hits: ds.exact_hits,
         partial_hits: ds.partial_hits,
         misses: ds.misses,
+        path_exact: summary.exact_hits,
+        path_partial: summary.partial_reuse,
+        path_full: summary.full_compute,
+        relookups,
+        relookup_hits,
     }
 }
 
@@ -264,6 +291,103 @@ fn run_overload_once(load_factor: usize, workers: usize, seed: u64, quick: bool)
     }
 }
 
+/// One row of the contention section: the steady-state throughput of
+/// tiny, fully cached queries at `workers` threads.
+struct ContentionResult {
+    workers: usize,
+    queries: usize,
+    wall_s: f64,
+    qps: f64,
+    ds_hit_ratio: f64,
+}
+
+const CONTENTION_CLIENTS: usize = 16;
+const CONTENTION_TILES_PER_CLIENT: usize = 8;
+const CONTENTION_TILE: u32 = 32;
+
+/// The distinct tiles of the contention workload: disjoint 32x32 windows
+/// at zoom 1, eight per client, all on one slide. Disjoint footprints mean
+/// no cross-query reuse edges — after warmup every query is an exact hit
+/// and the Data Store never evicts, so the run measures pure scheduling
+/// overhead rather than kernels or cache policy.
+fn contention_tiles(seed: u64) -> Vec<Vec<VmQuery>> {
+    let total = CONTENTION_CLIENTS * CONTENTION_TILES_PER_CLIENT;
+    let per_row = 4096 / CONTENTION_TILE as usize;
+    let slide = SlideDataset::new(DatasetId(0), 4096, 4096);
+    (0..CONTENTION_CLIENTS)
+        .map(|c| {
+            (0..CONTENTION_TILES_PER_CLIENT)
+                .map(|t| {
+                    // The seed rotates which tiles each client owns, so the
+                    // shard assignment pattern is not an artifact of client
+                    // numbering.
+                    let i = (c * CONTENTION_TILES_PER_CLIENT + t + seed as usize) % total;
+                    let x = (i % per_row) as u32 * CONTENTION_TILE;
+                    let y = (i / per_row) as u32 * CONTENTION_TILE;
+                    VmQuery::new(
+                        slide,
+                        Rect::new(x, y, CONTENTION_TILE, CONTENTION_TILE),
+                        1,
+                        VmOp::Subsample,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Warms the Data Store with every distinct tile, then times interactive
+/// clients replaying their tiles `repeats` times. All 128 distinct results
+/// (~3 KiB each) fit the budget with two orders of magnitude to spare, so
+/// the timed phase runs at ~100% exact hits.
+fn run_contention_once(workers: usize, seed: u64, quick: bool) -> ContentionResult {
+    let tiles = contention_tiles(seed);
+    let repeats = if quick { 5 } else { 40 };
+    let server = bench_server(workers);
+
+    let warmup: Vec<VmQuery> = tiles.iter().flatten().copied().collect();
+    for h in server.submit_batch(warmup) {
+        h.wait().expect("warmup query failed");
+    }
+    let warmed = server.ds_stats();
+
+    let streams: Vec<ClientStream> = tiles
+        .iter()
+        .enumerate()
+        .map(|(c, ts)| ClientStream {
+            client: ClientId(c as u64),
+            queries: std::iter::repeat_n(ts.clone(), repeats).flatten().collect(),
+        })
+        .collect();
+    let timed: usize = streams.iter().map(|s| s.queries.len()).sum();
+
+    let start = vmqs_core::clock::now();
+    let records = run_server_interactive(&server, streams);
+    let wall = start.elapsed().as_secs_f64();
+    let ds = server.ds_stats();
+    server.shutdown();
+    assert_eq!(
+        records.len(),
+        timed + tiles.len() * CONTENTION_TILES_PER_CLIENT
+    );
+
+    // Hit ratio over the timed phase only (warmup misses subtracted out).
+    let hits = (ds.exact_hits + ds.partial_hits) - (warmed.exact_hits + warmed.partial_hits);
+    let lookups = (ds.exact_hits + ds.partial_hits + ds.misses)
+        - (warmed.exact_hits + warmed.partial_hits + warmed.misses);
+    ContentionResult {
+        workers,
+        queries: timed,
+        wall_s: wall,
+        qps: timed as f64 / wall,
+        ds_hit_ratio: if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -272,6 +396,7 @@ fn write_json(
     path: &str,
     params: &BenchParams,
     results: &[RunResult],
+    contention: &[ContentionResult],
     overload: &[OverloadResult],
 ) -> std::io::Result<()> {
     use std::io::Write;
@@ -289,7 +414,9 @@ fn write_json(
              \"wall_s\": {:.4}, \"queries_per_sec\": {:.3}, \"p50_response_ms\": {:.3}, \
              \"p95_response_ms\": {:.3}, \"p99_response_ms\": {:.3}, \
              \"mean_response_ms\": {:.3}, \"ds_hit_ratio\": {:.4}, \
-             \"exact_hits\": {}, \"partial_hits\": {}, \"misses\": {}}}{}",
+             \"exact_hits\": {}, \"partial_hits\": {}, \"misses\": {}, \
+             \"path_exact\": {}, \"path_partial\": {}, \"path_full\": {}, \
+             \"relookups\": {}, \"relookup_hits\": {}}}{}",
             json_escape(r.mode),
             json_escape(r.op),
             r.workers,
@@ -304,7 +431,30 @@ fn write_json(
             r.exact_hits,
             r.partial_hits,
             r.misses,
+            r.path_exact,
+            r.path_partial,
+            r.path_full,
+            r.relookups,
+            r.relookup_hits,
             comma
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"contention_results\": [")?;
+    let base_qps = contention.first().map_or(0.0, |r| r.qps);
+    for (i, r) in contention.iter().enumerate() {
+        let comma = if i + 1 < contention.len() { "," } else { "" };
+        let speedup = if base_qps > 0.0 {
+            r.qps / base_qps
+        } else {
+            0.0
+        };
+        writeln!(
+            f,
+            "    {{\"workers\": {}, \"queries\": {}, \"wall_s\": {:.4}, \
+             \"queries_per_sec\": {:.3}, \"ds_hit_ratio\": {:.4}, \
+             \"speedup_vs_first\": {:.3}}}{}",
+            r.workers, r.queries, r.wall_s, r.qps, r.ds_hit_ratio, speedup, comma
         )?;
     }
     writeln!(f, "  ],")?;
@@ -338,55 +488,104 @@ fn write_json(
 
 fn main() {
     let params = parse_args();
-    let mut results = Vec::new();
+    // Shared runners swing run-to-run wall clocks by tens of percent, so
+    // each configuration runs `rounds` passes and reports its best — the
+    // standard minimum-noise throughput estimator. Rounds are interleaved
+    // across configurations (round-robin, not back-to-back) so a slow
+    // patch of the machine taxes every configuration equally instead of
+    // biasing whichever one it happened to land on.
+    let rounds = if params.quick { 1 } else { 3 };
+    let mut configs: Vec<(&'static str, VmOp, usize)> = Vec::new();
+    for mode in ["interactive", "batch"] {
+        for op in [VmOp::Subsample, VmOp::Average] {
+            for &w in &params.workers {
+                configs.push((mode, op, w));
+            }
+        }
+    }
+    let mut best: Vec<Option<RunResult>> = configs.iter().map(|_| None).collect();
+    for _ in 0..rounds {
+        for (i, &(mode, op, workers)) in configs.iter().enumerate() {
+            let r = run_once(mode, op, workers, params.seed, params.quick);
+            if best[i].as_ref().is_none_or(|b| r.qps > b.qps) {
+                best[i] = Some(r);
+            }
+        }
+    }
+    let results: Vec<RunResult> = best.into_iter().flatten().collect();
     println!(
         "{:<12} {:>9} {:>8} {:>9} {:>10} {:>9} {:>9} {:>9} {:>8}",
         "mode", "op", "workers", "wall_s", "q/s", "p50_ms", "p95_ms", "p99_ms", "hit%"
     );
-    for mode in ["interactive", "batch"] {
-        for op in [VmOp::Subsample, VmOp::Average] {
-            for &workers in &params.workers {
-                let r = run_once(mode, op, workers, params.seed, params.quick);
-                println!(
-                    "{:<12} {:>9} {:>8} {:>9.3} {:>10.2} {:>9.2} {:>9.2} {:>9.2} {:>7.1}%",
-                    r.mode,
-                    r.op,
-                    r.workers,
-                    r.wall_s,
-                    r.qps,
-                    r.p50_ms,
-                    r.p95_ms,
-                    r.p99_ms,
-                    r.ds_hit_ratio * 100.0
-                );
-                results.push(r);
+    for r in &results {
+        println!(
+            "{:<12} {:>9} {:>8} {:>9.3} {:>10.2} {:>9.2} {:>9.2} {:>9.2} {:>7.1}%",
+            r.mode,
+            r.op,
+            r.workers,
+            r.wall_s,
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.ds_hit_ratio * 100.0
+        );
+    }
+    // Contention section: tiny fully cached queries, throughput bounded
+    // by scheduler overhead. Swept across worker counts — the scaling
+    // curve here is the sharded scheduler's raison d'être. Best-of-rounds
+    // like the main sweep, interleaved across worker counts.
+    let mut contention_best: Vec<Option<ContentionResult>> =
+        params.workers.iter().map(|_| None).collect();
+    for _ in 0..rounds {
+        for (i, &workers) in params.workers.iter().enumerate() {
+            let r = run_contention_once(workers, params.seed, params.quick);
+            if contention_best[i].as_ref().is_none_or(|b| r.qps > b.qps) {
+                contention_best[i] = Some(r);
             }
         }
     }
+    let contention: Vec<ContentionResult> = contention_best.into_iter().flatten().collect();
+    println!(
+        "{:<12} {:>8} {:>9} {:>10} {:>8}",
+        "contention", "workers", "wall_s", "q/s", "hit%"
+    );
+    for r in &contention {
+        println!(
+            "{:<12} {:>8} {:>9.3} {:>10.2} {:>7.1}%",
+            "cached",
+            r.workers,
+            r.wall_s,
+            r.qps,
+            r.ds_hit_ratio * 100.0
+        );
+    }
     // Overload section: the same batch offered as a burst at 2x and 4x
-    // the admission bound, through the degrade/shed ladder.
+    // the admission bound, through the degrade/shed ladder. The ladder's
+    // outcome mix depends on the bound, not the pool size, so one run per
+    // load factor (at the largest swept worker count) covers it.
+    let overload_workers = params.workers.iter().copied().max().unwrap_or(1);
     let mut overload = Vec::new();
     println!(
         "{:<12} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>10}",
         "overload", "factor", "workers", "shed%", "degr%", "rej", "wall_s", "p95_ms"
     );
     for load_factor in [2usize, 4] {
-        for &workers in &params.workers {
-            let r = run_overload_once(load_factor, workers, params.seed, params.quick);
-            println!(
-                "{:<12} {:>8}x {:>8} {:>8.1}% {:>8.1}% {:>9} {:>9.3} {:>10.2}",
-                "burst",
-                r.load_factor,
-                r.workers,
-                r.shed_rate * 100.0,
-                r.degraded_fraction * 100.0,
-                r.rejected,
-                r.wall_s,
-                r.p95_admitted_ms
-            );
-            overload.push(r);
-        }
+        let r = run_overload_once(load_factor, overload_workers, params.seed, params.quick);
+        println!(
+            "{:<12} {:>8}x {:>8} {:>8.1}% {:>8.1}% {:>9} {:>9.3} {:>10.2}",
+            "burst",
+            r.load_factor,
+            r.workers,
+            r.shed_rate * 100.0,
+            r.degraded_fraction * 100.0,
+            r.rejected,
+            r.wall_s,
+            r.p95_admitted_ms
+        );
+        overload.push(r);
     }
-    write_json(&params.out_path, &params, &results, &overload).expect("write BENCH_e2e.json");
+    write_json(&params.out_path, &params, &results, &contention, &overload)
+        .expect("write BENCH_e2e.json");
     println!("wrote {}", params.out_path);
 }

@@ -30,6 +30,7 @@ pub mod graph;
 pub mod ids;
 pub mod overload;
 pub mod rank;
+pub mod shard;
 pub mod spatial;
 pub mod spec;
 pub mod state;
@@ -41,10 +42,11 @@ pub use geom::Rect;
 pub use graph::{Edge, GraphStats, SchedulingGraph};
 pub use ids::{BlobId, ClientId, DatasetId, IdGen, QueryId};
 pub use overload::{
-    retry_after_estimate, shed_victim, OverloadConfig, PressureSignals, SharedTokenBucket,
-    TokenBucket,
+    fast_path_admissible, retry_after_estimate, shed_victim, FastAdmit, OverloadConfig,
+    PressureSignals, SharedTokenBucket, TokenBucket,
 };
 pub use rank::Rank;
+pub use shard::{shard_of_spec, steal_order};
 pub use spatial::{GridIndex, SpatialSpec};
 pub use spec::QuerySpec;
 pub use state::QueryState;

@@ -237,6 +237,72 @@ impl SharedTokenBucket {
     }
 }
 
+/// Outcome of the lock-free admission fast path (see
+/// [`fast_path_admissible`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FastAdmit {
+    /// Admit undegraded; the full ladder would decide identically, so it
+    /// need not run.
+    Admit,
+    /// Reject: the bounded queue is full. Identical to the ladder's
+    /// queue-full rejection.
+    RejectFull,
+    /// The decision may depend on secondary pressure signals or mutable
+    /// state (token buckets) — run the full ladder.
+    Escalate,
+}
+
+/// Decides whether an admission decision can be taken from a queue-depth
+/// read alone, with *provably* the same outcome as the full ladder.
+///
+/// `queue_depth` is the current number of WAITING queries, *excluding*
+/// the query being admitted (the level bound adds it back, matching the
+/// ladder's `depth + 1` convention).
+///
+/// The proof obligation is the pressure amplification bound: secondary
+/// signals multiply the queue fraction by at most
+/// `1 + 0.5 + 0.25 + 0.25 = 2.0` ([`PressureSignals::level`]), so
+///
+/// ```text
+/// level <= 2 * (queue_depth + 1) / max_pending
+/// ```
+///
+/// whatever the Data Store / Page Space state. When that bound is
+/// strictly below every active degrade/shed threshold, the ladder cannot
+/// degrade or shed either, and plain admission is the unique outcome —
+/// no global lock or secondary-signal gathering needed. Rate limiting
+/// always escalates (bucket state is mutable), and a near-threshold
+/// depth escalates so the exact level decides.
+pub fn fast_path_admissible(cfg: &OverloadConfig, queue_depth: usize) -> FastAdmit {
+    if cfg.client_rate > 0.0 {
+        return FastAdmit::Escalate;
+    }
+    if cfg.max_pending > 0 && queue_depth >= cfg.max_pending {
+        return FastAdmit::RejectFull;
+    }
+    // With an unbounded queue the level is identically 0, so degrade and
+    // shed can never fire regardless of thresholds.
+    if cfg.max_pending == 0 {
+        return FastAdmit::Admit;
+    }
+    let mut threshold = f64::INFINITY;
+    if cfg.degrades() {
+        threshold = threshold.min(cfg.degrade_threshold);
+    }
+    if cfg.sheds() {
+        threshold = threshold.min(cfg.shed_threshold);
+    }
+    if threshold == f64::INFINITY {
+        return FastAdmit::Admit;
+    }
+    let qf_next = (queue_depth + 1) as f64 / cfg.max_pending as f64;
+    if 2.0 * qf_next < threshold {
+        FastAdmit::Admit
+    } else {
+        FastAdmit::Escalate
+    }
+}
+
 /// Picks the query to shed from the WAITING set: largest `qinputsize`
 /// first (the SJF/IoAware rationale — under congestion the biggest I/O
 /// jobs delay everyone), breaking ties by latest arrival (shed the
@@ -398,6 +464,101 @@ mod tests {
         ];
         assert_eq!(shed_victim(c), Some(QueryId(3)), "largest size, newest");
         assert_eq!(shed_victim([]), None);
+    }
+
+    #[test]
+    fn fast_path_rate_limiting_always_escalates() {
+        let cfg = OverloadConfig::default().with_client_rate(2.0);
+        assert_eq!(fast_path_admissible(&cfg, 0), FastAdmit::Escalate);
+    }
+
+    #[test]
+    fn fast_path_unbounded_queue_admits() {
+        assert_eq!(
+            fast_path_admissible(&OverloadConfig::default(), 10_000),
+            FastAdmit::Admit
+        );
+        // Degrade/shed thresholds are irrelevant when level() is pinned
+        // to 0 by max_pending == 0.
+        let cfg = OverloadConfig::default()
+            .with_degrade_threshold(0.1)
+            .with_shed_threshold(0.2);
+        assert_eq!(fast_path_admissible(&cfg, 10_000), FastAdmit::Admit);
+    }
+
+    #[test]
+    fn fast_path_rejects_full_queue() {
+        let cfg = OverloadConfig::default().with_max_pending(8);
+        assert_eq!(fast_path_admissible(&cfg, 8), FastAdmit::RejectFull);
+        assert_eq!(fast_path_admissible(&cfg, 9), FastAdmit::RejectFull);
+        assert_eq!(fast_path_admissible(&cfg, 7), FastAdmit::Admit);
+    }
+
+    #[test]
+    fn fast_path_escalates_near_thresholds() {
+        let cfg = OverloadConfig::default()
+            .with_max_pending(8)
+            .with_degrade_threshold(0.5)
+            .with_shed_threshold(0.9);
+        // depth 0 -> worst-case level 2 * 1/8 = 0.25 < 0.5: fast admit.
+        assert_eq!(fast_path_admissible(&cfg, 0), FastAdmit::Admit);
+        // depth 1 -> bound 0.5, not strictly below 0.5: escalate.
+        assert_eq!(fast_path_admissible(&cfg, 1), FastAdmit::Escalate);
+        assert_eq!(fast_path_admissible(&cfg, 7), FastAdmit::Escalate);
+    }
+
+    /// The soundness property behind the fast path: whenever it answers
+    /// Admit or RejectFull, the full ladder reaches the same decision for
+    /// *every* admissible secondary-signal combination.
+    #[test]
+    fn fast_path_matches_full_ladder_under_any_signals() {
+        let signal_grid = [0.0, 0.3, 1.0];
+        for max_pending in [0usize, 4, 8, 32] {
+            for (dt, st) in [
+                (f64::INFINITY, f64::INFINITY),
+                (0.5, f64::INFINITY),
+                (f64::INFINITY, 0.9),
+                (0.5, 0.9),
+                (0.2, 0.3),
+            ] {
+                let cfg = OverloadConfig::default()
+                    .with_max_pending(max_pending)
+                    .with_degrade_threshold(dt)
+                    .with_shed_threshold(st);
+                for depth in 0..=40 {
+                    let fast = fast_path_admissible(&cfg, depth);
+                    for &ds in &signal_grid {
+                        for &miss in &signal_grid {
+                            for &retry in &signal_grid {
+                                // The ladder's decision with these signals.
+                                let full_reject = cfg.max_pending > 0 && depth >= cfg.max_pending;
+                                let level = PressureSignals {
+                                    queue_depth: depth + 1,
+                                    max_pending: cfg.max_pending,
+                                    ds_occupancy: ds,
+                                    ps_miss_ratio: miss,
+                                    retry_ratio: retry,
+                                }
+                                .level();
+                                match fast {
+                                    FastAdmit::RejectFull => assert!(full_reject),
+                                    FastAdmit::Admit => {
+                                        assert!(!full_reject);
+                                        assert!(
+                                            level < cfg.degrade_threshold
+                                                && level < cfg.shed_threshold,
+                                            "fast admit but ladder would act: \
+                                             level {level} cfg {cfg:?} depth {depth}"
+                                        );
+                                    }
+                                    FastAdmit::Escalate => {}
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

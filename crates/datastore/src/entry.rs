@@ -48,8 +48,15 @@ pub enum Phase {
     SwappedOut = 2,
 }
 
+/// Number of independent pin-counter stripes per entry. A reader pins
+/// the stripe of its choosing (workers use their own index), so
+/// concurrent readers of one hot cached entry RMW *different* cache
+/// lines instead of serializing on a single counter. Power of two so
+/// stripe selection is a mask.
+pub const PIN_STRIPES: usize = 8;
+
 /// Atomic state machine guarding a blob entry's lifecycle
-/// (ACCUMULATING → FULL → SWAPPED_OUT) plus a reader pin count.
+/// (ACCUMULATING → FULL → SWAPPED_OUT) plus a striped reader pin count.
 ///
 /// The orderings are load-bearing and checked by the loom models in
 /// `tests/loom.rs`:
@@ -57,17 +64,23 @@ pub enum Phase {
 /// * [`EntryState::publish`] stores FULL with `Release` so the
 ///   producer's payload writes happen-before any reader that observes
 ///   visibility via an `Acquire` load (model `ds_entry_publish`).
-/// * [`EntryState::pin`] / [`EntryState::try_swap_out`] run the
-///   store-buffering protocol — reader: *increment pins, then check
-///   state*; evictor: *mark SWAPPED_OUT, then check pins* — with
-///   `SeqCst` on both cross-checks. Weakening either check to `Relaxed`
-///   lets both sides see stale values, and a pinned entry gets freed
-///   under a reader (model `ds_entry_no_read_after_swapout`).
+/// * [`EntryState::pin_at`] / [`EntryState::try_swap_out`] run the
+///   store-buffering protocol — reader: *increment own pin stripe, then
+///   check state*; evictor: *mark SWAPPED_OUT, then check every
+///   stripe* — with `SeqCst` on both cross-checks. Weakening either
+///   check to `Relaxed` lets both sides see stale values, and a pinned
+///   entry gets freed under a reader (models
+///   `ds_entry_no_read_after_swapout` and
+///   `ds_entry_striped_pins_block_swapout`). Striping does not weaken
+///   the protocol: each stripe individually participates in the same
+///   SeqCst store-buffering pattern against the evictor's phase CAS,
+///   and the evictor refuses unless *all* stripes read zero.
 #[derive(Debug)]
 pub struct EntryState {
     phase: AtomicU8,
-    /// Readers currently projecting from the entry's payload.
-    pins: AtomicU32,
+    /// Readers currently projecting from the entry's payload, striped to
+    /// keep concurrent pinners off each other's cache lines.
+    pins: [AtomicU32; PIN_STRIPES],
 }
 
 impl EntryState {
@@ -75,7 +88,7 @@ impl EntryState {
     pub fn new() -> Self {
         EntryState {
             phase: AtomicU8::new(Phase::Accumulating as u8),
-            pins: AtomicU32::new(0),
+            pins: std::array::from_fn(|_| AtomicU32::new(0)),
         }
     }
 
@@ -112,35 +125,51 @@ impl EntryState {
         self.phase() == Phase::Full
     }
 
-    /// Acquires a read pin. Returns false when the entry is not FULL —
-    /// in particular, after SWAPPED_OUT; a true return guarantees the
-    /// payload stays valid until the matching [`EntryState::unpin`].
+    /// Acquires a read pin on stripe 0 (see [`EntryState::pin_at`]).
+    pub fn pin(&self) -> bool {
+        self.pin_at(0)
+    }
+
+    /// Releases a stripe-0 read pin.
+    pub fn unpin(&self) {
+        self.unpin_at(0)
+    }
+
+    /// Acquires a read pin on stripe `stripe % PIN_STRIPES` (callers pass
+    /// e.g. their worker index so concurrent readers spread over
+    /// stripes). Returns false when the entry is not FULL — in
+    /// particular, after SWAPPED_OUT; a true return guarantees the
+    /// payload stays valid until the matching [`EntryState::unpin_at`]
+    /// *on the same stripe*.
     ///
     /// Pin-then-check: the increment must be visible to the evictor's
     /// pin check before this thread's state check can miss an eviction,
     /// which is exactly the store-buffering pattern — both the RMW and
     /// the state load are SeqCst.
-    pub fn pin(&self) -> bool {
-        self.pins.fetch_add(1, Ordering::SeqCst);
+    pub fn pin_at(&self, stripe: usize) -> bool {
+        let pins = &self.pins[stripe & (PIN_STRIPES - 1)];
+        pins.fetch_add(1, Ordering::SeqCst);
         if self.phase.load(Ordering::SeqCst) == Phase::Full as u8 {
             true
         } else {
-            self.pins.fetch_sub(1, Ordering::Release);
+            pins.fetch_sub(1, Ordering::Release);
             false
         }
     }
 
-    /// Releases a read pin.
-    pub fn unpin(&self) {
-        self.pins.fetch_sub(1, Ordering::Release);
+    /// Releases a read pin taken with [`EntryState::pin_at`] on the same
+    /// `stripe`.
+    pub fn unpin_at(&self, stripe: usize) {
+        self.pins[stripe & (PIN_STRIPES - 1)].fetch_sub(1, Ordering::Release);
     }
 
-    /// FULL → SWAPPED_OUT, permitted only when no reader holds a pin.
-    /// Returns true when the caller may free/reuse the payload: the
-    /// entry is marked SWAPPED_OUT *first*, then the pin count is
-    /// checked (SeqCst on both, mirroring [`EntryState::pin`]) — any
-    /// reader that slipped in either bumped pins before our check (we
-    /// refuse) or will see SWAPPED_OUT and back off.
+    /// FULL → SWAPPED_OUT, permitted only when no reader holds a pin on
+    /// *any* stripe. Returns true when the caller may free/reuse the
+    /// payload: the entry is marked SWAPPED_OUT *first*, then every pin
+    /// stripe is checked (SeqCst on both, mirroring
+    /// [`EntryState::pin_at`]) — any reader that slipped in either
+    /// bumped its stripe before our check (we refuse) or will see
+    /// SWAPPED_OUT and back off.
     pub fn try_swap_out(&self) -> bool {
         if self
             .phase
@@ -154,7 +183,7 @@ impl EntryState {
         {
             return false;
         }
-        if self.pins.load(Ordering::SeqCst) == 0 {
+        if self.pins.iter().all(|p| p.load(Ordering::SeqCst) == 0) {
             true
         } else {
             // A reader pinned between our CAS and the check: back out.
@@ -169,9 +198,9 @@ impl EntryState {
         self.phase.store(Phase::SwappedOut as u8, Ordering::Release);
     }
 
-    /// Current pin count (diagnostics).
+    /// Current pin count summed over all stripes (diagnostics).
     pub fn pin_count(&self) -> u32 {
-        self.pins.load(Ordering::Relaxed)
+        self.pins.iter().map(|p| p.load(Ordering::Relaxed)).sum()
     }
 }
 
@@ -186,7 +215,7 @@ impl Clone for EntryState {
         // A clone is a fresh, unpinned snapshot of the phase.
         EntryState {
             phase: AtomicU8::new(self.phase.load(Ordering::Acquire)),
-            pins: AtomicU32::new(0),
+            pins: std::array::from_fn(|_| AtomicU32::new(0)),
         }
     }
 }
@@ -275,6 +304,36 @@ mod tests {
         st.force_swap_out();
         assert_eq!(st.phase(), Phase::SwappedOut);
         assert!(!st.publish(), "cannot publish after swap-out");
+    }
+
+    #[test]
+    fn striped_pins_all_block_swap_out() {
+        let st = EntryState::new();
+        assert!(st.publish());
+        // A pin on any stripe (not just stripe 0) must block eviction.
+        for stripe in [1usize, 5, PIN_STRIPES - 1, PIN_STRIPES + 3] {
+            assert!(st.pin_at(stripe));
+            assert!(!st.try_swap_out(), "stripe {stripe} pin ignored");
+            assert_eq!(st.phase(), Phase::Full);
+            st.unpin_at(stripe);
+        }
+        assert_eq!(st.pin_count(), 0);
+        assert!(st.try_swap_out());
+        assert!(!st.pin_at(3), "swapped-out entries cannot be pinned");
+    }
+
+    #[test]
+    fn pin_count_sums_stripes() {
+        let st = EntryState::new();
+        assert!(st.publish());
+        assert!(st.pin_at(0));
+        assert!(st.pin_at(1));
+        assert!(st.pin_at(9)); // aliases stripe 1
+        assert_eq!(st.pin_count(), 3);
+        st.unpin_at(0);
+        st.unpin_at(1);
+        st.unpin_at(9);
+        assert_eq!(st.pin_count(), 0);
     }
 
     #[test]

@@ -11,10 +11,11 @@
 //! completion) and a `lookup` operation used by the query server before
 //! planning any I/O.
 //!
-//! Evictions are reported back to the caller as `(blob, producer-query)`
-//! pairs so the scheduling graph can transition the producers to
-//! SWAPPED_OUT, keeping "the up-to-date state of the system … reflected to
-//! the query server" (paper §4).
+//! Evictions are reported back to the caller as `(blob, producer-query,
+//! spec)` triples so the scheduling graph can transition the producers to
+//! SWAPPED_OUT — the sharded server additionally uses the spec to route
+//! each eviction to the producer's home shard — keeping "the up-to-date
+//! state of the system … reflected to the query server" (paper §4).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +24,6 @@ mod entry;
 mod spatial_store;
 mod store;
 
-pub use entry::{BlobEntry, EntryState, Payload, Phase};
+pub use entry::{BlobEntry, EntryState, Payload, Phase, PIN_STRIPES};
 pub use spatial_store::SpatialDataStore;
-pub use store::{DataStore, DsError, DsStats, EvictionPolicy, Match};
+pub use store::{DataStore, DsError, DsStats, EvictionPolicy, EvictionRecord, Match};

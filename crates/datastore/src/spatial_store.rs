@@ -11,7 +11,7 @@
 //! equivalence property test guaranteeing identical results.
 
 use crate::entry::{BlobEntry, Payload};
-use crate::store::{DataStore, DsError, DsStats, EvictionPolicy, Match};
+use crate::store::{DataStore, DsError, DsStats, EvictionPolicy, EvictionRecord, Match};
 use vmqs_core::spatial::{GridIndex, SpatialSpec};
 use vmqs_core::{BlobId, QueryId};
 
@@ -72,11 +72,11 @@ impl<S: SpatialSpec> SpatialDataStore<S> {
         producer: QueryId,
         spec: S,
         size: u64,
-        evicted: &mut Vec<(BlobId, QueryId)>,
+        evicted: &mut Vec<EvictionRecord<S>>,
     ) -> Result<BlobId, DsError> {
         let before = evicted.len();
         let blob = self.inner.malloc(producer, spec, size, evicted)?;
-        for (b, _) in &evicted[before..] {
+        for (b, _, _) in &evicted[before..] {
             self.index.remove(b.raw());
         }
         Ok(blob)
@@ -102,7 +102,7 @@ impl<S: SpatialSpec> SpatialDataStore<S> {
         spec: S,
         size: u64,
         payload: Payload,
-        evicted: &mut Vec<(BlobId, QueryId)>,
+        evicted: &mut Vec<EvictionRecord<S>>,
     ) -> Result<BlobId, DsError> {
         let blob = self.malloc(producer, spec, size, evicted)?;
         self.commit(blob, payload);

@@ -14,6 +14,13 @@ use std::collections::HashMap;
 use vmqs_core::sync::atomic::{AtomicU64, Ordering};
 use vmqs_core::{BlobId, QueryId, QuerySpec};
 
+/// One eviction reported back to the caller: the evicted blob, the query
+/// that produced it (to be marked SWAPPED_OUT in the scheduling graph),
+/// and the victim's predicate — the sharded engine derives the
+/// producer's home shard from the spec, so the eviction can be applied
+/// under that shard's lock without a global map.
+pub type EvictionRecord<S> = (BlobId, QueryId, S);
+
 /// Which ready, unpinned blob to evict first when space is needed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EvictionPolicy {
@@ -185,7 +192,7 @@ impl<S: QuerySpec> DataStore<S> {
         producer: QueryId,
         spec: S,
         size: u64,
-        evicted: &mut Vec<(BlobId, QueryId)>,
+        evicted: &mut Vec<EvictionRecord<S>>,
     ) -> Result<BlobId, DsError> {
         if size > self.budget {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
@@ -199,11 +206,11 @@ impl<S: QuerySpec> DataStore<S> {
                     // or late reader holding a pin attempt sees
                     // SWAPPED_OUT instead of a stale FULL.
                     e.state.force_swap_out();
-                    evicted.push((e.id, e.producer));
                     self.stats.evicted.fetch_add(1, Ordering::Relaxed);
                     self.stats
                         .bytes_evicted
                         .fetch_add(e.size, Ordering::Relaxed);
+                    evicted.push((e.id, e.producer, e.spec));
                 }
                 None => {
                     self.stats.rejected.fetch_add(1, Ordering::Relaxed);
@@ -256,7 +263,7 @@ impl<S: QuerySpec> DataStore<S> {
         spec: S,
         size: u64,
         payload: Payload,
-        evicted: &mut Vec<(BlobId, QueryId)>,
+        evicted: &mut Vec<EvictionRecord<S>>,
     ) -> Result<BlobId, DsError> {
         let id = self.malloc(producer, spec, size, evicted)?;
         self.commit(id, payload);
@@ -440,7 +447,9 @@ mod tests {
         assert!(ds.lookup_exact(&s).is_some());
         // Now eviction is possible.
         assert!(ds.malloc(QueryId(2), spec(200, 50, 1), 50, &mut ev).is_ok());
-        assert_eq!(ev, vec![(blob, QueryId(1))]);
+        assert_eq!(ev.len(), 1);
+        assert_eq!((ev[0].0, ev[0].1), (blob, QueryId(1)));
+        assert_eq!(ev[0].2, s, "eviction record carries the victim's spec");
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct ServerConfig {
     /// Overload management: bounded admission, per-client rate limiting,
     /// degradation, and shedding (DESIGN.md §10). Disabled by default.
     pub overload: OverloadConfig,
+    /// Seed for each worker's steal-victim permutation (DESIGN.md §12).
+    /// Fixed by default so steal order is reproducible run to run; it has
+    /// no effect at 1 worker (a single shard never steals).
+    pub steal_seed: u64,
 }
 
 impl ServerConfig {
@@ -71,6 +75,7 @@ impl ServerConfig {
             observe: false,
             start_paused: false,
             overload: OverloadConfig::default(),
+            steal_seed: 0x05ee_d0f5_7ea1,
         }
     }
 
@@ -154,6 +159,12 @@ impl ServerConfig {
         self
     }
 
+    /// Builder-style steal-seed override.
+    pub fn with_steal_seed(mut self, seed: u64) -> Self {
+        self.steal_seed = seed;
+        self
+    }
+
     /// Builder-style admission bound (`0` = unbounded).
     pub fn with_max_pending(mut self, n: usize) -> Self {
         self.overload.max_pending = n;
@@ -210,8 +221,10 @@ mod tests {
         assert_eq!(c3.query_timeout, Some(Duration::from_millis(250)));
         let c4 = ServerConfig::small()
             .with_observability(true)
-            .with_start_paused(true);
+            .with_start_paused(true)
+            .with_steal_seed(7);
         assert!(c4.observe && c4.start_paused);
+        assert_eq!(c4.steal_seed, 7);
         assert!(!ServerConfig::small().observe);
         assert!(!ServerConfig::small().start_paused);
     }

@@ -4,10 +4,11 @@
 //! queries. Each thread repeatedly dequeues the highest-ranked WAITING
 //! query from the scheduling graph and executes it:
 //!
-//! 1. optionally **block** on an EXECUTING query whose result it can reuse
-//!    (guarded by a wait-for-graph cycle check — the paper's deadlock
-//!    avoidance),
-//! 2. **look up** the Data Store for exact or partial matches,
+//! 1. **look up** the Data Store for exact or partial matches — an exact
+//!    match answers immediately,
+//! 2. otherwise optionally **block** on an EXECUTING query whose result
+//!    it could reuse (guarded by a wait-for-graph cycle check — the
+//!    paper's deadlock avoidance), re-probing the store after the wait,
 //! 3. hand the query and its reuse sources to the application's
 //!    [`AppExecutor`], which **projects** cached results (Eq. 3), creates
 //!    **sub-queries** for the uncovered remainder, and computes them from
@@ -15,25 +16,58 @@
 //! 4. **cache** the output in the Data Store and transition the query to
 //!    CACHED, swapping out any evicted producers.
 //!
+//! ## Sharding and work stealing (DESIGN.md §12)
+//!
+//! The scheduling state is **sharded**: one [`Shard`] per worker thread,
+//! each holding its own scheduling graph, ready queue, wait-for edges,
+//! and reply channels behind its own mutex. A query is routed to its
+//! *home shard* by [`vmqs_core::shard_of_spec`] — a deterministic hash of
+//! its dataset and spatial neighborhood — so overlapping queries land on
+//! the same shard and keep their reuse edges, while disjoint workloads
+//! never contend on a scheduler lock. Each worker prefers its own shard
+//! and **steals from the richest victim shard** (per a seeded,
+//! per-worker victim permutation from [`vmqs_core::steal_order`]) when
+//! its own ready queue is empty. At one worker there is exactly one
+//! shard, no stealing, and the engine is observationally identical to
+//! the pre-shard scheduler — the property the golden-trace conformance
+//! suite pins down bit for bit.
+//!
 //! ## Locking
 //!
-//! Engine state is decomposed into three independently locked components
-//! so that the scheduler, the result cache, and metrics never contend
-//! with each other:
-//!
-//! * `sched: Mutex<SchedState>` — scheduling graph, wait-for edges,
-//!   pending reply channels, and the `outstanding` counter. Both condition
-//!   variables (`work_cv`, `done_cv`) are associated with this mutex.
-//! * `store: RwLock<SpatialDataStore>` — the semantic cache. Lookups are
-//!   read-side (`&self`, LRU stamps and counters are atomics), so
-//!   concurrent queries probe the cache in parallel under the read lock;
-//!   only insert/evict takes the write lock.
+//! * `shards[k].state: Mutex<ShardState>` — per-shard scheduling graph,
+//!   wait-for edges, reply channels. Each shard's `done_cv` (query
+//!   completion) is associated with its own mutex. A lock-free `depth`
+//!   mirror of the shard's ready-queue length lets stealers pick victims
+//!   without touching any lock.
+//! * `store: RwLock<SpatialDataStore>` — the semantic cache, still
+//!   global so reuse crosses shard boundaries. Lookups are read-side
+//!   (`&self`, LRU stamps and counters are atomics); only insert/evict
+//!   takes the write lock.
 //! * `metrics: Mutex<Vec<QueryRecord>>` — completed-query records.
+//! * `admission: Mutex<AdmissionState>` — the overload ladder's slow
+//!   path only. At low pressure admission takes the **fast path**
+//!   ([`vmqs_core::fast_path_admissible`]): a queue-depth atomic read
+//!   decides admit/reject with no global lock, provably agreeing with
+//!   the full ladder because the pressure amplification is bounded.
+//! * Idle workers park on an eventcount-style `idle` mutex + `work_cv`;
+//!   submitters only touch it when `sleepers > 0`.
+//! * `compute_slots` + `compute_cv` — the compute gate: kernel
+//!   executions (step 3's miss/partial path) take a permit, capped at
+//!   the host's available parallelism. Exact hits bypass it, so when the
+//!   pool is oversubscribed (more workers than cores) hits are served
+//!   concurrently while computes pipeline through the cores instead of
+//!   timeslicing against each other. With a permit per worker the gate
+//!   is never contended, and at one worker it is inert.
 //!
-//! **Lock hierarchy rule:** a thread holds at most *one* of the three
-//! component locks at any time. Payload bytes are materialized into
-//! `Arc<[u8]>` outside all critical sections; every section is pointer
-//! and counter bookkeeping only.
+//! **Lock hierarchy rule:** `admission → shard` (submit slow path) and
+//! one shard at a time everywhere else; no thread holds two shard locks
+//! or a shard lock together with `store`/`metrics`. Payload bytes are
+//! materialized into `Arc<[u8]>` outside all critical sections.
+//!
+//! Worker-side events are staged in per-worker [`EventBuffer`]s and
+//! drained at steal/idle boundaries — sequence numbers are stamped at
+//! emission, so the batched log is indistinguishable from direct
+//! logging (the conformance traces rely on this).
 //!
 //! The engine is generic over the application ([`VmExecutor`] is the
 //! default); everything scheduling-related is application-neutral.
@@ -49,26 +83,26 @@ use std::collections::{HashMap, HashSet};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use vmqs_core::clock;
-use vmqs_core::sync::atomic::{AtomicU64, Ordering};
+use vmqs_core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use vmqs_core::sync::{Arc, Condvar, Mutex, RwLock};
 use vmqs_core::{
-    retry_after_estimate, shed_victim, BlobId, ClientId, IdGen, PressureSignals, QueryId,
-    QuerySpec, QueryState, SchedulingGraph, SpatialSpec, TokenBucket,
+    fast_path_admissible, retry_after_estimate, shard_of_spec, shed_victim, steal_order, BlobId,
+    ClientId, FastAdmit, IdGen, PressureSignals, QueryId, QuerySpec, QueryState, SchedulingGraph,
+    SpatialSpec, TokenBucket,
 };
-use vmqs_datastore::{DsStats, Payload, SpatialDataStore};
+use vmqs_datastore::{DsStats, EvictionRecord, Payload, SpatialDataStore};
 use vmqs_microscope::PAGE_SIZE;
-use vmqs_obs::{EventKind, EventRecord, MetricsSnapshot, Obs, QueryMetrics};
+use vmqs_obs::{EventBuffer, EventKind, EventRecord, MetricsSnapshot, Obs, QueryMetrics};
 use vmqs_pagespace::PsStats;
 use vmqs_storage::DataSource;
 
-/// A shed victim staged for delivery outside the scheduler lock: the
-/// query, its (possibly already-taken) response channel, and the
-/// pressure level that triggered the decision.
-type ShedVictim<S> = (
-    QueryId,
-    Option<Sender<Result<QueryResult<S>, ServerError>>>,
-    f64,
-);
+/// A query's reply channel.
+type ReplyTx<S> = Sender<Result<QueryResult<S>, ServerError>>;
+
+/// A shed victim staged for delivery outside all scheduler locks: the
+/// query, its home shard, its (possibly already-taken) response channel,
+/// and the pressure level that triggered the decision.
+type ShedVictim<S> = (QueryId, usize, Option<ReplyTx<S>>, f64);
 
 /// A client's handle to an in-flight query.
 #[derive(Debug)]
@@ -90,47 +124,123 @@ impl<S> QueryHandle<S> {
     }
 }
 
-/// Scheduler component: everything the dequeue/blocking/completion
-/// transitions touch. Guarded by `Core::sched`.
-struct SchedState<S: SpatialSpec> {
+/// One shard's scheduler component: everything the dequeue/blocking/
+/// completion transitions touch for queries homed here. Guarded by
+/// [`Shard::state`].
+struct ShardState<S: SpatialSpec> {
     graph: SchedulingGraph<S>,
     blob_of: HashMap<QueryId, BlobId>,
     /// Deadlock-avoidance wait-for edges: executing query → executing query
-    /// it is blocked on.
+    /// it is blocked on. Reuse edges are intra-shard, so these never cross
+    /// shards and the cycle check stays complete.
     waiting_on: HashMap<QueryId, QueryId>,
-    pending: HashMap<QueryId, Sender<Result<QueryResult<S>, ServerError>>>,
+    pending: HashMap<QueryId, ReplyTx<S>>,
     submit_time: HashMap<QueryId, Instant>,
-    outstanding: usize,
     blocked_fallbacks: u64,
-    /// Per-client admission token buckets (only populated when
-    /// [`vmqs_core::OverloadConfig::client_rate`] is set).
-    buckets: HashMap<ClientId, TokenBucket>,
     /// Queries downgraded to their cheaper plan at admission; consumed at
     /// dequeue to stamp `degraded` on the record.
     degraded: HashSet<QueryId>,
-    shutdown: bool,
-    /// When set, workers sleep instead of dequeuing (see
-    /// [`ServerConfig::start_paused`] and
-    /// [`QueryServer::resume_workers`]).
-    paused: bool,
+}
+
+/// One scheduling shard: a worker's home scheduling graph plus the
+/// lock-free ready-queue depth mirror stealers scan.
+struct Shard<S: SpatialSpec> {
+    state: Mutex<ShardState<S>>,
+    /// Mirror of `state.graph.waiting_len()`, maintained under the shard
+    /// lock but read without it by stealers picking the richest victim.
+    depth: AtomicUsize,
+    /// Signaled when a query homed on this shard completes or is shed —
+    /// wakes dependency blockers (associated with `state`).
+    done_cv: Condvar,
+}
+
+impl<S: SpatialSpec> Shard<S> {
+    fn new(strategy: vmqs_core::Strategy) -> Self {
+        Shard {
+            state: Mutex::new(ShardState {
+                graph: SchedulingGraph::new(strategy),
+                blob_of: HashMap::new(),
+                waiting_on: HashMap::new(),
+                pending: HashMap::new(),
+                submit_time: HashMap::new(),
+                blocked_fallbacks: 0,
+                degraded: HashSet::new(),
+            }),
+            depth: AtomicUsize::new(0),
+            done_cv: Condvar::new(),
+        }
+    }
+}
+
+/// Slow-path admission state, taken only when
+/// [`vmqs_core::fast_path_admissible`] escalates. Workers never touch it.
+struct AdmissionState {
+    /// Per-client admission token buckets (only populated when
+    /// [`vmqs_core::OverloadConfig::client_rate`] is set).
+    buckets: HashMap<ClientId, TokenBucket>,
 }
 
 struct Core<A: AppExecutor> {
     cfg: ServerConfig,
     app: A,
-    /// Scheduling state. Never held together with `store` or `metrics`.
-    sched: Mutex<SchedState<A::Spec>>,
+    /// One scheduling shard per worker thread (exactly one at
+    /// `num_threads == 1`, where the engine degenerates to the pre-shard
+    /// scheduler). Never hold two shard locks at once.
+    shards: Vec<Shard<A::Spec>>,
+    /// Overload ladder slow path (lock order: `admission` → shard).
+    admission: Mutex<AdmissionState>,
     /// The semantic cache, under a reader-writer lock: lookups (the common
     /// case) share the read side; insert/evict takes the write side.
+    /// Global, so result reuse crosses shard boundaries.
     store: RwLock<SpatialDataStore<A::Spec>>,
     /// Completed-query records, off the hot path.
     metrics: Mutex<Vec<QueryRecord<A::Spec>>>,
-    /// Signaled when a WAITING query appears or shutdown starts
-    /// (associated with `sched`).
+    /// Eventcount-style idle list: workers park here when every shard is
+    /// empty (or the pool is paused); `work_cv` is associated with it.
+    /// Submitters take this lock only when `sleepers > 0`.
+    idle: Mutex<()>,
     work_cv: Condvar,
-    /// Signaled when any query completes — wakes dependency blockers and
-    /// `drain` (associated with `sched`).
-    done_cv: Condvar,
+    /// Workers currently parked (or about to park) on `idle`/`work_cv`.
+    sleepers: AtomicUsize,
+    /// WAITING queries across all shards — the admission fast path's
+    /// queue-depth input and the workers' "any work at all?" gate.
+    /// Maintained under the owning shard's lock.
+    total_waiting: AtomicUsize,
+    /// Admitted-but-unresolved queries across all shards (what `drain`
+    /// waits on).
+    outstanding: AtomicUsize,
+    /// When set, workers sleep instead of dequeuing (see
+    /// [`ServerConfig::start_paused`] and
+    /// [`QueryServer::resume_workers`]).
+    paused: AtomicBool,
+    shutdown: AtomicBool,
+    /// `drain` parks here; signaled when `outstanding` reaches zero.
+    drain_mx: Mutex<()>,
+    drain_cv: Condvar,
+    /// Compute gate: permits for concurrent kernel executions, capped at
+    /// the host's available parallelism. Exact cache hits never touch it,
+    /// so on an oversubscribed pool (more workers than cores) hits keep
+    /// flowing while computes pipeline through the cores instead of
+    /// timeslicing against each other; with `num_threads <=` cores the
+    /// gate has a permit per worker and is never contended.
+    compute_slots: Mutex<usize>,
+    compute_cv: Condvar,
+    /// Bumped after every Data Store insert. A worker snapshots it before
+    /// its first lookup; if it moved by the time the worker is about to
+    /// compute (it may have waited on a dependency or at the compute
+    /// gate), results it could not see were published meanwhile and it
+    /// re-probes. Single-worker runs never observe a moved epoch: the
+    /// only thread that could bump it is the one reading it.
+    publish_epoch: AtomicU64,
+    /// Data Store re-probes (epoch moved between first lookup and
+    /// compute), and how many found an exact match published during the
+    /// wait (compute turned into reuse).
+    relookups: AtomicU64,
+    relookup_hits: AtomicU64,
+    /// Per-worker staging buffers for hot-path events, drained at
+    /// steal/idle boundaries and by [`QueryServer::events`]. Each mutex
+    /// is all but uncontended (its worker plus occasional snapshots).
+    event_bufs: Vec<Mutex<EventBuffer>>,
     ps: SharedPageSpace,
     idgen: IdGen,
     /// Queries that failed with an I/O error (timeouts counted separately).
@@ -172,18 +282,11 @@ impl<A: AppExecutor> QueryServer<A> {
         let obs = Arc::new(Obs::new(cfg.observe));
         let qmet = QueryMetrics::resolve(&obs.metrics);
         let core = Arc::new(Core {
-            sched: Mutex::new(SchedState {
-                graph: SchedulingGraph::new(cfg.strategy),
-                blob_of: HashMap::new(),
-                waiting_on: HashMap::new(),
-                pending: HashMap::new(),
-                submit_time: HashMap::new(),
-                outstanding: 0,
-                blocked_fallbacks: 0,
+            shards: (0..cfg.num_threads)
+                .map(|_| Shard::new(cfg.strategy))
+                .collect(),
+            admission: Mutex::new(AdmissionState {
                 buckets: HashMap::new(),
-                degraded: HashSet::new(),
-                shutdown: false,
-                paused: cfg.start_paused,
             }),
             store: RwLock::new(SpatialDataStore::with_policy(
                 cfg.ds_budget,
@@ -191,8 +294,29 @@ impl<A: AppExecutor> QueryServer<A> {
                 cfg.ds_policy,
             )),
             metrics: Mutex::new(Vec::new()),
+            idle: Mutex::new(()),
             work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            total_waiting: AtomicUsize::new(0),
+            outstanding: AtomicUsize::new(0),
+            paused: AtomicBool::new(cfg.start_paused),
+            shutdown: AtomicBool::new(false),
+            drain_mx: Mutex::new(()),
+            drain_cv: Condvar::new(),
+            compute_slots: Mutex::new(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(cfg.num_threads)
+                    .min(cfg.num_threads)
+                    .max(1),
+            ),
+            compute_cv: Condvar::new(),
+            publish_epoch: AtomicU64::new(0),
+            relookups: AtomicU64::new(0),
+            relookup_hits: AtomicU64::new(0),
+            event_bufs: (0..cfg.num_threads)
+                .map(|_| Mutex::new(EventBuffer::default()))
+                .collect(),
             ps: SharedPageSpace::with_retry_obs(
                 cfg.ps_budget,
                 PAGE_SIZE,
@@ -214,14 +338,15 @@ impl<A: AppExecutor> QueryServer<A> {
         });
         // Worker spawns can fail under OS thread exhaustion; the pool
         // degrades to however many threads the OS granted rather than
-        // panicking. Zero workers would strand every accepted query, so
-        // that case (and only that case) is a hard startup failure.
+        // panicking (stealing keeps orphaned shards serviced). Zero
+        // workers would strand every accepted query, so that case (and
+        // only that case) is a hard startup failure.
         let workers: Vec<_> = (0..cfg.num_threads)
             .filter_map(|i| {
                 let core = Arc::clone(&core);
                 std::thread::Builder::new()
                     .name(format!("vmqs-query-{i}"))
-                    .spawn(move || worker_loop(&core))
+                    .spawn(move || worker_loop(&core, i))
                     .ok()
             })
             .collect();
@@ -252,26 +377,88 @@ impl<A: AppExecutor> QueryServer<A> {
         let id = self.core.idgen.next_query();
         let (tx, rx) = bounded(1);
         let ov = self.core.cfg.overload;
+        assert!(
+            !self.core.shutdown.load(Ordering::SeqCst),
+            "submit after shutdown"
+        );
         if !ov.enabled() {
             // Fast path: no pressure-signal gathering, identical to the
-            // pre-overload submit.
-            {
-                let mut s = self.core.sched.lock();
-                assert!(!s.shutdown, "submit after shutdown");
-                s.graph.insert(id, spec);
-                s.pending.insert(id, tx);
-                s.submit_time.insert(id, clock::now());
-                s.outstanding += 1;
-            }
+            // pre-overload submit. Touches only the home shard's lock.
+            self.core.admit(id, spec, tx, false);
             self.core.obs.log.log(id, EventKind::Submitted);
             self.core.qmet.submitted.inc();
-            self.core.work_cv.notify_one();
+            self.core.wake_one();
             return QueryHandle { id, rx };
         }
 
-        // Secondary pressure inputs come from the store and page-space
-        // components, gathered *before* the scheduler lock (lock
-        // hierarchy: one component lock at a time).
+        // Overload fast path (DESIGN.md §12): one atomic queue-depth
+        // read decides admit/reject without the admission lock or any
+        // pressure-signal gathering. Sound because the ladder's
+        // amplification is bounded — `fast_path_admissible` only
+        // returns a verdict the full ladder is guaranteed to agree
+        // with, and escalates otherwise.
+        let depth = self.core.total_waiting.load(Ordering::SeqCst);
+        match fast_path_admissible(&ov, depth) {
+            FastAdmit::Admit => {
+                self.core.admit(id, spec, tx, false);
+                self.core.qmet.submitted.inc();
+                self.core.obs.log.log(id, EventKind::Submitted);
+                // Queue-fraction-only pressure gauge: the secondary
+                // signals are not gathered on this path, and the bound
+                // that admitted us caps the difference.
+                self.core.obs.metrics.set_gauge(
+                    "vmqs_pressure",
+                    PressureSignals {
+                        queue_depth: depth + 1,
+                        max_pending: ov.max_pending,
+                        ds_occupancy: 0.0,
+                        ps_miss_ratio: 0.0,
+                        retry_ratio: 0.0,
+                    }
+                    .level(),
+                );
+                self.core.wake_one();
+                return QueryHandle { id, rx };
+            }
+            FastAdmit::RejectFull => {
+                // Histogram reads are atomic — still no lock taken.
+                let mean_service = self.core.qmet.service_time.snapshot().mean();
+                let retry_after = Duration::from_secs_f64(retry_after_estimate(
+                    depth,
+                    self.core.cfg.num_threads,
+                    mean_service,
+                ));
+                self.core.qmet.submitted.inc();
+                self.core.obs.log.log(id, EventKind::Submitted);
+                self.core.obs.metrics.set_gauge(
+                    "vmqs_pressure",
+                    PressureSignals {
+                        queue_depth: depth,
+                        max_pending: ov.max_pending,
+                        ds_occupancy: 0.0,
+                        ps_miss_ratio: 0.0,
+                        retry_ratio: 0.0,
+                    }
+                    .level(),
+                );
+                self.core.rejected.fetch_add(1, Ordering::Relaxed);
+                self.core.qmet.rejected.inc();
+                self.core.obs.log.log(
+                    id,
+                    EventKind::Rejected {
+                        rate_limited: false,
+                    },
+                );
+                let _ = tx.send(Err(ServerError::Overloaded { retry_after }));
+                return QueryHandle { id, rx };
+            }
+            FastAdmit::Escalate => {}
+        }
+
+        // Slow path: the full ladder under the admission lock. Secondary
+        // pressure inputs come from the store and page-space components,
+        // gathered *before* the admission lock (lock hierarchy: the
+        // store lock is never taken below `admission`).
         let (ds_occupancy, ps_miss_ratio, retry_ratio) = self.core.pressure_secondary();
         let now_s = self.core.obs.log.now();
         let signals = |depth: usize| PressureSignals {
@@ -283,7 +470,7 @@ impl<A: AppExecutor> QueryServer<A> {
         };
 
         // The response sender travels *inside* the decision: an admitted
-        // query's sender is parked in `pending` under the lock, a
+        // query's sender is parked in `pending` under its shard's lock, a
         // rejected query's sender rides out in `Rejected` so the refusal
         // can be delivered outside the lock. No slot, no take(), no
         // "taken once" invariant to uphold at runtime.
@@ -294,32 +481,32 @@ impl<A: AppExecutor> QueryServer<A> {
             Rejected {
                 rate_limited: bool,
                 retry_after: Duration,
-                tx: Sender<Result<QueryResult<S>, ServerError>>,
+                tx: ReplyTx<S>,
             },
         }
         let mut shed_out: Vec<ShedVictim<A::Spec>> = Vec::new();
         let mut observed_level;
         let decision = {
-            let mut s = self.core.sched.lock();
-            assert!(!s.shutdown, "submit after shutdown");
-            let depth = s.graph.waiting_len();
+            let mut adm = self.core.admission.lock();
+            let depth = self.core.total_waiting.load(Ordering::SeqCst);
             observed_level = signals(depth).level();
             let over_rate = ov.client_rate > 0.0 && {
-                let bucket = s
+                let bucket = adm
                     .buckets
                     .entry(client)
                     .or_insert_with(|| TokenBucket::new(ov.client_rate));
                 !bucket.try_take(now_s)
             };
             if over_rate {
-                let wait = s.buckets[&client].time_to_token(now_s).max(1e-3);
+                let wait = adm.buckets[&client].time_to_token(now_s).max(1e-3);
                 Decision::Rejected {
                     rate_limited: true,
                     retry_after: Duration::from_secs_f64(wait),
                     tx,
                 }
             } else if ov.max_pending > 0 && depth >= ov.max_pending {
-                // Histogram reads are atomic — no lock below `sched` here.
+                // Histogram reads are atomic — no lock below `admission`
+                // here.
                 let mean_service = self.core.qmet.service_time.snapshot().mean();
                 Decision::Rejected {
                     rate_limited: false,
@@ -340,49 +527,59 @@ impl<A: AppExecutor> QueryServer<A> {
                         degraded = true;
                     }
                 }
-                s.graph.insert(id, spec);
-                s.pending.insert(id, tx);
-                s.submit_time.insert(id, clock::now());
-                s.outstanding += 1;
-                if degraded {
-                    s.degraded.insert(id);
-                }
+                self.core.admit(id, spec, tx, degraded);
                 // Shed the largest-`qinputsize` WAITING queries (newest
                 // first on ties — the IoAware/SJF rationale) until
                 // pressure drops below the threshold. The victim may be
-                // the query just admitted. Each victim takes the same
-                // WAITING → CACHED → SWAPPED_OUT exit as a failed query,
-                // so the graph keeps its invariants and peers see no
-                // residue.
-                while level >= ov.shed_threshold && s.graph.waiting_len() > 0 {
-                    let victim =
-                        shed_victim(s.graph.ids_in_state(QueryState::Waiting).into_iter().map(
-                            |q| {
-                                (
-                                    q,
-                                    s.graph.qinputsize_of(q).unwrap_or(0),
-                                    s.graph.arrival_of(q).unwrap_or(0),
-                                )
-                            },
-                        ));
+                // the query just admitted, and may live on any shard
+                // (candidates are gathered one shard lock at a time).
+                // Each victim takes the same WAITING → CACHED →
+                // SWAPPED_OUT exit as a failed query, so the graph keeps
+                // its invariants and peers see no residue.
+                while level >= ov.shed_threshold
+                    && self.core.total_waiting.load(Ordering::SeqCst) > 0
+                {
+                    let mut cands: Vec<(QueryId, u64, u64, usize)> = Vec::new();
+                    for (si, sh) in self.core.shards.iter().enumerate() {
+                        let s = sh.state.lock();
+                        for q in s.graph.ids_in_state(QueryState::Waiting) {
+                            cands.push((
+                                q,
+                                s.graph.qinputsize_of(q).unwrap_or(0),
+                                s.graph.arrival_of(q).unwrap_or(0),
+                                si,
+                            ));
+                        }
+                    }
+                    let victim = shed_victim(cands.iter().map(|&(q, sz, ar, _)| (q, sz, ar)));
                     let Some(vid) = victim else { break };
-                    s.graph.dequeue_specific(vid);
+                    let Some(&(_, _, _, vk)) = cands.iter().find(|c| c.0 == vid) else {
+                        break;
+                    };
+                    let mut s = self.core.shards[vk].state.lock();
+                    if !s.graph.dequeue_specific(vid) {
+                        // A worker raced us to this victim; re-evaluate.
+                        continue;
+                    }
                     s.graph.mark_cached(vid);
                     s.graph.swap_out(vid);
                     s.submit_time.remove(&vid);
                     s.degraded.remove(&vid);
                     let vtx = s.pending.remove(&vid);
-                    s.outstanding -= 1;
-                    shed_out.push((vid, vtx, level));
-                    level = signals(s.graph.waiting_len()).level();
+                    self.core.shards[vk].depth.fetch_sub(1, Ordering::SeqCst);
+                    self.core.total_waiting.fetch_sub(1, Ordering::SeqCst);
+                    drop(s);
+                    shed_out.push((vid, vk, vtx, level));
+                    level = signals(self.core.total_waiting.load(Ordering::SeqCst)).level();
                 }
                 observed_level = level;
+                drop(adm);
                 Decision::Admitted { degraded }
             }
         };
 
-        // Events, counters, and deliveries — all outside the scheduler
-        // lock, in the canonical order the simulator mirrors:
+        // Events, counters, and deliveries — all outside the admission
+        // and shard locks, in the canonical order the simulator mirrors:
         // Submitted, [Degraded | Rejected], then Shed for each victim.
         self.core.qmet.submitted.inc();
         self.core.obs.log.log(id, EventKind::Submitted);
@@ -412,7 +609,7 @@ impl<A: AppExecutor> QueryServer<A> {
                 let _ = tx.send(Err(ServerError::Overloaded { retry_after }));
             }
         }
-        for (vid, vtx, level) in shed_out {
+        for (vid, vk, vtx, level) in shed_out {
             self.core.shed.fetch_add(1, Ordering::Relaxed);
             self.core.qmet.shed.inc();
             self.core.obs.log.log(vid, EventKind::Shed);
@@ -420,10 +617,10 @@ impl<A: AppExecutor> QueryServer<A> {
                 let _ = vtx.send(Err(ServerError::Shed { pressure: level }));
             }
             // Shedding retires outstanding queries: wake `drain` and any
-            // dependency blockers.
-            self.core.done_cv.notify_all();
+            // dependency blockers on the victim's shard.
+            self.core.finish_one(vk);
         }
-        self.core.work_cv.notify_one();
+        self.core.wake_one();
         QueryHandle { id, rx }
     }
 
@@ -433,38 +630,54 @@ impl<A: AppExecutor> QueryServer<A> {
         specs: impl IntoIterator<Item = A::Spec>,
     ) -> Vec<QueryHandle<A::Spec>> {
         let handles: Vec<_> = specs.into_iter().map(|s| self.submit(s)).collect();
-        self.core.work_cv.notify_all();
+        self.core.wake_all();
         handles
     }
 
     /// Blocks until every submitted query has completed. When this
     /// returns, every handle's result has already been delivered.
     pub fn drain(&self) {
-        let mut s = self.core.sched.lock();
-        while s.outstanding > 0 {
-            self.core.done_cv.wait(&mut s);
+        let mut g = self.core.drain_mx.lock();
+        while self.core.outstanding.load(Ordering::SeqCst) > 0 {
+            self.core.drain_cv.wait(&mut g);
         }
     }
 
     /// Stops the thread pool. Unfinished queries receive
     /// [`ServerError::Shutdown`].
     pub fn shutdown(mut self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        // Bridge each wakeup through its mutex so a worker between its
+        // condition check and its wait cannot miss the flag.
         {
-            let mut s = self.core.sched.lock();
-            s.shutdown = true;
+            let _g = self.core.idle.lock();
         }
         self.core.work_cv.notify_all();
-        self.core.done_cv.notify_all();
+        {
+            let _g = self.core.compute_slots.lock();
+        }
+        self.core.compute_cv.notify_all();
+        for sh in &self.core.shards {
+            {
+                let _g = sh.state.lock();
+            }
+            sh.done_cv.notify_all();
+        }
         let mut panicked = 0usize;
         for w in self.workers.drain(..) {
             if w.join().is_err() {
                 panicked += 1;
             }
         }
+        // Exiting workers flush their own event buffers; sweep them all
+        // anyway so a panicked worker's staged events are not lost.
+        for i in 0..self.core.event_bufs.len() {
+            self.core.buf_flush(i);
+        }
         // Fail any queries still pending — even if a worker panicked, no
         // client is left hanging on its handle.
-        {
-            let mut s = self.core.sched.lock();
+        for sh in &self.core.shards {
+            let mut s = sh.state.lock();
             for (_, tx) in s.pending.drain() {
                 let _ = tx.send(Err(ServerError::Shutdown));
             }
@@ -529,28 +742,62 @@ impl<A: AppExecutor> QueryServer<A> {
         self.core.ps.stats()
     }
 
-    /// Scheduling-graph counters.
+    /// Scheduling-graph counters, summed across shards.
     pub fn graph_stats(&self) -> vmqs_core::GraphStats {
-        self.core.sched.lock().graph.stats()
+        let mut total = vmqs_core::GraphStats::default();
+        for sh in &self.core.shards {
+            let s = sh.state.lock().graph.stats();
+            total.inserted += s.inserted;
+            total.dequeued += s.dequeued;
+            total.swapped_out += s.swapped_out;
+            total.edges_created += s.edges_created;
+            total.reranks += s.reranks;
+            total.overlap_evals += s.overlap_evals;
+        }
+        total
+    }
+
+    /// Re-probe counters `(relookups, converted)`: Data Store re-probes
+    /// after a wait — a dependency block or a contended compute gate —
+    /// and how many of those found an exact match published during the
+    /// wait. Each re-probe adds one extra Data Store lookup beyond the
+    /// one-lookup-per-query baseline. Both are zero at one worker
+    /// (nothing else is ever EXECUTING, and the gate is uncontended).
+    pub fn relookup_stats(&self) -> (u64, u64) {
+        (
+            self.core.relookups.load(Ordering::Relaxed),
+            self.core.relookup_hits.load(Ordering::Relaxed),
+        )
     }
 
     /// Times a query gave up blocking because waiting would have formed a
-    /// wait-for cycle (deadlock-avoidance fallbacks).
+    /// wait-for cycle (deadlock-avoidance fallbacks), summed across
+    /// shards.
     pub fn blocked_fallbacks(&self) -> u64 {
-        self.core.sched.lock().blocked_fallbacks
+        self.core
+            .shards
+            .iter()
+            .map(|sh| sh.state.lock().blocked_fallbacks)
+            .sum()
     }
 
     /// Releases a pool started with
     /// [`ServerConfig::with_start_paused`]: workers begin dequeuing.
     /// Idempotent; a no-op on a pool that was never paused.
     pub fn resume_workers(&self) {
-        self.core.sched.lock().paused = false;
+        self.core.paused.store(false, Ordering::SeqCst);
+        let _g = self.core.idle.lock();
         self.core.work_cv.notify_all();
     }
 
     /// Snapshot of the event log so far, in emission order. Empty unless
     /// the server was built with [`ServerConfig::with_observability`].
+    /// Force-flushes every worker's staging buffer first, so the snapshot
+    /// is complete up to this call.
     pub fn events(&self) -> Vec<EventRecord> {
+        for i in 0..self.core.event_bufs.len() {
+            self.core.buf_flush(i);
+        }
         self.core.obs.log.snapshot()
     }
 
@@ -591,22 +838,149 @@ impl<A: AppExecutor> QueryServer<A> {
     /// consistency, edge symmetry). Panics with the violation description
     /// — a test/debug aid for asserting that error paths leave no residue.
     pub fn check_invariants(&self) {
-        let s = self.core.sched.lock();
-        if let Err(e) = s.graph.validate() {
-            panic!("scheduling-graph invariant violated: {e}");
+        let mut any_edges = false;
+        for sh in &self.core.shards {
+            let s = sh.state.lock();
+            if let Err(e) = s.graph.validate() {
+                panic!("scheduling-graph invariant violated: {e}");
+            }
+            any_edges |= !s.waiting_on.is_empty();
         }
         assert!(
-            s.waiting_on.is_empty() || s.outstanding > 0,
+            !any_edges || self.core.outstanding.load(Ordering::SeqCst) > 0,
             "wait-for edges with no outstanding queries"
         );
     }
 }
 
 impl<A: AppExecutor> Core<A> {
+    /// Routes a spec to its home shard.
+    fn home_shard(&self, spec: &A::Spec) -> usize {
+        shard_of_spec(spec, self.shards.len())
+    }
+
+    /// Inserts an admitted query into its home shard and publishes the
+    /// bookkeeping counters. The `total_waiting`/`depth` increments
+    /// happen under the shard lock, so a dequeuer can never observe the
+    /// query before the counters account for it.
+    fn admit(&self, id: QueryId, spec: A::Spec, tx: ReplyTx<A::Spec>, degraded: bool) {
+        let k = self.home_shard(&spec);
+        let mut s = self.shards[k].state.lock();
+        s.graph.insert(id, spec);
+        s.pending.insert(id, tx);
+        s.submit_time.insert(id, clock::now());
+        if degraded {
+            s.degraded.insert(id);
+        }
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.total_waiting.fetch_add(1, Ordering::SeqCst);
+        self.shards[k].depth.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Submitter half of the eventcount idle protocol: the
+    /// `total_waiting` increment (SeqCst, already published by `admit`)
+    /// and the `sleepers` check form a Dekker pair with the worker's
+    /// park sequence — at least one side always sees the other, and the
+    /// `idle` lock bridges the check-to-wait window.
+    fn wake_one(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.idle.lock();
+            self.work_cv.notify_one();
+        }
+    }
+
+    /// As [`Core::wake_one`], for batch submission and resume.
+    fn wake_all(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.idle.lock();
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Worker half of the idle protocol: flush staged events (an idle
+    /// boundary is a drain point), advertise as a sleeper, then re-check
+    /// the wait condition under the `idle` lock before parking.
+    fn idle_sleep(&self, me: usize) {
+        self.buf_flush(me);
+        let mut g = self.idle.lock();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if !self.shutdown.load(Ordering::SeqCst)
+            && (self.paused.load(Ordering::SeqCst)
+                || self.total_waiting.load(Ordering::SeqCst) == 0)
+        {
+            self.work_cv.wait(&mut g);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Stages a worker-side event in the worker's buffer. The sequence
+    /// number is stamped now, so the eventual batched append lands in
+    /// the log exactly where direct logging would have put it.
+    fn buf_push(&self, me: usize, query: QueryId, kind: EventKind) {
+        if !self.obs.log.enabled() {
+            return;
+        }
+        self.event_bufs[me].lock().push(&self.obs.log, query, kind);
+    }
+
+    /// Drains a worker's staged events into the shared log.
+    fn buf_flush(&self, me: usize) {
+        if !self.obs.log.enabled() {
+            return;
+        }
+        self.event_bufs[me].lock().flush(&self.obs.log);
+    }
+
+    /// Retires one outstanding query homed on shard `k`: wakes `drain`
+    /// when the count hits zero and the shard's dependency blockers
+    /// unconditionally. Callers must deliver the reply *before* this, so
+    /// `drain` returning implies every handle is fulfilled.
+    fn finish_one(&self, k: usize) {
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.drain_mx.lock();
+            self.drain_cv.notify_all();
+        }
+        self.shards[k].done_cv.notify_all();
+    }
+
+    /// Takes a compute permit, waiting (deadline-aware) while all cores
+    /// are busy with kernel executions. Returns whether a permit was
+    /// actually taken: during shutdown the gate opens unconditionally so
+    /// in-flight queries can finish, and those bypasses must not release
+    /// a permit they never held. Callers hold no locks here.
+    fn acquire_compute(&self, deadline: Option<Instant>) -> std::io::Result<bool> {
+        let mut slots = self.compute_slots.lock();
+        while *slots == 0 && !self.shutdown.load(Ordering::SeqCst) {
+            match deadline {
+                None => self.compute_cv.wait(&mut slots),
+                Some(d) => {
+                    if clock::now() >= d {
+                        return Err(deadline_error());
+                    }
+                    self.compute_cv.wait_until(&mut slots, d);
+                }
+            }
+        }
+        if *slots > 0 {
+            *slots -= 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Returns a compute permit and wakes one gate waiter.
+    fn release_compute(&self) {
+        let mut slots = self.compute_slots.lock();
+        *slots += 1;
+        drop(slots);
+        self.compute_cv.notify_one();
+    }
+
     /// The pressure monitor's secondary inputs: Data Store occupancy and
     /// Page Space miss/retry ratios, each in `[0, 1]`. Takes the store
     /// read lock only — callers must gather these *before* taking the
-    /// scheduler lock (one component lock at a time).
+    /// admission lock (the store lock is never acquired below it).
     fn pressure_secondary(&self) -> (f64, f64, f64) {
         let (used, budget) = {
             let ds = self.store.read();
@@ -634,176 +1008,255 @@ impl<A: AppExecutor> Core<A> {
     }
 }
 
-fn worker_loop<A: AppExecutor>(core: &Core<A>) {
-    loop {
-        // Dequeue the highest-ranked WAITING query.
-        let (id, spec, submitted, score, was_degraded) = {
-            let mut s = core.sched.lock();
-            loop {
-                if s.shutdown {
-                    return;
-                }
-                if !s.paused && s.graph.waiting_len() > 0 {
-                    break;
-                }
-                core.work_cv.wait(&mut s);
-            }
-            let id = match s.graph.dequeue() {
-                Some(id) => id,
-                // Lost a race for the last WAITING entry; go back to sleep.
-                None => continue,
-            };
-            // The rank the scheduler chose the query by, frozen at dequeue.
-            let score = s.graph.rank_of(id).map_or(0.0, |r| r.value());
-            let spec = match s.graph.spec_of(id) {
-                Some(spec) => *spec,
-                None => {
-                    // A dequeued node always has a spec; if the graph is
-                    // inconsistent, fail this query rather than the pool.
-                    s.graph.mark_cached(id);
-                    s.graph.swap_out(id);
-                    s.submit_time.remove(&id);
-                    s.degraded.remove(&id);
-                    let tx = s.pending.remove(&id);
-                    s.outstanding -= 1;
-                    drop(s);
-                    core.failed.fetch_add(1, Ordering::Relaxed);
-                    core.qmet.failed.inc();
-                    core.obs.log.log(id, EventKind::Failed);
-                    if let Some(tx) = tx {
-                        let _ = tx.send(Err(ServerError::Io {
-                            kind: std::io::ErrorKind::Other,
-                            transient: false,
-                            message: "internal: dequeued query has no spec".into(),
-                        }));
-                    }
-                    core.done_cv.notify_all();
-                    continue;
-                }
-            };
-            let submitted = s.submit_time.remove(&id).unwrap_or_else(clock::now);
-            let was_degraded = s.degraded.remove(&id);
-            (id, spec, submitted, score, was_degraded)
-        };
-        core.obs.log.log(
-            id,
-            EventKind::Ranked {
-                strategy: core.cfg.strategy.name(),
-                score,
-            },
-        );
-        // The deadline covers the whole client-visible response time:
-        // it starts at submission, so queue wait counts against it.
-        let deadline = core.cfg.query_timeout.map(|t| submitted + t);
-        let started = clock::now();
-        core.qmet
-            .queue_wait
-            .observe((started - submitted).as_secs_f64());
-        let exec = execute_query(core, id, spec, deadline);
-        let finished = clock::now();
+/// A dequeued query, detached from its shard's lock: everything `run_one`
+/// needs to execute and complete it.
+struct Job<S> {
+    shard: usize,
+    id: QueryId,
+    spec: S,
+    submitted: Instant,
+    score: f64,
+    was_degraded: bool,
+}
 
-        // Publish the result. Each state component is locked on its own,
-        // in sequence; the result bytes were materialized as `Arc<[u8]>`
-        // outside any lock, so critical sections stay pointer-sized.
-        let msg = match exec {
-            Ok(out) => {
-                let size = core.app.output_len(&spec) as u64;
-                let mut evicted = Vec::new();
-                let cached = core.store.write().insert(
-                    id,
-                    spec,
-                    size,
-                    Payload::Bytes(Arc::clone(&out.image)),
-                    &mut evicted,
-                );
-                {
-                    let mut s = core.sched.lock();
-                    s.graph.mark_cached(id);
-                    for (_, producer) in &evicted {
+fn worker_loop<A: AppExecutor>(core: &Core<A>, me: usize) {
+    let order = steal_order(me, core.shards.len(), core.cfg.steal_seed);
+    loop {
+        if core.shutdown.load(Ordering::SeqCst) {
+            core.buf_flush(me);
+            return;
+        }
+        if core.paused.load(Ordering::SeqCst) || core.total_waiting.load(Ordering::SeqCst) == 0 {
+            core.idle_sleep(me);
+            continue;
+        }
+        // Own shard first; steal from the richest victim (by the
+        // lock-free depth mirrors, ties broken by this worker's seeded
+        // permutation) only when the home ready queue is empty.
+        let job = match try_dequeue(core, me) {
+            Some(job) => Some(job),
+            None => {
+                // A steal boundary is an event-drain point.
+                core.buf_flush(me);
+                let mut best: Option<(usize, usize)> = None;
+                for &v in &order {
+                    let d = core.shards[v].depth.load(Ordering::SeqCst);
+                    if d > 0 && best.is_none_or(|(bd, _)| d > bd) {
+                        best = Some((d, v));
+                    }
+                }
+                best.and_then(|(_, v)| try_dequeue(core, v))
+            }
+        };
+        // Raced another worker for the last entries; re-check from the
+        // top (the counters may have gone to zero, in which case we
+        // park instead of spinning).
+        let Some(job) = job else { continue };
+        run_one(core, me, job);
+    }
+}
+
+/// Dequeues the highest-ranked WAITING query from shard `k`, if any.
+/// Peeks the lock-free depth mirror first so scanning an empty shard
+/// costs no lock at all.
+fn try_dequeue<A: AppExecutor>(core: &Core<A>, k: usize) -> Option<Job<A::Spec>> {
+    if core.shards[k].depth.load(Ordering::SeqCst) == 0 {
+        return None;
+    }
+    let mut s = core.shards[k].state.lock();
+    let id = s.graph.dequeue()?;
+    core.shards[k].depth.fetch_sub(1, Ordering::SeqCst);
+    core.total_waiting.fetch_sub(1, Ordering::SeqCst);
+    // The rank the scheduler chose the query by, frozen at dequeue.
+    let score = s.graph.rank_of(id).map_or(0.0, |r| r.value());
+    let spec = match s.graph.spec_of(id) {
+        Some(spec) => *spec,
+        None => {
+            // A dequeued node always has a spec; if the graph is
+            // inconsistent, fail this query rather than the pool.
+            s.graph.mark_cached(id);
+            s.graph.swap_out(id);
+            s.submit_time.remove(&id);
+            s.degraded.remove(&id);
+            let tx = s.pending.remove(&id);
+            drop(s);
+            core.failed.fetch_add(1, Ordering::Relaxed);
+            core.qmet.failed.inc();
+            core.obs.log.log(id, EventKind::Failed);
+            if let Some(tx) = tx {
+                let _ = tx.send(Err(ServerError::Io {
+                    kind: std::io::ErrorKind::Other,
+                    transient: false,
+                    message: "internal: dequeued query has no spec".into(),
+                }));
+            }
+            core.finish_one(k);
+            return None;
+        }
+    };
+    let submitted = s.submit_time.remove(&id).unwrap_or_else(clock::now);
+    let was_degraded = s.degraded.remove(&id);
+    Some(Job {
+        shard: k,
+        id,
+        spec,
+        submitted,
+        score,
+        was_degraded,
+    })
+}
+
+fn run_one<A: AppExecutor>(core: &Core<A>, me: usize, job: Job<A::Spec>) {
+    let Job {
+        shard: k,
+        id,
+        spec,
+        submitted,
+        score,
+        was_degraded,
+    } = job;
+    core.buf_push(
+        me,
+        id,
+        EventKind::Ranked {
+            strategy: core.cfg.strategy.name(),
+            score,
+        },
+    );
+    // The deadline covers the whole client-visible response time:
+    // it starts at submission, so queue wait counts against it.
+    let deadline = core.cfg.query_timeout.map(|t| submitted + t);
+    let started = clock::now();
+    core.qmet
+        .queue_wait
+        .observe((started - submitted).as_secs_f64());
+    let exec = execute_query(core, me, k, id, spec, deadline);
+    let finished = clock::now();
+
+    // Publish the result. Each state component is locked on its own,
+    // in sequence; the result bytes were materialized as `Arc<[u8]>`
+    // outside any lock, so critical sections stay pointer-sized.
+    let msg = match exec {
+        Ok(out) => {
+            let size = core.app.output_len(&spec) as u64;
+            let n = core.shards.len();
+            let mut evicted: Vec<EvictionRecord<A::Spec>> = Vec::new();
+            let cached = core.store.write().insert(
+                id,
+                spec,
+                size,
+                Payload::Bytes(Arc::clone(&out.image)),
+                &mut evicted,
+            );
+            // Publish-epoch bump *before* `done_cv` wakes dependency
+            // blockers (in `finish_one`), so a woken waiter always sees
+            // a moved epoch and re-probes.
+            core.publish_epoch.fetch_add(1, Ordering::SeqCst);
+            // Only now hand the compute permit back: a peer queued at
+            // the gate for this very spec wakes into a store that
+            // already holds the answer.
+            if out.held_permit {
+                core.release_compute();
+            }
+            {
+                let mut s = core.shards[k].state.lock();
+                s.graph.mark_cached(id);
+                // Evicted producers homed on this shard transition under
+                // the lock we already hold; foreign ones are routed to
+                // their home shards below (one shard lock at a time).
+                for (_, producer, vspec) in &evicted {
+                    if shard_of_spec(vspec, n) == k {
                         s.blob_of.remove(producer);
                         s.graph.swap_out(*producer);
                     }
-                    match cached {
-                        Ok(blob) => {
-                            s.blob_of.insert(id, blob);
-                        }
-                        Err(_) => {
-                            // Result cannot be cached (budget too small):
-                            // treat it as immediately swapped out.
-                            s.graph.swap_out(id);
-                        }
+                }
+                match cached {
+                    Ok(blob) => {
+                        s.blob_of.insert(id, blob);
+                    }
+                    Err(_) => {
+                        // Result cannot be cached (budget too small):
+                        // treat it as immediately swapped out.
+                        s.graph.swap_out(id);
                     }
                 }
-                for (_, producer) in evicted {
-                    core.obs.log.log(producer, EventKind::Evicted);
-                    core.qmet.ds_evictions.inc();
-                }
-                match out.path {
-                    AnswerPath::ExactHit => core.qmet.ds_exact_hits.inc(),
-                    AnswerPath::PartialReuse => core.qmet.ds_partial_hits.inc(),
-                    AnswerPath::FullCompute => core.qmet.ds_misses.inc(),
-                }
-                core.qmet.completed.inc();
-                core.qmet
-                    .service_time
-                    .observe((finished - started).as_secs_f64());
-                core.obs.log.log(id, EventKind::Completed);
-                let (w, h) = core.app.output_dims(&spec);
-                let record = QueryRecord {
-                    id,
-                    spec,
-                    wait_time: started - submitted,
-                    exec_time: finished - started,
-                    blocked_time: out.blocked,
-                    path: out.path,
-                    reused_bytes: out.reused_bytes,
-                    covered_fraction: out.covered_fraction,
-                    pages_requested: out.pages_requested,
-                    degraded: was_degraded,
-                };
-                core.metrics.lock().push(record);
-                Ok(QueryResult {
-                    id,
-                    image: out.image,
-                    width: w,
-                    height: h,
-                    record,
-                })
             }
-            Err(e) => {
-                // Evict the failed query from the graph entirely — CACHED
-                // then SWAPPED_OUT, the same terminal path a successful
-                // uncacheable query takes — and clear any wait-for edge it
-                // still owns, so peers see no residue: no DS entry, no
-                // blob mapping, no dangling edges.
-                let err = ServerError::from_io(&e, core.cfg.query_timeout);
-                if err.is_timeout() {
-                    core.timed_out.fetch_add(1, Ordering::Relaxed);
-                    core.qmet.timed_out.inc();
-                    core.obs.log.log(id, EventKind::TimedOut);
-                } else {
-                    core.failed.fetch_add(1, Ordering::Relaxed);
-                    core.qmet.failed.inc();
-                    core.obs.log.log(id, EventKind::Failed);
+            for (_, producer, vspec) in &evicted {
+                let home = shard_of_spec(vspec, n);
+                if home != k {
+                    let mut s = core.shards[home].state.lock();
+                    s.blob_of.remove(producer);
+                    s.graph.swap_out(*producer);
                 }
-                let mut s = core.sched.lock();
-                s.graph.mark_cached(id);
-                s.graph.swap_out(id);
-                s.waiting_on.remove(&id);
-                debug_assert!(!s.blob_of.contains_key(&id));
-                drop(s);
-                Err(err)
             }
-        };
-        // Deliver the answer *before* decrementing `outstanding`, so that
-        // `drain` returning implies every handle is already fulfilled.
-        let tx = core.sched.lock().pending.remove(&id);
-        if let Some(tx) = tx {
-            let _ = tx.send(msg);
+            for (_, producer, _) in evicted {
+                core.buf_push(me, producer, EventKind::Evicted);
+                core.qmet.ds_evictions.inc();
+            }
+            match out.path {
+                AnswerPath::ExactHit => core.qmet.ds_exact_hits.inc(),
+                AnswerPath::PartialReuse => core.qmet.ds_partial_hits.inc(),
+                AnswerPath::FullCompute => core.qmet.ds_misses.inc(),
+            }
+            core.qmet.completed.inc();
+            core.qmet
+                .service_time
+                .observe((finished - started).as_secs_f64());
+            core.buf_push(me, id, EventKind::Completed);
+            let (w, h) = core.app.output_dims(&spec);
+            let record = QueryRecord {
+                id,
+                spec,
+                wait_time: started - submitted,
+                exec_time: finished - started,
+                blocked_time: out.blocked,
+                path: out.path,
+                reused_bytes: out.reused_bytes,
+                covered_fraction: out.covered_fraction,
+                pages_requested: out.pages_requested,
+                degraded: was_degraded,
+            };
+            core.metrics.lock().push(record);
+            Ok(QueryResult {
+                id,
+                image: out.image,
+                width: w,
+                height: h,
+                record,
+            })
         }
-        core.sched.lock().outstanding -= 1;
-        core.done_cv.notify_all();
+        Err(e) => {
+            // Evict the failed query from the graph entirely — CACHED
+            // then SWAPPED_OUT, the same terminal path a successful
+            // uncacheable query takes — and clear any wait-for edge it
+            // still owns, so peers see no residue: no DS entry, no
+            // blob mapping, no dangling edges.
+            let err = ServerError::from_io(&e, core.cfg.query_timeout);
+            if err.is_timeout() {
+                core.timed_out.fetch_add(1, Ordering::Relaxed);
+                core.qmet.timed_out.inc();
+                core.buf_push(me, id, EventKind::TimedOut);
+            } else {
+                core.failed.fetch_add(1, Ordering::Relaxed);
+                core.qmet.failed.inc();
+                core.buf_push(me, id, EventKind::Failed);
+            }
+            let mut s = core.shards[k].state.lock();
+            s.graph.mark_cached(id);
+            s.graph.swap_out(id);
+            s.waiting_on.remove(&id);
+            debug_assert!(!s.blob_of.contains_key(&id));
+            drop(s);
+            Err(err)
+        }
+    };
+    // Deliver the answer *before* retiring the query, so that `drain`
+    // returning implies every handle is already fulfilled.
+    let tx = core.shards[k].state.lock().pending.remove(&id);
+    if let Some(tx) = tx {
+        let _ = tx.send(msg);
     }
+    core.finish_one(k);
 }
 
 struct ExecOutcome {
@@ -813,6 +1266,11 @@ struct ExecOutcome {
     covered_fraction: f64,
     pages_requested: u64,
     blocked: Duration,
+    /// True when the query computed and still holds its compute-gate
+    /// permit: the caller releases it only *after* the result is
+    /// inserted and the publish epoch bumped, so a peer waking at the
+    /// gate always finds the freshly published result on its re-probe.
+    held_permit: bool,
 }
 
 /// True when making `waiter` wait on `target` would close a cycle in the
@@ -841,6 +1299,8 @@ fn would_deadlock(
 
 fn execute_query<A: AppExecutor>(
     core: &Core<A>,
+    me: usize,
+    k: usize,
     id: QueryId,
     spec: A::Spec,
     deadline: Option<Instant>,
@@ -853,50 +1313,19 @@ fn execute_query<A: AppExecutor>(
         return Err(deadline_error());
     }
 
-    // Step 1 — deadlock-avoiding block on the strongest EXECUTING query we
-    // could reuse (paper §4: queries stall on in-flight dependencies; CNBF
-    // exists to make this rare). Scheduler lock only.
-    if core.cfg.allow_blocking {
-        let mut s = core.sched.lock();
-        let dep = s
-            .graph
-            .reuse_sources(id)
-            .into_iter()
-            .find(|e| s.graph.state_of(e.peer) == Some(QueryState::Executing));
-        if let Some(dep) = dep {
-            if would_deadlock(&s.waiting_on, id, dep.peer) {
-                s.blocked_fallbacks += 1;
-            } else {
-                s.waiting_on.insert(id, dep.peer);
-                let t0 = clock::now();
-                while s.graph.state_of(dep.peer) == Some(QueryState::Executing) && !s.shutdown {
-                    match deadline {
-                        None => core.done_cv.wait(&mut s),
-                        Some(d) => {
-                            if clock::now() >= d {
-                                // Deadline expired while blocked on the
-                                // dependency: withdraw the wait-for edge
-                                // and cancel.
-                                s.waiting_on.remove(&id);
-                                return Err(deadline_error());
-                            }
-                            core.done_cv.wait_until(&mut s, d);
-                        }
-                    }
-                }
-                s.waiting_on.remove(&id);
-                blocked = t0.elapsed();
-            }
-        }
-    }
+    // Snapshot the publish epoch *before* the first lookup: if it has
+    // moved by the time this query is about to compute, some peer
+    // published a result the first lookup could not have seen, and a
+    // re-probe may convert the compute into a reuse.
+    let epoch0 = core.publish_epoch.load(Ordering::SeqCst);
 
-    // Step 2 — indexed Data Store lookup under the shared read lock:
+    // Step 1 — indexed Data Store lookup under the shared read lock:
     // collect exact/partial matches with their payloads (Arc clones;
     // projection happens outside the lock, concurrently with other
     // readers' lookups).
-    let mut exact: Option<Arc<[u8]>> = None;
-    let mut sources: Vec<(A::Spec, Arc<[u8]>)> = Vec::new();
-    {
+    let lookup = || {
+        let mut exact: Option<Arc<[u8]>> = None;
+        let mut sources: Vec<(A::Spec, Arc<[u8]>)> = Vec::new();
         let ds = core.store.read();
         let log_on = core.obs.log.enabled();
         for m in ds.lookup(&spec) {
@@ -904,7 +1333,8 @@ fn execute_query<A: AppExecutor>(
                 if let Payload::Bytes(bytes) = &e.payload {
                     let is_exact = exact.is_none() && e.spec.cmp(&spec);
                     if log_on {
-                        core.obs.log.log(
+                        core.buf_push(
+                            me,
                             id,
                             EventKind::LookupHit {
                                 source: m.producer,
@@ -921,29 +1351,122 @@ fn execute_query<A: AppExecutor>(
                 }
             }
         }
+        (exact, sources)
+    };
+    let exact_outcome = |bytes: Arc<[u8]>, blocked: Duration| ExecOutcome {
+        // Complete reuse: common subexpression elimination (Eq. 1).
+        image: bytes,
+        path: AnswerPath::ExactHit,
+        reused_bytes: core.app.output_len(&spec) as u64,
+        covered_fraction: 1.0,
+        pages_requested: 0,
+        blocked,
+        held_permit: false,
+    };
+
+    let (exact, mut sources) = lookup();
+    if let Some(bytes) = exact {
+        // An exact match cannot be improved by waiting for an in-flight
+        // peer, so the hit path skips dependency blocking (and its shard
+        // lock) entirely.
+        return Ok(exact_outcome(bytes, blocked));
     }
 
-    if let Some(bytes) = exact {
-        // Complete reuse: common subexpression elimination (Eq. 1).
-        return Ok(ExecOutcome {
-            image: bytes,
-            path: AnswerPath::ExactHit,
-            reused_bytes: core.app.output_len(&spec) as u64,
-            covered_fraction: 1.0,
-            pages_requested: 0,
-            blocked,
-        });
+    // Step 2 — deadlock-avoiding block on the strongest EXECUTING query we
+    // could reuse (paper §4: queries stall on in-flight dependencies; CNBF
+    // exists to make this rare). Reuse edges are intra-shard, so the
+    // dependency — and the wait-for cycle check — live entirely on the
+    // query's home shard; its `done_cv` signals the peer's completion.
+    if core.cfg.allow_blocking {
+        let sh = &core.shards[k];
+        let mut s = sh.state.lock();
+        let dep = s
+            .graph
+            .reuse_sources(id)
+            .into_iter()
+            .find(|e| s.graph.state_of(e.peer) == Some(QueryState::Executing));
+        if let Some(dep) = dep {
+            if would_deadlock(&s.waiting_on, id, dep.peer) {
+                s.blocked_fallbacks += 1;
+            } else {
+                s.waiting_on.insert(id, dep.peer);
+                let t0 = clock::now();
+                while s.graph.state_of(dep.peer) == Some(QueryState::Executing)
+                    && !core.shutdown.load(Ordering::SeqCst)
+                {
+                    match deadline {
+                        None => sh.done_cv.wait(&mut s),
+                        Some(d) => {
+                            if clock::now() >= d {
+                                // Deadline expired while blocked on the
+                                // dependency: withdraw the wait-for edge
+                                // and cancel.
+                                s.waiting_on.remove(&id);
+                                return Err(deadline_error());
+                            }
+                            sh.done_cv.wait_until(&mut s, d);
+                        }
+                    }
+                }
+                s.waiting_on.remove(&id);
+                blocked = t0.elapsed();
+            }
+        }
     }
 
     // Steps 3–4 — the application projects cached coverage and computes
     // the remainder through a deadline-scoped Page Space session. No
-    // locks held.
-    let out = core
+    // locks held; the compute gate bounds concurrent kernel executions
+    // to the core count so an oversubscribed pool pipelines computes
+    // instead of timeslicing them (cache hits returned above never get
+    // stuck behind one).
+    let took_permit = core.acquire_compute(deadline)?;
+    if core.publish_epoch.load(Ordering::SeqCst) != epoch0 {
+        // A peer published a result after our first lookup — whether we
+        // blocked on a dependency, queued at the gate, or simply lost a
+        // race on another shard. Re-probe before burning a core: an
+        // exact match turns this compute into a reuse, and fresher
+        // partials shrink it. At one worker the epoch cannot move
+        // between snapshot and check (the only thread that could bump
+        // it is the one reading it), so golden traces see a single
+        // lookup.
+        core.relookups.fetch_add(1, Ordering::Relaxed);
+        let (exact, mut fresh) = lookup();
+        if let Some(bytes) = exact {
+            core.relookup_hits.fetch_add(1, Ordering::Relaxed);
+            if took_permit {
+                core.release_compute();
+            }
+            return Ok(exact_outcome(bytes, blocked));
+        }
+        // Keep first-probe sources the re-probe no longer sees (evicted
+        // meanwhile) — their payloads are still valid Arcs, and dropping
+        // coverage would only grow the compute.
+        for (s_old, b_old) in sources {
+            if !fresh.iter().any(|(s, _)| s.cmp(&s_old)) {
+                fresh.push((s_old, b_old));
+            }
+        }
+        sources = fresh;
+    }
+    let out = match core
         .app
-        .execute(&spec, &sources, &core.ps.session_for(id, deadline))?;
+        .execute(&spec, &sources, &core.ps.session_for(id, deadline))
+    {
+        Ok(out) => out,
+        Err(e) => {
+            // Nothing will be published on this path, so the permit is
+            // returned right away.
+            if took_permit {
+                core.release_compute();
+            }
+            return Err(e);
+        }
+    };
     debug_assert_eq!(out.bytes.len(), core.app.output_len(&spec));
     if out.subqueries > 0 {
-        core.obs.log.log(
+        core.buf_push(
+            me,
             id,
             EventKind::SubquerySpawned {
                 count: out.subqueries,
@@ -964,6 +1487,10 @@ fn execute_query<A: AppExecutor>(
         covered_fraction: out.covered_fraction,
         pages_requested: out.pages_requested,
         blocked,
+        // The permit rides along: `run_one` releases it after the
+        // insert + epoch bump so gate-waiters re-probe a store that
+        // already contains this result.
+        held_permit: took_permit,
     })
 }
 

@@ -92,12 +92,15 @@ fn stress_eight_workers_matches_reference_renderer() {
         "every completed query takes exactly one answer path"
     );
 
-    // Data Store invariant: every query performs exactly one lookup, and
-    // eviction accounting must balance.
+    // Data Store invariant: every query performs exactly one lookup,
+    // plus one re-probe whenever the publish epoch moved between its
+    // first probe and its compute, and eviction accounting must balance.
     let ds = server.ds_stats();
+    let (relookups, converted) = server.relookup_stats();
+    assert!(converted <= relookups);
     assert_eq!(
         (ds.exact_hits + ds.partial_hits + ds.misses) as usize,
-        total
+        total + relookups as usize
     );
     assert!(
         ds.evicted <= ds.committed,

@@ -789,7 +789,7 @@ impl<A: SimApplication> Simulator<A> {
                 self.graph.swap_out(id);
             }
         }
-        for (_, producer) in evicted {
+        for (_, producer, _) in evicted {
             self.trace(now, producer, TraceKind::SwapOut);
             self.blob_of.remove(&producer);
             self.graph.swap_out(producer);

@@ -1,0 +1,48 @@
+//! Seeded violations for the `guard-across-io` rule. Scanned by the
+//! xtask unit tests only — never compiled.
+
+pub fn bad_lock_across_page_read(ps: &PageSpace, core: &Core) {
+    let g = core.state.lock();
+    let page = ps.read_page(g.dataset, 0);
+    drop(g);
+    consume(page);
+}
+
+pub fn bad_read_guard_across_kernel(core: &Core) {
+    let ds = core.store.read();
+    core.app.execute(&ds.spec, &[], &core.ps.session_for(0, None));
+}
+
+pub fn good_drop_before_io(ps: &PageSpace, core: &Core) {
+    let g = core.state.lock();
+    let dataset = g.dataset;
+    drop(g);
+    consume(ps.read_page(dataset, 0));
+}
+
+pub fn good_scope_ends_before_io(ps: &PageSpace, core: &Core) {
+    {
+        let g = core.state.lock();
+        consume(g.dataset);
+    }
+    consume(ps.read_page(0, 0));
+}
+
+pub fn good_temporary_guard(ps: &PageSpace, core: &Core) {
+    let stats = core.state.lock().stats();
+    consume(ps.read_page(stats.dataset, 0));
+}
+
+pub fn allowed_with_reason(ps: &PageSpace, core: &Core) {
+    // lint:allow(guard-across-io): single-threaded recovery path at startup
+    let g = core.state.lock();
+    consume(ps.read_page(g.dataset, 0));
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn fine_in_tests(ps: &PageSpace, core: &Core) {
+        let g = core.state.lock();
+        consume(ps.read_page(g.dataset, 0));
+    }
+}

@@ -6,7 +6,7 @@
 //!
 //! `lint` runs the determinism and safety lints that clippy cannot
 //! express, using a hand-rolled line scanner (no external parser — the
-//! build image is offline). Four rules:
+//! build image is offline). Five rules:
 //!
 //! * **wall-clock** — `Instant::now()` / `SystemTime::now()` are
 //!   forbidden everywhere except the `vmqs_core::clock` origin.
@@ -24,6 +24,15 @@
 //!   there poisons no lock (parking_lot) and strands every queued
 //!   query. Convert to a typed `ServerError` or justify with
 //!   `// lint:allow(unwrap): <why unreachable>`.
+//! * **guard-across-io** — on the same hot-path files, a lock guard
+//!   bound by `let g = ….lock();` / `.read();` / `.write();` must not
+//!   remain in scope across a page read or kernel call (`read_page`,
+//!   `fetch_pages`, `.execute(`, `session_for`): one stalled I/O would
+//!   serialize every worker behind the guard — the contention the
+//!   sharded scheduler exists to avoid (DESIGN.md §12). The guard's
+//!   extent is tracked line-based: until `drop(g)` or the first dedent
+//!   below the binding. Drop the guard first, clone what you need out,
+//!   or justify with `// lint:allow(guard-across-io): <why>`.
 //! * **safety-comment** — every `unsafe` block/fn/impl needs a
 //!   `SAFETY:` (or rustdoc `# Safety`) comment within five lines
 //!   above, and every non-`unsafe`-using crate must carry
@@ -235,6 +244,59 @@ fn lint_file(ctx: FileCtx<'_>, content: &str) -> Vec<Violation> {
         }
     }
 
+    // ---- guard-across-io ----------------------------------------------
+    if ctx.hot_path {
+        const IO_MARKERS: &[&str] = &["read_page(", "fetch_pages(", ".execute(", "session_for("];
+        for (i, line) in lines.iter().enumerate().take(test_start) {
+            let code = code_of(line);
+            let trimmed = code.trim_start();
+            let Some(rest) = trimmed.strip_prefix("let ") else {
+                continue;
+            };
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            // Only bindings whose value IS the guard: `let g = x.lock();`.
+            // A trailing method call (`x.lock().stats();`) drops the
+            // temporary at the end of the statement.
+            let end = code.trim_end();
+            let is_guard = end.ends_with(".lock();")
+                || end.ends_with(".read();")
+                || end.ends_with(".write();");
+            if name.is_empty() || !is_guard || marked(&lines, i, "lint:allow(guard-across-io)", 3) {
+                continue;
+            }
+            let indent = line.len() - line.trim_start().len();
+            let dropper = format!("drop({name})");
+            for (j, later) in lines.iter().enumerate().take(test_start).skip(i + 1) {
+                let lcode = code_of(later);
+                if lcode.trim().is_empty() {
+                    continue;
+                }
+                let lindent = later.len() - later.trim_start().len();
+                if lindent < indent || lcode.contains(&dropper) {
+                    break;
+                }
+                if IO_MARKERS.iter().any(|m| lcode.contains(m)) {
+                    push(
+                        &mut out,
+                        j,
+                        "guard-across-io",
+                        format!(
+                            "I/O or kernel call while guard `{name}` (taken at line {}) is \
+                             held; drop it first or justify with \
+                             `// lint:allow(guard-across-io):`",
+                            i + 1
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
     // ---- safety-comment -----------------------------------------------
     for (i, line) in lines.iter().enumerate() {
         let code = code_of(line).trim_start();
@@ -406,6 +468,21 @@ mod tests {
         let v = lint_file(ctx, &fixture("unwrap_hot.rs"));
         assert_eq!(rules_of(&v), ["hot-unwrap", "hot-unwrap"]);
         assert!(lint_file(FileCtx::default(), &fixture("unwrap_hot.rs")).is_empty());
+    }
+
+    #[test]
+    fn guard_across_io_fixture_fires() {
+        let ctx = FileCtx {
+            hot_path: true,
+            ..FileCtx::default()
+        };
+        let v = lint_file(ctx, &fixture("guard_across_io.rs"));
+        assert_eq!(rules_of(&v), ["guard-across-io", "guard-across-io"]);
+        // The rule names the guard taken in each bad function.
+        assert!(v[0].message.contains("`g`"), "{:?}", v[0]);
+        assert!(v[1].message.contains("`ds`"), "{:?}", v[1]);
+        // ...and is silent off the hot path.
+        assert!(lint_file(FileCtx::default(), &fixture("guard_across_io.rs")).is_empty());
     }
 
     #[test]

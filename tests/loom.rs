@@ -303,6 +303,125 @@ fn token_bucket_admission_cap() {
     });
 }
 
+/// Striped pins (DESIGN.md §12): readers pinning *different* stripes
+/// are all visible to the evictor, because `try_swap_out` marks
+/// SWAPPED_OUT first and then scans every stripe with the same SeqCst
+/// store-buffering cross-check the single-counter protocol used. An
+/// entry is never reclaimed while any stripe holds a pin, and a reader
+/// whose `pin_at` returned true always sees the committed payload.
+/// Scanning only stripe 0 — or weakening either SeqCst — reclaims
+/// under the stripe-5 reader in some interleaving.
+#[test]
+fn ds_entry_striped_pins_block_swapout() {
+    loom::model(|| {
+        let st = Arc::new(EntryState::new());
+        let payload = Arc::new(AtomicU64::new(0));
+        let in_use = Arc::new(AtomicU64::new(0));
+        // The entry is committed before the race: the model is about
+        // pins vs eviction, not publish (covered by `ds_entry_publish`).
+        payload.store(42, Ordering::Relaxed);
+        assert!(st.publish());
+
+        let reader = |stripe: usize| {
+            let (st, payload, in_use) = (st.clone(), payload.clone(), in_use.clone());
+            thread::spawn(move || {
+                if st.pin_at(stripe) {
+                    in_use.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(
+                        payload.load(Ordering::Relaxed),
+                        42,
+                        "pinned reader must see the committed payload"
+                    );
+                    in_use.fetch_sub(1, Ordering::SeqCst);
+                    st.unpin_at(stripe);
+                }
+            })
+        };
+        let t1 = reader(1);
+        let t2 = reader(5);
+        let evictor = {
+            let (st, in_use) = (st.clone(), in_use.clone());
+            thread::spawn(move || {
+                if st.try_swap_out() {
+                    assert_eq!(
+                        in_use.fetch_add(0, Ordering::SeqCst),
+                        0,
+                        "entry reclaimed while a striped reader held a pin"
+                    );
+                }
+            })
+        };
+        t1.join().unwrap();
+        t2.join().unwrap();
+        evictor.join().unwrap();
+    });
+}
+
+/// The sharded engine's idle/wakeup protocol (DESIGN.md §12): the
+/// submitter enqueues and increments `total_waiting` under the shard
+/// lock, then reads `sleepers`; the worker increments `sleepers` under
+/// the idle lock and re-checks `total_waiting` before waiting. The two
+/// Dekker-style SeqCst pairs plus the idle-mutex bridge on every notify
+/// guarantee the worker always receives the submitted query — dropping
+/// the worker's re-check, the submitter's `sleepers` read, or the
+/// bridge loses the wakeup, which the model reports as a deadlock.
+#[test]
+fn engine_idle_wakeup_no_lost_submit() {
+    loom::model(|| {
+        let shard = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let total_waiting = Arc::new(AtomicUsize::new(0));
+        let sleepers = Arc::new(AtomicUsize::new(0));
+        let idle = Arc::new(Mutex::new(()));
+        let work_cv = Arc::new(Condvar::new());
+
+        let submitter = {
+            let (shard, total_waiting, sleepers, idle, work_cv) = (
+                shard.clone(),
+                total_waiting.clone(),
+                sleepers.clone(),
+                idle.clone(),
+                work_cv.clone(),
+            );
+            thread::spawn(move || {
+                // `Core::admit`: enqueue + counter under the shard lock...
+                {
+                    let mut s = shard.lock();
+                    s.push(7);
+                    total_waiting.fetch_add(1, Ordering::SeqCst);
+                }
+                // ...then `wake_one`, bridging through the idle mutex.
+                if sleepers.load(Ordering::SeqCst) > 0 {
+                    let _g = idle.lock();
+                    work_cv.notify_one();
+                }
+            })
+        };
+
+        // `worker_loop` + `idle_sleep`, reduced to one shard.
+        let got = loop {
+            if total_waiting.load(Ordering::SeqCst) == 0 {
+                let mut g = idle.lock();
+                sleepers.fetch_add(1, Ordering::SeqCst);
+                // The re-check under the idle lock is load-bearing: the
+                // submitter's wake either sees our sleeper registration
+                // or we see its counter increment.
+                if total_waiting.load(Ordering::SeqCst) == 0 {
+                    work_cv.wait(&mut g);
+                }
+                sleepers.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            let mut s = shard.lock();
+            if let Some(v) = s.pop() {
+                total_waiting.fetch_sub(1, Ordering::SeqCst);
+                break v;
+            }
+        };
+        assert_eq!(got, 7, "worker must receive the submitted query");
+        submitter.join().unwrap();
+    });
+}
+
 /// The engine's work-queue handshake (mutex + condvar, notify after
 /// push): the consumer always receives the item. Removing the notify is
 /// a lost wakeup, which the model reports as a deadlock.

@@ -475,6 +475,110 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Query conservation under work stealing (DESIGN.md §12): with the
+    // scheduling graph sharded per worker and idle workers stealing from
+    // the richest shard, no query may be lost or resolved twice at any
+    // pool size. Interactive multi-client submission (unlike the paused
+    // batch above) so dequeues, steals, and admissions genuinely race,
+    // with the shed/reject ladder armed so every outcome class is
+    // reachable.
+    #[test]
+    fn stealing_conserves_queries_at_2_4_8_workers(
+        seed in 0u64..500,
+        widx in 0usize..3,
+        steal_seed in 0u64..1000,
+        queries in 24usize..48,
+    ) {
+        use std::sync::Arc;
+        use vmqs::prelude::{OverloadConfig, QueryServer, ServerConfig, ServerError};
+
+        let workers = [2usize, 4, 8][widx];
+        let slide = SlideDataset::new(DatasetId(0), 800, 800);
+        let specs: Vec<VmQuery> = (0..queries)
+            .map(|i| {
+                let r = (seed ^ (i as u64) << 3)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let op = if (r >> 7) & 1 == 0 { VmOp::Subsample } else { VmOp::Average };
+                let side = 80 + ((r >> 16) % 3) as u32 * 40;
+                let x = ((r >> 32) as u32) % (800 - side);
+                let y = ((r >> 44) as u32) % (800 - side);
+                VmQuery::new(slide, Rect::new(x, y, side, side), 1 << ((r >> 24) % 2), op)
+            })
+            .collect();
+
+        let ov = OverloadConfig {
+            max_pending: (queries / 2).max(1),
+            client_rate: 0.0,
+            degrade_threshold: 0.5,
+            shed_threshold: 0.9,
+        };
+        let cfg = ServerConfig::small()
+            .with_threads(workers)
+            .with_steal_seed(steal_seed)
+            .with_overload(ov);
+        let server = QueryServer::new(cfg, Arc::new(SyntheticSource::new()));
+
+        // Four concurrent clients, each waiting for its previous answer —
+        // the submission pattern that interleaves admission fast paths
+        // with dequeues and steals on other shards.
+        let totals = std::sync::Mutex::new([0u64; 5]);
+        std::thread::scope(|scope| {
+            for chunk in specs.chunks(queries.div_ceil(4)) {
+                let (server, totals) = (&server, &totals);
+                scope.spawn(move || {
+                    let mut local = [0u64; 5];
+                    for q in chunk {
+                        match server.submit(*q).wait() {
+                            Ok(_) => local[0] += 1,
+                            Err(ServerError::Shed { .. }) => local[1] += 1,
+                            Err(ServerError::Overloaded { .. }) => local[2] += 1,
+                            Err(ServerError::Timeout { .. }) => local[3] += 1,
+                            Err(_) => local[4] += 1,
+                        }
+                    }
+                    let mut t = totals.lock().unwrap();
+                    for (a, b) in t.iter_mut().zip(local) {
+                        *a += b;
+                    }
+                });
+            }
+        });
+        server.drain();
+        server.check_invariants();
+        let [completed, shed_n, rejected, timed_out, failed] =
+            *totals.lock().unwrap();
+        let metrics = server.metrics();
+        let stats = server.graph_stats();
+        let summary = server.summary();
+        server.shutdown();
+
+        prop_assert_eq!(
+            completed + failed + timed_out + shed_n + rejected,
+            queries as u64,
+            "every query must resolve exactly once"
+        );
+        let counter = |name: &str| metrics.counters.get(name).copied().unwrap_or(0);
+        prop_assert_eq!(counter("vmqs_queries_submitted_total"), queries as u64);
+        prop_assert_eq!(counter("vmqs_queries_completed_total"), completed);
+        prop_assert_eq!(counter("vmqs_queries_failed_total"), failed);
+        prop_assert_eq!(counter("vmqs_queries_timed_out_total"), timed_out);
+        prop_assert_eq!(counter("vmqs_queries_rejected_total"), rejected);
+        prop_assert_eq!(counter("vmqs_queries_shed_total"), shed_n);
+        prop_assert_eq!(summary.completed as u64, completed);
+        // Graph-level conservation across all shards: everything inserted
+        // left through a worker dequeue or a shed/timeout swap-out, and
+        // nothing remains after drain.
+        // nothing remains after drain. (`dequeue_specific` on the shed
+        // path counts as a dequeue, so dequeued covers all four classes.)
+        prop_assert_eq!(stats.inserted, completed + failed + timed_out + shed_n);
+        prop_assert_eq!(stats.dequeued, stats.inserted);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Volume application properties (§6 extension).
 // ---------------------------------------------------------------------------
