@@ -15,6 +15,12 @@
 //!   is near zero, so throughput is bounded by scheduler and lock overhead
 //!   — the configuration where pre-sharding the engine *lost* ground as
 //!   workers were added (DESIGN.md §12).
+//! - `graft_contention_results`: the contention tiles offered *cold*
+//!   with several interleaved copies of every tile, with grafting on and
+//!   off. With grafting on, each distinct tile is computed exactly once:
+//!   later copies either graft onto the in-flight producer or exact-hit
+//!   its published result, and `duplicate_full_computes` must be 0
+//!   (ROADMAP item 1, DESIGN.md §13).
 //! - `overload_results`: the batch offered as a burst through the
 //!   degrade/shed ladder, once per load factor at the largest worker count.
 //!
@@ -388,6 +394,139 @@ fn run_contention_once(workers: usize, seed: u64, quick: bool) -> ContentionResu
     }
 }
 
+/// One row of the graft-contention section: a few hot windows, each
+/// submitted `GRAFT_HOT_COPIES` times, offered cold as one paused batch.
+struct GraftContentionResult {
+    graft: bool,
+    workers: usize,
+    queries: usize,
+    distinct: usize,
+    wall_s: f64,
+    qps: f64,
+    path_exact: usize,
+    path_partial: usize,
+    path_full: usize,
+    grafted: usize,
+    duplicate_full_computes: u64,
+}
+
+const GRAFT_HOT_WINDOWS: usize = 8;
+const GRAFT_HOT_COPIES: usize = 8;
+const GRAFT_HOT_SIDE: u32 = 256;
+
+/// The hot windows: disjoint 256x256 averaging tiles — orders of
+/// magnitude more per-query compute than the 32x32 contention tiles, so
+/// a copy's dequeue reliably lands inside its producer's execution
+/// window. All windows are chosen (by scanning the tile grid) to hash to
+/// shard 0, which makes every other worker's home shard empty: they
+/// become dedicated stealers, and stealing during the producer's
+/// execution is exactly the race grafting resolves.
+fn graft_hot_windows(workers: usize) -> Vec<VmQuery> {
+    let slide = SlideDataset::new(DatasetId(0), 4096, 4096);
+    let per_row = 4096 / GRAFT_HOT_SIDE;
+    let mut out = Vec::with_capacity(GRAFT_HOT_WINDOWS);
+    'scan: for gy in 0..per_row {
+        for gx in 0..per_row {
+            let q = VmQuery::new(
+                slide,
+                Rect::new(
+                    gx * GRAFT_HOT_SIDE,
+                    gy * GRAFT_HOT_SIDE,
+                    GRAFT_HOT_SIDE,
+                    GRAFT_HOT_SIDE,
+                ),
+                1,
+                VmOp::Average,
+            );
+            if vmqs_core::shard_of_spec(&q, workers) == 0 {
+                out.push(q);
+                if out.len() == GRAFT_HOT_WINDOWS {
+                    break 'scan;
+                }
+            }
+        }
+    }
+    assert_eq!(
+        out.len(),
+        GRAFT_HOT_WINDOWS,
+        "the 16x16 tile grid must yield enough shard-0 windows"
+    );
+    out
+}
+
+/// Offers `GRAFT_HOT_COPIES` adjacent copies of every hot window as one
+/// cold paused batch, so copies of a window race its first compute.
+/// Identical predicates hash to the same home shard, so the copies queue
+/// behind their producer; the other workers steal them mid-flight. With
+/// grafting on, a stolen copy subscribes to the EXECUTING producer
+/// instead of recomputing, and `duplicate_full_computes` stays 0: every
+/// window is computed exactly once.
+fn run_graft_contention_once(graft: bool, workers: usize) -> GraftContentionResult {
+    let distinct = graft_hot_windows(workers);
+    let mut specs = Vec::with_capacity(distinct.len() * GRAFT_HOT_COPIES);
+    for &w in &distinct {
+        for _ in 0..GRAFT_HOT_COPIES {
+            specs.push(w);
+        }
+    }
+    let total = specs.len();
+    // FIFO, not CNBF: CNBF *deprioritizes* queries overlapping an
+    // EXECUTING peer, which dissolves exactly the producer/copy race this
+    // section measures. FIFO dequeues the adjacent copies immediately.
+    let cfg = ServerConfig::small()
+        .with_strategy(Strategy::Fifo)
+        .with_threads(workers)
+        .with_ds_budget(16 << 20)
+        .with_ps_budget(8 << 20)
+        .with_observability(true)
+        .with_start_paused(true)
+        .with_graft(graft);
+    let server = QueryServer::new(cfg, Arc::new(SyntheticSource::new()));
+
+    let start = vmqs_core::clock::now();
+    let handles = server.submit_batch(specs);
+    server.resume_workers();
+    for h in handles {
+        h.wait().expect("graft-contention query failed");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let summary = server.summary();
+    server.shutdown();
+
+    assert_eq!(summary.completed, total, "every query must complete");
+    if graft {
+        assert_eq!(
+            summary.duplicate_full_computes, 0,
+            "grafting + producer-affinity dequeue must eliminate duplicate \
+             full computes (ROADMAP item 1)"
+        );
+        assert_eq!(
+            summary.full_compute,
+            distinct.len(),
+            "with grafting on, each distinct window is computed exactly once"
+        );
+        if workers > 1 {
+            assert!(
+                summary.grafted > 0,
+                "concurrent copies of a window must graft onto its producer"
+            );
+        }
+    }
+    GraftContentionResult {
+        graft,
+        workers,
+        queries: total,
+        distinct: distinct.len(),
+        wall_s: wall,
+        qps: total as f64 / wall,
+        path_exact: summary.exact_hits,
+        path_partial: summary.partial_reuse,
+        path_full: summary.full_compute,
+        grafted: summary.grafted,
+        duplicate_full_computes: summary.duplicate_full_computes,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -397,6 +536,7 @@ fn write_json(
     params: &BenchParams,
     results: &[RunResult],
     contention: &[ContentionResult],
+    graft_contention: &[GraftContentionResult],
     overload: &[OverloadResult],
 ) -> std::io::Result<()> {
     use std::io::Write;
@@ -455,6 +595,34 @@ fn write_json(
              \"queries_per_sec\": {:.3}, \"ds_hit_ratio\": {:.4}, \
              \"speedup_vs_first\": {:.3}}}{}",
             r.workers, r.queries, r.wall_s, r.qps, r.ds_hit_ratio, speedup, comma
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"graft_contention_results\": [")?;
+    for (i, r) in graft_contention.iter().enumerate() {
+        let comma = if i + 1 < graft_contention.len() {
+            ","
+        } else {
+            ""
+        };
+        writeln!(
+            f,
+            "    {{\"graft\": {}, \"workers\": {}, \"queries\": {}, \"distinct\": {}, \
+             \"wall_s\": {:.4}, \"queries_per_sec\": {:.3}, \
+             \"path_exact\": {}, \"path_partial\": {}, \"path_full\": {}, \
+             \"grafted\": {}, \"duplicate_full_computes\": {}}}{}",
+            r.graft,
+            r.workers,
+            r.queries,
+            r.distinct,
+            r.wall_s,
+            r.qps,
+            r.path_exact,
+            r.path_partial,
+            r.path_full,
+            r.grafted,
+            r.duplicate_full_computes,
+            comma
         )?;
     }
     writeln!(f, "  ],")?;
@@ -560,6 +728,53 @@ fn main() {
             r.ds_hit_ratio * 100.0
         );
     }
+    // Graft-contention section: hot windows offered cold with adjacent
+    // duplicates, grafting off vs on, sequentially (1 worker) and at the
+    // largest swept worker count. The asserts inside
+    // run_graft_contention_once pin the ROADMAP item 1 outcome:
+    // duplicate full computes at 0 with grafted answers > 0 once copies
+    // can actually race (workers > 1).
+    let graft_workers = {
+        let mut v = vec![1];
+        let max = params.workers.iter().copied().max().unwrap_or(1);
+        if max > 1 {
+            v.push(max);
+        }
+        v
+    };
+    let mut graft_contention = Vec::new();
+    println!(
+        "{:<12} {:>6} {:>8} {:>9} {:>10} {:>6} {:>6} {:>6} {:>8} {:>6}",
+        "graft-cont",
+        "graft",
+        "workers",
+        "wall_s",
+        "q/s",
+        "exact",
+        "part",
+        "full",
+        "grafted",
+        "dup"
+    );
+    for graft in [false, true] {
+        for &workers in &graft_workers {
+            let r = run_graft_contention_once(graft, workers);
+            println!(
+                "{:<12} {:>6} {:>8} {:>9.3} {:>10.2} {:>6} {:>6} {:>6} {:>8} {:>6}",
+                "cold-dup",
+                r.graft,
+                r.workers,
+                r.wall_s,
+                r.qps,
+                r.path_exact,
+                r.path_partial,
+                r.path_full,
+                r.grafted,
+                r.duplicate_full_computes
+            );
+            graft_contention.push(r);
+        }
+    }
     // Overload section: the same batch offered as a burst at 2x and 4x
     // the admission bound, through the degrade/shed ladder. The ladder's
     // outcome mix depends on the bound, not the pool size, so one run per
@@ -585,7 +800,14 @@ fn main() {
         );
         overload.push(r);
     }
-    write_json(&params.out_path, &params, &results, &contention, &overload)
-        .expect("write BENCH_e2e.json");
+    write_json(
+        &params.out_path,
+        &params,
+        &results,
+        &contention,
+        &graft_contention,
+        &overload,
+    )
+    .expect("write BENCH_e2e.json");
     println!("wrote {}", params.out_path);
 }

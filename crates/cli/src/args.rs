@@ -89,6 +89,7 @@ pub fn parse_strategy(name: &str) -> Option<vmqs_core::Strategy> {
         "CNBF" => Strategy::Cnbf,
         "SJF" => Strategy::Sjf,
         "HYBRID" => Strategy::hybrid_default(),
+        "CHUNKBATCH" => Strategy::chunk_batch_default(),
         _ => return None,
     })
 }
@@ -128,7 +129,18 @@ mod tests {
 
     #[test]
     fn strategies_parse() {
-        for name in ["FIFO", "MUF", "FF", "CF", "CNBF", "SJF", "HYBRID", "cnbf"] {
+        for name in [
+            "FIFO",
+            "MUF",
+            "FF",
+            "CF",
+            "CNBF",
+            "SJF",
+            "HYBRID",
+            "CHUNKBATCH",
+            "cnbf",
+            "chunkbatch",
+        ] {
             assert!(parse_strategy(name).is_some(), "{name}");
         }
         assert!(parse_strategy("NOPE").is_none());

@@ -63,6 +63,35 @@ fn parse_overload(args: &Args) -> Result<OverloadConfig, Box<dyn Error>> {
     })
 }
 
+/// Parses `--strategy` (defaulting to `default`) and applies the optional
+/// `--starvation-dial` override to CHUNKBATCH's aging knob (DESIGN.md §13:
+/// 0 = pure chunk affinity, ≥ 1 = exact FIFO).
+fn parse_strategy_with_dial(args: &Args, default: Strategy) -> Result<Strategy, Box<dyn Error>> {
+    let mut strategy = match args.get("strategy") {
+        None => default,
+        Some(s) => parse_strategy(s).ok_or(format!("unknown strategy '{s}'"))?,
+    };
+    if let Some(raw) = args.get("starvation-dial") {
+        let dial: f64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value '{raw}' for --starvation-dial"))?;
+        if !dial.is_finite() || dial < 0.0 {
+            return Err(format!("--starvation-dial must be non-negative, got {dial}").into());
+        }
+        match &mut strategy {
+            Strategy::ChunkBatch { starvation_dial } => *starvation_dial = dial,
+            other => {
+                return Err(format!(
+                    "--starvation-dial only applies to CHUNKBATCH, not {}",
+                    other.name()
+                )
+                .into())
+            }
+        }
+    }
+    Ok(strategy)
+}
+
 /// `vmqsctl render` — render a microscope window through the real server.
 pub fn render(args: &Args) -> CliResult {
     let sw: u32 = args.get_or("slide-width", 8192)?;
@@ -76,6 +105,7 @@ pub fn render(args: &Args) -> CliResult {
     let out = args.get("out").unwrap_or("render.ppm");
     let fault = parse_faults(args)?;
     let overload = parse_overload(args)?;
+    let strategy = parse_strategy_with_dial(args, Strategy::Cnbf)?;
     // Negative sentinel = no timeout; `--query-timeout-ms 0` is a valid
     // (immediately expiring) deadline.
     let timeout_ms: i64 = args.get_or("query-timeout-ms", -1)?;
@@ -90,6 +120,8 @@ pub fn render(args: &Args) -> CliResult {
         Arc::new(FaultInjectingSource::new(SyntheticSource::new(), fault))
     };
     let mut cfg = ServerConfig::small()
+        .with_strategy(strategy)
+        .with_graft(args.flag("graft"))
         .with_retry_seed(fault.seed)
         .with_observability(trace_out.is_some())
         .with_overload(overload);
@@ -185,10 +217,7 @@ pub fn mip(args: &Args) -> CliResult {
 
 /// `vmqsctl simulate` — one paper-scale simulated configuration.
 pub fn simulate(args: &Args) -> CliResult {
-    let strategy = match args.get("strategy") {
-        None => Strategy::Cnbf,
-        Some(s) => parse_strategy(s).ok_or(format!("unknown strategy '{s}'"))?,
-    };
+    let strategy = parse_strategy_with_dial(args, Strategy::Cnbf)?;
     let op = parse_vm_op(args.get("op").unwrap_or("subsample"))?;
     let threads: usize = args.get_or("threads", 4)?;
     let ds_mb: u64 = args.get_or("ds-mb", 64)?;
@@ -216,6 +245,7 @@ pub fn simulate(args: &Args) -> CliResult {
         .with_ps_budget(ps_mb << 20)
         .with_mode(mode)
         .with_faults(fault)
+        .with_graft(args.flag("graft"))
         .with_observe(trace_out.is_some())
         .with_overload(overload);
     let report = run_sim(cfg, streams);
@@ -247,6 +277,9 @@ pub fn simulate(args: &Args) -> CliResult {
             "overload:         {} rejected, {} shed, {} degraded",
             report.rejected, report.shed, report.degraded
         );
+    }
+    if args.flag("graft") {
+        println!("grafted answers:  {}", report.grafted);
     }
     if let Some(path) = trace_out {
         std::fs::write(path, vmqs_obs::events_to_json(&report.events))?;

@@ -18,6 +18,7 @@ vmqsctl — multi-query scheduling for data visualization workloads
 USAGE:
   vmqsctl render   --x N --y N --w N --h N [--zoom N] [--op subsample|average]
                    [--slide-width N] [--slide-height N] [--out FILE.ppm]
+                   [--strategy NAME] [--starvation-dial F] [--graft]
                    [--fault-rate F] [--fault-seed N] [--query-timeout-ms N]
                    [--max-pending N] [--client-rate QPS]
                    [--degrade-threshold F] [--shed-threshold F]
@@ -32,13 +33,15 @@ USAGE:
       retry-after hint); --client-rate caps each client's sustained
       queries/second; --degrade-threshold and --shed-threshold set the
       pressure levels (0..1, against the --max-pending bound) at which
-      queries are downgraded to their cheaper plan or shed.
+      queries are downgraded to their cheaper plan or shed. --graft lets
+      queries subscribe to in-flight producers instead of recomputing.
 
   vmqsctl mip      --x N --y N --w N --h N --z0 N --z1 N [--lod N]
                    [--op mip|avgproj] [--out FILE.pgm]
       Render a 3-D volume projection through the real kernels.
 
-  vmqsctl simulate [--strategy FIFO|MUF|FF|CF|CNBF|SJF|HYBRID] [--op subsample|average]
+  vmqsctl simulate [--strategy FIFO|MUF|FF|CF|CNBF|SJF|HYBRID|CHUNKBATCH]
+                   [--starvation-dial F] [--graft] [--op subsample|average]
                    [--threads N] [--ds-mb N] [--ps-mb N] [--seed N] [--batch]
                    [--fault-rate F] [--fault-seed N]
                    [--max-pending N] [--client-rate QPS]
@@ -50,6 +53,10 @@ USAGE:
       knobs run the same admission ladder as `render`, in virtual time.
       --trace-out / --metrics-out export the same event-log JSON and
       Prometheus metrics as `render`, stamped with virtual time.
+      CHUNKBATCH ranks WAITING queries by affinity with the chunk groups
+      the EXECUTING set is touching; --starvation-dial trades that
+      affinity against arrival order (0 = pure affinity, >= 1 = FIFO).
+      --graft mirrors the threaded server's in-flight grafting.
 
   vmqsctl trace    [--strategy NAME] [--op subsample|average] [--threads N]
                    [--ds-mb N] [--seed N] [--batch] [--out FILE.csv]

@@ -33,6 +33,10 @@ struct Node<S> {
     rank: Rank,
     arrival_seq: u64,
     qinputsize: u64,
+    /// Sorted, deduplicated chunk keys of the query's input (the
+    /// application's [`QuerySpec::chunk_keys`]); drives ChunkBatch's
+    /// hot-chunk affinity.
+    chunks: Vec<u64>,
     /// Edges `e_{self,k}`: k can reuse self's result.
     out_edges: Vec<Edge>,
     /// Edges `e_{k,self}`: self can reuse k's result.
@@ -73,6 +77,11 @@ pub struct SchedulingGraph<S: QuerySpec> {
     waiting: BTreeSet<WaitKey>,
     arrival_counter: u64,
     stats: GraphStats,
+    /// Refcounts of chunk keys touched by EXECUTING nodes — the *hot set*
+    /// ChunkBatch ranks affinity against. Maintained on every transition
+    /// into/out of EXECUTING; only membership is read, so HashMap iteration
+    /// order never leaks into ranks.
+    hot_chunks: HashMap<u64, u32>,
 }
 
 impl<S: QuerySpec> SchedulingGraph<S> {
@@ -84,6 +93,7 @@ impl<S: QuerySpec> SchedulingGraph<S> {
             waiting: BTreeSet::new(),
             arrival_counter: 0,
             stats: GraphStats::default(),
+            hot_chunks: HashMap::new(),
         }
     }
 
@@ -194,12 +204,16 @@ impl<S: QuerySpec> SchedulingGraph<S> {
             });
         }
 
+        let mut chunks = spec.chunk_keys();
+        chunks.sort_unstable();
+        chunks.dedup();
         let node = Node {
             spec,
             state: QueryState::Waiting,
             rank: Rank::ZERO, // placeholder; computed below
             arrival_seq,
             qinputsize,
+            chunks,
             out_edges: new_out,
             in_edges: new_in,
         };
@@ -464,9 +478,23 @@ impl<S: QuerySpec> SchedulingGraph<S> {
 
     fn compute_rank(&self, id: QueryId) -> Rank {
         let node = &self.nodes[&id];
+        // Affinity with the hot set is only evaluated for ChunkBatch; every
+        // other strategy ignores the field.
+        let hot_fraction = match self.strategy {
+            Strategy::ChunkBatch { .. } if !node.chunks.is_empty() => {
+                let hot = node
+                    .chunks
+                    .iter()
+                    .filter(|c| self.hot_chunks.contains_key(c))
+                    .count();
+                hot as f64 / node.chunks.len() as f64
+            }
+            _ => 0.0,
+        };
         let inputs = RankInputs {
             arrival_seq: node.arrival_seq,
             qinputsize: node.qinputsize,
+            hot_fraction,
         };
         let in_edges = node
             .in_edges
@@ -523,14 +551,94 @@ impl<S: QuerySpec> SchedulingGraph<S> {
             self.waiting
                 .remove(&WaitKey(node.rank, Reverse(node.arrival_seq), id));
         }
-        if !self.strategy.is_static() {
-            let mut uniq = neighbors;
-            uniq.sort_unstable();
-            uniq.dedup();
-            for peer in uniq {
-                self.rerank_if_waiting(peer);
+        // Maintain the hot-chunk refcounts over EXECUTING nodes.
+        let hot_changed = (prev == QueryState::Executing) != (next == QueryState::Executing);
+        if hot_changed && !self.nodes[&id].chunks.is_empty() {
+            let chunks = self.nodes[&id].chunks.clone();
+            if next == QueryState::Executing {
+                for c in chunks {
+                    *self.hot_chunks.entry(c).or_insert(0) += 1;
+                }
+            } else {
+                for c in chunks {
+                    if let Some(n) = self.hot_chunks.get_mut(&c) {
+                        *n -= 1;
+                        if *n == 0 {
+                            self.hot_chunks.remove(&c);
+                        }
+                    }
+                }
             }
         }
+        if !self.strategy.is_static() {
+            if matches!(self.strategy, Strategy::ChunkBatch { .. }) {
+                // ChunkBatch ranks depend on the *global* hot set, not on
+                // edges: a transition into/out of EXECUTING can change the
+                // affinity of any waiting query sharing a chunk.
+                if hot_changed {
+                    self.rerank_all_waiting();
+                }
+            } else {
+                let mut uniq = neighbors;
+                uniq.sort_unstable();
+                uniq.dedup();
+                for peer in uniq {
+                    self.rerank_if_waiting(peer);
+                }
+            }
+        }
+    }
+
+    fn rerank_all_waiting(&mut self) {
+        // BTreeSet iteration order is deterministic; collect first because
+        // re-ranking mutates the set.
+        let ids: Vec<QueryId> = self.waiting.iter().map(|k| k.2).collect();
+        for id in ids {
+            self.rerank_if_waiting(id);
+        }
+    }
+
+    /// Like [`SchedulingGraph::dequeue`], but with the dequeue-time
+    /// producer-affinity override (ROADMAP item 1): when the top-ranked
+    /// query could be answered *entirely* by an earlier-arrived query that
+    /// is still WAITING (`overlap == 1` on the in-edge), the producer is
+    /// dequeued first, so that parallel workers do not pull a consumer
+    /// ahead of its producer and duplicate the full computation. The walk
+    /// follows producers-of-producers but always strictly decreases the
+    /// arrival sequence, so it terminates even on mutual-overlap cliques.
+    pub fn dequeue_preferring_producer(&mut self) -> Option<QueryId> {
+        let (top, _) = self.peek()?;
+        let mut chosen = top;
+        while let Some(p) = self.full_coverage_waiting_producer(chosen) {
+            chosen = p;
+        }
+        let ok = self.dequeue_specific(chosen);
+        debug_assert!(ok, "peeked/walked node must be dequeueable");
+        Some(chosen)
+    }
+
+    /// Earliest-arrived WAITING in-edge peer that fully covers `id`'s
+    /// answer, if any.
+    fn full_coverage_waiting_producer(&self, id: QueryId) -> Option<QueryId> {
+        let node = self.nodes.get(&id)?;
+        let mut best: Option<(u64, QueryId)> = None;
+        for e in &node.in_edges {
+            let p = match self.nodes.get(&e.peer) {
+                Some(p) => p,
+                None => continue,
+            };
+            if p.state != QueryState::Waiting || p.arrival_seq >= node.arrival_seq {
+                continue;
+            }
+            if p.spec.overlap(&node.spec) < 1.0 {
+                continue;
+            }
+            let key = (p.arrival_seq, e.peer);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, p)| p)
     }
 }
 
@@ -783,6 +891,99 @@ mod tests {
         g.insert(q(1), IntervalSpec::new(0, 123, 1));
         assert_eq!(g.qinputsize_of(q(1)), Some(123));
         assert_eq!(g.qinputsize_of(q(9)), None);
+    }
+
+    #[test]
+    fn chunkbatch_batches_waiting_queries_on_hot_chunks() {
+        let mut g = graph(Strategy::ChunkBatch {
+            starvation_dial: 0.0,
+        });
+        // Two chunk groups far apart; queries arrive interleaved. Tiles
+        // within a group share input chunks but have disjoint outputs (no
+        // reuse edges), which is exactly the case the paper strategies
+        // cannot batch.
+        g.insert(q(1), IntervalSpec::new(0, 32, 1)); // group A, chunk 0
+        g.insert(q(2), IntervalSpec::new(1000, 32, 1)); // group B
+        g.insert(q(3), IntervalSpec::new(32, 32, 1)); // group A, chunk 0
+        g.insert(q(4), IntervalSpec::new(1032, 32, 1)); // group B
+        assert!(g.reuse_sources(q(3)).is_empty(), "disjoint outputs");
+        // FIFO tiebreak dequeues q1; its chunk becomes hot, so q3 (same
+        // chunk) must jump ahead of q2 (earlier arrival, cold chunk).
+        assert_eq!(g.dequeue(), Some(q(1)));
+        assert_eq!(g.dequeue(), Some(q(3)));
+        assert_eq!(g.dequeue(), Some(q(2)));
+        assert_eq!(g.dequeue(), Some(q(4)));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn chunkbatch_hot_set_cools_down_when_execution_finishes() {
+        let mut g = graph(Strategy::ChunkBatch {
+            starvation_dial: 0.0,
+        });
+        g.insert(q(1), IntervalSpec::new(0, 32, 1));
+        g.insert(q(2), IntervalSpec::new(32, 32, 1)); // same chunk as q1
+        assert_eq!(g.dequeue(), Some(q(1)));
+        assert!(g.rank_of(q(2)).unwrap().value() > 0.0, "chunk 0 is hot");
+        g.mark_cached(q(1));
+        assert_eq!(
+            g.rank_of(q(2)).unwrap().value(),
+            0.0,
+            "hot set drops back when the executor finishes"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn chunkbatch_starvation_dial_bounds_queue_jumping() {
+        let mut g = graph(Strategy::ChunkBatch {
+            starvation_dial: 1.0,
+        });
+        g.insert(q(1), IntervalSpec::new(0, 32, 1));
+        g.insert(q(2), IntervalSpec::new(1000, 32, 1)); // cold, earlier
+        g.insert(q(3), IntervalSpec::new(32, 32, 1)); // hot, later
+        assert_eq!(g.dequeue(), Some(q(1)));
+        // dial = 1: affinity can never override arrival order.
+        assert_eq!(g.dequeue(), Some(q(2)));
+        assert_eq!(g.dequeue(), Some(q(3)));
+    }
+
+    #[test]
+    fn producer_affinity_dequeues_producer_before_consumer() {
+        // SJF ranks the (smaller) consumer above its producer even though
+        // the producer fully covers it and arrived first — the out-of-order
+        // dequeue that caused duplicate full computes (ROADMAP item 1).
+        let mut g = graph(Strategy::Sjf);
+        g.insert(q(1), IntervalSpec::new(0, 100, 1)); // producer
+        g.insert(q(2), IntervalSpec::new(0, 50, 1)); // consumer, shorter
+        assert_eq!(g.peek().unwrap().0, q(2));
+        assert_eq!(g.dequeue_preferring_producer(), Some(q(1)));
+        assert_eq!(g.dequeue_preferring_producer(), Some(q(2)));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn producer_affinity_walks_chains_and_terminates_on_equal_pairs() {
+        let mut g = graph(Strategy::Sjf);
+        // Identical specs: mutual full-coverage edges. The walk must pick
+        // the earliest arrival and stop (arrival strictly decreases).
+        g.insert(q(1), IntervalSpec::new(0, 100, 1));
+        g.insert(q(2), IntervalSpec::new(0, 100, 1));
+        g.insert(q(3), IntervalSpec::new(0, 100, 1));
+        assert_eq!(g.dequeue_preferring_producer(), Some(q(1)));
+        assert_eq!(g.dequeue_preferring_producer(), Some(q(2)));
+        assert_eq!(g.dequeue_preferring_producer(), Some(q(3)));
+        assert_eq!(g.dequeue_preferring_producer(), None);
+    }
+
+    #[test]
+    fn producer_affinity_ignores_partial_coverage() {
+        let mut g = graph(Strategy::Sjf);
+        g.insert(q(1), IntervalSpec::new(0, 100, 1));
+        g.insert(q(2), IntervalSpec::new(50, 60, 1)); // only partly covered
+        assert_eq!(g.peek().unwrap().0, q(2));
+        // Partial producers are not worth delaying the top pick for.
+        assert_eq!(g.dequeue_preferring_producer(), Some(q(2)));
     }
 
     #[test]

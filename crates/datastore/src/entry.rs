@@ -46,6 +46,12 @@ pub enum Phase {
     Full = 1,
     /// Evicted: the entry must never be read again.
     SwappedOut = 2,
+    /// In-flight with grafting enabled (DESIGN.md §13): like ACCUMULATING
+    /// (invisible to lookups, protected from eviction) but *discoverable*
+    /// by overlapping queries, which may attach a [`GraftSubscription`]
+    /// and consume the result the moment it is published instead of
+    /// recomputing it.
+    Subscribable = 3,
 }
 
 /// Number of independent pin-counter stripes per entry. A reader pins
@@ -75,12 +81,26 @@ pub const PIN_STRIPES: usize = 8;
 ///   the protocol: each stripe individually participates in the same
 ///   SeqCst store-buffering pattern against the evictor's phase CAS,
 ///   and the evictor refuses unless *all* stripes read zero.
+/// * [`EntryState::subscribe`] / [`EntryState::publish`] run the same
+///   store-buffering protocol for the graft handshake — subscriber:
+///   *increment subscriber count, then check phase*; producer: *publish,
+///   then check subscriber count* — with `SeqCst` on all four accesses.
+///   This rules out the lost wakeup where the subscriber decides to wait
+///   (saw SUBSCRIBABLE) while the producer decides nobody is listening
+///   (saw zero subscribers): at least one side must observe the other
+///   (model `ds_entry_graft_no_lost_wakeup`). A nonzero subscriber count
+///   also blocks [`EntryState::try_swap_out`], so a published entry
+///   cannot be freed between the producer's publish and the subscriber's
+///   read (model `ds_entry_graft_no_read_after_swapout`).
 #[derive(Debug)]
 pub struct EntryState {
     phase: AtomicU8,
     /// Readers currently projecting from the entry's payload, striped to
     /// keep concurrent pinners off each other's cache lines.
     pins: [AtomicU32; PIN_STRIPES],
+    /// Grafting consumers attached to this entry (subscribed between
+    /// SUBSCRIBABLE and their post-publish read). Blocks swap-out.
+    subs: AtomicU32,
 }
 
 impl EntryState {
@@ -89,6 +109,7 @@ impl EntryState {
         EntryState {
             phase: AtomicU8::new(Phase::Accumulating as u8),
             pins: std::array::from_fn(|_| AtomicU32::new(0)),
+            subs: AtomicU32::new(0),
         }
     }
 
@@ -96,6 +117,7 @@ impl EntryState {
         match v {
             0 => Phase::Accumulating,
             1 => Phase::Full,
+            3 => Phase::Subscribable,
             _ => Phase::SwappedOut,
         }
     }
@@ -106,18 +128,74 @@ impl EntryState {
         Self::decode(self.phase.load(Ordering::Acquire))
     }
 
-    /// ACCUMULATING → FULL. Returns false when the entry was not
-    /// accumulating (double commit or already evicted). Release: the
-    /// producer's payload writes become visible with the transition.
+    /// ACCUMULATING → FULL or SUBSCRIBABLE → FULL. Returns false when the
+    /// entry was in neither in-flight phase (double commit or already
+    /// evicted). SeqCst (⊇ Release): the producer's payload writes become
+    /// visible with the transition, and the publish is totally ordered
+    /// against concurrent [`EntryState::subscribe`] increments so a
+    /// producer checking [`EntryState::subscribers`] afterwards cannot
+    /// miss a subscriber that decided to wait (store-buffering pairing
+    /// described on the type).
     pub fn publish(&self) -> bool {
+        for from in [Phase::Accumulating, Phase::Subscribable] {
+            if self
+                .phase
+                .compare_exchange(
+                    from as u8,
+                    Phase::Full as u8,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// ACCUMULATING → SUBSCRIBABLE: opens the in-flight entry to graft
+    /// subscriptions. Returns false when the entry already left
+    /// ACCUMULATING.
+    pub fn make_subscribable(&self) -> bool {
         self.phase
             .compare_exchange(
                 Phase::Accumulating as u8,
-                Phase::Full as u8,
-                Ordering::Release,
+                Phase::Subscribable as u8,
+                Ordering::SeqCst,
                 Ordering::Relaxed,
             )
             .is_ok()
+    }
+
+    /// Attaches a graft subscription: increments the subscriber count,
+    /// then reads the phase (both SeqCst — the subscriber half of the
+    /// store-buffering handshake with [`EntryState::publish`]). The
+    /// returned phase tells the caller what to do: `Subscribable` → wait
+    /// for the producer (the subscription guarantees a publish after this
+    /// point will observe it); `Full` → the result is already out, read
+    /// it now; `SwappedOut`/`Accumulating` → the entry is not (or no
+    /// longer) graftable, and the subscription has already been released.
+    pub fn subscribe(&self) -> Phase {
+        self.subs.fetch_add(1, Ordering::SeqCst);
+        let ph = Self::decode(self.phase.load(Ordering::SeqCst));
+        if !matches!(ph, Phase::Subscribable | Phase::Full) {
+            self.subs.fetch_sub(1, Ordering::Release);
+        }
+        ph
+    }
+
+    /// Releases a subscription taken with [`EntryState::subscribe`] (only
+    /// when it returned `Subscribable` or `Full`).
+    pub fn unsubscribe(&self) {
+        self.subs.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Current graft-subscriber count (SeqCst: the producer half of the
+    /// handshake — called after [`EntryState::publish`], it cannot read 0
+    /// if a subscriber is committed to waiting).
+    pub fn subscribers(&self) -> u32 {
+        self.subs.load(Ordering::SeqCst)
     }
 
     /// True when the entry may be returned by lookups.
@@ -183,10 +261,13 @@ impl EntryState {
         {
             return false;
         }
-        if self.pins.iter().all(|p| p.load(Ordering::SeqCst) == 0) {
+        if self.pins.iter().all(|p| p.load(Ordering::SeqCst) == 0)
+            && self.subs.load(Ordering::SeqCst) == 0
+        {
             true
         } else {
-            // A reader pinned between our CAS and the check: back out.
+            // A reader pinned (or a grafting consumer subscribed) between
+            // our CAS and the check: back out.
             self.phase.store(Phase::Full as u8, Ordering::Release);
             false
         }
@@ -212,12 +293,28 @@ impl Default for EntryState {
 
 impl Clone for EntryState {
     fn clone(&self) -> Self {
-        // A clone is a fresh, unpinned snapshot of the phase.
+        // A clone is a fresh, unpinned, unsubscribed snapshot of the phase.
         EntryState {
             phase: AtomicU8::new(self.phase.load(Ordering::Acquire)),
             pins: std::array::from_fn(|_| AtomicU32::new(0)),
+            subs: AtomicU32::new(0),
         }
     }
+}
+
+/// A consumer's live graft attachment to an in-flight entry (DESIGN.md
+/// §13): the handle the engine holds between [`EntryState::subscribe`]
+/// and the matching unsubscribe. Copyable bookkeeping only — the
+/// subscription itself lives in the entry's atomic subscriber count.
+#[derive(Clone, Copy, Debug)]
+pub struct GraftSubscription {
+    /// The subscribed blob.
+    pub blob: BlobId,
+    /// The query producing it (the graft's reuse-edge source).
+    pub producer: QueryId,
+    /// Phase observed at subscribe time: `Subscribable` means the consumer
+    /// must wait for the publish; `Full` means the result was already out.
+    pub phase: Phase,
 }
 
 /// One intermediate result registered in the Data Store, together with its
@@ -334,6 +431,53 @@ mod tests {
         st.unpin_at(1);
         st.unpin_at(9);
         assert_eq!(st.pin_count(), 0);
+    }
+
+    #[test]
+    fn subscribable_lifecycle() {
+        let st = EntryState::new();
+        assert!(st.make_subscribable());
+        assert_eq!(st.phase(), Phase::Subscribable);
+        assert!(!st.is_visible(), "subscribable entries stay invisible");
+        assert!(!st.pin(), "subscribable entries cannot be pinned yet");
+        assert!(!st.make_subscribable(), "double open refused");
+        assert_eq!(st.subscribe(), Phase::Subscribable);
+        assert_eq!(st.subscribers(), 1);
+        assert!(st.publish(), "publish works from SUBSCRIBABLE");
+        assert_eq!(st.phase(), Phase::Full);
+        assert!(!st.try_swap_out(), "subscribed entries cannot be evicted");
+        assert_eq!(st.phase(), Phase::Full);
+        st.unsubscribe();
+        assert_eq!(st.subscribers(), 0);
+        assert!(st.try_swap_out());
+    }
+
+    #[test]
+    fn subscribe_after_publish_sees_full() {
+        let st = EntryState::new();
+        assert!(st.make_subscribable());
+        assert!(st.publish());
+        assert_eq!(st.subscribe(), Phase::Full);
+        assert_eq!(st.subscribers(), 1);
+        st.unsubscribe();
+    }
+
+    #[test]
+    fn subscribe_on_dead_entry_self_releases() {
+        let st = EntryState::new();
+        st.force_swap_out();
+        assert_eq!(st.subscribe(), Phase::SwappedOut);
+        assert_eq!(st.subscribers(), 0, "failed subscribe leaves no count");
+        let acc = EntryState::new();
+        assert_eq!(acc.subscribe(), Phase::Accumulating);
+        assert_eq!(acc.subscribers(), 0);
+    }
+
+    #[test]
+    fn make_subscribable_refused_once_published() {
+        let st = EntryState::new();
+        assert!(st.publish());
+        assert!(!st.make_subscribable());
     }
 
     #[test]

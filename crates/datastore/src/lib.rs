@@ -24,6 +24,8 @@ mod entry;
 mod spatial_store;
 mod store;
 
-pub use entry::{BlobEntry, EntryState, Payload, Phase, PIN_STRIPES};
+pub use entry::{BlobEntry, EntryState, GraftSubscription, Payload, Phase, PIN_STRIPES};
 pub use spatial_store::SpatialDataStore;
-pub use store::{DataStore, DsError, DsStats, EvictionPolicy, EvictionRecord, Match};
+pub use store::{
+    DataStore, DsError, DsStats, EvictionPolicy, EvictionRecord, GraftCandidate, Match,
+};

@@ -10,8 +10,10 @@
 //! this store is the sub-linear variant for larger deployments, with an
 //! equivalence property test guaranteeing identical results.
 
-use crate::entry::{BlobEntry, Payload};
-use crate::store::{DataStore, DsError, DsStats, EvictionPolicy, EvictionRecord, Match};
+use crate::entry::{BlobEntry, Payload, Phase};
+use crate::store::{
+    DataStore, DsError, DsStats, EvictionPolicy, EvictionRecord, GraftCandidate, Match,
+};
 use vmqs_core::spatial::{GridIndex, SpatialSpec};
 use vmqs_core::{BlobId, QueryId};
 
@@ -113,6 +115,47 @@ impl<S: SpatialSpec> SpatialDataStore<S> {
     pub fn abort(&mut self, blob: BlobId) {
         // Uncommitted blobs were never indexed.
         self.inner.abort(blob);
+    }
+
+    /// See [`DataStore::reserve_subscribable`]. Evicted blobs leave the
+    /// index; the reservation itself is only indexed at commit.
+    pub fn reserve_subscribable(
+        &mut self,
+        producer: QueryId,
+        spec: S,
+        size: u64,
+        evicted: &mut Vec<EvictionRecord<S>>,
+    ) -> Result<BlobId, DsError> {
+        let before = evicted.len();
+        let blob = self
+            .inner
+            .reserve_subscribable(producer, spec, size, evicted)?;
+        for (b, _, _) in &evicted[before..] {
+            self.index.remove(b.raw());
+        }
+        Ok(blob)
+    }
+
+    /// See [`DataStore::lookup_subscribable`]. A plain scan: in-flight
+    /// entries are not in the spatial index (they join it at commit) and
+    /// there are at most as many as there are executing queries.
+    pub fn lookup_subscribable(&self, probe: &S) -> Vec<GraftCandidate> {
+        self.inner.lookup_subscribable(probe)
+    }
+
+    /// See [`DataStore::subscribe`].
+    pub fn subscribe(&self, blob: BlobId) -> Option<Phase> {
+        self.inner.subscribe(blob)
+    }
+
+    /// See [`DataStore::unsubscribe`].
+    pub fn unsubscribe(&self, blob: BlobId) {
+        self.inner.unsubscribe(blob)
+    }
+
+    /// See [`DataStore::has_equivalent`].
+    pub fn has_equivalent(&self, probe: &S) -> bool {
+        self.inner.has_equivalent(probe)
     }
 
     /// See [`DataStore::remove`].

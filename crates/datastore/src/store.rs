@@ -9,7 +9,7 @@
 //! evicted producers so the engine can mark them SWAPPED_OUT in the
 //! scheduling graph.
 
-use crate::entry::{BlobEntry, EntryState, Payload};
+use crate::entry::{BlobEntry, EntryState, Payload, Phase};
 use std::collections::HashMap;
 use vmqs_core::sync::atomic::{AtomicU64, Ordering};
 use vmqs_core::{BlobId, QueryId, QuerySpec};
@@ -30,6 +30,23 @@ pub enum EvictionPolicy {
     LargestFirst,
     /// Most recently used first (pessimal for locality; ablation baseline).
     Mru,
+}
+
+/// An in-flight entry a query could graft onto (DESIGN.md §13): returned
+/// by [`DataStore::lookup_subscribable`].
+#[derive(Clone, Debug)]
+pub struct GraftCandidate {
+    /// The SUBSCRIBABLE blob.
+    pub blob: BlobId,
+    /// The query currently producing it.
+    pub producer: QueryId,
+    /// `cmp(entry.spec, probe)` — the published result will answer the
+    /// probe completely.
+    pub exact: bool,
+    /// `overlap(entry.spec, probe)` in `[0, 1]`.
+    pub overlap: f64,
+    /// `overlap · qoutsize(entry.spec)` — reusable bytes once published.
+    pub reuse_bytes: u64,
 }
 
 /// A partial-reuse lookup result.
@@ -270,12 +287,96 @@ impl<S: QuerySpec> DataStore<S> {
         Ok(id)
     }
 
-    /// Drops an uncommitted reservation (producing query aborted).
+    /// Drops an uncommitted reservation (producing query aborted). The
+    /// entry is marked SWAPPED_OUT before removal so a grafting consumer
+    /// holding its [`BlobId`] (or a cloned entry) can never mistake it for
+    /// in-flight.
     pub fn abort(&mut self, blob: BlobId) {
         if let Some(e) = self.entries.get(&blob) {
             assert!(!e.state.is_visible(), "abort of committed blob {blob}");
+            e.state.force_swap_out();
             self.remove(blob);
         }
+    }
+
+    /// The graft-enabled `malloc`: reserves space like
+    /// [`DataStore::malloc`] and immediately opens the entry to graft
+    /// subscriptions (phase SUBSCRIBABLE). The entry stays invisible to
+    /// lookups and protected from eviction until [`DataStore::commit`]
+    /// publishes it, but overlapping queries can already discover it via
+    /// [`DataStore::lookup_subscribable`] and subscribe.
+    pub fn reserve_subscribable(
+        &mut self,
+        producer: QueryId,
+        spec: S,
+        size: u64,
+        evicted: &mut Vec<EvictionRecord<S>>,
+    ) -> Result<BlobId, DsError> {
+        let blob = self.malloc(producer, spec, size, evicted)?;
+        let opened = self.entries[&blob].state.make_subscribable();
+        debug_assert!(opened, "fresh reservation must be ACCUMULATING");
+        Ok(blob)
+    }
+
+    /// Finds in-flight SUBSCRIBABLE entries whose eventual result can
+    /// answer `probe` completely (`cmp`) or partially (`overlap > 0`).
+    /// Exact candidates first, then by descending reusable bytes, then
+    /// blob id. Reads no stats and touches nothing: grafting decisions
+    /// must not perturb LRU or hit-rate accounting.
+    pub fn lookup_subscribable(&self, probe: &S) -> Vec<GraftCandidate> {
+        let mut out: Vec<GraftCandidate> = Vec::new();
+        // lint:sorted: result sorted below; iteration order is irrelevant
+        for e in self.entries.values() {
+            if e.state.phase() != Phase::Subscribable {
+                continue;
+            }
+            let exact = e.spec.cmp(probe);
+            let ov = if exact { 1.0 } else { e.spec.overlap(probe) };
+            if !exact && ov <= 0.0 {
+                continue;
+            }
+            out.push(GraftCandidate {
+                blob: e.id,
+                producer: e.producer,
+                exact,
+                overlap: ov,
+                reuse_bytes: if exact {
+                    e.spec.qoutsize()
+                } else {
+                    e.spec.reuse_bytes(probe)
+                },
+            });
+        }
+        out.sort_by(|a, b| {
+            b.exact
+                .cmp(&a.exact)
+                .then(b.reuse_bytes.cmp(&a.reuse_bytes))
+                .then(a.blob.cmp(&b.blob))
+        });
+        out
+    }
+
+    /// Attaches a graft subscription to `blob` (see
+    /// [`EntryState::subscribe`]). `None` when the blob no longer exists.
+    pub fn subscribe(&self, blob: BlobId) -> Option<Phase> {
+        self.entries.get(&blob).map(|e| e.state.subscribe())
+    }
+
+    /// Releases a subscription on `blob`. A no-op when the entry was
+    /// already aborted/removed (its state machine died with it).
+    pub fn unsubscribe(&self, blob: BlobId) {
+        if let Some(e) = self.entries.get(&blob) {
+            e.state.unsubscribe();
+        }
+    }
+
+    /// True when a *visible* cached entry `cmp`-matches `probe`. Unlike
+    /// [`DataStore::lookup_exact`] this reads no stats and touches no LRU
+    /// stamp — it is the duplicate-full-compute detector, a pure probe.
+    pub fn has_equivalent(&self, probe: &S) -> bool {
+        self.entries
+            .values()
+            .any(|e| e.visible() && e.spec.cmp(probe))
     }
 
     /// Looks up a blob whose predicate `cmp`-matches `probe` exactly
@@ -390,7 +491,12 @@ impl<S: QuerySpec> DataStore<S> {
     }
 
     fn pick_victim(&self) -> Option<BlobId> {
-        let candidates = self.entries.values().filter(|e| e.visible());
+        // Entries with live graft subscriptions are as good as pinned: a
+        // consumer is committed to reading them the moment they publish.
+        let candidates = self
+            .entries
+            .values()
+            .filter(|e| e.visible() && e.state.subscribers() == 0);
         let stamp = |e: &BlobEntry<S>| e.last_access.load(Ordering::Relaxed);
         match self.policy {
             EvictionPolicy::Lru => candidates.min_by_key(|e| stamp(e)).map(|e| e.id),
@@ -637,6 +743,109 @@ mod tests {
         assert_eq!(ev.len(), 3);
         assert_eq!(ds.used(), 250);
         assert_eq!(ds.stats().bytes_evicted, 300);
+    }
+
+    #[test]
+    fn reserve_subscribable_discoverable_but_invisible() {
+        let mut ds = store(1000);
+        let mut ev = Vec::new();
+        let s = spec(0, 100, 1);
+        let blob = ds
+            .reserve_subscribable(QueryId(1), s.clone(), 100, &mut ev)
+            .unwrap();
+        // Invisible to the normal lookup path...
+        assert!(ds.lookup_exact(&s).is_none());
+        // ...but discoverable by graft probes, exact first.
+        let cands = ds.lookup_subscribable(&s);
+        assert_eq!(cands.len(), 1);
+        assert!(cands[0].exact);
+        assert_eq!(cands[0].producer, QueryId(1));
+        // Partial probe: half of [50,150) comes from the in-flight entry.
+        let partial = ds.lookup_subscribable(&spec(50, 100, 1));
+        assert_eq!(partial.len(), 1);
+        assert!(!partial[0].exact);
+        assert_eq!(partial[0].reuse_bytes, 50);
+        // Publish: graft probes stop matching, normal lookups start.
+        ds.commit(blob, Payload::Virtual);
+        assert!(ds.lookup_subscribable(&s).is_empty());
+        assert!(ds.lookup_exact(&s).is_some());
+    }
+
+    #[test]
+    fn subscribable_reservation_protected_from_eviction() {
+        let mut ds = store(100);
+        let mut ev = Vec::new();
+        ds.reserve_subscribable(QueryId(1), spec(0, 100, 1), 100, &mut ev)
+            .unwrap();
+        assert_eq!(
+            ds.malloc(QueryId(2), spec(200, 50, 1), 50, &mut ev),
+            Err(DsError::Busy)
+        );
+    }
+
+    #[test]
+    fn subscription_blocks_eviction_until_released() {
+        let mut ds = store(100);
+        let mut ev = Vec::new();
+        let s = spec(0, 100, 1);
+        let blob = ds
+            .reserve_subscribable(QueryId(1), s.clone(), 100, &mut ev)
+            .unwrap();
+        assert_eq!(ds.subscribe(blob), Some(Phase::Subscribable));
+        ds.commit(blob, Payload::Virtual);
+        // Published but still subscribed: the entry must survive pressure.
+        assert_eq!(
+            ds.malloc(QueryId(2), spec(200, 50, 1), 50, &mut ev),
+            Err(DsError::Busy)
+        );
+        ds.unsubscribe(blob);
+        assert!(ds.malloc(QueryId(2), spec(200, 50, 1), 50, &mut ev).is_ok());
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn abort_of_subscribable_reservation_kills_subscriptions() {
+        let mut ds = store(100);
+        let mut ev = Vec::new();
+        let blob = ds
+            .reserve_subscribable(QueryId(1), spec(0, 100, 1), 100, &mut ev)
+            .unwrap();
+        assert_eq!(ds.subscribe(blob), Some(Phase::Subscribable));
+        ds.abort(blob);
+        assert!(ds.get(blob).is_none());
+        assert_eq!(ds.subscribe(blob), None, "dead blob is not graftable");
+        ds.unsubscribe(blob); // no-op, must not panic
+        assert_eq!(ds.used(), 0);
+    }
+
+    #[test]
+    fn has_equivalent_is_a_pure_probe() {
+        let mut ds = store(1000);
+        let mut ev = Vec::new();
+        let s = spec(0, 100, 1);
+        assert!(!ds.has_equivalent(&s));
+        ds.insert(QueryId(1), s.clone(), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        let before = ds.stats();
+        assert!(ds.has_equivalent(&s));
+        assert!(!ds.has_equivalent(&spec(500, 10, 1)));
+        assert_eq!(ds.stats(), before, "no hit/miss accounting");
+    }
+
+    #[test]
+    fn lookup_subscribable_orders_exact_then_bytes() {
+        let mut ds = store(10_000);
+        let mut ev = Vec::new();
+        ds.reserve_subscribable(QueryId(1), spec(40, 100, 1), 100, &mut ev)
+            .unwrap(); // 60 bytes reuse for probe [0,100)
+        ds.reserve_subscribable(QueryId(2), spec(0, 100, 1), 100, &mut ev)
+            .unwrap(); // exact
+        ds.reserve_subscribable(QueryId(3), spec(90, 100, 1), 100, &mut ev)
+            .unwrap(); // 10 bytes
+        let cands = ds.lookup_subscribable(&spec(0, 100, 1));
+        let producers: Vec<QueryId> = cands.iter().map(|c| c.producer).collect();
+        assert_eq!(producers, vec![QueryId(2), QueryId(1), QueryId(3)]);
+        assert!(cands[0].exact && !cands[1].exact);
     }
 
     #[test]

@@ -29,6 +29,16 @@ pub enum EventKind {
         /// True when the match satisfies the query exactly.
         exact: bool,
     },
+    /// The query grafted onto an in-flight peer: instead of recomputing
+    /// (or waiting for the result to reach CACHED), it subscribed to the
+    /// producer's reserved Data Store entry while the producer was still
+    /// EXECUTING and consumed the published bytes directly. A reuse edge
+    /// like `LookupHit`, but sourced from the in-flight entry rather than
+    /// a committed cache hit.
+    Grafted {
+        /// The executing query whose output was consumed (edge source).
+        producer: QueryId,
+    },
     /// The application spawned sub-queries for the uncovered remainder
     /// (threaded engine only; the simulator's cost model does not
     /// decompose remainders).
@@ -75,6 +85,7 @@ impl EventKind {
             EventKind::Submitted => "submitted",
             EventKind::Ranked { .. } => "ranked",
             EventKind::LookupHit { .. } => "lookup_hit",
+            EventKind::Grafted { .. } => "grafted",
             EventKind::SubquerySpawned { .. } => "subquery_spawned",
             EventKind::PageRead { .. } => "page_read",
             EventKind::Evicted => "evicted",
@@ -328,6 +339,9 @@ pub fn events_to_json(events: &[EventRecord]) -> String {
                     source.raw()
                 );
             }
+            EventKind::Grafted { producer } => {
+                let _ = write!(out, ", \"producer\": {}", producer.raw());
+            }
             EventKind::SubquerySpawned { count } => {
                 let _ = write!(out, ", \"count\": {count}");
             }
@@ -492,6 +506,26 @@ mod tests {
         assert!(json.contains("\"event\": \"rejected\""));
         assert!(json.contains("\"rate_limited\": true"));
         assert!(json.contains("\"event\": \"shed\""));
+    }
+
+    #[test]
+    fn grafted_event_labels_and_exports() {
+        let log = EventLog::new(true);
+        log.log_at(
+            0.0,
+            QueryId(3),
+            EventKind::Grafted {
+                producer: QueryId(1),
+            },
+        );
+        let kind = EventKind::Grafted {
+            producer: QueryId(1),
+        };
+        assert_eq!(kind.label(), "grafted");
+        assert!(!kind.is_terminal());
+        let json = events_to_json(&log.snapshot());
+        assert!(json.contains("\"event\": \"grafted\""));
+        assert!(json.contains("\"producer\": 1"));
     }
 
     #[test]

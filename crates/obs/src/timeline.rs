@@ -37,6 +37,8 @@ pub struct QueryTimeline {
     pub pages_read: u64,
     /// True when admission downgraded the query to its cheaper plan.
     pub degraded: bool,
+    /// True when the query answered by grafting onto an in-flight peer.
+    pub grafted: bool,
 }
 
 impl QueryTimeline {
@@ -62,6 +64,7 @@ pub fn timelines(events: &[EventRecord]) -> Vec<QueryTimeline> {
             lookup_hits: 0,
             pages_read: 0,
             degraded: false,
+            grafted: false,
         });
         match e.kind {
             EventKind::Submitted => t.submitted = Some(e.time),
@@ -74,6 +77,7 @@ pub fn timelines(events: &[EventRecord]) -> Vec<QueryTimeline> {
             EventKind::TimedOut => t.terminal = Some((Terminal::TimedOut, e.time)),
             EventKind::Rejected { .. } => t.terminal = Some((Terminal::Rejected, e.time)),
             EventKind::Shed => t.terminal = Some((Terminal::Shed, e.time)),
+            EventKind::Grafted { .. } => t.grafted = true,
             EventKind::SubquerySpawned { .. } | EventKind::Evicted => {}
         }
     }
@@ -127,6 +131,20 @@ pub fn reuse_edges(events: &[EventRecord]) -> Vec<(QueryId, QueryId, bool)> {
         .iter()
         .filter_map(|e| match e.kind {
             EventKind::LookupHit { source, exact, .. } => Some((e.query, source, exact)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The graft edges `(consumer, producer)` in emission order, one per
+/// `Grafted` event — reuse edges sourced from in-flight entries rather
+/// than committed cache hits. The conformance harness pins these across
+/// engines alongside [`reuse_edges`].
+pub fn grafted_edges(events: &[EventRecord]) -> Vec<(QueryId, QueryId)> {
+    events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Grafted { producer } => Some((e.query, producer)),
             _ => None,
         })
         .collect()
@@ -205,6 +223,30 @@ mod tests {
             vec![(QueryId(0), 5.0), (QueryId(1), 4.0)]
         );
         assert_eq!(reuse_edges(&ev), vec![(QueryId(1), QueryId(0), false)]);
+    }
+
+    #[test]
+    fn grafted_edges_extract_in_order_and_mark_timelines() {
+        let log = EventLog::new(true);
+        log.log_at(0.0, QueryId(0), EventKind::Submitted);
+        log.log_at(0.0, QueryId(1), EventKind::Submitted);
+        log.log_at(
+            0.5,
+            QueryId(1),
+            EventKind::Grafted {
+                producer: QueryId(0),
+            },
+        );
+        log.log_at(0.9, QueryId(0), EventKind::Completed);
+        log.log_at(1.0, QueryId(1), EventKind::Completed);
+        let ev = log.snapshot();
+        assert_eq!(grafted_edges(&ev), vec![(QueryId(1), QueryId(0))]);
+        // Grafts are not LookupHits: the classic reuse-edge extraction
+        // stays untouched.
+        assert!(reuse_edges(&ev).is_empty());
+        let ts = timelines(&ev);
+        assert!(!ts[0].grafted);
+        assert!(ts[1].grafted);
     }
 
     #[test]

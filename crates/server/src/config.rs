@@ -55,6 +55,14 @@ pub struct ServerConfig {
     /// Fixed by default so steal order is reproducible run to run; it has
     /// no effect at 1 worker (a single shard never steals).
     pub steal_seed: u64,
+    /// Grafting onto in-flight queries (DESIGN.md §13): producers reserve
+    /// a subscribable Data Store entry before computing, and an admitted
+    /// query that overlaps an EXECUTING one subscribes to that entry and
+    /// consumes the published bytes instead of recomputing or waiting for
+    /// the result to reach CACHED. Also switches dequeue to the
+    /// producer-affinity order so a consumer never runs ahead of a
+    /// same-predicate producer. Disabled by default.
+    pub graft: bool,
 }
 
 impl ServerConfig {
@@ -76,6 +84,7 @@ impl ServerConfig {
             start_paused: false,
             overload: OverloadConfig::default(),
             steal_seed: 0x05ee_d0f5_7ea1,
+            graft: false,
         }
     }
 
@@ -165,6 +174,12 @@ impl ServerConfig {
         self
     }
 
+    /// Builder-style grafting toggle.
+    pub fn with_graft(mut self, on: bool) -> Self {
+        self.graft = on;
+        self
+    }
+
     /// Builder-style admission bound (`0` = unbounded).
     pub fn with_max_pending(mut self, n: usize) -> Self {
         self.overload.max_pending = n;
@@ -227,6 +242,8 @@ mod tests {
         assert_eq!(c4.steal_seed, 7);
         assert!(!ServerConfig::small().observe);
         assert!(!ServerConfig::small().start_paused);
+        assert!(!ServerConfig::small().graft, "grafting is opt-in");
+        assert!(ServerConfig::small().with_graft(true).graft);
     }
 
     #[test]

@@ -90,7 +90,7 @@ use vmqs_core::{
     ClientId, FastAdmit, IdGen, PressureSignals, QueryId, QuerySpec, QueryState, SchedulingGraph,
     SpatialSpec, TokenBucket,
 };
-use vmqs_datastore::{DsStats, EvictionRecord, Payload, SpatialDataStore};
+use vmqs_datastore::{DsStats, EvictionRecord, Payload, Phase, SpatialDataStore};
 use vmqs_microscope::PAGE_SIZE;
 use vmqs_obs::{EventBuffer, EventKind, EventRecord, MetricsSnapshot, Obs, QueryMetrics};
 use vmqs_pagespace::PsStats;
@@ -253,6 +253,10 @@ struct Core<A: AppExecutor> {
     shed: AtomicU64,
     /// Queries downgraded to their cheaper plan at admission.
     degraded: AtomicU64,
+    /// Full computes whose output already had a `cmp`-equivalent visible
+    /// Data Store entry at publish time — redundant work the grafting +
+    /// producer-affinity machinery exists to eliminate (ROADMAP item 1).
+    duplicate_full_computes: AtomicU64,
     /// Event log + metrics registry (DESIGN.md §9). Counters are always
     /// live; the event log records only when `cfg.observe` is set.
     obs: Arc<Obs>,
@@ -331,6 +335,7 @@ impl<A: AppExecutor> QueryServer<A> {
             rejected: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
+            duplicate_full_computes: AtomicU64::new(0),
             obs,
             qmet,
             app,
@@ -707,6 +712,7 @@ impl<A: AppExecutor> QueryServer<A> {
                     AnswerPath::ExactHit => out.exact_hits += 1,
                     AnswerPath::PartialReuse => out.partial_reuse += 1,
                     AnswerPath::FullCompute => out.full_compute += 1,
+                    AnswerPath::Grafted => out.grafted += 1,
                 }
                 out.reused_bytes += r.reused_bytes;
                 resp.push(r.response_time());
@@ -725,6 +731,7 @@ impl<A: AppExecutor> QueryServer<A> {
         out.rejected = self.core.rejected.load(Ordering::Relaxed) as usize;
         out.shed = self.core.shed.load(Ordering::Relaxed) as usize;
         out.degraded = self.core.degraded.load(Ordering::Relaxed) as usize;
+        out.duplicate_full_computes = self.core.duplicate_full_computes.load(Ordering::Relaxed);
         let ps = self.core.ps.stats();
         out.io_faults = ps.read_faults;
         out.io_retries = ps.read_retries;
@@ -1064,7 +1071,15 @@ fn try_dequeue<A: AppExecutor>(core: &Core<A>, k: usize) -> Option<Job<A::Spec>>
         return None;
     }
     let mut s = core.shards[k].state.lock();
-    let id = s.graph.dequeue()?;
+    // With grafting on, prefer a WAITING producer over a consumer it
+    // fully covers (ROADMAP item 1): dequeuing the consumer first would
+    // either duplicate the full compute or leave the consumer blocked on
+    // a producer that has not even started.
+    let id = if core.cfg.graft {
+        s.graph.dequeue_preferring_producer()?
+    } else {
+        s.graph.dequeue()?
+    };
     core.shards[k].depth.fetch_sub(1, Ordering::SeqCst);
     core.total_waiting.fetch_sub(1, Ordering::SeqCst);
     // The rank the scheduler chose the query by, frozen at dequeue.
@@ -1141,13 +1156,34 @@ fn run_one<A: AppExecutor>(core: &Core<A>, me: usize, job: Job<A::Spec>) {
             let size = core.app.output_len(&spec) as u64;
             let n = core.shards.len();
             let mut evicted: Vec<EvictionRecord<A::Spec>> = Vec::new();
-            let cached = core.store.write().insert(
-                id,
-                spec,
-                size,
-                Payload::Bytes(Arc::clone(&out.image)),
-                &mut evicted,
-            );
+            let cached = {
+                let mut ds = core.store.write();
+                // A full compute landing next to an already-visible
+                // equivalent result is work a perfect co-scheduler would
+                // have avoided (ROADMAP item 1); count it before
+                // publishing our own copy. The reserved entry (if any)
+                // is still invisible, so it never matches itself.
+                if out.path == AnswerPath::FullCompute && ds.has_equivalent(&spec) {
+                    core.duplicate_full_computes.fetch_add(1, Ordering::Relaxed);
+                }
+                match out.reserved {
+                    // Commit the pre-reserved SUBSCRIBABLE entry in
+                    // place: subscribers that grafted onto it mid-flight
+                    // read exactly these bytes. Space was accounted at
+                    // reservation, so no eviction happens here.
+                    Some(blob) => {
+                        ds.commit(blob, Payload::Bytes(Arc::clone(&out.image)));
+                        Ok(blob)
+                    }
+                    None => ds.insert(
+                        id,
+                        spec,
+                        size,
+                        Payload::Bytes(Arc::clone(&out.image)),
+                        &mut evicted,
+                    ),
+                }
+            };
             // Publish-epoch bump *before* `done_cv` wakes dependency
             // blockers (in `finish_one`), so a woken waiter always sees
             // a moved epoch and re-probes.
@@ -1197,6 +1233,9 @@ fn run_one<A: AppExecutor>(core: &Core<A>, me: usize, job: Job<A::Spec>) {
                 AnswerPath::ExactHit => core.qmet.ds_exact_hits.inc(),
                 AnswerPath::PartialReuse => core.qmet.ds_partial_hits.inc(),
                 AnswerPath::FullCompute => core.qmet.ds_misses.inc(),
+                // Grafts are accounted per-record (ServerSummary); the
+                // store's hit/miss counters never saw a lookup for them.
+                AnswerPath::Grafted => {}
             }
             core.qmet.completed.inc();
             core.qmet
@@ -1271,6 +1310,14 @@ struct ExecOutcome {
     /// inserted and the publish epoch bumped, so a peer waking at the
     /// gate always finds the freshly published result on its re-probe.
     held_permit: bool,
+    /// The SUBSCRIBABLE Data Store reservation this query opened before
+    /// computing (grafting enabled, DESIGN.md §13). `run_one` publishes
+    /// the result by *committing* this blob — in place, so subscribers
+    /// that discovered the entry mid-flight read the bytes they were
+    /// promised — instead of inserting a fresh entry. `None` when
+    /// grafting is off, the reservation failed (budget), or the query
+    /// never reached the compute path.
+    reserved: Option<BlobId>,
 }
 
 /// True when making `waiter` wait on `target` would close a cycle in the
@@ -1362,6 +1409,7 @@ fn execute_query<A: AppExecutor>(
         pages_requested: 0,
         blocked,
         held_permit: false,
+        reserved: None,
     };
 
     let (exact, mut sources) = lookup();
@@ -1372,12 +1420,127 @@ fn execute_query<A: AppExecutor>(
         return Ok(exact_outcome(bytes, blocked));
     }
 
+    // Step 2a — grafting (DESIGN.md §13): probe for an in-flight peer
+    // whose eventual result covers this query, subscribe to its
+    // SUBSCRIBABLE reservation, and consume the published bytes instead
+    // of recomputing or waiting for the result to reach CACHED. Only
+    // same-shard producers are grafted onto, so the wait can reuse the
+    // shard's wait-for map and the deadlock cycle check stays complete —
+    // an exact-coverage producer is always same-shard, since identical
+    // specs hash to the same home (this is also why a graft can never be
+    // stolen away from its producer's shard: both queries live there).
+    let mut graft_waited = false;
+    if core.cfg.graft {
+        let cands = core.store.read().lookup_subscribable(&spec);
+        for c in cands {
+            if c.producer == id {
+                continue;
+            }
+            let (pspec, phase) = {
+                let ds = core.store.read();
+                let Some(e) = ds.get(c.blob) else { continue };
+                let pspec = e.spec;
+                if shard_of_spec(&pspec, core.shards.len()) != k {
+                    continue;
+                }
+                let Some(phase) = ds.subscribe(c.blob) else {
+                    continue;
+                };
+                (pspec, phase)
+            };
+            if !matches!(phase, Phase::Subscribable | Phase::Full) {
+                // `subscribe` released the count itself: the entry died
+                // or was republished between probe and attach.
+                continue;
+            }
+            if phase == Phase::Subscribable {
+                // The producer is still computing. Wait for the publish
+                // on its home shard (ours) exactly like a dependency
+                // block: same wait-for edge, same cycle check, same
+                // deadline handling. `run_one` commits the entry before
+                // it transitions the producer out of EXECUTING, so when
+                // this wait ends the bytes are already in the store.
+                let sh = &core.shards[k];
+                let mut s = sh.state.lock();
+                if would_deadlock(&s.waiting_on, id, c.producer) {
+                    s.blocked_fallbacks += 1;
+                    drop(s);
+                    core.store.read().unsubscribe(c.blob);
+                    continue;
+                }
+                s.waiting_on.insert(id, c.producer);
+                let t0 = clock::now();
+                while s.graph.state_of(c.producer) == Some(QueryState::Executing)
+                    && !core.shutdown.load(Ordering::SeqCst)
+                {
+                    match deadline {
+                        None => sh.done_cv.wait(&mut s),
+                        Some(d) => {
+                            if clock::now() >= d {
+                                // Deadline expired while grafted:
+                                // withdraw the edge and the
+                                // subscription, then cancel.
+                                s.waiting_on.remove(&id);
+                                drop(s);
+                                core.store.read().unsubscribe(c.blob);
+                                return Err(deadline_error());
+                            }
+                            sh.done_cv.wait_until(&mut s, d);
+                        }
+                    }
+                }
+                s.waiting_on.remove(&id);
+                drop(s);
+                blocked += t0.elapsed();
+                graft_waited = true;
+            }
+            // The subscription pinned the entry against eviction and
+            // swap-out; it is gone (or still unpublished) only if the
+            // producer failed and aborted the reservation.
+            let published = {
+                let ds = core.store.read();
+                let bytes = ds.get(c.blob).and_then(|e| match &e.payload {
+                    Payload::Bytes(b) if e.visible() => Some(Arc::clone(b)),
+                    _ => None,
+                });
+                ds.unsubscribe(c.blob);
+                bytes
+            };
+            let Some(bytes) = published else { continue };
+            core.buf_push(
+                me,
+                id,
+                EventKind::Grafted {
+                    producer: c.producer,
+                },
+            );
+            if c.exact {
+                return Ok(ExecOutcome {
+                    image: bytes,
+                    path: AnswerPath::Grafted,
+                    reused_bytes: core.app.output_len(&spec) as u64,
+                    covered_fraction: 1.0,
+                    pages_requested: 0,
+                    blocked,
+                    held_permit: false,
+                    reserved: None,
+                });
+            }
+            // Partial graft: the producer's bytes join the reuse sources
+            // (most-reusable first) and the remainder is computed below.
+            sources.insert(0, (pspec, bytes));
+            break;
+        }
+    }
+
     // Step 2 — deadlock-avoiding block on the strongest EXECUTING query we
     // could reuse (paper §4: queries stall on in-flight dependencies; CNBF
     // exists to make this rare). Reuse edges are intra-shard, so the
     // dependency — and the wait-for cycle check — live entirely on the
     // query's home shard; its `done_cv` signals the peer's completion.
-    if core.cfg.allow_blocking {
+    // A graft already waited out (and consumed) its strongest in-flight
+    // dependency, so it skips straight to the compute.
+    if core.cfg.allow_blocking && !graft_waited {
         let sh = &core.shards[k];
         let mut s = sh.state.lock();
         let dep = s
@@ -1414,13 +1577,42 @@ fn execute_query<A: AppExecutor>(
         }
     }
 
+    // Step 2b — open this query's own SUBSCRIBABLE reservation so later
+    // overlapping admissions can graft onto *us* while we compute. The
+    // exact output size is known up front; a failed reservation (budget
+    // too small) just means no one can graft onto this query.
+    let mut reserved: Option<BlobId> = None;
+    if core.cfg.graft {
+        let mut evicted: Vec<EvictionRecord<A::Spec>> = Vec::new();
+        let size = core.app.output_len(&spec) as u64;
+        reserved = core
+            .store
+            .write()
+            .reserve_subscribable(id, spec, size, &mut evicted)
+            .ok();
+        route_evictions(core, me, evicted);
+    }
+    // Every early exit below this point must abort the reservation, or
+    // subscribers would wait on an entry no one will ever commit.
+    let abort_reservation = |r: Option<BlobId>| {
+        if let Some(b) = r {
+            core.store.write().abort(b);
+        }
+    };
+
     // Steps 3–4 — the application projects cached coverage and computes
     // the remainder through a deadline-scoped Page Space session. No
     // locks held; the compute gate bounds concurrent kernel executions
     // to the core count so an oversubscribed pool pipelines computes
     // instead of timeslicing them (cache hits returned above never get
     // stuck behind one).
-    let took_permit = core.acquire_compute(deadline)?;
+    let took_permit = match core.acquire_compute(deadline) {
+        Ok(t) => t,
+        Err(e) => {
+            abort_reservation(reserved);
+            return Err(e);
+        }
+    };
     if core.publish_epoch.load(Ordering::SeqCst) != epoch0 {
         // A peer published a result after our first lookup — whether we
         // blocked on a dependency, queued at the gate, or simply lost a
@@ -1437,7 +1629,13 @@ fn execute_query<A: AppExecutor>(
             if took_permit {
                 core.release_compute();
             }
-            return Ok(exact_outcome(bytes, blocked));
+            // The reservation rides along: `run_one` commits the hit's
+            // bytes into it, so subscribers that grafted onto this query
+            // get the answer rather than a dead entry.
+            return Ok(ExecOutcome {
+                reserved,
+                ..exact_outcome(bytes, blocked)
+            });
         }
         // Keep first-probe sources the re-probe no longer sees (evicted
         // meanwhile) — their payloads are still valid Arcs, and dropping
@@ -1456,10 +1654,13 @@ fn execute_query<A: AppExecutor>(
         Ok(out) => out,
         Err(e) => {
             // Nothing will be published on this path, so the permit is
-            // returned right away.
+            // returned right away and the reservation aborted —
+            // subscribers wake on this query's terminal transition and
+            // find the entry gone.
             if took_permit {
                 core.release_compute();
             }
+            abort_reservation(reserved);
             return Err(e);
         }
     };
@@ -1491,7 +1692,30 @@ fn execute_query<A: AppExecutor>(
         // insert + epoch bump so gate-waiters re-probe a store that
         // already contains this result.
         held_permit: took_permit,
+        reserved,
     })
+}
+
+/// Transitions evicted producers to SWAPPED_OUT on their home shards
+/// (one shard lock at a time) and emits their eviction events — the
+/// out-of-line sibling of `run_one`'s inline publish-path routing, for
+/// eviction sites that hold no shard lock.
+fn route_evictions<A: AppExecutor>(
+    core: &Core<A>,
+    me: usize,
+    evicted: Vec<EvictionRecord<A::Spec>>,
+) {
+    let n = core.shards.len();
+    for (_, producer, vspec) in &evicted {
+        let home = shard_of_spec(vspec, n);
+        let mut s = core.shards[home].state.lock();
+        s.blob_of.remove(producer);
+        s.graph.swap_out(*producer);
+    }
+    for (_, producer, _) in evicted {
+        core.buf_push(me, producer, EventKind::Evicted);
+        core.qmet.ds_evictions.inc();
+    }
 }
 
 #[cfg(test)]
@@ -1873,6 +2097,213 @@ mod tests {
             }
         }
         assert_eq!((shut, overloaded), (4, 2));
+    }
+
+    /// An executor that parks its first `execute` call until released —
+    /// the deterministic way to hold a producer EXECUTING while a graft
+    /// consumer discovers and subscribes to its reservation.
+    struct StallingExecutor {
+        /// `(entered, released)` under the mutex; the condvar signals
+        /// both transitions.
+        gate: Arc<(Mutex<(bool, bool)>, Condvar)>,
+    }
+
+    impl AppExecutor for StallingExecutor {
+        type Spec = VmQuery;
+
+        fn output_dims(&self, spec: &VmQuery) -> (u32, u32) {
+            VmExecutor.output_dims(spec)
+        }
+
+        fn output_len(&self, spec: &VmQuery) -> usize {
+            VmExecutor.output_len(spec)
+        }
+
+        fn execute(
+            &self,
+            spec: &VmQuery,
+            sources: &[(VmQuery, Arc<[u8]>)],
+            ps: &crate::pages::PageSpaceSession<'_>,
+        ) -> std::io::Result<crate::app::AppOutcome> {
+            let first = {
+                let mut g = self.gate.0.lock();
+                let first = !g.0;
+                g.0 = true;
+                self.gate.1.notify_all();
+                first
+            };
+            if first {
+                let mut g = self.gate.0.lock();
+                while !g.1 {
+                    self.gate.1.wait(&mut g);
+                }
+            }
+            VmExecutor.execute(spec, sources, ps)
+        }
+    }
+
+    #[test]
+    fn graft_subscribes_to_in_flight_producer_and_reuses_bytes() {
+        let gate = Arc::new((Mutex::new((false, false)), Condvar::new()));
+        let s = QueryServer::with_app(
+            ServerConfig::small()
+                .with_threads(2)
+                .with_graft(true)
+                .with_observability(true),
+            StallingExecutor {
+                gate: Arc::clone(&gate),
+            },
+            Arc::new(SyntheticSource::new()),
+        );
+        let spec = q(0, 0, 128, 128, 2, VmOp::Subsample);
+        let producer = s.submit(spec);
+        // Wait until the producer is inside `execute`: its SUBSCRIBABLE
+        // reservation was opened before the compute gate, so it is now
+        // discoverable.
+        {
+            let mut g = gate.0.lock();
+            while !g.0 {
+                gate.1.wait(&mut g);
+            }
+        }
+        let consumer = s.submit(spec);
+        // Wait until the consumer has attached its graft subscription,
+        // then let the producer publish.
+        let blob = loop {
+            let c = s.core.store.read().lookup_subscribable(&spec);
+            match c.first() {
+                Some(c0) => break c0.blob,
+                None => std::thread::sleep(Duration::from_millis(1)),
+            }
+        };
+        while s
+            .core
+            .store
+            .read()
+            .get(blob)
+            .map_or(0, |e| e.state.subscribers())
+            == 0
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        {
+            let mut g = gate.0.lock();
+            g.1 = true;
+            gate.1.notify_all();
+        }
+        let p = producer.wait().unwrap();
+        let c = consumer.wait().unwrap();
+        assert_eq!(p.record.path, AnswerPath::FullCompute);
+        assert_eq!(
+            c.record.path,
+            AnswerPath::Grafted,
+            "consumer must graft, not recompute"
+        );
+        assert_eq!(*c.image, *p.image);
+        assert_eq!(*c.image, reference_render(&spec).data);
+        assert_eq!(c.record.covered_fraction, 1.0);
+        assert_eq!(c.record.pages_requested, 0);
+        let sum = s.summary();
+        assert_eq!((sum.completed, sum.grafted), (2, 1));
+        assert_eq!(sum.duplicate_full_computes, 0);
+        let ev = s.events();
+        assert_eq!(
+            vmqs_obs::timeline::grafted_edges(&ev),
+            vec![(c.record.id, p.record.id)]
+        );
+        s.check_invariants();
+        s.shutdown();
+    }
+
+    #[test]
+    fn graft_consumer_survives_producer_failure() {
+        // The producer's reservation is aborted when it fails; a grafted
+        // consumer must wake, find the entry gone, and compute on its own.
+        struct FailFirstExecutor {
+            gate: Arc<(Mutex<(bool, bool)>, Condvar)>,
+        }
+        impl AppExecutor for FailFirstExecutor {
+            type Spec = VmQuery;
+            fn output_dims(&self, spec: &VmQuery) -> (u32, u32) {
+                VmExecutor.output_dims(spec)
+            }
+            fn output_len(&self, spec: &VmQuery) -> usize {
+                VmExecutor.output_len(spec)
+            }
+            fn execute(
+                &self,
+                spec: &VmQuery,
+                sources: &[(VmQuery, Arc<[u8]>)],
+                ps: &crate::pages::PageSpaceSession<'_>,
+            ) -> std::io::Result<crate::app::AppOutcome> {
+                let first = {
+                    let mut g = self.gate.0.lock();
+                    let first = !g.0;
+                    g.0 = true;
+                    self.gate.1.notify_all();
+                    first
+                };
+                if first {
+                    let mut g = self.gate.0.lock();
+                    while !g.1 {
+                        self.gate.1.wait(&mut g);
+                    }
+                    return Err(std::io::Error::other("injected producer failure"));
+                }
+                VmExecutor.execute(spec, sources, ps)
+            }
+        }
+        let gate = Arc::new((Mutex::new((false, false)), Condvar::new()));
+        let s = QueryServer::with_app(
+            ServerConfig::small()
+                .with_threads(2)
+                .with_graft(true)
+                .with_observability(true),
+            FailFirstExecutor {
+                gate: Arc::clone(&gate),
+            },
+            Arc::new(SyntheticSource::new()),
+        );
+        let spec = q(0, 0, 96, 96, 2, VmOp::Subsample);
+        let producer = s.submit(spec);
+        {
+            let mut g = gate.0.lock();
+            while !g.0 {
+                gate.1.wait(&mut g);
+            }
+        }
+        let consumer = s.submit(spec);
+        let blob = loop {
+            let c = s.core.store.read().lookup_subscribable(&spec);
+            match c.first() {
+                Some(c0) => break c0.blob,
+                None => std::thread::sleep(Duration::from_millis(1)),
+            }
+        };
+        while s
+            .core
+            .store
+            .read()
+            .get(blob)
+            .map_or(0, |e| e.state.subscribers())
+            == 0
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        {
+            let mut g = gate.0.lock();
+            g.1 = true;
+            gate.1.notify_all();
+        }
+        assert!(producer.wait().is_err(), "producer failure must propagate");
+        let c = consumer.wait().unwrap();
+        // The consumer fell back to computing for itself.
+        assert_eq!(*c.image, reference_render(&spec).data);
+        assert_ne!(c.record.path, AnswerPath::Grafted);
+        let sum = s.summary();
+        assert_eq!((sum.completed, sum.failed, sum.grafted), (1, 1, 0));
+        s.check_invariants();
+        s.shutdown();
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub enum AnswerPath {
     PartialReuse,
     /// Computed entirely from raw chunks.
     FullCompute,
+    /// Answered entirely by grafting onto an in-flight peer: the query
+    /// subscribed to an EXECUTING producer's reserved Data Store entry
+    /// and consumed the published bytes (DESIGN.md §13). An exact-match
+    /// sibling of `ExactHit`, hit before the producer's result was CACHED.
+    Grafted,
 }
 
 /// Timing and reuse accounting for one executed query.
@@ -85,6 +90,15 @@ pub struct ServerSummary {
     pub partial_reuse: usize,
     /// Of which: computed entirely from raw pages.
     pub full_compute: usize,
+    /// Of which: answered by grafting onto an in-flight producer's
+    /// subscribable Data Store entry (exact-coverage grafts only; partial
+    /// grafts count under `partial_reuse`).
+    pub grafted: usize,
+    /// Full computes whose output already had a `cmp`-equivalent visible
+    /// Data Store entry at publish time — redundant work a perfect
+    /// co-scheduler would have avoided. Grafting plus producer-affinity
+    /// dequeue is expected to drive this to 0 (ROADMAP item 1).
+    pub duplicate_full_computes: u64,
     /// Total output bytes obtained by projecting cached results.
     pub reused_bytes: u64,
     /// Mean response time (wait + execution).

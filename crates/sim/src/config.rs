@@ -130,6 +130,14 @@ pub struct SimConfig {
     /// conformance harness can pin admission decisions across engines
     /// (DESIGN.md §10). Disabled by default.
     pub overload: OverloadConfig,
+    /// Grafting onto in-flight queries (DESIGN.md §13), mirroring the
+    /// threaded engine: a dequeued query whose answer an EXECUTING peer is
+    /// already computing subscribes to that producer and consumes its
+    /// published result at completion time — emitting a `Grafted` event
+    /// instead of a Data Store lookup — and dequeue switches to the
+    /// producer-affinity order so a consumer never starts ahead of a
+    /// same-predicate producer. Disabled by default.
+    pub graft: bool,
 }
 
 impl SimConfig {
@@ -158,6 +166,7 @@ impl SimConfig {
             observe: false,
             gate_batch_start: false,
             overload: OverloadConfig::default(),
+            graft: false,
         }
     }
 
@@ -258,6 +267,12 @@ impl SimConfig {
         self.overload = ov;
         self
     }
+
+    /// Builder-style grafting toggle.
+    pub fn with_graft(mut self, on: bool) -> Self {
+        self.graft = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +309,8 @@ mod tests {
         assert!(c2.observe && c2.gate_batch_start);
         assert!(!SimConfig::paper_baseline().observe);
         assert!(!SimConfig::paper_baseline().gate_batch_start);
+        assert!(!SimConfig::paper_baseline().graft, "grafting is opt-in");
+        assert!(SimConfig::paper_baseline().with_graft(true).graft);
     }
 
     #[test]

@@ -139,6 +139,14 @@ pub struct Simulator<A: SimApplication> {
     /// `(covered_fraction, reused_bytes, io_time, cpu_time, exact_hit)`.
     pending_metrics: HashMap<QueryId, (f64, u64, f64, f64, bool)>,
     waiters: HashMap<QueryId, Vec<QueryId>>,
+    /// Graft subscriptions: consumer → EXECUTING producer computing the
+    /// same predicate. Installed at dequeue, consumed at the consumer's
+    /// resume (DESIGN.md §13). Empty unless `cfg.graft`.
+    graft_of: HashMap<QueryId, QueryId>,
+    /// Consumers that answered by grafting; consumed into the record at
+    /// completion.
+    grafted_ids: HashSet<QueryId>,
+    grafted: u64,
     streams: HashMap<ClientId, Vec<A::Spec>>,
     client_pos: HashMap<ClientId, usize>,
     records: Vec<SimRecord<A::Spec>>,
@@ -228,6 +236,9 @@ impl<A: SimApplication> Simulator<A> {
             qinfo: HashMap::new(),
             pending_metrics: HashMap::new(),
             waiters: HashMap::new(),
+            graft_of: HashMap::new(),
+            grafted_ids: HashSet::new(),
+            grafted: 0,
             streams,
             client_pos,
             records: Vec::new(),
@@ -322,6 +333,7 @@ impl<A: SimApplication> Simulator<A> {
             rejected: self.rejected,
             shed: self.shed,
             degraded: self.degraded,
+            grafted: self.grafted,
         }
     }
 
@@ -526,6 +538,11 @@ impl<A: SimApplication> Simulator<A> {
     /// Picks the next query to start under the configured dequeue policy.
     fn pick_next(&mut self, now: f64) -> Option<QueryId> {
         match self.cfg.policy {
+            // With grafting on, walk from the top-ranked query to its
+            // earliest-arrived full-coverage WAITING producer so a consumer
+            // never starts ahead of the query it would graft onto — the
+            // same dequeue order as the threaded engine's `try_dequeue`.
+            SchedPolicy::RankOrder if self.cfg.graft => self.graph.dequeue_preferring_producer(),
             SchedPolicy::RankOrder => self.graph.dequeue(),
             SchedPolicy::IoAware {
                 candidates,
@@ -577,19 +594,40 @@ impl<A: SimApplication> Simulator<A> {
             info.start = now;
             self.qmet.queue_wait.observe(now - info.arrival);
 
-            // Deadlock-free blocking: a query only ever blocks on a query
-            // that started executing earlier, so wait-for edges cannot
-            // cycle (see vmqs-server for the racy-threads variant that
-            // needs an explicit cycle check).
-            let dep = if self.cfg.allow_blocking {
+            // Grafting (DESIGN.md §13): an EXECUTING peer computing this
+            // exact predicate is a producer to subscribe to — the consumer
+            // waits like a blocked query but consumes the published result
+            // at resume instead of performing its own lookup. Independent
+            // of `allow_blocking`, mirroring the threaded engine.
+            let spec = self.qinfo[&id].spec;
+            let graft_src = if self.cfg.graft {
                 self.graph
                     .reuse_sources(id)
                     .into_iter()
-                    .find(|e| self.graph.state_of(e.peer) == Some(QueryState::Executing))
+                    .filter(|e| self.graph.state_of(e.peer) == Some(QueryState::Executing))
+                    .find(|e| self.qinfo.get(&e.peer).is_some_and(|p| p.spec.cmp(&spec)))
                     .map(|e| e.peer)
             } else {
                 None
             };
+            if let Some(p) = graft_src {
+                self.graft_of.insert(id, p);
+            }
+            // Deadlock-free blocking: a query only ever blocks on a query
+            // that started executing earlier, so wait-for edges cannot
+            // cycle (see vmqs-server for the racy-threads variant that
+            // needs an explicit cycle check).
+            let dep = graft_src.or_else(|| {
+                if self.cfg.allow_blocking {
+                    self.graph
+                        .reuse_sources(id)
+                        .into_iter()
+                        .find(|e| self.graph.state_of(e.peer) == Some(QueryState::Executing))
+                        .map(|e| e.peer)
+                } else {
+                    None
+                }
+            });
             match dep {
                 Some(dep) => {
                     self.trace(now, id, TraceKind::Block { on: dep });
@@ -605,6 +643,26 @@ impl<A: SimApplication> Simulator<A> {
     fn on_resume(&mut self, now: f64, id: QueryId) {
         self.trace(now, id, TraceKind::Resume);
         let spec = self.qinfo[&id].spec;
+
+        // Grafted consumer: the producer it subscribed to has published.
+        // Consume the result directly — no Data Store lookup (and no
+        // lookup stats), no I/O, no kernel time; just the answer, exactly
+        // like the threaded engine's `AnswerPath::Grafted`. If the
+        // producer's entry never materialized (insert rejected or already
+        // evicted), fall through to the normal path and compute.
+        if let Some(producer) = self.graft_of.remove(&id) {
+            if self.ds.has_equivalent(&spec) {
+                self.obs
+                    .log
+                    .log_at(now, id, EventKind::Grafted { producer });
+                self.grafted += 1;
+                self.grafted_ids.insert(id);
+                self.pending_metrics
+                    .insert(id, (1.0, spec.qoutsize(), 0.0, 0.0, false));
+                self.events.push(now, Event::Completion { id });
+                return;
+            }
+        }
 
         // Data Store lookup (virtual payloads: metadata only).
         let matches = self.ds.lookup(&spec);
@@ -813,6 +871,7 @@ impl<A: SimApplication> Simulator<A> {
             io_time: io,
             cpu_time: cpu,
             exact_hit: exact,
+            grafted: self.grafted_ids.remove(&id),
             degraded: self.degraded_ids.remove(&id),
         };
 
@@ -1050,6 +1109,95 @@ mod tests {
             streams,
         );
         assert!(r2.records.iter().all(|x| x.blocked == 0.0));
+    }
+
+    #[test]
+    fn grafting_consumes_in_flight_producer_deterministically() {
+        let spec = q(0, 0, 2048, 2, VmOp::Subsample);
+        let streams: Vec<ClientStream> = (0..2)
+            .map(|c| ClientStream {
+                client: ClientId(c),
+                queries: vec![spec],
+            })
+            .collect();
+        let mk = || {
+            run_sim(
+                SimConfig::paper_baseline()
+                    .with_threads(2)
+                    .with_graft(true)
+                    .with_observe(true),
+                streams.clone(),
+            )
+        };
+        let r = mk();
+        assert_eq!(r.grafted, 1);
+        let grafts: Vec<_> = r.records.iter().filter(|x| x.grafted).collect();
+        assert_eq!(grafts.len(), 1);
+        let g = grafts[0];
+        assert!(!g.exact_hit, "grafted is its own answer path");
+        assert_eq!(g.covered_fraction, 1.0);
+        assert_eq!(g.io_time, 0.0);
+        assert_eq!(g.cpu_time, 0.0);
+        assert!(g.blocked > 0.0, "the consumer waits for the producer");
+        assert!(g.reused_bytes > 0);
+        // The graft edge points consumer → producer; the consumer skipped
+        // its Data Store lookup entirely, so no exact hit was counted.
+        let producer = r.records.iter().find(|x| !x.grafted).unwrap().id;
+        assert_eq!(
+            vmqs_obs::timeline::grafted_edges(&r.events),
+            vec![(g.id, producer)]
+        );
+        assert_eq!(r.ds_stats.exact_hits, 0);
+        // Deterministic: the graft fires identically run to run.
+        let r2 = mk();
+        assert_eq!(r2.grafted, 1);
+        assert_eq!(r.makespan, r2.makespan);
+        // Graft off: the same workload blocks and takes a classic hit.
+        let off = run_sim(
+            SimConfig::paper_baseline()
+                .with_threads(2)
+                .with_observe(true),
+            streams.clone(),
+        );
+        assert_eq!(off.grafted, 0);
+        assert!(vmqs_obs::timeline::grafted_edges(&off.events).is_empty());
+        assert_eq!(off.records.iter().filter(|x| x.exact_hit).count(), 1);
+        // Grafting needs concurrency: at 1 thread nothing is ever
+        // EXECUTING when a query dequeues, so no graft can fire.
+        let one = run_sim(
+            SimConfig::paper_baseline()
+                .with_threads(1)
+                .with_graft(true)
+                .with_observe(true),
+            streams,
+        );
+        assert_eq!(one.grafted, 0);
+    }
+
+    #[test]
+    fn chunk_batch_strategy_runs_in_the_simulator() {
+        let streams = vec![ClientStream {
+            client: ClientId(0),
+            queries: (0..6)
+                .map(|i| q(i * 3000, 0, 1024, 1, VmOp::Subsample))
+                .collect(),
+        }];
+        let r = run_sim(
+            SimConfig::paper_baseline()
+                .with_strategy(Strategy::chunk_batch_default())
+                .with_threads(2)
+                .with_mode(SubmissionMode::Batch)
+                .with_observe(true),
+            streams,
+        );
+        assert_eq!(r.records.len(), 6);
+        assert!(r.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Ranked {
+                strategy: "CHUNKBATCH",
+                ..
+            }
+        )));
     }
 
     #[test]

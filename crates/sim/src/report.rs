@@ -35,6 +35,11 @@ pub struct SimRecord<S = VmQuery> {
     pub cpu_time: f64,
     /// True when answered entirely by one exact cached match.
     pub exact_hit: bool,
+    /// True when answered by grafting onto an in-flight producer: the
+    /// query subscribed to an EXECUTING peer computing the same predicate
+    /// and consumed the published result without its own lookup, I/O, or
+    /// kernel time (DESIGN.md §13). Mutually exclusive with `exact_hit`.
+    pub grafted: bool,
     /// True when admission downgraded the query to its cheaper plan
     /// (`spec` is the *degraded* predicate that actually executed).
     pub degraded: bool,
@@ -91,6 +96,8 @@ pub struct SimReport<S = VmQuery> {
     pub shed: u64,
     /// Queries downgraded to their cheaper plan at admission.
     pub degraded: u64,
+    /// Queries answered by grafting onto an in-flight producer.
+    pub grafted: u64,
 }
 
 impl<S> SimReport<S> {
@@ -153,6 +160,7 @@ mod tests {
             io_time: 0.0,
             cpu_time: 0.0,
             exact_hit: false,
+            grafted: false,
             degraded: false,
         }
     }
@@ -182,6 +190,7 @@ mod tests {
             rejected: 0,
             shed: 0,
             degraded: 0,
+            grafted: 0,
         };
         assert_eq!(report.response_times(), vec![2.0, 5.0]);
         assert!((report.average_overlap() - 0.4).abs() < 1e-12);

@@ -22,4 +22,6 @@ pub use experiment::{
     run_paper_experiment, run_server_batch, run_server_batch_counting, run_server_interactive,
     small_server, write_csv, BatchOutcome, ExpRow,
 };
-pub use generator::{flatten_to_batch, generate, WorkloadConfig};
+pub use generator::{
+    chunk_skewed, flatten_to_batch, generate, WorkloadConfig, CHUNK_SKEW_TILES_PER_GROUP,
+};

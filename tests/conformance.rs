@@ -6,7 +6,12 @@
 //! start mirroring the simulator's batch-start gate) the two engines must
 //! make *identical* scheduling decisions on the same seeded workload: the
 //! same `Ranked` score sequence, bit-for-bit, and the same Data Store
-//! reuse edges in the same order — for every paper strategy.
+//! reuse edges in the same order — for every paper strategy, plus the
+//! ChunkBatch strategy with grafting enabled (whose `Grafted` edges are
+//! also pinned; at one worker no producer can be EXECUTING at dequeue
+//! time, so both engines must agree the edge set is empty). The six
+//! paper strategies run grafting-off, so their goldens are untouched by
+//! the graft layer.
 //!
 //! `CONFORMANCE_WORKERS=8` (used by the CI conformance job) reruns the
 //! server side with that many workers; dispatch order is then racy, so
@@ -18,7 +23,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use vmqs_core::{ClientId, DatasetId, OverloadConfig, QueryId, Rect, Strategy};
 use vmqs_microscope::{SlideDataset, VmOp, VmQuery};
-use vmqs_obs::timeline::{admission_sequence, ranked_sequence, reuse_edges, timelines, Terminal};
+use vmqs_obs::timeline::{
+    admission_sequence, grafted_edges, ranked_sequence, reuse_edges, timelines, Terminal,
+};
 use vmqs_obs::{events_to_json, EventKind, EventRecord};
 use vmqs_server::{QueryServer, ServerConfig, ServerError};
 use vmqs_sim::{run_sim, ClientStream, SimConfig, SubmissionMode};
@@ -67,7 +74,7 @@ fn workload() -> Vec<VmQuery> {
 /// while the workers sleep, then the pool is resumed — so the whole batch
 /// is ranked against the full graph, exactly like the simulator's gated
 /// batch start.
-fn run_server(strategy: Strategy, workers: usize) -> Vec<EventRecord> {
+fn run_server(strategy: Strategy, workers: usize, graft: bool) -> Vec<EventRecord> {
     let cfg = ServerConfig::small()
         .with_strategy(strategy)
         .with_threads(workers)
@@ -75,7 +82,8 @@ fn run_server(strategy: Strategy, workers: usize) -> Vec<EventRecord> {
         .with_ps_budget(PS_BUDGET)
         .with_index_cell(INDEX_CELL)
         .with_observability(true)
-        .with_start_paused(true);
+        .with_start_paused(true)
+        .with_graft(graft);
     let server = QueryServer::new(cfg, Arc::new(SyntheticSource::new()));
     let handles = server.submit_batch(workload());
     server.resume_workers();
@@ -89,7 +97,7 @@ fn run_server(strategy: Strategy, workers: usize) -> Vec<EventRecord> {
 }
 
 /// Runs the same workload through the simulator as one batch.
-fn run_simulator(strategy: Strategy) -> Vec<EventRecord> {
+fn run_simulator(strategy: Strategy, graft: bool) -> Vec<EventRecord> {
     let cfg = SimConfig::paper_baseline()
         .with_strategy(strategy)
         .with_threads(1)
@@ -98,7 +106,8 @@ fn run_simulator(strategy: Strategy) -> Vec<EventRecord> {
         .with_index_cell(INDEX_CELL)
         .with_mode(SubmissionMode::Batch)
         .with_observe(true)
-        .with_batch_gate(true);
+        .with_batch_gate(true)
+        .with_graft(graft);
     let streams = vec![ClientStream {
         client: ClientId(0),
         queries: workload(),
@@ -171,9 +180,17 @@ fn golden_traces_match_across_engines_for_every_strategy() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
-    for strategy in Strategy::paper_set() {
-        let sim_events = run_simulator(strategy);
-        let server_events = run_server(strategy, workers);
+    // The six paper strategies run grafting-off (their goldens predate
+    // the graft layer and must stay bit-for-bit); the seventh entry is
+    // the data-driven ChunkBatch strategy with grafting on.
+    let strategies: Vec<(Strategy, bool)> = Strategy::paper_set()
+        .into_iter()
+        .map(|s| (s, false))
+        .chain([(Strategy::chunk_batch_default(), true)])
+        .collect();
+    for (strategy, graft) in strategies {
+        let sim_events = run_simulator(strategy, graft);
+        let server_events = run_server(strategy, workers, graft);
         assert_event_invariants(&sim_events, &format!("sim/{strategy}"));
         assert_event_invariants(&server_events, &format!("server/{strategy}x{workers}"));
         if workers != 1 {
@@ -205,6 +222,25 @@ fn golden_traces_match_across_engines_for_every_strategy() {
                 server_edges.len(),
             );
         }
+        // Grafted edges are part of the golden trace too. At one worker
+        // nothing can be EXECUTING at dequeue time, so both engines must
+        // agree the set is empty — a sim that "grafts" sequentially or a
+        // server that leaks a subscription would diverge here.
+        let sim_grafts = grafted_edges(&sim_events);
+        let server_grafts = grafted_edges(&server_events);
+        if sim_grafts != server_grafts {
+            let dir = dump_traces(strategy, &sim_events, &server_events);
+            panic!(
+                "{strategy}: Grafted edges diverged \
+                 ({sim_grafts:?} sim vs {server_grafts:?} server); traces in {dir}/"
+            );
+        }
+        if graft {
+            assert!(
+                sim_grafts.is_empty(),
+                "{strategy}: grafts are impossible at one worker"
+            );
+        }
         assert!(
             !sim_ranked.is_empty(),
             "{strategy}: conformance must compare a non-trivial sequence"
@@ -216,7 +252,7 @@ fn golden_traces_match_across_engines_for_every_strategy() {
 fn conformance_workload_exercises_reuse_and_eviction() {
     // The golden comparison is only meaningful if the workload actually
     // drives the interesting paths: reuse edges AND evictions must occur.
-    let events = run_simulator(Strategy::Cnbf);
+    let events = run_simulator(Strategy::Cnbf, false);
     let edges = reuse_edges(&events);
     assert!(!edges.is_empty(), "workload must produce reuse edges");
     assert!(
@@ -398,8 +434,15 @@ fn overload_conformance_workload_exercises_all_mechanisms() {
 fn server_golden_trace_is_reproducible() {
     // The threaded engine at one worker must replay the same decision
     // sequence run-to-run — the property the cross-engine check rests on.
-    let a = run_server(Strategy::Cnbf, 1);
-    let b = run_server(Strategy::Cnbf, 1);
+    let a = run_server(Strategy::Cnbf, 1, false);
+    let b = run_server(Strategy::Cnbf, 1, false);
     assert_eq!(ranked_sequence(&a), ranked_sequence(&b));
     assert_eq!(reuse_edges(&a), reuse_edges(&b));
+    // And with the graft layer armed under ChunkBatch: producer-affinity
+    // dequeue must not perturb single-worker determinism.
+    let a = run_server(Strategy::chunk_batch_default(), 1, true);
+    let b = run_server(Strategy::chunk_batch_default(), 1, true);
+    assert_eq!(ranked_sequence(&a), ranked_sequence(&b));
+    assert_eq!(reuse_edges(&a), reuse_edges(&b));
+    assert_eq!(grafted_edges(&a), grafted_edges(&b));
 }

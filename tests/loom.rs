@@ -20,7 +20,7 @@ use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use loom::sync::{Arc, Condvar, Mutex};
 use loom::thread;
 use vmqs_core::{DatasetId, SharedTokenBucket};
-use vmqs_datastore::EntryState;
+use vmqs_datastore::{EntryState, Phase};
 use vmqs_obs::{Counter, Histogram};
 use vmqs_pagespace::{PageCacheCore, PageData, PageDisposition, PageKey};
 
@@ -353,6 +353,119 @@ fn ds_entry_striped_pins_block_swapout() {
         };
         t1.join().unwrap();
         t2.join().unwrap();
+        evictor.join().unwrap();
+    });
+}
+
+/// Graft handshake (DESIGN.md §13), the lost-wakeup half: the
+/// subscriber *increments the subscriber count, then checks the phase*;
+/// the producer *publishes, then checks the subscriber count* — a
+/// store-buffering pair with SeqCst on all four accesses. In every
+/// interleaving at least one side observes the other: either the
+/// subscriber sees FULL (and reads the committed payload immediately),
+/// or the producer sees a nonzero subscriber count (and wakes the
+/// waiter). Weakening the subscriber's phase cross-check to `Relaxed`
+/// admits the schedule where the consumer commits to waiting while the
+/// producer decides nobody is listening — a graft that sleeps forever.
+#[test]
+fn ds_entry_graft_no_lost_wakeup() {
+    loom::model(|| {
+        let st = Arc::new(EntryState::new());
+        let payload = Arc::new(AtomicU64::new(0));
+        // The producer opened the in-flight entry to grafts before the race.
+        assert!(st.make_subscribable());
+
+        let producer = {
+            let (st, payload) = (st.clone(), payload.clone());
+            thread::spawn(move || {
+                payload.store(42, Ordering::Relaxed);
+                assert!(st.publish());
+                // The engine broadcasts the shard condvar only when a
+                // subscriber is attached; returns whether it would wake.
+                st.subscribers() > 0
+            })
+        };
+        let consumer = {
+            let (st, payload) = (st.clone(), payload.clone());
+            thread::spawn(move || match st.subscribe() {
+                // Saw the in-flight phase: commits to waiting for the
+                // producer's wake. The subscription stays held.
+                Phase::Subscribable => true,
+                ph => {
+                    // The publish already landed: the payload must be
+                    // readable right now, no wait needed.
+                    assert_eq!(ph, Phase::Full, "entry left the graft protocol");
+                    assert_eq!(
+                        payload.load(Ordering::Relaxed),
+                        42,
+                        "observed FULL but not the committed payload"
+                    );
+                    st.unsubscribe();
+                    false
+                }
+            })
+        };
+        let producer_would_wake = producer.join().unwrap();
+        let consumer_waits = consumer.join().unwrap();
+        assert!(
+            !consumer_waits || producer_would_wake,
+            "lost wakeup: consumer committed to waiting but the producer saw zero subscribers"
+        );
+    });
+}
+
+/// Graft handshake (DESIGN.md §13), the lifetime half: a held
+/// subscription blocks `try_swap_out` exactly like a read pin, so the
+/// published payload cannot be reclaimed in the window between the
+/// producer's publish and the subscriber's read. The ghost `in_use`
+/// counter spans the subscriber's whole read section; dropping the
+/// subscriber-count check from `try_swap_out` lets the evictor reclaim
+/// the entry while the grafting consumer is still reading it.
+#[test]
+fn ds_entry_graft_no_read_after_swapout() {
+    loom::model(|| {
+        let st = Arc::new(EntryState::new());
+        let payload = Arc::new(AtomicU64::new(0));
+        let in_use = Arc::new(AtomicU64::new(0));
+        // The consumer attached while the producer was still in flight —
+        // the subscription is held across the whole race below.
+        assert!(st.make_subscribable());
+        assert_eq!(st.subscribe(), Phase::Subscribable);
+
+        let producer = {
+            let (st, payload) = (st.clone(), payload.clone());
+            thread::spawn(move || {
+                payload.store(42, Ordering::Relaxed);
+                assert!(st.publish());
+            })
+        };
+        let evictor = {
+            let (st, in_use) = (st.clone(), in_use.clone());
+            thread::spawn(move || {
+                if st.try_swap_out() {
+                    // We own the payload now: no subscriber may be reading.
+                    assert_eq!(
+                        in_use.fetch_add(0, Ordering::SeqCst),
+                        0,
+                        "entry reclaimed while a grafting consumer was reading"
+                    );
+                }
+            })
+        };
+        // The subscribed consumer (this thread) reads as soon as the
+        // publish lands; the subscription alone must hold the entry.
+        in_use.fetch_add(1, Ordering::SeqCst);
+        if st.is_visible() {
+            assert_eq!(
+                payload.load(Ordering::Relaxed),
+                42,
+                "grafting consumer read a stale payload"
+            );
+        }
+        in_use.fetch_sub(1, Ordering::SeqCst);
+        st.unsubscribe();
+
+        producer.join().unwrap();
         evictor.join().unwrap();
     });
 }

@@ -579,6 +579,93 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    // Differential equivalence of grafting (DESIGN.md §13): on a random
+    // workload seeded with duplicate predicates, running the *real
+    // threaded server* with grafting on must return byte-for-byte the
+    // same answer for every query as running it with grafting off — the
+    // graft path changes who computes, never what is answered. Both runs
+    // must also conserve queries
+    // (submitted == completed + failed + timed_out + shed + rejected)
+    // and the graft run must never duplicate a full compute.
+    #[test]
+    fn grafting_is_answer_equivalent_on_random_workloads(
+        seed in 0u64..1000,
+        threads in 1usize..5,
+        queries in 8usize..24,
+        dup_stride in 2usize..5,
+    ) {
+        use std::sync::Arc;
+        use vmqs::prelude::{QueryServer, ServerConfig};
+
+        let slide = SlideDataset::new(DatasetId(0), 800, 800);
+        let mut specs: Vec<VmQuery> = Vec::with_capacity(queries);
+        for i in 0..queries {
+            let r = (seed ^ i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Every dup_stride-th query repeats an earlier predicate, so
+            // copies race their producer and the graft path actually runs.
+            if i % dup_stride == dup_stride - 1 {
+                specs.push(specs[(r % i as u64) as usize]);
+            } else {
+                let op = if (r >> 7) & 1 == 0 { VmOp::Subsample } else { VmOp::Average };
+                let side = 80 + ((r >> 16) % 3) as u32 * 40;
+                let x = ((r >> 32) as u32) % (800 - side);
+                let y = ((r >> 44) as u32) % (800 - side);
+                specs.push(VmQuery::new(
+                    slide,
+                    Rect::new(x, y, side, side),
+                    1 << ((r >> 24) % 2),
+                    op,
+                ));
+            }
+        }
+
+        let run = |graft: bool| {
+            let cfg = ServerConfig::small()
+                .with_threads(threads)
+                .with_start_paused(true)
+                .with_graft(graft);
+            let server = QueryServer::new(cfg, Arc::new(SyntheticSource::new()));
+            let handles = server.submit_batch(specs.clone());
+            server.resume_workers();
+            let images: Vec<Arc<[u8]>> = handles
+                .into_iter()
+                .map(|h| h.wait().expect("clean source: every query completes").image)
+                .collect();
+            server.drain();
+            let summary = server.summary();
+            server.shutdown();
+            (images, summary)
+        };
+        let (on, sum_on) = run(true);
+        let (off, sum_off) = run(false);
+
+        for (i, (a, b)) in on.iter().zip(off.iter()).enumerate() {
+            prop_assert!(
+                a[..] == b[..],
+                "query {} answered differently with grafting on vs off", i
+            );
+        }
+        for (name, s) in [("graft-on", &sum_on), ("graft-off", &sum_off)] {
+            prop_assert_eq!(
+                s.completed + s.failed + s.timed_out + s.shed + s.rejected,
+                queries,
+                "{}: every query must resolve exactly once", name
+            );
+            prop_assert_eq!(s.completed, queries, "{}: clean source completes all", name);
+        }
+        prop_assert_eq!(
+            sum_on.duplicate_full_computes, 0,
+            "grafting must never let a full compute race a visible equivalent"
+        );
+        prop_assert_eq!(sum_off.grafted, 0, "grafting off must never graft");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Volume application properties (§6 extension).
 // ---------------------------------------------------------------------------
