@@ -1,0 +1,196 @@
+//! Spill-tier experiment (DESIGN.md §14): the cost-based cache hierarchy
+//! under zipfian cache pressure, in the memory-constrained regime the
+//! tier exists for.
+//!
+//! Two sections:
+//!
+//! * **Zipfian sweep** — a skewed popularity workload (a few hot
+//!   high-magnification windows repeating against a long cold tail) at a
+//!   tier-1 budget far below the working set. At *equal memory*, the
+//!   benefit-aware policy with a disk spill tier must recompute at least
+//!   25% fewer bytes than recency eviction: hot results are demoted to
+//!   tier 2 and re-heated at one disk read instead of being recomputed
+//!   from their (page-cache-cold) inputs.
+//! * **Flash crowd** — a warm working set flushed out of tier 1 by a
+//!   burst of cold queries, then re-requested by the returning crowd.
+//!   With the spill tier the crowd re-heats from disk; without it every
+//!   return is a full recompute.
+//!
+//! Usage:
+//!   cargo run -p vmqs-bench --release --bin exp_spill
+//!   cargo run -p vmqs-bench --release --bin exp_spill -- --quick
+
+use vmqs_bench::print_table;
+use vmqs_core::ClientId;
+use vmqs_datastore::EvictionPolicy;
+use vmqs_sim::{run_sim, ClientStream, SimConfig, SimReport, SubmissionMode};
+use vmqs_workload::{zipfian, zipfian_catalog};
+
+/// Output bytes of one zipfian catalog tile (256² RGB).
+const TILE_BYTES: u64 = 3 * 256 * 256;
+
+/// One policy arm of the sweep: everything below is virtual-time and
+/// fully deterministic per seed.
+fn run_arm(
+    policy: EvictionPolicy,
+    tier2_budget: u64,
+    ds_budget: u64,
+    streams: Vec<ClientStream>,
+) -> SimReport {
+    let cfg = SimConfig::paper_baseline()
+        .with_threads(4)
+        .with_ds_budget(ds_budget)
+        // A tight page cache keeps recomputation honest: re-deriving an
+        // evicted result must re-scan its inputs from (virtual) disk, not
+        // from a warm page cache.
+        .with_ps_budget(1 << 20)
+        .with_mode(SubmissionMode::Interactive)
+        .with_cache_policy(policy)
+        .with_tier2_budget(tier2_budget);
+    run_sim(cfg, streams)
+}
+
+struct Arm {
+    label: &'static str,
+    policy: EvictionPolicy,
+    tier2_budget: u64,
+}
+
+fn arms(tier2_budget: u64) -> Vec<Arm> {
+    vec![
+        Arm {
+            label: "lru",
+            policy: EvictionPolicy::Lru,
+            tier2_budget: 0,
+        },
+        Arm {
+            label: "cost",
+            policy: EvictionPolicy::CostBased,
+            tier2_budget: 0,
+        },
+        Arm {
+            label: "cost+spill",
+            policy: EvictionPolicy::CostBased,
+            tier2_budget,
+        },
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (catalog, draws) = if quick { (64, 256) } else { (128, 1024) };
+    // Tier 1 holds ~8 results of a catalog-sized working set; tier 2
+    // holds another 32. Equal tier-1 memory across every arm — the spill
+    // arm's extra capacity is disk, which is the point.
+    let ds_budget = 8 * TILE_BYTES;
+    let tier2_budget = 32 * TILE_BYTES;
+
+    let mut rows = Vec::new();
+    let mut reduction_vs_lru = 0.0;
+    let mut lru_recomputed = 0u64;
+    for seed in [42u64, 43, 44] {
+        for arm in arms(tier2_budget) {
+            let streams = zipfian(catalog, draws, 1.1, seed);
+            let r = run_arm(arm.policy, arm.tier2_budget, ds_budget, streams);
+            assert_eq!(r.records.len(), draws, "every draw must complete");
+            assert_eq!(r.restore_failures, 0, "no faults configured");
+            if arm.label == "lru" {
+                lru_recomputed = r.recomputed_bytes;
+            } else if arm.label == "cost+spill" {
+                assert!(r.spilled > 0, "pressure must spill (seed {seed})");
+                assert!(r.restored > 0, "hot tiles must re-heat (seed {seed})");
+                reduction_vs_lru +=
+                    100.0 * (1.0 - r.recomputed_bytes as f64 / lru_recomputed as f64);
+            }
+            rows.push(vec![
+                seed.to_string(),
+                arm.label.to_string(),
+                format!("{:.0}", r.makespan),
+                format!("{:.1}", r.recomputed_bytes as f64 / (1 << 20) as f64),
+                r.ds_stats.exact_hits.to_string(),
+                r.spilled.to_string(),
+                r.restored.to_string(),
+            ]);
+        }
+    }
+    reduction_vs_lru /= 3.0;
+    print_table(
+        &format!(
+            "Zipfian cache pressure ({catalog} tiles, {draws} draws, s=1.1, \
+             tier1 = 8 tiles, tier2 = 32 tiles)"
+        ),
+        &[
+            "seed",
+            "policy",
+            "makespan (s)",
+            "recomputed (MB)",
+            "exact hits",
+            "spilled",
+            "restored",
+        ],
+        &rows,
+    );
+    println!("\ncost+spill recomputes {reduction_vs_lru:.1}% fewer bytes than lru at equal tier-1 memory");
+    assert!(
+        reduction_vs_lru >= 25.0,
+        "the spill tier must cut recomputed bytes by >= 25%, got {reduction_vs_lru:.1}%"
+    );
+
+    // Flash crowd: warm a working set, flush it with a cold burst, then
+    // let the crowd return. Identical query sequence with the spill tier
+    // on vs off; the only difference is where the returning crowd's
+    // answers come from.
+    let hot = if quick { 8 } else { 16 };
+    let burst = if quick { 32 } else { 64 };
+    let tiles = zipfian_catalog(hot + burst);
+    // Warm the hot set three times (the repeats raise each hot entry's
+    // observed-reuse score, so the burst's one-shot results — not the
+    // hot set — are what tier 2 sheds when it overflows), flush with the
+    // cold burst, then the crowd returns.
+    let mut crowd: Vec<_> = std::iter::repeat_n(&tiles[..hot], 3)
+        .flatten()
+        .copied()
+        .collect();
+    crowd.extend_from_slice(&tiles[hot..]);
+    crowd.extend_from_slice(&tiles[..hot]);
+    let streams = vec![ClientStream {
+        client: ClientId(0),
+        queries: crowd,
+    }];
+    let mut flash_rows = Vec::new();
+    for (label, tier2) in [("spill off", 0u64), ("spill on", tier2_budget)] {
+        let r = run_arm(
+            EvictionPolicy::CostBased,
+            tier2,
+            hot as u64 / 2 * TILE_BYTES,
+            streams.clone(),
+        );
+        if tier2 > 0 {
+            assert!(
+                r.restored as usize >= hot / 2,
+                "the returning crowd must mostly re-heat, restored {}",
+                r.restored
+            );
+        } else {
+            assert_eq!(r.restored, 0, "no tier 2, nothing to restore");
+        }
+        flash_rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", r.makespan),
+            format!("{:.1}", r.recomputed_bytes as f64 / (1 << 20) as f64),
+            r.spilled.to_string(),
+            r.restored.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Flash crowd ({hot} hot tiles, {burst}-query cold burst, then the crowd returns)"),
+        &[
+            "tier 2",
+            "makespan (s)",
+            "recomputed (MB)",
+            "spilled",
+            "restored",
+        ],
+        &flash_rows,
+    );
+}

@@ -63,6 +63,41 @@ fn parse_overload(args: &Args) -> Result<OverloadConfig, Box<dyn Error>> {
     })
 }
 
+/// Parses the shared cache-hierarchy options (DESIGN.md §14):
+/// `--cache-policy lru|mru|largest|cost` picks the Data Store eviction
+/// policy, `--spill-dir` points the tier-2 spill store at a directory,
+/// and `--tier2-budget` caps it in MB (default 64 once a directory is
+/// given). Returns `(policy, spill_dir, tier2_bytes)`; the policy is
+/// `None` when the flag is absent so callers keep their config default.
+/// `need_dir` is set by the real server (its tier 2 lives on disk);
+/// the simulator models tier-2 latency on virtual payloads and accepts
+/// a budget alone.
+type CacheOptions = (
+    Option<vmqs_datastore::EvictionPolicy>,
+    Option<std::path::PathBuf>,
+    u64,
+);
+
+fn parse_cache(args: &Args, need_dir: bool) -> Result<CacheOptions, Box<dyn Error>> {
+    use vmqs_datastore::EvictionPolicy;
+    let policy = match args.get("cache-policy") {
+        None => None,
+        Some("lru") => Some(EvictionPolicy::Lru),
+        Some("mru") => Some(EvictionPolicy::Mru),
+        Some("largest") => Some(EvictionPolicy::LargestFirst),
+        Some("cost") => Some(EvictionPolicy::CostBased),
+        Some(other) => {
+            return Err(format!("unknown cache policy '{other}' (lru|mru|largest|cost)").into())
+        }
+    };
+    let spill_dir = args.get("spill-dir").map(std::path::PathBuf::from);
+    let tier2_mb: u64 = args.get_or("tier2-budget", if spill_dir.is_some() { 64 } else { 0 })?;
+    if need_dir && tier2_mb > 0 && spill_dir.is_none() {
+        return Err("--tier2-budget needs --spill-dir (the tier-2 store lives on disk)".into());
+    }
+    Ok((policy, spill_dir, tier2_mb << 20))
+}
+
 /// Parses `--strategy` (defaulting to `default`) and applies the optional
 /// `--starvation-dial` override to CHUNKBATCH's aging knob (DESIGN.md §13:
 /// 0 = pure chunk affinity, ≥ 1 = exact FIFO).
@@ -106,6 +141,7 @@ pub fn render(args: &Args) -> CliResult {
     let fault = parse_faults(args)?;
     let overload = parse_overload(args)?;
     let strategy = parse_strategy_with_dial(args, Strategy::Cnbf)?;
+    let (policy, spill_dir, tier2_bytes) = parse_cache(args, true)?;
     // Negative sentinel = no timeout; `--query-timeout-ms 0` is a valid
     // (immediately expiring) deadline.
     let timeout_ms: i64 = args.get_or("query-timeout-ms", -1)?;
@@ -124,7 +160,12 @@ pub fn render(args: &Args) -> CliResult {
         .with_graft(args.flag("graft"))
         .with_retry_seed(fault.seed)
         .with_observability(trace_out.is_some())
+        .with_spill_dir(spill_dir)
+        .with_tier2_budget(tier2_bytes)
         .with_overload(overload);
+    if let Some(p) = policy {
+        cfg = cfg.with_cache_policy(p);
+    }
     if timeout_ms >= 0 {
         cfg = cfg.with_query_timeout(Some(std::time::Duration::from_millis(timeout_ms as u64)));
     }
@@ -165,6 +206,13 @@ pub fn render(args: &Args) -> CliResult {
         println!(
             "overload: {} rejected, {} shed, {} degraded",
             sum.rejected, sum.shed, sum.degraded
+        );
+    }
+    if tier2_bytes > 0 {
+        let sum = server.summary();
+        println!(
+            "tier 2: {} spilled, {} restored, {} restore failures",
+            sum.spilled, sum.restored, sum.restore_failures
         );
     }
     if let Some(path) = trace_out {
@@ -230,6 +278,10 @@ pub fn simulate(args: &Args) -> CliResult {
     };
     let fault = parse_faults(args)?;
     let overload = parse_overload(args)?;
+    // The simulator models tier 2 in virtual time — the budget applies,
+    // but no directory is needed (payloads are virtual), so `--spill-dir`
+    // is accepted and unused here.
+    let (policy, _spill_dir, tier2_bytes) = parse_cache(args, false)?;
     let trace_out = args.get("trace-out");
     let metrics_out = args.get("metrics-out");
 
@@ -238,7 +290,7 @@ pub fn simulate(args: &Args) -> CliResult {
         SubmissionMode::Interactive => streams,
         SubmissionMode::Batch => flatten_to_batch(&streams),
     };
-    let cfg = SimConfig::paper_baseline()
+    let mut cfg = SimConfig::paper_baseline()
         .with_strategy(strategy)
         .with_threads(threads)
         .with_ds_budget(ds_mb << 20)
@@ -246,8 +298,12 @@ pub fn simulate(args: &Args) -> CliResult {
         .with_mode(mode)
         .with_faults(fault)
         .with_graft(args.flag("graft"))
+        .with_tier2_budget(tier2_bytes)
         .with_observe(trace_out.is_some())
         .with_overload(overload);
+    if let Some(p) = policy {
+        cfg = cfg.with_cache_policy(p);
+    }
     let report = run_sim(cfg, streams);
     let row = ExpRow::from_report(&report, strategy, op, threads, ds_mb);
     println!("{}", ExpRow::csv_header());
@@ -280,6 +336,12 @@ pub fn simulate(args: &Args) -> CliResult {
     }
     if args.flag("graft") {
         println!("grafted answers:  {}", report.grafted);
+    }
+    if tier2_bytes > 0 {
+        println!(
+            "tier 2:           {} spilled, {} restored, {} restore failures",
+            report.spilled, report.restored, report.restore_failures
+        );
     }
     if let Some(path) = trace_out {
         std::fs::write(path, vmqs_obs::events_to_json(&report.events))?;
@@ -374,4 +436,53 @@ pub fn demo() -> CliResult {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmqs_datastore::EvictionPolicy;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn cache_flags_parse_together() {
+        let a = args("--cache-policy cost --spill-dir /tmp/x --tier2-budget 128");
+        let (p, dir, t2) = parse_cache(&a, true).unwrap();
+        assert_eq!(p, Some(EvictionPolicy::CostBased));
+        assert_eq!(dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(t2, 128 << 20);
+    }
+
+    #[test]
+    fn spill_dir_defaults_tier2_budget() {
+        let (_, dir, t2) = parse_cache(&args("--spill-dir /tmp/x"), true).unwrap();
+        assert!(dir.is_some());
+        assert_eq!(t2, 64 << 20);
+    }
+
+    #[test]
+    fn tier2_budget_needs_dir_only_on_the_real_server() {
+        assert!(parse_cache(&args("--tier2-budget 32"), true).is_err());
+        let (_, _, t2) = parse_cache(&args("--tier2-budget 32"), false).unwrap();
+        assert_eq!(t2, 32 << 20);
+    }
+
+    #[test]
+    fn every_policy_name_parses_and_typos_are_rejected() {
+        for (name, want) in [
+            ("lru", EvictionPolicy::Lru),
+            ("mru", EvictionPolicy::Mru),
+            ("largest", EvictionPolicy::LargestFirst),
+            ("cost", EvictionPolicy::CostBased),
+        ] {
+            let a = args(&format!("--cache-policy {name}"));
+            assert_eq!(parse_cache(&a, true).unwrap().0, Some(want), "{name}");
+        }
+        assert!(parse_cache(&args("--cache-policy fancy"), true).is_err());
+        // Absent flag keeps the config default.
+        assert_eq!(parse_cache(&args(""), true).unwrap().0, None);
+    }
 }

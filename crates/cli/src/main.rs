@@ -19,6 +19,8 @@ USAGE:
   vmqsctl render   --x N --y N --w N --h N [--zoom N] [--op subsample|average]
                    [--slide-width N] [--slide-height N] [--out FILE.ppm]
                    [--strategy NAME] [--starvation-dial F] [--graft]
+                   [--cache-policy lru|mru|largest|cost] [--spill-dir DIR]
+                   [--tier2-budget MB]
                    [--fault-rate F] [--fault-seed N] [--query-timeout-ms N]
                    [--max-pending N] [--client-rate QPS]
                    [--degrade-threshold F] [--shed-threshold F]
@@ -35,6 +37,10 @@ USAGE:
       pressure levels (0..1, against the --max-pending bound) at which
       queries are downgraded to their cheaper plan or shed. --graft lets
       queries subscribe to in-flight producers instead of recomputing.
+      --cache-policy picks the Data Store eviction policy ('cost' keeps
+      the entries that save the most recomputation per byte); --spill-dir
+      enables the restorable tier-2 spill store in that directory,
+      capped at --tier2-budget MB (default 64).
 
   vmqsctl mip      --x N --y N --w N --h N --z0 N --z1 N [--lod N]
                    [--op mip|avgproj] [--out FILE.pgm]
@@ -43,6 +49,7 @@ USAGE:
   vmqsctl simulate [--strategy FIFO|MUF|FF|CF|CNBF|SJF|HYBRID|CHUNKBATCH]
                    [--starvation-dial F] [--graft] [--op subsample|average]
                    [--threads N] [--ds-mb N] [--ps-mb N] [--seed N] [--batch]
+                   [--cache-policy lru|mru|largest|cost] [--tier2-budget MB]
                    [--fault-rate F] [--fault-seed N]
                    [--max-pending N] [--client-rate QPS]
                    [--degrade-threshold F] [--shed-threshold F]
@@ -57,6 +64,9 @@ USAGE:
       the EXECUTING set is touching; --starvation-dial trades that
       affinity against arrival order (0 = pure affinity, >= 1 = FIFO).
       --graft mirrors the threaded server's in-flight grafting.
+      --cache-policy and --tier2-budget mirror `render`'s cache
+      hierarchy; the simulator charges tier-2 re-heats their disk
+      latency in virtual time (no --spill-dir needed).
 
   vmqsctl trace    [--strategy NAME] [--op subsample|average] [--threads N]
                    [--ds-mb N] [--seed N] [--batch] [--out FILE.csv]

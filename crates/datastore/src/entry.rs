@@ -52,6 +52,12 @@ pub enum Phase {
     /// and consume the result the moment it is published instead of
     /// recomputing it.
     Subscribable = 3,
+    /// Spilled to the tier-2 store (DESIGN.md §14): the in-memory payload
+    /// is gone, but a compact on-disk copy exists, so a later exact-match
+    /// lookup can re-heat the entry at disk cost instead of recompute
+    /// cost. Invisible to normal lookups and unpinnable until
+    /// [`EntryState::restore`] brings it back to FULL.
+    Restorable = 4,
 }
 
 /// Number of independent pin-counter stripes per entry. A reader pins
@@ -92,6 +98,16 @@ pub const PIN_STRIPES: usize = 8;
 ///   also blocks [`EntryState::try_swap_out`], so a published entry
 ///   cannot be freed between the producer's publish and the subscriber's
 ///   read (model `ds_entry_graft_no_read_after_swapout`).
+/// * [`EntryState::try_spill`] / [`EntryState::restore`] extend the same
+///   discipline to the tier-2 spill store (DESIGN.md §14): a spill is a
+///   pin-checked demotion FULL → RESTORABLE (identical store-buffering
+///   cross-check as `try_swap_out`, so pins and subscriptions block it —
+///   model `ds_entry_pin_blocks_spill`), a restore is a CAS promotion
+///   RESTORABLE → FULL that publishes the re-read payload with
+///   Release-or-stronger ordering and admits exactly one winner among
+///   concurrent restorers (models
+///   `ds_entry_no_read_after_spill_without_restore` and
+///   `ds_entry_restore_publishes_exactly_once`).
 #[derive(Debug)]
 pub struct EntryState {
     phase: AtomicU8,
@@ -118,6 +134,7 @@ impl EntryState {
             0 => Phase::Accumulating,
             1 => Phase::Full,
             3 => Phase::Subscribable,
+            4 => Phase::Restorable,
             _ => Phase::SwappedOut,
         }
     }
@@ -279,6 +296,67 @@ impl EntryState {
         self.phase.store(Phase::SwappedOut as u8, Ordering::Release);
     }
 
+    /// FULL → RESTORABLE: demotes the entry to the tier-2 spill store,
+    /// permitted only when no reader holds a pin on any stripe and no
+    /// graft consumer is subscribed. Runs the same store-buffering
+    /// protocol as [`EntryState::try_swap_out`] — mark RESTORABLE first,
+    /// then cross-check every pin stripe and the subscriber count, all
+    /// SeqCst — so a reader that raced in either bumped its stripe before
+    /// our check (we back out to FULL) or observes RESTORABLE in
+    /// [`EntryState::pin_at`] and backs off (model
+    /// `ds_entry_pin_blocks_spill`). A true return means the caller owns
+    /// the in-memory payload and may move it to disk: no pin can succeed
+    /// again until a [`EntryState::restore`] republishes the bytes (model
+    /// `ds_entry_no_read_after_spill_without_restore`).
+    pub fn try_spill(&self) -> bool {
+        if self
+            .phase
+            .compare_exchange(
+                Phase::Full as u8,
+                Phase::Restorable as u8,
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            return false;
+        }
+        if self.pins.iter().all(|p| p.load(Ordering::SeqCst) == 0)
+            && self.subs.load(Ordering::SeqCst) == 0
+        {
+            true
+        } else {
+            // A reader pinned (or a grafting consumer subscribed) between
+            // our CAS and the check: back out.
+            self.phase.store(Phase::Full as u8, Ordering::Release);
+            false
+        }
+    }
+
+    /// RESTORABLE → FULL: re-publishes an entry whose payload was just
+    /// re-read from the tier-2 store. SeqCst (⊇ Release) on success, so
+    /// the restorer's payload write happens-before any reader whose
+    /// [`EntryState::pin_at`] observes FULL. The CAS makes concurrent
+    /// restorers (a flash crowd re-heating the same entry) resolve to
+    /// exactly one winner — the losers see `false` and must treat the
+    /// entry as already restored (model
+    /// `ds_entry_restore_publishes_exactly_once`).
+    pub fn restore(&self) -> bool {
+        self.phase
+            .compare_exchange(
+                Phase::Restorable as u8,
+                Phase::Full as u8,
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// True when the entry is spilled to tier 2 and can be re-heated.
+    pub fn is_restorable(&self) -> bool {
+        self.phase() == Phase::Restorable
+    }
+
     /// Current pin count summed over all stripes (diagnostics).
     pub fn pin_count(&self) -> u32 {
         self.pins.iter().map(|p| p.load(Ordering::Relaxed)).sum()
@@ -339,6 +417,14 @@ pub struct BlobEntry<S> {
     /// LRU stamp; atomic so lookups can touch entries through `&self`
     /// (concurrent readers under the store's read lock).
     pub(crate) last_access: AtomicU64,
+    /// Measured recomputation cost in seconds (the producer's I/O + kernel
+    /// time; virtual time in the simulator). Feeds the benefit-per-byte
+    /// eviction score of [`crate::EvictionPolicy::CostBased`]. Written
+    /// only under structural (`&mut`) access at commit time.
+    pub(crate) cost: f64,
+    /// Observed reuses (lookup matches that touched this entry); atomic so
+    /// the read-side lookup path can count through `&self`.
+    pub(crate) hits: AtomicU64,
 }
 
 impl<S: Clone> Clone for BlobEntry<S> {
@@ -351,6 +437,8 @@ impl<S: Clone> Clone for BlobEntry<S> {
             payload: self.payload.clone(),
             state: self.state.clone(),
             last_access: AtomicU64::new(self.last_access.load(Ordering::Relaxed)),
+            cost: self.cost,
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
         }
     }
 }
@@ -359,6 +447,24 @@ impl<S> BlobEntry<S> {
     /// True when the entry may be returned by lookups.
     pub fn visible(&self) -> bool {
         self.state.is_visible()
+    }
+
+    /// Measured recomputation cost in seconds (0 until a costed commit).
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Observed reuse count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// The entry's benefit-per-byte eviction score (DESIGN.md §14):
+    /// `cost × (1 + hits) / size` — what one byte of budget saves in
+    /// recomputation seconds, scaled by how often the entry has actually
+    /// been reused.
+    pub fn score(&self) -> f64 {
+        crate::benefit_score(self.cost, self.hits(), self.size)
     }
 }
 
@@ -478,6 +584,54 @@ mod tests {
         let st = EntryState::new();
         assert!(st.publish());
         assert!(!st.make_subscribable());
+    }
+
+    #[test]
+    fn spill_restore_lifecycle() {
+        let st = EntryState::new();
+        assert!(!st.try_spill(), "only FULL entries can spill");
+        assert!(st.publish());
+        assert!(st.try_spill());
+        assert_eq!(st.phase(), Phase::Restorable);
+        assert!(st.is_restorable());
+        assert!(!st.is_visible(), "restorable entries are invisible");
+        assert!(!st.pin(), "no read after spill without restore");
+        assert!(!st.try_swap_out(), "swap-out starts from FULL only");
+        assert!(!st.try_spill(), "double spill refused");
+        assert!(st.restore());
+        assert_eq!(st.phase(), Phase::Full);
+        assert!(!st.restore(), "second restorer loses the race");
+        assert!(st.pin(), "restored entries are readable again");
+        st.unpin();
+    }
+
+    #[test]
+    fn pins_and_subscriptions_block_spill() {
+        let st = EntryState::new();
+        assert!(st.make_subscribable());
+        assert_eq!(st.subscribe(), Phase::Subscribable);
+        assert!(st.publish());
+        assert!(!st.try_spill(), "subscribed entries cannot spill");
+        assert_eq!(st.phase(), Phase::Full, "failed spill backs out");
+        st.unsubscribe();
+        assert!(st.pin_at(5));
+        assert!(!st.try_spill(), "pinned entries cannot spill");
+        assert_eq!(st.phase(), Phase::Full);
+        st.unpin_at(5);
+        assert!(st.try_spill());
+    }
+
+    #[test]
+    fn restorable_entry_rejects_subscribe_and_publish() {
+        let st = EntryState::new();
+        assert!(st.publish());
+        assert!(st.try_spill());
+        assert_eq!(st.subscribe(), Phase::Restorable);
+        assert_eq!(st.subscribers(), 0, "failed subscribe self-releases");
+        assert!(!st.publish(), "publish cannot resurrect a spilled entry");
+        assert!(!st.make_subscribable());
+        st.force_swap_out();
+        assert!(!st.restore(), "dropped tier-2 entries stay dead");
     }
 
     #[test]

@@ -27,5 +27,6 @@ mod store;
 pub use entry::{BlobEntry, EntryState, GraftSubscription, Payload, Phase, PIN_STRIPES};
 pub use spatial_store::SpatialDataStore;
 pub use store::{
-    DataStore, DsError, DsStats, EvictionPolicy, EvictionRecord, GraftCandidate, Match,
+    benefit_score, DataStore, DsError, DsStats, EvictionPolicy, EvictionRecord, GraftCandidate,
+    Match, SpillRequest,
 };

@@ -13,6 +13,7 @@
 use crate::entry::{BlobEntry, Payload, Phase};
 use crate::store::{
     DataStore, DsError, DsStats, EvictionPolicy, EvictionRecord, GraftCandidate, Match,
+    SpillRequest,
 };
 use vmqs_core::spatial::{GridIndex, SpatialSpec};
 use vmqs_core::{BlobId, QueryId};
@@ -41,6 +42,28 @@ impl<S: SpatialSpec> SpatialDataStore<S> {
             inner: DataStore::with_policy(budget, policy),
             index: GridIndex::new(cell_size),
         }
+    }
+
+    /// See [`DataStore::with_tier2`]: enables the spill tier with the
+    /// given byte budget.
+    pub fn with_tier2(mut self, tier2_budget: u64) -> Self {
+        self.inner = self.inner.with_tier2(tier2_budget);
+        self
+    }
+
+    /// See [`DataStore::tier2_budget`].
+    pub fn tier2_budget(&self) -> u64 {
+        self.inner.tier2_budget()
+    }
+
+    /// See [`DataStore::tier2_used`].
+    pub fn tier2_used(&self) -> u64 {
+        self.inner.tier2_used()
+    }
+
+    /// See [`DataStore::take_pending_spills`].
+    pub fn take_pending_spills(&mut self) -> Vec<SpillRequest> {
+        self.inner.take_pending_spills()
     }
 
     /// See [`DataStore::budget`].
@@ -78,8 +101,8 @@ impl<S: SpatialSpec> SpatialDataStore<S> {
     ) -> Result<BlobId, DsError> {
         let before = evicted.len();
         let blob = self.inner.malloc(producer, spec, size, evicted)?;
-        for (b, _, _) in &evicted[before..] {
-            self.index.remove(b.raw());
+        for r in &evicted[before..] {
+            self.index.remove(r.blob.raw());
         }
         Ok(blob)
     }
@@ -111,6 +134,79 @@ impl<S: SpatialSpec> SpatialDataStore<S> {
         Ok(blob)
     }
 
+    /// See [`DataStore::commit_costed`]: `commit` that also records the
+    /// measured recomputation cost for benefit scoring.
+    pub fn commit_costed(&mut self, blob: BlobId, payload: Payload, cost: f64) {
+        self.inner.commit_costed(blob, payload, cost);
+        let (dataset, rect) = self
+            .inner
+            .get(blob)
+            .expect("blob just committed")
+            .spec
+            .region_key();
+        self.index.insert(blob.raw(), dataset, rect);
+    }
+
+    /// See [`DataStore::insert_costed`]: costed `malloc` (with admission
+    /// control under [`EvictionPolicy::CostBased`]) + costed commit.
+    pub fn insert_costed(
+        &mut self,
+        producer: QueryId,
+        spec: S,
+        size: u64,
+        cost: f64,
+        payload: Payload,
+        evicted: &mut Vec<EvictionRecord<S>>,
+    ) -> Result<BlobId, DsError> {
+        let before = evicted.len();
+        let blob = self
+            .inner
+            .insert_costed(producer, spec, size, cost, payload, evicted)?;
+        for r in &evicted[before..] {
+            self.index.remove(r.blob.raw());
+        }
+        let (dataset, rect) = self
+            .inner
+            .get(blob)
+            .expect("blob just committed")
+            .spec
+            .region_key();
+        self.index.insert(blob.raw(), dataset, rect);
+        Ok(blob)
+    }
+
+    /// See [`DataStore::lookup_restorable_exact`]. Spilled entries stay in
+    /// the spatial index (they still hold a claim on the budget), but the
+    /// inner scan is cheap: there are at most as many RESTORABLE entries
+    /// as the tier-2 budget admits.
+    pub fn lookup_restorable_exact(&self, probe: &S) -> Option<(BlobId, QueryId, u64)> {
+        self.inner.lookup_restorable_exact(probe)
+    }
+
+    /// See [`DataStore::restore`]. Entries evicted to make room leave the
+    /// index; the restored entry was never removed from it.
+    pub fn restore(
+        &mut self,
+        blob: BlobId,
+        payload: Payload,
+        evicted: &mut Vec<EvictionRecord<S>>,
+    ) -> bool {
+        let before = evicted.len();
+        let ok = self.inner.restore(blob, payload, evicted);
+        for r in &evicted[before..] {
+            self.index.remove(r.blob.raw());
+        }
+        ok
+    }
+
+    /// See [`DataStore::drop_restorable`]. The dropped blob leaves the
+    /// index.
+    pub fn drop_restorable(&mut self, blob: BlobId) -> Option<EvictionRecord<S>> {
+        let rec = self.inner.drop_restorable(blob)?;
+        self.index.remove(blob.raw());
+        Some(rec)
+    }
+
     /// See [`DataStore::abort`].
     pub fn abort(&mut self, blob: BlobId) {
         // Uncommitted blobs were never indexed.
@@ -130,8 +226,8 @@ impl<S: SpatialSpec> SpatialDataStore<S> {
         let blob = self
             .inner
             .reserve_subscribable(producer, spec, size, evicted)?;
-        for (b, _, _) in &evicted[before..] {
-            self.index.remove(b.raw());
+        for r in &evicted[before..] {
+            self.index.remove(r.blob.raw());
         }
         Ok(blob)
     }

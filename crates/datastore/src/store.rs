@@ -19,7 +19,25 @@ use vmqs_core::{BlobId, QueryId, QuerySpec};
 /// and the victim's predicate — the sharded engine derives the
 /// producer's home shard from the spec, so the eviction can be applied
 /// under that shard's lock without a global map.
-pub type EvictionRecord<S> = (BlobId, QueryId, S);
+///
+/// Spills (FULL → RESTORABLE) are *not* evictions: a spilled entry still
+/// answers exact lookups, so its producer stays CACHED in the graph.
+/// Only drops that lose the data — from tier 1, or from the tier-2 spill
+/// store — produce a record.
+#[derive(Clone, Debug)]
+pub struct EvictionRecord<S> {
+    /// The evicted blob.
+    pub blob: BlobId,
+    /// The query that produced it.
+    pub producer: QueryId,
+    /// The victim's predicate (shard routing and spatial-index removal).
+    pub spec: S,
+    /// Tier the data was dropped from: `1` = in-memory, `2` = spill store.
+    pub tier: u8,
+    /// The victim's benefit-per-byte score at eviction time (see
+    /// [`benefit_score`]; `0` for entries that never got a costed commit).
+    pub score: f64,
+}
 
 /// Which ready, unpinned blob to evict first when space is needed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,6 +48,48 @@ pub enum EvictionPolicy {
     LargestFirst,
     /// Most recently used first (pessimal for locality; ablation baseline).
     Mru,
+    /// Benefit-aware (DESIGN.md §14): evict the entry with the smallest
+    /// [`benefit_score`] — recomputation cost × observed reuse per byte —
+    /// i.e. the greedy knapsack approximation of keeping the set of
+    /// entries whose retention saves the most recomputation per byte of
+    /// budget. Costed inserts additionally run admission control: a new
+    /// entry whose score cannot beat the victim it would displace is
+    /// rejected instead of churning the cache.
+    CostBased,
+}
+
+/// Floor on the cost factor of the benefit score, so entries that were
+/// committed before any cost measurement (legacy `insert`/`commit`) still
+/// order deterministically by reuse and size instead of collapsing to 0.
+const COST_FLOOR: f64 = 1e-9;
+
+/// The benefit-per-byte eviction score of [`EvictionPolicy::CostBased`]
+/// (DESIGN.md §14): `cost × (1 + hits) / size`, where `cost` is the
+/// measured recomputation cost in (possibly virtual) seconds, `hits` the
+/// observed reuse count, and `size` the entry's bytes. One byte of budget
+/// spent on this entry is expected to save this many seconds of
+/// recomputation. Higher is more worth keeping.
+pub fn benefit_score(cost: f64, hits: u64, size: u64) -> f64 {
+    (cost.max(COST_FLOOR) * (1.0 + hits as f64)) / size.max(1) as f64
+}
+
+/// A spill handed back to the caller by an eviction pass: the entry has
+/// transitioned FULL → RESTORABLE and its payload has been detached. The
+/// threaded engine must persist the payload to the tier-2 store *before*
+/// releasing its write lock (so no other thread can observe a RESTORABLE
+/// entry whose on-disk copy does not exist yet); the simulator only
+/// counts it.
+#[derive(Clone, Debug)]
+pub struct SpillRequest {
+    /// The spilled blob (also the tier-2 storage key).
+    pub blob: BlobId,
+    /// The query that produced it (for `Spilled` event attribution).
+    pub producer: QueryId,
+    /// Payload bytes moved to tier 2.
+    pub size: u64,
+    /// The detached payload to serialize ([`Payload::Virtual`] in the
+    /// simulator).
+    pub payload: Payload,
 }
 
 /// An in-flight entry a query could graft onto (DESIGN.md §13): returned
@@ -80,6 +140,20 @@ pub struct DsStats {
     /// Allocations rejected because the blob exceeds the whole budget (or
     /// pinned entries prevent freeing enough space).
     pub rejected: u64,
+    /// Entries demoted to the tier-2 spill store instead of dropped.
+    pub spilled: u64,
+    /// Bytes moved to tier 2.
+    pub bytes_spilled: u64,
+    /// Entries re-heated from tier 2 back into memory.
+    pub restored: u64,
+    /// Bytes restored from tier 2.
+    pub bytes_restored: u64,
+    /// Tier-2 entries dropped because a restore failed (I/O error or
+    /// poisoned read) — the caller fell back to recomputation.
+    pub restore_failures: u64,
+    /// Costed inserts refused by cost-based admission control (their
+    /// benefit score could not beat the would-be victim's).
+    pub unprofitable: u64,
 }
 
 /// Error returned by [`DataStore::malloc`].
@@ -90,6 +164,10 @@ pub enum DsError {
     TooLarge,
     /// Enough bytes exist but are held by uncommitted (pinned) entries.
     Busy,
+    /// Cost-based admission refused the entry: its benefit-per-byte score
+    /// cannot beat the victim it would displace, and displacement would
+    /// lose the victim's data (DESIGN.md §14).
+    Unprofitable,
 }
 
 impl std::fmt::Display for DsError {
@@ -97,6 +175,12 @@ impl std::fmt::Display for DsError {
         match self {
             DsError::TooLarge => write!(f, "allocation exceeds data store budget"),
             DsError::Busy => write!(f, "data store space held by uncommitted entries"),
+            DsError::Unprofitable => {
+                write!(
+                    f,
+                    "entry's benefit score cannot beat the current victim set"
+                )
+            }
         }
     }
 }
@@ -117,6 +201,12 @@ struct StatCells {
     evicted: AtomicU64,
     bytes_evicted: AtomicU64,
     rejected: AtomicU64,
+    spilled: AtomicU64,
+    bytes_spilled: AtomicU64,
+    restored: AtomicU64,
+    bytes_restored: AtomicU64,
+    restore_failures: AtomicU64,
+    unprofitable: AtomicU64,
 }
 
 impl StatCells {
@@ -129,6 +219,12 @@ impl StatCells {
             evicted: self.evicted.load(Ordering::Relaxed),
             bytes_evicted: self.bytes_evicted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            spilled: self.spilled.load(Ordering::Relaxed),
+            bytes_spilled: self.bytes_spilled.load(Ordering::Relaxed),
+            restored: self.restored.load(Ordering::Relaxed),
+            bytes_restored: self.bytes_restored.load(Ordering::Relaxed),
+            restore_failures: self.restore_failures.load(Ordering::Relaxed),
+            unprofitable: self.unprofitable.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,6 +240,15 @@ impl StatCells {
 pub struct DataStore<S: QuerySpec> {
     budget: u64,
     used: u64,
+    /// Tier-2 spill budget in bytes; `0` disables the spill tier and every
+    /// eviction drops its victim as before.
+    tier2_budget: u64,
+    /// Bytes of RESTORABLE entries currently charged to tier 2.
+    tier2_used: u64,
+    /// Spills produced by eviction passes since the last
+    /// [`DataStore::take_pending_spills`]; the engine must drain and
+    /// persist these before releasing structural exclusivity.
+    pending_spills: Vec<SpillRequest>,
     entries: HashMap<BlobId, BlobEntry<S>>,
     next_blob: u64,
     clock: AtomicU64,
@@ -164,12 +269,23 @@ impl<S: QuerySpec> DataStore<S> {
         DataStore {
             budget,
             used: 0,
+            tier2_budget: 0,
+            tier2_used: 0,
+            pending_spills: Vec::new(),
             entries: HashMap::new(),
             next_blob: 0,
             clock: AtomicU64::new(0),
             policy,
             stats: StatCells::default(),
         }
+    }
+
+    /// Builder: enables the tier-2 spill store with the given byte budget
+    /// (`0` keeps it disabled). Eviction victims then demote to RESTORABLE
+    /// instead of dropping, until tier 2 itself overflows.
+    pub fn with_tier2(mut self, budget: u64) -> Self {
+        self.tier2_budget = budget;
+        self
     }
 
     /// The configured byte budget.
@@ -180,6 +296,25 @@ impl<S: QuerySpec> DataStore<S> {
     /// Bytes currently allocated (committed + uncommitted).
     pub fn used(&self) -> u64 {
         self.used
+    }
+
+    /// The configured tier-2 spill budget (`0` = spilling disabled).
+    pub fn tier2_budget(&self) -> u64 {
+        self.tier2_budget
+    }
+
+    /// Bytes currently held by RESTORABLE entries in tier 2.
+    pub fn tier2_used(&self) -> u64 {
+        self.tier2_used
+    }
+
+    /// Drains the spills produced by eviction passes since the last call.
+    /// The threaded engine persists each payload to the tier-2 store
+    /// *within the same write-lock critical section* that produced it;
+    /// the simulator charges no write latency (spill writes are modeled
+    /// as off the critical path) and simply drops the requests.
+    pub fn take_pending_spills(&mut self) -> Vec<SpillRequest> {
+        std::mem::take(&mut self.pending_spills)
     }
 
     /// Number of entries (committed + uncommitted).
@@ -211,6 +346,24 @@ impl<S: QuerySpec> DataStore<S> {
         size: u64,
         evicted: &mut Vec<EvictionRecord<S>>,
     ) -> Result<BlobId, DsError> {
+        self.malloc_scored(producer, spec, size, None, evicted)
+    }
+
+    /// [`DataStore::malloc`] with an admission score: when the policy is
+    /// [`EvictionPolicy::CostBased`] and making room would *lose* a
+    /// victim's data (spilling disabled, so eviction means dropping), an
+    /// incoming entry whose benefit score cannot beat that victim's is
+    /// refused with [`DsError::Unprofitable`] instead of churning the
+    /// cache. Reservations pass `None` (their cost is unknown until the
+    /// producer finishes) and are always admitted.
+    fn malloc_scored(
+        &mut self,
+        producer: QueryId,
+        spec: S,
+        size: u64,
+        incoming_score: Option<f64>,
+        evicted: &mut Vec<EvictionRecord<S>>,
+    ) -> Result<BlobId, DsError> {
         if size > self.budget {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(DsError::TooLarge);
@@ -218,16 +371,17 @@ impl<S: QuerySpec> DataStore<S> {
         while self.used + size > self.budget {
             match self.pick_victim() {
                 Some(victim) => {
-                    let e = self.remove(victim).expect("victim exists");
-                    // The entry is out of the map; mark it so any clone
-                    // or late reader holding a pin attempt sees
-                    // SWAPPED_OUT instead of a stale FULL.
-                    e.state.force_swap_out();
-                    self.stats.evicted.fetch_add(1, Ordering::Relaxed);
-                    self.stats
-                        .bytes_evicted
-                        .fetch_add(e.size, Ordering::Relaxed);
-                    evicted.push((e.id, e.producer, e.spec));
+                    let vscore = self.entries[&victim].score();
+                    if let (EvictionPolicy::CostBased, Some(inc)) = (self.policy, incoming_score) {
+                        // Spilling preserves the victim's data, so the
+                        // knapsack trade is free; only a lossy drop has
+                        // to be won on score.
+                        if self.tier2_budget == 0 && vscore >= inc {
+                            self.stats.unprofitable.fetch_add(1, Ordering::Relaxed);
+                            return Err(DsError::Unprofitable);
+                        }
+                    }
+                    self.evict_or_spill(victim, evicted);
                 }
                 None => {
                     self.stats.rejected.fetch_add(1, Ordering::Relaxed);
@@ -248,10 +402,100 @@ impl<S: QuerySpec> DataStore<S> {
                 payload: Payload::Virtual,
                 state: EntryState::new(),
                 last_access: AtomicU64::new(now),
+                cost: 0.0,
+                hits: AtomicU64::new(0),
             },
         );
         self.used += size;
         Ok(id)
+    }
+
+    /// Demotes `victim` to the tier-2 spill store when one is configured
+    /// and the entry's state machine allows it (no pins, no
+    /// subscriptions); otherwise drops it as a tier-1 eviction. Tier-2
+    /// overflow then drops the lowest-scoring RESTORABLE entries.
+    fn evict_or_spill(&mut self, victim: BlobId, evicted: &mut Vec<EvictionRecord<S>>) {
+        if self.tier2_budget > 0 && self.entries[&victim].state.try_spill() {
+            let e = self.entries.get_mut(&victim).expect("victim exists");
+            let payload = std::mem::replace(&mut e.payload, Payload::Virtual);
+            let (size, producer) = (e.size, e.producer);
+            self.used -= size;
+            self.tier2_used += size;
+            self.stats.spilled.fetch_add(1, Ordering::Relaxed);
+            self.stats.bytes_spilled.fetch_add(size, Ordering::Relaxed);
+            self.pending_spills.push(SpillRequest {
+                blob: victim,
+                producer,
+                size,
+                payload,
+            });
+            self.shrink_tier2(None, evicted);
+        } else {
+            let score = self.entries[&victim].score();
+            let e = self.remove(victim).expect("victim exists");
+            // The entry is out of the map; mark it so any clone
+            // or late reader holding a pin attempt sees
+            // SWAPPED_OUT instead of a stale FULL.
+            e.state.force_swap_out();
+            self.stats.evicted.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_evicted
+                .fetch_add(e.size, Ordering::Relaxed);
+            evicted.push(EvictionRecord {
+                blob: e.id,
+                producer: e.producer,
+                spec: e.spec,
+                tier: 1,
+                score,
+            });
+        }
+    }
+
+    /// Drops the lowest-scoring RESTORABLE entries until tier 2 fits its
+    /// budget again, skipping `protect` (the entry currently being
+    /// restored). Ties break on the oldest stamp, then the lowest blob
+    /// id, so the victim sequence is deterministic.
+    fn shrink_tier2(&mut self, protect: Option<BlobId>, evicted: &mut Vec<EvictionRecord<S>>) {
+        while self.tier2_used > self.tier2_budget {
+            let victim = self
+                .entries
+                .values()
+                .filter(|e| e.state.is_restorable() && Some(e.id) != protect)
+                .min_by(|a, b| {
+                    a.score()
+                        .total_cmp(&b.score())
+                        .then_with(|| {
+                            a.last_access
+                                .load(Ordering::Relaxed)
+                                .cmp(&b.last_access.load(Ordering::Relaxed))
+                        })
+                        .then_with(|| a.id.cmp(&b.id))
+                })
+                .map(|e| e.id);
+            match victim {
+                Some(v) => {
+                    let score = self.entries[&v].score();
+                    // The payload may still sit in the pending-spill
+                    // queue (spilled and dropped within one eviction
+                    // pass): cancel the write so no orphan file appears.
+                    self.pending_spills.retain(|p| p.blob != v);
+                    let e = self.remove(v).expect("victim exists");
+                    e.state.force_swap_out();
+                    self.stats.evicted.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .bytes_evicted
+                        .fetch_add(e.size, Ordering::Relaxed);
+                    evicted.push(EvictionRecord {
+                        blob: e.id,
+                        producer: e.producer,
+                        spec: e.spec,
+                        tier: 2,
+                        score,
+                    });
+                }
+                None => break,
+            }
+        }
     }
 
     /// Publishes a previously `malloc`ed blob with its final payload; it is
@@ -285,6 +529,127 @@ impl<S: QuerySpec> DataStore<S> {
         let id = self.malloc(producer, spec, size, evicted)?;
         self.commit(id, payload);
         Ok(id)
+    }
+
+    /// [`DataStore::commit`] with the producer's measured recomputation
+    /// cost (I/O + kernel seconds; virtual seconds in the simulator),
+    /// which seeds the entry's benefit score.
+    pub fn commit_costed(&mut self, blob: BlobId, payload: Payload, cost: f64) {
+        self.commit(blob, payload);
+        let e = self.entries.get_mut(&blob).expect("just committed");
+        e.cost = if cost.is_finite() { cost.max(0.0) } else { 0.0 };
+    }
+
+    /// [`DataStore::insert`] with a measured recomputation cost: the
+    /// costed entry runs cost-based admission control (see
+    /// [`DsError::Unprofitable`]) and its benefit score starts from
+    /// `cost` instead of the floor.
+    pub fn insert_costed(
+        &mut self,
+        producer: QueryId,
+        spec: S,
+        size: u64,
+        cost: f64,
+        payload: Payload,
+        evicted: &mut Vec<EvictionRecord<S>>,
+    ) -> Result<BlobId, DsError> {
+        let score = benefit_score(cost, 0, size);
+        let id = self.malloc_scored(producer, spec, size, Some(score), evicted)?;
+        self.commit_costed(id, payload, cost);
+        Ok(id)
+    }
+
+    /// Finds a RESTORABLE entry whose predicate `cmp`-matches `probe`
+    /// exactly: a tier-2 hit the engine may re-heat at disk cost instead
+    /// of recompute cost. Returns `(blob, producer, size)`; the lowest
+    /// blob id wins so the choice is deterministic. Reads no stats and
+    /// touches nothing — accounting happens at [`DataStore::restore`].
+    ///
+    /// Spilled entries answer *exact* probes only: partial reuse would
+    /// require restoring before knowing whether the overlap is worth the
+    /// disk read, so partial candidates are left to recomputation.
+    pub fn lookup_restorable_exact(&self, probe: &S) -> Option<(BlobId, QueryId, u64)> {
+        // lint:sorted: min over blob id; iteration order is irrelevant
+        self.entries
+            .values()
+            .filter(|e| e.state.is_restorable() && e.spec.cmp(probe))
+            .min_by_key(|e| e.id)
+            .map(|e| (e.id, e.producer, e.size))
+    }
+
+    /// Re-heats a RESTORABLE entry: charges its bytes back to tier 1
+    /// (evicting or spilling other entries to make room), attaches the
+    /// payload re-read from the tier-2 store, and promotes the entry to
+    /// FULL. Returns `false` when the entry no longer exists, is not
+    /// RESTORABLE, or tier-1 space cannot be freed — including the corner
+    /// where making room spills a victim past the tier-2 budget and the
+    /// shrink drops *this* entry as the lowest-scoring RESTORABLE one.
+    /// The caller falls back to recomputation in every `false` case.
+    pub fn restore(
+        &mut self,
+        blob: BlobId,
+        payload: Payload,
+        evicted: &mut Vec<EvictionRecord<S>>,
+    ) -> bool {
+        let size = match self.entries.get(&blob) {
+            Some(e) if e.state.is_restorable() => e.size,
+            _ => return false,
+        };
+        if size > self.budget {
+            return false;
+        }
+        while self.used + size > self.budget {
+            match self.pick_victim() {
+                Some(victim) => self.evict_or_spill(victim, evicted),
+                None => return false,
+            }
+        }
+        // Making room may have spilled a victim past the tier-2 budget,
+        // and the resulting shrink drops the lowest-scoring RESTORABLE
+        // entry — possibly this one. Its eviction record is already in
+        // `evicted`; fall back to recomputation.
+        let Some(e) = self.entries.get_mut(&blob) else {
+            return false;
+        };
+        debug_assert!(e.state.is_restorable(), "only shrink can touch it");
+        e.payload = payload;
+        let promoted = e.state.restore();
+        debug_assert!(promoted, "exclusive access, phase checked above");
+        self.tier2_used -= size;
+        self.used += size;
+        self.touch(blob);
+        self.stats.restored.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_restored.fetch_add(size, Ordering::Relaxed);
+        // Restoring may have spilled others past the tier-2 budget.
+        self.shrink_tier2(Some(blob), evicted);
+        true
+    }
+
+    /// Drops a RESTORABLE entry whose tier-2 read failed (I/O error or
+    /// poisoned data): the entry is gone for good and the producer must
+    /// be marked SWAPPED_OUT in the graph. Returns the eviction record,
+    /// or `None` when the entry already vanished.
+    pub fn drop_restorable(&mut self, blob: BlobId) -> Option<EvictionRecord<S>> {
+        match self.entries.get(&blob) {
+            Some(e) if e.state.is_restorable() => {}
+            _ => return None,
+        }
+        let score = self.entries[&blob].score();
+        self.pending_spills.retain(|p| p.blob != blob);
+        let e = self.remove(blob).expect("checked above");
+        e.state.force_swap_out();
+        self.stats.evicted.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_evicted
+            .fetch_add(e.size, Ordering::Relaxed);
+        self.stats.restore_failures.fetch_add(1, Ordering::Relaxed);
+        Some(EvictionRecord {
+            blob: e.id,
+            producer: e.producer,
+            spec: e.spec,
+            tier: 2,
+            score,
+        })
     }
 
     /// Drops an uncommitted reservation (producing query aborted). The
@@ -470,18 +835,25 @@ impl<S: QuerySpec> DataStore<S> {
         self.entries.get(&blob)
     }
 
-    /// Marks a blob as used now (LRU bookkeeping).
+    /// Marks a blob as used now (LRU bookkeeping) and counts one observed
+    /// reuse toward its benefit score.
     pub fn touch(&self, blob: BlobId) {
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(e) = self.entries.get(&blob) {
             e.last_access.store(now, Ordering::Relaxed);
+            e.hits.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Removes an entry, releasing its bytes; returns it.
+    /// Removes an entry, releasing its bytes (from tier 2 when the entry
+    /// is RESTORABLE, from tier 1 otherwise); returns it.
     pub fn remove(&mut self, blob: BlobId) -> Option<BlobEntry<S>> {
         let e = self.entries.remove(&blob)?;
-        self.used -= e.size;
+        if e.state.is_restorable() {
+            self.tier2_used -= e.size;
+        } else {
+            self.used -= e.size;
+        }
         Some(e)
     }
 
@@ -503,6 +875,18 @@ impl<S: QuerySpec> DataStore<S> {
             EvictionPolicy::Mru => candidates.max_by_key(|e| stamp(e)).map(|e| e.id),
             EvictionPolicy::LargestFirst => candidates
                 .max_by_key(|e| (e.size, u64::MAX - stamp(e)))
+                .map(|e| e.id),
+            // Greedy knapsack: sacrifice the entry whose retention saves
+            // the least recomputation per byte. `total_cmp` plus the
+            // stamp/id tie-breaks give a deterministic total order, so
+            // the victim sequence is reproducible bit for bit.
+            EvictionPolicy::CostBased => candidates
+                .min_by(|a, b| {
+                    a.score()
+                        .total_cmp(&b.score())
+                        .then_with(|| stamp(a).cmp(&stamp(b)))
+                        .then_with(|| a.id.cmp(&b.id))
+                })
                 .map(|e| e.id),
         }
     }
@@ -554,8 +938,9 @@ mod tests {
         // Now eviction is possible.
         assert!(ds.malloc(QueryId(2), spec(200, 50, 1), 50, &mut ev).is_ok());
         assert_eq!(ev.len(), 1);
-        assert_eq!((ev[0].0, ev[0].1), (blob, QueryId(1)));
-        assert_eq!(ev[0].2, s, "eviction record carries the victim's spec");
+        assert_eq!((ev[0].blob, ev[0].producer), (blob, QueryId(1)));
+        assert_eq!(ev[0].spec, s, "eviction record carries the victim's spec");
+        assert_eq!(ev[0].tier, 1, "no spill tier configured");
     }
 
     #[test]
@@ -605,7 +990,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ev.len(), 1);
-        assert_eq!(ev[0].1, QueryId(2));
+        assert_eq!(ev[0].producer, QueryId(2));
         assert_eq!(ds.used(), 300);
     }
 
@@ -627,7 +1012,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ev.len(), 1);
-        assert_eq!(ev[0].1, QueryId(1));
+        assert_eq!(ev[0].producer, QueryId(1));
     }
 
     #[test]
@@ -652,7 +1037,7 @@ mod tests {
             &mut ev,
         )
         .unwrap();
-        assert_eq!(ev[0].1, QueryId(2));
+        assert_eq!(ev[0].producer, QueryId(2));
     }
 
     #[test]
@@ -860,5 +1245,408 @@ mod tests {
         ds.remove(b);
         assert_eq!(ds.used(), 0);
         assert!(ds.is_empty());
+    }
+
+    fn cost_store(budget: u64) -> DataStore<IntervalSpec> {
+        DataStore::with_policy(budget, EvictionPolicy::CostBased)
+    }
+
+    #[test]
+    fn benefit_score_orders_by_cost_reuse_and_size() {
+        // Cheap, unused, big → lowest; expensive, reused, small → highest.
+        let low = benefit_score(0.1, 0, 1000);
+        let mid = benefit_score(0.1, 9, 1000);
+        let high = benefit_score(2.0, 9, 100);
+        assert!(low < mid && mid < high);
+        // The cost floor keeps zero-cost entries ordered by reuse/size.
+        assert!(benefit_score(0.0, 1, 100) > benefit_score(0.0, 0, 100));
+        assert!(benefit_score(0.0, 0, 100) > benefit_score(0.0, 0, 200));
+    }
+
+    #[test]
+    fn cost_based_evicts_lowest_benefit_per_byte() {
+        let mut ds = cost_store(300);
+        let mut ev = Vec::new();
+        // Same size, different measured costs.
+        ds.insert_costed(
+            QueryId(1),
+            spec(0, 100, 1),
+            100,
+            5.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        ds.insert_costed(
+            QueryId(2),
+            spec(1000, 100, 1),
+            100,
+            0.5,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        ds.insert_costed(
+            QueryId(3),
+            spec(2000, 100, 1),
+            100,
+            3.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        // Pressure: the cheapest-to-recompute entry (query 2) must go,
+        // even though query 1 is the least recently used.
+        ds.insert_costed(
+            QueryId(4),
+            spec(3000, 100, 1),
+            100,
+            4.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].producer, QueryId(2));
+        assert_eq!(ev[0].tier, 1);
+        assert!((ev[0].score - benefit_score(0.5, 0, 100)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_reuse_raises_benefit_score() {
+        let mut ds = cost_store(200);
+        let mut ev = Vec::new();
+        let s1 = spec(0, 100, 1);
+        ds.insert_costed(QueryId(1), s1.clone(), 100, 1.0, Payload::Virtual, &mut ev)
+            .unwrap();
+        ds.insert_costed(
+            QueryId(2),
+            spec(1000, 100, 1),
+            100,
+            1.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        // Reuse the first entry twice: its score now dominates.
+        assert!(ds.lookup_exact(&s1).is_some());
+        assert!(ds.lookup_exact(&s1).is_some());
+        ds.insert_costed(
+            QueryId(3),
+            spec(2000, 100, 1),
+            100,
+            1.5,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].producer, QueryId(2), "unreused twin evicted first");
+    }
+
+    #[test]
+    fn admission_rejects_unprofitable_insert_when_spill_disabled() {
+        let mut ds = cost_store(100);
+        let mut ev = Vec::new();
+        ds.insert_costed(
+            QueryId(1),
+            spec(0, 100, 1),
+            100,
+            10.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        // A cheap incoming entry cannot beat the expensive resident one.
+        assert_eq!(
+            ds.insert_costed(
+                QueryId(2),
+                spec(1000, 100, 1),
+                100,
+                0.1,
+                Payload::Virtual,
+                &mut ev
+            ),
+            Err(DsError::Unprofitable)
+        );
+        assert!(ev.is_empty(), "the resident entry was not displaced");
+        assert_eq!(ds.stats().unprofitable, 1);
+        // A more valuable incoming entry displaces it.
+        ds.insert_costed(
+            QueryId(3),
+            spec(2000, 100, 1),
+            100,
+            20.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].producer, QueryId(1));
+    }
+
+    #[test]
+    fn uncosted_reservations_bypass_admission() {
+        let mut ds = cost_store(100);
+        let mut ev = Vec::new();
+        ds.insert_costed(
+            QueryId(1),
+            spec(0, 100, 1),
+            100,
+            10.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        // A plain malloc (cost unknown until the producer finishes) is
+        // always admitted, displacing on score order.
+        assert!(ds
+            .malloc(QueryId(2), spec(1000, 100, 1), 100, &mut ev)
+            .is_ok());
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn spill_demotes_instead_of_dropping() {
+        let mut ds = cost_store(100).with_tier2(1000);
+        let mut ev = Vec::new();
+        let s1 = spec(0, 100, 1);
+        let b1 = ds
+            .insert_costed(QueryId(1), s1.clone(), 100, 1.0, Payload::Virtual, &mut ev)
+            .unwrap();
+        ds.insert_costed(
+            QueryId(2),
+            spec(1000, 100, 1),
+            100,
+            2.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        // Demoted, not dropped: no eviction record, entry still resident.
+        assert!(ev.is_empty());
+        let st = ds.stats();
+        assert_eq!((st.spilled, st.bytes_spilled, st.evicted), (1, 100, 0));
+        assert_eq!(ds.used(), 100);
+        assert_eq!(ds.tier2_used(), 100);
+        // The engine gets the detached payload to persist.
+        let spills = ds.take_pending_spills();
+        assert_eq!(spills.len(), 1);
+        assert_eq!(spills[0].blob, b1);
+        assert!(ds.take_pending_spills().is_empty(), "drained once");
+        // Invisible to normal lookups, but discoverable as restorable.
+        assert!(ds.lookup(&s1).is_empty());
+        assert_eq!(ds.lookup_restorable_exact(&s1), Some((b1, QueryId(1), 100)));
+        // Restorable entries answer exact probes only.
+        assert!(ds.lookup_restorable_exact(&spec(0, 50, 1)).is_none());
+    }
+
+    #[test]
+    fn restore_reheats_spilled_entry() {
+        let mut ds = cost_store(100).with_tier2(1000);
+        let mut ev = Vec::new();
+        let s1 = spec(0, 100, 1);
+        let b1 = ds
+            .insert_costed(QueryId(1), s1.clone(), 100, 1.0, Payload::Virtual, &mut ev)
+            .unwrap();
+        ds.insert_costed(
+            QueryId(2),
+            spec(1000, 100, 1),
+            100,
+            2.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        ds.take_pending_spills();
+        // Restoring b1 must make room by spilling the other entry — never
+        // by dropping b1 itself.
+        assert!(ds.restore(b1, Payload::Virtual, &mut ev));
+        assert!(ev.is_empty());
+        assert_eq!(ds.used(), 100);
+        assert_eq!(ds.tier2_used(), 100);
+        let st = ds.stats();
+        assert_eq!((st.restored, st.bytes_restored), (1, 100));
+        assert_eq!(st.spilled, 2, "the displaced twin spilled in turn");
+        assert!(ds.lookup(&s1).len() == 1, "restored entry serves lookups");
+        assert!(ds.lookup_restorable_exact(&s1).is_none());
+        // A second restore of the same (now FULL) blob is refused.
+        assert!(!ds.restore(b1, Payload::Virtual, &mut ev));
+    }
+
+    #[test]
+    fn tier2_overflow_drops_lowest_score_with_tier2_record() {
+        // Tier 2 fits exactly one 100-byte entry.
+        let mut ds = cost_store(100).with_tier2(100);
+        let mut ev = Vec::new();
+        ds.insert_costed(
+            QueryId(1),
+            spec(0, 100, 1),
+            100,
+            1.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        ds.insert_costed(
+            QueryId(2),
+            spec(1000, 100, 1),
+            100,
+            2.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        assert!(ev.is_empty(), "first spill fits tier 2");
+        ds.insert_costed(
+            QueryId(3),
+            spec(2000, 100, 1),
+            100,
+            3.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        // Query 2 spilled; tier 2 overflowed; the cheaper query-1 entry
+        // (already in tier 2) was dropped for good.
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].producer, QueryId(1));
+        assert_eq!(ev[0].tier, 2);
+        assert_eq!(ds.tier2_used(), 100);
+        // Both spill requests were queued before the drop cancelled the
+        // first: only query 2's payload still needs persisting... unless
+        // the engine drained in between. Here nothing drained, and the
+        // dropped blob's write was cancelled.
+        let spills = ds.take_pending_spills();
+        assert_eq!(spills.len(), 1);
+        assert_eq!(spills[0].producer, QueryId(2));
+    }
+
+    #[test]
+    fn drop_restorable_counts_restore_failure() {
+        let mut ds = cost_store(100).with_tier2(1000);
+        let mut ev = Vec::new();
+        let s1 = spec(0, 100, 1);
+        let b1 = ds
+            .insert_costed(QueryId(1), s1.clone(), 100, 1.0, Payload::Virtual, &mut ev)
+            .unwrap();
+        ds.insert_costed(
+            QueryId(2),
+            spec(1000, 100, 1),
+            100,
+            2.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        let rec = ds.drop_restorable(b1).expect("restorable");
+        assert_eq!((rec.blob, rec.producer, rec.tier), (b1, QueryId(1), 2));
+        assert_eq!(ds.tier2_used(), 0);
+        let st = ds.stats();
+        assert_eq!((st.restore_failures, st.evicted), (1, 1));
+        assert!(ds.lookup_restorable_exact(&s1).is_none());
+        // Dropping a FULL or unknown blob is refused.
+        assert!(ds.drop_restorable(BlobId(999)).is_none());
+    }
+
+    #[test]
+    fn remove_releases_tier2_bytes_for_restorable_entries() {
+        let mut ds = cost_store(100).with_tier2(1000);
+        let mut ev = Vec::new();
+        let b1 = ds
+            .insert_costed(
+                QueryId(1),
+                spec(0, 100, 1),
+                100,
+                1.0,
+                Payload::Virtual,
+                &mut ev,
+            )
+            .unwrap();
+        ds.insert_costed(
+            QueryId(2),
+            spec(1000, 100, 1),
+            100,
+            2.0,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        assert_eq!(ds.tier2_used(), 100);
+        ds.remove(b1);
+        assert_eq!(ds.tier2_used(), 0);
+        assert_eq!(ds.used(), 100, "tier-1 accounting untouched");
+    }
+
+    #[test]
+    fn lru_policy_ignores_tier2_and_drops_as_before() {
+        // With tier 2 disabled (the default) every policy drops its
+        // victims exactly as before this layer existed.
+        let mut ds = store(100);
+        let mut ev = Vec::new();
+        ds.insert(QueryId(1), spec(0, 100, 1), 100, Payload::Virtual, &mut ev)
+            .unwrap();
+        ds.insert(
+            QueryId(2),
+            spec(1000, 100, 1),
+            100,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].tier, 1);
+        assert_eq!(ds.stats().spilled, 0);
+        assert!(ds.take_pending_spills().is_empty());
+    }
+
+    #[test]
+    fn restore_survives_shrink_dropping_the_restoring_entry() {
+        // Tier 1 and tier 2 both hold exactly one entry. Restoring the
+        // spilled entry must first make room by spilling the resident
+        // one, which overflows tier 2 — and the shrink picks the
+        // *lowest-scoring* RESTORABLE entry, which is the entry being
+        // restored. restore() must report failure (the caller
+        // recomputes), not panic on the vanished entry.
+        let mut ds = DataStore::with_policy(100, EvictionPolicy::CostBased).with_tier2(100);
+        let mut ev = Vec::new();
+        // Cheap entry A: first to be evicted, lowest score ever after.
+        ds.insert_costed(
+            QueryId(1),
+            spec(0, 100, 1),
+            100,
+            0.1,
+            Payload::Virtual,
+            &mut ev,
+        )
+        .unwrap();
+        // Expensive entry B evicts A; with tier 2 open, A spills.
+        let b = ds
+            .insert_costed(
+                QueryId(2),
+                spec(500, 100, 1),
+                100,
+                9.0,
+                Payload::Virtual,
+                &mut ev,
+            )
+            .unwrap();
+        assert!(ev.is_empty(), "A was spilled, not evicted: {ev:?}");
+        assert_eq!(ds.stats().spilled, 1);
+        let (a_blob, a_producer, _) = ds.lookup_restorable_exact(&spec(0, 100, 1)).unwrap();
+        assert_eq!(a_producer, QueryId(1));
+
+        assert!(
+            !ds.restore(a_blob, Payload::Virtual, &mut ev),
+            "restore must fail once the shrink dropped its own entry"
+        );
+        // B was spilled to make room; A (lowest score) was dropped from
+        // tier 2 to fit it. Exactly one tier-2 eviction record, for A.
+        assert_eq!(ev.len(), 1, "{ev:?}");
+        assert_eq!(ev[0].blob, a_blob);
+        assert_eq!(ev[0].tier, 2);
+        assert!(ds.lookup_restorable_exact(&spec(0, 100, 1)).is_none());
+        let (b_blob, b_producer, _) = ds.lookup_restorable_exact(&spec(500, 100, 1)).unwrap();
+        assert_eq!((b_blob, b_producer), (b, QueryId(2)));
     }
 }

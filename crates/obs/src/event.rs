@@ -54,8 +54,27 @@ pub enum EventKind {
         /// True when at least one transient fault was retried to get it.
         retried: bool,
     },
-    /// The query's cached result was evicted from the Data Store.
-    Evicted,
+    /// The query's cached result was dropped from the Data Store for
+    /// good (not spilled — a spill keeps the result reachable).
+    Evicted {
+        /// Tier the data was lost from: `1` = in-memory, `2` = the spill
+        /// store.
+        tier: u8,
+        /// The victim's benefit-per-byte score at eviction time (`0`
+        /// under the legacy recency policies before any costed commit).
+        score: f64,
+    },
+    /// The query's cached result was demoted to the tier-2 spill store
+    /// (still reachable: a later exact lookup restores it at disk cost).
+    Spilled {
+        /// Payload bytes moved to tier 2.
+        bytes: u64,
+    },
+    /// The query's spilled result was re-heated from tier 2 into memory.
+    Restored {
+        /// Payload bytes moved back to tier 1.
+        bytes: u64,
+    },
     /// The query was downgraded to its cheaper plan at admission
     /// (Virtual Microscope: `Average` → `Subsample`) because pressure
     /// reached the degrade threshold.
@@ -88,7 +107,9 @@ impl EventKind {
             EventKind::Grafted { .. } => "grafted",
             EventKind::SubquerySpawned { .. } => "subquery_spawned",
             EventKind::PageRead { .. } => "page_read",
-            EventKind::Evicted => "evicted",
+            EventKind::Evicted { .. } => "evicted",
+            EventKind::Spilled { .. } => "spilled",
+            EventKind::Restored { .. } => "restored",
             EventKind::Degraded => "degraded",
             EventKind::Completed => "completed",
             EventKind::Failed => "failed",
@@ -351,6 +372,12 @@ pub fn events_to_json(events: &[EventRecord]) -> String {
             EventKind::Rejected { rate_limited } => {
                 let _ = write!(out, ", \"rate_limited\": {rate_limited}");
             }
+            EventKind::Evicted { tier, score } => {
+                let _ = write!(out, ", \"tier\": {tier}, \"score\": {score}");
+            }
+            EventKind::Spilled { bytes } | EventKind::Restored { bytes } => {
+                let _ = write!(out, ", \"bytes\": {bytes}");
+            }
             _ => {}
         }
         out.push('}');
@@ -490,8 +517,37 @@ mod tests {
         assert!(EventKind::Rejected { rate_limited: true }.is_terminal());
         assert!(EventKind::Shed.is_terminal());
         assert!(!EventKind::Submitted.is_terminal());
-        assert!(!EventKind::Evicted.is_terminal());
+        assert!(!EventKind::Evicted {
+            tier: 1,
+            score: 0.0
+        }
+        .is_terminal());
+        assert!(!EventKind::Spilled { bytes: 1 }.is_terminal());
+        assert!(!EventKind::Restored { bytes: 1 }.is_terminal());
         assert!(!EventKind::Degraded.is_terminal());
+    }
+
+    #[test]
+    fn tier_events_label_and_export() {
+        let log = EventLog::new(true);
+        log.log_at(0.0, QueryId(1), EventKind::Spilled { bytes: 512 });
+        log.log_at(0.1, QueryId(1), EventKind::Restored { bytes: 512 });
+        log.log_at(
+            0.2,
+            QueryId(1),
+            EventKind::Evicted {
+                tier: 2,
+                score: 0.125,
+            },
+        );
+        assert_eq!(EventKind::Spilled { bytes: 0 }.label(), "spilled");
+        assert_eq!(EventKind::Restored { bytes: 0 }.label(), "restored");
+        let json = events_to_json(&log.snapshot());
+        assert!(json.contains("\"event\": \"spilled\""));
+        assert!(json.contains("\"bytes\": 512"));
+        assert!(json.contains("\"event\": \"evicted\""));
+        assert!(json.contains("\"tier\": 2"));
+        assert!(json.contains("\"score\": 0.125"));
     }
 
     #[test]

@@ -181,6 +181,11 @@ pub struct QueryMetrics {
     pub ds_misses: Arc<Counter>,
     /// `vmqs_ds_evictions_total`
     pub ds_evictions: Arc<Counter>,
+    /// `vmqs_ds_spills_total` — entries demoted to the tier-2 spill
+    /// store instead of dropped (DESIGN.md §14).
+    pub ds_spills: Arc<Counter>,
+    /// `vmqs_ds_restores_total` — entries re-heated from tier 2.
+    pub ds_restores: Arc<Counter>,
     /// `vmqs_queue_wait_seconds`
     pub queue_wait: Arc<Histogram>,
     /// `vmqs_service_time_seconds`
@@ -202,6 +207,8 @@ impl QueryMetrics {
             ds_partial_hits: reg.counter("vmqs_ds_partial_hits_total"),
             ds_misses: reg.counter("vmqs_ds_misses_total"),
             ds_evictions: reg.counter("vmqs_ds_evictions_total"),
+            ds_spills: reg.counter("vmqs_ds_spills_total"),
+            ds_restores: reg.counter("vmqs_ds_restores_total"),
             queue_wait: reg.histogram("vmqs_queue_wait_seconds"),
             service_time: reg.histogram("vmqs_service_time_seconds"),
         }

@@ -78,7 +78,10 @@ pub fn timelines(events: &[EventRecord]) -> Vec<QueryTimeline> {
             EventKind::Rejected { .. } => t.terminal = Some((Terminal::Rejected, e.time)),
             EventKind::Shed => t.terminal = Some((Terminal::Shed, e.time)),
             EventKind::Grafted { .. } => t.grafted = true,
-            EventKind::SubquerySpawned { .. } | EventKind::Evicted => {}
+            EventKind::SubquerySpawned { .. }
+            | EventKind::Evicted { .. }
+            | EventKind::Spilled { .. }
+            | EventKind::Restored { .. } => {}
         }
     }
     map.into_values().collect()

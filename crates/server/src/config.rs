@@ -1,9 +1,11 @@
 //! Server configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 use vmqs_core::{OverloadConfig, Strategy};
 use vmqs_datastore::EvictionPolicy;
 use vmqs_pagespace::RetryPolicy;
+use vmqs_storage::FaultConfig;
 
 /// Configuration of the multithreaded query server.
 ///
@@ -11,7 +13,7 @@ use vmqs_pagespace::RetryPolicy;
 /// strategy, the size of the query thread pool ("the maximum number of
 /// concurrent queries allowed in the system"), and the memory allotted to
 /// the Data Store and Page Space managers.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Ranking strategy for the scheduling graph.
     pub strategy: Strategy,
@@ -63,6 +65,21 @@ pub struct ServerConfig {
     /// producer-affinity order so a consumer never runs ahead of a
     /// same-predicate producer. Disabled by default.
     pub graft: bool,
+    /// Directory for the tier-2 spill store (DESIGN.md §14). `None`
+    /// disables spilling regardless of [`ServerConfig::tier2_budget`]:
+    /// the threaded engine cannot demote entries without somewhere to
+    /// persist them.
+    pub spill_dir: Option<PathBuf>,
+    /// Tier-2 spill budget in bytes (0 disables the spill tier). Eviction
+    /// victims then demote to the RESTORABLE phase instead of dropping,
+    /// until tier 2 itself overflows; the Data Store and Page Space share
+    /// one tiered byte budget, with tier 2 charged entirely to the DS
+    /// side (pages re-fetch at device cost anyway, results don't).
+    pub tier2_budget: u64,
+    /// Fault injection for tier-2 *reads* (restore path). Independent of
+    /// the page-read injector so tests can poison spill frames without
+    /// perturbing page I/O.
+    pub spill_fault: FaultConfig,
 }
 
 impl ServerConfig {
@@ -85,6 +102,9 @@ impl ServerConfig {
             overload: OverloadConfig::default(),
             steal_seed: 0x05ee_d0f5_7ea1,
             graft: false,
+            spill_dir: None,
+            tier2_budget: 0,
+            spill_fault: FaultConfig::none(),
         }
     }
 
@@ -180,6 +200,36 @@ impl ServerConfig {
         self
     }
 
+    /// Builder-style cache-policy override — the `--cache-policy` flag's
+    /// name for [`ServerConfig::with_ds_policy`].
+    pub fn with_cache_policy(self, p: EvictionPolicy) -> Self {
+        self.with_ds_policy(p)
+    }
+
+    /// Builder-style spill-directory override (`None` disables spilling).
+    pub fn with_spill_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.spill_dir = dir;
+        self
+    }
+
+    /// Builder-style tier-2 budget override (bytes; 0 disables).
+    pub fn with_tier2_budget(mut self, bytes: u64) -> Self {
+        self.tier2_budget = bytes;
+        self
+    }
+
+    /// Builder-style tier-2 read-fault override.
+    pub fn with_spill_faults(mut self, fault: FaultConfig) -> Self {
+        self.spill_fault = fault;
+        self
+    }
+
+    /// True when this configuration actually spills: a directory *and* a
+    /// nonzero tier-2 budget are both required.
+    pub fn spill_enabled(&self) -> bool {
+        self.spill_dir.is_some() && self.tier2_budget > 0
+    }
+
     /// Builder-style admission bound (`0` = unbounded).
     pub fn with_max_pending(mut self, n: usize) -> Self {
         self.overload.max_pending = n;
@@ -267,5 +317,29 @@ mod tests {
         assert_eq!(c.overload.shed_threshold, 0.9);
         let via_struct = ServerConfig::small().with_overload(c.overload);
         assert_eq!(via_struct.overload, c.overload);
+    }
+
+    #[test]
+    fn spill_builders_compose_and_default_off() {
+        let base = ServerConfig::small();
+        assert!(!base.spill_enabled(), "spilling is opt-in");
+        assert!(base.spill_dir.is_none() && base.tier2_budget == 0);
+        // Both knobs are required: a budget without a directory (or the
+        // reverse) leaves spilling off.
+        assert!(!ServerConfig::small()
+            .with_tier2_budget(1 << 20)
+            .spill_enabled());
+        assert!(!ServerConfig::small()
+            .with_spill_dir(Some(PathBuf::from("/tmp/x")))
+            .spill_enabled());
+        let c = ServerConfig::small()
+            .with_cache_policy(EvictionPolicy::CostBased)
+            .with_spill_dir(Some(PathBuf::from("/tmp/x")))
+            .with_tier2_budget(1 << 20)
+            .with_spill_faults(FaultConfig::none().with_permanent(0.1));
+        assert!(c.spill_enabled());
+        assert_eq!(c.ds_policy, EvictionPolicy::CostBased);
+        assert_eq!(c.tier2_budget, 1 << 20);
+        assert_eq!(c.spill_fault.permanent_rate, 0.1);
     }
 }

@@ -94,7 +94,7 @@ use vmqs_datastore::{DsStats, EvictionRecord, Payload, Phase, SpatialDataStore};
 use vmqs_microscope::PAGE_SIZE;
 use vmqs_obs::{EventBuffer, EventKind, EventRecord, MetricsSnapshot, Obs, QueryMetrics};
 use vmqs_pagespace::PsStats;
-use vmqs_storage::DataSource;
+use vmqs_storage::{DataSource, SpillStore};
 
 /// A query's reply channel.
 type ReplyTx<S> = Sender<Result<QueryResult<S>, ServerError>>;
@@ -140,6 +140,14 @@ struct ShardState<S: SpatialSpec> {
     /// Queries downgraded to their cheaper plan at admission; consumed at
     /// dequeue to stamp `degraded` on the record.
     degraded: HashSet<QueryId>,
+    /// Blobs evicted before their producer finished its own completion
+    /// bookkeeping. A cost-based victim can be the *lowest-scoring* entry
+    /// — including one committed moments ago by a producer still
+    /// EXECUTING in the graph (recency policies never pick it: a fresh
+    /// commit has the newest stamp). The evictor leaves a tombstone here
+    /// instead of transitioning the producer; the producer consumes it
+    /// under the same shard lock and swaps itself out.
+    dead_blobs: HashSet<BlobId>,
 }
 
 /// One scheduling shard: a worker's home scheduling graph plus the
@@ -165,6 +173,7 @@ impl<S: SpatialSpec> Shard<S> {
                 submit_time: HashMap::new(),
                 blocked_fallbacks: 0,
                 degraded: HashSet::new(),
+                dead_blobs: HashSet::new(),
             }),
             depth: AtomicUsize::new(0),
             done_cv: Condvar::new(),
@@ -193,6 +202,11 @@ struct Core<A: AppExecutor> {
     /// case) share the read side; insert/evict takes the write side.
     /// Global, so result reuse crosses shard boundaries.
     store: RwLock<SpatialDataStore<A::Spec>>,
+    /// The tier-2 spill store (DESIGN.md §14), present only when the
+    /// config enables spilling. Frames are written and read back *inside*
+    /// the store's write-lock critical sections, so a RESTORABLE entry
+    /// observable by any thread always has an on-disk copy.
+    spill: Option<SpillStore>,
     /// Completed-query records, off the hot path.
     metrics: Mutex<Vec<QueryRecord<A::Spec>>>,
     /// Eventcount-style idle list: workers park here when every shard is
@@ -283,8 +297,24 @@ impl QueryServer<VmExecutor> {
 impl<A: AppExecutor> QueryServer<A> {
     /// Starts a server for any application executor.
     pub fn with_app(cfg: ServerConfig, app: A, source: Arc<dyn DataSource>) -> Self {
+        let num_threads = cfg.num_threads;
         let obs = Arc::new(Obs::new(cfg.observe));
         let qmet = QueryMetrics::resolve(&obs.metrics);
+        // The tier-2 spill store (DESIGN.md §14): requires both a
+        // directory and a nonzero budget. An unusable spill directory is
+        // a construction-time configuration error, like a zero-size pool.
+        let spill = cfg.spill_enabled().then(|| {
+            // Construction-time config validation, not a worker path: an
+            // unusable spill configuration fails server startup loudly
+            // (like a zero-thread pool), never a query.
+            // lint:allow(unwrap): spill_enabled() implies the dir is Some
+            let dir = cfg.spill_dir.clone().expect("spill_enabled implies dir");
+            // lint:allow(unwrap): startup-time directory creation
+            SpillStore::new(dir)
+                .expect("spill directory must be creatable")
+                .with_faults(cfg.spill_fault)
+        });
+        let tier2_budget = if spill.is_some() { cfg.tier2_budget } else { 0 };
         let core = Arc::new(Core {
             shards: (0..cfg.num_threads)
                 .map(|_| Shard::new(cfg.strategy))
@@ -292,11 +322,11 @@ impl<A: AppExecutor> QueryServer<A> {
             admission: Mutex::new(AdmissionState {
                 buckets: HashMap::new(),
             }),
-            store: RwLock::new(SpatialDataStore::with_policy(
-                cfg.ds_budget,
-                cfg.index_cell,
-                cfg.ds_policy,
-            )),
+            store: RwLock::new(
+                SpatialDataStore::with_policy(cfg.ds_budget, cfg.index_cell, cfg.ds_policy)
+                    .with_tier2(tier2_budget),
+            ),
+            spill,
             metrics: Mutex::new(Vec::new()),
             idle: Mutex::new(()),
             work_cv: Condvar::new(),
@@ -346,7 +376,7 @@ impl<A: AppExecutor> QueryServer<A> {
         // panicking (stealing keeps orphaned shards serviced). Zero
         // workers would strand every accepted query, so that case (and
         // only that case) is a hard startup failure.
-        let workers: Vec<_> = (0..cfg.num_threads)
+        let workers: Vec<_> = (0..num_threads)
             .filter_map(|i| {
                 let core = Arc::clone(&core);
                 std::thread::Builder::new()
@@ -736,6 +766,10 @@ impl<A: AppExecutor> QueryServer<A> {
         out.io_faults = ps.read_faults;
         out.io_retries = ps.read_retries;
         out.failed_reads = ps.failed_reads;
+        let ds = self.core.store.read().stats();
+        out.spilled = ds.spilled;
+        out.restored = ds.restored;
+        out.restore_failures = ds.restore_failures;
         out
     }
 
@@ -833,6 +867,11 @@ impl<A: AppExecutor> QueryServer<A> {
             .obs
             .metrics
             .set_gauge("vmqs_ps_merge_ratio", merge_ratio);
+        let tier2 = self.core.store.read().tier2_used();
+        self.core
+            .obs
+            .metrics
+            .set_gauge("vmqs_ds_tier2_used_bytes", tier2 as f64);
         self.core.obs.metrics.snapshot()
     }
 
@@ -1156,7 +1195,12 @@ fn run_one<A: AppExecutor>(core: &Core<A>, me: usize, job: Job<A::Spec>) {
             let size = core.app.output_len(&spec) as u64;
             let n = core.shards.len();
             let mut evicted: Vec<EvictionRecord<A::Spec>> = Vec::new();
-            let cached = {
+            // Measured recomputation cost: the wall seconds this worker
+            // spent producing the result (I/O + kernel + blocked time).
+            // Seeds the entry's benefit score under the cost-based
+            // policy; the legacy policies carry it but never read it.
+            let cost = (finished - started).as_secs_f64();
+            let (cached, spills) = {
                 let mut ds = core.store.write();
                 // A full compute landing next to an already-visible
                 // equivalent result is work a perfect co-scheduler would
@@ -1166,23 +1210,29 @@ fn run_one<A: AppExecutor>(core: &Core<A>, me: usize, job: Job<A::Spec>) {
                 if out.path == AnswerPath::FullCompute && ds.has_equivalent(&spec) {
                     core.duplicate_full_computes.fetch_add(1, Ordering::Relaxed);
                 }
-                match out.reserved {
+                let cached = match out.reserved {
                     // Commit the pre-reserved SUBSCRIBABLE entry in
                     // place: subscribers that grafted onto it mid-flight
                     // read exactly these bytes. Space was accounted at
                     // reservation, so no eviction happens here.
                     Some(blob) => {
-                        ds.commit(blob, Payload::Bytes(Arc::clone(&out.image)));
+                        ds.commit_costed(blob, Payload::Bytes(Arc::clone(&out.image)), cost);
                         Ok(blob)
                     }
-                    None => ds.insert(
+                    None => ds.insert_costed(
                         id,
                         spec,
                         size,
+                        cost,
                         Payload::Bytes(Arc::clone(&out.image)),
                         &mut evicted,
                     ),
-                }
+                };
+                // Persist any demotions inside this same critical
+                // section: no thread may observe a RESTORABLE entry
+                // whose frame is not on disk yet.
+                let spills = drain_spills(core, &mut ds, &mut evicted);
+                (cached, spills)
             };
             // Publish-epoch bump *before* `done_cv` wakes dependency
             // blockers (in `finish_one`), so a woken waiter always sees
@@ -1200,15 +1250,21 @@ fn run_one<A: AppExecutor>(core: &Core<A>, me: usize, job: Job<A::Spec>) {
                 // Evicted producers homed on this shard transition under
                 // the lock we already hold; foreign ones are routed to
                 // their home shards below (one shard lock at a time).
-                for (_, producer, vspec) in &evicted {
-                    if shard_of_spec(vspec, n) == k {
-                        s.blob_of.remove(producer);
-                        s.graph.swap_out(*producer);
+                for r in &evicted {
+                    if shard_of_spec(&r.spec, n) == k {
+                        route_one(&mut s, r);
                     }
                 }
                 match cached {
                     Ok(blob) => {
-                        s.blob_of.insert(id, blob);
+                        if s.dead_blobs.remove(&blob) {
+                            // A peer's knapsack already evicted this
+                            // result in the window between our commit
+                            // and this lock: honor its tombstone.
+                            s.graph.swap_out(id);
+                        } else {
+                            s.blob_of.insert(id, blob);
+                        }
                     }
                     Err(_) => {
                         // Result cannot be cached (budget too small):
@@ -1217,18 +1273,25 @@ fn run_one<A: AppExecutor>(core: &Core<A>, me: usize, job: Job<A::Spec>) {
                     }
                 }
             }
-            for (_, producer, vspec) in &evicted {
-                let home = shard_of_spec(vspec, n);
+            for r in &evicted {
+                let home = shard_of_spec(&r.spec, n);
                 if home != k {
                     let mut s = core.shards[home].state.lock();
-                    s.blob_of.remove(producer);
-                    s.graph.swap_out(*producer);
+                    route_one(&mut s, r);
                 }
             }
-            for (_, producer, _) in evicted {
-                core.buf_push(me, producer, EventKind::Evicted);
+            for r in evicted {
+                core.buf_push(
+                    me,
+                    r.producer,
+                    EventKind::Evicted {
+                        tier: r.tier,
+                        score: r.score,
+                    },
+                );
                 core.qmet.ds_evictions.inc();
             }
+            emit_spills(core, me, spills);
             match out.path {
                 AnswerPath::ExactHit => core.qmet.ds_exact_hits.inc(),
                 AnswerPath::PartialReuse => core.qmet.ds_partial_hits.inc(),
@@ -1420,6 +1483,15 @@ fn execute_query<A: AppExecutor>(
         return Ok(exact_outcome(bytes, blocked));
     }
 
+    // Step 1b — tier-2 re-heat (DESIGN.md §14): no exact match resident,
+    // but a spilled entry may cover this query exactly. Restoring it
+    // costs a disk read instead of a recompute. A failed read (poisoned
+    // or corrupt frame) drops the entry and falls through to the normal
+    // compute path via the typed-error machinery — never a worker panic.
+    if let Some(bytes) = try_restore(core, me, id, &spec) {
+        return Ok(exact_outcome(bytes, blocked));
+    }
+
     // Step 2a — grafting (DESIGN.md §13): probe for an in-flight peer
     // whose eventual result covers this query, subscribe to its
     // SUBSCRIBABLE reservation, and consume the published bytes instead
@@ -1585,12 +1657,13 @@ fn execute_query<A: AppExecutor>(
     if core.cfg.graft {
         let mut evicted: Vec<EvictionRecord<A::Spec>> = Vec::new();
         let size = core.app.output_len(&spec) as u64;
-        reserved = core
-            .store
-            .write()
-            .reserve_subscribable(id, spec, size, &mut evicted)
-            .ok();
+        let spills = {
+            let mut ds = core.store.write();
+            reserved = ds.reserve_subscribable(id, spec, size, &mut evicted).ok();
+            drain_spills(core, &mut ds, &mut evicted)
+        };
         route_evictions(core, me, evicted);
+        emit_spills(core, me, spills);
     }
     // Every early exit below this point must abort the reservation, or
     // subscribers would wait on an entry no one will ever commit.
@@ -1696,6 +1769,22 @@ fn execute_query<A: AppExecutor>(
     })
 }
 
+/// Routes one eviction record under its home shard's lock: a producer
+/// already CACHED transitions to SWAPPED_OUT; a producer still
+/// EXECUTING — its freshly committed result lost the knapsack before
+/// its own completion bookkeeping ran, a window only the cost-based
+/// policy can hit (recency policies never pick the newest stamp) —
+/// gets a `dead_blobs` tombstone it consumes itself, since `swap_out`
+/// on an EXECUTING node would corrupt the graph.
+fn route_one<S: SpatialSpec>(s: &mut ShardState<S>, r: &EvictionRecord<S>) {
+    if s.graph.state_of(r.producer) == Some(QueryState::Cached) {
+        s.blob_of.remove(&r.producer);
+        s.graph.swap_out(r.producer);
+    } else {
+        s.dead_blobs.insert(r.blob);
+    }
+}
+
 /// Transitions evicted producers to SWAPPED_OUT on their home shards
 /// (one shard lock at a time) and emits their eviction events — the
 /// out-of-line sibling of `run_one`'s inline publish-path routing, for
@@ -1706,16 +1795,144 @@ fn route_evictions<A: AppExecutor>(
     evicted: Vec<EvictionRecord<A::Spec>>,
 ) {
     let n = core.shards.len();
-    for (_, producer, vspec) in &evicted {
-        let home = shard_of_spec(vspec, n);
+    for r in &evicted {
+        let home = shard_of_spec(&r.spec, n);
         let mut s = core.shards[home].state.lock();
-        s.blob_of.remove(producer);
-        s.graph.swap_out(*producer);
+        route_one(&mut s, r);
     }
-    for (_, producer, _) in evicted {
-        core.buf_push(me, producer, EventKind::Evicted);
+    for r in evicted {
+        core.buf_push(
+            me,
+            r.producer,
+            EventKind::Evicted {
+                tier: r.tier,
+                score: r.score,
+            },
+        );
         core.qmet.ds_evictions.inc();
     }
+}
+
+/// Persists freshly demoted entries to the tier-2 store and deletes the
+/// frames of entries dropped *from* tier 2. Must run inside the caller's
+/// store write-lock critical section, so no thread can observe a
+/// RESTORABLE entry whose on-disk frame does not exist yet. A frame that
+/// cannot be written turns its demotion into a drop (the entry joins
+/// `evicted` and its producer is swapped out like any other victim).
+/// Returns `(producer, bytes)` pairs for `Spilled` event emission after
+/// the lock is released.
+fn drain_spills<A: AppExecutor>(
+    core: &Core<A>,
+    ds: &mut SpatialDataStore<A::Spec>,
+    evicted: &mut Vec<EvictionRecord<A::Spec>>,
+) -> Vec<(QueryId, u64)> {
+    let mut out = Vec::new();
+    let Some(spill) = &core.spill else {
+        debug_assert!(
+            ds.take_pending_spills().is_empty(),
+            "tier-2 budget configured without a spill store"
+        );
+        return out;
+    };
+    for req in ds.take_pending_spills() {
+        let written = match &req.payload {
+            Payload::Bytes(b) => spill.write(req.blob, b).is_ok(),
+            // A FULL entry in the threaded engine always carries bytes;
+            // anything else cannot be restored later, so drop it.
+            Payload::Virtual => false,
+        };
+        if written {
+            out.push((req.producer, req.size));
+        } else if let Some(rec) = ds.drop_restorable(req.blob) {
+            evicted.push(rec);
+        }
+    }
+    // Hygiene: entries dropped from tier 2 leave no frame behind. (Drops
+    // within this same eviction pass cancelled their pending write above
+    // and never had a frame; this cleans up frames from earlier passes.)
+    for r in evicted.iter().filter(|r| r.tier == 2) {
+        let _ = spill.remove(r.blob);
+    }
+    out
+}
+
+/// Emits `Spilled` events and counters for `drain_spills` results —
+/// outside the store lock.
+fn emit_spills<A: AppExecutor>(core: &Core<A>, me: usize, spills: Vec<(QueryId, u64)>) {
+    for (producer, bytes) in spills {
+        core.buf_push(me, producer, EventKind::Spilled { bytes });
+        core.qmet.ds_spills.inc();
+    }
+}
+
+/// Attempts to answer `spec` from the tier-2 spill store: finds a
+/// RESTORABLE entry whose predicate `cmp`-matches exactly, re-reads its
+/// frame, and promotes it back to FULL. The re-probe, disk read, and
+/// promotion all happen under the store's write lock so a restore cannot
+/// race another restore, a drop, or an eviction pass over the same entry.
+/// Returns the restored bytes, or `None` to fall back to the ordinary
+/// compute path (no candidate, unreadable frame, or tier-1 space could
+/// not be freed). An unreadable frame drops the entry for good — the
+/// typed-error fallback the fault sweep exercises.
+fn try_restore<A: AppExecutor>(
+    core: &Core<A>,
+    me: usize,
+    id: QueryId,
+    spec: &A::Spec,
+) -> Option<Arc<[u8]>> {
+    let spill = core.spill.as_ref()?;
+    // Cheap read-lock probe first: the common case is "nothing spilled
+    // matches", which must not serialize on the write lock.
+    core.store.read().lookup_restorable_exact(spec)?;
+    let mut evicted: Vec<EvictionRecord<A::Spec>> = Vec::new();
+    let mut restored: Option<(QueryId, Arc<[u8]>, u64)> = None;
+    let spills = {
+        let mut ds = core.store.write();
+        // Re-probe under the write lock: a peer may have restored or
+        // dropped the candidate while this thread upgraded.
+        let (blob, producer, size) = ds.lookup_restorable_exact(spec)?;
+        match spill.read(blob) {
+            Ok(bytes) => {
+                let payload: Arc<[u8]> = bytes.into();
+                if ds.restore(blob, Payload::Bytes(Arc::clone(&payload)), &mut evicted) {
+                    // Tier 1 owns the entry again; its frame is dead.
+                    let _ = spill.remove(blob);
+                    restored = Some((producer, payload, size));
+                }
+                // On a false return the query recomputes: either tier 1
+                // could not make room (the entry stays RESTORABLE with
+                // its frame intact), or making room overflowed tier 2
+                // and the shrink dropped this very entry (its eviction
+                // record is in `evicted`; the drain below removes the
+                // dead frame).
+            }
+            Err(_) => {
+                // Poisoned or corrupt frame: unreadable for good. Drop
+                // the entry and recompute through the ordinary path.
+                if let Some(rec) = ds.drop_restorable(blob) {
+                    evicted.push(rec);
+                }
+                let _ = spill.remove(blob);
+            }
+        }
+        // Making room in tier 1 may itself have demoted entries.
+        drain_spills(core, &mut ds, &mut evicted)
+    };
+    route_evictions(core, me, evicted);
+    emit_spills(core, me, spills);
+    let (producer, bytes, size) = restored?;
+    core.buf_push(me, producer, EventKind::Restored { bytes: size });
+    core.qmet.ds_restores.inc();
+    core.buf_push(
+        me,
+        id,
+        EventKind::LookupHit {
+            source: producer,
+            overlap: 1.0,
+            exact: true,
+        },
+    );
+    Some(bytes)
 }
 
 #[cfg(test)]
@@ -2330,5 +2547,140 @@ mod tests {
         assert_eq!((sum.timed_out, sum.completed), (1, 0));
         s.check_invariants();
         s.shutdown();
+    }
+
+    /// Unique per-test spill directory without wall-clock or RNG (banned
+    /// by the workspace lints): process id + an atomic counter.
+    fn spill_tmpdir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("vmqs-engine-{}-{tag}-{n}", std::process::id()))
+    }
+
+    /// A tier-1 budget that holds exactly one 128×128 RGB result (49 152
+    /// bytes), so the second insert always demotes the first, plus a
+    /// roomy tier-2 — the minimal spill-pressure configuration.
+    fn spill_cfg(tag: &str) -> (ServerConfig, std::path::PathBuf) {
+        let dir = spill_tmpdir(tag);
+        let cfg = ServerConfig::small()
+            .with_threads(1)
+            .with_cache_policy(vmqs_datastore::EvictionPolicy::CostBased)
+            .with_ds_budget(50_000)
+            .with_spill_dir(Some(dir.clone()))
+            .with_tier2_budget(1 << 20);
+        (cfg, dir)
+    }
+
+    #[test]
+    fn spilled_entry_restores_as_exact_hit() {
+        let (cfg, dir) = spill_cfg("restore");
+        let s = server(cfg.with_observability(true));
+        let a = q(0, 0, 128, 128, 1, VmOp::Subsample);
+        let b = q(200, 200, 128, 128, 1, VmOp::Subsample);
+        s.submit(a).wait().unwrap();
+        s.submit(b).wait().unwrap();
+        assert!(
+            s.summary().spilled >= 1,
+            "making room for b must demote a to tier 2, not drop it"
+        );
+        let res = s.submit(a).wait().unwrap();
+        // Re-heated from disk: an exact hit that read no pages.
+        assert_eq!(res.record.path, AnswerPath::ExactHit);
+        assert_eq!(res.record.pages_requested, 0);
+        assert_eq!(res.record.covered_fraction, 1.0);
+        assert_eq!(*res.image, reference_render(&a).data);
+        let sum = s.summary();
+        assert_eq!(sum.restored, 1);
+        assert_eq!(sum.restore_failures, 0);
+        let ev = s.events();
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Spilled { bytes } if bytes == 49_152)));
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Restored { bytes } if bytes == 49_152)));
+        let m = s.metrics();
+        assert!(m.gauges["vmqs_ds_tier2_used_bytes"] > 0.0);
+        s.check_invariants();
+        s.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn poisoned_tier2_read_falls_back_to_recompute() {
+        use vmqs_storage::FaultConfig;
+        let (cfg, dir) = spill_cfg("poison");
+        // Every tier-2 read fails: the restore path must drop the entry
+        // through the typed-error fallback and recompute — never panic.
+        let s = server(cfg.with_spill_faults(FaultConfig::none().with_permanent(1.0)));
+        let a = q(0, 0, 128, 128, 1, VmOp::Subsample);
+        let b = q(200, 200, 128, 128, 1, VmOp::Subsample);
+        s.submit(a).wait().unwrap();
+        s.submit(b).wait().unwrap();
+        assert!(s.summary().spilled >= 1);
+        let res = s.submit(a).wait().unwrap();
+        assert_eq!(res.record.path, AnswerPath::FullCompute);
+        assert_eq!(*res.image, reference_render(&a).data);
+        let sum = s.summary();
+        assert_eq!((sum.restored, sum.restore_failures), (0, 1));
+        s.check_invariants();
+        s.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn spill_frames_are_cleaned_up_as_entries_leave_tier2() {
+        let (cfg, dir) = spill_cfg("hygiene");
+        let s = server(cfg);
+        // Cycle enough distinct queries that entries spill, restore, and
+        // get re-demoted; every frame on disk must belong to a live
+        // tier-2 resident (tier2_used bytes account for all of them).
+        for i in 0..4u32 {
+            s.submit(q(i * 130, 0, 128, 128, 1, VmOp::Subsample))
+                .wait()
+                .unwrap();
+        }
+        let frames = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "spill")
+            })
+            .count() as u64;
+        let tier2_used = s.core.store.read().tier2_used();
+        assert!(tier2_used > 0, "pressure must have demoted something");
+        assert_eq!(
+            frames * 49_152,
+            tier2_used,
+            "one frame per tier-2 resident, no orphans"
+        );
+        s.check_invariants();
+        s.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn legacy_lru_policy_with_spill_also_demotes() {
+        // Spilling is orthogonal to the scoring policy: LRU victims are
+        // demoted too once a tier-2 store is configured, so the legacy
+        // policy keeps its victim choice but stops losing data.
+        let (cfg, dir) = spill_cfg("lru");
+        let s = server(cfg.with_cache_policy(vmqs_datastore::EvictionPolicy::Lru));
+        let a = q(0, 0, 128, 128, 1, VmOp::Subsample);
+        s.submit(a).wait().unwrap();
+        s.submit(q(200, 200, 128, 128, 1, VmOp::Subsample))
+            .wait()
+            .unwrap();
+        let res = s.submit(a).wait().unwrap();
+        assert_eq!(res.record.path, AnswerPath::ExactHit);
+        assert_eq!(*res.image, reference_render(&a).data);
+        assert_eq!(s.summary().restored, 1);
+        s.check_invariants();
+        s.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -125,6 +125,15 @@ pub struct ServerSummary {
     pub shed: usize,
     /// Completed queries that ran at degraded quality.
     pub degraded: usize,
+    /// Data Store entries demoted to the tier-2 spill store (DESIGN.md
+    /// §14) instead of dropped.
+    pub spilled: u64,
+    /// Spilled entries re-heated from tier 2 — each one an exact hit that
+    /// cost a disk read instead of a recompute.
+    pub restored: u64,
+    /// Tier-2 reads that failed (poisoned or corrupt frame); the entry
+    /// was dropped and the query fell back to recomputation.
+    pub restore_failures: u64,
 }
 
 #[cfg(test)]

@@ -327,3 +327,97 @@ fn faults_and_timeouts_compose() {
     assert_eq!(sum.completed + sum.failed + sum.timed_out, QUERIES);
     server.shutdown();
 }
+
+/// Unique per-process temp directory for the tier-2 spill store (the
+/// determinism lints ban wall-clock naming schemes).
+fn spill_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("vmqs-faults-{}-{tag}-{n}", std::process::id()))
+}
+
+/// Tier-2 poison sweep (DESIGN.md §14): a tight tier-1 budget demotes
+/// warm results to the spill store, the workload is replayed so the
+/// repeats try to re-heat them, and a fraction of tier-2 frame reads is
+/// permanently poisoned. The contract: a poisoned restore falls back to
+/// recomputation through the typed-error path — no query ever *fails*
+/// because tier 2 lied, answers stay byte-exact, and the engine's
+/// accounting balances at full worker parallelism.
+fn run_tier2_poison_sweep(rate: f64, threads: usize, seed: u64) {
+    let specs = workload();
+    let dir = spill_dir("sweep");
+    let fault = FaultConfig {
+        seed,
+        ..FaultConfig::none().with_permanent(rate)
+    };
+    let cfg = ServerConfig::small()
+        .with_threads(threads)
+        // Tier 1 far smaller than the working set, tier 2 roomy: victims
+        // spill instead of dropping, and spilled frames survive until the
+        // replay pass asks for them back.
+        .with_ds_budget(128 << 10)
+        .with_cache_policy(vmqs_datastore::EvictionPolicy::CostBased)
+        .with_spill_dir(Some(dir.clone()))
+        .with_tier2_budget(4 << 20)
+        .with_spill_faults(fault);
+    let server = QueryServer::new(cfg, Arc::new(SyntheticSource::new()));
+    for pass in 0..2 {
+        for (h, spec) in server
+            .submit_batch(specs.iter().copied())
+            .into_iter()
+            .zip(&specs)
+        {
+            let res = h.wait().unwrap_or_else(|e| {
+                panic!("rate {rate} pass {pass}: a poisoned tier-2 frame must recompute, got {e}")
+            });
+            assert_eq!(
+                *res.image,
+                reference_render(spec).data,
+                "rate {rate} pass {pass}: answer for {spec:?} diverged"
+            );
+        }
+    }
+    server.check_invariants();
+    let sum = server.summary();
+    assert_eq!(
+        sum.completed,
+        2 * QUERIES,
+        "rate {rate}: every query completes"
+    );
+    assert_eq!(
+        sum.failed, 0,
+        "rate {rate}: tier-2 faults must never fail a query"
+    );
+    assert!(
+        sum.spilled >= 1,
+        "rate {rate}: pressure must demote entries to tier 2"
+    );
+    if rate == 0.0 {
+        assert_eq!(sum.restore_failures, 0, "clean tier 2 must not fail reads");
+        assert!(
+            sum.restored >= 1,
+            "replayed repeats must re-heat at least one spilled entry"
+        );
+    }
+    if rate >= 1.0 {
+        assert_eq!(
+            sum.restored, 0,
+            "every tier-2 read poisoned: nothing can restore"
+        );
+        assert!(
+            sum.restore_failures >= 1,
+            "the replay pass must hit a poisoned frame"
+        );
+    }
+    // shutdown() panics if any worker thread panicked during the run.
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn tier2_poison_sweep_falls_back_to_recompute() {
+    for &rate in &[0.0f64, 0.5, 1.0] {
+        run_tier2_poison_sweep(rate, 8, 0x7E2 + (rate * 8.0) as u64);
+    }
+}

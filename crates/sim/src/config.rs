@@ -138,6 +138,15 @@ pub struct SimConfig {
     /// producer-affinity order so a consumer never starts ahead of a
     /// same-predicate producer. Disabled by default.
     pub graft: bool,
+    /// Tier-2 spill budget in bytes (DESIGN.md §14). When nonzero, Data
+    /// Store victims are demoted to a virtual disk tier instead of
+    /// dropped; a later exact-match lookup re-heats them at one disk
+    /// service time (charged in virtual time) instead of recompute cost.
+    /// Tier-2 reads draw permanent faults from [`SimConfig::fault`] keyed
+    /// on the reserved spill device, so poisoned restores fall back to
+    /// recomputation exactly like the threaded engine. 0 disables (the
+    /// paper's single-tier configuration).
+    pub tier2_budget: u64,
 }
 
 impl SimConfig {
@@ -167,6 +176,7 @@ impl SimConfig {
             gate_batch_start: false,
             overload: OverloadConfig::default(),
             graft: false,
+            tier2_budget: 0,
         }
     }
 
@@ -273,6 +283,18 @@ impl SimConfig {
         self.graft = on;
         self
     }
+
+    /// Builder-style tier-2 spill-budget override (bytes; 0 disables).
+    pub fn with_tier2_budget(mut self, b: u64) -> Self {
+        self.tier2_budget = b;
+        self
+    }
+
+    /// Builder-style cache-policy override — the `--cache-policy` flag's
+    /// name for [`SimConfig::with_ds_policy`].
+    pub fn with_cache_policy(self, p: vmqs_datastore::EvictionPolicy) -> Self {
+        self.with_ds_policy(p)
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +333,16 @@ mod tests {
         assert!(!SimConfig::paper_baseline().gate_batch_start);
         assert!(!SimConfig::paper_baseline().graft, "grafting is opt-in");
         assert!(SimConfig::paper_baseline().with_graft(true).graft);
+        assert_eq!(
+            SimConfig::paper_baseline().tier2_budget,
+            0,
+            "the paper's configuration is single-tier"
+        );
+        let c3 = SimConfig::paper_baseline()
+            .with_tier2_budget(1 << 30)
+            .with_cache_policy(vmqs_datastore::EvictionPolicy::CostBased);
+        assert_eq!(c3.tier2_budget, 1 << 30);
+        assert_eq!(c3.ds_policy, vmqs_datastore::EvictionPolicy::CostBased);
     }
 
     #[test]

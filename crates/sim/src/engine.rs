@@ -30,10 +30,11 @@ use vmqs_core::{
     shed_victim, BlobId, ClientId, IdGen, PressureSignals, QueryId, QuerySpec, QueryState,
     SchedulingGraph, Strategy, TokenBucket,
 };
-use vmqs_datastore::{Payload, SpatialDataStore};
+use vmqs_datastore::{EvictionRecord, Payload, SpatialDataStore};
 use vmqs_microscope::PAGE_SIZE;
 use vmqs_obs::{EventKind, Obs, PageMetrics, QueryMetrics};
 use vmqs_pagespace::{PageCacheCore, PageData, PageDisposition, PageKey};
+use vmqs_storage::SPILL_DEVICE;
 
 struct QInfo<S> {
     client: ClientId,
@@ -156,6 +157,10 @@ pub struct Simulator<A: SimApplication> {
     trace: Vec<TraceEvent>,
     io_faults: u64,
     io_retries: u64,
+    spilled: u64,
+    restored: u64,
+    restore_failures: u64,
+    recomputed_bytes: u64,
     /// Per-client token buckets for the admission rate limiter, refilled
     /// in virtual time (the threaded engine refills the same bucket code
     /// in real time).
@@ -224,7 +229,8 @@ impl<A: SimApplication> Simulator<A> {
         Simulator {
             app,
             graph: SchedulingGraph::new(cfg.strategy),
-            ds: SpatialDataStore::with_policy(cfg.ds_budget, cfg.index_cell, cfg.ds_policy),
+            ds: SpatialDataStore::with_policy(cfg.ds_budget, cfg.index_cell, cfg.ds_policy)
+                .with_tier2(cfg.tier2_budget),
             ps: PageCacheCore::new(cfg.ps_budget, PAGE_SIZE as u64),
             page_ready: HashMap::new(),
             disk: DiskQueue::with_servers(cfg.disk, cfg.n_disks),
@@ -248,6 +254,10 @@ impl<A: SimApplication> Simulator<A> {
             trace: Vec::new(),
             io_faults: 0,
             io_retries: 0,
+            spilled: 0,
+            restored: 0,
+            restore_failures: 0,
+            recomputed_bytes: 0,
             buckets: HashMap::new(),
             degraded_ids: HashSet::new(),
             rejected: 0,
@@ -334,6 +344,10 @@ impl<A: SimApplication> Simulator<A> {
             shed: self.shed,
             degraded: self.degraded,
             grafted: self.grafted,
+            spilled: self.spilled,
+            restored: self.restored,
+            restore_failures: self.restore_failures,
+            recomputed_bytes: self.recomputed_bytes,
         }
     }
 
@@ -699,6 +713,48 @@ impl<A: SimApplication> Simulator<A> {
             return;
         }
 
+        // Tier-2 re-heat (DESIGN.md §14): a spilled entry `cmp`-matching
+        // this query restores at one virtual disk service time instead of
+        // recompute cost. Poisoned reads — drawn on the reserved spill
+        // device, exactly like the threaded engine's frame reads — drop
+        // the entry and fall through to recomputation.
+        if self.cfg.tier2_budget > 0 {
+            if let Some((blob, producer, size)) = self.ds.lookup_restorable_exact(&spec) {
+                if self.cfg.fault.page_is_poisoned(SPILL_DEVICE, blob.raw()) {
+                    self.restore_failures += 1;
+                    if let Some(r) = self.ds.drop_restorable(blob) {
+                        self.route_evictions(now, vec![r]);
+                    }
+                } else {
+                    let mut evicted = Vec::new();
+                    if self.ds.restore(blob, Payload::Virtual, &mut evicted) {
+                        self.restored += 1;
+                        self.qmet.ds_restores.inc();
+                        self.route_evictions(now, evicted);
+                        self.drain_spills(now);
+                        self.obs
+                            .log
+                            .log_at(now, producer, EventKind::Restored { bytes: size });
+                        self.obs.log.log_at(
+                            now,
+                            id,
+                            EventKind::LookupHit {
+                                source: producer,
+                                overlap: 1.0,
+                                exact: true,
+                            },
+                        );
+                        let io = self.cfg.disk.service_time(size);
+                        let cpu = self.app.planning_seconds();
+                        self.pending_metrics
+                            .insert(id, (1.0, spec.qoutsize(), io, cpu, true));
+                        self.events.push(now + io + cpu, Event::Completion { id });
+                        return;
+                    }
+                }
+            }
+        }
+
         // Application-specific reuse planning over the cached candidates
         // (ordered most-reusable first by the lookup).
         let cached: Vec<A::Spec> = matches
@@ -819,6 +875,42 @@ impl<A: SimApplication> Simulator<A> {
             .push(now + io_time + cpu, Event::Completion { id });
     }
 
+    /// Routes Data Store eviction records: victims leave the scheduling
+    /// graph as SWAPPED_OUT and emit `Evicted` events carrying the tier
+    /// they were lost from and their final benefit score. Demotions to
+    /// tier 2 are *not* evictions and never pass through here.
+    fn route_evictions(&mut self, now: f64, evicted: Vec<EvictionRecord<A::Spec>>) {
+        for r in evicted {
+            self.trace(now, r.producer, TraceKind::SwapOut);
+            self.blob_of.remove(&r.producer);
+            self.graph.swap_out(r.producer);
+            self.obs.log.log_at(
+                now,
+                r.producer,
+                EventKind::Evicted {
+                    tier: r.tier,
+                    score: r.score,
+                },
+            );
+            self.qmet.ds_evictions.inc();
+        }
+    }
+
+    /// Accepts the Data Store's queued demotions. The virtual tier needs
+    /// no frame write, so a demotion is just the `Spilled` event and the
+    /// counters — the simulator's analog of the threaded engine's
+    /// `drain_spills`. Producers stay CACHED in the scheduling graph: the
+    /// data still exists, one disk read away.
+    fn drain_spills(&mut self, now: f64) {
+        for req in self.ds.take_pending_spills() {
+            self.spilled += 1;
+            self.qmet.ds_spills.inc();
+            self.obs
+                .log
+                .log_at(now, req.producer, EventKind::Spilled { bytes: req.size });
+        }
+    }
+
     fn on_completion(&mut self, now: f64, id: QueryId) {
         self.trace(now, id, TraceKind::Complete);
         self.makespan = self.makespan.max(now);
@@ -828,14 +920,22 @@ impl<A: SimApplication> Simulator<A> {
             .remove(&id)
             .expect("metrics recorded at resume");
 
+        // Output bytes this query had to produce by computation rather
+        // than reuse — the cache-pressure sweep's headline metric.
+        let out = info.spec.qoutsize();
+        self.recomputed_bytes += out - reused.min(out);
+
         // Commit the result to the Data Store; evicted producers leave the
-        // scheduling graph as SWAPPED_OUT.
+        // scheduling graph as SWAPPED_OUT. The measured recomputation cost
+        // backing the benefit score is this query's virtual I/O + CPU time
+        // — what an eviction would force a future identical query to pay.
         self.graph.mark_cached(id);
         let mut evicted = Vec::new();
-        match self.ds.insert(
+        match self.ds.insert_costed(
             id,
             info.spec,
             info.spec.qoutsize(),
+            io + cpu,
             Payload::Virtual,
             &mut evicted,
         ) {
@@ -847,13 +947,8 @@ impl<A: SimApplication> Simulator<A> {
                 self.graph.swap_out(id);
             }
         }
-        for (_, producer, _) in evicted {
-            self.trace(now, producer, TraceKind::SwapOut);
-            self.blob_of.remove(&producer);
-            self.graph.swap_out(producer);
-            self.obs.log.log_at(now, producer, EventKind::Evicted);
-            self.qmet.ds_evictions.inc();
-        }
+        self.route_evictions(now, evicted);
+        self.drain_spills(now);
         self.qmet.completed.inc();
         self.qmet.service_time.observe(now - info.start);
         self.obs.log.log_at(now, id, EventKind::Completed);
@@ -1738,5 +1833,92 @@ mod tests {
         // Third window improves: keeps direction.
         t.observe(2.0);
         assert_eq!(t.observe(2.0), Some(0.5));
+    }
+
+    /// A tier-1 budget that holds exactly one result plus the disjoint
+    /// pair that forces a demotion — the minimal spill-pressure setup
+    /// (the `a, b, a` pattern: the second `a` must re-heat). Zoom 4, so
+    /// the cached output is 16× smaller than the input scan a recompute
+    /// would pay for — the regime where a disk-tier re-heat wins.
+    fn spill_pressure_cfg() -> (SimConfig, VmQuery, VmQuery) {
+        let a = q(0, 0, 2048, 4, VmOp::Subsample);
+        let b = q(4096, 4096, 2048, 4, VmOp::Subsample);
+        let size = a.qoutsize();
+        let cfg = SimConfig::paper_baseline()
+            .with_threads(1)
+            .with_cache_policy(vmqs_datastore::EvictionPolicy::CostBased)
+            .with_ds_budget(size + size / 2)
+            // Pressure on the page cache too, so a recompute really pays
+            // its input scan again — the memory-constrained regime the
+            // tier exists for.
+            .with_ps_budget(1 << 20)
+            .with_tier2_budget(1 << 30)
+            .with_observe(true);
+        (cfg, a, b)
+    }
+
+    #[test]
+    fn tier2_spill_restores_at_disk_cost() {
+        let (cfg, a, b) = spill_pressure_cfg();
+        let report = run_sim(cfg, one_client(vec![a, b, a]));
+        assert!(
+            report.spilled >= 1,
+            "b must demote a to tier 2, not drop it"
+        );
+        assert_eq!(report.restored, 1);
+        assert_eq!(report.restore_failures, 0);
+        let last = report.records.last().unwrap();
+        assert!(last.exact_hit);
+        assert!((last.covered_fraction - 1.0).abs() < 1e-12);
+        // The re-heat pays one disk read of the result, far below the
+        // original compute's page I/O.
+        assert!(last.io_time > 0.0);
+        assert!(last.io_time < report.records[0].io_time);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Spilled { .. })));
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Restored { .. })));
+
+        // Against the legacy single-tier LRU at the same memory budget,
+        // the tier saves the whole recompute of the returning query.
+        let lru = run_sim(
+            cfg.with_tier2_budget(0)
+                .with_cache_policy(vmqs_datastore::EvictionPolicy::Lru),
+            one_client(vec![a, b, a]),
+        );
+        assert_eq!((lru.spilled, lru.restored), (0, 0));
+        assert!(lru.recomputed_bytes > report.recomputed_bytes);
+        assert!(report.makespan < lru.makespan);
+
+        // Virtual time is deterministic: an identical run replays exactly.
+        let again = run_sim(cfg, one_client(vec![a, b, a]));
+        assert_eq!(report.makespan, again.makespan);
+        assert_eq!(report.recomputed_bytes, again.recomputed_bytes);
+    }
+
+    #[test]
+    fn poisoned_tier2_restore_falls_back_to_recompute() {
+        use vmqs_storage::FaultConfig;
+        let (cfg, a, b) = spill_pressure_cfg();
+        // Every tier-2 read poisoned: the returning query must drop the
+        // entry and recompute — no restore, no panic, all queries finish.
+        let report = run_sim(
+            cfg.with_faults(FaultConfig::none().with_permanent(1.0)),
+            one_client(vec![a, b, a]),
+        );
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.restored, 0);
+        assert!(report.restore_failures >= 1);
+        let last = report.records.last().unwrap();
+        assert!(!last.exact_hit, "the re-heat must have failed");
+        // The dropped entry leaves through the tier-2 eviction path.
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Evicted { tier: 2, .. })));
     }
 }

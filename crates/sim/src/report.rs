@@ -98,6 +98,19 @@ pub struct SimReport<S = VmQuery> {
     pub degraded: u64,
     /// Queries answered by grafting onto an in-flight producer.
     pub grafted: u64,
+    /// Data Store entries demoted to the virtual tier-2 spill instead of
+    /// dropped (DESIGN.md §14).
+    pub spilled: u64,
+    /// Spilled entries re-heated at disk cost instead of recompute cost.
+    pub restored: u64,
+    /// Tier-2 reads poisoned by the fault model; the entry was dropped
+    /// and the query recomputed.
+    pub restore_failures: u64,
+    /// Output bytes produced by computation rather than reuse, summed
+    /// over all completed queries — the cache-pressure sweep's headline
+    /// metric (fewer recomputed bytes = the eviction policy kept the
+    /// right entries).
+    pub recomputed_bytes: u64,
 }
 
 impl<S> SimReport<S> {
@@ -191,6 +204,10 @@ mod tests {
             shed: 0,
             degraded: 0,
             grafted: 0,
+            spilled: 0,
+            restored: 0,
+            restore_failures: 0,
+            recomputed_bytes: 0,
         };
         assert_eq!(report.response_times(), vec![2.0, 5.0]);
         assert!((report.average_overlap() - 0.4).abs() < 1e-12);

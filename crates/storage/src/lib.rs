@@ -15,14 +15,19 @@
 //! * [`FaultInjectingSource`] injects seeded, deterministic I/O failures
 //!   (transient, permanent, latency spikes) for robustness testing;
 //! * [`DiskModel`] is also consumed by the discrete-event simulator to
-//!   compute virtual-time I/O costs, so both engines share one disk model.
+//!   compute virtual-time I/O costs, so both engines share one disk model;
+//! * [`SpillStore`] is the Data Store's tier-2 spill target: evicted warm
+//!   entries serialize to checksummed frames on disk and re-heat later at
+//!   disk cost instead of recompute cost (DESIGN.md §14).
 
 #![warn(missing_docs)]
 
 mod disk;
 mod fault;
 mod source;
+mod spill;
 
 pub use disk::DiskModel;
 pub use fault::{is_transient, FaultConfig, FaultInjectingSource, FaultStats};
 pub use source::{DataSource, FileSource, SyntheticSource, ThrottledSource};
+pub use spill::{SpillStats, SpillStore, SPILL_DEVICE};

@@ -1,0 +1,383 @@
+//! The tier-2 spill store backing the Data Store's RESTORABLE phase
+//! (DESIGN.md §14).
+//!
+//! Warm cache entries evicted from memory serialize here in a compact
+//! framed format instead of being dropped; a later exact-match lookup
+//! re-heats them at disk cost rather than recompute cost. The format is
+//! deliberately dumb — magic, version, payload length, checksum, bytes —
+//! because entries are opaque `Arc<[u8]>` results: no schema evolution to
+//! worry about, only torn writes and bit rot, which the checksum catches.
+//!
+//! Fault injection reuses the crate's seeded [`FaultConfig`] draws keyed
+//! on the reserved [`SPILL_DEVICE`] dataset and the blob id, so tests can
+//! predict exactly which tier-2 reads are poisoned without issuing them —
+//! the same pure-function contract the page-read injector honors.
+
+use crate::fault::FaultConfig;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use vmqs_core::{BlobId, DatasetId};
+
+/// The reserved dataset key under which tier-2 read faults are drawn:
+/// `FaultConfig::page_is_poisoned(SPILL_DEVICE, blob.raw())` decides
+/// whether a spill read is permanently unreadable. Real page datasets are
+/// small consecutive ids, so the reserved key cannot collide.
+pub const SPILL_DEVICE: DatasetId = DatasetId(u64::MAX);
+
+/// File magic: identifies a spill frame (and guards against reading a
+/// foreign file dropped into the spill directory).
+const MAGIC: [u8; 4] = *b"VMQS";
+/// Frame format version.
+const VERSION: u8 = 1;
+/// Frame header: magic + version + 3 pad bytes + length u64 + checksum u64.
+const HEADER_LEN: usize = 4 + 1 + 3 + 8 + 8;
+
+/// Monotone counters for spill-store traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Frames written.
+    pub writes: u64,
+    /// Payload bytes written.
+    pub bytes_written: u64,
+    /// Frames read back successfully.
+    pub reads: u64,
+    /// Payload bytes read back.
+    pub bytes_read: u64,
+    /// Reads that failed (injected poison, missing file, corrupt frame).
+    pub read_failures: u64,
+    /// Frames removed.
+    pub removes: u64,
+}
+
+/// FNV-1a 64-bit over the payload — cheap, dependency-free, and plenty to
+/// catch torn writes and injected corruption.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// An on-disk tier-2 store for spilled Data Store entries.
+///
+/// One file per blob under the configured directory. The threaded engine
+/// calls [`SpillStore::write`] inside the same critical section that
+/// demoted the entry (so a RESTORABLE entry always has an on-disk copy)
+/// and [`SpillStore::read`] under the same exclusivity before promoting
+/// it back. All methods take `&self`; the store itself keeps no mutable
+/// state beyond atomic counters, and relies on the caller for exclusion
+/// per blob.
+#[derive(Debug)]
+pub struct SpillStore {
+    dir: PathBuf,
+    fault: FaultConfig,
+    writes: std::sync::atomic::AtomicU64,
+    bytes_written: std::sync::atomic::AtomicU64,
+    reads: std::sync::atomic::AtomicU64,
+    bytes_read: std::sync::atomic::AtomicU64,
+    read_failures: std::sync::atomic::AtomicU64,
+    removes: std::sync::atomic::AtomicU64,
+}
+
+impl SpillStore {
+    /// Opens (creating if needed) a spill store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SpillStore {
+            dir,
+            fault: FaultConfig::none(),
+            writes: Default::default(),
+            bytes_written: Default::default(),
+            reads: Default::default(),
+            bytes_read: Default::default(),
+            read_failures: Default::default(),
+            removes: Default::default(),
+        })
+    }
+
+    /// Builder: injects seeded faults into tier-2 reads (permanent faults
+    /// drawn on [`SPILL_DEVICE`] × blob id; transient/latency knobs are
+    /// ignored here — the restore path has no retry loop, a failed
+    /// restore falls back to recomputation).
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// The directory frames live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> SpillStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        SpillStats {
+            writes: self.writes.load(Relaxed),
+            bytes_written: self.bytes_written.load(Relaxed),
+            reads: self.reads.load(Relaxed),
+            bytes_read: self.bytes_read.load(Relaxed),
+            read_failures: self.read_failures.load(Relaxed),
+            removes: self.removes.load(Relaxed),
+        }
+    }
+
+    /// True when a tier-2 read of `blob` would fail with injected poison
+    /// — a pure function of the fault seed, so tests and the simulator
+    /// can predict restore failures without touching disk.
+    pub fn blob_is_poisoned(&self, blob: BlobId) -> bool {
+        self.fault.page_is_poisoned(SPILL_DEVICE, blob.raw())
+    }
+
+    fn path_of(&self, blob: BlobId) -> PathBuf {
+        self.dir.join(format!("blob-{}.spill", blob.raw()))
+    }
+
+    /// Serializes `payload` as the frame for `blob`, overwriting any
+    /// previous frame.
+    pub fn write(&self, blob: BlobId, payload: &[u8]) -> io::Result<()> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+        frame.extend_from_slice(&MAGIC);
+        frame.push(VERSION);
+        frame.extend_from_slice(&[0u8; 3]);
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&checksum(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let mut f = fs::File::create(self.path_of(blob))?;
+        f.write_all(&frame)?;
+        self.writes.fetch_add(1, Relaxed);
+        self.bytes_written.fetch_add(payload.len() as u64, Relaxed);
+        Ok(())
+    }
+
+    /// Reads back the frame for `blob`, validating magic, version, length
+    /// and checksum. Fails with `InvalidData` on injected poison or a
+    /// corrupt frame — both non-transient, so the caller drops the entry
+    /// and recomputes.
+    pub fn read(&self, blob: BlobId) -> io::Result<Vec<u8>> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let fail = |msg: String| -> io::Error { io::Error::new(io::ErrorKind::InvalidData, msg) };
+        if self.blob_is_poisoned(blob) {
+            self.read_failures.fetch_add(1, Relaxed);
+            return Err(fail(format!("injected permanent fault: spill read {blob}")));
+        }
+        let inner = (|| -> io::Result<Vec<u8>> {
+            let mut f = fs::File::open(self.path_of(blob))?;
+            let mut header = [0u8; HEADER_LEN];
+            f.read_exact(&mut header)?;
+            if header[..4] != MAGIC {
+                return Err(fail(format!("bad spill magic for {blob}")));
+            }
+            if header[4] != VERSION {
+                return Err(fail(format!(
+                    "unsupported spill frame version {} for {blob}",
+                    header[4]
+                )));
+            }
+            let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+            let want = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+            let mut payload = vec![0u8; len as usize];
+            f.read_exact(&mut payload)?;
+            if checksum(&payload) != want {
+                return Err(fail(format!("spill checksum mismatch for {blob}")));
+            }
+            Ok(payload)
+        })();
+        match &inner {
+            Ok(p) => {
+                self.reads.fetch_add(1, Relaxed);
+                self.bytes_read.fetch_add(p.len() as u64, Relaxed);
+            }
+            Err(_) => {
+                self.read_failures.fetch_add(1, Relaxed);
+            }
+        }
+        inner
+    }
+
+    /// Deletes the frame for `blob`. Missing frames are not an error (the
+    /// drop may race a cancelled spill that never wrote one).
+    pub fn remove(&self, blob: BlobId) -> io::Result<()> {
+        use std::sync::atomic::Ordering::Relaxed;
+        match fs::remove_file(self.path_of(blob)) {
+            Ok(()) => {
+                self.removes.fetch_add(1, Relaxed);
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Number of frames currently on disk.
+    pub fn len(&self) -> io::Result<usize> {
+        Ok(self.frame_paths()?.len())
+    }
+
+    /// True when no frames are on disk.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Removes every frame (end-of-run hygiene; the directory itself
+    /// stays, it may be a shared tmpdir).
+    pub fn clear(&self) -> io::Result<()> {
+        for p in self.frame_paths()? {
+            fs::remove_file(p)?;
+        }
+        Ok(())
+    }
+
+    fn frame_paths(&self) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let p = entry?.path();
+            if p.extension().is_some_and(|e| e == "spill") {
+                out.push(p);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique per-test directory without wall-clock or RNG (banned by the
+    /// workspace lints): process id + an atomic counter.
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("vmqs-spill-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn cleanup(store: &SpillStore) {
+        store.clear().unwrap();
+        let _ = fs::remove_dir(store.dir());
+    }
+
+    #[test]
+    fn roundtrip_preserves_bytes() {
+        let s = SpillStore::new(tmpdir("roundtrip")).unwrap();
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        s.write(BlobId(7), &payload).unwrap();
+        assert_eq!(s.read(BlobId(7)).unwrap(), payload);
+        let st = s.stats();
+        assert_eq!((st.writes, st.reads, st.read_failures), (1, 1, 0));
+        assert_eq!(st.bytes_written, 4096);
+        assert_eq!(st.bytes_read, 4096);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let s = SpillStore::new(tmpdir("empty")).unwrap();
+        s.write(BlobId(0), &[]).unwrap();
+        assert_eq!(s.read(BlobId(0)).unwrap(), Vec::<u8>::new());
+        cleanup(&s);
+    }
+
+    #[test]
+    fn missing_frame_fails_read() {
+        let s = SpillStore::new(tmpdir("missing")).unwrap();
+        assert!(s.read(BlobId(1)).is_err());
+        assert_eq!(s.stats().read_failures, 1);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn corrupt_frame_fails_checksum() {
+        let s = SpillStore::new(tmpdir("corrupt")).unwrap();
+        s.write(BlobId(3), &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        // Flip one payload byte on disk.
+        let p = s.dir().join("blob-3.spill");
+        let mut bytes = fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&p, bytes).unwrap();
+        let e = s.read(BlobId(3)).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("checksum"));
+        cleanup(&s);
+    }
+
+    #[test]
+    fn truncated_frame_fails_read() {
+        let s = SpillStore::new(tmpdir("truncated")).unwrap();
+        s.write(BlobId(4), &[9u8; 100]).unwrap();
+        let p = s.dir().join("blob-4.spill");
+        let bytes = fs::read(&p).unwrap();
+        fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(s.read(BlobId(4)).is_err());
+        cleanup(&s);
+    }
+
+    #[test]
+    fn foreign_file_rejected_by_magic() {
+        let s = SpillStore::new(tmpdir("magic")).unwrap();
+        fs::write(s.dir().join("blob-5.spill"), b"not a spill frame at all").unwrap();
+        let e = s.read(BlobId(5)).unwrap_err();
+        assert!(e.to_string().contains("magic"));
+        cleanup(&s);
+    }
+
+    #[test]
+    fn remove_and_clear_leave_no_frames() {
+        let s = SpillStore::new(tmpdir("hygiene")).unwrap();
+        for i in 0..5u64 {
+            s.write(BlobId(i), &[i as u8; 16]).unwrap();
+        }
+        assert_eq!(s.len().unwrap(), 5);
+        s.remove(BlobId(2)).unwrap();
+        s.remove(BlobId(2)).unwrap(); // double-remove is a no-op
+        assert_eq!(s.len().unwrap(), 4);
+        s.clear().unwrap();
+        assert!(s.is_empty().unwrap());
+        assert_eq!(s.stats().removes, 1);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn poisoned_read_fails_deterministically() {
+        let cfg = FaultConfig {
+            seed: 42,
+            ..FaultConfig::none().with_permanent(0.3)
+        };
+        let s = SpillStore::new(tmpdir("poison")).unwrap().with_faults(cfg);
+        let mut poisoned = 0;
+        for i in 0..50u64 {
+            s.write(BlobId(i), &[i as u8; 8]).unwrap();
+            if s.blob_is_poisoned(BlobId(i)) {
+                poisoned += 1;
+                let e = s.read(BlobId(i)).unwrap_err();
+                assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+            } else {
+                assert!(s.read(BlobId(i)).is_ok());
+            }
+        }
+        assert!((3..30).contains(&poisoned), "poisoned {poisoned}/50");
+        // Pure function: the prediction never disagrees with the read.
+        assert_eq!(
+            cfg.page_is_poisoned(SPILL_DEVICE, 7),
+            s.blob_is_poisoned(BlobId(7))
+        );
+        cleanup(&s);
+    }
+
+    #[test]
+    fn overwrite_replaces_frame() {
+        let s = SpillStore::new(tmpdir("overwrite")).unwrap();
+        s.write(BlobId(9), &[1u8; 64]).unwrap();
+        s.write(BlobId(9), &[2u8; 32]).unwrap();
+        assert_eq!(s.read(BlobId(9)).unwrap(), vec![2u8; 32]);
+        assert_eq!(s.len().unwrap(), 1);
+        cleanup(&s);
+    }
+}

@@ -240,6 +240,65 @@ pub fn chunk_skewed(groups: usize) -> Vec<ClientStream> {
     }]
 }
 
+/// A zipfian cache-pressure workload (DESIGN.md §14): `queries` draws
+/// over a catalog of `catalog` distinct high-magnification windows on one
+/// paper-scale slide, with rank `r` drawn with probability proportional
+/// to `1/r^s`. A handful of hot windows repeat many times while the long
+/// tail forces continual eviction pressure — the regime where a
+/// benefit-aware cache keeps the hot, expensive results and a recency
+/// cache churns them. Windows are zoom-4 subsamples (1024² input pixels
+/// per 256² output), so a re-heated result is far cheaper than its
+/// recomputation.
+pub fn zipfian(catalog: usize, queries: usize, s: f64, seed: u64) -> Vec<ClientStream> {
+    assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be finite");
+    let tiles = zipfian_catalog(catalog);
+    // Inverse-CDF sampling over the truncated zeta weights.
+    let mut cum = Vec::with_capacity(catalog);
+    let mut total = 0.0f64;
+    for r in 1..=catalog {
+        total += 1.0 / (r as f64).powf(s);
+        cum.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let queries = (0..queries)
+        .map(|_| {
+            // Uniform in [0, total): the top 53 bits of a u64 draw give
+            // an exact dyadic uniform (the rand stub samples no floats).
+            use rand::RngCore;
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+            tiles[cum.partition_point(|&c| c <= u).min(catalog - 1)]
+        })
+        .collect();
+    vec![ClientStream {
+        client: ClientId(0),
+        queries,
+    }]
+}
+
+/// The catalog [`zipfian`] draws from, in rank order: `catalog` disjoint
+/// zoom-4 windows (1024² input pixels per 256² output) tiled row-major
+/// across one paper-scale slide. Rank `i+1` lives at tile `i`, so the
+/// only reuse available is exact repetition of a catalog entry.
+pub fn zipfian_catalog(catalog: usize) -> Vec<VmQuery> {
+    assert!(catalog > 0, "catalog must be non-empty");
+    let slide = SlideDataset::paper_scale(vmqs_core::DatasetId(0));
+    const OUT_SIDE: u32 = 256;
+    const ZOOM: u32 = 4;
+    let side = OUT_SIDE * ZOOM;
+    let per_row = (slide.width / side) as usize;
+    assert!(
+        catalog <= per_row * per_row,
+        "catalog larger than the {per_row}x{per_row} tile grid"
+    );
+    (0..catalog)
+        .map(|i| {
+            let x = (i % per_row) as u32 * side;
+            let y = (i / per_row) as u32 * side;
+            VmQuery::new(slide, Rect::new(x, y, side, side), ZOOM, VmOp::Subsample)
+        })
+        .collect()
+}
+
 /// Flattens per-client streams into one batch stream (for the paper's
 /// Fig. 7: "a single batch of 256 queries"), interleaving clients
 /// round-robin so the batch is not sorted by client.
@@ -384,6 +443,38 @@ mod tests {
         }
         // Deterministic (no RNG involved).
         assert_eq!(chunk_skewed(8)[0].queries, streams[0].queries);
+    }
+
+    #[test]
+    fn zipfian_is_skewed_deterministic_and_in_catalog() {
+        let streams = zipfian(64, 512, 1.1, 9);
+        assert_eq!(streams.len(), 1);
+        let qs = &streams[0].queries;
+        assert_eq!(qs.len(), 512);
+        assert_eq!(zipfian(64, 512, 1.1, 9)[0].queries, *qs, "seeded replay");
+
+        // Every draw is a catalog tile, and the catalog tiles are the
+        // disjoint zoom-aligned grid the generator promises.
+        let catalog: Vec<_> = zipfian(64, 0, 1.1, 9);
+        assert!(catalog[0].queries.is_empty());
+        let mut counts = std::collections::HashMap::new();
+        for q in qs {
+            assert_eq!(q.zoom, 4);
+            assert_eq!(q.region.x % q.zoom, 0);
+            assert!(q.slide.bounds().contains(&q.region));
+            *counts.entry((q.region.x, q.region.y)).or_insert(0usize) += 1;
+        }
+        assert!(counts.len() <= 64, "draws stay inside the catalog");
+
+        // Zipf skew: the hottest window must repeat far above the uniform
+        // share, and the head must dominate the tail.
+        let hottest = *counts.values().max().unwrap();
+        assert!(
+            hottest >= 3 * 512 / 64,
+            "rank-1 must beat the uniform share: {hottest}"
+        );
+        let rank1 = counts.get(&(0, 0)).copied().unwrap_or(0);
+        assert_eq!(rank1, hottest, "tile 0 carries rank 1");
     }
 
     #[test]

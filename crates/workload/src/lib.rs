@@ -23,5 +23,6 @@ pub use experiment::{
     small_server, write_csv, BatchOutcome, ExpRow,
 };
 pub use generator::{
-    chunk_skewed, flatten_to_batch, generate, WorkloadConfig, CHUNK_SKEW_TILES_PER_GROUP,
+    chunk_skewed, flatten_to_batch, generate, zipfian, zipfian_catalog, WorkloadConfig,
+    CHUNK_SKEW_TILES_PER_GROUP,
 };

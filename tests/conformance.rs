@@ -261,7 +261,7 @@ fn conformance_workload_exercises_reuse_and_eviction() {
     );
     let evictions = events
         .iter()
-        .filter(|e| matches!(e.kind, EventKind::Evicted))
+        .filter(|e| matches!(e.kind, EventKind::Evicted { .. }))
         .count();
     assert!(
         evictions > 0,
@@ -445,4 +445,98 @@ fn server_golden_trace_is_reproducible() {
     assert_eq!(ranked_sequence(&a), ranked_sequence(&b));
     assert_eq!(reuse_edges(&a), reuse_edges(&b));
     assert_eq!(grafted_edges(&a), grafted_edges(&b));
+}
+
+/// The Data Store eviction victim sequence as `(victim, tier, score)`,
+/// with the score captured bit-for-bit.
+fn eviction_sequence(events: &[EventRecord]) -> Vec<(QueryId, u8, u64)> {
+    events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Evicted { tier, score } => Some((e.query, tier, score.to_bits())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Simulator run under the cost-based cache hierarchy (DESIGN.md §14):
+/// benefit-aware eviction plus a virtual tier-2 spill store. The victim
+/// sequence is pinned *in the simulator only* — its benefit scores are
+/// built from virtual I/O + CPU costs, so they replay bit-for-bit. The
+/// threaded server seeds scores from measured wall time; its victim
+/// *order* is therefore not golden (only its event invariants are).
+fn run_simulator_costed(tier2_budget: u64) -> Vec<EventRecord> {
+    let cfg = SimConfig::paper_baseline()
+        .with_strategy(Strategy::Cnbf)
+        .with_threads(1)
+        .with_ds_budget(DS_BUDGET)
+        .with_ps_budget(PS_BUDGET)
+        .with_index_cell(INDEX_CELL)
+        .with_mode(SubmissionMode::Batch)
+        .with_observe(true)
+        .with_batch_gate(true)
+        .with_cache_policy(vmqs_datastore::EvictionPolicy::CostBased)
+        .with_tier2_budget(tier2_budget);
+    let streams = vec![ClientStream {
+        client: ClientId(0),
+        queries: workload(),
+    }];
+    run_sim(cfg, streams).events
+}
+
+#[test]
+fn cost_based_victim_sequence_is_pinned_in_the_simulator() {
+    // Tier 2 smaller than the in-memory tier: the spill store fills and
+    // must itself evict, so the pinned sequence covers both tiers.
+    let a = run_simulator_costed(128 << 10);
+    let b = run_simulator_costed(128 << 10);
+    assert_event_invariants(&a, "sim/cost-based");
+    let evictions = eviction_sequence(&a);
+    assert_eq!(
+        evictions,
+        eviction_sequence(&b),
+        "cost-based victim sequence (including scores) must replay bit-for-bit"
+    );
+    assert!(
+        !evictions.is_empty(),
+        "DS budget must be tight enough to force cost-based evictions"
+    );
+    for (q, tier, bits) in &evictions {
+        assert!(matches!(tier, 1 | 2), "{q}: eviction tier must be 1 or 2");
+        let score = f64::from_bits(*bits);
+        assert!(
+            score.is_finite() && score >= 0.0,
+            "{q}: benefit score {score} must be a finite non-negative rate"
+        );
+    }
+    // The knapsack must actually change decisions: the same workload
+    // under the legacy recency policy evicts in a different order.
+    let legacy: Vec<QueryId> = eviction_sequence(&run_simulator(Strategy::Cnbf, false))
+        .iter()
+        .map(|&(q, _, _)| q)
+        .collect();
+    let costed: Vec<QueryId> = evictions.iter().map(|&(q, _, _)| q).collect();
+    assert_ne!(
+        costed, legacy,
+        "cost-based policy must pick different victims than recency"
+    );
+}
+
+#[test]
+fn legacy_policy_emits_no_tier2_events() {
+    // The six paper goldens above run under the legacy recency policy;
+    // the tier-2 machinery must be completely inert there — no spills,
+    // no restores, and every eviction a plain tier-1 drop.
+    let events = run_simulator(Strategy::Cnbf, false);
+    for e in &events {
+        match e.kind {
+            EventKind::Spilled { .. } | EventKind::Restored { .. } => {
+                panic!("{}: legacy policy must never touch tier 2", e.query)
+            }
+            EventKind::Evicted { tier, .. } => {
+                assert_eq!(tier, 1, "{}: legacy evictions are in-memory drops", e.query)
+            }
+            _ => {}
+        }
+    }
 }

@@ -470,6 +470,154 @@ fn ds_entry_graft_no_read_after_swapout() {
     });
 }
 
+/// Spill protocol (DESIGN.md §14), the pin half: `try_spill` runs the
+/// same mark-then-cross-check store-buffering protocol as
+/// `try_swap_out` — RESTORABLE first, then every pin stripe and the
+/// subscriber count, all SeqCst — so a successful spill proves no
+/// reader holds the payload it is about to move to disk. The ghost
+/// `in_use` counter records the true overlap; weakening either side's
+/// SeqCst to `Relaxed` lets the spiller detach the payload under an
+/// active reader (counterexample #9).
+#[test]
+fn ds_entry_pin_blocks_spill() {
+    loom::model(|| {
+        let st = Arc::new(EntryState::new());
+        let payload = Arc::new(AtomicU64::new(0));
+        let in_use = Arc::new(AtomicU64::new(0));
+        // Committed before the race: the model is about pins vs spill.
+        payload.store(42, Ordering::Relaxed);
+        assert!(st.publish());
+
+        let reader = {
+            let (st, payload, in_use) = (st.clone(), payload.clone(), in_use.clone());
+            thread::spawn(move || {
+                if st.pin_at(3) {
+                    in_use.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(
+                        payload.load(Ordering::Relaxed),
+                        42,
+                        "pinned reader must see the in-memory payload"
+                    );
+                    in_use.fetch_sub(1, Ordering::SeqCst);
+                    st.unpin_at(3);
+                }
+            })
+        };
+        let spiller = {
+            let (st, in_use) = (st.clone(), in_use.clone());
+            thread::spawn(move || {
+                if st.try_spill() {
+                    // We own the payload now and may move it to disk: no
+                    // reader may be pinned.
+                    assert_eq!(
+                        in_use.fetch_add(0, Ordering::SeqCst),
+                        0,
+                        "entry spilled while a reader held a pin"
+                    );
+                }
+            })
+        };
+        reader.join().unwrap();
+        spiller.join().unwrap();
+    });
+}
+
+/// Spill protocol (DESIGN.md §14), the lifetime half: once `try_spill`
+/// succeeds the in-memory payload is detached, and *no* pin may succeed
+/// until a `restore` republishes the bytes — a reader either pinned
+/// before the spill (and the spill backed out) or observes RESTORABLE
+/// in `pin_at` and backs off. The model detaches the payload after a
+/// successful spill; any schedule in which a pin still reads it trips
+/// the assertion (counterexample #10).
+#[test]
+fn ds_entry_no_read_after_spill_without_restore() {
+    loom::model(|| {
+        let st = Arc::new(EntryState::new());
+        let payload = Arc::new(AtomicU64::new(0));
+        payload.store(42, Ordering::Relaxed);
+        assert!(st.publish());
+
+        let spiller = {
+            let (st, payload) = (st.clone(), payload.clone());
+            thread::spawn(move || {
+                if st.try_spill() {
+                    // Exclusive ownership: move the bytes out (ghost
+                    // detach — the store swaps the payload to Virtual).
+                    payload.store(0, Ordering::Relaxed);
+                }
+            })
+        };
+        let reader = {
+            let (st, payload) = (st.clone(), payload.clone());
+            thread::spawn(move || {
+                if st.pin() {
+                    assert_eq!(
+                        payload.load(Ordering::Relaxed),
+                        42,
+                        "read a detached payload: pin succeeded after spill without restore"
+                    );
+                    st.unpin();
+                }
+            })
+        };
+        spiller.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+/// Restore protocol (DESIGN.md §14): RESTORABLE → FULL republishes with
+/// a SeqCst CAS, so a flash crowd of restorers re-heating the same
+/// entry resolves to exactly one winner, and a reader whose pin
+/// observes FULL also observes the re-attached payload (the restorer
+/// writes the bytes *before* the CAS). Weakening the CAS to `Relaxed`
+/// lets a reader pin the entry before the re-attached payload is
+/// visible (counterexample #11).
+#[test]
+fn ds_entry_restore_publishes_exactly_once() {
+    loom::model(|| {
+        let st = Arc::new(EntryState::new());
+        let payload = Arc::new(AtomicU64::new(0));
+        let winners = Arc::new(AtomicU64::new(0));
+        // Spilled before the race: committed, demoted, payload detached.
+        assert!(st.publish());
+        assert!(st.try_spill());
+
+        let restorer = || {
+            let (st, payload, winners) = (st.clone(), payload.clone(), winners.clone());
+            thread::spawn(move || {
+                // Re-attach the bytes read back from tier 2, then CAS.
+                payload.store(42, Ordering::Relaxed);
+                if st.restore() {
+                    winners.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+        let r1 = restorer();
+        let r2 = restorer();
+        let reader = {
+            let (st, payload) = (st.clone(), payload.clone());
+            thread::spawn(move || {
+                if st.pin() {
+                    assert_eq!(
+                        payload.load(Ordering::Relaxed),
+                        42,
+                        "pin observed FULL before the restored payload"
+                    );
+                    st.unpin();
+                }
+            })
+        };
+        r1.join().unwrap();
+        r2.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(
+            winners.load(Ordering::SeqCst),
+            1,
+            "exactly one restorer must win the republish"
+        );
+    });
+}
+
 /// The sharded engine's idle/wakeup protocol (DESIGN.md §12): the
 /// submitter enqueues and increments `total_waiting` under the shard
 /// lock, then reads `sleepers`; the worker increments `sleepers` under

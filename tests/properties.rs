@@ -200,6 +200,9 @@ proptest! {
                 Ok(_) => {}
                 Err(DsError::TooLarge) => prop_assert!(size > budget),
                 Err(DsError::Busy) => prop_assert!(false, "no pinned entries exist"),
+                // Admission control only rejects scored inserts under the
+                // cost-based policy; plain inserts always admit.
+                Err(DsError::Unprofitable) => prop_assert!(false, "uncosted inserts bypass admission"),
             }
             prop_assert!(ds.used() <= budget, "used {} > budget {}", ds.used(), budget);
             let probe = IntervalSpec::new(*start, *len, 1);
@@ -663,6 +666,103 @@ proptest! {
             "grafting must never let a full compute race a visible equivalent"
         );
         prop_assert_eq!(sum_off.grafted, 0, "grafting off must never graft");
+    }
+
+    // Differential property for the tier-2 spill (DESIGN.md §14): under a
+    // tier-1 budget tight enough to force demotions, a server with the
+    // disk tier enabled must return byte-identical answers to one without
+    // it, on random workloads with repeated predicates (so spilled entries
+    // actually re-heat) across 1–4 worker threads — and terminal counts
+    // must be conserved in both.
+    #[test]
+    fn spilling_is_answer_equivalent_on_random_workloads(
+        seed in 0u64..1000,
+        threads in 1usize..5,
+        queries in 8usize..24,
+        dup_stride in 2usize..5,
+    ) {
+        use std::sync::Arc;
+        use vmqs::prelude::{QueryServer, ServerConfig};
+
+        let slide = SlideDataset::new(DatasetId(0), 800, 800);
+        let mut specs: Vec<VmQuery> = Vec::with_capacity(queries);
+        for i in 0..queries {
+            let r = (seed ^ i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Every dup_stride-th query repeats an earlier predicate, so a
+            // spilled copy gets a returning customer and the restore path
+            // actually runs.
+            if i % dup_stride == dup_stride - 1 {
+                specs.push(specs[(r % i as u64) as usize]);
+            } else {
+                let op = if (r >> 7) & 1 == 0 { VmOp::Subsample } else { VmOp::Average };
+                let side = 80 + ((r >> 16) % 3) as u32 * 40;
+                let x = ((r >> 32) as u32) % (800 - side);
+                let y = ((r >> 44) as u32) % (800 - side);
+                specs.push(VmQuery::new(
+                    slide,
+                    Rect::new(x, y, side, side),
+                    1 << ((r >> 24) % 2),
+                    op,
+                ));
+            }
+        }
+
+        // Unique spill dir per proptest case, no wall-clock/RNG (banned
+        // by the workspace lints): process id + an atomic counter.
+        let dir = {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static N: AtomicU64 = AtomicU64::new(0);
+            let n = N.fetch_add(1, Ordering::Relaxed);
+            std::env::temp_dir().join(format!("vmqs-prop-spill-{}-{n}", std::process::id()))
+        };
+        let run = |spill: bool| {
+            // ~3 modest results of tier-1 budget: guaranteed demotion
+            // pressure on every generated workload.
+            let cfg = ServerConfig::small()
+                .with_threads(threads)
+                .with_start_paused(true)
+                .with_cache_policy(vmqs_datastore::EvictionPolicy::CostBased)
+                .with_ds_budget(120_000)
+                .with_spill_dir(spill.then(|| dir.clone()))
+                .with_tier2_budget(if spill { 64 << 20 } else { 0 });
+            let server = QueryServer::new(cfg, Arc::new(SyntheticSource::new()));
+            let handles = server.submit_batch(specs.clone());
+            server.resume_workers();
+            let images: Vec<Arc<[u8]>> = handles
+                .into_iter()
+                .map(|h| h.wait().expect("clean source: every query completes").image)
+                .collect();
+            server.drain();
+            let summary = server.summary();
+            server.check_invariants();
+            server.shutdown();
+            (images, summary)
+        };
+        let (on, sum_on) = run(true);
+        let (off, sum_off) = run(false);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        for (i, (a, b)) in on.iter().zip(off.iter()).enumerate() {
+            prop_assert!(
+                a[..] == b[..],
+                "query {} answered differently with the spill tier on vs off", i
+            );
+        }
+        for (name, s) in [("spill-on", &sum_on), ("spill-off", &sum_off)] {
+            prop_assert_eq!(
+                s.completed + s.failed + s.timed_out + s.shed + s.rejected,
+                queries,
+                "{}: every query must resolve exactly once", name
+            );
+            prop_assert_eq!(s.completed, queries, "{}: clean source completes all", name);
+        }
+        prop_assert_eq!(
+            (sum_off.spilled, sum_off.restored),
+            (0, 0),
+            "spill off must never touch tier 2"
+        );
     }
 }
 
