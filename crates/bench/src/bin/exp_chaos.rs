@@ -1,0 +1,276 @@
+//! Chaos experiment (DESIGN.md §15): the failure-containment layer under
+//! a seeded fault plan — poison queries, panic-at-nth-compute, and
+//! crash-mid-spill — on both engines.
+//!
+//! Three sections:
+//!
+//! * **Virtual sweep** — the simulator runs a disjoint-tile batch at
+//!   8 workers across several seeds with a poison rate and an ordinal
+//!   panic trigger. Every run must conserve queries (`submitted ==
+//!   completed + failed + timed_out + shed + rejected`) and replay
+//!   bit-identically when repeated with the same seed.
+//! * **Threaded sweep** — the real server under the same chaos shape:
+//!   conservation from the `ServerSummary`, and every surviving answer
+//!   compared byte-for-byte against a chaos-free control run.
+//! * **Crash-mid-spill** — a server whose spill write is killed at the
+//!   chaos kill-point, then a fresh server over the same directory:
+//!   recovery must leave the directory byte-accounted (no torn frames,
+//!   no stale temp files).
+//!
+//! On any violation the run dumps the scheduler event trace to
+//! `chaos-fail-trace.json` (override with `--trace-out PATH`) before
+//! aborting, so CI can upload it as an artifact.
+//!
+//! Usage:
+//!   cargo run -p vmqs-bench --release --bin exp_chaos
+//!   cargo run -p vmqs-bench --release --bin exp_chaos -- --quick
+
+use std::sync::Arc;
+use vmqs_bench::print_table;
+use vmqs_core::{ClientId, DatasetId, Rect};
+use vmqs_microscope::{SlideDataset, VmOp, VmQuery};
+use vmqs_server::{QueryServer, ServerConfig};
+use vmqs_sim::{run_sim, ClientStream, SimConfig, SubmissionMode};
+use vmqs_storage::{ChaosConfig, SyntheticSource};
+
+fn tile(i: u32) -> VmQuery {
+    let slide = SlideDataset::new(DatasetId(0), 8192, 8192);
+    VmQuery::new(
+        slide,
+        Rect::new((i % 8) * 1024, (i / 8) * 1024, 256, 256),
+        1,
+        VmOp::Subsample,
+    )
+}
+
+/// Dumps the event trace and aborts. The JSON lands where CI's
+/// chaos-smoke job looks for its failure artifact.
+fn fail(trace_out: &str, events: &[vmqs_obs::EventRecord], msg: String) -> ! {
+    let _ = std::fs::write(trace_out, vmqs_obs::events_to_json(events));
+    eprintln!("chaos invariant violated; event trace -> {trace_out}");
+    panic!("{msg}");
+}
+
+fn main() {
+    // Injected worker panics are the point of this experiment; keep the
+    // default hook from interleaving their backtraces with the tables.
+    // Real (uninjected) panics still report normally.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("injected chaos panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let trace_out = argv
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| argv.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("chaos-fail-trace.json")
+        .to_string();
+    let seeds: &[u64] = if quick {
+        &[42, 43]
+    } else {
+        &[42, 43, 44, 45, 46]
+    };
+    let n_queries: u32 = if quick { 24 } else { 48 };
+
+    // ----- virtual sweep -----
+    let mut rows = Vec::new();
+    for &seed in seeds {
+        let chaos = ChaosConfig::none()
+            .with_seed(seed)
+            .with_poison_rate(0.05)
+            .with_panic_at_compute(Some(1));
+        let mk = || {
+            let streams = vec![ClientStream {
+                client: ClientId(0),
+                queries: (0..n_queries).map(tile).collect(),
+            }];
+            run_sim(
+                SimConfig::paper_baseline()
+                    .with_threads(8)
+                    .with_mode(SubmissionMode::Batch)
+                    .with_chaos(chaos)
+                    .with_quarantine_limit(2)
+                    .with_restart_budget(32)
+                    .with_observe(true),
+                streams,
+            )
+        };
+        let r = mk();
+        let accounted = r.records.len() as u64 + r.failed + r.timed_out + r.shed + r.rejected;
+        if accounted != n_queries as u64 {
+            fail(
+                &trace_out,
+                &r.events,
+                format!(
+                    "seed {seed}: conservation broken, {accounted} accounted of {n_queries} submitted"
+                ),
+            );
+        }
+        let r2 = mk();
+        if r.makespan != r2.makespan || r.quarantined != r2.quarantined {
+            fail(
+                &trace_out,
+                &r2.events,
+                format!("seed {seed}: chaos replay diverged"),
+            );
+        }
+        rows.push(vec![
+            seed.to_string(),
+            r.records.len().to_string(),
+            r.failed.to_string(),
+            r.quarantined.to_string(),
+            r.worker_panics.to_string(),
+            r.worker_restarts.to_string(),
+            format!("{:.1}", r.makespan),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Virtual chaos sweep ({n_queries} queries, 8 workers, poison 5%, panic at compute #1)"
+        ),
+        &[
+            "seed",
+            "completed",
+            "failed",
+            "quarantined",
+            "panics",
+            "restarts",
+            "makespan (s)",
+        ],
+        &rows,
+    );
+
+    // ----- threaded sweep -----
+    let server_n: u32 = if quick { 12 } else { 24 };
+    let server_cfg = || {
+        ServerConfig::small()
+            .with_threads(4)
+            .with_quarantine_limit(2)
+            .with_restart_budget(16)
+            .with_observability(true)
+    };
+    // Chaos-free control: the byte-exact reference for every query.
+    let control = QueryServer::new(server_cfg(), Arc::new(SyntheticSource::new()));
+    let reference: Vec<_> = (0..server_n)
+        .map(|i| {
+            control
+                .submit(tile(i))
+                .wait()
+                .expect("control run is chaos-free")
+        })
+        .collect();
+    control.shutdown();
+
+    let chaos = ChaosConfig::none()
+        .with_seed(seeds[0])
+        .with_poison_rate(0.05)
+        .with_panic_at_compute(Some(1));
+    let server = QueryServer::new(
+        server_cfg().with_chaos(chaos),
+        Arc::new(SyntheticSource::new()),
+    );
+    let handles: Vec<_> = (0..server_n).map(|i| server.submit(tile(i))).collect();
+    let mut survived = 0u32;
+    let mut failed = 0u32;
+    for (i, h) in handles.into_iter().enumerate() {
+        match h.wait() {
+            Ok(res) => {
+                survived += 1;
+                if res.image[..] != reference[i].image[..] {
+                    let events = server.events();
+                    fail(
+                        &trace_out,
+                        &events,
+                        format!("query {i}: survivor answer diverged from control"),
+                    );
+                }
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let sum = server.summary();
+    let accounted = sum.completed + sum.failed + sum.timed_out + sum.shed + sum.rejected;
+    if accounted != server_n as usize {
+        let events = server.events();
+        fail(
+            &trace_out,
+            &events,
+            format!("threaded conservation broken, {accounted} accounted of {server_n} submitted"),
+        );
+    }
+    server.shutdown();
+    print_table(
+        &format!(
+            "Threaded chaos sweep ({server_n} queries, 4 workers, poison 5%, panic at compute #1)"
+        ),
+        &[
+            "completed",
+            "failed",
+            "quarantined",
+            "panics",
+            "restarts",
+            "exact survivors",
+        ],
+        &[vec![
+            sum.completed.to_string(),
+            sum.failed.to_string(),
+            sum.quarantined.to_string(),
+            sum.worker_panics.to_string(),
+            sum.worker_restarts.to_string(),
+            format!("{survived}/{survived}"),
+        ]],
+    );
+    assert_eq!(survived as usize, sum.completed);
+    assert_eq!(failed as usize, sum.failed + sum.timed_out);
+
+    // ----- crash-mid-spill recovery -----
+    let dir = std::env::temp_dir().join(format!("vmqs-exp-chaos-{}", std::process::id()));
+    let spill_cfg = || {
+        ServerConfig::small()
+            .with_threads(1)
+            .with_cache_policy(vmqs_datastore::EvictionPolicy::CostBased)
+            .with_ds_budget(50_000)
+            .with_spill_dir(Some(dir.clone()))
+            .with_tier2_budget(1 << 20)
+    };
+    let big = |i: u32| {
+        let slide = SlideDataset::new(DatasetId(0), 8192, 8192);
+        VmQuery::new(slide, Rect::new(i * 1024, 0, 128, 128), 1, VmOp::Subsample)
+    };
+    // First server: the second result's demotion hits the chaos
+    // kill-point mid-write, leaving a torn temp file behind.
+    let crashed = QueryServer::new(
+        spill_cfg().with_chaos(ChaosConfig::none().with_crash_spill_write(Some(0))),
+        Arc::new(SyntheticSource::new()),
+    );
+    for i in 0..2 {
+        crashed
+            .submit(big(i))
+            .wait()
+            .expect("queries succeed; only the spill write crashes");
+    }
+    crashed.shutdown();
+    let torn = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    // Second server, same directory: recovery sweeps the wreckage.
+    let recovered = QueryServer::new(spill_cfg(), Arc::new(SyntheticSource::new()));
+    for i in 0..2 {
+        let res = recovered
+            .submit(big(i))
+            .wait()
+            .expect("recovered server serves");
+        assert_eq!(res.image.len(), 3 * 128 * 128);
+    }
+    recovered.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    println!("\ncrash-mid-spill: {torn} file(s) left by the crash, directory clean after recovery");
+}

@@ -7,7 +7,7 @@ use vmqs_core::{DatasetId, OverloadConfig, Rect, Strategy};
 use vmqs_microscope::{SlideDataset, VmOp, VmQuery};
 use vmqs_server::{QueryServer, ServerConfig};
 use vmqs_sim::{run_sim, SimConfig, SubmissionMode};
-use vmqs_storage::{DataSource, FaultConfig, FaultInjectingSource, SyntheticSource};
+use vmqs_storage::{ChaosConfig, DataSource, FaultConfig, FaultInjectingSource, SyntheticSource};
 use vmqs_volume::{VolOp, VolQuery, VolumeDataset};
 use vmqs_workload::{flatten_to_batch, generate, ExpRow, WorkloadConfig};
 
@@ -98,6 +98,48 @@ fn parse_cache(args: &Args, need_dir: bool) -> Result<CacheOptions, Box<dyn Erro
     Ok((policy, spill_dir, tier2_mb << 20))
 }
 
+/// Parses the failure-containment options (DESIGN.md §15):
+/// `--hang-timeout-ms` arms the hang watchdog (wall clock on the server,
+/// virtual time in the simulator), `--restart-budget` and
+/// `--quarantine-limit` bound worker respawns and poison-query retries,
+/// and the `--chaos-*` family drives the seeded fault injector:
+/// `--chaos-seed`, `--chaos-poison-rate`, `--chaos-panic-at`,
+/// `--chaos-crash-spill-at`, `--chaos-flip-frame-at`. Returns
+/// `(chaos, hang_timeout_ms, restart_budget, quarantine_limit)`.
+type ContainmentOptions = (ChaosConfig, Option<u64>, usize, u32);
+
+fn parse_containment(args: &Args) -> Result<ContainmentOptions, Box<dyn Error>> {
+    let rate: f64 = args.get_or("chaos-poison-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("--chaos-poison-rate must lie in [0, 1], got {rate}").into());
+    }
+    let nth = |name: &str| -> Result<Option<u64>, Box<dyn Error>> {
+        Ok(match args.get(name) {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value '{v}' for --{name}"))?,
+            ),
+        })
+    };
+    let chaos = ChaosConfig::none()
+        .with_seed(args.get_or("chaos-seed", 42)?)
+        .with_poison_rate(rate)
+        .with_panic_at_compute(nth("chaos-panic-at")?)
+        .with_crash_spill_write(nth("chaos-crash-spill-at")?)
+        .with_bit_flip_frame(nth("chaos-flip-frame-at")?);
+    let hang = match nth("hang-timeout-ms")? {
+        Some(0) => return Err("--hang-timeout-ms must be positive".into()),
+        other => other,
+    };
+    let restart: usize = args.get_or("restart-budget", 8)?;
+    let quarantine: u32 = args.get_or("quarantine-limit", 3)?;
+    if quarantine == 0 {
+        return Err("--quarantine-limit must be at least 1".into());
+    }
+    Ok((chaos, hang, restart, quarantine))
+}
+
 /// Parses `--strategy` (defaulting to `default`) and applies the optional
 /// `--starvation-dial` override to CHUNKBATCH's aging knob (DESIGN.md §13:
 /// 0 = pure chunk affinity, ≥ 1 = exact FIFO).
@@ -145,6 +187,7 @@ pub fn render(args: &Args) -> CliResult {
     // Negative sentinel = no timeout; `--query-timeout-ms 0` is a valid
     // (immediately expiring) deadline.
     let timeout_ms: i64 = args.get_or("query-timeout-ms", -1)?;
+    let (chaos, hang_ms, restart_budget, quarantine_limit) = parse_containment(args)?;
     let trace_out = args.get("trace-out");
     let metrics_out = args.get("metrics-out");
 
@@ -162,7 +205,11 @@ pub fn render(args: &Args) -> CliResult {
         .with_observability(trace_out.is_some())
         .with_spill_dir(spill_dir)
         .with_tier2_budget(tier2_bytes)
-        .with_overload(overload);
+        .with_overload(overload)
+        .with_chaos(chaos)
+        .with_hang_timeout(hang_ms.map(std::time::Duration::from_millis))
+        .with_restart_budget(restart_budget)
+        .with_quarantine_limit(quarantine_limit);
     if let Some(p) = policy {
         cfg = cfg.with_cache_policy(p);
     }
@@ -213,6 +260,13 @@ pub fn render(args: &Args) -> CliResult {
         println!(
             "tier 2: {} spilled, {} restored, {} restore failures",
             sum.spilled, sum.restored, sum.restore_failures
+        );
+    }
+    if !chaos.is_noop() || hang_ms.is_some() {
+        let sum = server.summary();
+        println!(
+            "containment: {} worker panics, {} restarts, {} quarantined, {} hung",
+            sum.worker_panics, sum.worker_restarts, sum.quarantined, sum.hung
         );
     }
     if let Some(path) = trace_out {
@@ -282,6 +336,7 @@ pub fn simulate(args: &Args) -> CliResult {
     // but no directory is needed (payloads are virtual), so `--spill-dir`
     // is accepted and unused here.
     let (policy, _spill_dir, tier2_bytes) = parse_cache(args, false)?;
+    let (chaos, hang_ms, restart_budget, quarantine_limit) = parse_containment(args)?;
     let trace_out = args.get("trace-out");
     let metrics_out = args.get("metrics-out");
 
@@ -300,7 +355,11 @@ pub fn simulate(args: &Args) -> CliResult {
         .with_graft(args.flag("graft"))
         .with_tier2_budget(tier2_bytes)
         .with_observe(trace_out.is_some())
-        .with_overload(overload);
+        .with_overload(overload)
+        .with_chaos(chaos)
+        .with_hang_timeout(hang_ms.map(|ms| ms as f64 / 1000.0))
+        .with_restart_budget(restart_budget)
+        .with_quarantine_limit(quarantine_limit);
     if let Some(p) = policy {
         cfg = cfg.with_cache_policy(p);
     }
@@ -341,6 +400,16 @@ pub fn simulate(args: &Args) -> CliResult {
         println!(
             "tier 2:           {} spilled, {} restored, {} restore failures",
             report.spilled, report.restored, report.restore_failures
+        );
+    }
+    if !chaos.is_noop() || hang_ms.is_some() {
+        println!(
+            "containment:      {} worker panics, {} restarts, {} quarantined, {} hung, {} failed",
+            report.worker_panics,
+            report.worker_restarts,
+            report.quarantined,
+            report.hung,
+            report.failed
         );
     }
     if let Some(path) = trace_out {
@@ -484,5 +553,40 @@ mod tests {
         assert!(parse_cache(&args("--cache-policy fancy"), true).is_err());
         // Absent flag keeps the config default.
         assert_eq!(parse_cache(&args(""), true).unwrap().0, None);
+    }
+
+    #[test]
+    fn containment_flags_default_off() {
+        let (chaos, hang, restart, quarantine) = parse_containment(&args("")).unwrap();
+        assert!(chaos.is_noop());
+        assert_eq!(hang, None);
+        assert_eq!(restart, 8);
+        assert_eq!(quarantine, 3);
+    }
+
+    #[test]
+    fn containment_flags_parse_together() {
+        let a = args(
+            "--hang-timeout-ms 250 --restart-budget 2 --quarantine-limit 1 \
+             --chaos-seed 7 --chaos-poison-rate 0.1 --chaos-panic-at 3 \
+             --chaos-crash-spill-at 0 --chaos-flip-frame-at 5",
+        );
+        let (chaos, hang, restart, quarantine) = parse_containment(&a).unwrap();
+        assert!(!chaos.is_noop());
+        assert_eq!(chaos.seed, 7);
+        assert!(chaos.compute_should_panic(3, u64::MAX));
+        assert_eq!(chaos.crash_spill_write, Some(0));
+        assert_eq!(chaos.bit_flip_frame, Some(5));
+        assert_eq!(hang, Some(250));
+        assert_eq!(restart, 2);
+        assert_eq!(quarantine, 1);
+    }
+
+    #[test]
+    fn containment_flags_reject_bad_values() {
+        assert!(parse_containment(&args("--chaos-poison-rate 1.5")).is_err());
+        assert!(parse_containment(&args("--hang-timeout-ms 0")).is_err());
+        assert!(parse_containment(&args("--hang-timeout-ms banana")).is_err());
+        assert!(parse_containment(&args("--quarantine-limit 0")).is_err());
     }
 }

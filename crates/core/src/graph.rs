@@ -58,6 +58,8 @@ pub struct GraphStats {
     pub dequeued: u64,
     /// Nodes removed via swap-out.
     pub swapped_out: u64,
+    /// EXECUTING queries sent back to WAITING after their worker died.
+    pub requeued: u64,
     /// Directed edges ever created.
     pub edges_created: u64,
     /// Individual node re-rank computations performed.
@@ -283,6 +285,28 @@ impl<S: QuerySpec> SchedulingGraph<S> {
     /// re-ranks affected neighbors.
     pub fn mark_cached(&mut self, id: QueryId) {
         self.transition(id, QueryState::Cached);
+    }
+
+    /// Sends an EXECUTING query back to WAITING — the supervision requeue
+    /// (DESIGN.md §15): the worker running it died, so the query rejoins
+    /// the dequeue index (fresh rank, original arrival order preserved)
+    /// for a sibling worker to retry. Returns `false` when the query is
+    /// absent or not EXECUTING.
+    pub fn requeue(&mut self, id: QueryId) -> bool {
+        match self.nodes.get(&id) {
+            Some(n) if n.state == QueryState::Executing => {}
+            _ => return false,
+        }
+        self.transition(id, QueryState::Waiting);
+        // `transition` maintains the WAITING index only on *exit* from
+        // WAITING; re-entry re-ranks and re-inserts here.
+        let rank = self.compute_rank(id);
+        let node = self.nodes.get_mut(&id).unwrap();
+        node.rank = rank;
+        let key = WaitKey(rank, Reverse(node.arrival_seq), id);
+        self.waiting.insert(key);
+        self.stats.requeued += 1;
+        true
     }
 
     /// Removes a CACHED query whose result was evicted (SWAPPED_OUT): the
@@ -792,6 +816,63 @@ mod tests {
         g.insert(q(1), IntervalSpec::new(0, 100, 1));
         g.swap_out(q(99));
         assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn requeue_returns_executing_query_to_the_dequeue_index() {
+        let mut g = graph(Strategy::Fifo);
+        g.insert(q(1), IntervalSpec::new(0, 100, 1));
+        g.insert(q(2), IntervalSpec::new(5000, 100, 1));
+        assert_eq!(g.dequeue(), Some(q(1)));
+        // The worker running q1 "died": q1 rejoins the queue and, under
+        // FIFO, dequeues again ahead of the later-arrived q2.
+        assert!(g.requeue(q(1)));
+        assert_eq!(g.state_of(q(1)), Some(QueryState::Waiting));
+        g.validate().unwrap();
+        assert_eq!(g.dequeue(), Some(q(1)));
+        assert_eq!(g.dequeue(), Some(q(2)));
+        assert_eq!(g.stats().requeued, 1);
+    }
+
+    #[test]
+    fn requeue_recomputes_rank_against_current_graph() {
+        let mut g = graph(Strategy::Cnbf);
+        g.insert(q(1), IntervalSpec::new(0, 100, 1));
+        g.insert(q(2), IntervalSpec::new(0, 100, 1));
+        assert_eq!(g.dequeue(), Some(q(1)));
+        assert_eq!(g.dequeue(), Some(q(2)));
+        g.mark_cached(q(1));
+        // q2 re-enters WAITING with a fresh CNBF rank that sees the now
+        // cached q1 (positive), not its stale dequeue-time rank.
+        assert!(g.requeue(q(2)));
+        assert!(g.rank_of(q(2)).unwrap().value() > 0.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn requeue_rejects_non_executing_queries() {
+        let mut g = graph(Strategy::Fifo);
+        g.insert(q(1), IntervalSpec::new(0, 100, 1));
+        assert!(!g.requeue(q(1)), "WAITING query cannot be requeued");
+        assert!(!g.requeue(q(99)), "unknown query cannot be requeued");
+        assert_eq!(g.dequeue(), Some(q(1)));
+        g.mark_cached(q(1));
+        assert!(!g.requeue(q(1)), "CACHED query cannot be requeued");
+        assert_eq!(g.stats().requeued, 0);
+    }
+
+    #[test]
+    fn requeue_restores_chunkbatch_hot_set_accounting() {
+        let mut g = graph(Strategy::chunk_batch_default());
+        g.insert(q(1), IntervalSpec::new(0, 100, 1));
+        g.insert(q(2), IntervalSpec::new(0, 100, 1));
+        assert_eq!(g.dequeue(), Some(q(1)));
+        // Requeue drops q1's chunks from the hot set (it is no longer
+        // EXECUTING) and the index stays consistent.
+        assert!(g.requeue(q(1)));
+        g.validate().unwrap();
+        assert_eq!(g.dequeue(), Some(q(1)));
+        g.validate().unwrap();
     }
 
     #[test]

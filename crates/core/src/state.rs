@@ -30,11 +30,18 @@ impl QueryState {
     }
 
     /// Validates a lifecycle transition, returning `true` when legal.
+    ///
+    /// `Executing -> Waiting` is the supervision requeue (DESIGN.md §15):
+    /// when a worker dies mid-compute, its orphaned query goes back to the
+    /// queue for a sibling to retry rather than being lost.
     pub fn can_transition_to(self, next: QueryState) -> bool {
         use QueryState::*;
         matches!(
             (self, next),
-            (Waiting, Executing) | (Executing, Cached) | (Cached, SwappedOut)
+            (Waiting, Executing)
+                | (Executing, Cached)
+                | (Executing, Waiting)
+                | (Cached, SwappedOut)
         )
     }
 }
@@ -59,15 +66,18 @@ mod tests {
     fn legal_transitions() {
         assert!(Waiting.can_transition_to(Executing));
         assert!(Executing.can_transition_to(Cached));
+        // Supervision requeue: a dead worker's query goes back to WAITING.
+        assert!(Executing.can_transition_to(Waiting));
         assert!(Cached.can_transition_to(SwappedOut));
     }
 
     #[test]
     fn illegal_transitions() {
         assert!(!Waiting.can_transition_to(Cached));
-        assert!(!Executing.can_transition_to(Waiting));
         assert!(!SwappedOut.can_transition_to(Waiting));
         assert!(!Cached.can_transition_to(Executing));
+        assert!(!Cached.can_transition_to(Waiting));
+        assert!(!Waiting.can_transition_to(SwappedOut));
     }
 
     #[test]

@@ -587,6 +587,34 @@ mod tests {
     }
 
     #[test]
+    fn entry_panic_back_out_releases_subscribers() {
+        // The supervision back-out arc (DESIGN.md §15): a producer died
+        // mid-compute while a grafting consumer was subscribed to its
+        // CLAIMED (SUBSCRIBABLE) entry. The back-out force-swaps the
+        // entry out; the subscriber's next phase check observes the
+        // terminal state (never a stale SUBSCRIBABLE it would wait on
+        // forever), its unsubscribe still balances, and no later pin or
+        // publish can resurrect the entry.
+        let st = EntryState::new();
+        assert!(st.make_subscribable());
+        assert_eq!(st.subscribe(), Phase::Subscribable);
+        assert_eq!(st.subscribers(), 1);
+        // Producer panics: the worker's back-out runs under the store's
+        // write lock and unconditionally kills the reservation.
+        st.force_swap_out();
+        assert_eq!(st.phase(), Phase::SwappedOut);
+        // The woken subscriber re-checks, sees the tombstone, releases.
+        st.unsubscribe();
+        assert_eq!(st.subscribers(), 0);
+        assert!(!st.publish(), "dead reservation cannot publish");
+        assert!(!st.pin(), "dead reservation cannot be read");
+        assert!(!st.try_spill(), "dead reservation cannot spill");
+        // A late subscriber (raced the back-out) self-releases.
+        assert_eq!(st.subscribe(), Phase::SwappedOut);
+        assert_eq!(st.subscribers(), 0);
+    }
+
+    #[test]
     fn spill_restore_lifecycle() {
         let st = EntryState::new();
         assert!(!st.try_spill(), "only FULL entries can spill");

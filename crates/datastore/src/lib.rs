@@ -28,5 +28,5 @@ pub use entry::{BlobEntry, EntryState, GraftSubscription, Payload, Phase, PIN_ST
 pub use spatial_store::SpatialDataStore;
 pub use store::{
     benefit_score, DataStore, DsError, DsStats, EvictionPolicy, EvictionRecord, GraftCandidate,
-    Match, SpillRequest,
+    Match, SpillRequest, RECOVERED_PRODUCER,
 };

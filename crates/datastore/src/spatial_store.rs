@@ -62,7 +62,7 @@ impl<S: SpatialSpec> SpatialDataStore<S> {
     }
 
     /// See [`DataStore::take_pending_spills`].
-    pub fn take_pending_spills(&mut self) -> Vec<SpillRequest> {
+    pub fn take_pending_spills(&mut self) -> Vec<SpillRequest<S>> {
         self.inner.take_pending_spills()
     }
 
@@ -197,6 +197,19 @@ impl<S: SpatialSpec> SpatialDataStore<S> {
             self.index.remove(r.blob.raw());
         }
         ok
+    }
+
+    /// See [`DataStore::adopt_restorable`]. The adopted frame joins the
+    /// grid index immediately (like a spilled entry, which stays indexed)
+    /// so a later restore serves indexed lookups without re-insertion.
+    pub fn adopt_restorable(&mut self, blob: BlobId, spec: S, size: u64) -> bool {
+        let (dataset, rect) = spec.region_key();
+        if self.inner.adopt_restorable(blob, spec, size) {
+            self.index.insert(blob.raw(), dataset, rect);
+            true
+        } else {
+            false
+        }
     }
 
     /// See [`DataStore::drop_restorable`]. The dropped blob leaves the

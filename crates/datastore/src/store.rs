@@ -80,17 +80,25 @@ pub fn benefit_score(cost: f64, hits: u64, size: u64) -> f64 {
 /// entry whose on-disk copy does not exist yet); the simulator only
 /// counts it.
 #[derive(Clone, Debug)]
-pub struct SpillRequest {
+pub struct SpillRequest<S> {
     /// The spilled blob (also the tier-2 storage key).
     pub blob: BlobId,
     /// The query that produced it (for `Spilled` event attribution).
     pub producer: QueryId,
+    /// The entry's predicate — serialized into the spill frame's metadata
+    /// block so a cold restart can re-index the frame (DESIGN.md §15).
+    pub spec: S,
     /// Payload bytes moved to tier 2.
     pub size: u64,
     /// The detached payload to serialize ([`Payload::Virtual`] in the
     /// simulator).
     pub payload: Payload,
 }
+
+/// Sentinel producer id for entries adopted from a recovered spill frame
+/// ([`DataStore::adopt_restorable`]): the query that originally produced
+/// the frame belonged to a previous process and is in no graph.
+pub const RECOVERED_PRODUCER: QueryId = QueryId(u64::MAX);
 
 /// An in-flight entry a query could graft onto (DESIGN.md §13): returned
 /// by [`DataStore::lookup_subscribable`].
@@ -154,6 +162,9 @@ pub struct DsStats {
     /// Costed inserts refused by cost-based admission control (their
     /// benefit score could not beat the would-be victim's).
     pub unprofitable: u64,
+    /// RESTORABLE entries adopted from recovered spill frames at startup
+    /// (DESIGN.md §15).
+    pub adopted: u64,
 }
 
 /// Error returned by [`DataStore::malloc`].
@@ -207,6 +218,7 @@ struct StatCells {
     bytes_restored: AtomicU64,
     restore_failures: AtomicU64,
     unprofitable: AtomicU64,
+    adopted: AtomicU64,
 }
 
 impl StatCells {
@@ -225,6 +237,7 @@ impl StatCells {
             bytes_restored: self.bytes_restored.load(Ordering::Relaxed),
             restore_failures: self.restore_failures.load(Ordering::Relaxed),
             unprofitable: self.unprofitable.load(Ordering::Relaxed),
+            adopted: self.adopted.load(Ordering::Relaxed),
         }
     }
 }
@@ -248,7 +261,7 @@ pub struct DataStore<S: QuerySpec> {
     /// Spills produced by eviction passes since the last
     /// [`DataStore::take_pending_spills`]; the engine must drain and
     /// persist these before releasing structural exclusivity.
-    pending_spills: Vec<SpillRequest>,
+    pending_spills: Vec<SpillRequest<S>>,
     entries: HashMap<BlobId, BlobEntry<S>>,
     next_blob: u64,
     clock: AtomicU64,
@@ -313,7 +326,7 @@ impl<S: QuerySpec> DataStore<S> {
     /// *within the same write-lock critical section* that produced it;
     /// the simulator charges no write latency (spill writes are modeled
     /// as off the critical path) and simply drops the requests.
-    pub fn take_pending_spills(&mut self) -> Vec<SpillRequest> {
+    pub fn take_pending_spills(&mut self) -> Vec<SpillRequest<S>> {
         std::mem::take(&mut self.pending_spills)
     }
 
@@ -418,7 +431,7 @@ impl<S: QuerySpec> DataStore<S> {
         if self.tier2_budget > 0 && self.entries[&victim].state.try_spill() {
             let e = self.entries.get_mut(&victim).expect("victim exists");
             let payload = std::mem::replace(&mut e.payload, Payload::Virtual);
-            let (size, producer) = (e.size, e.producer);
+            let (size, producer, spec) = (e.size, e.producer, e.spec.clone());
             self.used -= size;
             self.tier2_used += size;
             self.stats.spilled.fetch_add(1, Ordering::Relaxed);
@@ -426,6 +439,7 @@ impl<S: QuerySpec> DataStore<S> {
             self.pending_spills.push(SpillRequest {
                 blob: victim,
                 producer,
+                spec,
                 size,
                 payload,
             });
@@ -650,6 +664,47 @@ impl<S: QuerySpec> DataStore<S> {
             tier: 2,
             score,
         })
+    }
+
+    /// Adopts a spill frame recovered from a previous process as a
+    /// RESTORABLE entry (DESIGN.md §15): the blob keeps its on-disk id
+    /// (so the existing frame file stays its tier-2 key), the producer is
+    /// the [`RECOVERED_PRODUCER`] sentinel (the original query belongs to
+    /// a dead process and is in no graph), and its bytes are charged to
+    /// tier 2. Returns `false` — and the caller deletes the frame — when
+    /// the spill tier is disabled, the frame would overflow the tier-2
+    /// budget, or the blob id is somehow already taken.
+    pub fn adopt_restorable(&mut self, blob: BlobId, spec: S, size: u64) -> bool {
+        if self.tier2_budget == 0
+            || self.tier2_used + size > self.tier2_budget
+            || self.entries.contains_key(&blob)
+        {
+            return false;
+        }
+        // Future allocations must never reuse an adopted id.
+        self.next_blob = self.next_blob.max(blob.raw() + 1);
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let state = EntryState::new();
+        let published = state.publish();
+        let spilled = state.try_spill();
+        debug_assert!(published && spilled, "fresh entry reaches RESTORABLE");
+        self.entries.insert(
+            blob,
+            BlobEntry {
+                id: blob,
+                producer: RECOVERED_PRODUCER,
+                spec,
+                size,
+                payload: Payload::Virtual,
+                state,
+                last_access: AtomicU64::new(now),
+                cost: 0.0,
+                hits: AtomicU64::new(0),
+            },
+        );
+        self.tier2_used += size;
+        self.stats.adopted.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Drops an uncommitted reservation (producing query aborted). The
@@ -1472,6 +1527,60 @@ mod tests {
         assert!(ds.lookup_restorable_exact(&s1).is_none());
         // A second restore of the same (now FULL) blob is refused.
         assert!(!ds.restore(b1, Payload::Virtual, &mut ev));
+    }
+
+    #[test]
+    fn adopt_restorable_reuses_blob_id_and_charges_tier2() {
+        let mut ds = cost_store(100).with_tier2(1000);
+        let s1 = spec(0, 100, 1);
+        assert!(ds.adopt_restorable(BlobId(7), s1.clone(), 100));
+        assert_eq!(ds.tier2_used(), 100);
+        assert_eq!(ds.used(), 0, "adopted bytes live in tier 2, not tier 1");
+        assert_eq!(ds.stats().adopted, 1);
+        // Discoverable exactly like a frame spilled this run, attributed
+        // to the dead-process sentinel producer.
+        assert_eq!(
+            ds.lookup_restorable_exact(&s1),
+            Some((BlobId(7), RECOVERED_PRODUCER, 100))
+        );
+        // Fresh allocations never collide with the adopted id.
+        let mut ev = Vec::new();
+        let b = ds
+            .insert_costed(
+                QueryId(1),
+                spec(1000, 100, 1),
+                50,
+                1.0,
+                Payload::Virtual,
+                &mut ev,
+            )
+            .unwrap();
+        assert!(b.raw() > 7, "next_blob advanced past the adopted id");
+        // Restore re-heats it into tier 1 like any spilled entry; making
+        // room displaces the 50-byte twin into tier 2 in turn.
+        assert!(ds.restore(BlobId(7), Payload::Virtual, &mut ev));
+        assert_eq!(ds.tier2_used(), 50);
+        assert_eq!(ds.lookup(&s1).len(), 1, "restored entry serves lookups");
+    }
+
+    #[test]
+    fn adopt_restorable_refuses_overflow_disabled_and_duplicates() {
+        // Spill tier disabled: nothing to adopt into.
+        let mut ds = cost_store(100);
+        assert!(!ds.adopt_restorable(BlobId(1), spec(0, 100, 1), 100));
+        // Tier 2 fits one frame and a half.
+        let mut ds = cost_store(100).with_tier2(150);
+        assert!(ds.adopt_restorable(BlobId(1), spec(0, 100, 1), 100));
+        assert!(
+            !ds.adopt_restorable(BlobId(2), spec(500, 100, 1), 100),
+            "second frame would overflow the tier-2 budget"
+        );
+        assert!(
+            !ds.adopt_restorable(BlobId(1), spec(900, 100, 1), 10),
+            "blob id already taken"
+        );
+        assert_eq!(ds.stats().adopted, 1);
+        assert_eq!(ds.tier2_used(), 100);
     }
 
     #[test]

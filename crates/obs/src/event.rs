@@ -95,6 +95,27 @@ pub enum EventKind {
     /// Terminal: the query was admitted but evicted from the waiting
     /// queue by the load shedder (largest `qinputsize` first).
     Shed,
+    /// The worker computing this query died (panicked). Non-terminal:
+    /// the query is either requeued for a sibling worker (followed by a
+    /// fresh `Ranked` when re-dequeued) or quarantined (followed by
+    /// `Quarantined` + `Failed`).
+    WorkerPanicked,
+    /// The query killed its last allowed worker (the per-query panic
+    /// count reached the quarantine limit) and is failed typed-ly
+    /// instead of being retried again. Non-terminal — the matching
+    /// `Failed` event is the terminal one.
+    Quarantined {
+        /// Workers this query killed before being quarantined.
+        attempts: u32,
+    },
+    /// A replacement worker thread was spawned for one that panicked
+    /// (restart budget permitting). Attributed to the query whose
+    /// compute killed the predecessor.
+    WorkerRestarted,
+    /// The query exceeded the hang timeout (wall clock on the server,
+    /// virtual time in the sim) and was cancelled through the deadline
+    /// machinery. Non-terminal — the matching `TimedOut` is terminal.
+    Hung,
 }
 
 impl EventKind {
@@ -116,6 +137,10 @@ impl EventKind {
             EventKind::TimedOut => "timed_out",
             EventKind::Rejected { .. } => "rejected",
             EventKind::Shed => "shed",
+            EventKind::WorkerPanicked => "worker_panicked",
+            EventKind::Quarantined { .. } => "quarantined",
+            EventKind::WorkerRestarted => "worker_restarted",
+            EventKind::Hung => "hung",
         }
     }
 
@@ -378,6 +403,9 @@ pub fn events_to_json(events: &[EventRecord]) -> String {
             EventKind::Spilled { bytes } | EventKind::Restored { bytes } => {
                 let _ = write!(out, ", \"bytes\": {bytes}");
             }
+            EventKind::Quarantined { attempts } => {
+                let _ = write!(out, ", \"attempts\": {attempts}");
+            }
             _ => {}
         }
         out.push('}');
@@ -525,6 +553,34 @@ mod tests {
         assert!(!EventKind::Spilled { bytes: 1 }.is_terminal());
         assert!(!EventKind::Restored { bytes: 1 }.is_terminal());
         assert!(!EventKind::Degraded.is_terminal());
+        // Failure-containment events are all non-terminal: the matching
+        // Failed/TimedOut (or a successful retry's Completed) terminates.
+        assert!(!EventKind::WorkerPanicked.is_terminal());
+        assert!(!EventKind::Quarantined { attempts: 2 }.is_terminal());
+        assert!(!EventKind::WorkerRestarted.is_terminal());
+        assert!(!EventKind::Hung.is_terminal());
+    }
+
+    #[test]
+    fn chaos_events_label_and_export() {
+        let log = EventLog::new(true);
+        log.log_at(0.0, QueryId(4), EventKind::WorkerPanicked);
+        log.log_at(0.1, QueryId(4), EventKind::WorkerRestarted);
+        log.log_at(0.2, QueryId(4), EventKind::Quarantined { attempts: 3 });
+        log.log_at(0.3, QueryId(5), EventKind::Hung);
+        assert_eq!(EventKind::WorkerPanicked.label(), "worker_panicked");
+        assert_eq!(
+            EventKind::Quarantined { attempts: 0 }.label(),
+            "quarantined"
+        );
+        assert_eq!(EventKind::WorkerRestarted.label(), "worker_restarted");
+        assert_eq!(EventKind::Hung.label(), "hung");
+        let json = events_to_json(&log.snapshot());
+        assert!(json.contains("\"event\": \"worker_panicked\""));
+        assert!(json.contains("\"event\": \"worker_restarted\""));
+        assert!(json.contains("\"event\": \"quarantined\""));
+        assert!(json.contains("\"attempts\": 3"));
+        assert!(json.contains("\"event\": \"hung\""));
     }
 
     #[test]

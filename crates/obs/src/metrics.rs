@@ -186,6 +186,18 @@ pub struct QueryMetrics {
     pub ds_spills: Arc<Counter>,
     /// `vmqs_ds_restores_total` — entries re-heated from tier 2.
     pub ds_restores: Arc<Counter>,
+    /// `vmqs_worker_panics_total` — worker threads killed by a panicking
+    /// compute (DESIGN.md §15).
+    pub worker_panics: Arc<Counter>,
+    /// `vmqs_worker_restarts_total` — replacement workers spawned under
+    /// the restart budget.
+    pub worker_restarts: Arc<Counter>,
+    /// `vmqs_queries_quarantined_total` — poison queries failed typed-ly
+    /// after reaching the quarantine limit.
+    pub quarantined: Arc<Counter>,
+    /// `vmqs_queries_hung_total` — queries cancelled by the hang
+    /// watchdog.
+    pub hung: Arc<Counter>,
     /// `vmqs_queue_wait_seconds`
     pub queue_wait: Arc<Histogram>,
     /// `vmqs_service_time_seconds`
@@ -209,6 +221,10 @@ impl QueryMetrics {
             ds_evictions: reg.counter("vmqs_ds_evictions_total"),
             ds_spills: reg.counter("vmqs_ds_spills_total"),
             ds_restores: reg.counter("vmqs_ds_restores_total"),
+            worker_panics: reg.counter("vmqs_worker_panics_total"),
+            worker_restarts: reg.counter("vmqs_worker_restarts_total"),
+            quarantined: reg.counter("vmqs_queries_quarantined_total"),
+            hung: reg.counter("vmqs_queries_hung_total"),
             queue_wait: reg.histogram("vmqs_queue_wait_seconds"),
             service_time: reg.histogram("vmqs_service_time_seconds"),
         }

@@ -39,6 +39,10 @@ pub struct QueryTimeline {
     pub degraded: bool,
     /// True when the query answered by grafting onto an in-flight peer.
     pub grafted: bool,
+    /// Workers this query's compute killed (panics attributed to it).
+    pub worker_panics: u64,
+    /// True when the quarantine rule failed the query typed-ly.
+    pub quarantined: bool,
 }
 
 impl QueryTimeline {
@@ -65,6 +69,8 @@ pub fn timelines(events: &[EventRecord]) -> Vec<QueryTimeline> {
             pages_read: 0,
             degraded: false,
             grafted: false,
+            worker_panics: 0,
+            quarantined: false,
         });
         match e.kind {
             EventKind::Submitted => t.submitted = Some(e.time),
@@ -78,10 +84,14 @@ pub fn timelines(events: &[EventRecord]) -> Vec<QueryTimeline> {
             EventKind::Rejected { .. } => t.terminal = Some((Terminal::Rejected, e.time)),
             EventKind::Shed => t.terminal = Some((Terminal::Shed, e.time)),
             EventKind::Grafted { .. } => t.grafted = true,
+            EventKind::WorkerPanicked => t.worker_panics += 1,
+            EventKind::Quarantined { .. } => t.quarantined = true,
             EventKind::SubquerySpawned { .. }
             | EventKind::Evicted { .. }
             | EventKind::Spilled { .. }
-            | EventKind::Restored { .. } => {}
+            | EventKind::Restored { .. }
+            | EventKind::WorkerRestarted
+            | EventKind::Hung => {}
         }
     }
     map.into_values().collect()

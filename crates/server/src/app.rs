@@ -16,7 +16,7 @@ use vmqs_core::{QuerySpec, Rect, SpatialSpec};
 use vmqs_microscope::kernels::{
     compute_from_chunks, compute_from_pages, kernel_threads, project_banded, will_band,
 };
-use vmqs_microscope::{RgbImage, RgbView, VmQuery, BYTES_PER_PIXEL, PAGE_SIZE};
+use vmqs_microscope::{RgbImage, RgbView, SlideDataset, VmQuery, BYTES_PER_PIXEL, PAGE_SIZE};
 
 /// The result of executing one query.
 #[derive(Debug)]
@@ -69,6 +69,23 @@ pub trait AppExecutor: Send + Sync + 'static {
     fn degrade(&self, _spec: &Self::Spec) -> Option<Self::Spec> {
         None
     }
+
+    /// Serializes a predicate into the meta block of a tier-2 spill frame
+    /// so [`decode_spec`](AppExecutor::decode_spec) can rebuild the Data
+    /// Store entry after a crash (DESIGN.md §15). The default (empty)
+    /// makes recovered frames unidentifiable: recovery deletes them
+    /// instead of re-adopting, which is safe for applications that never
+    /// opt into a codec.
+    fn encode_spec(&self, _spec: &Self::Spec) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Rebuilds a predicate from a spill frame's meta block. `None` means
+    /// the bytes are unrecognizable (foreign app, stale codec version):
+    /// the recovery scan deletes the frame rather than adopting garbage.
+    fn decode_spec(&self, _meta: &[u8]) -> Option<Self::Spec> {
+        None
+    }
 }
 
 /// The Virtual Microscope's executor: 2-D greedy projection plus
@@ -98,6 +115,74 @@ impl AppExecutor for VmExecutor {
             }),
             vmqs_microscope::VmOp::Subsample => None,
         }
+    }
+
+    /// Fixed-width little-endian frame meta: dataset id, slide dims,
+    /// window, zoom, op tag. 37 bytes; no varints so `decode_spec` can
+    /// reject on length alone.
+    fn encode_spec(&self, spec: &VmQuery) -> Vec<u8> {
+        let mut out = Vec::with_capacity(37);
+        out.extend_from_slice(&spec.slide.id.0.to_le_bytes());
+        out.extend_from_slice(&spec.slide.width.to_le_bytes());
+        out.extend_from_slice(&spec.slide.height.to_le_bytes());
+        out.extend_from_slice(&spec.region.x.to_le_bytes());
+        out.extend_from_slice(&spec.region.y.to_le_bytes());
+        out.extend_from_slice(&spec.region.w.to_le_bytes());
+        out.extend_from_slice(&spec.region.h.to_le_bytes());
+        out.extend_from_slice(&spec.zoom.to_le_bytes());
+        out.push(match spec.op {
+            vmqs_microscope::VmOp::Subsample => 0,
+            vmqs_microscope::VmOp::Average => 1,
+        });
+        out
+    }
+
+    fn decode_spec(&self, meta: &[u8]) -> Option<VmQuery> {
+        if meta.len() != 37 {
+            return None;
+        }
+        let u64_at = |i: usize| u64::from_le_bytes(meta[i..i + 8].try_into().unwrap());
+        let u32_at = |i: usize| u32::from_le_bytes(meta[i..i + 4].try_into().unwrap());
+        let (sw, sh) = (u32_at(8), u32_at(12));
+        let region = Rect {
+            x: u32_at(16),
+            y: u32_at(20),
+            w: u32_at(24),
+            h: u32_at(28),
+        };
+        let zoom = u32_at(32);
+        let op = match meta[36] {
+            0 => vmqs_microscope::VmOp::Subsample,
+            1 => vmqs_microscope::VmOp::Average,
+            _ => return None,
+        };
+        // Re-validate the constructor's invariants instead of trusting
+        // disk bytes: non-degenerate slide, zoomed + aligned + in-bounds
+        // window. Anything off means a stale codec or corruption that
+        // slipped past the CRC — refuse, and recovery deletes the frame.
+        if sw == 0 || sh == 0 || zoom == 0 || region.w == 0 || region.h == 0 {
+            return None;
+        }
+        let aligned = [region.x, region.y, region.w, region.h]
+            .iter()
+            .all(|v| v % zoom == 0);
+        let in_bounds = region
+            .x
+            .checked_add(region.w)
+            .is_some_and(|right| right <= sw)
+            && region
+                .y
+                .checked_add(region.h)
+                .is_some_and(|bottom| bottom <= sh);
+        if !aligned || !in_bounds {
+            return None;
+        }
+        Some(VmQuery {
+            slide: SlideDataset::new(vmqs_core::DatasetId(u64_at(0)), sw, sh),
+            region,
+            zoom,
+            op,
+        })
     }
 
     fn execute(
@@ -234,6 +319,27 @@ mod tests {
         assert_eq!(out.bytes, reference_render(&target).data);
         assert!(out.covered_fraction > 0.2);
         assert!(out.reused_bytes > 0);
+    }
+
+    #[test]
+    fn spec_codec_roundtrips_and_rejects_garbage() {
+        let spec = VmQuery::new(slide(), Rect::new(10, 10, 256, 256), 2, VmOp::Average);
+        let meta = VmExecutor.encode_spec(&spec);
+        assert_eq!(meta.len(), 37);
+        assert_eq!(VmExecutor.decode_spec(&meta), Some(spec));
+
+        // Wrong length, unknown op tag, and out-of-bounds windows are all
+        // refused rather than panicking in the VmQuery constructor.
+        assert_eq!(VmExecutor.decode_spec(&meta[..36]), None);
+        let mut bad_op = meta.clone();
+        bad_op[36] = 9;
+        assert_eq!(VmExecutor.decode_spec(&bad_op), None);
+        let mut oob = meta.clone();
+        oob[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(VmExecutor.decode_spec(&oob), None);
+        let mut misaligned = meta;
+        misaligned[16..20].copy_from_slice(&11u32.to_le_bytes());
+        assert_eq!(VmExecutor.decode_spec(&misaligned), None);
     }
 
     #[test]

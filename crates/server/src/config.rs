@@ -5,7 +5,7 @@ use std::time::Duration;
 use vmqs_core::{OverloadConfig, Strategy};
 use vmqs_datastore::EvictionPolicy;
 use vmqs_pagespace::RetryPolicy;
-use vmqs_storage::FaultConfig;
+use vmqs_storage::{ChaosConfig, FaultConfig};
 
 /// Configuration of the multithreaded query server.
 ///
@@ -80,6 +80,22 @@ pub struct ServerConfig {
     /// the page-read injector so tests can poison spill frames without
     /// perturbing page I/O.
     pub spill_fault: FaultConfig,
+    /// Seeded process-failure injection (DESIGN.md §15): poison queries
+    /// whose compute panics the worker, panic-at-nth-compute, and spill
+    /// kill-points. No-op by default.
+    pub chaos: ChaosConfig,
+    /// Hang watchdog: a query stuck in execution longer than this (wall
+    /// clock on the server, virtual time in the sim) is cancelled through
+    /// the deadline machinery and reported `Hung`. `None` disables.
+    pub hang_timeout: Option<Duration>,
+    /// How many replacement workers may be spawned for panicked ones over
+    /// the server's lifetime. Once exhausted, further panics shrink the
+    /// pool; if the whole pool dies, waiting queries fail typed-ly.
+    pub restart_budget: usize,
+    /// A query whose compute has panicked this many workers is
+    /// quarantined: failed with a typed error instead of requeued again.
+    /// Must be at least 1.
+    pub quarantine_limit: u32,
 }
 
 impl ServerConfig {
@@ -105,6 +121,10 @@ impl ServerConfig {
             spill_dir: None,
             tier2_budget: 0,
             spill_fault: FaultConfig::none(),
+            chaos: ChaosConfig::none(),
+            hang_timeout: None,
+            restart_budget: 8,
+            quarantine_limit: 3,
         }
     }
 
@@ -230,6 +250,32 @@ impl ServerConfig {
         self.spill_dir.is_some() && self.tier2_budget > 0
     }
 
+    /// Builder-style chaos-injection override (DESIGN.md §15).
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Builder-style hang-watchdog limit override (`None` disables).
+    pub fn with_hang_timeout(mut self, t: Option<Duration>) -> Self {
+        self.hang_timeout = t;
+        self
+    }
+
+    /// Builder-style worker-restart budget override.
+    pub fn with_restart_budget(mut self, n: usize) -> Self {
+        self.restart_budget = n;
+        self
+    }
+
+    /// Builder-style quarantine limit override (panics per query before
+    /// the query is failed typed-ly; must be at least 1).
+    pub fn with_quarantine_limit(mut self, n: u32) -> Self {
+        assert!(n >= 1, "quarantine limit must be at least 1");
+        self.quarantine_limit = n;
+        self
+    }
+
     /// Builder-style admission bound (`0` = unbounded).
     pub fn with_max_pending(mut self, n: usize) -> Self {
         self.overload.max_pending = n;
@@ -341,5 +387,30 @@ mod tests {
         assert_eq!(c.ds_policy, EvictionPolicy::CostBased);
         assert_eq!(c.tier2_budget, 1 << 20);
         assert_eq!(c.spill_fault.permanent_rate, 0.1);
+    }
+
+    #[test]
+    fn containment_builders_compose_and_default_sane() {
+        let base = ServerConfig::small();
+        assert!(base.chaos.is_noop(), "chaos is opt-in");
+        assert!(base.hang_timeout.is_none(), "watchdog is opt-in");
+        assert!(base.restart_budget > 0, "panics survive by default");
+        assert!(base.quarantine_limit >= 1);
+        let c = ServerConfig::small()
+            .with_chaos(ChaosConfig::none().with_seed(7).with_poison_rate(0.1))
+            .with_hang_timeout(Some(Duration::from_millis(500)))
+            .with_restart_budget(2)
+            .with_quarantine_limit(1);
+        assert!(!c.chaos.is_noop());
+        assert_eq!(c.chaos.seed, 7);
+        assert_eq!(c.hang_timeout, Some(Duration::from_millis(500)));
+        assert_eq!(c.restart_budget, 2);
+        assert_eq!(c.quarantine_limit, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quarantine limit")]
+    fn zero_quarantine_limit_rejected() {
+        ServerConfig::small().with_quarantine_limit(0);
     }
 }

@@ -80,6 +80,7 @@ use crate::result::{AnswerPath, QueryRecord, QueryResult, ServerSummary};
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use vmqs_core::clock;
@@ -271,6 +272,32 @@ struct Core<A: AppExecutor> {
     /// Data Store entry at publish time — redundant work the grafting +
     /// producer-affinity machinery exists to eliminate (ROADMAP item 1).
     duplicate_full_computes: AtomicU64,
+    /// Global compute ordinal — the chaos injector's panic-at-nth
+    /// coordinate (DESIGN.md §15). Counts every entry into the compute
+    /// stage, across all workers.
+    compute_seq: AtomicU64,
+    /// Per-query panic attempts (the quarantine counter). Only touched
+    /// after a panic has already happened, so never on the healthy path.
+    quarantine: Mutex<HashMap<QueryId, u32>>,
+    /// Replacement workers still allowed, counting down from
+    /// [`ServerConfig::restart_budget`].
+    restarts_left: AtomicUsize,
+    /// Workers currently alive. When a panic retires the last one, the
+    /// pool is dead: WAITING queries are failed typed-ly and later
+    /// submissions are refused with [`ServerError::WorkerPanicked`].
+    live_workers: AtomicUsize,
+    /// Set when the whole pool has died (restart budget exhausted).
+    pool_dead: AtomicBool,
+    /// Handles of respawned replacement workers, joined at shutdown.
+    respawned: Mutex<Vec<JoinHandle<()>>>,
+    /// Worker threads killed by a panicking compute.
+    worker_panics: AtomicU64,
+    /// Replacement workers spawned under the restart budget.
+    worker_restarts: AtomicU64,
+    /// Queries failed typed-ly by the quarantine rule.
+    quarantined: AtomicU64,
+    /// Queries cancelled by the hang watchdog.
+    hung: AtomicU64,
     /// Event log + metrics registry (DESIGN.md §9). Counters are always
     /// live; the event log records only when `cfg.observe` is set.
     obs: Arc<Obs>,
@@ -313,8 +340,29 @@ impl<A: AppExecutor> QueryServer<A> {
             SpillStore::new(dir)
                 .expect("spill directory must be creatable")
                 .with_faults(cfg.spill_fault)
+                .with_chaos(cfg.chaos)
         });
         let tier2_budget = if spill.is_some() { cfg.tier2_budget } else { 0 };
+        let mut store = SpatialDataStore::with_policy(cfg.ds_budget, cfg.index_cell, cfg.ds_policy)
+            .with_tier2(tier2_budget);
+        if let Some(spill) = &spill {
+            // Crash-consistent recovery (DESIGN.md §15): validate every
+            // frame a previous process left behind, adopt the intact ones
+            // back into tier 2 as RESTORABLE entries, and delete the rest
+            // — torn tmp files, corrupt frames, and frames whose
+            // predicate no longer decodes. After this scan, every file in
+            // the directory is byte-accounted by the Data Store.
+            if let Ok(report) = spill.recover() {
+                for f in report.restorable {
+                    let adopted = app
+                        .decode_spec(&f.meta)
+                        .is_some_and(|spec| store.adopt_restorable(f.blob, spec, f.size));
+                    if !adopted {
+                        let _ = spill.remove(f.blob);
+                    }
+                }
+            }
+        }
         let core = Arc::new(Core {
             shards: (0..cfg.num_threads)
                 .map(|_| Shard::new(cfg.strategy))
@@ -322,10 +370,7 @@ impl<A: AppExecutor> QueryServer<A> {
             admission: Mutex::new(AdmissionState {
                 buckets: HashMap::new(),
             }),
-            store: RwLock::new(
-                SpatialDataStore::with_policy(cfg.ds_budget, cfg.index_cell, cfg.ds_policy)
-                    .with_tier2(tier2_budget),
-            ),
+            store: RwLock::new(store),
             spill,
             metrics: Mutex::new(Vec::new()),
             idle: Mutex::new(()),
@@ -366,6 +411,16 @@ impl<A: AppExecutor> QueryServer<A> {
             shed: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             duplicate_full_computes: AtomicU64::new(0),
+            compute_seq: AtomicU64::new(0),
+            quarantine: Mutex::new(HashMap::new()),
+            restarts_left: AtomicUsize::new(cfg.restart_budget),
+            live_workers: AtomicUsize::new(cfg.num_threads),
+            pool_dead: AtomicBool::new(false),
+            respawned: Mutex::new(Vec::new()),
+            worker_panics: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            hung: AtomicU64::new(0),
             obs,
             qmet,
             app,
@@ -381,7 +436,7 @@ impl<A: AppExecutor> QueryServer<A> {
                 let core = Arc::clone(&core);
                 std::thread::Builder::new()
                     .name(format!("vmqs-query-{i}"))
-                    .spawn(move || worker_loop(&core, i))
+                    .spawn(move || worker_entry(core, i))
                     .ok()
             })
             .collect();
@@ -389,6 +444,7 @@ impl<A: AppExecutor> QueryServer<A> {
             !workers.is_empty(),
             "could not spawn any query worker thread"
         );
+        core.live_workers.store(workers.len(), Ordering::SeqCst);
         QueryServer { core, workers }
     }
 
@@ -416,6 +472,17 @@ impl<A: AppExecutor> QueryServer<A> {
             !self.core.shutdown.load(Ordering::SeqCst),
             "submit after shutdown"
         );
+        if self.core.pool_dead.load(Ordering::SeqCst) {
+            // The whole pool died (restart budget exhausted): refuse
+            // typed-ly instead of queueing work no one will ever run.
+            self.core.qmet.submitted.inc();
+            self.core.obs.log.log(id, EventKind::Submitted);
+            self.core.failed.fetch_add(1, Ordering::Relaxed);
+            self.core.qmet.failed.inc();
+            self.core.obs.log.log(id, EventKind::Failed);
+            let _ = tx.send(Err(ServerError::WorkerPanicked));
+            return QueryHandle { id, rx };
+        }
         if !ov.enabled() {
             // Fast path: no pressure-signal gathering, identical to the
             // pre-overload submit. Touches only the home shard's lock.
@@ -698,10 +765,24 @@ impl<A: AppExecutor> QueryServer<A> {
             }
             sh.done_cv.notify_all();
         }
-        let mut panicked = 0usize;
+        let mut join_panics = 0u64;
         for w in self.workers.drain(..) {
             if w.join().is_err() {
-                panicked += 1;
+                join_panics += 1;
+            }
+        }
+        // Replacement workers the supervision layer spawned. A panic
+        // during this join can itself respawn one more, so drain until
+        // the list stays empty.
+        loop {
+            let respawned: Vec<_> = self.core.respawned.lock().drain(..).collect();
+            if respawned.is_empty() {
+                break;
+            }
+            for w in respawned {
+                if w.join().is_err() {
+                    join_panics += 1;
+                }
             }
         }
         // Exiting workers flush their own event buffers; sweep them all
@@ -717,7 +798,15 @@ impl<A: AppExecutor> QueryServer<A> {
                 let _ = tx.send(Err(ServerError::Shutdown));
             }
         }
-        assert_eq!(panicked, 0, "{panicked} query thread(s) panicked");
+        // A panic that escaped the supervision layer entirely (outside
+        // `run_one`) is accounted, not asserted on: every client already
+        // got a typed error above, and the summary reports the damage.
+        self.core
+            .worker_panics
+            .fetch_add(join_panics, Ordering::Relaxed);
+        for _ in 0..join_panics {
+            self.core.qmet.worker_panics.inc();
+        }
     }
 
     /// Execution records of all completed queries so far. This copies the
@@ -770,6 +859,10 @@ impl<A: AppExecutor> QueryServer<A> {
         out.spilled = ds.spilled;
         out.restored = ds.restored;
         out.restore_failures = ds.restore_failures;
+        out.worker_panics = self.core.worker_panics.load(Ordering::Relaxed);
+        out.worker_restarts = self.core.worker_restarts.load(Ordering::Relaxed);
+        out.quarantined = self.core.quarantined.load(Ordering::Relaxed) as usize;
+        out.hung = self.core.hung.load(Ordering::Relaxed) as usize;
         out
     }
 
@@ -929,6 +1022,15 @@ impl<A: AppExecutor> Core<A> {
     /// park sequence — at least one side always sees the other, and the
     /// `idle` lock bridges the check-to-wait window.
     fn wake_one(&self) {
+        if self.pool_dead.load(Ordering::SeqCst) {
+            // The pool died; whatever was just queued will never run.
+            // Every admit path calls a wake, so sweeping here closes the
+            // admit/pool-death race: either the submitter sees the flag
+            // (and sweeps its own query), or the dying worker's sweep —
+            // which runs after the flag store — sees the admitted query.
+            fail_all_waiting(self);
+            return;
+        }
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _g = self.idle.lock();
             self.work_cv.notify_one();
@@ -937,6 +1039,10 @@ impl<A: AppExecutor> Core<A> {
 
     /// As [`Core::wake_one`], for batch submission and resume.
     fn wake_all(&self) {
+        if self.pool_dead.load(Ordering::SeqCst) {
+            fail_all_waiting(self);
+            return;
+        }
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _g = self.idle.lock();
             self.work_cv.notify_all();
@@ -1065,7 +1171,7 @@ struct Job<S> {
     was_degraded: bool,
 }
 
-fn worker_loop<A: AppExecutor>(core: &Core<A>, me: usize) {
+fn worker_entry<A: AppExecutor>(core: Arc<Core<A>>, me: usize) {
     let order = steal_order(me, core.shards.len(), core.cfg.steal_seed);
     loop {
         if core.shutdown.load(Ordering::SeqCst) {
@@ -1079,7 +1185,7 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>, me: usize) {
         // Own shard first; steal from the richest victim (by the
         // lock-free depth mirrors, ties broken by this worker's seeded
         // permutation) only when the home ready queue is empty.
-        let job = match try_dequeue(core, me) {
+        let job = match try_dequeue(&core, me) {
             Some(job) => Some(job),
             None => {
                 // A steal boundary is an event-drain point.
@@ -1091,14 +1197,217 @@ fn worker_loop<A: AppExecutor>(core: &Core<A>, me: usize) {
                         best = Some((d, v));
                     }
                 }
-                best.and_then(|(_, v)| try_dequeue(core, v))
+                best.and_then(|(_, v)| try_dequeue(&core, v))
             }
         };
         // Raced another worker for the last entries; re-check from the
         // top (the counters may have gone to zero, in which case we
         // park instead of spinning).
         let Some(job) = job else { continue };
-        run_one(core, me, job);
+        // Supervision (DESIGN.md §15): a panicking compute kills this
+        // worker, not the pool. The unwind is caught here — after the
+        // inner guard in `execute_query` has already returned the compute
+        // permit and aborted the reservation — the orphaned query is
+        // requeued or quarantined, and a replacement worker is spawned
+        // under the restart budget. Lock guards released on the unwind
+        // path leave consistent state: the injected panic point fires
+        // with no engine lock held.
+        let (k, id, submitted, was_degraded) = (job.shard, job.id, job.submitted, job.was_degraded);
+        if catch_unwind(AssertUnwindSafe(|| run_one(&core, me, job))).is_err() {
+            // The restart-budget token is claimed (and the restart
+            // counted) *before* the query's handle resolves, so a caller
+            // whose wait() just returned observes restart accounting
+            // consistent with the panics that caused it; only the thread
+            // spawn itself happens after the back-out.
+            let replacement = claim_restart(&core);
+            handle_worker_panic(&core, me, k, id, submitted, was_degraded, replacement);
+            respawn_or_retire(core, me, replacement);
+            return;
+        }
+    }
+}
+
+/// Backs out a panicked worker's in-flight query. The panic unwound
+/// through `run_one` with no locks held (guards release on unwind) and
+/// the compute permit/reservation already returned by the inner guard in
+/// `execute_query`; what remains is the scheduling residue: the query is
+/// EXECUTING in its shard's graph with its reply channel still pending.
+/// Below the quarantine limit it is requeued for a sibling shard's
+/// worker (or the replacement); at the limit it is failed typed-ly — a
+/// deterministic poison query must not crash-loop the pool.
+fn handle_worker_panic<A: AppExecutor>(
+    core: &Core<A>,
+    me: usize,
+    k: usize,
+    id: QueryId,
+    submitted: Instant,
+    was_degraded: bool,
+    replacement: bool,
+) {
+    core.worker_panics.fetch_add(1, Ordering::Relaxed);
+    core.qmet.worker_panics.inc();
+    core.buf_push(me, id, EventKind::WorkerPanicked);
+    let attempts = {
+        let mut q = core.quarantine.lock();
+        let e = q.entry(id).or_insert(0);
+        *e += 1;
+        *e
+    };
+    let mut s = core.shards[k].state.lock();
+    s.waiting_on.remove(&id);
+    if attempts < core.cfg.quarantine_limit && s.graph.requeue(id) {
+        // Orphaned work back into the dequeue index with its original
+        // arrival order; the counter increments stay under the shard
+        // lock (like `admit`) so a dequeuer never sees the query before
+        // the counters account for it.
+        s.submit_time.insert(id, submitted);
+        if was_degraded {
+            s.degraded.insert(id);
+        }
+        core.shards[k].depth.fetch_add(1, Ordering::SeqCst);
+        core.total_waiting.fetch_add(1, Ordering::SeqCst);
+        drop(s);
+        if replacement {
+            count_restart(core, me, id);
+        }
+        core.buf_flush(me);
+        core.wake_one();
+        return;
+    }
+    // Quarantine (or, defensively, a panic that left the query past
+    // EXECUTING): the same terminal back-out a failed query takes, with
+    // a typed error.
+    let quarantined = attempts >= core.cfg.quarantine_limit;
+    if s.graph.state_of(id) == Some(QueryState::Executing) {
+        s.graph.mark_cached(id);
+    }
+    if s.graph.state_of(id) == Some(QueryState::Cached) && !s.blob_of.contains_key(&id) {
+        s.graph.swap_out(id);
+    }
+    s.submit_time.remove(&id);
+    s.degraded.remove(&id);
+    let tx = s.pending.remove(&id);
+    drop(s);
+    core.quarantine.lock().remove(&id);
+    core.failed.fetch_add(1, Ordering::Relaxed);
+    core.qmet.failed.inc();
+    let err = if quarantined {
+        core.quarantined.fetch_add(1, Ordering::Relaxed);
+        core.qmet.quarantined.inc();
+        core.buf_push(me, id, EventKind::Quarantined { attempts });
+        ServerError::Quarantined { attempts }
+    } else {
+        ServerError::WorkerPanicked
+    };
+    core.buf_push(me, id, EventKind::Failed);
+    if replacement {
+        count_restart(core, me, id);
+    }
+    core.buf_flush(me);
+    if let Some(tx) = tx {
+        let _ = tx.send(Err(err));
+    }
+    core.finish_one(k);
+}
+
+/// Claims one restart-budget token for a replacement worker, without
+/// spawning it yet. Called before the panicked query's back-out so the
+/// restart is accounted (counter + event, via [`count_restart`]) before
+/// the query's handle resolves — a caller observing the typed failure
+/// sees restart counts consistent with the panics that caused them.
+fn claim_restart<A: AppExecutor>(core: &Core<A>) -> bool {
+    if core.shutdown.load(Ordering::SeqCst) {
+        return false;
+    }
+    let mut left = core.restarts_left.load(Ordering::SeqCst);
+    while left > 0 {
+        match core.restarts_left.compare_exchange(
+            left,
+            left - 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return true,
+            Err(v) => left = v,
+        }
+    }
+    false
+}
+
+/// Restart accounting for a claimed budget token: counter, metric, and
+/// the `WorkerRestarted` event, pushed into the worker's buffer so it
+/// flushes in order behind the panic/quarantine events.
+fn count_restart<A: AppExecutor>(core: &Core<A>, me: usize, killer: QueryId) {
+    core.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    core.qmet.worker_restarts.inc();
+    core.buf_push(me, killer, EventKind::WorkerRestarted);
+}
+
+/// A panicked worker's last act: spawn the replacement whose budget
+/// token [`claim_restart`] already claimed (and whose restart
+/// [`count_restart`] already accounted), or retire for good. When the
+/// last live worker retires, the pool is dead — WAITING queries are
+/// failed typed-ly (no one will ever run them) and later submissions
+/// are refused up front. Runs after the back-out so a retiring worker's
+/// pool-death sweep catches the query the back-out just requeued.
+fn respawn_or_retire<A: AppExecutor>(core: Arc<Core<A>>, me: usize, replacement: bool) {
+    if replacement {
+        let c2 = Arc::clone(&core);
+        // On Err the OS refused the thread: retire instead. The budget
+        // token is forfeit and the restart stays counted — a one-off
+        // overcount in a corner where the process is already failing to
+        // spawn threads.
+        if let Ok(h) = std::thread::Builder::new()
+            .name(format!("vmqs-query-{me}"))
+            .spawn(move || worker_entry(c2, me))
+        {
+            core.respawned.lock().push(h);
+            return;
+        }
+    }
+    // Retiring for good. If this was the last live worker, the pool is
+    // dead: nothing WAITING will ever run.
+    if core.live_workers.fetch_sub(1, Ordering::SeqCst) == 1
+        && !core.shutdown.load(Ordering::SeqCst)
+    {
+        core.pool_dead.store(true, Ordering::SeqCst);
+        fail_all_waiting(&core);
+    }
+}
+
+/// Fails every WAITING query with [`ServerError::WorkerPanicked`] — the
+/// pool-death path: the last worker retired with the restart budget
+/// exhausted, so queued work would wedge forever. Each victim takes the
+/// shed/failure exit (WAITING → CACHED → SWAPPED_OUT), so the graph
+/// keeps its invariants and `drain` completes.
+fn fail_all_waiting<A: AppExecutor>(core: &Core<A>) {
+    for (k, sh) in core.shards.iter().enumerate() {
+        loop {
+            let (vid, tx) = {
+                let mut s = sh.state.lock();
+                let Some(vid) = s.graph.ids_in_state(QueryState::Waiting).into_iter().next() else {
+                    break;
+                };
+                if !s.graph.dequeue_specific(vid) {
+                    break;
+                }
+                s.graph.mark_cached(vid);
+                s.graph.swap_out(vid);
+                s.submit_time.remove(&vid);
+                s.degraded.remove(&vid);
+                let tx = s.pending.remove(&vid);
+                core.shards[k].depth.fetch_sub(1, Ordering::SeqCst);
+                core.total_waiting.fetch_sub(1, Ordering::SeqCst);
+                (vid, tx)
+            };
+            core.failed.fetch_add(1, Ordering::Relaxed);
+            core.qmet.failed.inc();
+            core.obs.log.log(vid, EventKind::Failed);
+            if let Some(tx) = tx {
+                let _ = tx.send(Err(ServerError::WorkerPanicked));
+            }
+            core.finish_one(k);
+        }
     }
 }
 
@@ -1179,8 +1488,21 @@ fn run_one<A: AppExecutor>(core: &Core<A>, me: usize, job: Job<A::Spec>) {
     );
     // The deadline covers the whole client-visible response time:
     // it starts at submission, so queue wait counts against it.
-    let deadline = core.cfg.query_timeout.map(|t| submitted + t);
+    let query_deadline = core.cfg.query_timeout.map(|t| submitted + t);
     let started = clock::now();
+    // The hang watchdog (DESIGN.md §15) rides the existing deadline
+    // machinery: the effective deadline is the earlier of the per-query
+    // deadline (anchored at submission) and the hang limit (anchored at
+    // execution start), so a stuck query is cancelled at every blocking
+    // point the deadline already covers — and classified `Hung` below
+    // when the hang bound was the binding one.
+    let deadline = match core.cfg.hang_timeout {
+        Some(h) => {
+            let hang_at = started + h;
+            Some(query_deadline.map_or(hang_at, |d| d.min(hang_at)))
+        }
+        None => query_deadline,
+    };
     core.qmet
         .queue_wait
         .observe((started - submitted).as_secs_f64());
@@ -1333,7 +1655,21 @@ fn run_one<A: AppExecutor>(core: &Core<A>, me: usize, job: Job<A::Spec>) {
             // uncacheable query takes — and clear any wait-for edge it
             // still owns, so peers see no residue: no DS entry, no
             // blob mapping, no dangling edges.
-            let err = ServerError::from_io(&e, core.cfg.query_timeout);
+            let mut err = ServerError::from_io(&e, core.cfg.query_timeout);
+            // A deadline cancellation whose binding bound was the hang
+            // limit is a watchdog cancellation, not a client timeout —
+            // rewrite it, but keep the timeout classification so the
+            // conservation accounting folds it into `timed_out`.
+            if matches!(err, ServerError::Timeout { .. }) {
+                if let Some(h) = core.cfg.hang_timeout {
+                    if query_deadline.is_none_or(|d| started + h < d) {
+                        err = ServerError::Hung { limit: h };
+                        core.hung.fetch_add(1, Ordering::Relaxed);
+                        core.qmet.hung.inc();
+                        core.buf_push(me, id, EventKind::Hung);
+                    }
+                }
+            }
             if err.is_timeout() {
                 core.timed_out.fetch_add(1, Ordering::Relaxed);
                 core.qmet.timed_out.inc();
@@ -1352,6 +1688,12 @@ fn run_one<A: AppExecutor>(core: &Core<A>, me: usize, job: Job<A::Spec>) {
             Err(err)
         }
     };
+    // A query that reached a terminal on its own clears any panic
+    // attempts it accrued on earlier requeues. Gated on the panic
+    // counter so chaos-free runs never touch the quarantine lock.
+    if core.worker_panics.load(Ordering::Relaxed) > 0 {
+        core.quarantine.lock().remove(&id);
+    }
     // Deliver the answer *before* retiring the query, so that `drain`
     // returning implies every handle is already fulfilled.
     let tx = core.shards[k].state.lock().pending.remove(&id);
@@ -1720,12 +2062,22 @@ fn execute_query<A: AppExecutor>(
         }
         sources = fresh;
     }
-    let out = match core
-        .app
-        .execute(&spec, &sources, &core.ps.session_for(id, deadline))
-    {
-        Ok(out) => out,
-        Err(e) => {
+    // The chaos panic point and the application kernel run inside an
+    // unwind guard: a panic here must not leak the compute permit or
+    // wedge graft subscribers on an uncommitted reservation, so both are
+    // released before the panic resumes toward the supervision layer in
+    // `worker_entry` (DESIGN.md §15). The ordinal is drawn outside the
+    // guard so a poisoned retry consumes a fresh one.
+    let ordinal = core.compute_seq.fetch_add(1, Ordering::Relaxed);
+    let out = match catch_unwind(AssertUnwindSafe(|| {
+        if core.cfg.chaos.compute_should_panic(ordinal, id.0) {
+            panic!("injected chaos panic: compute ordinal {ordinal}, query {id:?}");
+        }
+        core.app
+            .execute(&spec, &sources, &core.ps.session_for(id, deadline))
+    })) {
+        Ok(Ok(out)) => out,
+        Ok(Err(e)) => {
             // Nothing will be published on this path, so the permit is
             // returned right away and the reservation aborted —
             // subscribers wake on this query's terminal transition and
@@ -1735,6 +2087,13 @@ fn execute_query<A: AppExecutor>(
             }
             abort_reservation(reserved);
             return Err(e);
+        }
+        Err(payload) => {
+            if took_permit {
+                core.release_compute();
+            }
+            abort_reservation(reserved);
+            resume_unwind(payload);
         }
     };
     debug_assert_eq!(out.bytes.len(), core.app.output_len(&spec));
@@ -1777,11 +2136,18 @@ fn execute_query<A: AppExecutor>(
 /// gets a `dead_blobs` tombstone it consumes itself, since `swap_out`
 /// on an EXECUTING node would corrupt the graph.
 fn route_one<S: SpatialSpec>(s: &mut ShardState<S>, r: &EvictionRecord<S>) {
-    if s.graph.state_of(r.producer) == Some(QueryState::Cached) {
-        s.blob_of.remove(&r.producer);
-        s.graph.swap_out(r.producer);
-    } else {
-        s.dead_blobs.insert(r.blob);
+    match s.graph.state_of(r.producer) {
+        Some(QueryState::Cached) => {
+            s.blob_of.remove(&r.producer);
+            s.graph.swap_out(r.producer);
+        }
+        // No graph node at all: the producer is a recovered-frame
+        // placeholder (`RECOVERED_PRODUCER`) or long since forgotten —
+        // nothing to transition and no one to leave a tombstone for.
+        None => {}
+        _ => {
+            s.dead_blobs.insert(r.blob);
+        }
     }
 }
 
@@ -1836,7 +2202,11 @@ fn drain_spills<A: AppExecutor>(
     };
     for req in ds.take_pending_spills() {
         let written = match &req.payload {
-            Payload::Bytes(b) => spill.write(req.blob, b).is_ok(),
+            // The frame's meta block carries the serialized predicate so
+            // a post-crash recovery scan can rebuild the entry.
+            Payload::Bytes(b) => spill
+                .write(req.blob, &core.app.encode_spec(&req.spec), b)
+                .is_ok(),
             // A FULL entry in the threaded engine always carries bytes;
             // anything else cannot be restored later, so drop it.
             Payload::Virtual => false,
@@ -2682,5 +3052,380 @@ mod tests {
         s.check_invariants();
         s.shutdown();
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // ----- failure containment (DESIGN.md §15) -----
+
+    use vmqs_storage::ChaosConfig;
+
+    /// Regression for the old join-time `assert_eq!(panicked, 0)`: a
+    /// forced compute panic must kill only its worker, requeue the query
+    /// (the ordinal trigger does not re-fire on retry), respawn a
+    /// replacement, and still deliver a complete `ServerSummary`.
+    #[test]
+    fn forced_panic_still_yields_complete_summary() {
+        let s = server(
+            ServerConfig::small()
+                .with_threads(2)
+                .with_observability(true)
+                .with_chaos(ChaosConfig::none().with_panic_at_compute(Some(0))),
+        );
+        let specs: Vec<_> = (0..4u32)
+            .map(|i| q(i * 130, 0, 96, 96, 1, VmOp::Subsample))
+            .collect();
+        let handles: Vec<_> = specs.iter().map(|&sp| s.submit(sp)).collect();
+        for (h, sp) in handles.into_iter().zip(&specs) {
+            let res = h.wait().unwrap();
+            assert_eq!(*res.image, reference_render(sp).data, "query {sp:?}");
+        }
+        let sum = s.summary();
+        assert_eq!(sum.completed, 4, "the panicked query was requeued and ran");
+        assert_eq!(sum.failed, 0);
+        assert_eq!(sum.worker_panics, 1);
+        assert_eq!(sum.worker_restarts, 1);
+        assert_eq!(sum.quarantined, 0);
+        let ev = s.events();
+        assert_eq!(
+            ev.iter()
+                .filter(|e| matches!(e.kind, EventKind::WorkerPanicked))
+                .count(),
+            1
+        );
+        assert_eq!(
+            ev.iter()
+                .filter(|e| matches!(e.kind, EventKind::WorkerRestarted))
+                .count(),
+            1
+        );
+        let m = s.metrics();
+        assert_eq!(m.counters["vmqs_worker_panics_total"], 1);
+        assert_eq!(m.counters["vmqs_worker_restarts_total"], 1);
+        s.check_invariants();
+        s.shutdown();
+    }
+
+    /// Finds a chaos seed under which, of the first `n` query ids, exactly
+    /// the ids in `want` draw poison. Pure search over the deterministic
+    /// per-query hash — no RNG state, so the test is reproducible.
+    fn seed_with_poison(rate: f64, n: u64, want: &[u64]) -> u64 {
+        'seed: for seed in 0..20_000u64 {
+            let c = ChaosConfig::none().with_seed(seed).with_poison_rate(rate);
+            for id in 0..n {
+                if c.query_is_poison(id) != want.contains(&id) {
+                    continue 'seed;
+                }
+            }
+            return seed;
+        }
+        panic!("no seed draws poison exactly on {want:?} within the search bound");
+    }
+
+    /// A deterministic poison query panics every worker that picks it up;
+    /// the quarantine rule must fail it typed-ly after `quarantine_limit`
+    /// kills instead of crash-looping the pool, and peers are undisturbed.
+    #[test]
+    fn poison_query_is_quarantined_and_peers_survive() {
+        let seed = seed_with_poison(0.05, 4, &[2]);
+        let s = server(
+            ServerConfig::small()
+                .with_threads(2)
+                .with_observability(true)
+                .with_quarantine_limit(3)
+                .with_chaos(ChaosConfig::none().with_seed(seed).with_poison_rate(0.05)),
+        );
+        let specs: Vec<_> = (0..4u32)
+            .map(|i| q(i * 130, 0, 96, 96, 1, VmOp::Subsample))
+            .collect();
+        let handles: Vec<_> = specs.iter().map(|&sp| s.submit(sp)).collect();
+        let mut quarantined = 0;
+        for (i, (h, sp)) in handles.into_iter().zip(&specs).enumerate() {
+            match h.wait() {
+                Ok(res) => {
+                    assert_eq!(*res.image, reference_render(sp).data, "query {sp:?}");
+                }
+                Err(ServerError::Quarantined { attempts }) => {
+                    assert_eq!(i, 2, "only the poison id may be quarantined");
+                    assert_eq!(attempts, 3);
+                    quarantined += 1;
+                }
+                Err(other) => panic!("unexpected failure: {other}"),
+            }
+        }
+        assert_eq!(quarantined, 1);
+        let sum = s.summary();
+        assert_eq!((sum.completed, sum.failed, sum.quarantined), (3, 1, 1));
+        assert_eq!(sum.worker_panics, 3, "three kills before quarantine");
+        assert_eq!(sum.worker_restarts, 3);
+        let ev = s.events();
+        assert_eq!(
+            ev.iter()
+                .filter(|e| matches!(e.kind, EventKind::Quarantined { attempts: 3 }))
+                .count(),
+            1
+        );
+        s.check_invariants();
+        s.shutdown();
+    }
+
+    /// With the restart budget exhausted the pool dies: every waiting
+    /// query resolves with a typed `WorkerPanicked`, later submissions
+    /// are refused immediately, and shutdown still completes.
+    #[test]
+    fn restart_budget_exhaustion_fails_waiting_queries_typed() {
+        let s = server(
+            ServerConfig::small()
+                .with_threads(1)
+                .with_start_paused(true)
+                .with_restart_budget(0)
+                .with_chaos(ChaosConfig::none().with_panic_at_compute(Some(0))),
+        );
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| s.submit(q(i * 130, 0, 96, 96, 1, VmOp::Subsample)))
+            .collect();
+        s.resume_workers();
+        for h in handles {
+            match h.wait() {
+                Err(ServerError::WorkerPanicked) => {}
+                other => panic!("expected WorkerPanicked, got {other:?}"),
+            }
+        }
+        // The pool is dead: a fresh submission is refused synchronously.
+        let late = s.submit(q(0, 300, 64, 64, 1, VmOp::Subsample));
+        match late.try_wait() {
+            Some(Err(ServerError::WorkerPanicked)) => {}
+            other => panic!("expected immediate refusal, got {other:?}"),
+        }
+        let sum = s.summary();
+        assert_eq!((sum.completed, sum.failed), (0, 5));
+        assert_eq!((sum.worker_panics, sum.worker_restarts), (1, 0));
+        s.shutdown();
+    }
+
+    /// A query stuck past `hang_timeout` is cancelled by the watchdog
+    /// through the existing deadline machinery and reported as `Hung` —
+    /// while later queries on the same server are unaffected. The stall
+    /// is an executor gate held well past the hang limit; once released,
+    /// the query's first page read observes the expired watchdog
+    /// deadline and cancels.
+    #[test]
+    fn hang_watchdog_cancels_stuck_query_and_spares_successors() {
+        let gate = Arc::new((Mutex::new((false, false)), Condvar::new()));
+        let s = QueryServer::with_app(
+            ServerConfig::small()
+                .with_threads(1)
+                .with_observability(true)
+                .with_hang_timeout(Some(Duration::from_millis(40))),
+            StallingExecutor {
+                gate: Arc::clone(&gate),
+            },
+            Arc::new(SyntheticSource::new()),
+        );
+        let spec = q(0, 0, 128, 128, 2, VmOp::Subsample);
+        let stuck = s.submit(spec);
+        {
+            let mut g = gate.0.lock();
+            while !g.0 {
+                gate.1.wait(&mut g);
+            }
+        }
+        // Hold the query stalled past its watchdog limit, then let go.
+        std::thread::sleep(Duration::from_millis(80));
+        {
+            let mut g = gate.0.lock();
+            g.1 = true;
+            gate.1.notify_all();
+        }
+        match stuck.wait() {
+            Err(ServerError::Hung { limit }) => {
+                assert_eq!(limit, Duration::from_millis(40));
+            }
+            other => panic!("expected Hung, got {other:?}"),
+        }
+        // The watchdog cancelled one query, not the server: a successor
+        // (the gate only stalls the first call) completes byte-exact.
+        let next = q(200, 200, 64, 64, 1, VmOp::Average);
+        assert_eq!(
+            *s.submit(next).wait().unwrap().image,
+            reference_render(&next).data
+        );
+        let sum = s.summary();
+        assert_eq!((sum.completed, sum.hung), (1, 1));
+        assert_eq!(
+            sum.timed_out, 1,
+            "hang cancellations fold into timeout accounting"
+        );
+        assert!(s.events().iter().any(|e| matches!(e.kind, EventKind::Hung)));
+        assert_eq!(s.metrics().counters["vmqs_queries_hung_total"], 1);
+        s.check_invariants();
+        s.shutdown();
+    }
+
+    /// Crash-consistent recovery: frames spilled by one server instance
+    /// are adopted by the next one on the same directory and restore as
+    /// byte-exact hits without touching the page space.
+    #[test]
+    fn recovered_spill_frames_survive_server_restart() {
+        let (cfg, dir) = spill_cfg("recover");
+        let a = q(0, 0, 128, 128, 1, VmOp::Subsample);
+        let b = q(200, 200, 128, 128, 1, VmOp::Subsample);
+        {
+            let s = server(cfg.clone());
+            s.submit(a).wait().unwrap();
+            s.submit(b).wait().unwrap();
+            assert!(s.summary().spilled >= 1, "a must be demoted to disk");
+            s.shutdown();
+        }
+        // A fresh server on the same directory adopts the surviving frame.
+        let s = server(cfg);
+        assert!(s.ds_stats().adopted >= 1, "recovery must adopt the frame");
+        let res = s.submit(a).wait().unwrap();
+        assert_eq!(res.record.path, AnswerPath::ExactHit);
+        assert_eq!(res.record.pages_requested, 0);
+        assert_eq!(*res.image, reference_render(&a).data);
+        assert_eq!(s.summary().restored, 1);
+        s.check_invariants();
+        s.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Satellite: a crash mid-spill leaves a torn `.tmp` staging file;
+    /// the next startup's `recover()` deletes it, and every byte left in
+    /// the directory is accounted to a live tier-2 resident.
+    #[test]
+    fn crash_mid_spill_is_cleaned_and_directory_byte_accounted() {
+        let (cfg, dir) = spill_cfg("crash");
+        let a = q(0, 0, 128, 128, 1, VmOp::Subsample);
+        let b = q(200, 200, 128, 128, 1, VmOp::Subsample);
+        {
+            // The first spill write crashes halfway through staging.
+            let s = server(
+                cfg.clone()
+                    .with_chaos(ChaosConfig::none().with_crash_spill_write(Some(0))),
+            );
+            s.submit(a).wait().unwrap();
+            s.submit(b).wait().unwrap();
+            s.shutdown();
+        }
+        let tmps = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")
+            })
+            .count();
+        assert_eq!(tmps, 1, "the torn staging file survives the crash");
+        // Restart without chaos: recovery removes the torn file and the
+        // spill tier works normally again.
+        let s = server(cfg);
+        let leftover: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert!(
+            leftover.is_empty(),
+            "torn/orphaned files must be deleted, found {leftover:?}"
+        );
+        s.submit(a).wait().unwrap();
+        s.submit(b).wait().unwrap();
+        assert!(s.summary().spilled >= 1, "spilling works after recovery");
+        let frames = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "spill")
+            })
+            .count() as u64;
+        assert_eq!(frames * 49_152, s.core.store.read().tier2_used());
+        s.check_invariants();
+        s.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// A bit-flipped frame fails its CRC on restore and routes through
+    /// the poisoned-read fallback: the entry is dropped and the query
+    /// recomputes — a torn read never reaches a consumer.
+    #[test]
+    fn bit_flipped_frame_falls_back_to_recompute() {
+        let (cfg, dir) = spill_cfg("flip");
+        let s = server(cfg.with_chaos(ChaosConfig::none().with_bit_flip_frame(Some(0))));
+        let a = q(0, 0, 128, 128, 1, VmOp::Subsample);
+        let b = q(200, 200, 128, 128, 1, VmOp::Subsample);
+        s.submit(a).wait().unwrap();
+        s.submit(b).wait().unwrap();
+        assert!(s.summary().spilled >= 1);
+        let res = s.submit(a).wait().unwrap();
+        assert_eq!(res.record.path, AnswerPath::FullCompute);
+        assert_eq!(*res.image, reference_render(&a).data);
+        let sum = s.summary();
+        assert_eq!((sum.restored, sum.restore_failures), (0, 1));
+        s.check_invariants();
+        s.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// The acceptance sweep at 8 workers: poison queries are quarantined,
+    /// every survivor is byte-exact, the conservation invariant holds
+    /// (submitted == completed + failed + timed_out + shed + rejected),
+    /// and the pool is still alive afterwards.
+    #[test]
+    fn chaos_sweep_eight_workers_conserves_and_survivors_are_exact() {
+        let poison: Vec<u64> = vec![5, 17];
+        let seed = seed_with_poison(0.08, 32, &poison);
+        let s = server(
+            ServerConfig::small()
+                .with_threads(8)
+                .with_observability(true)
+                .with_quarantine_limit(2)
+                .with_restart_budget(8)
+                .with_chaos(ChaosConfig::none().with_seed(seed).with_poison_rate(0.08)),
+        );
+        // 32 disjoint 64x64 tiles on a 6x6 grid: no reuse between them,
+        // so every query computes and every poison id actually panics.
+        let specs: Vec<_> = (0..32u32)
+            .map(|i| q((i % 6) * 100, (i / 6) * 100, 64, 64, 1, VmOp::Subsample))
+            .collect();
+        let handles: Vec<_> = specs.iter().map(|&sp| s.submit(sp)).collect();
+        let submitted = handles.len();
+        let mut quarantined_ids = Vec::new();
+        for (i, (h, sp)) in handles.into_iter().zip(&specs).enumerate() {
+            match h.wait() {
+                Ok(res) => {
+                    assert_eq!(
+                        *res.image,
+                        reference_render(sp).data,
+                        "survivor {i} must be byte-exact"
+                    );
+                }
+                Err(ServerError::Quarantined { .. }) => quarantined_ids.push(i as u64),
+                Err(other) => panic!("unexpected failure for query {i}: {other}"),
+            }
+        }
+        assert_eq!(quarantined_ids, poison, "exactly the poison ids fail");
+        let sum = s.summary();
+        assert_eq!(
+            submitted,
+            sum.completed + sum.failed + sum.timed_out + sum.shed + sum.rejected,
+            "conservation invariant"
+        );
+        assert_eq!((sum.completed, sum.failed, sum.quarantined), (30, 2, 2));
+        assert_eq!(
+            sum.worker_panics, 4,
+            "2 poison queries x quarantine_limit 2"
+        );
+        assert_eq!(sum.worker_restarts, 4);
+        // No wedge: the pool still answers after the sweep.
+        let extra = q(0, 0, 32, 32, 1, VmOp::Average);
+        assert_eq!(
+            *s.submit(extra).wait().unwrap().image,
+            reference_render(&extra).data
+        );
+        s.check_invariants();
+        s.shutdown();
     }
 }

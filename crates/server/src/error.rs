@@ -57,16 +57,37 @@ pub enum ServerError {
         /// Pressure level at the moment of shedding.
         pressure: f64,
     },
+    /// The worker computing the query panicked and the entire worker pool
+    /// died before the query could be retried (restart budget exhausted).
+    /// Queries that are merely orphaned by one dead worker are requeued,
+    /// not failed — this variant surfaces only when no sibling is left.
+    WorkerPanicked,
+    /// The query's compute panicked its worker `attempts` times — a
+    /// deterministic poison query — and the quarantine rule failed it
+    /// typed-ly instead of letting it crash-loop the pool (DESIGN.md §15).
+    Quarantined {
+        /// Workers this query killed before quarantine.
+        attempts: u32,
+    },
+    /// The query was stuck past the hang timeout and cancelled by the
+    /// supervision watchdog. Classified as a timeout (`is_timeout`) so
+    /// conservation accounting folds it into `timed_out`.
+    Hung {
+        /// The configured hang limit it exceeded.
+        limit: Duration,
+    },
 }
 
 impl ServerError {
-    /// True for deadline cancellations.
+    /// True for deadline cancellations (including watchdog hang
+    /// cancellations, which ride the same deadline machinery).
     pub fn is_timeout(&self) -> bool {
-        matches!(self, ServerError::Timeout { .. })
+        matches!(self, ServerError::Timeout { .. } | ServerError::Hung { .. })
     }
 
     /// True when re-submitting the query might succeed (transient I/O,
-    /// timeout, overload); false for permanent faults and shutdown.
+    /// timeout, overload); false for permanent faults, shutdown, and
+    /// quarantined poison queries (they panic deterministically).
     pub fn is_retryable(&self) -> bool {
         match self {
             ServerError::Io { transient, .. } => *transient,
@@ -74,6 +95,9 @@ impl ServerError {
             ServerError::Shutdown => false,
             ServerError::Overloaded { .. } => true,
             ServerError::Shed { .. } => true,
+            ServerError::WorkerPanicked => true,
+            ServerError::Quarantined { .. } => false,
+            ServerError::Hung { .. } => true,
         }
     }
 
@@ -127,6 +151,24 @@ impl std::fmt::Display for ServerError {
             }
             ServerError::Shed { pressure } => {
                 write!(f, "query shed under overload (pressure {pressure:.2})")
+            }
+            ServerError::WorkerPanicked => {
+                write!(
+                    f,
+                    "query failed: its worker panicked and no sibling remains"
+                )
+            }
+            ServerError::Quarantined { attempts } => {
+                write!(
+                    f,
+                    "query quarantined: its compute panicked {attempts} worker(s)"
+                )
+            }
+            ServerError::Hung { limit } => {
+                write!(
+                    f,
+                    "query hung past the {limit:?} watchdog limit and was cancelled"
+                )
             }
         }
     }
@@ -246,5 +288,28 @@ mod tests {
             limit: Duration::ZERO
         }
         .is_overload());
+    }
+
+    #[test]
+    fn containment_variants_classify_and_display() {
+        let p = ServerError::WorkerPanicked;
+        assert!(p.is_retryable() && !p.is_timeout() && !p.is_overload());
+        assert!(p.to_string().contains("panicked"));
+
+        let q = ServerError::Quarantined { attempts: 3 };
+        assert!(!q.is_retryable(), "poison queries panic deterministically");
+        assert!(!q.is_timeout() && !q.is_overload());
+        assert!(q.to_string().contains("quarantined"));
+        assert!(q.to_string().contains('3'));
+
+        let h = ServerError::Hung {
+            limit: Duration::from_millis(250),
+        };
+        assert!(
+            h.is_timeout(),
+            "hang cancellations fold into timeout accounting"
+        );
+        assert!(h.is_retryable() && !h.is_overload());
+        assert!(h.to_string().contains("hung"));
     }
 }

@@ -134,6 +134,15 @@ pub struct ServerSummary {
     /// Tier-2 reads that failed (poisoned or corrupt frame); the entry
     /// was dropped and the query fell back to recomputation.
     pub restore_failures: u64,
+    /// Worker threads killed by a panicking compute (DESIGN.md §15).
+    pub worker_panics: u64,
+    /// Replacement workers spawned under the restart budget.
+    pub worker_restarts: u64,
+    /// Queries failed by the quarantine rule after their compute panicked
+    /// `quarantine_limit` workers (a subset of `failed`).
+    pub quarantined: usize,
+    /// Queries cancelled by the hang watchdog (a subset of `timed_out`).
+    pub hung: usize,
 }
 
 #[cfg(test)]

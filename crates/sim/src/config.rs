@@ -3,7 +3,7 @@
 use vmqs_core::{ClientId, OverloadConfig, Strategy};
 use vmqs_microscope::{VmCostModel, VmQuery};
 use vmqs_pagespace::RetryPolicy;
-use vmqs_storage::{DiskModel, FaultConfig};
+use vmqs_storage::{ChaosConfig, DiskModel, FaultConfig};
 
 /// How a client stream's queries enter the system.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -147,6 +147,21 @@ pub struct SimConfig {
     /// recomputation exactly like the threaded engine. 0 disables (the
     /// paper's single-tier configuration).
     pub tier2_budget: u64,
+    /// Chaos injection (DESIGN.md §15): deterministic poison queries and
+    /// a panic-at-nth-compute kill-point, keyed on the same seed and
+    /// compute ordinal as the threaded engine so the same failure edges
+    /// fire in both.
+    pub chaos: ChaosConfig,
+    /// Hang watchdog limit in virtual seconds: a query whose dequeue →
+    /// completion span would exceed this is cancelled at the limit and
+    /// reported as hung (folded into `timed_out`). `None` disables.
+    pub hang_timeout: Option<f64>,
+    /// Replacement workers the supervisor may spawn after compute panics
+    /// before the pool is declared dead and WAITING queries are failed.
+    pub restart_budget: usize,
+    /// Compute panics one query may cause before the quarantine rule
+    /// fails it typed-ly instead of retrying it (must be ≥ 1).
+    pub quarantine_limit: u32,
 }
 
 impl SimConfig {
@@ -177,6 +192,10 @@ impl SimConfig {
             overload: OverloadConfig::default(),
             graft: false,
             tier2_budget: 0,
+            chaos: ChaosConfig::none(),
+            hang_timeout: None,
+            restart_budget: 8,
+            quarantine_limit: 3,
         }
     }
 
@@ -295,6 +314,34 @@ impl SimConfig {
     pub fn with_cache_policy(self, p: vmqs_datastore::EvictionPolicy) -> Self {
         self.with_ds_policy(p)
     }
+
+    /// Builder-style chaos-injection override.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Builder-style hang-watchdog limit (virtual seconds; `None` off).
+    pub fn with_hang_timeout(mut self, t: Option<f64>) -> Self {
+        if let Some(t) = t {
+            assert!(t > 0.0, "hang timeout must be positive");
+        }
+        self.hang_timeout = t;
+        self
+    }
+
+    /// Builder-style restart-budget override.
+    pub fn with_restart_budget(mut self, n: usize) -> Self {
+        self.restart_budget = n;
+        self
+    }
+
+    /// Builder-style quarantine-limit override.
+    pub fn with_quarantine_limit(mut self, n: u32) -> Self {
+        assert!(n >= 1, "quarantine limit must be at least 1");
+        self.quarantine_limit = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +390,21 @@ mod tests {
             .with_cache_policy(vmqs_datastore::EvictionPolicy::CostBased);
         assert_eq!(c3.tier2_budget, 1 << 30);
         assert_eq!(c3.ds_policy, vmqs_datastore::EvictionPolicy::CostBased);
+    }
+
+    #[test]
+    fn containment_knobs_default_off_and_compose() {
+        let base = SimConfig::paper_baseline();
+        assert!(base.chaos.is_noop() && base.hang_timeout.is_none());
+        assert_eq!((base.restart_budget, base.quarantine_limit), (8, 3));
+        let c = base
+            .with_chaos(ChaosConfig::none().with_seed(9).with_poison_rate(0.1))
+            .with_hang_timeout(Some(2.5))
+            .with_restart_budget(1)
+            .with_quarantine_limit(2);
+        assert!(!c.chaos.is_noop());
+        assert_eq!(c.hang_timeout, Some(2.5));
+        assert_eq!((c.restart_budget, c.quarantine_limit), (1, 2));
     }
 
     #[test]

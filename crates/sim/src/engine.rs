@@ -171,6 +171,27 @@ pub struct Simulator<A: SimApplication> {
     rejected: u64,
     shed: u64,
     degraded: u64,
+    /// Global compute ordinal — the chaos injector's panic-at-nth
+    /// coordinate, counted exactly like the threaded engine's
+    /// `Core::compute_seq` (every entry into the compute stage).
+    compute_seq: u64,
+    /// Per-query panic attempts (the quarantine counter).
+    quarantine: HashMap<QueryId, u32>,
+    /// Replacement virtual workers still allowed, counting down from
+    /// [`SimConfig::restart_budget`].
+    restarts_left: usize,
+    /// Worker slots retired for good (a panic with no restart budget
+    /// left). Capacity is `cfg.threads - dead_workers`.
+    dead_workers: usize,
+    /// Set when every worker slot has been retired: WAITING queries are
+    /// failed typed-ly and later arrivals are refused.
+    pool_dead: bool,
+    failed: u64,
+    timed_out: u64,
+    worker_panics: u64,
+    worker_restarts: u64,
+    quarantined: u64,
+    hung: u64,
     /// Event log + metrics registry; events stamped with *virtual* time
     /// via `log_at`, using the same schema as the threaded engine so the
     /// conformance harness can compare the two (DESIGN.md §9).
@@ -263,6 +284,17 @@ impl<A: SimApplication> Simulator<A> {
             rejected: 0,
             shed: 0,
             degraded: 0,
+            compute_seq: 0,
+            quarantine: HashMap::new(),
+            restarts_left: cfg.restart_budget,
+            dead_workers: 0,
+            pool_dead: false,
+            failed: 0,
+            timed_out: 0,
+            worker_panics: 0,
+            worker_restarts: 0,
+            quarantined: 0,
+            hung: 0,
             obs,
             qmet,
             pmet,
@@ -307,6 +339,7 @@ impl<A: SimApplication> Simulator<A> {
                 }
                 Event::Resume { id } => self.on_resume(now, id),
                 Event::Completion { id } => self.on_completion(now, id),
+                Event::HangDeadline { id } => self.on_hang_deadline(now, id),
             }
         }
         let ds_stats = self.ds.stats();
@@ -348,6 +381,12 @@ impl<A: SimApplication> Simulator<A> {
             restored: self.restored,
             restore_failures: self.restore_failures,
             recomputed_bytes: self.recomputed_bytes,
+            failed: self.failed,
+            timed_out: self.timed_out,
+            worker_panics: self.worker_panics,
+            worker_restarts: self.worker_restarts,
+            quarantined: self.quarantined,
+            hung: self.hung,
         }
     }
 
@@ -364,6 +403,18 @@ impl<A: SimApplication> Simulator<A> {
         // id sequences stay comparable across engines.
         let id = self.idgen.next_query();
         self.trace(now, id, TraceKind::Arrive);
+        // A dead pool refuses synchronously: the query is acknowledged
+        // (Submitted) and immediately failed, exactly like the threaded
+        // engine's `submit_from` once `pool_dead` is set.
+        if self.pool_dead {
+            self.qmet.submitted.inc();
+            self.obs.log.log_at(now, id, EventKind::Submitted);
+            self.failed += 1;
+            self.qmet.failed.inc();
+            self.obs.log.log_at(now, id, EventKind::Failed);
+            self.advance_client(now, client);
+            return;
+        }
         let ov = self.cfg.overload;
         if !ov.enabled() {
             // Fast path: identical to the pre-overload arrival.
@@ -586,7 +637,9 @@ impl<A: SimApplication> Simulator<A> {
     }
 
     fn try_start(&mut self, now: f64) {
-        while self.busy_slots < self.cfg.threads && self.graph.waiting_len() > 0 {
+        // Panics with no restart budget left retire their worker slot.
+        let capacity = self.cfg.threads - self.dead_workers;
+        while self.busy_slots < capacity && self.graph.waiting_len() > 0 {
             let id = match self.pick_next(now) {
                 Some(id) => id,
                 None => break,
@@ -607,6 +660,13 @@ impl<A: SimApplication> Simulator<A> {
             let info = self.qinfo.get_mut(&id).expect("qinfo for dequeued query");
             info.start = now;
             self.qmet.queue_wait.observe(now - info.arrival);
+            // Arm the hang watchdog for this execution span. The deadline
+            // event carries no span marker: on firing it re-derives the
+            // armed time from `info.start`, so a span that ended (or was
+            // requeued) leaves the stale deadline inert.
+            if let Some(h) = self.cfg.hang_timeout {
+                self.events.push(now + h, Event::HangDeadline { id });
+            }
 
             // Grafting (DESIGN.md §13): an EXECUTING peer computing this
             // exact predicate is a producer to subscribe to — the consumer
@@ -655,6 +715,11 @@ impl<A: SimApplication> Simulator<A> {
     }
 
     fn on_resume(&mut self, now: f64, id: QueryId) {
+        // A stale resume: the query was cancelled (hung) between the wake
+        // being scheduled and processed.
+        if !self.qinfo.contains_key(&id) {
+            return;
+        }
         self.trace(now, id, TraceKind::Resume);
         let spec = self.qinfo[&id].spec;
 
@@ -753,6 +818,19 @@ impl<A: SimApplication> Simulator<A> {
                     }
                 }
             }
+        }
+
+        // Chaos kill-point (DESIGN.md §15): entering the compute stage
+        // advances the same global ordinal the threaded engine counts in
+        // `Core::compute_seq`; a matching chaos plan kills this virtual
+        // worker mid-compute instead of producing a result. The ordinal
+        // advances whether or not a panic fires, keeping panic-at-nth
+        // coordinates comparable across engines.
+        let ordinal = self.compute_seq;
+        self.compute_seq += 1;
+        if self.cfg.chaos.compute_should_panic(ordinal, id.raw()) {
+            self.on_worker_panic(now, id);
+            return;
         }
 
         // Application-specific reuse planning over the cached candidates
@@ -912,9 +990,20 @@ impl<A: SimApplication> Simulator<A> {
     }
 
     fn on_completion(&mut self, now: f64, id: QueryId) {
+        // A stale completion: the query was cancelled (hung) between this
+        // event being scheduled and processed.
+        if !self.qinfo.contains_key(&id) {
+            return;
+        }
         self.trace(now, id, TraceKind::Complete);
         self.makespan = self.makespan.max(now);
         let info = self.qinfo.remove(&id).expect("completing query has info");
+        // A successful publish clears any accumulated panic attempts —
+        // same hygiene as the threaded engine's terminal sweep. Gated so
+        // chaos-free runs never touch the map.
+        if self.worker_panics > 0 {
+            self.quarantine.remove(&id);
+        }
         let (covered, reused, io, cpu, exact) = self
             .pending_metrics
             .remove(&id)
@@ -1002,6 +1091,166 @@ impl<A: SimApplication> Simulator<A> {
         self.advance_client(now, info.client);
 
         self.try_start(now);
+    }
+
+    /// A virtual worker dies mid-compute (DESIGN.md §15). Mirrors the
+    /// threaded engine's `handle_worker_panic` + `respawn_or_retire`:
+    /// count and log the panic, bump the victim query's quarantine
+    /// counter, wake anything blocked on it (the back-out aborts the Data
+    /// Store reservation, so subscribers go compute for themselves), then
+    /// either requeue the query for another attempt or fail it typed-ly
+    /// — and finally respawn the worker from the restart budget or retire
+    /// its slot for good.
+    fn on_worker_panic(&mut self, now: f64, id: QueryId) {
+        self.worker_panics += 1;
+        self.qmet.worker_panics.inc();
+        self.obs.log.log_at(now, id, EventKind::WorkerPanicked);
+
+        let attempts = {
+            let a = self.quarantine.entry(id).or_insert(0);
+            *a += 1;
+            *a
+        };
+
+        if let Some(ws) = self.waiters.remove(&id) {
+            for w in ws {
+                if let Some(wi) = self.qinfo.get_mut(&w) {
+                    if let Some(since) = wi.blocked_since.take() {
+                        wi.blocked_total += now - since;
+                        self.blocked_count -= 1;
+                    }
+                }
+                self.events.push(now, Event::Resume { id: w });
+            }
+        }
+
+        let requeued = attempts < self.cfg.quarantine_limit && self.graph.requeue(id);
+        if requeued {
+            // Back to WAITING: this execution span is over, so a pending
+            // hang deadline armed for it must come up inert (the start
+            // reverts to NAN until the next dequeue).
+            if let Some(info) = self.qinfo.get_mut(&id) {
+                info.start = f64::NAN;
+            }
+            self.pending_metrics.remove(&id);
+        } else {
+            // Quarantine limit reached: fail the query typed-ly instead
+            // of crash-looping the pool, with the same event order as the
+            // threaded engine (Quarantined, then the terminal Failed).
+            self.graph.mark_cached(id);
+            self.graph.swap_out(id);
+            self.quarantine.remove(&id);
+            self.failed += 1;
+            self.qmet.failed.inc();
+            if attempts >= self.cfg.quarantine_limit {
+                self.quarantined += 1;
+                self.qmet.quarantined.inc();
+                self.obs
+                    .log
+                    .log_at(now, id, EventKind::Quarantined { attempts });
+            }
+            self.obs.log.log_at(now, id, EventKind::Failed);
+            let info = self.qinfo.remove(&id).expect("panicking query has info");
+            self.pending_metrics.remove(&id);
+            self.graft_of.remove(&id);
+            self.grafted_ids.remove(&id);
+            self.degraded_ids.remove(&id);
+            self.advance_client(now, info.client);
+        }
+
+        // The worker slot died either way.
+        self.busy_slots -= 1;
+        if self.restarts_left > 0 {
+            self.restarts_left -= 1;
+            self.worker_restarts += 1;
+            self.qmet.worker_restarts.inc();
+            self.obs.log.log_at(now, id, EventKind::WorkerRestarted);
+        } else {
+            self.dead_workers += 1;
+            if self.dead_workers >= self.cfg.threads {
+                self.pool_dead = true;
+                self.fail_all_waiting(now);
+            }
+        }
+        self.try_start(now);
+    }
+
+    /// The hang watchdog's deadline fires (DESIGN.md §15). Valid only if
+    /// the query is still in the exact execution span the deadline was
+    /// armed for: it must still be EXECUTING and `now` must equal
+    /// `start + hang_timeout` bit-for-bit (both sides are produced by the
+    /// same addition, so a genuine match is exact). Stale deadlines — the
+    /// span completed, panicked, or was requeued — are inert.
+    fn on_hang_deadline(&mut self, now: f64, id: QueryId) {
+        let Some(h) = self.cfg.hang_timeout else {
+            return;
+        };
+        let Some(info) = self.qinfo.get(&id) else {
+            return;
+        };
+        if self.graph.state_of(id) != Some(QueryState::Executing) || now != info.start + h {
+            return;
+        }
+        // Hung first, then the terminal TimedOut — the watchdog folds
+        // into the deadline machinery, same as the threaded engine.
+        self.hung += 1;
+        self.qmet.hung.inc();
+        self.obs.log.log_at(now, id, EventKind::Hung);
+        self.timed_out += 1;
+        self.qmet.timed_out.inc();
+        self.obs.log.log_at(now, id, EventKind::TimedOut);
+        self.graph.mark_cached(id);
+        self.graph.swap_out(id);
+        // It can never publish: anything blocked on it computes for
+        // itself.
+        if let Some(ws) = self.waiters.remove(&id) {
+            for w in ws {
+                if let Some(wi) = self.qinfo.get_mut(&w) {
+                    if let Some(since) = wi.blocked_since.take() {
+                        wi.blocked_total += now - since;
+                        self.blocked_count -= 1;
+                    }
+                }
+                self.events.push(now, Event::Resume { id: w });
+            }
+        }
+        // If the hung query was itself blocked on a peer, unhook it from
+        // that peer's wake list.
+        let info = self.qinfo.remove(&id).expect("hung query has info");
+        if info.blocked_since.is_some() {
+            self.blocked_count -= 1;
+            for ws in self.waiters.values_mut() {
+                ws.retain(|w| *w != id);
+            }
+        }
+        self.pending_metrics.remove(&id);
+        self.graft_of.remove(&id);
+        self.grafted_ids.remove(&id);
+        self.degraded_ids.remove(&id);
+        self.quarantine.remove(&id);
+        self.busy_slots -= 1;
+        self.advance_client(now, info.client);
+        self.try_start(now);
+    }
+
+    /// Every worker slot has been retired: WAITING queries can never
+    /// start. Fail them typed-ly in id order — the same sweep as the
+    /// threaded engine's `fail_all_waiting` on pool death.
+    fn fail_all_waiting(&mut self, now: f64) {
+        let mut waiting = self.graph.ids_in_state(QueryState::Waiting);
+        waiting.sort();
+        for id in waiting {
+            let ok = self.graph.dequeue_specific(id);
+            debug_assert!(ok, "waiting query must dequeue");
+            self.graph.mark_cached(id);
+            self.graph.swap_out(id);
+            self.failed += 1;
+            self.qmet.failed.inc();
+            self.obs.log.log_at(now, id, EventKind::Failed);
+            let info = self.qinfo.remove(&id).expect("waiting query has info");
+            self.degraded_ids.remove(&id);
+            self.advance_client(now, info.client);
+        }
     }
 }
 
@@ -1920,5 +2169,182 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e.kind, EventKind::Evicted { tier: 2, .. })));
+    }
+
+    // ----- failure containment (DESIGN.md §15) -----
+
+    use vmqs_storage::ChaosConfig;
+
+    /// Finds a seed whose poison draws mark exactly `want` among query
+    /// ids `0..n` — so tests can pin which query is the poison one.
+    fn poison_seed(rate: f64, n: u64, want: &[u64]) -> u64 {
+        (0..20_000u64)
+            .find(|&seed| {
+                let c = ChaosConfig::none().with_seed(seed).with_poison_rate(rate);
+                (0..n).all(|q| c.query_is_poison(q) == want.contains(&q))
+            })
+            .expect("some seed draws exactly the wanted poison set")
+    }
+
+    #[test]
+    fn injected_panic_requeues_query_and_respawns_worker() {
+        let chaos = ChaosConfig::none().with_panic_at_compute(Some(0));
+        let mk = || {
+            run_sim(
+                SimConfig::paper_baseline()
+                    .with_threads(1)
+                    .with_mode(SubmissionMode::Batch)
+                    .with_chaos(chaos)
+                    .with_observe(true),
+                one_client(vec![
+                    q(0, 0, 1024, 1, VmOp::Subsample),
+                    q(5000, 0, 1024, 1, VmOp::Subsample),
+                ]),
+            )
+        };
+        let r = mk();
+        // The killed query is requeued and completes on its second
+        // attempt (the ordinal trigger does not re-fire); its peer is
+        // untouched.
+        assert_eq!(r.records.len(), 2);
+        assert_eq!((r.failed, r.quarantined), (0, 0));
+        assert_eq!((r.worker_panics, r.worker_restarts), (1, 1));
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WorkerPanicked)));
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WorkerRestarted)));
+        // Virtual-time chaos is deterministic.
+        let r2 = mk();
+        assert_eq!(r.makespan, r2.makespan);
+    }
+
+    #[test]
+    fn poison_query_is_quarantined_and_run_twice_golden_matches() {
+        // Exactly query id 1 (of 0..3) draws poison: it panics on every
+        // attempt and must be contained by the quarantine counter while
+        // its peers complete.
+        let seed = poison_seed(0.3, 3, &[1]);
+        let chaos = ChaosConfig::none().with_seed(seed).with_poison_rate(0.3);
+        let mk = || {
+            run_sim(
+                SimConfig::paper_baseline()
+                    .with_threads(1)
+                    .with_mode(SubmissionMode::Batch)
+                    .with_chaos(chaos)
+                    .with_quarantine_limit(3)
+                    .with_restart_budget(8)
+                    .with_observe(true),
+                one_client(vec![
+                    q(0, 0, 1024, 1, VmOp::Subsample),
+                    q(5000, 0, 1024, 1, VmOp::Subsample),
+                    q(10000, 0, 1024, 1, VmOp::Subsample),
+                ]),
+            )
+        };
+        let r = mk();
+        assert_eq!(r.records.len(), 2);
+        assert!(r.records.iter().all(|x| x.id.raw() != 1));
+        assert_eq!((r.failed, r.quarantined), (1, 1));
+        assert_eq!((r.worker_panics, r.worker_restarts), (3, 3));
+        // Conservation: every submitted query terminated exactly once.
+        assert_eq!(
+            r.records.len() as u64 + r.failed + r.timed_out + r.shed + r.rejected,
+            3
+        );
+        let golden = |rep: &SimReport| -> Vec<(f64, u64, u32)> {
+            rep.events
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::Quarantined { attempts } => Some((e.time, e.query.raw(), attempts)),
+                    _ => None,
+                })
+                .collect()
+        };
+        let g1 = golden(&r);
+        assert_eq!(g1.len(), 1);
+        assert_eq!((g1[0].1, g1[0].2), (1, 3));
+        // Run-twice golden: the same seed and chaos plan must reproduce
+        // the identical Quarantined sequence, bit for bit.
+        let r2 = mk();
+        assert_eq!(g1, golden(&r2));
+        assert_eq!(r.makespan, r2.makespan);
+    }
+
+    #[test]
+    fn hang_watchdog_cancels_stuck_query_in_virtual_time() {
+        let big = q(0, 0, 8192, 8, VmOp::Average);
+        let small = q(15000, 0, 64, 1, VmOp::Subsample);
+        // Calibrate from an unwatched run: pick a limit between the two
+        // execution spans so only the big query trips the watchdog.
+        let base = run_sim(
+            SimConfig::paper_baseline().with_threads(1),
+            one_client(vec![big, small]),
+        );
+        let e_big = base.records[0].exec_time();
+        let e_small = base.records[1].exec_time();
+        let h = e_big / 2.0;
+        assert!(e_small < h && h < e_big, "calibration must separate spans");
+        let r = run_sim(
+            SimConfig::paper_baseline()
+                .with_threads(1)
+                .with_hang_timeout(Some(h))
+                .with_observe(true),
+            one_client(vec![big, small]),
+        );
+        // The big query is cancelled at its deadline; the client's next
+        // query still runs to completion afterwards.
+        assert_eq!((r.hung, r.timed_out, r.failed), (1, 1, 0));
+        assert_eq!(r.records.len(), 1);
+        assert!(r.records[0].spec.cmp(&small));
+        let kinds: Vec<&str> = r
+            .events
+            .iter()
+            .filter(|e| e.query.raw() == 0)
+            .map(|e| e.kind.label())
+            .collect();
+        assert_eq!(
+            kinds.last().copied(),
+            Some("timed_out"),
+            "TimedOut terminates the hung query"
+        );
+        assert!(kinds.contains(&"hung"));
+    }
+
+    #[test]
+    fn exhausted_restart_budget_kills_pool_and_fails_waiting_typed() {
+        let chaos = ChaosConfig::none().with_panic_at_compute(Some(0));
+        let r = run_sim(
+            SimConfig::paper_baseline()
+                .with_threads(1)
+                .with_mode(SubmissionMode::Batch)
+                .with_chaos(chaos)
+                .with_restart_budget(0)
+                .with_observe(true),
+            one_client(vec![
+                q(0, 0, 1024, 1, VmOp::Subsample),
+                q(5000, 0, 1024, 1, VmOp::Subsample),
+                q(10000, 0, 1024, 1, VmOp::Subsample),
+            ]),
+        );
+        // One panic retires the only worker: the victim is requeued but
+        // the pool is dead, so it and every WAITING peer fail typed-ly.
+        assert_eq!(r.records.len(), 0);
+        assert_eq!((r.worker_panics, r.worker_restarts), (1, 0));
+        assert_eq!(r.failed, 3);
+        assert_eq!(
+            r.events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Failed))
+                .count(),
+            3
+        );
+        assert!(!r
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WorkerRestarted)));
     }
 }

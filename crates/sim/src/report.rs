@@ -111,6 +111,23 @@ pub struct SimReport<S = VmQuery> {
     /// metric (fewer recomputed bytes = the eviction policy kept the
     /// right entries).
     pub recomputed_bytes: u64,
+    /// Queries that terminated with a typed failure (quarantined poison
+    /// queries, or WAITING work failed when the pool died); they leave no
+    /// [`SimRecord`].
+    pub failed: u64,
+    /// Queries cancelled by a deadline — includes hang-watchdog
+    /// cancellations (every hung query is also counted here, mirroring
+    /// the threaded engine's timeout fold).
+    pub timed_out: u64,
+    /// Virtual worker panics injected by the chaos plan (DESIGN.md §15).
+    pub worker_panics: u64,
+    /// Replacement virtual workers spawned from the restart budget.
+    pub worker_restarts: u64,
+    /// Queries failed after exhausting the quarantine limit (deterministic
+    /// poison queries contained instead of crash-looping the pool).
+    pub quarantined: u64,
+    /// Queries cancelled by the hang watchdog.
+    pub hung: u64,
 }
 
 impl<S> SimReport<S> {
@@ -208,6 +225,12 @@ mod tests {
             restored: 0,
             restore_failures: 0,
             recomputed_bytes: 0,
+            failed: 0,
+            timed_out: 0,
+            worker_panics: 0,
+            worker_restarts: 0,
+            quarantined: 0,
+            hung: 0,
         };
         assert_eq!(report.response_times(), vec![2.0, 5.0]);
         assert!((report.average_overlap() - 0.4).abs() < 1e-12);

@@ -18,16 +18,21 @@
 //!   compute virtual-time I/O costs, so both engines share one disk model;
 //! * [`SpillStore`] is the Data Store's tier-2 spill target: evicted warm
 //!   entries serialize to checksummed frames on disk and re-heat later at
-//!   disk cost instead of recompute cost (DESIGN.md §14).
+//!   disk cost instead of recompute cost (DESIGN.md §14);
+//! * [`ChaosConfig`] injects seeded *process* failures (worker panics,
+//!   crash-mid-spill, frame bit flips) for the failure-containment layer
+//!   (DESIGN.md §15).
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod disk;
 mod fault;
 mod source;
 mod spill;
 
+pub use chaos::ChaosConfig;
 pub use disk::DiskModel;
 pub use fault::{is_transient, FaultConfig, FaultInjectingSource, FaultStats};
 pub use source::{DataSource, FileSource, SyntheticSource, ThrottledSource};
-pub use spill::{SpillStats, SpillStore, SPILL_DEVICE};
+pub use spill::{crc32, RecoveredFrame, RecoveryReport, SpillStats, SpillStore, SPILL_DEVICE};

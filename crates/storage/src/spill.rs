@@ -1,18 +1,27 @@
 //! The tier-2 spill store backing the Data Store's RESTORABLE phase
-//! (DESIGN.md §14).
+//! (DESIGN.md §14) with crash-consistent frames (DESIGN.md §15).
 //!
 //! Warm cache entries evicted from memory serialize here in a compact
 //! framed format instead of being dropped; a later exact-match lookup
-//! re-heats them at disk cost rather than recompute cost. The format is
-//! deliberately dumb — magic, version, payload length, checksum, bytes —
-//! because entries are opaque `Arc<[u8]>` results: no schema evolution to
-//! worry about, only torn writes and bit rot, which the checksum catches.
+//! re-heats them at disk cost rather than recompute cost. The v2 format
+//! is deliberately dumb — magic, version, a metadata block (the
+//! application-encoded predicate, so a cold restart can rebuild the Data
+//! Store index), the payload, and a CRC32 trailer over everything before
+//! it. Frames are written to a `.tmp` sibling and renamed into place, so
+//! a crash mid-write can never leave a half-frame under the `.spill`
+//! name: either the rename happened and the frame validates, or it did
+//! not and [`SpillStore::recover`] sweeps the torn `.tmp` away.
 //!
 //! Fault injection reuses the crate's seeded [`FaultConfig`] draws keyed
 //! on the reserved [`SPILL_DEVICE`] dataset and the blob id, so tests can
 //! predict exactly which tier-2 reads are poisoned without issuing them —
-//! the same pure-function contract the page-read injector honors.
+//! the same pure-function contract the page-read injector honors. Chaos
+//! injection ([`ChaosConfig`]) adds process-level failures: a kill-point
+//! that dies mid-write (torn `.tmp`, no rename) and a bit flip applied
+//! after the CRC was computed (an intact-looking frame the trailer
+//! rejects into the recompute fallback).
 
+use crate::chaos::ChaosConfig;
 use crate::fault::FaultConfig;
 use std::fs;
 use std::io::{self, Read, Write};
@@ -28,15 +37,21 @@ pub const SPILL_DEVICE: DatasetId = DatasetId(u64::MAX);
 /// File magic: identifies a spill frame (and guards against reading a
 /// foreign file dropped into the spill directory).
 const MAGIC: [u8; 4] = *b"VMQS";
-/// Frame format version.
-const VERSION: u8 = 1;
-/// Frame header: magic + version + 3 pad bytes + length u64 + checksum u64.
+/// Frame format version. v2 added the metadata block and moved integrity
+/// from an FNV header field to a whole-frame CRC32 trailer; v1 frames
+/// are rejected (and swept by recovery) rather than migrated — spill
+/// frames are a cache, recomputing is always safe.
+const VERSION: u8 = 2;
+/// Frame header: magic + version + 3 pad bytes + meta length u64 +
+/// payload length u64. The CRC32 trailer lives at the end of the frame.
 const HEADER_LEN: usize = 4 + 1 + 3 + 8 + 8;
+/// CRC32 trailer bytes.
+const TRAILER_LEN: usize = 4;
 
 /// Monotone counters for spill-store traffic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SpillStats {
-    /// Frames written.
+    /// Frames written (renamed into place).
     pub writes: u64,
     /// Payload bytes written.
     pub bytes_written: u64,
@@ -48,17 +63,79 @@ pub struct SpillStats {
     pub read_failures: u64,
     /// Frames removed.
     pub removes: u64,
+    /// Writes that died at the chaos kill-point, leaving a torn `.tmp`.
+    pub torn_writes: u64,
+    /// Frames corrupted by an injected bit flip after their CRC.
+    pub bit_flips: u64,
 }
 
-/// FNV-1a 64-bit over the payload — cheap, dependency-free, and plenty to
-/// catch torn writes and injected corruption.
-fn checksum(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+/// CRC32 (IEEE 802.3, the zlib polynomial), hand-rolled over a const
+/// table — the workspace vendors no checksum crate, and 4 bytes of
+/// trailer catch torn writes, truncation, and single-bit rot alike.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
     }
-    h
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 over `bytes` (init and final XOR `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// One frame [`SpillStore::recover`] found intact: the blob id (from the
+/// file name), the application-encoded predicate metadata, and the
+/// payload size. The payload itself stays on disk — the restore path
+/// re-reads it on demand, exactly like a frame spilled this run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveredFrame {
+    /// The blob id the frame was written under.
+    pub blob: BlobId,
+    /// The metadata block (an application-encoded predicate).
+    pub meta: Vec<u8>,
+    /// Payload bytes held by the frame.
+    pub size: u64,
+}
+
+/// What a startup [`SpillStore::recover`] scan found and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Frames that validated end-to-end (magic, version, lengths, CRC)
+    /// and can be fed back to the Data Store as RESTORABLE entries.
+    pub restorable: Vec<RecoveredFrame>,
+    /// Torn or corrupt `.spill` frames deleted (bad magic, wrong version,
+    /// short file, CRC mismatch, unparsable blob id).
+    pub removed_torn: u64,
+    /// Stale `.tmp` files deleted (writes that never reached the rename).
+    pub removed_tmp: u64,
+}
+
+impl RecoveryReport {
+    /// Total payload bytes across the restorable frames — the tier-2
+    /// byte accounting a cold start charges back to the Data Store.
+    pub fn bytes_restorable(&self) -> u64 {
+        self.restorable.iter().map(|f| f.size).sum()
+    }
 }
 
 /// An on-disk tier-2 store for spilled Data Store entries.
@@ -74,12 +151,22 @@ fn checksum(bytes: &[u8]) -> u64 {
 pub struct SpillStore {
     dir: PathBuf,
     fault: FaultConfig,
+    chaos: ChaosConfig,
+    /// Global write ordinal: the coordinate chaos kill-points key on.
+    write_seq: std::sync::atomic::AtomicU64,
+    /// Latched by the crash kill-point. A crashed store mutates nothing
+    /// further — writes fail and removes are no-ops — modeling a process
+    /// that died mid-spill and never ran its in-process cleanup; the torn
+    /// `.tmp` must wait for the next startup's [`SpillStore::recover`].
+    crashed: std::sync::atomic::AtomicBool,
     writes: std::sync::atomic::AtomicU64,
     bytes_written: std::sync::atomic::AtomicU64,
     reads: std::sync::atomic::AtomicU64,
     bytes_read: std::sync::atomic::AtomicU64,
     read_failures: std::sync::atomic::AtomicU64,
     removes: std::sync::atomic::AtomicU64,
+    torn_writes: std::sync::atomic::AtomicU64,
+    bit_flips: std::sync::atomic::AtomicU64,
 }
 
 impl SpillStore {
@@ -90,12 +177,17 @@ impl SpillStore {
         Ok(SpillStore {
             dir,
             fault: FaultConfig::none(),
+            chaos: ChaosConfig::none(),
+            write_seq: Default::default(),
+            crashed: Default::default(),
             writes: Default::default(),
             bytes_written: Default::default(),
             reads: Default::default(),
             bytes_read: Default::default(),
             read_failures: Default::default(),
             removes: Default::default(),
+            torn_writes: Default::default(),
+            bit_flips: Default::default(),
         })
     }
 
@@ -105,6 +197,14 @@ impl SpillStore {
     /// restore falls back to recomputation).
     pub fn with_faults(mut self, fault: FaultConfig) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Builder: arms the chaos kill-points on [`SpillStore::write`]
+    /// (crash-mid-spill, post-CRC bit flip). Poison-query and
+    /// panic-at-compute knobs are consumed by the engines, not here.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
         self
     }
 
@@ -123,6 +223,8 @@ impl SpillStore {
             bytes_read: self.bytes_read.load(Relaxed),
             read_failures: self.read_failures.load(Relaxed),
             removes: self.removes.load(Relaxed),
+            torn_writes: self.torn_writes.load(Relaxed),
+            bit_flips: self.bit_flips.load(Relaxed),
         }
     }
 
@@ -137,28 +239,109 @@ impl SpillStore {
         self.dir.join(format!("blob-{}.spill", blob.raw()))
     }
 
-    /// Serializes `payload` as the frame for `blob`, overwriting any
-    /// previous frame.
-    pub fn write(&self, blob: BlobId, payload: &[u8]) -> io::Result<()> {
+    fn tmp_path_of(&self, blob: BlobId) -> PathBuf {
+        self.dir.join(format!("blob-{}.tmp", blob.raw()))
+    }
+
+    /// Serializes `meta` (the application-encoded predicate) and
+    /// `payload` as the v2 frame for `blob`, overwriting any previous
+    /// frame. Atomic: the frame is staged as a `.tmp` sibling and renamed
+    /// into place, so a crash between the two leaves the old frame (or no
+    /// frame) — never a torn one — under the `.spill` name.
+    pub fn write(&self, blob: BlobId, meta: &[u8], payload: &[u8]) -> io::Result<()> {
         use std::sync::atomic::Ordering::Relaxed;
-        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+        if self.crashed.load(Relaxed) {
+            return Err(io::Error::other(
+                "spill store crashed at a chaos kill-point",
+            ));
+        }
+        let ordinal = self.write_seq.fetch_add(1, Relaxed);
+        let mut frame = Vec::with_capacity(HEADER_LEN + meta.len() + payload.len() + TRAILER_LEN);
         frame.extend_from_slice(&MAGIC);
         frame.push(VERSION);
         frame.extend_from_slice(&[0u8; 3]);
+        frame.extend_from_slice(&(meta.len() as u64).to_le_bytes());
         frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        frame.extend_from_slice(&checksum(payload).to_le_bytes());
+        frame.extend_from_slice(meta);
         frame.extend_from_slice(payload);
-        let mut f = fs::File::create(self.path_of(blob))?;
+        let crc = crc32(&frame);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        if self.chaos.bit_flip_frame == Some(ordinal) {
+            // Corrupt one payload byte *after* the CRC was computed: the
+            // frame lands on disk looking complete, and only the trailer
+            // check at read/recovery time can reject it.
+            let at = HEADER_LEN + meta.len() + payload.len() / 2;
+            if at < frame.len() - TRAILER_LEN {
+                frame[at] ^= 0x01;
+                self.bit_flips.fetch_add(1, Relaxed);
+            }
+        }
+        let tmp = self.tmp_path_of(blob);
+        if self.chaos.crash_spill_write == Some(ordinal) {
+            // Kill-point: the process "dies" after flushing only half the
+            // staged bytes. No rename happens, so the `.spill` namespace
+            // is untouched; the torn `.tmp` waits for recovery hygiene.
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&frame[..frame.len() / 2])?;
+            self.torn_writes.fetch_add(1, Relaxed);
+            self.crashed.store(true, Relaxed);
+            return Err(io::Error::other(format!(
+                "injected crash mid-spill-write for {blob} (ordinal {ordinal})"
+            )));
+        }
+        let mut f = fs::File::create(&tmp)?;
         f.write_all(&frame)?;
+        drop(f);
+        fs::rename(&tmp, self.path_of(blob))?;
         self.writes.fetch_add(1, Relaxed);
         self.bytes_written.fetch_add(payload.len() as u64, Relaxed);
         Ok(())
     }
 
-    /// Reads back the frame for `blob`, validating magic, version, length
-    /// and checksum. Fails with `InvalidData` on injected poison or a
-    /// corrupt frame — both non-transient, so the caller drops the entry
-    /// and recomputes.
+    /// Validates a whole raw frame: magic, version, lengths, CRC trailer.
+    /// Returns `(meta, payload)` slices on success.
+    fn validate(bytes: &[u8]) -> Result<(&[u8], &[u8]), String> {
+        if bytes.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(format!("short frame ({} bytes)", bytes.len()));
+        }
+        if bytes[..4] != MAGIC {
+            return Err("bad spill magic".into());
+        }
+        if bytes[4] != VERSION {
+            return Err(format!("unsupported spill frame version {}", bytes[4]));
+        }
+        let meta_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        let payload_len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+        let want_len = HEADER_LEN
+            .checked_add(meta_len)
+            .and_then(|n| n.checked_add(payload_len))
+            .and_then(|n| n.checked_add(TRAILER_LEN));
+        if want_len != Some(bytes.len()) {
+            return Err(format!(
+                "frame length mismatch ({} bytes, header claims {meta_len}+{payload_len})",
+                bytes.len()
+            ));
+        }
+        let body = &bytes[..bytes.len() - TRAILER_LEN];
+        let want = u32::from_le_bytes(
+            bytes[bytes.len() - TRAILER_LEN..]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        if crc32(body) != want {
+            return Err("spill CRC mismatch".into());
+        }
+        Ok((
+            &bytes[HEADER_LEN..HEADER_LEN + meta_len],
+            &bytes[HEADER_LEN + meta_len..HEADER_LEN + meta_len + payload_len],
+        ))
+    }
+
+    /// Reads back the payload for `blob`, validating magic, version,
+    /// lengths and the CRC trailer. Fails with `InvalidData` on injected
+    /// poison or a corrupt frame — both non-transient, so the caller
+    /// drops the entry and recomputes. A torn frame can never validate:
+    /// the CRC covers the header, metadata, and payload alike.
     pub fn read(&self, blob: BlobId) -> io::Result<Vec<u8>> {
         use std::sync::atomic::Ordering::Relaxed;
         let fail = |msg: String| -> io::Error { io::Error::new(io::ErrorKind::InvalidData, msg) };
@@ -168,25 +351,11 @@ impl SpillStore {
         }
         let inner = (|| -> io::Result<Vec<u8>> {
             let mut f = fs::File::open(self.path_of(blob))?;
-            let mut header = [0u8; HEADER_LEN];
-            f.read_exact(&mut header)?;
-            if header[..4] != MAGIC {
-                return Err(fail(format!("bad spill magic for {blob}")));
-            }
-            if header[4] != VERSION {
-                return Err(fail(format!(
-                    "unsupported spill frame version {} for {blob}",
-                    header[4]
-                )));
-            }
-            let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
-            let want = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
-            let mut payload = vec![0u8; len as usize];
-            f.read_exact(&mut payload)?;
-            if checksum(&payload) != want {
-                return Err(fail(format!("spill checksum mismatch for {blob}")));
-            }
-            Ok(payload)
+            let mut bytes = Vec::new();
+            f.read_to_end(&mut bytes)?;
+            let (_, payload) =
+                Self::validate(&bytes).map_err(|m| fail(format!("{m} for {blob}")))?;
+            Ok(payload.to_vec())
         })();
         match &inner {
             Ok(p) => {
@@ -200,10 +369,76 @@ impl SpillStore {
         inner
     }
 
-    /// Deletes the frame for `blob`. Missing frames are not an error (the
+    /// Startup scan (DESIGN.md §15): walks the spill directory, validates
+    /// every `.spill` frame end-to-end, deletes torn/corrupt frames and
+    /// stale `.tmp` files, and returns the intact frames so the caller
+    /// can rebuild tier-2 byte accounting and feed the entries back to
+    /// the Data Store as RESTORABLE. Frames are reported in ascending
+    /// blob order so adoption is deterministic. Idempotent: a second scan
+    /// over an untouched directory reports the same restorable set and
+    /// removes nothing.
+    pub fn recover(&self) -> io::Result<RecoveryReport> {
+        let mut report = RecoveryReport::default();
+        for entry in fs::read_dir(&self.dir)? {
+            let p = entry?.path();
+            let ext = p.extension().and_then(|e| e.to_str());
+            match ext {
+                Some("tmp") => {
+                    // A write that never reached its rename: by
+                    // construction nothing references it.
+                    fs::remove_file(&p)?;
+                    report.removed_tmp += 1;
+                }
+                Some("spill") => {
+                    let blob = p
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .and_then(|s| s.strip_prefix("blob-"))
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .map(BlobId);
+                    let frame = match blob {
+                        Some(blob) => fs::read(&p)
+                            .ok()
+                            .and_then(|bytes| {
+                                Self::validate(&bytes)
+                                    .ok()
+                                    .map(|(meta, payload)| (meta.to_vec(), payload.len() as u64))
+                            })
+                            .map(|(meta, size)| RecoveredFrame { blob, meta, size }),
+                        // An unparsable name is an orphan: no Data Store
+                        // entry could ever reference it.
+                        None => None,
+                    };
+                    match frame {
+                        Some(f) => report.restorable.push(f),
+                        None => {
+                            fs::remove_file(&p)?;
+                            report.removed_torn += 1;
+                        }
+                    }
+                }
+                // Foreign files (no extension match) are left alone: the
+                // directory may be a shared tmpdir.
+                _ => {}
+            }
+        }
+        report.restorable.sort_by_key(|f| f.blob.raw());
+        Ok(report)
+    }
+
+    /// Deletes the frame for `blob`, and any stale `.tmp` sibling a
+    /// crashed write left behind. Missing frames are not an error (the
     /// drop may race a cancelled spill that never wrote one).
     pub fn remove(&self, blob: BlobId) -> io::Result<()> {
         use std::sync::atomic::Ordering::Relaxed;
+        if self.crashed.load(Relaxed) {
+            // A crashed store leaves the directory untouched; recovery
+            // on the next startup owns the cleanup.
+            return Ok(());
+        }
+        match fs::remove_file(self.tmp_path_of(blob)) {
+            Ok(()) | Err(_) => {}
+        }
         match fs::remove_file(self.path_of(blob)) {
             Ok(()) => {
                 self.removes.fetch_add(1, Relaxed);
@@ -224,11 +459,14 @@ impl SpillStore {
         Ok(self.len()? == 0)
     }
 
-    /// Removes every frame (end-of-run hygiene; the directory itself
-    /// stays, it may be a shared tmpdir).
+    /// Removes every frame and stale `.tmp` (end-of-run hygiene; the
+    /// directory itself stays, it may be a shared tmpdir).
     pub fn clear(&self) -> io::Result<()> {
-        for p in self.frame_paths()? {
-            fs::remove_file(p)?;
+        for entry in fs::read_dir(&self.dir)? {
+            let p = entry?.path();
+            if p.extension().is_some_and(|e| e == "spill" || e == "tmp") {
+                fs::remove_file(p)?;
+            }
         }
         Ok(())
     }
@@ -264,10 +502,21 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 check values (zlib polynomial).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
     fn roundtrip_preserves_bytes() {
         let s = SpillStore::new(tmpdir("roundtrip")).unwrap();
         let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
-        s.write(BlobId(7), &payload).unwrap();
+        s.write(BlobId(7), b"meta!", &payload).unwrap();
         assert_eq!(s.read(BlobId(7)).unwrap(), payload);
         let st = s.stats();
         assert_eq!((st.writes, st.reads, st.read_failures), (1, 1, 0));
@@ -277,10 +526,25 @@ mod tests {
     }
 
     #[test]
-    fn empty_payload_roundtrips() {
+    fn empty_payload_and_meta_roundtrip() {
         let s = SpillStore::new(tmpdir("empty")).unwrap();
-        s.write(BlobId(0), &[]).unwrap();
+        s.write(BlobId(0), &[], &[]).unwrap();
         assert_eq!(s.read(BlobId(0)).unwrap(), Vec::<u8>::new());
+        let rec = s.recover().unwrap();
+        assert_eq!(rec.restorable.len(), 1);
+        assert!(rec.restorable[0].meta.is_empty());
+        cleanup(&s);
+    }
+
+    #[test]
+    fn successful_write_leaves_no_tmp() {
+        let s = SpillStore::new(tmpdir("atomic")).unwrap();
+        s.write(BlobId(1), b"m", &[3u8; 64]).unwrap();
+        let names: Vec<String> = fs::read_dir(s.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["blob-1.spill".to_string()]);
         cleanup(&s);
     }
 
@@ -293,25 +557,26 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_frame_fails_checksum() {
+    fn corrupt_frame_fails_crc() {
         let s = SpillStore::new(tmpdir("corrupt")).unwrap();
-        s.write(BlobId(3), &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
-        // Flip one payload byte on disk.
+        s.write(BlobId(3), b"spec", &[1, 2, 3, 4, 5, 6, 7, 8])
+            .unwrap();
+        // Flip one payload byte on disk (not in the trailer).
         let p = s.dir().join("blob-3.spill");
         let mut bytes = fs::read(&p).unwrap();
-        let last = bytes.len() - 1;
-        bytes[last] ^= 0xFF;
+        let mid = HEADER_LEN + 2;
+        bytes[mid] ^= 0xFF;
         fs::write(&p, bytes).unwrap();
         let e = s.read(BlobId(3)).unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::InvalidData);
-        assert!(e.to_string().contains("checksum"));
+        assert!(e.to_string().contains("CRC"));
         cleanup(&s);
     }
 
     #[test]
     fn truncated_frame_fails_read() {
         let s = SpillStore::new(tmpdir("truncated")).unwrap();
-        s.write(BlobId(4), &[9u8; 100]).unwrap();
+        s.write(BlobId(4), b"", &[9u8; 100]).unwrap();
         let p = s.dir().join("blob-4.spill");
         let bytes = fs::read(&p).unwrap();
         fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
@@ -322,9 +587,35 @@ mod tests {
     #[test]
     fn foreign_file_rejected_by_magic() {
         let s = SpillStore::new(tmpdir("magic")).unwrap();
-        fs::write(s.dir().join("blob-5.spill"), b"not a spill frame at all").unwrap();
+        fs::write(
+            s.dir().join("blob-5.spill"),
+            b"definitely not a spill frame, but long enough to parse",
+        )
+        .unwrap();
         let e = s.read(BlobId(5)).unwrap_err();
         assert!(e.to_string().contains("magic"));
+        cleanup(&s);
+    }
+
+    #[test]
+    fn v1_frame_rejected_by_version() {
+        let s = SpillStore::new(tmpdir("v1")).unwrap();
+        // A hand-built v1-style frame: old header layout, no trailer.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.push(1);
+        frame.extend_from_slice(&[0u8; 3]);
+        frame.extend_from_slice(&8u64.to_le_bytes());
+        frame.extend_from_slice(&0u64.to_le_bytes());
+        frame.extend_from_slice(&[7u8; 8]);
+        fs::write(s.dir().join("blob-6.spill"), frame).unwrap();
+        let e = s.read(BlobId(6)).unwrap_err();
+        assert!(e.to_string().contains("version"));
+        // Recovery sweeps it rather than adopting it.
+        let rec = s.recover().unwrap();
+        assert!(rec.restorable.is_empty());
+        assert_eq!(rec.removed_torn, 1);
+        assert!(s.is_empty().unwrap());
         cleanup(&s);
     }
 
@@ -332,7 +623,7 @@ mod tests {
     fn remove_and_clear_leave_no_frames() {
         let s = SpillStore::new(tmpdir("hygiene")).unwrap();
         for i in 0..5u64 {
-            s.write(BlobId(i), &[i as u8; 16]).unwrap();
+            s.write(BlobId(i), b"", &[i as u8; 16]).unwrap();
         }
         assert_eq!(s.len().unwrap(), 5);
         s.remove(BlobId(2)).unwrap();
@@ -353,7 +644,7 @@ mod tests {
         let s = SpillStore::new(tmpdir("poison")).unwrap().with_faults(cfg);
         let mut poisoned = 0;
         for i in 0..50u64 {
-            s.write(BlobId(i), &[i as u8; 8]).unwrap();
+            s.write(BlobId(i), b"", &[i as u8; 8]).unwrap();
             if s.blob_is_poisoned(BlobId(i)) {
                 poisoned += 1;
                 let e = s.read(BlobId(i)).unwrap_err();
@@ -374,10 +665,95 @@ mod tests {
     #[test]
     fn overwrite_replaces_frame() {
         let s = SpillStore::new(tmpdir("overwrite")).unwrap();
-        s.write(BlobId(9), &[1u8; 64]).unwrap();
-        s.write(BlobId(9), &[2u8; 32]).unwrap();
+        s.write(BlobId(9), b"a", &[1u8; 64]).unwrap();
+        s.write(BlobId(9), b"b", &[2u8; 32]).unwrap();
         assert_eq!(s.read(BlobId(9)).unwrap(), vec![2u8; 32]);
         assert_eq!(s.len().unwrap(), 1);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn crash_mid_spill_leaves_torn_tmp_and_recovery_sweeps_it() {
+        let s = SpillStore::new(tmpdir("crash"))
+            .unwrap()
+            .with_chaos(ChaosConfig::none().with_crash_spill_write(Some(1)));
+        s.write(BlobId(0), b"spec0", &[1u8; 128]).unwrap();
+        // Write ordinal 1 dies at the kill-point.
+        let e = s.write(BlobId(1), b"spec1", &[2u8; 128]).unwrap_err();
+        assert!(e.to_string().contains("crash mid-spill"));
+        assert_eq!(s.stats().torn_writes, 1);
+        // The .spill namespace never saw the torn frame.
+        assert_eq!(s.len().unwrap(), 1);
+        assert!(s.dir().join("blob-1.tmp").exists());
+        assert!(s.read(BlobId(1)).is_err());
+        // The crashed store is dead: later writes fail, and removes no
+        // longer touch the directory (a dead process cleans nothing up).
+        assert!(s.write(BlobId(2), b"spec2", &[3u8; 64]).is_err());
+        s.remove(BlobId(1)).unwrap();
+        assert!(s.dir().join("blob-1.tmp").exists());
+        // Recovery: the intact frame survives, the torn tmp is deleted,
+        // and byte accounting covers exactly the survivors.
+        let rec = s.recover().unwrap();
+        assert_eq!(rec.removed_tmp, 1);
+        assert_eq!(rec.removed_torn, 0);
+        assert_eq!(rec.restorable.len(), 1);
+        assert_eq!(rec.restorable[0].blob, BlobId(0));
+        assert_eq!(rec.restorable[0].meta, b"spec0");
+        assert_eq!(rec.bytes_restorable(), 128);
+        assert!(!s.dir().join("blob-1.tmp").exists());
+        // Idempotent: a second scan finds the same state, removes nothing.
+        let rec2 = s.recover().unwrap();
+        assert_eq!((rec2.removed_tmp, rec2.removed_torn), (0, 0));
+        assert_eq!(rec2.restorable, rec.restorable);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn bit_flipped_frame_fails_read_and_recovery_deletes_it() {
+        let s = SpillStore::new(tmpdir("bitflip"))
+            .unwrap()
+            .with_chaos(ChaosConfig::none().with_bit_flip_frame(Some(0)));
+        // The flip happens after the CRC: the write itself "succeeds".
+        s.write(BlobId(8), b"spec", &[5u8; 256]).unwrap();
+        assert_eq!(s.stats().bit_flips, 1);
+        let e = s.read(BlobId(8)).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("CRC"));
+        let rec = s.recover().unwrap();
+        assert!(rec.restorable.is_empty());
+        assert_eq!(rec.removed_torn, 1);
+        assert!(s.is_empty().unwrap(), "no torn frame survives recovery");
+        cleanup(&s);
+    }
+
+    #[test]
+    fn recovery_reports_frames_in_blob_order_with_meta() {
+        let s = SpillStore::new(tmpdir("recover-order")).unwrap();
+        for i in [5u64, 1, 9] {
+            s.write(BlobId(i), format!("spec-{i}").as_bytes(), &[i as u8; 32])
+                .unwrap();
+        }
+        // An orphan with an unparsable name is swept too.
+        fs::write(s.dir().join("blob-xyz.spill"), b"junk").unwrap();
+        let rec = s.recover().unwrap();
+        assert_eq!(
+            rec.restorable.iter().map(|f| f.blob).collect::<Vec<_>>(),
+            vec![BlobId(1), BlobId(5), BlobId(9)]
+        );
+        assert_eq!(rec.restorable[1].meta, b"spec-5");
+        assert_eq!(rec.bytes_restorable(), 96);
+        assert_eq!(rec.removed_torn, 1);
+        cleanup(&s);
+    }
+
+    #[test]
+    fn recovery_ignores_foreign_extensions() {
+        let s = SpillStore::new(tmpdir("foreign")).unwrap();
+        fs::write(s.dir().join("notes.txt"), b"hello").unwrap();
+        let rec = s.recover().unwrap();
+        assert_eq!(rec, RecoveryReport::default());
+        assert!(s.dir().join("notes.txt").exists());
+        fs::remove_file(s.dir().join("notes.txt")).unwrap();
         cleanup(&s);
     }
 }

@@ -683,6 +683,75 @@ fn engine_idle_wakeup_no_lost_submit() {
     });
 }
 
+/// Worker-death back-out of a CLAIMED entry (DESIGN.md §15): a producer
+/// that panics while holding a SUBSCRIBABLE reservation must (a) kill
+/// the entry with `force_swap_out` *before* the graph transition that
+/// ends the wait — so no subscriber, racing or late, can mistake the
+/// corpse for in-flight or FULL — and (b) notify the shard condvar
+/// after the producer leaves EXECUTING, so a subscriber blocked on that
+/// state always re-checks its predicate. Dropping the notify strands
+/// the subscriber forever (loom reports the lost wakeup as a deadlock);
+/// dropping the `force_swap_out` leaves the aborted entry looking
+/// SUBSCRIBABLE after the producer's terminal, which the model's
+/// post-wake phase assertion catches (counterexample #12).
+#[test]
+fn worker_death_backout_wakes_subscriber() {
+    loom::model(|| {
+        let st = Arc::new(EntryState::new());
+        // The producer opened its reservation to grafts before the race.
+        assert!(st.make_subscribable());
+        // The shard's view of the producer: EXECUTING until the back-out.
+        let executing = Arc::new(Mutex::new(true));
+        let done_cv = Arc::new(Condvar::new());
+
+        let dying = {
+            let (st, executing, done_cv) = (st.clone(), executing.clone(), done_cv.clone());
+            thread::spawn(move || {
+                // `DataStore::abort` (inner unwind guard): SWAPPED_OUT
+                // before the entry is removed.
+                st.force_swap_out();
+                // `handle_worker_panic` under the shard lock: the query
+                // leaves EXECUTING...
+                *executing.lock() = false;
+                // ...and `finish_one` notifies the shard's `done_cv`.
+                done_cv.notify_all();
+            })
+        };
+
+        // The grafting consumer (engine's graft wait loop): subscribe,
+        // and while the producer is EXECUTING, wait for its terminal.
+        match st.subscribe() {
+            Phase::Subscribable => {
+                let mut g = executing.lock();
+                while *g {
+                    done_cv.wait(&mut g);
+                }
+                drop(g);
+                // The producer died: the entry must be visibly dead —
+                // never FULL (nothing was committed) and never still
+                // SUBSCRIBABLE (no one will ever commit it) — so the
+                // consumer falls back to computing for itself.
+                assert!(
+                    !st.is_visible(),
+                    "subscriber saw FULL on an aborted reservation"
+                );
+                assert_ne!(
+                    st.phase(),
+                    Phase::Subscribable,
+                    "aborted reservation still looks in-flight"
+                );
+                st.unsubscribe();
+            }
+            ph => {
+                // Subscribe raced the abort: the entry already left the
+                // graft protocol and `subscribe` released the count.
+                assert_ne!(ph, Phase::Full, "aborted entry can never be FULL");
+            }
+        }
+        dying.join().unwrap();
+    });
+}
+
 /// The engine's work-queue handshake (mutex + condvar, notify after
 /// push): the consumer always receives the item. Removing the notify is
 /// a lost wakeup, which the model reports as a deadlock.
