@@ -1,0 +1,36 @@
+//! Seeded lock-order violations — the analyzer must flag all three
+//! functions. Test-spec classes: admission=10, quarantine=20,
+//! shard.state=30, store=40, metrics=60.
+
+impl Engine {
+    /// Inverted order: store (level 40) is held when admission (level
+    /// 10) is taken.
+    pub fn inverted(&self) {
+        let s = self.store.write();
+        let a = self.admission.lock();
+        drop(a);
+        drop(s);
+    }
+
+    /// Two shard locks held together — forbidden by the same-shard-only
+    /// rule no matter the indices.
+    pub fn two_shards(&self, i: usize, j: usize) {
+        let a = self.shards[i].state.lock();
+        let b = self.shards[j].state.lock();
+        drop(b);
+        drop(a);
+    }
+
+    /// The callee's direct acquisition is seen through depth-1 call
+    /// propagation.
+    pub fn through_call(&self) {
+        let s = self.store.write();
+        self.lock_admission_inner();
+        drop(s);
+    }
+
+    fn lock_admission_inner(&self) {
+        let a = self.admission.lock();
+        drop(a);
+    }
+}

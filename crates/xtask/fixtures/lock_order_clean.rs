@@ -1,0 +1,42 @@
+//! Lock usage the analyzer must accept: ascending acquisition,
+//! scope/drop-delimited guards, rebinding after drop, momentary leaf
+//! locks, and the `lint:allow(lock-order)` escape hatch.
+
+impl Engine {
+    /// Ascending acquisition with a momentary leaf lock at the end.
+    pub fn ordered(&self) {
+        let a = self.admission.lock();
+        let s = self.shards[0].state.lock();
+        self.metrics.lock().push(1);
+        drop(s);
+        drop(a);
+    }
+
+    /// Sequential scopes never overlap.
+    pub fn sequential(&self) {
+        {
+            let s = self.store.write();
+            s.touch();
+        }
+        let a = self.admission.lock();
+        drop(a);
+    }
+
+    /// Re-binding after an explicit drop is a fresh acquisition, not a
+    /// self-deadlock.
+    pub fn rebind(&self) {
+        let mut g = self.store.write();
+        drop(g);
+        g = self.store.write();
+        drop(g);
+    }
+
+    /// The escape hatch: a justified descending pair.
+    pub fn waved(&self) {
+        let s = self.store.write();
+        // lint:allow(lock-order): fixture demonstrates the escape hatch
+        let q = self.quarantine.lock();
+        drop(q);
+        drop(s);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture event enum for the event-parity rule.
+
+pub enum EventKind {
+    Submitted,
+    Ranked { score: f64 },
+    Grafted { source: u64 },
+    Shed,
+}

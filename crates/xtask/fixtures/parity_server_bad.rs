@@ -1,0 +1,8 @@
+//! Server side of the seeded parity violation: constructs `Grafted`,
+//! which the sim fixture only ever matches on.
+
+pub fn emit_all(log: &mut Vec<EventKind>) {
+    log.push(EventKind::Submitted);
+    log.push(EventKind::Ranked { score: 1.0 });
+    log.push(EventKind::Grafted { source: 7 });
+}

@@ -1,0 +1,7 @@
+//! Server side constructing exactly the variants the sim fixture
+//! constructs — parity holds.
+
+pub fn emit_all(log: &mut Vec<EventKind>) {
+    log.push(EventKind::Submitted);
+    log.push(EventKind::Ranked { score: 1.0 });
+}

@@ -1,0 +1,15 @@
+//! Sim side: constructs Submitted and Ranked; *matches* on Grafted and
+//! Shed without ever constructing them.
+
+pub fn emit_all(log: &mut Vec<EventKind>) {
+    log.push(EventKind::Submitted);
+    log.push(EventKind::Ranked { score: 2.0 });
+}
+
+pub fn classify(k: &EventKind) -> u32 {
+    match k {
+        EventKind::Grafted { .. } => 1,
+        EventKind::Shed => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,28 @@
+//! Seeded phase-transition violation: `abort` performs a store the
+//! declared table does not allow.
+
+pub struct EntryState {
+    phase: AtomicU8,
+}
+
+impl EntryState {
+    pub fn publish(&self) -> bool {
+        self.phase
+            .compare_exchange(
+                Phase::Accumulating as u8,
+                Phase::Full as u8,
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    pub fn force_swap_out(&self) {
+        self.phase.store(Phase::SwappedOut as u8, Ordering::Release);
+    }
+
+    /// Undeclared arc: no spec row allows a Relaxed store to Restorable.
+    pub fn abort(&self) {
+        self.phase.store(Phase::Restorable as u8, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,23 @@
+//! Phase mutations exactly matching the fixture transition table —
+//! the analyzer must stay quiet.
+
+pub struct EntryState {
+    phase: AtomicU8,
+}
+
+impl EntryState {
+    pub fn publish(&self) -> bool {
+        self.phase
+            .compare_exchange(
+                Phase::Accumulating as u8,
+                Phase::Full as u8,
+                Ordering::SeqCst,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    pub fn force_swap_out(&self) {
+        self.phase.store(Phase::SwappedOut as u8, Ordering::Release);
+    }
+}

@@ -1,0 +1,23 @@
+//! Rule patterns inside strings and comments — must stay quiet on the
+//! syntax-aware linter. (The old regex linter flagged several of
+//! these.)
+
+/// Documentation mentioning Instant::now() in prose is fine.
+pub fn help_text() -> &'static str {
+    "never call Instant::now() or SystemTime::now() directly; \
+     x.unwrap() and x.expect(...) are banned on the hot path"
+}
+
+pub fn raw_patterns() -> &'static str {
+    r#"let g = self.state.lock(); read_page(0); drop(g);"#
+}
+
+pub fn declared_in_string() -> &'static str {
+    "names: HashMap<QueryId, u32> — then names.keys() would be nondet"
+}
+
+pub fn commented() {
+    // let t = Instant::now(); — commented-out code never fires
+    /* iterating self.map.iter() over a HashMap<K, V> would be nondet */
+    let _ = help_text();
+}

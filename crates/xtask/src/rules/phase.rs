@@ -1,0 +1,582 @@
+//! `EntryState` phase-transition conformance.
+//!
+//! The datastore's six-phase lifecycle lives in a private `phase:
+//! AtomicU8` (crates/datastore/src/entry.rs). Every mutation of that
+//! atomic — `compare_exchange` or `store` — is a protocol arc whose
+//! (from, to, success-ordering) triple the loom models were written
+//! against. This rule extracts every such site from any file declaring
+//! a `phase: AtomicU8` field and checks the observed set against the
+//! declared table in `docs/phase-transitions.md`
+//! (```` ```phase-transitions ```` block), in both directions:
+//!
+//! * an arc in code but not in the table → **undeclared transition**
+//!   (a new arc, like PR 9's abort path, must be spec'd first);
+//! * a table row matching no code → **stale spec**;
+//! * additionally, every function in the table must name a loom model
+//!   (`model <fn> <loom-fn>…`) that exists in `tests/loom.rs`, calls
+//!   `loom::model`, and invokes the function — so the declared table
+//!   stays cross-validated against what the models actually exercise.
+//!
+//! CAS `from`/`to` operands are read as `Phase::X as u8` or as a
+//! variable resolved through a `for v in [Phase::A, Phase::B]` loop in
+//! the same function (the shape `publish` uses); anything else is
+//! reported as unresolvable rather than guessed. Plain `load`s and
+//! `AtomicU8::new` constructors are reads/initialization, not arcs, and
+//! are out of scope.
+
+use crate::diag::{fingerprint, Diagnostic};
+use crate::lexer::{self, Tok, TokKind};
+use crate::rules::{skip_group, SourceFile};
+
+/// One declared arc. `from` is `*` for unconditional `store`s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transition {
+    pub line: usize,
+    pub func: String,
+    pub kind: String, // "cas" | "store"
+    pub from: String,
+    pub to: String,
+    pub ordering: String,
+}
+
+/// The declared table plus the model cross-references.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseSpec {
+    pub transitions: Vec<Transition>,
+    /// (spec line, entry fn, loom model fns).
+    pub models: Vec<(usize, String, Vec<String>)>,
+}
+
+impl PhaseSpec {
+    /// Parses the ```` ```phase-transitions ```` block:
+    /// `transition <fn> cas <from> <to> <ordering>`,
+    /// `transition <fn> store * <to> <ordering>`,
+    /// `model <fn> <loom-fn> [loom-fn …]`, `#` comments.
+    pub fn parse(block: &[(usize, String)]) -> Result<PhaseSpec, String> {
+        let mut spec = PhaseSpec::default();
+        for (lineno, line) in block {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let w: Vec<&str> = line.split_whitespace().collect();
+            match w.first() {
+                Some(&"transition") if w.len() == 6 && (w[2] == "cas" || w[2] == "store") => {
+                    if w[2] == "store" && w[3] != "*" {
+                        return Err(format!(
+                            "phase spec line {lineno}: store arcs have no from — use `*`"
+                        ));
+                    }
+                    let t = Transition {
+                        line: *lineno,
+                        func: w[1].into(),
+                        kind: w[2].into(),
+                        from: w[3].into(),
+                        to: w[4].into(),
+                        ordering: w[5].into(),
+                    };
+                    if spec.transitions.iter().any(|x| x.key() == t.key()) {
+                        return Err(format!("phase spec line {lineno}: duplicate arc"));
+                    }
+                    spec.transitions.push(t);
+                }
+                Some(&"model") if w.len() >= 3 => {
+                    spec.models.push((
+                        *lineno,
+                        w[1].to_string(),
+                        w[2..].iter().map(|s| s.to_string()).collect(),
+                    ));
+                }
+                _ => {
+                    return Err(format!(
+                        "phase spec line {lineno}: expected `transition <fn> cas|store <from> <to> \
+                         <ordering>` or `model <fn> <loom-fn>…`, got {line:?}"
+                    ))
+                }
+            }
+        }
+        if spec.transitions.is_empty() {
+            return Err("phase spec declares no transitions".into());
+        }
+        Ok(spec)
+    }
+}
+
+impl Transition {
+    fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.func, self.kind, self.from, self.to, self.ordering
+        )
+    }
+}
+
+/// An observed phase mutation in code.
+#[derive(Clone, Debug)]
+struct Observed {
+    func: String,
+    kind: String,
+    from: String,
+    to: String,
+    ordering: String,
+    file: usize,
+    line: usize,
+}
+
+impl Observed {
+    fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.func, self.kind, self.from, self.to, self.ordering
+        )
+    }
+}
+
+/// Splits the tokens of a `(...)` group (given the opener index) into
+/// top-level comma-separated argument slices.
+fn call_args(toks: &[Tok], open: usize) -> Vec<Vec<Tok>> {
+    let end = skip_group(toks, open) - 1; // index of ')'
+    let mut args = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in &toks[open + 1..end] {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => {
+                args.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        args.push(cur);
+    }
+    args
+}
+
+/// Resolves a phase operand to variant names. Accepts `Phase::X`
+/// (optionally `as u8`) or a lone variable driven by a
+/// `for v in [Phase::A, Phase::B]` loop inside `body`.
+fn resolve_operand(arg: &[Tok], body: &[Tok]) -> Result<Vec<String>, String> {
+    let mut a = arg;
+    // Strip a trailing `as u8`.
+    if a.len() >= 2 && a[a.len() - 2].is_ident("as") {
+        a = &a[..a.len() - 2];
+    }
+    if a.len() == 4 && a[0].is_ident("Phase") && a[1].is_punct(':') && a[2].is_punct(':') {
+        return Ok(vec![a[3].text.clone()]);
+    }
+    if a.len() == 1 && a[0].kind == TokKind::Ident {
+        let var = &a[0].text;
+        // `for <var> in [ … ]`
+        let mut i = 0usize;
+        while i + 3 < body.len() {
+            if body[i].is_ident("for")
+                && body[i + 1].is_ident(var)
+                && body[i + 2].is_ident("in")
+                && body[i + 3].is_punct('[')
+            {
+                let elems = call_args(body, i + 3);
+                let mut out = Vec::new();
+                for e in &elems {
+                    out.extend(resolve_operand(e, body)?);
+                }
+                if out.is_empty() {
+                    return Err(format!("loop over empty array for `{var}`"));
+                }
+                return Ok(out);
+            }
+            i += 1;
+        }
+        return Err(format!("cannot resolve phase operand `{var}`"));
+    }
+    Err(format!(
+        "unrecognized phase operand shape `{}`",
+        a.iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    ))
+}
+
+/// The last identifier of an ordering argument (`Ordering::SeqCst` →
+/// `SeqCst`).
+fn ordering_of(arg: &[Tok]) -> Option<String> {
+    arg.iter()
+        .rev()
+        .find(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// True when the file declares a `phase: AtomicU8` field — the scope
+/// gate for this rule.
+fn has_phase_field(toks: &[Tok]) -> bool {
+    toks.windows(3)
+        .any(|w| w[0].is_ident("phase") && w[1].is_punct(':') && w[2].is_ident("AtomicU8"))
+}
+
+/// Runs the conformance check. `spec_rel` is the workspace-relative
+/// path of the spec document (diagnostics for stale rows point there);
+/// `loom` is `tests/loom.rs` when present.
+pub fn check(
+    spec: &PhaseSpec,
+    spec_rel: &str,
+    files: &[SourceFile],
+    loom: Option<&SourceFile>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut observed: Vec<Observed> = Vec::new();
+
+    for (fi, f) in files.iter().enumerate() {
+        let toks = &f.lexed.tokens;
+        if !has_phase_field(toks) {
+            continue;
+        }
+        let items = lexer::fn_items(toks);
+        for item in &items {
+            if f.in_test(item.line) {
+                continue;
+            }
+            let (bs, be) = item.body;
+            let body = &toks[bs..=be.min(toks.len() - 1)];
+            let mut i = 0usize;
+            while i + 4 < body.len() {
+                let is_site = body[i].is_punct('.')
+                    && body[i + 1].is_ident("phase")
+                    && body[i + 2].is_punct('.')
+                    && (body[i + 3].is_ident("compare_exchange") || body[i + 3].is_ident("store"))
+                    && body[i + 4].is_punct('(');
+                if !is_site {
+                    i += 1;
+                    continue;
+                }
+                let kind = if body[i + 3].is_ident("compare_exchange") {
+                    "cas"
+                } else {
+                    "store"
+                };
+                let line = body[i + 3].line;
+                let args = call_args(body, i + 4);
+                let mut bad = |msg: String, key: &str| {
+                    out.push(Diagnostic {
+                        rule: "phase-transition",
+                        file: f.rel.clone(),
+                        line,
+                        message: msg,
+                        fingerprint: fingerprint("phase-transition", &f.rel, key),
+                    });
+                };
+                let expect = if kind == "cas" { 4 } else { 2 };
+                if args.len() != expect {
+                    bad(
+                        format!(
+                            "`{}`: phase {kind} with {} args (expected {expect}) — cannot check",
+                            item.name,
+                            args.len()
+                        ),
+                        &format!("arity:{}|{kind}", item.name),
+                    );
+                    i += 5;
+                    continue;
+                }
+                let (froms, tos, ord) = if kind == "cas" {
+                    (
+                        resolve_operand(&args[0], body),
+                        resolve_operand(&args[1], body),
+                        ordering_of(&args[2]),
+                    )
+                } else {
+                    (
+                        Ok(vec!["*".to_string()]),
+                        resolve_operand(&args[0], body),
+                        ordering_of(&args[1]),
+                    )
+                };
+                match (froms, tos, ord) {
+                    (Ok(froms), Ok(tos), Some(ord)) => {
+                        for from in &froms {
+                            for to in &tos {
+                                observed.push(Observed {
+                                    func: item.name.clone(),
+                                    kind: kind.into(),
+                                    from: from.clone(),
+                                    to: to.clone(),
+                                    ordering: ord.clone(),
+                                    file: fi,
+                                    line,
+                                });
+                            }
+                        }
+                    }
+                    (f1, f2, _ord) => {
+                        let why = f1
+                            .err()
+                            .or(f2.err())
+                            .unwrap_or_else(|| "missing ordering argument".into());
+                        bad(
+                            format!("`{}`: unresolvable phase {kind} operand: {why}", item.name),
+                            &format!("operand:{}|{kind}", item.name),
+                        );
+                    }
+                }
+                i += 5;
+            }
+        }
+    }
+
+    // Direction 1: every observed arc must be declared.
+    for o in &observed {
+        if !spec.transitions.iter().any(|t| t.key() == o.key()) {
+            let f = &files[o.file];
+            out.push(Diagnostic {
+                rule: "phase-transition",
+                file: f.rel.clone(),
+                line: o.line,
+                message: format!(
+                    "undeclared phase transition in `{}`: {} {} -> {} ({}) — declare it in \
+                     {spec_rel} (and cover it with a loom model) first",
+                    o.func, o.kind, o.from, o.to, o.ordering
+                ),
+                fingerprint: fingerprint(
+                    "phase-transition",
+                    &f.rel,
+                    &format!("undeclared:{}", o.key()),
+                ),
+            });
+        }
+    }
+
+    // Direction 2: every declared arc must exist in code.
+    for t in &spec.transitions {
+        if !observed.iter().any(|o| o.key() == t.key()) {
+            out.push(Diagnostic {
+                rule: "phase-transition",
+                file: spec_rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "stale spec row: no code performs `{}` {} {} -> {} ({})",
+                    t.func, t.kind, t.from, t.to, t.ordering
+                ),
+                fingerprint: fingerprint(
+                    "phase-transition",
+                    spec_rel,
+                    &format!("stale:{}", t.key()),
+                ),
+            });
+        }
+    }
+
+    // Direction 3: loom cross-validation.
+    let loom_fns: Vec<(String, bool, Vec<String>)> = loom
+        .map(|lf| {
+            let toks = &lf.lexed.tokens;
+            lexer::fn_items(toks)
+                .iter()
+                .map(|item| {
+                    let body = &toks[item.body.0..=item.body.1.min(toks.len() - 1)];
+                    let is_model = body.windows(4).any(|w| {
+                        w[0].is_ident("loom")
+                            && w[1].is_punct(':')
+                            && w[2].is_punct(':')
+                            && w[3].is_ident("model")
+                    });
+                    let called: Vec<String> = body
+                        .windows(3)
+                        .filter(|w| {
+                            w[0].is_punct('.') && w[1].kind == TokKind::Ident && w[2].is_punct('(')
+                        })
+                        .map(|w| w[1].text.clone())
+                        .collect();
+                    (item.name.clone(), is_model, called)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut spec_funcs: Vec<&str> = spec.transitions.iter().map(|t| t.func.as_str()).collect();
+    spec_funcs.sort_unstable();
+    spec_funcs.dedup();
+    for func in spec_funcs {
+        let Some((mline, _, models)) = spec.models.iter().find(|(_, f, _)| f == func) else {
+            out.push(Diagnostic {
+                rule: "phase-transition",
+                file: spec_rel.to_string(),
+                line: 1,
+                message: format!(
+                    "`{func}` mutates the phase but no `model {func} <loom-fn>` row names the \
+                     loom model that exercises it"
+                ),
+                fingerprint: fingerprint(
+                    "phase-transition",
+                    spec_rel,
+                    &format!("unmodeled:{func}"),
+                ),
+            });
+            continue;
+        };
+        for m in models {
+            let found = loom_fns.iter().find(|(name, _, _)| name == m);
+            let ok = match found {
+                Some((_, is_model, called)) => *is_model && called.iter().any(|c| c == func),
+                None => false,
+            };
+            if !ok {
+                out.push(Diagnostic {
+                    rule: "phase-transition",
+                    file: spec_rel.to_string(),
+                    line: *mline,
+                    message: format!(
+                        "spec claims loom model `{m}` covers `{func}`, but tests/loom.rs has no \
+                         such `loom::model` fn calling `.{func}(…)`"
+                    ),
+                    fingerprint: fingerprint(
+                        "phase-transition",
+                        spec_rel,
+                        &format!("model:{m}|{func}"),
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "\
+transition publish cas Accumulating Full SeqCst
+transition force_swap_out store * SwappedOut Release
+model publish m_publish
+model force_swap_out m_swap
+";
+
+    fn spec() -> PhaseSpec {
+        let block: Vec<(usize, String)> = SPEC
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.to_string()))
+            .collect();
+        PhaseSpec::parse(&block).unwrap()
+    }
+
+    const LOOM: &str = "\
+fn m_publish() { loom::model(|| { e.publish(); }); }
+fn m_swap() { loom::model(|| { e.force_swap_out(); }); }
+";
+
+    const CODE: &str = "\
+struct S { phase: AtomicU8 }
+impl S {
+ fn publish(&self) -> bool {
+  self.phase.compare_exchange(Phase::Accumulating as u8, Phase::Full as u8, Ordering::SeqCst, Ordering::Relaxed).is_ok()
+ }
+ fn force_swap_out(&self) {
+  self.phase.store(Phase::SwappedOut as u8, Ordering::Release);
+ }
+}
+";
+
+    fn run(code: &str) -> Vec<Diagnostic> {
+        check(
+            &spec(),
+            "docs/phase-transitions.md",
+            &[SourceFile::new("entry.rs", code)],
+            Some(&SourceFile::new("tests/loom.rs", LOOM)),
+        )
+    }
+
+    #[test]
+    fn conforming_code_is_clean() {
+        let v = run(CODE);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn undeclared_arc_fires() {
+        let code = CODE.replace("Phase::SwappedOut as u8", "Phase::Full as u8");
+        let v = run(&code);
+        // One undeclared arc (store Full) + the declared SwappedOut row is stale.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v
+            .iter()
+            .any(|d| d.message.contains("undeclared phase transition")));
+        assert!(v.iter().any(|d| d.message.contains("stale spec row")));
+    }
+
+    #[test]
+    fn wrong_ordering_fires() {
+        let code = CODE.replace("Ordering::SeqCst", "Ordering::AcqRel");
+        let v = run(&code);
+        assert!(v.iter().any(|d| d.message.contains("AcqRel")), "{v:?}");
+    }
+
+    #[test]
+    fn loop_variable_operand_resolves() {
+        let code = "\
+struct S { phase: AtomicU8 }
+impl S {
+ fn publish(&self) -> bool {
+  for from in [Phase::Accumulating, Phase::Subscribable] {
+   if self.phase.compare_exchange(from as u8, Phase::Full as u8, Ordering::SeqCst, Ordering::Relaxed).is_ok() { return true; }
+  }
+  false
+ }
+ fn force_swap_out(&self) { self.phase.store(Phase::SwappedOut as u8, Ordering::Release); }
+}
+";
+        let v = run(code);
+        // Subscribable -> Full is observed but not declared in the tiny
+        // test spec; the Accumulating arc matches.
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Subscribable"));
+    }
+
+    #[test]
+    fn unresolvable_operand_fires() {
+        let code = "\
+struct S { phase: AtomicU8 }
+impl S {
+ fn publish(&self, x: u8) { self.phase.store(x, Ordering::Release); }
+}
+";
+        let v = run(code);
+        assert!(
+            v.iter().any(|d| d.message.contains("unresolvable")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn model_must_exist_and_call_the_fn() {
+        let loom = SourceFile::new("tests/loom.rs", "fn m_publish() { loom::model(|| {}); }\n");
+        let v = check(
+            &spec(),
+            "docs/phase-transitions.md",
+            &[SourceFile::new("entry.rs", CODE)],
+            Some(&loom),
+        );
+        // m_publish no longer calls .publish(); m_swap is missing entirely.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|d| d.message.contains("loom")), "{v:?}");
+    }
+
+    #[test]
+    fn files_without_phase_field_are_out_of_scope() {
+        let v = check(
+            &spec(),
+            "docs/phase-transitions.md",
+            &[SourceFile::new(
+                "other.rs",
+                "fn f(a: &AtomicU8) { a.store(3, Ordering::Relaxed); }",
+            )],
+            Some(&SourceFile::new("tests/loom.rs", LOOM)),
+        );
+        // Only the stale-spec rows fire (no phase field anywhere).
+        assert!(v.iter().all(|d| d.message.contains("stale")), "{v:?}");
+    }
+}
